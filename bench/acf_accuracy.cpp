@@ -1,0 +1,59 @@
+// Experiment: the paper's §2.2 accuracy check — "the DFT of this weighting
+// array corresponds to the autocorrelation function as DFT(w) ≈ ρ(r)".
+//
+// For each spectrum family and parameter set, builds the discrete weight
+// array w (eq. 15), transforms it, and reports the error against the
+// analytic ρ, plus the Riemann-sum Σw against h² (eq. 1).
+
+#include <cmath>
+#include <iostream>
+
+#include "rrs.hpp"
+
+int main() {
+    using namespace rrs;
+    std::cout << "=== ACF accuracy check: DFT(w) vs analytic rho (paper sec 2.2) ===\n\n";
+
+    struct Case {
+        const char* label;
+        SpectrumPtr s;
+    };
+    const SurfaceParams p1{1.0, 40.0, 40.0};
+    const SurfaceParams p2{2.0, 80.0, 80.0};
+    const SurfaceParams p3{0.5, 60.0, 30.0};  // anisotropic
+    const Case cases[] = {
+        {"gaussian  h=1.0 cl=40", make_gaussian(p1)},
+        {"gaussian  h=2.0 cl=80", make_gaussian(p2)},
+        {"gaussian  h=0.5 cl=60/30", make_gaussian(p3)},
+        {"power-law N=2 h=1.0 cl=40", make_power_law(p1, 2.0)},
+        {"power-law N=3 h=2.0 cl=80", make_power_law(p2, 3.0)},
+        {"power-law N=1.5 h=1.0 cl=40", make_power_law(p1, 1.5)},
+        {"exponential h=1.0 cl=40", make_exponential(p1)},
+        {"exponential h=2.0 cl=80", make_exponential(p2)},
+    };
+
+    const GridSpec g = GridSpec::unit_spacing(1024, 1024);
+    Table table({"spectrum", "sum(w)", "h^2", "max|DFT(w)-rho|", "rel@0", "max|Im|"});
+
+    for (const Case& c : cases) {
+        const Array2D<double> w = weight_array(*c.s, g);
+        double max_imag = 0.0;
+        const Array2D<double> rho_hat = weight_autocorr_check(w, &max_imag);
+        const Array2D<double> rho = analytic_autocorr_grid(*c.s, g);
+
+        const double h2 = c.s->params().h * c.s->params().h;
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < rho.size(); ++i) {
+            max_err = std::max(max_err, std::abs(rho_hat.data()[i] - rho.data()[i]));
+        }
+        const double rel0 = std::abs(rho_hat(0, 0) - h2) / h2;
+
+        table.add_row({c.label, Table::num(weight_sum(w), 6), Table::num(h2, 4),
+                       Table::num(max_err, 8), Table::num(rel0, 8),
+                       Table::num(max_imag, 10)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: sum(w) ~ h^2 and max errors ~0 for cl << L;\n"
+                 "power-law tails alias slightly more than gaussian (slow K-decay).\n";
+    return 0;
+}

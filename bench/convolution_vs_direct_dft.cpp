@@ -1,0 +1,109 @@
+// Experiment (paper §2.4): the convolution method produces surfaces with
+// the same statistics as the direct DFT method — and is the flexible one.
+//
+// Prints (a) the exact eq. (30)↔(36) identity residual for a shared noise
+// array, (b) statistical agreement over an ensemble, (c) wall-clock of
+// both methods across grid sizes.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/hermitian_noise.hpp"
+#include "fft/fft2d.hpp"
+
+namespace {
+using clock_type = std::chrono::steady_clock;
+double seconds_since(clock_type::time_point t0) {
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+}  // namespace
+
+int main() {
+    using namespace rrs;
+    std::cout << "=== Convolution method vs direct DFT method (paper sec 2.4) ===\n\n";
+
+    const SurfaceParams p{1.0, 20.0, 20.0};
+    const auto s = make_gaussian(p);
+
+    // (a) identity: Z = DFT(v u) == circular conv of kernel with DFT(u)/sqrt(N²).
+    {
+        const std::size_t N = 256;
+        const GridSpec g = GridSpec::unit_spacing(N, N);
+        BoxMullerGaussian<Pcg64> gauss{Pcg64{1}};
+        const auto u = hermitian_gaussian_array(N, N, [&gauss]() { return gauss(); });
+        const auto v = sqrt_weight_array(*s, g);
+        Array2D<cplx> z(N, N);
+        for (std::size_t i = 0; i < z.size(); ++i) {
+            z.data()[i] = u.data()[i] * v.data()[i];
+        }
+        Fft2D plan(N, N);
+        plan.forward(z);
+
+        // The white array of eq. (33): X = DFT(u)/√(N²), in space domain.
+        Array2D<cplx> X = u;
+        plan.forward(X);
+        const double scale = 1.0 / std::sqrt(static_cast<double>(N * N));
+        for (std::size_t i = 0; i < X.size(); ++i) {
+            X.data()[i] *= scale;
+        }
+        // Circular convolution kernel ⊛ X via the frequency domain.
+        const auto img = ConvolutionKernel::build(*s, g).wrapped_image(N, N);
+        Array2D<cplx> K(N, N);
+        for (std::size_t i = 0; i < K.size(); ++i) {
+            K.data()[i] = cplx{img.data()[i], 0.0};
+        }
+        plan.forward(K);
+        plan.forward(X);
+        for (std::size_t i = 0; i < X.size(); ++i) {
+            X.data()[i] *= K.data()[i];
+        }
+        plan.inverse(X);
+        double md = 0.0;
+        for (std::size_t i = 0; i < X.size(); ++i) {
+            md = std::max(md, std::abs(X.data()[i].real() - z.data()[i].real()));
+        }
+        std::cout << "eq.(30) vs eq.(36) chain on shared noise, max |diff| = " << md
+                  << "  (identity: expect ~1e-12)\n\n";
+    }
+
+    // (b) statistical agreement + (c) timing across sizes.
+    Table table({"grid", "direct-DFT sd", "convolution sd", "direct-DFT s/surface",
+                 "convolution s/surface"});
+    for (const std::size_t N : {256u, 512u, 1024u}) {
+        const GridSpec g = GridSpec::unit_spacing(N, N);
+        DirectDftGenerator dgen(s, g);
+        const ConvolutionGenerator cgen(ConvolutionKernel::build_truncated(*s, g, 1e-8),
+                                        99);
+        const int reps = 3;
+        MomentAccumulator dacc, cacc;
+        auto t0 = clock_type::now();
+        for (int r = 0; r < reps; ++r) {
+            const auto f = dgen.generate(static_cast<std::uint64_t>(r));
+            for (std::size_t i = 0; i < f.size(); ++i) {
+                dacc.add(f.data()[i]);
+            }
+        }
+        const double td = seconds_since(t0) / reps;
+        t0 = clock_type::now();
+        for (int r = 0; r < reps; ++r) {
+            const auto f = cgen.generate(Rect{static_cast<std::int64_t>(N) * r * 2, 0,
+                                              static_cast<std::int64_t>(N),
+                                              static_cast<std::int64_t>(N)});
+            for (std::size_t i = 0; i < f.size(); ++i) {
+                cacc.add(f.data()[i]);
+            }
+        }
+        const double tc = seconds_since(t0) / reps;
+        table.add_row({std::to_string(N) + "^2", Table::num(dacc.stddev(), 4),
+                       Table::num(cacc.stddev(), 4), Table::num(td, 3),
+                       Table::num(tc, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: both methods deliver sd ~ h = " << p.h
+              << "; comparable cost per surface (both FFT-bound), with the\n"
+              << "convolution method additionally supporting unbounded/streamed\n"
+              << "and inhomogeneous generation (figs. 1-4, streaming bench).\n";
+    return 0;
+}

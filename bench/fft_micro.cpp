@@ -1,0 +1,82 @@
+// Micro-benchmarks for the FFT substrate (google-benchmark): 1-D radix-2
+// vs Bluestein, 2-D transforms, and the generation-path FFT sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "fft/fft2d.hpp"
+#include "rng/engines.hpp"
+
+namespace {
+
+using namespace rrs;
+
+std::vector<cplx> signal(std::size_t n) {
+    SplitMix64 e{n};
+    std::vector<cplx> x(n);
+    for (auto& v : x) {
+        v = cplx{to_unit_halfopen(e()), to_unit_halfopen(e())};
+    }
+    return x;
+}
+
+void BM_Fft1D_Pow2(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fft1D plan(n);
+    auto x = signal(n);
+    for (auto _ : state) {
+        plan.forward(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1D_Pow2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Fft1D_Bluestein(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fft1D plan(n);
+    auto x = signal(n);
+    for (auto _ : state) {
+        plan.forward(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1D_Bluestein)->Arg(257)->Arg(1000)->Arg(4097);
+
+void BM_Fft2D(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fft2D plan(n, n);
+    Array2D<cplx> a(n, n);
+    SplitMix64 e{9};
+    for (auto& v : a) {
+        v = cplx{to_unit_halfopen(e()), 0.0};
+    }
+    for (auto _ : state) {
+        plan.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Fft2D)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Fft2D_RoundTrip(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Fft2D plan(n, n);
+    Array2D<cplx> a(n, n, cplx{1.0, 0.0});
+    for (auto _ : state) {
+        plan.forward(a);
+        plan.inverse(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_Fft2D_RoundTrip)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Figure 2 reproduction: "Inhomogeneous 2D RRS with four different spectra
+// and parameters" (paper §4).
+//
+// Plate-oriented quadrants with different spectral families:
+//   1st: Gaussian        h = 1.0, cl = 40
+//   2nd: Power-Law N=2   h = 0.5, cl = 60
+//   3rd: Exponential     h = 2.0, cl = 80
+//   4th: Power-Law N=3   h = 1.5, cl = 60
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+    using namespace rrs;
+    using namespace rrs::bench;
+    const std::int64_t N = argc > 1 ? std::atoll(argv[1]) : 2048;
+    const std::int64_t half = N / 2;
+    const int reps = 6;
+
+    std::cout << "=== Fig. 2: quadrants with four different spectra ===\n"
+              << "domain " << N << "^2, plate-oriented, transition half-width 20\n\n";
+
+    struct Q {
+        const char* name;
+        SpectrumPtr s;
+        double wx, wy;
+    };
+    const Q quads[] = {
+        {"1st gaussian    h=1.0 cl=40", make_gaussian({1.0, 40.0, 40.0}), 0.75, 0.75},
+        {"2nd power-law2  h=0.5 cl=60", make_power_law({0.5, 60.0, 60.0}, 2.0), 0.25, 0.75},
+        {"3rd exponential h=2.0 cl=80", make_exponential({2.0, 80.0, 80.0}), 0.25, 0.25},
+        {"4th power-law3  h=1.5 cl=60", make_power_law({1.5, 60.0, 60.0}, 3.0), 0.75, 0.25},
+    };
+
+    const auto map =
+        make_quadrant_map(0.0, 0.0, static_cast<double>(half), quads[0].s, quads[1].s,
+                          quads[2].s, quads[3].s, 20.0);
+    const GridSpec kernel_grid = GridSpec::unit_spacing(1024, 1024);
+
+    const std::size_t win = static_cast<std::size_t>(3 * N / 10);
+    Table table({"quadrant", "target h", "meas h", "analytic 1/e dist", "discrete 1/e dist",
+                 "meas cl_x"});
+
+    for (const Q& q : quads) {
+        const double h = q.s->params().h;
+        // For power-law spectra the 1/e crossing of ρ is NOT cl; compare
+        // against the analytic crossing instead (library helper).  The
+        // band-limited discrete expectation (1/e crossing of DFT(w)) is the
+        // honest target for slow-decaying spectra such as the exponential,
+        // whose sub-lattice roughness cannot be represented.
+        const double expect_cl = correlation_distance(*q.s, std::exp(-1.0));
+        const auto rho_hat = weight_autocorr_check(weight_array(*q.s, kernel_grid));
+        const double discrete_cl = estimate_correlation_length(
+            lag_slice_x(rho_hat, static_cast<std::size_t>(5.0 * expect_cl)));
+        const auto stats = averaged_window_stats(
+            [&](std::uint64_t seed) {
+                const InhomogeneousGenerator gen(map, kernel_grid, seed, {});
+                const auto f = gen.generate(Rect{-half, -half, N, N});
+                return crop(f, static_cast<std::size_t>(q.wx * static_cast<double>(N)) - win / 2,
+                            static_cast<std::size_t>(q.wy * static_cast<double>(N)) - win / 2,
+                            win, win);
+            },
+            reps, static_cast<std::size_t>(4.0 * expect_cl));
+        table.add_row({q.name, Table::num(h, 2), Table::num(stats.moments.stddev, 3),
+                       Table::num(expect_cl, 1), Table::num(discrete_cl, 1),
+                       Table::num(stats.cl_x, 1)});
+    }
+    table.print(std::cout);
+
+    const InhomogeneousGenerator gen(map, kernel_grid, 42, {});
+    const auto f = gen.generate(Rect{-half, -half, N, N});
+    dump_surface("bench_out/fig2", "surface", f, static_cast<double>(-half),
+                 static_cast<double>(-half));
+    std::cout << "\nwrote bench_out/fig2/surface.{pgm,dat,npy}\n"
+              << "Expected shape (paper Fig. 2): the exponential quadrant shows\n"
+              << "fine-scale jaggedness on top of its large-h swell (slow spectral\n"
+              << "decay), the gaussian quadrant is smooth, power-law in between.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+// Extension experiment (paper §5 / its ref. [12]): estimate the radio
+// communication distance along random rough surfaces — the channel-model
+// use the paper builds its generator for.
+//
+// Sweeps surface roughness h and correlation length cl, runs the
+// ensemble range study on generated surfaces at 900 MHz sensor heights,
+// and compares with the Hata open-area baseline the paper cites (ref. [7])
+// as unsuitable for sensor networks.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+    using namespace rrs;
+    std::cout << "=== Communication distance along rough surfaces (extension: ref.[12]) ===\n\n";
+
+    const GridSpec g = GridSpec::unit_spacing(512, 512);
+    RangeStudyConfig cfg;
+    cfg.link = LinkGeometry{1.5, 1.5, 0.333};  // 900 MHz, sensors 1.5 m up
+    cfg.budget_db = 112.0;
+    cfg.paths_per_distance = 48;
+    cfg.profile_samples = 257;
+    const std::vector<double> distances{25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 400.0, 500.0};
+
+    std::cout << "--- (a) range vs roughness h (gaussian spectrum, cl = 15 m) ---\n";
+    Table ta({"h (m)", "p_los@200m", "mean loss@200m (dB)", "est. range (m, 80% rel.)"});
+    for (const double h : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+        const auto s = make_gaussian({h, 15.0, 15.0});
+        const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-6), 7);
+        const auto f = gen.generate(Rect{0, 0, 640, 640});
+        const auto samples = communication_range_study(f, 1.0, distances, cfg);
+        const auto& at200 = samples[5];
+        ta.add_row({Table::num(h, 1), Table::num(at200.p_los, 2),
+                    Table::num(at200.mean_loss_db, 1),
+                    Table::num(estimated_range(samples, 0.8), 0)});
+    }
+    ta.print(std::cout);
+    std::cout << "Expected shape (companion paper [12]): range shrinks\n"
+                 "monotonically as the surface gets rougher.\n\n";
+
+    std::cout << "--- (b) range vs correlation length (h = 1 m) ---\n";
+    Table tb({"cl (m)", "p_los@200m", "mean loss@200m (dB)", "est. range (m, 80% rel.)"});
+    for (const double cl : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+        const auto s = make_gaussian({1.0, cl, cl});
+        const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-6), 7);
+        const auto f = gen.generate(Rect{0, 0, 640, 640});
+        const auto samples = communication_range_study(f, 1.0, distances, cfg);
+        const auto& at200 = samples[5];
+        tb.add_row({Table::num(cl, 0), Table::num(at200.p_los, 2),
+                    Table::num(at200.mean_loss_db, 1),
+                    Table::num(estimated_range(samples, 0.8), 0)});
+    }
+    tb.print(std::cout);
+    std::cout << "Expected shape: long-cl terrain undulates gently (fewer, broader\n"
+                 "obstructions per path) while short-cl terrain at the same h packs\n"
+                 "many independent knife edges into a path, raising diffraction loss.\n\n";
+
+    std::cout << "--- (c) baseline: Hata empirical model (paper ref. [7]) ---\n";
+    Table tc({"environment", "loss@1km (dB)", "range @ 95 dB budget (km)"});
+    for (const auto& [name, env] :
+         {std::pair<const char*, HataEnvironment>{"urban", HataEnvironment::kUrbanMedium},
+          {"suburban", HataEnvironment::kSuburban},
+          {"open", HataEnvironment::kOpen}}) {
+        const HataParams hp{900.0, 30.0, 1.5, env};
+        tc.add_row({name, Table::num(hata_loss_db(hp, 1.0), 1),
+                    Table::num(hata_range_km(hp, 95.0), 2)});
+    }
+    tc.print(std::cout);
+    std::cout << "\nNote (paper §1): Hata needs a 30+ m base station and km-scale\n"
+                 "distances — it cannot express ground-level sensor links over rough\n"
+                 "terrain, which is exactly what the surface-based study above does.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks for the RNG substrate (google-benchmark): raw engines,
+// Gaussian samplers (Box-Muller of paper eq. 18, polar), and the
+// coordinate-hashed Gaussian lattice that feeds the convolution method.
+
+#include <benchmark/benchmark.h>
+
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+#include "rng/hash.hpp"
+
+namespace {
+
+using namespace rrs;
+
+void BM_SplitMix64(benchmark::State& state) {
+    SplitMix64 e{1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(e());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_Pcg64(benchmark::State& state) {
+    Pcg64 e{1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(e());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Pcg64);
+
+void BM_Lcg48_PaperRand(benchmark::State& state) {
+    Lcg48 e{1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(e());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Lcg48_PaperRand);
+
+void BM_BoxMuller(benchmark::State& state) {
+    BoxMullerGaussian<Pcg64> g{Pcg64{1}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoxMuller);
+
+void BM_PolarGaussian(benchmark::State& state) {
+    PolarGaussian<Pcg64> g{Pcg64{1}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PolarGaussian);
+
+void BM_CoordHash(benchmark::State& state) {
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hash_coords(42, i, -i));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoordHash);
+
+void BM_GaussianLattice(benchmark::State& state) {
+    const GaussianLattice lat{42};
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lat(i, -2 * i));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GaussianLattice);
+
+void BM_NoiseTileRow(benchmark::State& state) {
+    // A full 1024-point lattice row — the unit of work in tile generation.
+    const GaussianLattice lat{7};
+    std::int64_t row = 0;
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (std::int64_t ix = 0; ix < 1024; ++ix) {
+            sum += lat(ix, row);
+        }
+        benchmark::DoNotOptimize(sum);
+        ++row;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_NoiseTileRow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

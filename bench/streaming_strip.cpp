@@ -1,0 +1,70 @@
+// Experiment (paper §2.4): "once the weighting array is computed, we can
+// generate any size of continuous RRSs ... by successive computations".
+//
+// Streams a long strip tile by tile, then verifies: (a) exact agreement
+// with a one-shot generation of the same rows; (b) no statistical seam
+// artifacts; (c) throughput as the strip grows (constant per-tile cost).
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+    using namespace rrs;
+    using clock_type = std::chrono::steady_clock;
+    std::cout << "=== Streaming: arbitrarily long RRS by successive computation ===\n\n";
+
+    const auto s = make_gaussian({1.0, 15.0, 15.0});
+    const GridSpec g = GridSpec::unit_spacing(256, 256);
+    const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-8), 2024);
+
+    const std::int64_t width = 512;
+    const std::int64_t rows = 128;
+
+    // (a) exactness of the seams.
+    StripStreamer streamer(gen, 0, width, 0, rows);
+    const auto streamed = streamer.take(4);
+    const auto oneshot = gen.generate(Rect{0, 0, width, 4 * rows});
+    std::cout << "streamed (4 tiles of " << width << "x" << rows
+              << ") vs one-shot: max |diff| = " << max_abs_diff(streamed, oneshot)
+              << "  (expect 0: coordinate-hashed noise)\n\n";
+
+    // (b) per-tile statistics along a long march.
+    Table table({"tile rows", "mean", "stddev", "cl_x", "s/tile"});
+    StripStreamer long_stream(gen, 0, width, 0, rows);
+    for (int t = 0; t < 8; ++t) {
+        const auto t0 = clock_type::now();
+        const auto tile = long_stream.next();
+        const double dt = std::chrono::duration<double>(clock_type::now() - t0).count();
+        const Moments m = compute_moments({tile.data(), tile.size()});
+        const auto acf = circular_autocovariance(tile, true);
+        const double clx = estimate_correlation_length(lag_slice_x(acf, 60));
+        std::string band = "[";
+        band += std::to_string(t * rows);
+        band += ",";
+        band += std::to_string((t + 1) * rows);
+        band += ")";
+        table.add_row({std::move(band), Table::num(m.mean, 3), Table::num(m.stddev, 3),
+                       Table::num(clx, 1), Table::num(dt, 3)});
+    }
+    table.print(std::cout);
+
+    // (c) cross-seam correlation equals interior correlation.
+    const auto two = StripStreamer(gen, 0, width, 0, rows).take(2);
+    auto row_corr = [&](std::size_t iy) {
+        double c = 0.0, v = 0.0;
+        for (std::size_t ix = 0; ix < two.nx(); ++ix) {
+            c += two(ix, iy) * two(ix, iy + 1);
+            v += two(ix, iy) * two(ix, iy);
+        }
+        return c / v;
+    };
+    std::cout << "\nrow-to-row correlation across the seam: " << Table::num(row_corr(127), 4)
+              << "   inside a tile: " << Table::num(row_corr(64), 4)
+              << "  (expect equal: no seam)\n"
+              << "\nExpected shape: stationary per-tile statistics (sd ~ 1, cl ~ 15),\n"
+                 "constant per-tile cost, zero seam error at any strip length.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Example: one-dimensional rough profiles — the transect machinery used by
+// the paper's propagation studies (its refs. [8]-[12] analyse EM waves
+// along 1-D rough profiles).
+//
+// Generates profiles from all three 1-D families, verifies their
+// statistics, and streams an arbitrarily long profile in chunks.
+//
+//   ./transect_profiles [out_dir]
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "rrs.hpp"
+
+int main(int argc, char** argv) {
+    using namespace rrs;
+    const std::string out_dir = argc > 1 ? argv[1] : "transect_out";
+    ensure_directory(out_dir);
+
+    struct Case {
+        const char* file;
+        Spectrum1DPtr s;
+    };
+    const Case cases[] = {
+        {"gaussian.csv", make_gaussian_1d({1.0, 25.0})},
+        {"powerlaw.csv", make_power_law_1d({1.0, 25.0}, 2.0)},
+        {"exponential.csv", make_exponential_1d({1.0, 25.0})},
+    };
+
+    Table table({"family", "kernel taps", "meas stddev", "meas 1/e dist", "analytic"});
+    for (const Case& c : cases) {
+        const ProfileGenerator gen(
+            ProfileKernel::build_truncated(*c.s, LineSpec::unit_spacing(1024), 1e-8),
+            /*seed=*/55);
+        const auto f = gen.generate(0, 100000);
+        const Moments m = compute_moments(f);
+
+        // Empirical ACF out to 4 cl and its 1/e crossing.
+        const std::size_t max_lag = 100;
+        std::vector<double> acf(max_lag + 1, 0.0);
+        for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i + lag < f.size(); ++i) {
+                acc += f[i] * f[i + lag];
+            }
+            acf[lag] = acc / static_cast<double>(f.size() - lag);
+        }
+        table.add_row({c.s->name(), std::to_string(gen.kernel().size()),
+                       Table::num(m.stddev, 3),
+                       Table::num(estimate_correlation_length(acf), 1),
+                       Table::num(correlation_distance_1d(*c.s, std::exp(-1.0)), 1)});
+
+        // First 2000 samples for plotting.
+        std::vector<double> xs(2000), zs(2000);
+        for (std::size_t i = 0; i < 2000; ++i) {
+            xs[i] = static_cast<double>(i);
+            zs[i] = f[i];
+        }
+        write_curve_csv(out_dir + "/" + c.file, xs, zs);
+    }
+    table.print(std::cout);
+
+    // Streaming: march a profile indefinitely in chunks; overlapping
+    // requests agree exactly (coordinate-hashed noise).
+    const ProfileGenerator gen(
+        ProfileKernel::build_truncated(*cases[0].s, LineSpec::unit_spacing(512), 1e-8), 9);
+    const auto chunk_a = gen.generate(999900, 200);
+    const auto chunk_b = gen.generate(1000000, 100);
+    double seam = 0.0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        seam = std::max(seam, std::abs(chunk_a[100 + i] - chunk_b[i]));
+    }
+    std::cout << "\nstreaming seam check at x = 1e6: max |diff| = " << seam
+              << " (expect 0)\n"
+              << "wrote " << out_dir << "/{gaussian,powerlaw,exponential}.csv\n";
+    return 0;
+}

@@ -1,0 +1,22 @@
+# Render a generated surface (gnuplot-matrix .dat written by the figure
+# harnesses or write_gnuplot_surface) as the paper's 3-D views:
+#
+#   gnuplot -e "datafile='bench_out/fig1/surface.dat'" scenes/plot_surface.gp
+#
+# Produces surface.png next to the data file.
+
+if (!exists("datafile")) datafile = 'bench_out/fig1/surface.dat'
+outfile = datafile[:strlen(datafile)-4].'.png'
+
+set terminal pngcairo size 1200,900
+set output outfile
+set hidden3d
+set pm3d depthorder
+set palette defined (0 "#2c4a6e", 0.5 "#8fae8b", 1 "#e8e0c9")
+unset key
+set xlabel "x"
+set ylabel "y"
+set zlabel "f(x,y)" rotate
+set view 55, 35, 1.0, 1.6
+splot datafile using 1:2:3 with pm3d
+print "wrote ".outfile

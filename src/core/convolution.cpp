@@ -1,0 +1,161 @@
+#include "core/convolution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fft/real.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rrs {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t m = 1;
+    while (m < n) {
+        m <<= 1;
+    }
+    return m;
+}
+
+}  // namespace
+
+/// Forward r2c FFT of the wrapped kernel image at one padded size, built
+/// once per (Px, Py) and shared by all subsequent generate() calls.
+struct ConvolutionGenerator::CachedKernelFft {
+    std::size_t Px = 0;
+    std::size_t Py = 0;
+    Array2D<cplx> spectrum;  // half-spectrum: (Px/2+1) x Py
+};
+
+/// Cache of kernel FFTs keyed by padded size, behind a unique_ptr so the
+/// generator stays movable despite the mutex.
+struct ConvolutionGenerator::FftCache {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const CachedKernelFft>> entries;
+};
+
+ConvolutionGenerator::ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed)
+    : kernel_(std::move(kernel)), lattice_(seed), cache_(std::make_unique<FftCache>()) {}
+
+ConvolutionGenerator::~ConvolutionGenerator() = default;
+ConvolutionGenerator::ConvolutionGenerator(ConvolutionGenerator&&) noexcept = default;
+ConvolutionGenerator& ConvolutionGenerator::operator=(ConvolutionGenerator&&) noexcept =
+    default;
+
+Array2D<double> ConvolutionGenerator::noise_tile(const Rect& region) const {
+    if (region.empty()) {
+        throw std::invalid_argument{"ConvolutionGenerator: empty region"};
+    }
+    Array2D<double> X(static_cast<std::size_t>(region.nx),
+                      static_cast<std::size_t>(region.ny));
+    parallel_for(0, region.ny, [&](std::int64_t ty) {
+        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+            X(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) =
+                lattice_(region.x0 + tx, region.y0 + ty);
+        }
+    });
+    return X;
+}
+
+Array2D<double> ConvolutionGenerator::generate_direct(const Rect& region) const {
+    if (region.empty()) {
+        throw std::invalid_argument{"ConvolutionGenerator: empty region"};
+    }
+    const std::int64_t lx = halo_left_x();
+    const std::int64_t ly = halo_left_y();
+    const Rect noise_rect{region.x0 - lx, region.y0 - ly,
+                          region.nx + lx + halo_right_x(),
+                          region.ny + ly + halo_right_y()};
+    const Array2D<double> X = noise_tile(noise_rect);
+
+    const auto knx = static_cast<std::int64_t>(kernel_.nx());
+    const auto kny = static_cast<std::int64_t>(kernel_.ny());
+    const Array2D<double>& taps = kernel_.taps();
+
+    Array2D<double> f(static_cast<std::size_t>(region.nx),
+                      static_cast<std::size_t>(region.ny));
+    // f(x0+t) = Σ_j taps[j] · X[t + (K−1) − j]  per axis (see kernel docs);
+    // with the halo layout above, noise index (t + K−1 − j) is always valid.
+    parallel_for(0, region.ny, [&](std::int64_t ty) {
+        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+            double acc = 0.0;
+            for (std::int64_t jy = 0; jy < kny; ++jy) {
+                const auto ny_idx = static_cast<std::size_t>(ty + kny - 1 - jy);
+                const auto krow = taps.row(static_cast<std::size_t>(jy));
+                const auto xrow = X.row(ny_idx);
+                const std::int64_t base = tx + knx - 1;
+                for (std::int64_t jx = 0; jx < knx; ++jx) {
+                    acc += krow[static_cast<std::size_t>(jx)] *
+                           xrow[static_cast<std::size_t>(base - jx)];
+                }
+            }
+            f(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) = acc;
+        }
+    });
+    return f;
+}
+
+const ConvolutionGenerator::CachedKernelFft& ConvolutionGenerator::kernel_fft(
+    std::size_t Px, std::size_t Py) const {
+    const std::uint64_t key = (static_cast<std::uint64_t>(Px) << 32) | Py;
+    std::lock_guard lock(cache_->mutex);
+    auto& cache = cache_->entries;
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto entry = std::make_shared<CachedKernelFft>();
+        entry->Px = Px;
+        entry->Py = Py;
+        const Array2D<double> img = kernel_.wrapped_image(Px, Py);
+        rfft2d_plan(Px, Py)->forward(img, entry->spectrum);
+        it = cache.emplace(key, std::move(entry)).first;
+    }
+    return *it->second;
+}
+
+Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
+    if (region.empty()) {
+        throw std::invalid_argument{"ConvolutionGenerator: empty region"};
+    }
+    const std::int64_t lx = halo_left_x();
+    const std::int64_t ly = halo_left_y();
+    const std::int64_t Sx = region.nx + lx + halo_right_x();
+    const std::int64_t Sy = region.ny + ly + halo_right_y();
+    const std::size_t Px = next_pow2(static_cast<std::size_t>(Sx));
+    const std::size_t Py = next_pow2(static_cast<std::size_t>(Sy));
+
+    const CachedKernelFft& kfft = kernel_fft(Px, Py);
+    const auto plan = rfft2d_plan(Px, Py);
+
+    // Real noise image, zero-padded to (Px, Py), through the r2c path.
+    Array2D<double> noise(Px, Py, 0.0);
+    parallel_for(0, Sy, [&](std::int64_t sy) {
+        for (std::int64_t sx = 0; sx < Sx; ++sx) {
+            noise(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy)) =
+                lattice_(region.x0 - lx + sx, region.y0 - ly + sy);
+        }
+    });
+
+    Array2D<cplx> spec;
+    plan->forward(noise, spec);
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        spec.data()[i] *= kfft.spectrum.data()[i];
+    }
+    Array2D<double> conv;
+    plan->inverse(spec, conv);
+
+    // out[i] = Σ_d tap(d)·noise[i−d]; valid (wrap-free) outputs start at the
+    // left halo.  f(x0+t) = out[t + halo_left].
+    Array2D<double> f(static_cast<std::size_t>(region.nx),
+                      static_cast<std::size_t>(region.ny));
+    for (std::int64_t ty = 0; ty < region.ny; ++ty) {
+        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+            f(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) =
+                conv(static_cast<std::size_t>(tx + lx), static_cast<std::size_t>(ty + ly));
+        }
+    }
+    return f;
+}
+
+}  // namespace rrs

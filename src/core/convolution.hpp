@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file convolution.hpp
+/// The convolution method for homogeneous RRS generation — paper eq. (36):
+/// f_{nx,ny} = Σ_k w̄_k · X_{n−k}, with X white N(0,1) lattice noise.
+///
+/// Because the noise is a pure function of (seed, lattice coordinate) —
+/// GaussianLattice — `generate` can be called for *any* rectangle of the
+/// unbounded output lattice and overlapping rectangles agree exactly.  This
+/// realises the paper's "any size of continuous RRSs ... by successive
+/// computations" claim deterministically.
+///
+/// Two engines compute the same sums:
+///  * generate()        — FFT-based (circular convolution on a padded tile);
+///  * generate_direct() — the literal tap-sum of eq. (36), O(N²·K²), kept
+///                        as the reference and for small truncated kernels.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/kernel.hpp"
+#include "grid/array2d.hpp"
+#include "grid/rect.hpp"
+#include "rng/gaussian.hpp"
+
+namespace rrs {
+
+/// Homogeneous surface generator over an unbounded lattice.
+class ConvolutionGenerator {
+public:
+    ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed);
+    ~ConvolutionGenerator();
+
+    ConvolutionGenerator(ConvolutionGenerator&&) noexcept;
+    ConvolutionGenerator& operator=(ConvolutionGenerator&&) noexcept;
+    ConvolutionGenerator(const ConvolutionGenerator&) = delete;
+    ConvolutionGenerator& operator=(const ConvolutionGenerator&) = delete;
+
+    /// Surface heights for lattice points in `region` (FFT engine).
+    Array2D<double> generate(const Rect& region) const;
+
+    /// Literal eq. (36) tap sums (direct engine); identical output.
+    Array2D<double> generate_direct(const Rect& region) const;
+
+    /// The white-noise field X over `region` (mostly for tests/diagnostics).
+    Array2D<double> noise_tile(const Rect& region) const;
+
+    const ConvolutionKernel& kernel() const noexcept { return kernel_; }
+    const GaussianLattice& noise() const noexcept { return lattice_; }
+    std::uint64_t seed() const noexcept { return lattice_.seed(); }
+
+private:
+    struct CachedKernelFft;
+
+    /// Noise halo the kernel needs on each side of the output rect.
+    std::int64_t halo_left_x() const noexcept { return kernel_.max_dx(); }
+    std::int64_t halo_right_x() const noexcept { return -kernel_.min_dx(); }
+    std::int64_t halo_left_y() const noexcept { return kernel_.max_dy(); }
+    std::int64_t halo_right_y() const noexcept { return -kernel_.min_dy(); }
+
+    const CachedKernelFft& kernel_fft(std::size_t Px, std::size_t Py) const;
+
+    struct FftCache;
+
+    ConvolutionKernel kernel_;
+    GaussianLattice lattice_;
+    std::unique_ptr<FftCache> cache_;  // keeps the generator movable
+};
+
+}  // namespace rrs

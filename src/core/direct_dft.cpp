@@ -1,0 +1,44 @@
+#include "core/direct_dft.hpp"
+
+#include <stdexcept>
+
+#include "core/hermitian_noise.hpp"
+#include "fft/fft2d.hpp"
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+
+namespace rrs {
+
+DirectDftGenerator::DirectDftGenerator(SpectrumPtr spectrum, GridSpec grid)
+    : spectrum_(std::move(spectrum)), grid_(grid) {
+    if (!spectrum_) {
+        throw std::invalid_argument{"DirectDftGenerator: null spectrum"};
+    }
+    grid_.validate();
+    v_ = sqrt_weight_array(*spectrum_, grid_);
+}
+
+Array2D<double> DirectDftGenerator::generate(std::uint64_t seed, double* max_imag) const {
+    BoxMullerGaussian<Pcg64> gauss{Pcg64{seed}};
+    Array2D<cplx> z =
+        hermitian_gaussian_array(grid_.Nx, grid_.Ny, [&gauss]() { return gauss(); });
+    // Eq. (29): z = v·u, then eq. (30): Z = DFT(z).
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        z.data()[i] *= v_.data()[i];
+    }
+    Fft2D plan(grid_.Nx, grid_.Ny);
+    plan.forward(z);
+
+    Array2D<double> f(grid_.Nx, grid_.Ny);
+    double mi = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        f.data()[i] = z.data()[i].real();
+        mi = std::max(mi, std::abs(z.data()[i].imag()));
+    }
+    if (max_imag != nullptr) {
+        *max_imag = mi;
+    }
+    return f;
+}
+
+}  // namespace rrs

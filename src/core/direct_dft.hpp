@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file direct_dft.hpp
+/// The direct DFT method for homogeneous RRS generation — paper §2.4,
+/// eq. (30): Z = DFT(v·u), with v = √w the amplitude filter and u the
+/// Hermitian Gaussian array.  Z is real and realises a surface with
+/// spectrum W.  This is the baseline the convolution method improves on:
+/// fixed periodic grid, homogeneous parameters only.
+
+#include <cstdint>
+
+#include "core/discrete_spectrum.hpp"
+#include "core/grid_spec.hpp"
+#include "core/spectrum.hpp"
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Reusable homogeneous generator; precomputes v once per (spectrum, grid).
+class DirectDftGenerator {
+public:
+    DirectDftGenerator(SpectrumPtr spectrum, GridSpec grid);
+
+    /// One realisation.  `max_imag`, if non-null, receives the largest
+    /// |Im Z| before it is discarded (≈1e-12·h; a Hermitian-symmetry check).
+    Array2D<double> generate(std::uint64_t seed, double* max_imag = nullptr) const;
+
+    const Array2D<double>& sqrt_weights() const noexcept { return v_; }
+    const GridSpec& grid() const noexcept { return grid_; }
+    const Spectrum& spectrum() const noexcept { return *spectrum_; }
+
+private:
+    SpectrumPtr spectrum_;
+    GridSpec grid_;
+    Array2D<double> v_;
+};
+
+}  // namespace rrs

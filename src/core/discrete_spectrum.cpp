@@ -1,0 +1,76 @@
+#include "core/discrete_spectrum.hpp"
+
+#include <cmath>
+
+#include "fft/fft2d.hpp"
+#include "grid/permute.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace rrs {
+
+Array2D<double> weight_array(const Spectrum& s, const GridSpec& g) {
+    g.validate();
+    Array2D<double> w(g.Nx, g.Ny);
+    const double scale = g.dKx() * g.dKy();  // = 4π²/(LxLy), eq. (15)
+    parallel_for(0, static_cast<std::int64_t>(g.Ny), [&](std::int64_t sy) {
+        const auto my = static_cast<std::size_t>(sy);
+        const double Ky =
+            g.dKy() * static_cast<double>(signed_freq(my, g.My()));
+        for (std::size_t mx = 0; mx < g.Nx; ++mx) {
+            const double Kx =
+                g.dKx() * static_cast<double>(signed_freq(mx, g.Mx()));
+            w(mx, my) = scale * s.density(Kx, Ky);
+        }
+    });
+    return w;
+}
+
+Array2D<double> sqrt_weight_array(const Spectrum& s, const GridSpec& g) {
+    Array2D<double> v = weight_array(s, g);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v.data()[i] = std::sqrt(v.data()[i]);
+    }
+    return v;
+}
+
+Array2D<double> weight_autocorr_check(const Array2D<double>& w, double* max_imag) {
+    Array2D<cplx> c(w.nx(), w.ny());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        c.data()[i] = cplx{w.data()[i], 0.0};
+    }
+    Fft2D plan(w.nx(), w.ny());
+    plan.forward(c);
+    Array2D<double> rho(w.nx(), w.ny());
+    double mi = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        rho.data()[i] = c.data()[i].real();
+        mi = std::max(mi, std::abs(c.data()[i].imag()));
+    }
+    if (max_imag != nullptr) {
+        *max_imag = mi;
+    }
+    return rho;
+}
+
+Array2D<double> analytic_autocorr_grid(const Spectrum& s, const GridSpec& g) {
+    g.validate();
+    Array2D<double> rho(g.Nx, g.Ny);
+    for (std::size_t ny = 0; ny < g.Ny; ++ny) {
+        const double y = g.dy() * static_cast<double>(signed_freq(ny, g.My()));
+        for (std::size_t nx = 0; nx < g.Nx; ++nx) {
+            const double x = g.dx() * static_cast<double>(signed_freq(nx, g.Mx()));
+            rho(nx, ny) = s.autocorrelation(x, y);
+        }
+    }
+    return rho;
+}
+
+double weight_sum(const Array2D<double>& w) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        total += w.data()[i];
+    }
+    return total;
+}
+
+}  // namespace rrs

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file discrete_spectrum.hpp
+/// Discretisation of a spectral density onto the DFT grid — paper §2.2.
+///
+/// The weighting array w (eq. 15) holds the spectral mass per DFT bin,
+/// w_{mx,my} = ΔKx·ΔKy·W(K_m̄x, K_m̄y) with the signed-frequency aliasing of
+/// eq. (16); its elementwise square root v (eq. 17) is the direct-DFT
+/// method's amplitude filter and, transformed, the convolution kernel.
+
+#include "core/grid_spec.hpp"
+#include "core/spectrum.hpp"
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Eq. (15): w_{mx,my} = (4π²/LxLy)·W(K_m̄).  Σw ≈ h².
+Array2D<double> weight_array(const Spectrum& s, const GridSpec& g);
+
+/// Eq. (17): v = √w, elementwise.
+Array2D<double> sqrt_weight_array(const Spectrum& s, const GridSpec& g);
+
+/// §2.2 accuracy check: DFT(w) ≈ ρ(r_n).  Returns the real part of the
+/// forward DFT of w; entry (nx, ny) approximates ρ at lag
+/// (n̄x·Δx, n̄y·Δy) with the same signed aliasing.  `max_imag`, if non-null,
+/// receives the largest |Im| (should be ≈ 0; w is even).
+Array2D<double> weight_autocorr_check(const Array2D<double>& w, double* max_imag = nullptr);
+
+/// Analytic ρ evaluated at the same aliased lattice lags, for comparison
+/// against weight_autocorr_check.
+Array2D<double> analytic_autocorr_grid(const Spectrum& s, const GridSpec& g);
+
+/// Σw over all bins — approximates h² (Riemann sum of eq. 1).
+double weight_sum(const Array2D<double>& w);
+
+}  // namespace rrs

@@ -1,0 +1,86 @@
+#include "core/gradient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace rrs {
+
+namespace {
+
+void check(const Array2D<double>& f, double dx, double dy) {
+    if (f.nx() < 2 || f.ny() < 2) {
+        throw std::invalid_argument{"gradient: field must be at least 2x2"};
+    }
+    if (!(dx > 0.0) || !(dy > 0.0)) {
+        throw std::invalid_argument{"gradient: spacings must be positive"};
+    }
+}
+
+}  // namespace
+
+Array2D<double> slope_x(const Array2D<double>& f, double dx) {
+    check(f, dx, 1.0);
+    Array2D<double> g(f.nx(), f.ny());
+    const double inv2 = 1.0 / (2.0 * dx);
+    const double inv1 = 1.0 / dx;
+    parallel_for(0, static_cast<std::int64_t>(f.ny()), [&](std::int64_t sy) {
+        const auto iy = static_cast<std::size_t>(sy);
+        g(0, iy) = (f(1, iy) - f(0, iy)) * inv1;
+        for (std::size_t ix = 1; ix + 1 < f.nx(); ++ix) {
+            g(ix, iy) = (f(ix + 1, iy) - f(ix - 1, iy)) * inv2;
+        }
+        g(f.nx() - 1, iy) = (f(f.nx() - 1, iy) - f(f.nx() - 2, iy)) * inv1;
+    });
+    return g;
+}
+
+Array2D<double> slope_y(const Array2D<double>& f, double dy) {
+    check(f, 1.0, dy);
+    Array2D<double> g(f.nx(), f.ny());
+    const double inv2 = 1.0 / (2.0 * dy);
+    const double inv1 = 1.0 / dy;
+    parallel_for(0, static_cast<std::int64_t>(f.ny()), [&](std::int64_t sy) {
+        const auto iy = static_cast<std::size_t>(sy);
+        for (std::size_t ix = 0; ix < f.nx(); ++ix) {
+            if (iy == 0) {
+                g(ix, 0) = (f(ix, 1) - f(ix, 0)) * inv1;
+            } else if (iy + 1 == f.ny()) {
+                g(ix, iy) = (f(ix, iy) - f(ix, iy - 1)) * inv1;
+            } else {
+                g(ix, iy) = (f(ix, iy + 1) - f(ix, iy - 1)) * inv2;
+            }
+        }
+    });
+    return g;
+}
+
+Array2D<double> gradient_magnitude(const Array2D<double>& f, double dx, double dy) {
+    const Array2D<double> gx = slope_x(f, dx);
+    const Array2D<double> gy = slope_y(f, dy);
+    Array2D<double> g(f.nx(), f.ny());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        g.data()[i] = std::hypot(gx.data()[i], gy.data()[i]);
+    }
+    return g;
+}
+
+RmsSlopes rms_slopes(const Array2D<double>& f, double dx, double dy) {
+    const Array2D<double> gx = slope_x(f, dx);
+    const Array2D<double> gy = slope_y(f, dy);
+    double sx = 0.0;
+    double sy = 0.0;
+    for (std::size_t i = 0; i < gx.size(); ++i) {
+        sx += gx.data()[i] * gx.data()[i];
+        sy += gy.data()[i] * gy.data()[i];
+    }
+    const double n = static_cast<double>(f.size());
+    RmsSlopes out;
+    out.x = std::sqrt(sx / n);
+    out.y = std::sqrt(sy / n);
+    out.total = std::sqrt((sx + sy) / n);
+    return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file gradient.hpp
+/// Slope fields of generated surfaces.  Scattering and ray-tracing
+/// analyses (the paper's application domain, its refs. [5]-[6], [11])
+/// consume local surface slopes/normals; these helpers derive them with
+/// central differences (one-sided at the edges).
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// ∂f/∂x with central differences; spacing `dx`.
+Array2D<double> slope_x(const Array2D<double>& f, double dx);
+
+/// ∂f/∂y with central differences; spacing `dy`.
+Array2D<double> slope_y(const Array2D<double>& f, double dy);
+
+/// |∇f| from the two central-difference slopes.
+Array2D<double> gradient_magnitude(const Array2D<double>& f, double dx, double dy);
+
+/// RMS of the central-difference slope components over the whole field.
+struct RmsSlopes {
+    double x = 0.0;
+    double y = 0.0;
+    double total = 0.0;  ///< rms |∇f|
+};
+RmsSlopes rms_slopes(const Array2D<double>& f, double dx, double dy);
+
+}  // namespace rrs

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file grid_spec.hpp
+/// Sampling grid for the discrete spectral arrays (paper §2.2): a physical
+/// domain Lx×Ly sampled at Nx×Ny points, Nx = 2Mx and Ny = 2My even, with
+/// discretised angular frequencies K_m = 2π·m̄/L (eq. 13).
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "special/constants.hpp"
+
+namespace rrs {
+
+/// Physical sampling grid; lattice spacing dx = Lx/Nx.
+struct GridSpec {
+    double Lx = 0.0;
+    double Ly = 0.0;
+    std::size_t Nx = 0;
+    std::size_t Ny = 0;
+
+    double dx() const noexcept { return Lx / static_cast<double>(Nx); }
+    double dy() const noexcept { return Ly / static_cast<double>(Ny); }
+
+    /// ΔK along x: 2π/Lx (eq. 13).
+    double dKx() const noexcept { return kTwoPi / Lx; }
+    double dKy() const noexcept { return kTwoPi / Ly; }
+
+    std::size_t Mx() const noexcept { return Nx / 2; }
+    std::size_t My() const noexcept { return Ny / 2; }
+
+    /// Throws unless the grid satisfies the paper's constraints
+    /// (even positive truncation numbers, positive lengths).
+    void validate() const {
+        if (!(Lx > 0.0) || !(Ly > 0.0)) {
+            throw std::invalid_argument{"GridSpec: lengths must be positive"};
+        }
+        if (Nx < 2 || Ny < 2 || Nx % 2 != 0 || Ny % 2 != 0) {
+            throw std::invalid_argument{"GridSpec: Nx, Ny must be even and >= 2"};
+        }
+    }
+
+    /// Unit-spacing grid (Δx = Δy = 1), the convention the paper's
+    /// numerical examples use — cl is then measured in lattice points.
+    static GridSpec unit_spacing(std::size_t Nx, std::size_t Ny) {
+        return GridSpec{static_cast<double>(Nx), static_cast<double>(Ny), Nx, Ny};
+    }
+};
+
+}  // namespace rrs

@@ -1,0 +1,20 @@
+#include "core/hermitian_noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrs {
+
+double hermitian_symmetry_defect(const Array2D<std::complex<double>>& u) {
+    double defect = 0.0;
+    for (std::size_t my = 0; my < u.ny(); ++my) {
+        const std::size_t cy = (u.ny() - my) % u.ny();
+        for (std::size_t mx = 0; mx < u.nx(); ++mx) {
+            const std::size_t cx = (u.nx() - mx) % u.nx();
+            defect = std::max(defect, std::abs(u(mx, my) - std::conj(u(cx, cy))));
+        }
+    }
+    return defect;
+}
+
+}  // namespace rrs

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file hermitian_noise.hpp
+/// The complex Gaussian random array u of paper §2.3 (eqs. 19–28).
+///
+/// u is built so that its DFT U is a *real* white Gaussian field with
+/// U/√(NxNy) ~ N(0,1) (eq. 33).  The paper spells this out bin by bin
+/// (eqs. 21–28); the equivalent invariant-driven construction used here is:
+///
+///  * self-conjugate bins (mx ∈ {0, Mx} and my ∈ {0, My}): u real ~ N(0,1);
+///  * every other bin: u = (a + jb)/√2 with a,b ~ N(0,1) i.i.d., and the
+///    conjugate-mirror bin (−m mod N) set to conj(u)  — so E|u|² = 1
+///    everywhere and DFT(u) is real.
+
+#include <complex>
+#include <cstddef>
+
+#include "grid/array2d.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+
+/// Fill an Nx×Ny complex array with Hermitian-symmetric unit Gaussian
+/// noise.  `gauss` is any callable returning independent N(0,1) draws.
+template <typename GaussFn>
+Array2D<std::complex<double>> hermitian_gaussian_array(std::size_t Nx, std::size_t Ny,
+                                                       GaussFn&& gauss) {
+    Array2D<std::complex<double>> u(Nx, Ny);
+    const double inv_sqrt2 = 1.0 / kSqrt2;
+    for (std::size_t my = 0; my < Ny; ++my) {
+        const std::size_t cy = (Ny - my) % Ny;
+        for (std::size_t mx = 0; mx < Nx; ++mx) {
+            const std::size_t cx = (Nx - mx) % Nx;
+            if (cx == mx && cy == my) {
+                // Self-conjugate: must be real with unit variance.
+                u(mx, my) = std::complex<double>{gauss(), 0.0};
+            } else if (my < cy || (my == cy && mx < cx)) {
+                // Canonical half: draw; mirror gets the conjugate.
+                const double a = gauss();
+                const double b = gauss();
+                u(mx, my) = std::complex<double>{a * inv_sqrt2, b * inv_sqrt2};
+                u(cx, cy) = std::conj(u(mx, my));
+            }
+            // else: already filled by its mirror.
+        }
+    }
+    return u;
+}
+
+/// Largest deviation from Hermitian symmetry max |u(m) − conj(u(−m))|;
+/// exactly 0 for arrays built by hermitian_gaussian_array.
+double hermitian_symmetry_defect(const Array2D<std::complex<double>>& u);
+
+}  // namespace rrs

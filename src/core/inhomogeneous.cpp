@@ -1,0 +1,167 @@
+#include "core/inhomogeneous.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace rrs {
+
+InhomogeneousGenerator::InhomogeneousGenerator(RegionMapPtr map, GridSpec kernel_grid,
+                                               std::uint64_t seed, Options opt)
+    : map_(std::move(map)), grid_(kernel_grid), opt_(opt) {
+    if (!map_) {
+        throw std::invalid_argument{"InhomogeneousGenerator: null region map"};
+    }
+    grid_.validate();
+    kernels_.reserve(map_->region_count());
+    generators_.reserve(map_->region_count());
+    for (std::size_t m = 0; m < map_->region_count(); ++m) {
+        ConvolutionKernel k = ConvolutionKernel::build(*map_->spectrum(m), grid_);
+        if (opt_.kernel_tail_eps > 0.0) {
+            k = k.truncated(opt_.kernel_tail_eps);
+        }
+        kernels_.push_back(k);
+        generators_.emplace_back(std::move(k), seed);
+    }
+}
+
+Array2D<double> InhomogeneousGenerator::blend_weights(const Rect& region,
+                                                      std::size_t m) const {
+    if (m >= map_->region_count()) {
+        throw std::out_of_range{"blend_weights: region index"};
+    }
+    const std::size_t M = map_->region_count();
+    Array2D<double> gm(static_cast<std::size_t>(region.nx),
+                       static_cast<std::size_t>(region.ny));
+    parallel_for(0, region.ny, [&](std::int64_t ty) {
+        std::vector<double> g(M);
+        const double y = y_of(region.y0 + ty);
+        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+            map_->weights_at(x_of(region.x0 + tx), y, g);
+            gm(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) = g[m];
+        }
+    });
+    return gm;
+}
+
+Array2D<double> InhomogeneousGenerator::generate(const Rect& region) const {
+    if (region.empty()) {
+        throw std::invalid_argument{"InhomogeneousGenerator: empty region"};
+    }
+    const std::size_t M = map_->region_count();
+    Array2D<double> out(static_cast<std::size_t>(region.nx),
+                        static_cast<std::size_t>(region.ny), 0.0);
+
+    for (std::size_t m = 0; m < M; ++m) {
+        const Array2D<double> gm = blend_weights(region, m);
+
+        // Bounding box of gm > 0 — the only rows/cols that need field m.
+        std::int64_t bx0 = region.nx, bx1 = -1, by0 = region.ny, by1 = -1;
+        for (std::int64_t ty = 0; ty < region.ny; ++ty) {
+            for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+                if (gm(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) > 0.0) {
+                    bx0 = std::min(bx0, tx);
+                    bx1 = std::max(bx1, tx);
+                    by0 = std::min(by0, ty);
+                    by1 = std::max(by1, ty);
+                }
+            }
+        }
+        if (bx1 < bx0) {
+            continue;  // region m has no support inside `region`
+        }
+        const Rect sub{region.x0 + bx0, region.y0 + by0, bx1 - bx0 + 1, by1 - by0 + 1};
+        const Array2D<double> fm = generators_[m].generate(sub);
+
+        parallel_for(by0, by1 + 1, [&](std::int64_t ty) {
+            for (std::int64_t tx = bx0; tx <= bx1; ++tx) {
+                const double g =
+                    gm(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty));
+                if (g > 0.0) {
+                    out(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) +=
+                        g * fm(static_cast<std::size_t>(tx - bx0),
+                               static_cast<std::size_t>(ty - by0));
+                }
+            }
+        });
+    }
+    return out;
+}
+
+Array2D<double> InhomogeneousGenerator::generate_reference(const Rect& region) const {
+    if (region.empty()) {
+        throw std::invalid_argument{"InhomogeneousGenerator: empty region"};
+    }
+    const std::size_t M = map_->region_count();
+    // Common halo covering every kernel's support.
+    std::int64_t lx = 0, rx = 0, ly = 0, ry = 0;
+    for (const auto& k : kernels_) {
+        lx = std::max(lx, static_cast<std::int64_t>(k.max_dx()));
+        rx = std::max(rx, -static_cast<std::int64_t>(k.min_dx()));
+        ly = std::max(ly, static_cast<std::int64_t>(k.max_dy()));
+        ry = std::max(ry, -static_cast<std::int64_t>(k.min_dy()));
+    }
+    const Rect noise_rect{region.x0 - lx, region.y0 - ly, region.nx + lx + rx,
+                          region.ny + ly + ry};
+    const Array2D<double> X = generators_.front().noise_tile(noise_rect);
+
+    Array2D<double> out(static_cast<std::size_t>(region.nx),
+                        static_cast<std::size_t>(region.ny));
+    parallel_for(0, region.ny, [&](std::int64_t ty) {
+        std::vector<double> g(M);
+        const double y = y_of(region.y0 + ty);
+        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+            map_->weights_at(x_of(region.x0 + tx), y, g);
+            double acc = 0.0;
+            // Literal eq. (46): blended kernel, then eq. (36) tap sums.
+            for (std::size_t m = 0; m < M; ++m) {
+                if (g[m] <= 0.0) {
+                    continue;
+                }
+                const ConvolutionKernel& k = kernels_[m];
+                double fm = 0.0;
+                for (std::ptrdiff_t dy = k.min_dy(); dy <= k.max_dy(); ++dy) {
+                    for (std::ptrdiff_t dx = k.min_dx(); dx <= k.max_dx(); ++dx) {
+                        const std::int64_t sx = tx + lx - dx;
+                        const std::int64_t sy = ty + ly - dy;
+                        fm += k.tap(dx, dy) * X(static_cast<std::size_t>(sx),
+                                                static_cast<std::size_t>(sy));
+                    }
+                }
+                acc += g[m] * fm;
+            }
+            out(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) = acc;
+        }
+    });
+    return out;
+}
+
+double InhomogeneousGenerator::expected_variance(double x, double y) const {
+    const std::size_t M = map_->region_count();
+    std::vector<double> g(M);
+    map_->weights_at(x, y, g);
+    // Var f = Σ_k (Σ_m g_m c_m(k))² over the union of supports.
+    std::ptrdiff_t lo_x = 0, hi_x = 0, lo_y = 0, hi_y = 0;
+    for (const auto& k : kernels_) {
+        lo_x = std::min(lo_x, k.min_dx());
+        hi_x = std::max(hi_x, k.max_dx());
+        lo_y = std::min(lo_y, k.min_dy());
+        hi_y = std::max(hi_y, k.max_dy());
+    }
+    double var = 0.0;
+    for (std::ptrdiff_t dy = lo_y; dy <= hi_y; ++dy) {
+        for (std::ptrdiff_t dx = lo_x; dx <= hi_x; ++dx) {
+            double tap = 0.0;
+            for (std::size_t m = 0; m < M; ++m) {
+                if (g[m] > 0.0) {
+                    tap += g[m] * kernels_[m].tap(dx, dy);
+                }
+            }
+            var += tap * tap;
+        }
+    }
+    return var;
+}
+
+}  // namespace rrs

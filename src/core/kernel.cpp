@@ -1,0 +1,147 @@
+#include "core/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/discrete_spectrum.hpp"
+#include "fft/fft2d.hpp"
+#include "grid/permute.hpp"
+
+namespace rrs {
+
+ConvolutionKernel::ConvolutionKernel(Array2D<double> taps, std::size_t cx, std::size_t cy,
+                                     double dx, double dy, double target_variance)
+    : taps_(std::move(taps)),
+      cx_(cx),
+      cy_(cy),
+      dx_(dx),
+      dy_(dy),
+      target_variance_(target_variance) {
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+        energy_ += taps_.data()[i] * taps_.data()[i];
+    }
+}
+
+ConvolutionKernel ConvolutionKernel::build(const Spectrum& spectrum, const GridSpec& g) {
+    g.validate();
+    const Array2D<double> v = sqrt_weight_array(spectrum, g);
+
+    Array2D<cplx> V(g.Nx, g.Ny);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        V.data()[i] = cplx{v.data()[i], 0.0};
+    }
+    Fft2D plan(g.Nx, g.Ny);
+    plan.forward(V);
+
+    // Eq. (34): w̄ = DFT(v)/√(NxNy), re-centred per eq. (35).
+    const double scale = 1.0 / std::sqrt(static_cast<double>(g.Nx * g.Ny));
+    Array2D<double> c(g.Nx, g.Ny);
+    for (std::size_t my = 0; my < g.Ny; ++my) {
+        const std::size_t oy = fftshift_index(my, g.My());
+        for (std::size_t mx = 0; mx < g.Nx; ++mx) {
+            // v is even in both axes, so DFT(v) is real; the imaginary
+            // residue is rounding noise and is dropped.
+            c(fftshift_index(mx, g.Mx()), oy) = V(mx, my).real() * scale;
+        }
+    }
+    const double h = spectrum.params().h;
+    return ConvolutionKernel{std::move(c), g.Mx(), g.My(), g.dx(), g.dy(), h * h};
+}
+
+ConvolutionKernel ConvolutionKernel::build_truncated(const Spectrum& spectrum,
+                                                     const GridSpec& g, double tail_eps) {
+    return build(spectrum, g).truncated(tail_eps);
+}
+
+double ConvolutionKernel::tap(std::ptrdiff_t dx, std::ptrdiff_t dy) const noexcept {
+    const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(cx_) + dx;
+    const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(cy_) + dy;
+    if (ix < 0 || iy < 0 || ix >= static_cast<std::ptrdiff_t>(taps_.nx()) ||
+        iy >= static_cast<std::ptrdiff_t>(taps_.ny())) {
+        return 0.0;
+    }
+    return taps_(static_cast<std::size_t>(ix), static_cast<std::size_t>(iy));
+}
+
+ConvolutionKernel ConvolutionKernel::truncated(double tail_eps) const {
+    if (!(tail_eps > 0.0) || !(tail_eps < 1.0)) {
+        throw std::invalid_argument{"ConvolutionKernel::truncated: eps in (0,1) required"};
+    }
+    // Energy inside the centered odd window of half-widths (kx, ky), via a
+    // prefix-sum table of squared taps.
+    Array2D<double> prefix(taps_.nx() + 1, taps_.ny() + 1, 0.0);
+    for (std::size_t iy = 0; iy < taps_.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < taps_.nx(); ++ix) {
+            const double t = taps_(ix, iy);
+            prefix(ix + 1, iy + 1) =
+                t * t + prefix(ix, iy + 1) + prefix(ix + 1, iy) - prefix(ix, iy);
+        }
+    }
+    auto window_energy = [&](std::size_t kx, std::size_t ky) {
+        const std::size_t x0 = cx_ >= kx ? cx_ - kx : 0;
+        const std::size_t y0 = cy_ >= ky ? cy_ - ky : 0;
+        const std::size_t x1 = std::min(taps_.nx(), cx_ + kx + 1);
+        const std::size_t y1 = std::min(taps_.ny(), cy_ + ky + 1);
+        return prefix(x1, y1) - prefix(x0, y1) - prefix(x1, y0) + prefix(x0, y0);
+    };
+
+    // Per-axis truncation: choose each half-width so that the axis alone
+    // discards at most eps/2 of the energy (with the other axis at full
+    // width); the combined window then discards at most eps (union bound).
+    // This follows the kernel's true anisotropic decay.
+    const std::size_t hx = std::max(cx_, taps_.nx() - 1 - cx_);
+    const std::size_t hy = std::max(cy_, taps_.ny() - 1 - cy_);
+    const double need = (1.0 - 0.5 * tail_eps) * energy_;
+    auto shrink_axis = [&](bool along_x) {
+        const std::size_t full = along_x ? hx : hy;
+        std::size_t lo = 0;
+        std::size_t hi = full;
+        // Smallest k with window_energy(k, full_other) >= need (monotone).
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            const double e = along_x ? window_energy(mid, hy) : window_energy(hx, mid);
+            if (e >= need) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        return lo;
+    };
+    const std::size_t kx = shrink_axis(true);
+    const std::size_t ky = shrink_axis(false);
+    Array2D<double> out(2 * kx + 1, 2 * ky + 1, 0.0);
+    for (std::size_t iy = 0; iy < out.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < out.nx(); ++ix) {
+            const auto dx = static_cast<std::ptrdiff_t>(ix) - static_cast<std::ptrdiff_t>(kx);
+            const auto dy = static_cast<std::ptrdiff_t>(iy) - static_cast<std::ptrdiff_t>(ky);
+            out(ix, iy) = tap(dx, dy);
+        }
+    }
+    return ConvolutionKernel{std::move(out), kx, ky, dx_, dy_, target_variance_};
+}
+
+Array2D<double> ConvolutionKernel::wrapped_image(std::size_t Px, std::size_t Py) const {
+    if (Px < taps_.nx() || Py < taps_.ny()) {
+        throw std::invalid_argument{"ConvolutionKernel::wrapped_image: grid too small"};
+    }
+    Array2D<double> img(Px, Py, 0.0);
+    for (std::size_t iy = 0; iy < taps_.ny(); ++iy) {
+        const auto dy = static_cast<std::ptrdiff_t>(iy) - static_cast<std::ptrdiff_t>(cy_);
+        const std::size_t wy =
+            static_cast<std::size_t>((dy % static_cast<std::ptrdiff_t>(Py) +
+                                      static_cast<std::ptrdiff_t>(Py)) %
+                                     static_cast<std::ptrdiff_t>(Py));
+        for (std::size_t ix = 0; ix < taps_.nx(); ++ix) {
+            const auto dx = static_cast<std::ptrdiff_t>(ix) - static_cast<std::ptrdiff_t>(cx_);
+            const std::size_t wx =
+                static_cast<std::size_t>((dx % static_cast<std::ptrdiff_t>(Px) +
+                                          static_cast<std::ptrdiff_t>(Px)) %
+                                         static_cast<std::ptrdiff_t>(Px));
+            img(wx, wy) += taps_(ix, iy);
+        }
+    }
+    return img;
+}
+
+}  // namespace rrs

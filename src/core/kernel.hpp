@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file kernel.hpp
+/// The convolution method's real-space weighting array — paper eqs. 34–35.
+///
+/// c = fftshift(DFT(v)) / √(NxNy); c is real, even in each axis, and its
+/// energy Σc² equals Σw ≈ h² (Parseval), so convolving it with unit white
+/// noise yields a surface of variance h².  The kernel decays like the
+/// autocorrelation, so it can be truncated when cl is small — the paper's
+/// "reduce the size of the weighting array to save computation time".
+
+#include <cstddef>
+
+#include "core/grid_spec.hpp"
+#include "core/spectrum.hpp"
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Centered real-space convolution kernel with physical tap spacing.
+class ConvolutionKernel {
+public:
+    /// Eqs. (34)–(35): build the full (Nx × Ny) kernel of `spectrum` on
+    /// grid `g`.  Centre lands at (Mx, My).
+    static ConvolutionKernel build(const Spectrum& spectrum, const GridSpec& g);
+
+    /// build() followed by truncated(tail_eps).
+    static ConvolutionKernel build_truncated(const Spectrum& spectrum, const GridSpec& g,
+                                             double tail_eps);
+
+    std::size_t nx() const noexcept { return taps_.nx(); }
+    std::size_t ny() const noexcept { return taps_.ny(); }
+
+    /// Centre index along x; valid tap offsets dx ∈ [-center_x, nx-1-center_x].
+    std::size_t center_x() const noexcept { return cx_; }
+    std::size_t center_y() const noexcept { return cy_; }
+
+    std::ptrdiff_t min_dx() const noexcept { return -static_cast<std::ptrdiff_t>(cx_); }
+    std::ptrdiff_t max_dx() const noexcept {
+        return static_cast<std::ptrdiff_t>(taps_.nx() - 1 - cx_);
+    }
+    std::ptrdiff_t min_dy() const noexcept { return -static_cast<std::ptrdiff_t>(cy_); }
+    std::ptrdiff_t max_dy() const noexcept {
+        return static_cast<std::ptrdiff_t>(taps_.ny() - 1 - cy_);
+    }
+
+    /// Tap value at lag offset (dx, dy); 0 outside the stored support.
+    double tap(std::ptrdiff_t dx, std::ptrdiff_t dy) const noexcept;
+
+    /// Centered tap array (row-major; centre at (center_x, center_y)).
+    const Array2D<double>& taps() const noexcept { return taps_; }
+
+    /// Σ taps² — the variance a convolution with unit white noise produces;
+    /// ≈ h² up to spectral discretisation error.
+    double energy() const noexcept { return energy_; }
+
+    /// h² of the source spectrum (the target variance).
+    double target_variance() const noexcept { return target_variance_; }
+
+    /// Physical spacing between adjacent taps.
+    double spacing_x() const noexcept { return dx_; }
+    double spacing_y() const noexcept { return dy_; }
+
+    /// Smallest centered odd window, shrinking both axes proportionally,
+    /// that keeps at least (1 − tail_eps) of the kernel energy.
+    ConvolutionKernel truncated(double tail_eps) const;
+
+    /// Kernel laid out cyclically on a Px×Py grid (tap at offset d lands at
+    /// index d mod P) — the image FFT-based convolution transforms.
+    /// Requires Px >= nx() and Py >= ny().
+    Array2D<double> wrapped_image(std::size_t Px, std::size_t Py) const;
+
+private:
+    ConvolutionKernel(Array2D<double> taps, std::size_t cx, std::size_t cy, double dx,
+                      double dy, double target_variance);
+
+    Array2D<double> taps_;
+    std::size_t cx_ = 0;
+    std::size_t cy_ = 0;
+    double dx_ = 1.0;
+    double dy_ = 1.0;
+    double energy_ = 0.0;
+    double target_variance_ = 0.0;
+};
+
+}  // namespace rrs

@@ -1,0 +1,69 @@
+#include "core/polygon_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rrs {
+
+PolygonMap::PolygonMap(std::vector<PolyVertex> outline, SpectrumPtr inside,
+                       SpectrumPtr outside, double transition_half_width)
+    : RegionMap({std::move(inside), std::move(outside)}),
+      outline_(std::move(outline)),
+      T_(transition_half_width) {
+    if (outline_.size() < 3) {
+        throw std::invalid_argument{"PolygonMap: needs at least 3 vertices"};
+    }
+    if (!(T_ > 0.0)) {
+        throw std::invalid_argument{"PolygonMap: transition half-width must be positive"};
+    }
+}
+
+bool PolygonMap::contains(double x, double y) const {
+    // Even-odd rule ray cast along +x.
+    bool inside = false;
+    const std::size_t n = outline_.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+        const PolyVertex& a = outline_[i];
+        const PolyVertex& b = outline_[j];
+        const bool crosses = (a.y > y) != (b.y > y);
+        if (crosses) {
+            const double x_cross = a.x + (y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if (x < x_cross) {
+                inside = !inside;
+            }
+        }
+    }
+    return inside;
+}
+
+double PolygonMap::signed_distance(double x, double y) const {
+    double best = std::numeric_limits<double>::infinity();
+    const std::size_t n = outline_.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+        const PolyVertex& a = outline_[j];
+        const PolyVertex& b = outline_[i];
+        const double ex = b.x - a.x;
+        const double ey = b.y - a.y;
+        const double len2 = ex * ex + ey * ey;
+        double t = 0.0;
+        if (len2 > 0.0) {
+            t = std::clamp(((x - a.x) * ex + (y - a.y) * ey) / len2, 0.0, 1.0);
+        }
+        best = std::min(best, std::hypot(x - (a.x + t * ex), y - (a.y + t * ey)));
+    }
+    return contains(x, y) ? -best : best;
+}
+
+void PolygonMap::weights_at(double x, double y, std::span<double> g) const {
+    if (g.size() != 2) {
+        throw std::invalid_argument{"PolygonMap::weights_at: span size mismatch"};
+    }
+    const double d = signed_distance(x, y);
+    const double outside = std::clamp((d + T_) / (2.0 * T_), 0.0, 1.0);
+    g[0] = 1.0 - outside;
+    g[1] = outside;
+}
+
+}  // namespace rrs

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file polygon_map.hpp
+/// Polygonal region blending — the paper's §3.1 remark that the plate
+/// method "can easily be applied to other cases" made concrete: an
+/// arbitrary simple polygon with `inside` statistics in a background of
+/// `outside` statistics, blended linearly over a band of half-width T
+/// around the boundary (signed-distance ramp, like CircleMap's annulus).
+
+#include <vector>
+
+#include "core/region_map.hpp"
+
+namespace rrs {
+
+/// 2-D point of a polygon outline.
+struct PolyVertex {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/// Region map for one simple (non-self-intersecting) polygon.
+class PolygonMap final : public RegionMap {
+public:
+    /// `outline` lists the vertices in order (closed implicitly); needs at
+    /// least 3 vertices.
+    PolygonMap(std::vector<PolyVertex> outline, SpectrumPtr inside, SpectrumPtr outside,
+               double transition_half_width);
+
+    void weights_at(double x, double y, std::span<double> g) const override;
+
+    /// Signed distance to the outline: negative inside, positive outside.
+    double signed_distance(double x, double y) const;
+
+    /// Even-odd point-in-polygon test.
+    bool contains(double x, double y) const;
+
+    const std::vector<PolyVertex>& outline() const noexcept { return outline_; }
+
+private:
+    std::vector<PolyVertex> outline_;
+    double T_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,142 @@
+#include "core/profile1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fft/fft1d.hpp"
+#include "grid/permute.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+
+double LineSpec::dK() const noexcept { return kTwoPi / L; }
+
+void LineSpec::validate() const {
+    if (!(L > 0.0)) {
+        throw std::invalid_argument{"LineSpec: length must be positive"};
+    }
+    if (N < 2 || N % 2 != 0) {
+        throw std::invalid_argument{"LineSpec: N must be even and >= 2"};
+    }
+}
+
+std::vector<double> weight_array_1d(const Spectrum1D& s, const LineSpec& g) {
+    g.validate();
+    std::vector<double> w(g.N);
+    for (std::size_t m = 0; m < g.N; ++m) {
+        const double K = g.dK() * static_cast<double>(signed_freq(m, g.M()));
+        w[m] = g.dK() * s.density(K);
+    }
+    return w;
+}
+
+ProfileKernel::ProfileKernel(std::vector<double> taps, std::size_t center, double dx,
+                             double target_variance)
+    : taps_(std::move(taps)), center_(center), dx_(dx), target_variance_(target_variance) {
+    for (const double t : taps_) {
+        energy_ += t * t;
+    }
+}
+
+ProfileKernel ProfileKernel::build(const Spectrum1D& s, const LineSpec& g) {
+    const std::vector<double> w = weight_array_1d(s, g);
+    std::vector<cplx> V(g.N);
+    for (std::size_t m = 0; m < g.N; ++m) {
+        V[m] = cplx{std::sqrt(w[m]), 0.0};
+    }
+    const auto plan = fft_plan(g.N);
+    plan->forward(V);
+
+    const double scale = 1.0 / std::sqrt(static_cast<double>(g.N));
+    std::vector<double> taps(g.N);
+    for (std::size_t m = 0; m < g.N; ++m) {
+        taps[fftshift_index(m, g.M())] = V[m].real() * scale;
+    }
+    const double h = s.params().h;
+    return ProfileKernel{std::move(taps), g.M(), g.dx(), h * h};
+}
+
+ProfileKernel ProfileKernel::build_truncated(const Spectrum1D& s, const LineSpec& g,
+                                             double tail_eps) {
+    return build(s, g).truncated(tail_eps);
+}
+
+double ProfileKernel::tap(std::ptrdiff_t dx) const noexcept {
+    const std::ptrdiff_t i = static_cast<std::ptrdiff_t>(center_) + dx;
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(taps_.size())) {
+        return 0.0;
+    }
+    return taps_[static_cast<std::size_t>(i)];
+}
+
+ProfileKernel ProfileKernel::truncated(double tail_eps) const {
+    if (!(tail_eps > 0.0) || !(tail_eps < 1.0)) {
+        throw std::invalid_argument{"ProfileKernel::truncated: eps in (0,1) required"};
+    }
+    const double need = (1.0 - tail_eps) * energy_;
+    const std::size_t hmax = std::max(center_, taps_.size() - 1 - center_);
+    // Smallest half-width keeping `need` energy (monotone → binary search).
+    std::size_t lo = 0;
+    std::size_t hi = hmax;
+    auto window_energy = [&](std::size_t k) {
+        double e = 0.0;
+        for (std::ptrdiff_t d = -static_cast<std::ptrdiff_t>(k);
+             d <= static_cast<std::ptrdiff_t>(k); ++d) {
+            const double t = tap(d);
+            e += t * t;
+        }
+        return e;
+    };
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (window_energy(mid) >= need) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    std::vector<double> out(2 * lo + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = tap(static_cast<std::ptrdiff_t>(i) - static_cast<std::ptrdiff_t>(lo));
+    }
+    return ProfileKernel{std::move(out), lo, dx_, target_variance_};
+}
+
+ProfileGenerator::ProfileGenerator(ProfileKernel kernel, std::uint64_t seed)
+    : kernel_(std::move(kernel)), lattice_(seed) {}
+
+std::vector<double> ProfileGenerator::noise_line(std::int64_t x0, std::int64_t n) const {
+    if (n <= 0) {
+        throw std::invalid_argument{"ProfileGenerator: length must be positive"};
+    }
+    std::vector<double> X(static_cast<std::size_t>(n));
+    for (std::int64_t t = 0; t < n; ++t) {
+        X[static_cast<std::size_t>(t)] = lattice_(x0 + t, kProfileRow);
+    }
+    return X;
+}
+
+std::vector<double> ProfileGenerator::generate(std::int64_t x0, std::int64_t n) const {
+    if (n <= 0) {
+        throw std::invalid_argument{"ProfileGenerator: length must be positive"};
+    }
+    const std::int64_t left = kernel_.max_dx();
+    const std::int64_t right = -kernel_.min_dx();
+    const std::vector<double> X = noise_line(x0 - left, n + left + right);
+
+    const auto K = static_cast<std::int64_t>(kernel_.size());
+    const std::vector<double>& taps = kernel_.taps();
+    std::vector<double> f(static_cast<std::size_t>(n));
+    for (std::int64_t t = 0; t < n; ++t) {
+        double acc = 0.0;
+        const std::int64_t base = t + K - 1;
+        for (std::int64_t j = 0; j < K; ++j) {
+            acc += taps[static_cast<std::size_t>(j)] *
+                   X[static_cast<std::size_t>(base - j)];
+        }
+        f[static_cast<std::size_t>(t)] = acc;
+    }
+    return f;
+}
+
+}  // namespace rrs

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file profile1d.hpp
+/// One-dimensional rough-profile generation by the convolution method —
+/// the transect counterpart of ConvolutionKernel/ConvolutionGenerator.
+///
+/// A profile kernel is c = fftshift(DFT(√w))/√N on an N-point line grid
+/// (w_m = ΔK·W(K_m̄), the 1-D eq. 15); the generator convolves it with a
+/// stateless noise line (a row of the 2-D GaussianLattice under its own
+/// salt), so arbitrarily long profiles stream seamlessly — exactly the
+/// property the paper's §2.4 claims, in one dimension.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spectrum1d.hpp"
+#include "rng/gaussian.hpp"
+
+namespace rrs {
+
+/// Sampling line for the 1-D spectral arrays: length L at N (even) points.
+struct LineSpec {
+    double L = 0.0;
+    std::size_t N = 0;
+
+    double dx() const noexcept { return L / static_cast<double>(N); }
+    double dK() const noexcept;
+    std::size_t M() const noexcept { return N / 2; }
+    void validate() const;
+
+    static LineSpec unit_spacing(std::size_t N) {
+        return LineSpec{static_cast<double>(N), N};
+    }
+};
+
+/// 1-D discrete weight array w_m = ΔK·W(K_m̄); Σw ≈ h².
+std::vector<double> weight_array_1d(const Spectrum1D& s, const LineSpec& g);
+
+/// Centered 1-D convolution kernel with truncation support.
+class ProfileKernel {
+public:
+    static ProfileKernel build(const Spectrum1D& s, const LineSpec& g);
+    static ProfileKernel build_truncated(const Spectrum1D& s, const LineSpec& g,
+                                         double tail_eps);
+
+    std::size_t size() const noexcept { return taps_.size(); }
+    std::size_t center() const noexcept { return center_; }
+    std::ptrdiff_t min_dx() const noexcept { return -static_cast<std::ptrdiff_t>(center_); }
+    std::ptrdiff_t max_dx() const noexcept {
+        return static_cast<std::ptrdiff_t>(taps_.size() - 1 - center_);
+    }
+
+    /// Tap at signed offset; 0 outside support.
+    double tap(std::ptrdiff_t dx) const noexcept;
+
+    const std::vector<double>& taps() const noexcept { return taps_; }
+
+    /// Σ taps² ≈ h².
+    double energy() const noexcept { return energy_; }
+    double target_variance() const noexcept { return target_variance_; }
+    double spacing() const noexcept { return dx_; }
+
+    ProfileKernel truncated(double tail_eps) const;
+
+private:
+    ProfileKernel(std::vector<double> taps, std::size_t center, double dx,
+                  double target_variance);
+
+    std::vector<double> taps_;
+    std::size_t center_ = 0;
+    double dx_ = 1.0;
+    double energy_ = 0.0;
+    double target_variance_ = 0.0;
+};
+
+/// Profile generator over an unbounded 1-D lattice; any interval can be
+/// generated independently and overlapping intervals agree exactly.
+class ProfileGenerator {
+public:
+    ProfileGenerator(ProfileKernel kernel, std::uint64_t seed);
+
+    /// Heights for lattice points [x0, x0 + n).
+    std::vector<double> generate(std::int64_t x0, std::int64_t n) const;
+
+    /// The white noise line over [x0, x0 + n) (tests/diagnostics).
+    std::vector<double> noise_line(std::int64_t x0, std::int64_t n) const;
+
+    const ProfileKernel& kernel() const noexcept { return kernel_; }
+    std::uint64_t seed() const noexcept { return lattice_.seed(); }
+
+private:
+    ProfileKernel kernel_;
+    GaussianLattice lattice_;  // profiles read row iy = kProfileRow
+    static constexpr std::int64_t kProfileRow = -0x5eed;
+};
+
+}  // namespace rrs

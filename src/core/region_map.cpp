@@ -1,0 +1,198 @@
+#include "core/region_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rrs {
+
+RegionMap::RegionMap(std::vector<SpectrumPtr> spectra) : spectra_(std::move(spectra)) {
+    if (spectra_.empty()) {
+        throw std::invalid_argument{"RegionMap: needs at least one spectrum"};
+    }
+    for (const auto& s : spectra_) {
+        if (!s) {
+            throw std::invalid_argument{"RegionMap: null spectrum"};
+        }
+    }
+}
+
+namespace {
+
+/// 1-D hat factor: 1 inside [u0+T, u1−T], linear to 0 at u0−T / u1+T.
+double ramp1d(double u, double u0, double u1, double T) {
+    const double rise = std::clamp((u - (u0 - T)) / (2.0 * T), 0.0, 1.0);
+    const double fall = std::clamp(((u1 + T) - u) / (2.0 * T), 0.0, 1.0);
+    return rise * fall;
+}
+
+/// Euclidean distance from a point to an axis-aligned rectangle.
+double rect_distance(double x, double y, const Plate& p) {
+    const double dx = std::max({p.x0 - x, 0.0, x - p.x1});
+    const double dy = std::max({p.y0 - y, 0.0, y - p.y1});
+    return std::hypot(dx, dy);
+}
+
+}  // namespace
+
+PlateMap::PlateMap(std::vector<Plate> plates, double transition_half_width)
+    : RegionMap([&plates] {
+          std::vector<SpectrumPtr> s;
+          s.reserve(plates.size());
+          for (const auto& p : plates) {
+              s.push_back(p.spectrum);
+          }
+          return s;
+      }()),
+      plates_(std::move(plates)),
+      T_(transition_half_width) {
+    if (!(T_ > 0.0)) {
+        throw std::invalid_argument{"PlateMap: transition half-width must be positive"};
+    }
+    for (const auto& p : plates_) {
+        if (!(p.x1 > p.x0) || !(p.y1 > p.y0)) {
+            throw std::invalid_argument{"PlateMap: degenerate plate"};
+        }
+    }
+}
+
+void PlateMap::weights_at(double x, double y, std::span<double> g) const {
+    if (g.size() != plates_.size()) {
+        throw std::invalid_argument{"PlateMap::weights_at: span size mismatch"};
+    }
+    double total = 0.0;
+    for (std::size_t m = 0; m < plates_.size(); ++m) {
+        const Plate& p = plates_[m];
+        // Eqs. (38)–(39): separable linear transition across each boundary.
+        g[m] = ramp1d(x, p.x0, p.x1, T_) * ramp1d(y, p.y0, p.y1, T_);
+        total += g[m];
+    }
+    if (total <= 0.0) {
+        // Outside every plate's reach: assign the nearest plate's statistics
+        // (keeps the map total and well-defined on the whole plane).
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t m = 0; m < plates_.size(); ++m) {
+            const double d = rect_distance(x, y, plates_[m]);
+            if (d < best_d) {
+                best_d = d;
+                best = m;
+            }
+        }
+        std::fill(g.begin(), g.end(), 0.0);
+        g[best] = 1.0;
+        return;
+    }
+    for (auto& v : g) {
+        v /= total;
+    }
+}
+
+std::shared_ptr<const PlateMap> make_quadrant_map(double cx, double cy, double extent,
+                                                  SpectrumPtr q1, SpectrumPtr q2,
+                                                  SpectrumPtr q3, SpectrumPtr q4,
+                                                  double transition_half_width) {
+    if (!(extent > 0.0)) {
+        throw std::invalid_argument{"make_quadrant_map: extent must be positive"};
+    }
+    std::vector<Plate> plates{
+        Plate{cx, cx + extent, cy, cy + extent, std::move(q1)},  // 1st: +x +y
+        Plate{cx - extent, cx, cy, cy + extent, std::move(q2)},  // 2nd: −x +y
+        Plate{cx - extent, cx, cy - extent, cy, std::move(q3)},  // 3rd: −x −y
+        Plate{cx, cx + extent, cy - extent, cy, std::move(q4)},  // 4th: +x −y
+    };
+    return std::make_shared<const PlateMap>(std::move(plates), transition_half_width);
+}
+
+CircleMap::CircleMap(double cx, double cy, double radius, SpectrumPtr inside,
+                     SpectrumPtr outside, double transition_half_width)
+    : RegionMap({std::move(inside), std::move(outside)}),
+      cx_(cx),
+      cy_(cy),
+      R_(radius),
+      T_(transition_half_width) {
+    if (!(R_ > 0.0) || !(T_ > 0.0)) {
+        throw std::invalid_argument{"CircleMap: radius and T must be positive"};
+    }
+}
+
+void CircleMap::weights_at(double x, double y, std::span<double> g) const {
+    if (g.size() != 2) {
+        throw std::invalid_argument{"CircleMap::weights_at: span size mismatch"};
+    }
+    const double d = std::hypot(x - cx_, y - cy_) - R_;
+    const double outside = std::clamp((d + T_) / (2.0 * T_), 0.0, 1.0);
+    g[0] = 1.0 - outside;
+    g[1] = outside;
+}
+
+PointMap::PointMap(std::vector<RepresentativePoint> points, double transition_half_width)
+    : RegionMap([&points] {
+          std::vector<SpectrumPtr> s;
+          s.reserve(points.size());
+          for (const auto& p : points) {
+              s.push_back(p.spectrum);
+          }
+          return s;
+      }()),
+      points_(std::move(points)),
+      T_(transition_half_width) {
+    if (!(T_ > 0.0)) {
+        throw std::invalid_argument{"PointMap: transition half-width must be positive"};
+    }
+    if (points_.size() < 2) {
+        throw std::invalid_argument{"PointMap: needs at least two points"};
+    }
+}
+
+double PointMap::bisector_distance(double x, double y, double mx, double my, double sx,
+                                   double sy) {
+    // Eq. (42): τ = (|n−n_m|² − |n−n_m*|²) / (2·|n_m − n_m*|).
+    const double dm2 = (x - mx) * (x - mx) + (y - my) * (y - my);
+    const double ds2 = (x - sx) * (x - sx) + (y - sy) * (y - sy);
+    const double sep = std::hypot(mx - sx, my - sy);
+    return (dm2 - ds2) / (2.0 * sep);
+}
+
+void PointMap::weights_at(double x, double y, std::span<double> g) const {
+    if (g.size() != points_.size()) {
+        throw std::invalid_argument{"PointMap::weights_at: span size mismatch"};
+    }
+    // Eq. (40): nearest representative point m*.
+    std::size_t mstar = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t m = 0; m < points_.size(); ++m) {
+        const double d = std::hypot(x - points_[m].x, y - points_[m].y);
+        if (d < best) {
+            best = d;
+            mstar = m;
+        }
+    }
+    // Eqs. (41)–(44): competitors within bisector distance T contribute a
+    // linear share; the owner keeps the remainder (eq. 45).
+    std::fill(g.begin(), g.end(), 0.0);
+    double others = 0.0;
+    for (std::size_t m = 0; m < points_.size(); ++m) {
+        if (m == mstar) {
+            continue;
+        }
+        const double tau = bisector_distance(x, y, points_[m].x, points_[m].y,
+                                             points_[mstar].x, points_[mstar].y);
+        if (tau <= T_) {
+            g[m] = 0.5 * (1.0 - tau / T_);
+            others += g[m];
+        }
+    }
+    if (others >= 1.0) {
+        // Multi-point junction: the owner's remainder hit zero; renormalise
+        // the competitor shares (eq. 46 requires Σg = 1).
+        for (auto& v : g) {
+            v /= others;
+        }
+        return;
+    }
+    g[mstar] = 1.0 - others;
+}
+
+}  // namespace rrs

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file region_map.hpp
+/// Spatial blending maps for inhomogeneous RRS generation — paper §3.
+///
+/// A RegionMap owns M spectra and, at any physical point, yields blending
+/// weights g_m ≥ 0 with Σg_m = 1.  The inhomogeneous weighting array of
+/// eqs. (37) and (46) is then w̄_k(n) = Σ_m g_m(n)·w̄_k(m).
+///
+/// Implementations:
+///  * PlateMap  — §3.1 rectangular plates with linear transition ramps
+///                (eqs. 37–39); QuadrantMap is the Figs. 1–2 special case.
+///  * CircleMap — §3.1 "other cases such as a circular region" (Fig. 3).
+///  * PointMap  — §3.2 representative points with bisector-distance
+///                transitions (eqs. 40–46; Fig. 4).
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/spectrum.hpp"
+
+namespace rrs {
+
+/// Pointwise blend of M homogeneous statistics into one inhomogeneous RRS.
+class RegionMap {
+public:
+    virtual ~RegionMap() = default;
+
+    std::size_t region_count() const noexcept { return spectra_.size(); }
+    const SpectrumPtr& spectrum(std::size_t m) const { return spectra_.at(m); }
+    const std::vector<SpectrumPtr>& spectra() const noexcept { return spectra_; }
+
+    /// Write the M blending weights at physical point (x, y) into `g`
+    /// (g.size() must equal region_count()).  Weights are non-negative and
+    /// sum to 1.
+    virtual void weights_at(double x, double y, std::span<double> g) const = 0;
+
+protected:
+    explicit RegionMap(std::vector<SpectrumPtr> spectra);
+
+    std::vector<SpectrumPtr> spectra_;
+};
+
+using RegionMapPtr = std::shared_ptr<const RegionMap>;
+
+/// Axis-aligned plate with its own statistics (paper §3.1).
+struct Plate {
+    double x0 = 0.0;
+    double x1 = 0.0;
+    double y0 = 0.0;
+    double y1 = 0.0;
+    SpectrumPtr spectrum;
+};
+
+/// §3.1 plate-oriented map: each plate contributes a separable linear hat
+/// that is 1 in its interior and falls to 0 across a band of half-width T
+/// around its boundary (eqs. 38–39); weights are the normalised hats, so
+/// adjacent plates blend linearly over a 2T-wide transition strip.
+class PlateMap final : public RegionMap {
+public:
+    PlateMap(std::vector<Plate> plates, double transition_half_width);
+
+    void weights_at(double x, double y, std::span<double> g) const override;
+
+    const std::vector<Plate>& plates() const noexcept { return plates_; }
+    double transition_half_width() const noexcept { return T_; }
+
+private:
+    std::vector<Plate> plates_;
+    double T_;
+};
+
+/// Figs. 1–2 geometry: four plates meeting at (cx, cy); spectra ordered by
+/// mathematical quadrant (1st = +x+y, 2nd = −x+y, 3rd = −x−y, 4th = +x−y),
+/// each plate extending `extent` from the centre.
+std::shared_ptr<const PlateMap> make_quadrant_map(double cx, double cy, double extent,
+                                                  SpectrumPtr q1, SpectrumPtr q2,
+                                                  SpectrumPtr q3, SpectrumPtr q4,
+                                                  double transition_half_width);
+
+/// §3.1 circular region (Fig. 3): `inside` statistics within radius R of
+/// (cx, cy), `outside` beyond, blended linearly over the annulus
+/// [R − T, R + T].
+class CircleMap final : public RegionMap {
+public:
+    CircleMap(double cx, double cy, double radius, SpectrumPtr inside, SpectrumPtr outside,
+              double transition_half_width);
+
+    void weights_at(double x, double y, std::span<double> g) const override;
+
+    double radius() const noexcept { return R_; }
+
+private:
+    double cx_;
+    double cy_;
+    double R_;
+    double T_;
+};
+
+/// Representative point of the point-oriented method (§3.2).
+struct RepresentativePoint {
+    double x = 0.0;
+    double y = 0.0;
+    SpectrumPtr spectrum;
+};
+
+/// §3.2 point-oriented map (eqs. 40–46): the nearest representative point
+/// m* owns each location; within perpendicular-bisector distance τ ≤ T of a
+/// competitor m, weights interpolate linearly:
+///   g(m)  = ½·(1 − τ_m/T)          for each competitor with τ_m ≤ T,
+///   g(m*) = 1 − Σ g(m)             (clamped at 0, then renormalised).
+/// On a bisector g(m) = g(m*) = ½; with two regions this reduces exactly to
+/// the plate method's linear ramp.  (The paper's eqs. 44–45 are damaged in
+/// the source scan; this reconstruction satisfies every property §3.2
+/// states — see DESIGN.md.)
+class PointMap final : public RegionMap {
+public:
+    PointMap(std::vector<RepresentativePoint> points, double transition_half_width);
+
+    void weights_at(double x, double y, std::span<double> g) const override;
+
+    const std::vector<RepresentativePoint>& points() const noexcept { return points_; }
+
+    /// Eq. (42): distance from (x, y) to the perpendicular bisector of the
+    /// segment [p_m, p_mstar], signed positive on the p_mstar side.
+    static double bisector_distance(double x, double y, double mx, double my, double sx,
+                                    double sy);
+
+private:
+    std::vector<RepresentativePoint> points_;
+    double T_;
+};
+
+}  // namespace rrs

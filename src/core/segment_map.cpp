@@ -1,0 +1,130 @@
+#include "core/segment_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rrs {
+
+SegmentMap::SegmentMap(std::vector<Segment> segments, double transition_half_width)
+    : segments_(std::move(segments)), T_(transition_half_width) {
+    if (segments_.empty()) {
+        throw std::invalid_argument{"SegmentMap: needs at least one segment"};
+    }
+    if (!(T_ > 0.0)) {
+        throw std::invalid_argument{"SegmentMap: transition half-width must be positive"};
+    }
+    for (std::size_t m = 0; m < segments_.size(); ++m) {
+        if (!segments_[m].spectrum) {
+            throw std::invalid_argument{"SegmentMap: null spectrum"};
+        }
+        if (m > 0 && !(segments_[m].begin > segments_[m - 1].begin)) {
+            throw std::invalid_argument{"SegmentMap: segments must be strictly ordered"};
+        }
+    }
+}
+
+void SegmentMap::weights_at(double x, std::span<double> g) const {
+    if (g.size() != segments_.size()) {
+        throw std::invalid_argument{"SegmentMap::weights_at: span size mismatch"};
+    }
+    const std::size_t M = segments_.size();
+    double total = 0.0;
+    for (std::size_t m = 0; m < M; ++m) {
+        // Rise across this segment's left boundary, fall across its right.
+        const double rise =
+            m == 0 ? 1.0
+                   : std::clamp((x - (segments_[m].begin - T_)) / (2.0 * T_), 0.0, 1.0);
+        const double fall =
+            m + 1 == M
+                ? 1.0
+                : std::clamp(((segments_[m + 1].begin + T_) - x) / (2.0 * T_), 0.0, 1.0);
+        g[m] = rise * fall;
+        total += g[m];
+    }
+    if (total <= 0.0) {
+        // Cannot happen for ordered segments (first/last extend to ±inf),
+        // but keep the partition-of-unity contract robust.
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = 1.0;
+        return;
+    }
+    for (auto& v : g) {
+        v /= total;
+    }
+}
+
+InhomogeneousProfileGenerator::InhomogeneousProfileGenerator(SegmentMapPtr map,
+                                                             LineSpec kernel_line,
+                                                             std::uint64_t seed,
+                                                             Options opt)
+    : map_(std::move(map)), line_(kernel_line), opt_(opt) {
+    if (!map_) {
+        throw std::invalid_argument{"InhomogeneousProfileGenerator: null map"};
+    }
+    line_.validate();
+    kernels_.reserve(map_->region_count());
+    generators_.reserve(map_->region_count());
+    for (std::size_t m = 0; m < map_->region_count(); ++m) {
+        ProfileKernel k = ProfileKernel::build(*map_->spectrum(m), line_);
+        if (opt_.kernel_tail_eps > 0.0) {
+            k = k.truncated(opt_.kernel_tail_eps);
+        }
+        kernels_.push_back(k);
+        generators_.emplace_back(std::move(k), seed);
+    }
+}
+
+std::vector<double> InhomogeneousProfileGenerator::generate(std::int64_t x0,
+                                                            std::int64_t n) const {
+    if (n <= 0) {
+        throw std::invalid_argument{"InhomogeneousProfileGenerator: length must be positive"};
+    }
+    const std::size_t M = map_->region_count();
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> g(M);
+    // Per-segment homogeneous profiles over shared noise, blended pointwise.
+    for (std::size_t m = 0; m < M; ++m) {
+        // Skip segments with no support in this window.
+        bool any = false;
+        for (std::int64_t t = 0; t < n && !any; ++t) {
+            map_->weights_at(x_of(x0 + t), g);
+            any = g[m] > 0.0;
+        }
+        if (!any) {
+            continue;
+        }
+        const std::vector<double> fm = generators_[m].generate(x0, n);
+        for (std::int64_t t = 0; t < n; ++t) {
+            map_->weights_at(x_of(x0 + t), g);
+            if (g[m] > 0.0) {
+                out[static_cast<std::size_t>(t)] += g[m] * fm[static_cast<std::size_t>(t)];
+            }
+        }
+    }
+    return out;
+}
+
+double InhomogeneousProfileGenerator::expected_variance(double x) const {
+    const std::size_t M = map_->region_count();
+    std::vector<double> g(M);
+    map_->weights_at(x, g);
+    std::ptrdiff_t lo = 0, hi = 0;
+    for (const auto& k : kernels_) {
+        lo = std::min(lo, k.min_dx());
+        hi = std::max(hi, k.max_dx());
+    }
+    double var = 0.0;
+    for (std::ptrdiff_t d = lo; d <= hi; ++d) {
+        double tap = 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+            if (g[m] > 0.0) {
+                tap += g[m] * kernels_[m].tap(d);
+            }
+        }
+        var += tap * tap;
+    }
+    return var;
+}
+
+}  // namespace rrs

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file segment_map.hpp
+/// Inhomogeneous 1-D profiles — the paper's §3 blending applied to
+/// transects: a line partitioned into segments with distinct 1-D spectra,
+/// blended linearly over bands of half-width T around each boundary
+/// (the 1-D specialisation of the plate-oriented method, eqs. 37-39).
+///
+/// The same factorisation as the 2-D fast path applies: the blended
+/// profile is Σ_m g_m(x)·(c_m ⊛ X)(x) over shared line noise.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/profile1d.hpp"
+#include "core/spectrum1d.hpp"
+
+namespace rrs {
+
+/// One segment of an inhomogeneous transect; segments are listed left to
+/// right, each owning [begin, next segment's begin).
+struct Segment {
+    double begin = 0.0;  ///< physical coordinate where this segment starts
+    Spectrum1DPtr spectrum;
+};
+
+/// Piecewise statistics along a line with linear boundary transitions.
+class SegmentMap {
+public:
+    /// `segments` must be ordered by strictly increasing `begin`; the first
+    /// segment also covers everything left of its `begin`, the last extends
+    /// to +infinity.
+    SegmentMap(std::vector<Segment> segments, double transition_half_width);
+
+    std::size_t region_count() const noexcept { return segments_.size(); }
+    const Spectrum1DPtr& spectrum(std::size_t m) const { return segments_.at(m).spectrum; }
+
+    /// Blending weights at physical coordinate x (size = region_count()).
+    void weights_at(double x, std::span<double> g) const;
+
+    double transition_half_width() const noexcept { return T_; }
+
+private:
+    std::vector<Segment> segments_;
+    double T_;
+};
+
+using SegmentMapPtr = std::shared_ptr<const SegmentMap>;
+
+/// Tuning knobs for InhomogeneousProfileGenerator (namespace scope so it
+/// can serve as a defaulted constructor argument).
+struct InhomogeneousProfileOptions {
+    double kernel_tail_eps = 1e-8;
+    double origin = 0.0;  ///< physical coordinate of lattice point 0
+};
+
+/// Generator for inhomogeneous 1-D profiles over an unbounded lattice.
+class InhomogeneousProfileGenerator {
+public:
+    using Options = InhomogeneousProfileOptions;
+
+    InhomogeneousProfileGenerator(SegmentMapPtr map, LineSpec kernel_line,
+                                  std::uint64_t seed, Options opt = {});
+
+    /// Heights for lattice points [x0, x0 + n): pointwise blend of the
+    /// per-segment homogeneous profiles over shared noise.
+    std::vector<double> generate(std::int64_t x0, std::int64_t n) const;
+
+    /// Exact pointwise variance Σ_k (Σ_m g_m c_m(k))².
+    double expected_variance(double x) const;
+
+    double x_of(std::int64_t i) const noexcept {
+        return opt_.origin + static_cast<double>(i) * line_.dx();
+    }
+
+    const SegmentMap& map() const noexcept { return *map_; }
+
+private:
+    SegmentMapPtr map_;
+    LineSpec line_;
+    Options opt_;
+    std::vector<ProfileKernel> kernels_;
+    std::vector<ProfileGenerator> generators_;
+};
+
+}  // namespace rrs

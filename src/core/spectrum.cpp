@@ -1,0 +1,150 @@
+#include "core/spectrum.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "special/bessel.hpp"
+#include "special/constants.hpp"
+#include "special/gamma.hpp"
+
+namespace rrs {
+
+void SurfaceParams::validate() const {
+    if (!(h > 0.0) || !(clx > 0.0) || !(cly > 0.0)) {
+        throw std::invalid_argument{"SurfaceParams: h, clx, cly must be positive"};
+    }
+}
+
+Spectrum::Spectrum(SurfaceParams p) : p_(p) { p_.validate(); }
+
+namespace {
+
+class GaussianSpectrum final : public Spectrum {
+public:
+    explicit GaussianSpectrum(SurfaceParams p) : Spectrum(p) {}
+
+    double density(double Kx, double Ky) const override {
+        const double kx = Kx * p_.clx;
+        const double ky = Ky * p_.cly;
+        return p_.clx * p_.cly * p_.h * p_.h / (4.0 * kPi) *
+               std::exp(-0.25 * (kx * kx + ky * ky));
+    }
+
+    double autocorrelation(double x, double y) const override {
+        const double xs = x / p_.clx;
+        const double ys = y / p_.cly;
+        return p_.h * p_.h * std::exp(-(xs * xs + ys * ys));
+    }
+
+    std::string name() const override { return "gaussian"; }
+};
+
+class PowerLawSpectrum final : public Spectrum {
+public:
+    PowerLawSpectrum(SurfaceParams p, double N) : Spectrum(p), N_(N) {
+        if (!(N > 1.0)) {
+            throw std::invalid_argument{"PowerLawSpectrum: requires N > 1"};
+        }
+        log_gamma_nm1_ = log_gamma(N_ - 1.0);
+    }
+
+    double density(double Kx, double Ky) const override {
+        const double kx = Kx * p_.clx;
+        const double ky = Ky * p_.cly;
+        return p_.clx * p_.cly * p_.h * p_.h * (N_ - 1.0) / kPi *
+               std::pow(1.0 + kx * kx + ky * ky, -N_);
+    }
+
+    double autocorrelation(double x, double y) const override {
+        const double xs = x / p_.clx;
+        const double ys = y / p_.cly;
+        const double r = std::hypot(xs, ys);
+        if (r == 0.0) {
+            return p_.h * p_.h;
+        }
+        // Matérn form: (2h²/Γ(N−1)) (r/2)^{N−1} K_{N−1}(r), evaluated in
+        // log space to stay finite for large N or r.
+        const double nu = N_ - 1.0;
+        const double log_term = std::log(2.0) - log_gamma_nm1_ + nu * std::log(0.5 * r);
+        return p_.h * p_.h * std::exp(log_term) * bessel_k(nu, r);
+    }
+
+    std::string name() const override {
+        std::ostringstream ss;
+        ss << "power-law(N=" << N_ << ")";
+        return ss.str();
+    }
+
+    double order() const noexcept { return N_; }
+
+private:
+    double N_;
+    double log_gamma_nm1_;
+};
+
+class ExponentialSpectrum final : public Spectrum {
+public:
+    explicit ExponentialSpectrum(SurfaceParams p) : Spectrum(p) {}
+
+    double density(double Kx, double Ky) const override {
+        const double kx = Kx * p_.clx;
+        const double ky = Ky * p_.cly;
+        return p_.clx * p_.cly * p_.h * p_.h / (2.0 * kPi) *
+               std::pow(1.0 + kx * kx + ky * ky, -1.5);
+    }
+
+    double autocorrelation(double x, double y) const override {
+        const double xs = x / p_.clx;
+        const double ys = y / p_.cly;
+        return p_.h * p_.h * std::exp(-std::hypot(xs, ys));
+    }
+
+    std::string name() const override { return "exponential"; }
+};
+
+}  // namespace
+
+SpectrumPtr make_gaussian(SurfaceParams p) {
+    return std::make_shared<const GaussianSpectrum>(p);
+}
+
+SpectrumPtr make_power_law(SurfaceParams p, double N) {
+    return std::make_shared<const PowerLawSpectrum>(p, N);
+}
+
+SpectrumPtr make_exponential(SurfaceParams p) {
+    return std::make_shared<const ExponentialSpectrum>(p);
+}
+
+double correlation_distance(const Spectrum& s, double level) {
+    if (!(level > 0.0) || !(level < 1.0)) {
+        throw std::invalid_argument{"correlation_distance: level must be in (0,1)"};
+    }
+    const double h2 = s.params().h * s.params().h;
+    const double target = level * h2;
+    // Bracket: ρ decreases monotonically along the axis for these families.
+    double lo = 0.0;
+    double hi = s.params().clx;
+    while (s.autocorrelation(hi, 0.0) > target) {
+        lo = hi;
+        hi *= 2.0;
+        if (hi > 1e6 * s.params().clx) {
+            throw std::runtime_error{"correlation_distance: failed to bracket"};
+        }
+    }
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (s.autocorrelation(mid, 0.0) > target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo < 1e-12 * s.params().clx) {
+            break;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace rrs

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file spectrum.hpp
+/// The three spectral density families of paper §2.1, each paired with its
+/// closed-form autocorrelation.
+///
+/// Convention (re-derived; the paper's eq. 7 OCR is damaged — see
+/// DESIGN.md §2): with K̃ = (Kx·clx, Ky·cly), x̃ = (x/clx, y/cly), r̃ = |x̃|,
+///
+///   Gaussian    : W = (clx·cly·h²/4π)·e^{−|K̃|²/4}          ρ = h²e^{−r̃²}
+///   PowerLaw(N) : W = (clx·cly·h²(N−1)/π)(1+|K̃|²)^{−N}      ρ = (2h²/Γ(N−1))(r̃/2)^{N−1}K_{N−1}(r̃)
+///   Exponential : W = (clx·cly·h²/2π)(1+|K̃|²)^{−3/2}        ρ = h²e^{−r̃}
+///
+/// All satisfy ∬W dK = h² (eq. 1) and ρ = F[W] (eq. 4); Exponential is the
+/// PowerLaw N = 3/2 member (K_{1/2} closed form), a cross-check the tests use.
+
+#include <memory>
+#include <string>
+
+namespace rrs {
+
+/// Statistical parameters of a homogeneous rough surface: standard
+/// deviation of height `h` and correlation lengths `clx`, `cly`.
+struct SurfaceParams {
+    double h = 1.0;
+    double clx = 1.0;
+    double cly = 1.0;
+
+    void validate() const;
+};
+
+/// A spectral density function W(K) with its analytic autocorrelation ρ(r).
+class Spectrum {
+public:
+    virtual ~Spectrum() = default;
+
+    /// Spectral density W(Kx, Ky) — paper eq. (2) normalisation.
+    virtual double density(double Kx, double Ky) const = 0;
+
+    /// Autocorrelation ρ(x, y) = F[W] (eq. 4); ρ(0,0) = h².
+    virtual double autocorrelation(double x, double y) const = 0;
+
+    /// Human-readable family name, e.g. "gaussian", "power-law(N=2)".
+    virtual std::string name() const = 0;
+
+    const SurfaceParams& params() const noexcept { return p_; }
+
+protected:
+    explicit Spectrum(SurfaceParams p);
+    SurfaceParams p_;
+};
+
+using SpectrumPtr = std::shared_ptr<const Spectrum>;
+
+/// Gaussian spectrum (paper eqs. 5–6).
+SpectrumPtr make_gaussian(SurfaceParams p);
+
+/// N-th order Power-Law spectrum (paper eqs. 7–8); requires N > 1.
+SpectrumPtr make_power_law(SurfaceParams p, double N);
+
+/// Exponential spectrum (paper eqs. 9–10).
+SpectrumPtr make_exponential(SurfaceParams p);
+
+/// Distance d along the x-axis with ρ(d,0) = level·h², found by bisection.
+/// With level = 1/e this is the empirical "correlation length" the stats
+/// module estimates; it equals clx exactly for Gaussian and Exponential.
+double correlation_distance(const Spectrum& s, double level);
+
+}  // namespace rrs

@@ -1,0 +1,131 @@
+#include "core/spectrum1d.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "special/bessel.hpp"
+#include "special/constants.hpp"
+#include "special/gamma.hpp"
+
+namespace rrs {
+
+void ProfileParams::validate() const {
+    if (!(h > 0.0) || !(cl > 0.0)) {
+        throw std::invalid_argument{"ProfileParams: h, cl must be positive"};
+    }
+}
+
+Spectrum1D::Spectrum1D(ProfileParams p) : p_(p) { p_.validate(); }
+
+namespace {
+
+class Gaussian1D final : public Spectrum1D {
+public:
+    explicit Gaussian1D(ProfileParams p) : Spectrum1D(p) {}
+
+    double density(double K) const override {
+        const double u = 0.5 * K * p_.cl;
+        return p_.cl * p_.h * p_.h / (2.0 * kSqrtPi) * std::exp(-u * u);
+    }
+
+    double autocorrelation(double x) const override {
+        const double u = x / p_.cl;
+        return p_.h * p_.h * std::exp(-u * u);
+    }
+
+    std::string name() const override { return "gaussian-1d"; }
+};
+
+class PowerLaw1D final : public Spectrum1D {
+public:
+    PowerLaw1D(ProfileParams p, double N) : Spectrum1D(p), N_(N) {
+        if (!(N > 0.5)) {
+            throw std::invalid_argument{"PowerLaw1D: requires N > 1/2"};
+        }
+        log_norm_ = log_gamma(N_) - log_gamma(N_ - 0.5) - std::log(kSqrtPi);
+        log_gamma_nu_ = log_gamma(N_ - 0.5);
+    }
+
+    double density(double K) const override {
+        const double u = K * p_.cl;
+        return p_.cl * p_.h * p_.h * std::exp(log_norm_) * std::pow(1.0 + u * u, -N_);
+    }
+
+    double autocorrelation(double x) const override {
+        const double r = std::abs(x) / p_.cl;
+        if (r == 0.0) {
+            return p_.h * p_.h;
+        }
+        const double nu = N_ - 0.5;
+        const double log_term = std::log(2.0) - log_gamma_nu_ + nu * std::log(0.5 * r);
+        return p_.h * p_.h * std::exp(log_term) * bessel_k(nu, r);
+    }
+
+    std::string name() const override {
+        std::ostringstream ss;
+        ss << "power-law-1d(N=" << N_ << ")";
+        return ss.str();
+    }
+
+private:
+    double N_;
+    double log_norm_;
+    double log_gamma_nu_;
+};
+
+class Exponential1D final : public Spectrum1D {
+public:
+    explicit Exponential1D(ProfileParams p) : Spectrum1D(p) {}
+
+    double density(double K) const override {
+        const double u = K * p_.cl;
+        return p_.cl * p_.h * p_.h / (kPi * (1.0 + u * u));
+    }
+
+    double autocorrelation(double x) const override {
+        return p_.h * p_.h * std::exp(-std::abs(x) / p_.cl);
+    }
+
+    std::string name() const override { return "exponential-1d"; }
+};
+
+}  // namespace
+
+Spectrum1DPtr make_gaussian_1d(ProfileParams p) {
+    return std::make_shared<const Gaussian1D>(p);
+}
+
+Spectrum1DPtr make_power_law_1d(ProfileParams p, double N) {
+    return std::make_shared<const PowerLaw1D>(p, N);
+}
+
+Spectrum1DPtr make_exponential_1d(ProfileParams p) {
+    return std::make_shared<const Exponential1D>(p);
+}
+
+double correlation_distance_1d(const Spectrum1D& s, double level) {
+    if (!(level > 0.0) || !(level < 1.0)) {
+        throw std::invalid_argument{"correlation_distance_1d: level must be in (0,1)"};
+    }
+    const double target = level * s.params().h * s.params().h;
+    double lo = 0.0;
+    double hi = s.params().cl;
+    while (s.autocorrelation(hi) > target) {
+        lo = hi;
+        hi *= 2.0;
+        if (hi > 1e6 * s.params().cl) {
+            throw std::runtime_error{"correlation_distance_1d: failed to bracket"};
+        }
+    }
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (s.autocorrelation(mid) > target ? lo : hi) = mid;
+        if (hi - lo < 1e-12 * s.params().cl) {
+            break;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace rrs

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file spectrum1d.hpp
+/// One-dimensional spectral families — the profile (transect) counterpart
+/// of the paper's 2-D machinery.
+///
+/// The paper's propagation studies (its refs. [8]-[12]) analyse EM waves
+/// along 1-D rough *profiles*; this module provides the same three families
+/// with self-consistent 1-D normalisation, ∫W dK = h² and ρ = F[W]:
+///
+///   Gaussian    : W = (cl·h²/2√π)·e^{−(K·cl/2)²}            ρ = h²e^{−(x/cl)²}
+///   PowerLaw(N) : W = (cl·h²·Γ(N)/(√π·Γ(N−½)))(1+(K·cl)²)^{−N}
+///                                       ρ = (2h²/Γ(N−½))(|x̃|/2)^{N−½}K_{N−½}(|x̃|)
+///   Exponential : W = (cl·h²/π)/(1+(K·cl)²)  (Lorentzian)    ρ = h²e^{−|x|/cl}
+///
+/// Exponential ≡ PowerLaw(N = 1) (Matérn ν = ½) — mirrored by the tests.
+/// 1-D integrability only needs N > ½.
+
+#include <memory>
+#include <string>
+
+namespace rrs {
+
+/// Statistical parameters of a 1-D rough profile.
+struct ProfileParams {
+    double h = 1.0;
+    double cl = 1.0;
+
+    void validate() const;
+};
+
+/// 1-D spectral density with closed-form autocorrelation.
+class Spectrum1D {
+public:
+    virtual ~Spectrum1D() = default;
+
+    /// W(K), normalised so ∫W dK = h².
+    virtual double density(double K) const = 0;
+
+    /// ρ(x) = F[W]; ρ(0) = h².
+    virtual double autocorrelation(double x) const = 0;
+
+    virtual std::string name() const = 0;
+
+    const ProfileParams& params() const noexcept { return p_; }
+
+protected:
+    explicit Spectrum1D(ProfileParams p);
+    ProfileParams p_;
+};
+
+using Spectrum1DPtr = std::shared_ptr<const Spectrum1D>;
+
+Spectrum1DPtr make_gaussian_1d(ProfileParams p);
+
+/// Requires N > 1/2.
+Spectrum1DPtr make_power_law_1d(ProfileParams p, double N);
+
+Spectrum1DPtr make_exponential_1d(ProfileParams p);
+
+/// Distance d with ρ(d) = level·h² (bisection; cf. correlation_distance).
+double correlation_distance_1d(const Spectrum1D& s, double level);
+
+}  // namespace rrs

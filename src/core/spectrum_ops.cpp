@@ -1,0 +1,109 @@
+#include "core/spectrum_ops.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rrs {
+
+namespace {
+
+class RotatedSpectrum final : public Spectrum {
+public:
+    RotatedSpectrum(SpectrumPtr base, double theta)
+        : Spectrum(base->params()),
+          base_(std::move(base)),
+          cos_(std::cos(theta)),
+          sin_(std::sin(theta)),
+          theta_(theta) {}
+
+    double density(double Kx, double Ky) const override {
+        // Evaluate the base spectrum in the rotated frame (R_{−θ}·K).
+        return base_->density(cos_ * Kx + sin_ * Ky, -sin_ * Kx + cos_ * Ky);
+    }
+
+    double autocorrelation(double x, double y) const override {
+        return base_->autocorrelation(cos_ * x + sin_ * y, -sin_ * x + cos_ * y);
+    }
+
+    std::string name() const override {
+        std::ostringstream ss;
+        ss << base_->name() << "@rot(" << theta_ << ")";
+        return ss.str();
+    }
+
+private:
+    SpectrumPtr base_;
+    double cos_;
+    double sin_;
+    double theta_;
+};
+
+class MixtureSpectrum final : public Spectrum {
+public:
+    explicit MixtureSpectrum(std::vector<SpectrumPtr> parts)
+        : Spectrum(combined_params(parts)), parts_(std::move(parts)) {}
+
+    double density(double Kx, double Ky) const override {
+        double w = 0.0;
+        for (const auto& s : parts_) {
+            w += s->density(Kx, Ky);
+        }
+        return w;
+    }
+
+    double autocorrelation(double x, double y) const override {
+        double r = 0.0;
+        for (const auto& s : parts_) {
+            r += s->autocorrelation(x, y);
+        }
+        return r;
+    }
+
+    std::string name() const override {
+        std::ostringstream ss;
+        ss << "mix(";
+        for (std::size_t i = 0; i < parts_.size(); ++i) {
+            ss << (i ? "+" : "") << parts_[i]->name();
+        }
+        ss << ")";
+        return ss.str();
+    }
+
+private:
+    static SurfaceParams combined_params(const std::vector<SpectrumPtr>& parts) {
+        if (parts.empty()) {
+            throw std::invalid_argument{"mix_spectra: needs at least one component"};
+        }
+        SurfaceParams p{0.0, 0.0, 0.0};
+        double h2 = 0.0;
+        for (const auto& s : parts) {
+            if (!s) {
+                throw std::invalid_argument{"mix_spectra: null component"};
+            }
+            h2 += s->params().h * s->params().h;
+            p.clx = std::max(p.clx, s->params().clx);
+            p.cly = std::max(p.cly, s->params().cly);
+        }
+        p.h = std::sqrt(h2);
+        return p;
+    }
+
+    std::vector<SpectrumPtr> parts_;
+};
+
+}  // namespace
+
+SpectrumPtr rotate_spectrum(SpectrumPtr base, double theta_rad) {
+    if (!base) {
+        throw std::invalid_argument{"rotate_spectrum: null base"};
+    }
+    return std::make_shared<const RotatedSpectrum>(std::move(base), theta_rad);
+}
+
+SpectrumPtr mix_spectra(std::vector<SpectrumPtr> components) {
+    return std::make_shared<const MixtureSpectrum>(std::move(components));
+}
+
+}  // namespace rrs

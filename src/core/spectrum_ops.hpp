@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file spectrum_ops.hpp
+/// Spectrum combinators — extensions beyond the paper's three families that
+/// its framework supports unchanged ("arbitrary types of spectra", §1):
+///
+///  * rotate_spectrum — anisotropy along an arbitrary axis (ploughed
+///    fields, wind-driven sea swell): W'(K) = W(R_{−θ}K), ρ'(r) = ρ(R_{−θ}r).
+///  * mix_spectra — superposition of independent components (swell +
+///    ripple): W = ΣW_i, ρ = Σρ_i, h² = Σh_i².
+///
+/// Both compose with every generator in the library because the kernel
+/// builder only consumes W(K).
+
+#include <vector>
+
+#include "core/spectrum.hpp"
+
+namespace rrs {
+
+/// Rotate a spectrum's anisotropy axes by `theta_rad` counter-clockwise.
+SpectrumPtr rotate_spectrum(SpectrumPtr base, double theta_rad);
+
+/// Superpose independent spectra.  The combined parameters report
+/// h = sqrt(Σh_i²) and the largest component correlation lengths (a
+/// conservative scale for kernel sizing).
+SpectrumPtr mix_spectra(std::vector<SpectrumPtr> components);
+
+}  // namespace rrs

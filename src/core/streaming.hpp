@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file streaming.hpp
+/// Successive computation of arbitrarily long surfaces — paper §2.4:
+/// "once the weighting array is computed, we can generate any size of
+/// continuous RRSs".
+///
+/// StripStreamer walks a fixed-width strip in y-direction tiles.  Because
+/// the underlying generators draw noise as a pure function of lattice
+/// coordinates, consecutive tiles join seamlessly: the concatenation is
+/// bit-identical to a one-shot generation of the full strip (a test
+/// asserts this).  Works with any generator exposing
+/// `Array2D<double> generate(const Rect&) const`.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "grid/array2d.hpp"
+#include "grid/rect.hpp"
+
+namespace rrs {
+
+template <typename Generator>
+class StripStreamer {
+public:
+    /// Stream rows of the strip x ∈ [x0, x0+nx), starting at y = y0,
+    /// `rows_per_tile` lattice rows at a time.
+    StripStreamer(const Generator& gen, std::int64_t x0, std::int64_t nx, std::int64_t y0,
+                  std::int64_t rows_per_tile)
+        : gen_(&gen), x0_(x0), nx_(nx), y_(y0), rows_(rows_per_tile) {
+        if (nx <= 0 || rows_per_tile <= 0) {
+            throw std::invalid_argument{"StripStreamer: sizes must be positive"};
+        }
+    }
+
+    /// Lattice row the next tile starts at.
+    std::int64_t current_y() const noexcept { return y_; }
+
+    /// Generate the next tile ([x0, x0+nx) × [current_y, current_y+rows))
+    /// and advance.
+    Array2D<double> next() {
+        const Rect tile{x0_, y_, nx_, rows_};
+        y_ += rows_;
+        return gen_->generate(tile);
+    }
+
+    /// Generate `count` tiles concatenated into one array (helper for
+    /// continuity checks and the streaming bench).
+    Array2D<double> take(std::int64_t count) {
+        Array2D<double> out(static_cast<std::size_t>(nx_),
+                            static_cast<std::size_t>(rows_ * count));
+        for (std::int64_t t = 0; t < count; ++t) {
+            const Array2D<double> tile = next();
+            for (std::size_t iy = 0; iy < tile.ny(); ++iy) {
+                const auto oy = static_cast<std::size_t>(t * rows_) + iy;
+                for (std::size_t ix = 0; ix < tile.nx(); ++ix) {
+                    out(ix, oy) = tile(ix, iy);
+                }
+            }
+        }
+        return out;
+    }
+
+private:
+    const Generator* gen_;
+    std::int64_t x0_;
+    std::int64_t nx_;
+    std::int64_t y_;
+    std::int64_t rows_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,47 @@
+#include "core/surface.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rrs {
+
+Moments subgrid_moments(const Array2D<double>& f, std::size_t x0, std::size_t y0,
+                        std::size_t nx, std::size_t ny) {
+    if (x0 + nx > f.nx() || y0 + ny > f.ny()) {
+        throw std::out_of_range{"subgrid_moments: window exceeds array"};
+    }
+    MomentAccumulator acc;
+    for (std::size_t iy = y0; iy < y0 + ny; ++iy) {
+        for (std::size_t ix = x0; ix < x0 + nx; ++ix) {
+            acc.add(f(ix, iy));
+        }
+    }
+    return snapshot(acc);
+}
+
+std::vector<double> extract_row(const Array2D<double>& f, std::size_t iy) {
+    const auto row = f.row(iy);
+    return {row.begin(), row.end()};
+}
+
+std::vector<double> extract_column(const Array2D<double>& f, std::size_t ix) {
+    return column_copy(f, ix);
+}
+
+double rms_slope_x(const Array2D<double>& f, double dx) {
+    if (f.nx() < 2 || !(dx > 0.0)) {
+        throw std::invalid_argument{"rms_slope_x: need nx >= 2 and dx > 0"};
+    }
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t iy = 0; iy < f.ny(); ++iy) {
+        for (std::size_t ix = 0; ix + 1 < f.nx(); ++ix) {
+            const double s = (f(ix + 1, iy) - f(ix, iy)) / dx;
+            sum += s * s;
+            ++count;
+        }
+    }
+    return std::sqrt(sum / static_cast<double>(count));
+}
+
+}  // namespace rrs

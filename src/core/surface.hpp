@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file surface.hpp
+/// Value type bundling a generated height field with its lattice placement
+/// and physical spacing, plus the sub-region statistics helpers the figure
+/// benches report.
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/array2d.hpp"
+#include "grid/rect.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+
+/// A sampled rough surface: heights f(ix, iy) at physical positions
+/// (origin + index·spacing).
+struct Surface {
+    Array2D<double> heights;
+    Rect region;      ///< lattice placement on the unbounded output lattice
+    double dx = 1.0;  ///< physical spacing along x
+    double dy = 1.0;
+};
+
+/// Moments of an index-space sub-window [x0, x0+nx) × [y0, y0+ny).
+Moments subgrid_moments(const Array2D<double>& f, std::size_t x0, std::size_t y0,
+                        std::size_t nx, std::size_t ny);
+
+/// Copy of row iy (an x-profile, e.g. for propagation-path extraction).
+std::vector<double> extract_row(const Array2D<double>& f, std::size_t iy);
+
+/// Copy of column ix (a y-profile).
+std::vector<double> extract_column(const Array2D<double>& f, std::size_t ix);
+
+/// RMS of the discrete x-slope (f(ix+1)−f(ix))/dx over the whole field —
+/// a roughness figure used in the examples.
+double rms_slope_x(const Array2D<double>& f, double dx);
+
+}  // namespace rrs

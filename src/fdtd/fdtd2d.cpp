@@ -1,0 +1,231 @@
+#include "fdtd/fdtd2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+
+double FdtdProbe::peak_abs() const {
+    double m = 0.0;
+    for (const double v : samples) {
+        m = std::max(m, std::abs(v));
+    }
+    return m;
+}
+
+Fdtd2D::Fdtd2D(const FdtdConfig& config)
+    : nx_(config.nx), ny_(config.ny), S_(config.courant) {
+    if (nx_ < 8 || ny_ < 8) {
+        throw std::invalid_argument{"Fdtd2D: grid must be at least 8x8"};
+    }
+    if (!(S_ > 0.0) || S_ > 1.0 / kSqrt2 + 1e-12) {
+        throw std::invalid_argument{"Fdtd2D: Courant number must be in (0, 1/sqrt(2)]"};
+    }
+    mur_ = (S_ - 1.0) / (S_ + 1.0);
+    ez_.resize(nx_, ny_, 0.0);
+    hx_.resize(nx_, ny_ - 1, 0.0);
+    hy_.resize(nx_ - 1, ny_, 0.0);
+    pec_.resize(nx_, ny_, 0);
+}
+
+void Fdtd2D::set_pec(std::size_t ix, std::size_t iy, bool pec) {
+    pec_.at(ix, iy) = pec ? 1 : 0;
+    if (pec) {
+        ez_(ix, iy) = 0.0;
+    }
+}
+
+bool Fdtd2D::is_pec(std::size_t ix, std::size_t iy) const { return pec_.at(ix, iy) != 0; }
+
+void Fdtd2D::set_ground(const std::vector<double>& ground_height) {
+    if (ground_height.size() != nx_) {
+        throw std::invalid_argument{"Fdtd2D::set_ground: profile length mismatch"};
+    }
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+        const auto top = static_cast<std::ptrdiff_t>(std::floor(ground_height[ix]));
+        if (top < 0) {
+            continue;  // terrain entirely below the grid at this column
+        }
+        const std::size_t fill =
+            std::min(static_cast<std::size_t>(top), ny_ - 1);
+        for (std::size_t iy = 0; iy <= fill; ++iy) {
+            pec_(ix, iy) = 1;
+        }
+    }
+}
+
+std::size_t Fdtd2D::add_probe(std::size_t ix, std::size_t iy) {
+    if (ix >= nx_ || iy >= ny_) {
+        throw std::out_of_range{"Fdtd2D::add_probe: outside grid"};
+    }
+    probes_.push_back(FdtdProbe{ix, iy, {}});
+    return probes_.size() - 1;
+}
+
+void Fdtd2D::step_h() {
+    parallel_for(0, static_cast<std::int64_t>(ny_ - 1), [&](std::int64_t sy) {
+        const auto j = static_cast<std::size_t>(sy);
+        for (std::size_t i = 0; i < nx_; ++i) {
+            hx_(i, j) -= S_ * (ez_(i, j + 1) - ez_(i, j));
+        }
+    });
+    parallel_for(0, static_cast<std::int64_t>(ny_), [&](std::int64_t sy) {
+        const auto j = static_cast<std::size_t>(sy);
+        for (std::size_t i = 0; i + 1 < nx_; ++i) {
+            hy_(i, j) += S_ * (ez_(i + 1, j) - ez_(i, j));
+        }
+    });
+}
+
+void Fdtd2D::step_e() {
+    // Save the pre-update (time n) edge and inner-neighbour values the Mur
+    // boundary update needs.
+    std::vector<double> old_left(ny_), old_right(ny_), old_bottom(nx_), old_top(nx_);
+    std::vector<double> old_in_left(ny_), old_in_right(ny_), old_in_bottom(nx_),
+        old_in_top(nx_);
+    for (std::size_t j = 0; j < ny_; ++j) {
+        old_left[j] = ez_(0, j);
+        old_right[j] = ez_(nx_ - 1, j);
+        old_in_left[j] = ez_(1, j);
+        old_in_right[j] = ez_(nx_ - 2, j);
+    }
+    for (std::size_t i = 0; i < nx_; ++i) {
+        old_bottom[i] = ez_(i, 0);
+        old_top[i] = ez_(i, ny_ - 1);
+        old_in_bottom[i] = ez_(i, 1);
+        old_in_top[i] = ez_(i, ny_ - 2);
+    }
+
+    // Interior update.
+    parallel_for(1, static_cast<std::int64_t>(ny_ - 1), [&](std::int64_t sy) {
+        const auto j = static_cast<std::size_t>(sy);
+        for (std::size_t i = 1; i + 1 < nx_; ++i) {
+            ez_(i, j) += S_ * (hy_(i, j) - hy_(i - 1, j) - hx_(i, j) + hx_(i, j - 1));
+        }
+    });
+
+    // First-order Mur ABC on the four open edges:
+    // Ez^{n+1}(edge) = Ez^n(inner) + mur·(Ez^{n+1}(inner) − Ez^n(edge)).
+    for (std::size_t j = 1; j + 1 < ny_; ++j) {
+        ez_(0, j) = old_in_left[j] + mur_ * (ez_(1, j) - old_left[j]);
+        ez_(nx_ - 1, j) = old_in_right[j] + mur_ * (ez_(nx_ - 2, j) - old_right[j]);
+    }
+    for (std::size_t i = 1; i + 1 < nx_; ++i) {
+        ez_(i, 0) = old_in_bottom[i] + mur_ * (ez_(i, 1) - old_bottom[i]);
+        ez_(i, ny_ - 1) = old_in_top[i] + mur_ * (ez_(i, ny_ - 2) - old_top[i]);
+    }
+    // Corners: simple copy from the diagonal neighbour (adequate at first order).
+    ez_(0, 0) = ez_(1, 1);
+    ez_(nx_ - 1, 0) = ez_(nx_ - 2, 1);
+    ez_(0, ny_ - 1) = ez_(1, ny_ - 2);
+    ez_(nx_ - 1, ny_ - 1) = ez_(nx_ - 2, ny_ - 2);
+}
+
+void Fdtd2D::enforce_pec() {
+    for (std::size_t j = 0; j < ny_; ++j) {
+        for (std::size_t i = 0; i < nx_; ++i) {
+            if (pec_(i, j) != 0) {
+                ez_(i, j) = 0.0;
+            }
+        }
+    }
+}
+
+void Fdtd2D::record_probes() {
+    for (auto& p : probes_) {
+        p.samples.push_back(ez_(p.ix, p.iy));
+    }
+}
+
+double Fdtd2D::max_abs_ez() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < ez_.size(); ++i) {
+        m = std::max(m, std::abs(ez_.data()[i]));
+    }
+    return m;
+}
+
+double GaussianPulse::operator()(std::size_t n) const {
+    const double t = (static_cast<double>(n) - delay) / width;
+    return std::exp(-t * t);
+}
+
+double CwSource::operator()(std::size_t n) const {
+    const double t = static_cast<double>(n);
+    const double envelope = t < ramp ? 0.5 * (1.0 - std::cos(kPi * t / ramp)) : 1.0;
+    return envelope * std::sin(kTwoPi * t / period);
+}
+
+RoughGroundResult rough_ground_cw_sweep(const std::vector<double>& ground,
+                                        double source_height, double probe_height,
+                                        const std::vector<std::size_t>& probe_offsets,
+                                        double wavelength_cells, std::size_t sky_cells,
+                                        std::size_t probe_stack) {
+    if (ground.empty() || probe_offsets.empty() || probe_stack == 0) {
+        throw std::invalid_argument{"rough_ground_cw_sweep: empty inputs"};
+    }
+    const double gmax = *std::max_element(ground.begin(), ground.end());
+    const double gmin = *std::min_element(ground.begin(), ground.end());
+
+    FdtdConfig cfg;
+    cfg.nx = ground.size();
+    cfg.ny = static_cast<std::size_t>(gmax - gmin) +
+             static_cast<std::size_t>(source_height + probe_height) + sky_cells +
+             2 * probe_stack + 8;
+    cfg.courant = 0.5;
+    Fdtd2D sim(cfg);
+
+    // Shift terrain so its minimum sits 2 cells above the bottom edge.
+    std::vector<double> shifted(ground.size());
+    for (std::size_t i = 0; i < ground.size(); ++i) {
+        shifted[i] = ground[i] - gmin + 2.0;
+    }
+    sim.set_ground(shifted);
+
+    const std::size_t src_ix = 4;
+    const auto src_iy = static_cast<std::size_t>(shifted[src_ix] + source_height);
+    std::vector<std::vector<std::size_t>> probe_idx(probe_offsets.size());
+    for (std::size_t k = 0; k < probe_offsets.size(); ++k) {
+        const std::size_t off = probe_offsets[k];
+        if (off >= ground.size()) {
+            throw std::invalid_argument{"rough_ground_cw_sweep: probe beyond profile"};
+        }
+        for (std::size_t s = 0; s < probe_stack; ++s) {
+            probe_idx[k].push_back(sim.add_probe(
+                off, static_cast<std::size_t>(shifted[off] + probe_height) + 2 * s));
+        }
+    }
+
+    // CW period in steps is wavelength (cells) / (c·Δt) = wavelength / S.
+    // Run long enough for the wave to cross the grid and settle.
+    CwSource src{wavelength_cells / cfg.courant, 3.0 * wavelength_cells / cfg.courant};
+    const auto steps = static_cast<std::size_t>(
+        static_cast<double>(ground.size()) / cfg.courant + 8.0 * src.period);
+    sim.run(steps, src_ix, src_iy, src);
+
+    // Steady-state amplitude: per probe, the peak |Ez| over the last two
+    // cycles; per offset, the RMS over the vertical stack.
+    RoughGroundResult out;
+    const auto tail = static_cast<std::size_t>(2.0 * src.period);
+    for (std::size_t k = 0; k < probe_idx.size(); ++k) {
+        double sum2 = 0.0;
+        for (const std::size_t idx : probe_idx[k]) {
+            const auto& samples = sim.probe(idx).samples;
+            double amp = 0.0;
+            for (std::size_t n = samples.size() > tail ? samples.size() - tail : 0;
+                 n < samples.size(); ++n) {
+                amp = std::max(amp, std::abs(samples[n]));
+            }
+            sum2 += amp * amp;
+        }
+        out.distance.push_back(static_cast<double>(probe_offsets[k] - src_ix));
+        out.amplitude.push_back(std::sqrt(sum2 / static_cast<double>(probe_idx[k].size())));
+    }
+    return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,160 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "special/constants.hpp"
+
+namespace rrs {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t m = 1;
+    while (m < n) {
+        m <<= 1;
+    }
+    return m;
+}
+
+}  // namespace
+
+Fft1D::Fft1D(std::size_t n) : n_(n) {
+    if (n == 0) {
+        throw std::invalid_argument{"Fft1D: length must be positive"};
+    }
+    const std::size_t m = is_pow2(n) ? n : next_pow2(2 * n - 1);
+    m_ = is_pow2(n) ? 0 : m;
+
+    // Twiddles and bit-reversal for the radix-2 engine of length m.
+    twiddle_.resize(m / 2);
+    for (std::size_t k = 0; k < m / 2; ++k) {
+        const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(m);
+        twiddle_[k] = cplx{std::cos(ang), std::sin(ang)};
+    }
+    bitrev_.resize(m);
+    std::uint32_t bits = 0;
+    while ((std::size_t{1} << bits) < m) {
+        ++bits;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        std::uint32_t r = 0;
+        for (std::uint32_t b = 0; b < bits; ++b) {
+            r |= ((static_cast<std::uint32_t>(i) >> b) & 1u) << (bits - 1u - b);
+        }
+        bitrev_[i] = r;
+    }
+
+    if (m_ != 0) {
+        // Bluestein precomputation.  Chirp phases use k² mod 2n to keep the
+        // sine argument small (exp(−iπk²/n) is 2n-periodic in k²).
+        chirp_.resize(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t k2 = (k * k) % (2 * n);
+            const double ang = -kPi * static_cast<double>(k2) / static_cast<double>(n);
+            chirp_[k] = cplx{std::cos(ang), std::sin(ang)};
+        }
+        // b_j = conj(chirp_|j|) laid out cyclically over length m, then
+        // forward-transformed once.
+        chirp_fft_.assign(m, cplx{});
+        chirp_fft_[0] = std::conj(chirp_[0]);
+        for (std::size_t k = 1; k < n; ++k) {
+            chirp_fft_[k] = std::conj(chirp_[k]);
+            chirp_fft_[m - k] = std::conj(chirp_[k]);
+        }
+        pow2_transform(chirp_fft_.data(), m, false);
+    }
+}
+
+void Fft1D::pow2_transform(cplx* a, std::size_t n, bool inv) const {
+    // Bit-reversal permutation.  When n is the plan's pow2 engine length the
+    // cached table applies directly; Bluestein always calls with n == m.
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = bitrev_[i];
+        if (i < j) {
+            std::swap(a[i], a[j]);
+        }
+    }
+    const std::size_t full = bitrev_.size();
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len / 2;
+        const std::size_t step = full / len;
+        for (std::size_t base = 0; base < n; base += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+                const cplx w = inv ? std::conj(twiddle_[k * step]) : twiddle_[k * step];
+                const cplx u = a[base + k];
+                const cplx v = a[base + k + half] * w;
+                a[base + k] = u + v;
+                a[base + k + half] = u - v;
+            }
+        }
+    }
+    if (inv) {
+        const double s = 1.0 / static_cast<double>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] *= s;
+        }
+    }
+}
+
+void Fft1D::bluestein_forward(std::span<cplx> data) const {
+    // X_v = chirp_v · Σ_n (x_n chirp_n) · conj(chirp)_{v−n}  — a cyclic
+    // convolution of length m_ evaluated by the pow2 engine.
+    std::vector<cplx> a(m_, cplx{});
+    for (std::size_t k = 0; k < n_; ++k) {
+        a[k] = data[k] * chirp_[k];
+    }
+    pow2_transform(a.data(), m_, false);
+    for (std::size_t k = 0; k < m_; ++k) {
+        a[k] *= chirp_fft_[k];
+    }
+    pow2_transform(a.data(), m_, true);
+    for (std::size_t k = 0; k < n_; ++k) {
+        data[k] = a[k] * chirp_[k];
+    }
+}
+
+void Fft1D::forward(std::span<cplx> data) const {
+    if (data.size() != n_) {
+        throw std::invalid_argument{"Fft1D::forward: length mismatch"};
+    }
+    if (m_ == 0) {
+        pow2_transform(data.data(), n_, false);
+    } else {
+        bluestein_forward(data);
+    }
+}
+
+void Fft1D::inverse(std::span<cplx> data) const {
+    if (data.size() != n_) {
+        throw std::invalid_argument{"Fft1D::inverse: length mismatch"};
+    }
+    if (m_ == 0) {
+        pow2_transform(data.data(), n_, true);
+        return;
+    }
+    // inverse(x) = conj(forward(conj(x))) / n  — reuses the Bluestein path.
+    for (auto& z : data) {
+        z = std::conj(z);
+    }
+    bluestein_forward(data);
+    const double s = 1.0 / static_cast<double>(n_);
+    for (auto& z : data) {
+        z = std::conj(z) * s;
+    }
+}
+
+std::shared_ptr<const Fft1D> fft_plan(std::size_t n) {
+    static std::mutex mutex;
+    static std::unordered_map<std::size_t, std::shared_ptr<const Fft1D>> cache;
+    std::lock_guard lock(mutex);
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        it = cache.emplace(n, std::make_shared<const Fft1D>(n)).first;
+    }
+    return it->second;
+}
+
+}  // namespace rrs

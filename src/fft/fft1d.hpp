@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file fft1d.hpp
+/// One-dimensional complex FFT, implemented from scratch.
+///
+/// Conventions match the paper's DFT pair (eqs. 11–12):
+///   forward : F_v = Σ_n f_n e^{−j2πnv/N}        (unnormalised)
+///   inverse : f_n = (1/N) Σ_v F_v e^{+j2πnv/N}
+///
+/// Power-of-two lengths use an iterative radix-2 Cooley–Tukey with cached
+/// twiddles and bit-reversal table; every other length uses Bluestein's
+/// chirp-z algorithm (re-expressing the DFT as a power-of-two cyclic
+/// convolution), so any N is supported in O(N log N).
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace rrs {
+
+using cplx = std::complex<double>;
+
+/// Reusable transform plan for a fixed length.  Thread-safe for concurrent
+/// `forward`/`inverse` calls (all mutable state lives on the caller's data
+/// or in per-call scratch).
+class Fft1D {
+public:
+    explicit Fft1D(std::size_t n);
+
+    std::size_t size() const noexcept { return n_; }
+
+    /// In-place forward DFT of `data` (length must equal size()).
+    void forward(std::span<cplx> data) const;
+
+    /// In-place inverse DFT (includes the 1/N factor).
+    void inverse(std::span<cplx> data) const;
+
+    static bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+private:
+    void pow2_transform(cplx* a, std::size_t n, bool inv) const;
+    void bluestein_forward(std::span<cplx> data) const;
+
+    std::size_t n_;
+    // Radix-2 machinery (for n_ itself when pow2, and for the Bluestein
+    // convolution length m_ otherwise).
+    std::vector<cplx> twiddle_;          // exp(−2πik/m), k < m/2
+    std::vector<std::uint32_t> bitrev_;  // bit-reversal permutation for m
+    // Bluestein machinery (empty when n_ is a power of two).
+    std::size_t m_ = 0;               // pow2 convolution length >= 2n−1
+    std::vector<cplx> chirp_;         // c_k = exp(−iπ k²/n), k < n
+    std::vector<cplx> chirp_fft_;     // forward FFT of zero-padded conj chirp
+};
+
+/// Process-wide plan cache; plans are immutable once built.
+std::shared_ptr<const Fft1D> fft_plan(std::size_t n);
+
+}  // namespace rrs

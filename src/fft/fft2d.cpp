@@ -1,0 +1,82 @@
+#include "fft/fft2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace rrs {
+
+Fft2D::Fft2D(std::size_t nx, std::size_t ny)
+    : nx_(nx), ny_(ny), row_plan_(fft_plan(nx)), col_plan_(fft_plan(ny)) {
+    if (nx == 0 || ny == 0) {
+        throw std::invalid_argument{"Fft2D: dimensions must be positive"};
+    }
+}
+
+void Fft2D::transform(Array2D<cplx>& a, bool inv) const {
+    if (a.nx() != nx_ || a.ny() != ny_) {
+        throw std::invalid_argument{"Fft2D: shape mismatch"};
+    }
+    // Row pass: rows are contiguous, embarrassingly parallel.
+    parallel_for(0, static_cast<std::int64_t>(ny_), [&](std::int64_t iy) {
+        auto row = a.row(static_cast<std::size_t>(iy));
+        if (inv) {
+            row_plan_->inverse(row);
+        } else {
+            row_plan_->forward(row);
+        }
+    });
+    // Column pass: gather each column into a contiguous scratch buffer.
+    // One buffer per chunk (not per column) keeps allocations off the
+    // critical path.
+    parallel_for_chunks(0, static_cast<std::int64_t>(nx_), [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<cplx> col(ny_);
+        for (std::int64_t sx = lo; sx < hi; ++sx) {
+            const auto ix = static_cast<std::size_t>(sx);
+            for (std::size_t iy = 0; iy < ny_; ++iy) {
+                col[iy] = a(ix, iy);
+            }
+            if (inv) {
+                col_plan_->inverse(col);
+            } else {
+                col_plan_->forward(col);
+            }
+            for (std::size_t iy = 0; iy < ny_; ++iy) {
+                a(ix, iy) = col[iy];
+            }
+        }
+    });
+}
+
+void Fft2D::forward(Array2D<cplx>& a) const { transform(a, false); }
+
+void Fft2D::inverse(Array2D<cplx>& a) const { transform(a, true); }
+
+Array2D<cplx> fft2d_forward(const Array2D<double>& a) {
+    Array2D<cplx> c(a.nx(), a.ny());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data()[i] = cplx{a.data()[i], 0.0};
+    }
+    Fft2D plan(a.nx(), a.ny());
+    plan.forward(c);
+    return c;
+}
+
+Array2D<double> fft2d_inverse_real(Array2D<cplx> a, double* max_imag) {
+    Fft2D plan(a.nx(), a.ny());
+    plan.inverse(a);
+    Array2D<double> out(a.nx(), a.ny());
+    double mi = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out.data()[i] = a.data()[i].real();
+        mi = std::max(mi, std::abs(a.data()[i].imag()));
+    }
+    if (max_imag != nullptr) {
+        *max_imag = mi;
+    }
+    return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file fft2d.hpp
+/// Two-dimensional complex FFT over Array2D, parallelised across rows and
+/// columns.  Same conventions as Fft1D: forward unnormalised, inverse
+/// carries 1/(Nx·Ny) — exactly the paper's eqs. (11)–(12).
+
+#include <complex>
+#include <memory>
+
+#include "fft/fft1d.hpp"
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Reusable 2-D transform plan for a fixed (nx, ny) shape.
+class Fft2D {
+public:
+    Fft2D(std::size_t nx, std::size_t ny);
+
+    std::size_t nx() const noexcept { return nx_; }
+    std::size_t ny() const noexcept { return ny_; }
+
+    /// In-place forward 2-D DFT.
+    void forward(Array2D<cplx>& a) const;
+
+    /// In-place inverse 2-D DFT (includes 1/(Nx·Ny)).
+    void inverse(Array2D<cplx>& a) const;
+
+private:
+    void transform(Array2D<cplx>& a, bool inv) const;
+
+    std::size_t nx_;
+    std::size_t ny_;
+    std::shared_ptr<const Fft1D> row_plan_;
+    std::shared_ptr<const Fft1D> col_plan_;
+};
+
+/// Forward 2-D DFT of a real array (convenience; promotes to complex).
+Array2D<cplx> fft2d_forward(const Array2D<double>& a);
+
+/// Inverse 2-D DFT returning the real part; `max_imag` (if non-null)
+/// receives the largest |imaginary| component — a Hermitian-symmetry check.
+Array2D<double> fft2d_inverse_real(Array2D<cplx> a, double* max_imag = nullptr);
+
+}  // namespace rrs

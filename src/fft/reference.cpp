@@ -1,0 +1,48 @@
+#include "fft/reference.hpp"
+
+#include <cmath>
+
+#include "special/constants.hpp"
+
+namespace rrs {
+
+std::vector<cplx> naive_dft(const std::vector<cplx>& x, bool inverse) {
+    const std::size_t n = x.size();
+    const double sign = inverse ? 1.0 : -1.0;
+    std::vector<cplx> out(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        cplx acc{};
+        for (std::size_t k = 0; k < n; ++k) {
+            const double ang = sign * kTwoPi * static_cast<double>(v * k % n) /
+                               static_cast<double>(n);
+            acc += x[k] * cplx{std::cos(ang), std::sin(ang)};
+        }
+        out[v] = inverse ? acc / static_cast<double>(n) : acc;
+    }
+    return out;
+}
+
+Array2D<cplx> naive_dft2d(const Array2D<cplx>& f, bool inverse) {
+    const std::size_t nx = f.nx();
+    const std::size_t ny = f.ny();
+    const double sign = inverse ? 1.0 : -1.0;
+    Array2D<cplx> out(nx, ny);
+    for (std::size_t vy = 0; vy < ny; ++vy) {
+        for (std::size_t vx = 0; vx < nx; ++vx) {
+            cplx acc{};
+            for (std::size_t iy = 0; iy < ny; ++iy) {
+                for (std::size_t ix = 0; ix < nx; ++ix) {
+                    const double ang =
+                        sign * kTwoPi *
+                        (static_cast<double>(ix * vx % nx) / static_cast<double>(nx) +
+                         static_cast<double>(iy * vy % ny) / static_cast<double>(ny));
+                    acc += f(ix, iy) * cplx{std::cos(ang), std::sin(ang)};
+                }
+            }
+            out(vx, vy) = inverse ? acc / static_cast<double>(nx * ny) : acc;
+        }
+    }
+    return out;
+}
+
+}  // namespace rrs

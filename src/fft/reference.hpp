@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file reference.hpp
+/// Naive O(N²) DFTs — the oracle the FFT is validated against, transcribing
+/// the paper's eqs. (11)–(12) literally.  Slow by design; used only in tests
+/// and accuracy benches.
+
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Literal eq. (11) in one dimension (forward, unnormalised).
+std::vector<cplx> naive_dft(const std::vector<cplx>& x, bool inverse = false);
+
+/// Literal eq. (11): F_{vx,vy} = Σ f e^{−j2π(nx·vx/Nx + ny·vy/Ny)}.
+Array2D<cplx> naive_dft2d(const Array2D<cplx>& f, bool inverse = false);
+
+}  // namespace rrs

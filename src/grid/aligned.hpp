@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file aligned.hpp
+/// Cache-line aligned allocator used by the dense array containers.
+///
+/// FFT butterflies and convolution inner loops stream contiguously through
+/// large buffers; 64-byte alignment keeps rows from straddling cache lines
+/// and lets the compiler emit aligned vector loads.
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace rrs {
+
+/// Minimal C++20 allocator returning storage aligned to `Alignment` bytes.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+public:
+    static_assert(Alignment >= alignof(T), "alignment must satisfy the type");
+    static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+    using value_type = T;
+    using size_type = std::size_t;
+    using difference_type = std::ptrdiff_t;
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+    [[nodiscard]] T* allocate(size_type n) {
+        if (n > std::numeric_limits<size_type>::max() / sizeof(T)) {
+            throw std::bad_alloc{};
+        }
+        // operator new with align_val_t is the portable aligned path.
+        void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});
+        return static_cast<T*>(p);
+    }
+
+    void deallocate(T* p, size_type) noexcept {
+        ::operator delete(p, std::align_val_t{Alignment});
+    }
+
+    friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+        return true;
+    }
+};
+
+}  // namespace rrs

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file array2d.hpp
+/// Dense row-major 2-D array, the workhorse container of librrs.
+///
+/// Orientation convention (used everywhere in the library): a surface sample
+/// is `f(ix, iy)` with `ix` the fast (contiguous) index along the x-axis and
+/// `iy` the slow index along the y-axis, i.e. storage offset
+/// `iy * nx + ix`.  This matches the paper's `f_{nx,ny}` (eq. 36).
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "grid/aligned.hpp"
+
+namespace rrs {
+
+/// Dense, cache-aligned, row-major 2-D array.
+template <typename T>
+class Array2D {
+public:
+    using value_type = T;
+    using storage_type = std::vector<T, AlignedAllocator<T, 64>>;
+
+    Array2D() noexcept = default;
+
+    /// Construct an `nx` by `ny` array filled with `init`.
+    Array2D(std::size_t nx, std::size_t ny, const T& init = T{})
+        : nx_(nx), ny_(ny), data_(nx * ny, init) {}
+
+    std::size_t nx() const noexcept { return nx_; }
+    std::size_t ny() const noexcept { return ny_; }
+    std::size_t size() const noexcept { return data_.size(); }
+    bool empty() const noexcept { return data_.empty(); }
+
+    /// Unchecked element access; offset = iy*nx + ix.
+    T& operator()(std::size_t ix, std::size_t iy) noexcept { return data_[iy * nx_ + ix]; }
+    const T& operator()(std::size_t ix, std::size_t iy) const noexcept {
+        return data_[iy * nx_ + ix];
+    }
+
+    /// Bounds-checked element access.
+    T& at(std::size_t ix, std::size_t iy) {
+        check(ix, iy);
+        return data_[iy * nx_ + ix];
+    }
+    const T& at(std::size_t ix, std::size_t iy) const {
+        check(ix, iy);
+        return data_[iy * nx_ + ix];
+    }
+
+    T* data() noexcept { return data_.data(); }
+    const T* data() const noexcept { return data_.data(); }
+
+    auto begin() noexcept { return data_.begin(); }
+    auto end() noexcept { return data_.end(); }
+    auto begin() const noexcept { return data_.begin(); }
+    auto end() const noexcept { return data_.end(); }
+
+    /// Contiguous view of row `iy` (all x at fixed y).
+    std::span<T> row(std::size_t iy) noexcept { return {data_.data() + iy * nx_, nx_}; }
+    std::span<const T> row(std::size_t iy) const noexcept {
+        return {data_.data() + iy * nx_, nx_};
+    }
+
+    void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /// Discard contents and adopt new dimensions.
+    void resize(std::size_t nx, std::size_t ny, const T& init = T{}) {
+        nx_ = nx;
+        ny_ = ny;
+        data_.assign(nx * ny, init);
+    }
+
+    void swap(Array2D& other) noexcept {
+        std::swap(nx_, other.nx_);
+        std::swap(ny_, other.ny_);
+        data_.swap(other.data_);
+    }
+
+    friend bool operator==(const Array2D& a, const Array2D& b) {
+        return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.data_ == b.data_;
+    }
+
+private:
+    void check(std::size_t ix, std::size_t iy) const {
+        if (ix >= nx_ || iy >= ny_) {
+            throw std::out_of_range{"Array2D::at: index out of range"};
+        }
+    }
+
+    std::size_t nx_ = 0;
+    std::size_t ny_ = 0;
+    storage_type data_;
+};
+
+/// Extract column `ix` into a contiguous vector (columns are strided in
+/// storage; used by the 2-D FFT's column passes).
+template <typename T>
+std::vector<T> column_copy(const Array2D<T>& a, std::size_t ix) {
+    std::vector<T> col(a.ny());
+    for (std::size_t iy = 0; iy < a.ny(); ++iy) {
+        col[iy] = a(ix, iy);
+    }
+    return col;
+}
+
+/// Elementwise maximum absolute difference between two equal-shape arrays.
+template <typename T>
+double max_abs_diff(const Array2D<T>& a, const Array2D<T>& b) {
+    if (a.nx() != b.nx() || a.ny() != b.ny()) {
+        throw std::invalid_argument{"max_abs_diff: shape mismatch"};
+    }
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        using std::abs;
+        const double d = static_cast<double>(abs(a.data()[i] - b.data()[i]));
+        m = std::max(m, d);
+    }
+    return m;
+}
+
+}  // namespace rrs

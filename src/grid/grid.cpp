@@ -1,0 +1,19 @@
+/// \file grid.cpp
+/// Explicit instantiations of the container templates used across librrs;
+/// keeps one definition in the library and speeds up downstream builds.
+
+#include "grid/array2d.hpp"
+#include "grid/permute.hpp"
+
+#include <complex>
+
+namespace rrs {
+
+template class Array2D<double>;
+template class Array2D<float>;
+template class Array2D<std::complex<double>>;
+
+template Array2D<double> fftshift(const Array2D<double>&);
+template Array2D<std::complex<double>> fftshift(const Array2D<std::complex<double>>&);
+
+}  // namespace rrs

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file permute.hpp
+/// DFT index bookkeeping: signed-frequency mapping (paper eq. 16) and the
+/// kernel-centering permutation (paper eq. 35, i.e. fftshift).
+
+#include <cstddef>
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Paper eq. (16): map DFT bin `m` in [0, 2M) to the signed frequency index
+/// `m̄` in [-M, M): bins below M are non-negative frequencies, bins at or
+/// above M alias to negative frequencies.
+///
+/// The paper writes the symmetric fold `m̄ = 2M - m` for m >= M because its
+/// spectra are even in K; for even spectra `W(K_{2M-m}) = W(K_{m-2M})`, so we
+/// use the conventional signed alias (m - 2M) which is also correct for
+/// general spectra.
+inline std::ptrdiff_t signed_freq(std::size_t m, std::size_t M) noexcept {
+    const auto sm = static_cast<std::ptrdiff_t>(m);
+    const auto sM = static_cast<std::ptrdiff_t>(M);
+    return sm < sM ? sm : sm - 2 * sM;
+}
+
+/// Paper eq. (35): the permutation that moves the zero-lag tap of the
+/// convolution kernel to the array centre, `k̄ = k + M (k < M)`,
+/// `k̄ = k - M (k >= M)`.  For an array of length 2M this is its own inverse
+/// and coincides with the usual fftshift.
+inline std::size_t fftshift_index(std::size_t k, std::size_t M) noexcept {
+    return k < M ? k + M : k - M;
+}
+
+/// Out-of-place 2-D fftshift; both dimensions must be even (the paper's
+/// grids are 2Mx by 2My).
+template <typename T>
+Array2D<T> fftshift(const Array2D<T>& in) {
+    const std::size_t Mx = in.nx() / 2;
+    const std::size_t My = in.ny() / 2;
+    Array2D<T> out(in.nx(), in.ny());
+    for (std::size_t iy = 0; iy < in.ny(); ++iy) {
+        const std::size_t oy = fftshift_index(iy, My);
+        for (std::size_t ix = 0; ix < in.nx(); ++ix) {
+            out(fftshift_index(ix, Mx), oy) = in(ix, iy);
+        }
+    }
+    return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,391 @@
+#include "io/scene.hpp"
+
+#include <cmath>
+#include <istream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "core/inhomogeneous.hpp"
+#include "core/polygon_map.hpp"
+#include "core/spectrum_ops.hpp"
+#include "io/writers.hpp"
+
+namespace rrs {
+
+SceneError::SceneError(std::size_t line, const std::string& message)
+    : std::runtime_error("scene:" + std::to_string(line) + ": " + message), line_(line) {}
+
+namespace {
+
+/// Raw key/value content of one section, with line numbers for errors.
+struct Section {
+    std::string kind;  ///< "" (top level), "spectrum", or "map"
+    std::string name;  ///< spectrum name
+    std::size_t line = 0;
+    // Repeated keys are kept in order (plates/points need that).
+    std::vector<std::tuple<std::string, std::string, std::size_t>> entries;
+
+    /// Last value for `key`, or empty if absent.
+    std::string get(const std::string& key) const {
+        std::string out;
+        for (const auto& [k, v, l] : entries) {
+            if (k == key) {
+                out = v;
+            }
+        }
+        return out;
+    }
+
+    std::size_t line_of(const std::string& key) const {
+        for (const auto& [k, v, l] : entries) {
+            if (k == key) {
+                return l;
+            }
+        }
+        return line;
+    }
+
+    bool has(const std::string& key) const { return !get(key).empty(); }
+};
+
+std::string trim(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) {
+        return "";
+    }
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream ss(s);
+    std::string tok;
+    while (ss >> tok) {
+        out.push_back(tok);
+    }
+    return out;
+}
+
+double parse_number(const std::string& tok, std::size_t line) {
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(tok, &pos);
+    } catch (const std::exception&) {
+        throw SceneError(line, "expected a number, got '" + tok + "'");
+    }
+    if (pos != tok.size()) {
+        throw SceneError(line, "trailing characters in number '" + tok + "'");
+    }
+    return v;
+}
+
+std::vector<double> parse_numbers(const Section& sec, const std::string& key,
+                                  std::size_t want_min, std::size_t want_max) {
+    const std::string raw = sec.get(key);
+    const std::size_t line = sec.line_of(key);
+    if (raw.empty()) {
+        throw SceneError(line, "missing required key '" + key + "'");
+    }
+    const auto toks = split_ws(raw);
+    if (toks.size() < want_min || toks.size() > want_max) {
+        throw SceneError(line, "key '" + key + "' expects " + std::to_string(want_min) +
+                                   (want_max > want_min
+                                        ? ".." + std::to_string(want_max)
+                                        : "") +
+                                   " numbers");
+    }
+    std::vector<double> out;
+    out.reserve(toks.size());
+    for (const auto& t : toks) {
+        out.push_back(parse_number(t, line));
+    }
+    return out;
+}
+
+SpectrumPtr build_spectrum(const Section& sec) {
+    const std::string family = sec.get("family");
+    if (family.empty()) {
+        throw SceneError(sec.line, "spectrum '" + sec.name + "' missing 'family'");
+    }
+    const auto h = parse_numbers(sec, "h", 1, 1)[0];
+    const auto cl = parse_numbers(sec, "cl", 1, 2);
+    const SurfaceParams p{h, cl[0], cl.size() > 1 ? cl[1] : cl[0]};
+
+    SpectrumPtr s;
+    try {
+        if (family == "gaussian") {
+            s = make_gaussian(p);
+        } else if (family == "exponential") {
+            s = make_exponential(p);
+        } else if (family == "power-law") {
+            s = make_power_law(p, parse_numbers(sec, "N", 1, 1)[0]);
+        } else {
+            throw SceneError(sec.line_of("family"),
+                             "unknown spectrum family '" + family + "'");
+        }
+        if (sec.has("rotate")) {
+            s = rotate_spectrum(s, parse_numbers(sec, "rotate", 1, 1)[0]);
+        }
+    } catch (const std::invalid_argument& e) {
+        throw SceneError(sec.line, std::string{"spectrum '"} + sec.name + "': " + e.what());
+    }
+    return s;
+}
+
+SpectrumPtr lookup(const std::map<std::string, SpectrumPtr>& spectra,
+                   const Section& sec, const std::string& key) {
+    const std::string name = trim(sec.get(key));
+    if (name.empty()) {
+        throw SceneError(sec.line, "map missing required key '" + key + "'");
+    }
+    const auto it = spectra.find(name);
+    if (it == spectra.end()) {
+        throw SceneError(sec.line_of(key), "unknown spectrum '" + name + "'");
+    }
+    return it->second;
+}
+
+RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumPtr>& spectra) {
+    const std::string type = sec.get("type");
+    if (type.empty()) {
+        throw SceneError(sec.line, "[map] missing 'type'");
+    }
+    try {
+        if (type == "homogeneous") {
+            // A single unbounded plate reproduces the homogeneous generator.
+            const SpectrumPtr s = lookup(spectra, sec, "spectrum");
+            return std::make_shared<const PlateMap>(
+                std::vector<Plate>{{-1e18, 1e18, -1e18, 1e18, s}}, 1.0);
+        }
+        if (type == "circle") {
+            const auto c = parse_numbers(sec, "center", 2, 2);
+            return std::make_shared<const CircleMap>(
+                c[0], c[1], parse_numbers(sec, "radius", 1, 1)[0],
+                lookup(spectra, sec, "inside"), lookup(spectra, sec, "outside"),
+                parse_numbers(sec, "transition", 1, 1)[0]);
+        }
+        if (type == "quadrant") {
+            const auto c = parse_numbers(sec, "center", 2, 2);
+            return make_quadrant_map(c[0], c[1], parse_numbers(sec, "extent", 1, 1)[0],
+                                     lookup(spectra, sec, "q1"), lookup(spectra, sec, "q2"),
+                                     lookup(spectra, sec, "q3"), lookup(spectra, sec, "q4"),
+                                     parse_numbers(sec, "transition", 1, 1)[0]);
+        }
+        if (type == "plates") {
+            std::vector<Plate> plates;
+            for (const auto& [k, v, line] : sec.entries) {
+                if (k != "plate") {
+                    continue;
+                }
+                const auto toks = split_ws(v);
+                if (toks.size() != 5) {
+                    throw SceneError(line, "'plate' expects: x0 x1 y0 y1 SPECTRUM");
+                }
+                const auto it = spectra.find(toks[4]);
+                if (it == spectra.end()) {
+                    throw SceneError(line, "unknown spectrum '" + toks[4] + "'");
+                }
+                plates.push_back(Plate{parse_number(toks[0], line),
+                                       parse_number(toks[1], line),
+                                       parse_number(toks[2], line),
+                                       parse_number(toks[3], line), it->second});
+            }
+            if (plates.empty()) {
+                throw SceneError(sec.line, "'plates' map needs at least one 'plate ='");
+            }
+            return std::make_shared<const PlateMap>(
+                std::move(plates), parse_numbers(sec, "transition", 1, 1)[0]);
+        }
+        if (type == "polygon") {
+            std::vector<PolyVertex> verts;
+            for (const auto& [k, v, line] : sec.entries) {
+                if (k != "vertex") {
+                    continue;
+                }
+                const auto toks = split_ws(v);
+                if (toks.size() != 2) {
+                    throw SceneError(line, "'vertex' expects: x y");
+                }
+                verts.push_back(
+                    PolyVertex{parse_number(toks[0], line), parse_number(toks[1], line)});
+            }
+            if (verts.size() < 3) {
+                throw SceneError(sec.line, "'polygon' map needs at least three 'vertex ='");
+            }
+            return std::make_shared<const PolygonMap>(
+                std::move(verts), lookup(spectra, sec, "inside"),
+                lookup(spectra, sec, "outside"), parse_numbers(sec, "transition", 1, 1)[0]);
+        }
+        if (type == "points") {
+            std::vector<RepresentativePoint> pts;
+            for (const auto& [k, v, line] : sec.entries) {
+                if (k != "point") {
+                    continue;
+                }
+                const auto toks = split_ws(v);
+                if (toks.size() != 3) {
+                    throw SceneError(line, "'point' expects: x y SPECTRUM");
+                }
+                const auto it = spectra.find(toks[2]);
+                if (it == spectra.end()) {
+                    throw SceneError(line, "unknown spectrum '" + toks[2] + "'");
+                }
+                pts.push_back(RepresentativePoint{parse_number(toks[0], line),
+                                                  parse_number(toks[1], line), it->second});
+            }
+            if (pts.size() < 2) {
+                throw SceneError(sec.line, "'points' map needs at least two 'point ='");
+            }
+            return std::make_shared<const PointMap>(
+                std::move(pts), parse_numbers(sec, "transition", 1, 1)[0]);
+        }
+    } catch (const std::invalid_argument& e) {
+        throw SceneError(sec.line, std::string{"[map]: "} + e.what());
+    }
+    throw SceneError(sec.line_of("type"), "unknown map type '" + type + "'");
+}
+
+}  // namespace
+
+Scene parse_scene(std::istream& in) {
+    std::vector<Section> sections;
+    sections.push_back(Section{});  // top level
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        // Strip comments and whitespace.
+        const auto hash = raw.find('#');
+        std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+        if (line.empty()) {
+            continue;
+        }
+        if (line.front() == '[') {
+            if (line.back() != ']') {
+                throw SceneError(lineno, "unterminated section header");
+            }
+            const auto toks = split_ws(line.substr(1, line.size() - 2));
+            Section sec;
+            sec.line = lineno;
+            if (toks.size() == 2 && toks[0] == "spectrum") {
+                sec.kind = "spectrum";
+                sec.name = toks[1];
+            } else if (toks.size() == 1 && toks[0] == "map") {
+                sec.kind = "map";
+            } else {
+                throw SceneError(lineno, "expected [spectrum NAME] or [map]");
+            }
+            sections.push_back(std::move(sec));
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw SceneError(lineno, "expected 'key = value'");
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty()) {
+            throw SceneError(lineno, "empty key or value");
+        }
+        sections.back().entries.emplace_back(key, value, lineno);
+    }
+
+    // Top-level settings.
+    Scene scene;
+    const Section& top = sections.front();
+    if (top.has("seed")) {
+        scene.seed =
+            static_cast<std::uint64_t>(parse_numbers(top, "seed", 1, 1)[0]);
+    }
+    if (top.has("kernel_grid")) {
+        const auto g = parse_numbers(top, "kernel_grid", 2, 2);
+        scene.kernel_grid = GridSpec::unit_spacing(static_cast<std::size_t>(g[0]),
+                                                   static_cast<std::size_t>(g[1]));
+    }
+    if (top.has("region")) {
+        const auto r = parse_numbers(top, "region", 4, 4);
+        scene.region = Rect{static_cast<std::int64_t>(r[0]), static_cast<std::int64_t>(r[1]),
+                            static_cast<std::int64_t>(r[2]), static_cast<std::int64_t>(r[3])};
+    }
+    if (top.has("tail_eps")) {
+        scene.tail_eps = parse_numbers(top, "tail_eps", 1, 1)[0];
+    }
+    if (top.has("origin")) {
+        const auto o = parse_numbers(top, "origin", 2, 2);
+        scene.origin_x = o[0];
+        scene.origin_y = o[1];
+    }
+    if (top.has("output")) {
+        scene.outputs = split_ws(top.get("output"));
+    }
+    try {
+        scene.kernel_grid.validate();
+    } catch (const std::invalid_argument& e) {
+        throw SceneError(top.line_of("kernel_grid"), e.what());
+    }
+    if (scene.region.empty()) {
+        throw SceneError(top.line_of("region"), "region must be non-empty");
+    }
+
+    // Spectra, then the map.
+    std::map<std::string, SpectrumPtr> spectra;
+    const Section* map_section = nullptr;
+    for (std::size_t i = 1; i < sections.size(); ++i) {
+        const Section& sec = sections[i];
+        if (sec.kind == "spectrum") {
+            if (spectra.count(sec.name) != 0) {
+                throw SceneError(sec.line, "duplicate spectrum '" + sec.name + "'");
+            }
+            spectra[sec.name] = build_spectrum(sec);
+        } else {
+            if (map_section != nullptr) {
+                throw SceneError(sec.line, "duplicate [map] section");
+            }
+            map_section = &sec;
+        }
+    }
+    if (map_section == nullptr) {
+        throw SceneError(lineno, "scene has no [map] section");
+    }
+    scene.map = build_map(*map_section, spectra);
+    return scene;
+}
+
+Scene parse_scene_text(const std::string& text) {
+    std::istringstream in(text);
+    return parse_scene(in);
+}
+
+Array2D<double> render_scene(const Scene& scene) {
+    InhomogeneousGenerator::Options opt;
+    opt.kernel_tail_eps = scene.tail_eps;
+    opt.origin_x = scene.origin_x;
+    opt.origin_y = scene.origin_y;
+    const InhomogeneousGenerator gen(scene.map, scene.kernel_grid, scene.seed, opt);
+    return gen.generate(scene.region);
+}
+
+void write_scene_outputs(const Scene& scene, const Array2D<double>& surface) {
+    for (const std::string& path : scene.outputs) {
+        const auto dot = path.rfind('.');
+        const std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+        if (ext == "pgm") {
+            write_pgm16(path, surface);
+        } else if (ext == "csv") {
+            write_csv(path, surface);
+        } else if (ext == "npy") {
+            write_npy(path, surface);
+        } else if (ext == "dat") {
+            write_gnuplot_surface(path, surface, static_cast<double>(scene.region.x0),
+                                  static_cast<double>(scene.region.y0));
+        } else {
+            throw std::invalid_argument{"write_scene_outputs: unknown extension on '" +
+                                        path + "'"};
+        }
+    }
+}
+
+}  // namespace rrs

@@ -1,0 +1,51 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rrs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument{"Table::add_row: cell count mismatch"};
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : width) {
+        total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+}  // namespace rrs

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file table.hpp
+/// Fixed-width console tables — the figure benches print paper-vs-measured
+/// statistics rows through this.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrs {
+
+/// Column-aligned text table accumulated row by row.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with fixed precision.
+    static std::string num(double v, int precision = 4);
+
+    /// Render with aligned columns, header rule, to `os`.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rrs

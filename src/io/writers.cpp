@@ -1,0 +1,106 @@
+#include "io/writers.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace rrs {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path, std::ios::openmode mode = std::ios::out) {
+    std::ofstream out(path, mode);
+    if (!out) {
+        throw std::runtime_error{"cannot open for writing: " + path};
+    }
+    return out;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, const Array2D<double>& a) {
+    auto out = open_or_throw(path);
+    out.precision(10);
+    for (std::size_t iy = 0; iy < a.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < a.nx(); ++ix) {
+            out << a(ix, iy);
+            out << (ix + 1 < a.nx() ? ',' : '\n');
+        }
+    }
+}
+
+void write_gnuplot_surface(const std::string& path, const Array2D<double>& a, double x0,
+                           double y0, double dx, double dy) {
+    auto out = open_or_throw(path);
+    out.precision(8);
+    for (std::size_t iy = 0; iy < a.ny(); ++iy) {
+        const double y = y0 + static_cast<double>(iy) * dy;
+        for (std::size_t ix = 0; ix < a.nx(); ++ix) {
+            const double x = x0 + static_cast<double>(ix) * dx;
+            out << x << ' ' << y << ' ' << a(ix, iy) << '\n';
+        }
+        out << '\n';
+    }
+}
+
+void write_pgm16(const std::string& path, const Array2D<double>& a) {
+    if (a.empty()) {
+        throw std::invalid_argument{"write_pgm16: empty array"};
+    }
+    const auto [mn_it, mx_it] = std::minmax_element(a.begin(), a.end());
+    const double lo = *mn_it;
+    const double span = (*mx_it > lo) ? (*mx_it - lo) : 1.0;
+
+    auto out = open_or_throw(path, std::ios::out | std::ios::binary);
+    out << "P5\n" << a.nx() << ' ' << a.ny() << "\n65535\n";
+    for (std::size_t iy = 0; iy < a.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < a.nx(); ++ix) {
+            const double t = (a(ix, iy) - lo) / span;
+            const auto v = static_cast<std::uint16_t>(t * 65535.0 + 0.5);
+            // PGM is big-endian.
+            const char bytes[2] = {static_cast<char>(v >> 8), static_cast<char>(v & 0xFF)};
+            out.write(bytes, 2);
+        }
+    }
+}
+
+void write_npy(const std::string& path, const Array2D<double>& a) {
+    auto out = open_or_throw(path, std::ios::out | std::ios::binary);
+    std::string header = "{'descr': '<f8', 'fortran_order': False, 'shape': (" +
+                         std::to_string(a.ny()) + ", " + std::to_string(a.nx()) + "), }";
+    // Pad with spaces so magic+len+header is a multiple of 64, newline-final.
+    const std::size_t base = 10 + header.size() + 1;
+    const std::size_t pad = (64 - base % 64) % 64;
+    header.append(pad, ' ');
+    header.push_back('\n');
+
+    const char magic[8] = {'\x93', 'N', 'U', 'M', 'P', 'Y', '\x01', '\x00'};
+    out.write(magic, 8);
+    const auto hlen = static_cast<std::uint16_t>(header.size());
+    const char lenb[2] = {static_cast<char>(hlen & 0xFF), static_cast<char>(hlen >> 8)};
+    out.write(lenb, 2);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(a.data()),
+              static_cast<std::streamsize>(a.size() * sizeof(double)));
+}
+
+void write_curve_csv(const std::string& path, const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+    if (xs.size() != ys.size()) {
+        throw std::invalid_argument{"write_curve_csv: length mismatch"};
+    }
+    auto out = open_or_throw(path);
+    out.precision(10);
+    out << "x,y\n";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        out << xs[i] << ',' << ys[i] << '\n';
+    }
+}
+
+void ensure_directory(const std::string& path) {
+    std::filesystem::create_directories(path);
+}
+
+}  // namespace rrs

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file writers.hpp
+/// Plot-ready output of surfaces and curves: CSV, gnuplot matrix blocks
+/// (for `splot`), 16-bit PGM height maps, and NumPy .npy arrays.  This is
+/// the "plotting plumbing" replacing the paper's figure rendering: every
+/// figure bench dumps its surface through these writers.
+
+#include <string>
+#include <vector>
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Comma-separated matrix, one y-row per line.
+void write_csv(const std::string& path, const Array2D<double>& a);
+
+/// Gnuplot `splot` format: "x y z" triples, blank line between y-scans.
+/// x/y are physical coordinates (origin + index·spacing).
+void write_gnuplot_surface(const std::string& path, const Array2D<double>& a,
+                           double x0 = 0.0, double y0 = 0.0, double dx = 1.0,
+                           double dy = 1.0);
+
+/// 16-bit binary PGM, heights linearly mapped onto [0, 65535].
+void write_pgm16(const std::string& path, const Array2D<double>& a);
+
+/// NumPy .npy (format 1.0), dtype <f8, C order, shape (ny, nx).
+void write_npy(const std::string& path, const Array2D<double>& a);
+
+/// Two-column CSV of (x, y) pairs, e.g. correlation curves.
+void write_curve_csv(const std::string& path, const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Create a directory (and parents); no error if it already exists.
+void ensure_directory(const std::string& path);
+
+}  // namespace rrs

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Shared-memory loop parallelism for the generation kernels.
+///
+/// OpenMP is used when compiled in (RRS_HAVE_OPENMP); otherwise the loops run
+/// serially with identical semantics.  All librrs algorithms are written so
+/// that iterations are independent — results are bitwise identical at any
+/// thread count (noise is a pure function of lattice coordinates, see
+/// rng/gaussian_lattice.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#ifdef RRS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace rrs {
+
+/// Number of worker threads parallel loops will use.  Honours the
+/// RRS_THREADS environment variable, then OpenMP's default.
+inline int max_threads() noexcept {
+#ifdef RRS_HAVE_OPENMP
+    if (const char* env = std::getenv("RRS_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0) {
+            return n;
+        }
+    }
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+/// Run `body(i)` for i in [begin, end), potentially in parallel.
+/// `body` must not throw and iterations must be independent.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, Body&& body) {
+#ifdef RRS_HAVE_OPENMP
+#pragma omp parallel for schedule(static) num_threads(max_threads())
+    for (std::int64_t i = begin; i < end; ++i) {
+        body(i);
+    }
+#else
+    for (std::int64_t i = begin; i < end; ++i) {
+        body(i);
+    }
+#endif
+}
+
+/// Run `body(chunk_begin, chunk_end)` over a static partition of
+/// [begin, end) into roughly equal contiguous chunks, one per thread.
+/// Useful when per-iteration work is tiny and the body wants to hoist setup.
+template <typename Body>
+void parallel_for_chunks(std::int64_t begin, std::int64_t end, Body&& body) {
+    const std::int64_t n = end - begin;
+    if (n <= 0) {
+        return;
+    }
+    const std::int64_t nthreads = std::min<std::int64_t>(max_threads(), n);
+    parallel_for(0, nthreads, [&](std::int64_t t) {
+        const std::int64_t lo = begin + t * n / nthreads;
+        const std::int64_t hi = begin + (t + 1) * n / nthreads;
+        body(lo, hi);
+    });
+}
+
+/// Parallel sum-reduction of `value(i)` over [begin, end).
+template <typename Value>
+double parallel_reduce_sum(std::int64_t begin, std::int64_t end, Value&& value) {
+    double total = 0.0;
+#ifdef RRS_HAVE_OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total) num_threads(max_threads())
+    for (std::int64_t i = begin; i < end; ++i) {
+        total += value(i);
+    }
+#else
+    for (std::int64_t i = begin; i < end; ++i) {
+        total += value(i);
+    }
+#endif
+    return total;
+}
+
+}  // namespace rrs

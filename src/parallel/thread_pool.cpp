@@ -1,0 +1,57 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rrs {
+
+ThreadPool::ThreadPool(std::size_t n) {
+    if (n == 0) {
+        n = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping_ and drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0) {
+                idle_cv_.notify_all();
+            }
+        }
+    }
+}
+
+}  // namespace rrs

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Small task-based thread pool.
+///
+/// The OpenMP `parallel_for` covers the regular loops; the pool serves
+/// irregular task graphs (e.g. streaming tile generation where tiles become
+/// ready at different times) and works when OpenMP is compiled out.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rrs {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+public:
+    /// Spin up `n` workers (defaults to hardware concurrency, min 1).
+    explicit ThreadPool(std::size_t n = 0);
+
+    /// Drains outstanding tasks, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const noexcept { return workers_.size(); }
+
+    /// Enqueue a callable; returns a future for its result.
+    template <typename F>
+    auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+        using R = std::invoke_result_t<F&>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            if (stopping_) {
+                throw std::runtime_error{"ThreadPool::submit on stopped pool"};
+            }
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Block until every submitted task has finished executing.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace rrs

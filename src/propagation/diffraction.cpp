@@ -1,0 +1,184 @@
+#include "propagation/diffraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "special/constants.hpp"
+
+namespace rrs {
+
+double free_space_loss_db(double distance, double wavelength) {
+    if (!(distance > 0.0) || !(wavelength > 0.0)) {
+        throw std::invalid_argument{"free_space_loss_db: positive arguments required"};
+    }
+    return 20.0 * std::log10(4.0 * kPi * distance / wavelength);
+}
+
+double fresnel_radius(double d1, double d2, double wavelength) {
+    if (!(d1 > 0.0) || !(d2 > 0.0) || !(wavelength > 0.0)) {
+        throw std::invalid_argument{"fresnel_radius: positive arguments required"};
+    }
+    return std::sqrt(wavelength * d1 * d2 / (d1 + d2));
+}
+
+double fresnel_parameter(double excess_height, double d1, double d2, double wavelength) {
+    if (!(d1 > 0.0) || !(d2 > 0.0) || !(wavelength > 0.0)) {
+        throw std::invalid_argument{"fresnel_parameter: positive distances required"};
+    }
+    return excess_height * std::sqrt(2.0 * (d1 + d2) / (wavelength * d1 * d2));
+}
+
+double knife_edge_loss_db(double nu) {
+    if (nu <= -0.78) {
+        return 0.0;
+    }
+    const double t = std::sqrt((nu - 0.1) * (nu - 0.1) + 1.0) + nu - 0.1;
+    return 6.9 + 20.0 * std::log10(t);
+}
+
+namespace {
+
+/// Excess height of interior sample i above the terminal-to-terminal line.
+double excess_at(const TerrainProfile& p, const LinkGeometry& link, std::size_t i) {
+    const std::size_t last = p.height.size() - 1;
+    const double za = p.height.front() + link.tx_height;
+    const double zb = p.height.back() + link.rx_height;
+    const double t = static_cast<double>(i) / static_cast<double>(last);
+    const double line = za + t * (zb - za);
+    return p.height[i] - line;
+}
+
+/// ν of interior sample i of the sub-path [a, b].
+double nu_at(const TerrainProfile& p, const LinkGeometry& link, std::size_t a,
+             std::size_t b, std::size_t i) {
+    // Sub-path endpoints use the terrain height itself (for a = 0 / b =
+    // last the antenna heights apply).
+    const std::size_t last = p.height.size() - 1;
+    const double za = p.height[a] + (a == 0 ? link.tx_height : 0.0);
+    const double zb = p.height[b] + (b == last ? link.rx_height : 0.0);
+    const double t =
+        static_cast<double>(i - a) / static_cast<double>(b - a);
+    const double line = za + t * (zb - za);
+    const double d1 = p.step * static_cast<double>(i - a);
+    const double d2 = p.step * static_cast<double>(b - i);
+    return fresnel_parameter(p.height[i] - line, d1, d2, link.wavelength);
+}
+
+/// Interior sample of (a, b) with the largest ν; returns false if none.
+bool max_nu_edge(const TerrainProfile& p, const LinkGeometry& link, std::size_t a,
+                 std::size_t b, std::size_t& edge, double& nu) {
+    if (b <= a + 1) {
+        return false;
+    }
+    nu = -1e300;
+    for (std::size_t i = a + 1; i < b; ++i) {
+        const double v = nu_at(p, link, a, b, i);
+        if (v > nu) {
+            nu = v;
+            edge = i;
+        }
+    }
+    return true;
+}
+
+double deygout_recurse(const TerrainProfile& p, const LinkGeometry& link, std::size_t a,
+                       std::size_t b, int depth) {
+    std::size_t edge = 0;
+    double nu = 0.0;
+    if (depth <= 0 || !max_nu_edge(p, link, a, b, edge, nu) || nu <= -0.78) {
+        return 0.0;
+    }
+    double loss = knife_edge_loss_db(nu);
+    loss += deygout_recurse(p, link, a, edge, depth - 1);
+    loss += deygout_recurse(p, link, edge, b, depth - 1);
+    return loss;
+}
+
+}  // namespace
+
+Obstruction worst_obstruction(const TerrainProfile& profile, const LinkGeometry& link) {
+    if (profile.height.size() < 3 || !(profile.step > 0.0)) {
+        throw std::invalid_argument{"worst_obstruction: profile too short"};
+    }
+    const std::size_t last = profile.height.size() - 1;
+    Obstruction worst;
+    worst.nu = -1e300;
+    for (std::size_t i = 1; i < last; ++i) {
+        const double nu = nu_at(profile, link, 0, last, i);
+        if (nu > worst.nu) {
+            worst = Obstruction{i, excess_at(profile, link, i), nu};
+        }
+    }
+    return worst;
+}
+
+bool line_of_sight_clear(const TerrainProfile& profile, const LinkGeometry& link,
+                         double clearance_fraction) {
+    const std::size_t last = profile.height.size() - 1;
+    for (std::size_t i = 1; i < last; ++i) {
+        const double d1 = profile.step * static_cast<double>(i);
+        const double d2 = profile.step * static_cast<double>(last - i);
+        const double required = clearance_fraction * fresnel_radius(d1, d2, link.wavelength);
+        if (excess_at(profile, link, i) > -required) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double epstein_peterson_loss_db(const TerrainProfile& profile, const LinkGeometry& link) {
+    if (profile.height.size() < 3 || !(profile.step > 0.0)) {
+        throw std::invalid_argument{"epstein_peterson_loss_db: profile too short"};
+    }
+    const std::size_t last = profile.height.size() - 1;
+    // Edges: contiguous runs of samples that block the direct line, each
+    // contributing its maximum-ν sample as one knife edge.
+    std::vector<std::size_t> edges;
+    std::size_t run_edge = 0;
+    double run_nu = 0.0;
+    bool in_run = false;
+    for (std::size_t i = 1; i < last; ++i) {
+        if (excess_at(profile, link, i) > 0.0) {
+            const double nu = nu_at(profile, link, 0, last, i);
+            if (!in_run || nu > run_nu) {
+                run_edge = i;
+                run_nu = nu;
+            }
+            in_run = true;
+        } else if (in_run) {
+            edges.push_back(run_edge);
+            in_run = false;
+        }
+    }
+    if (in_run) {
+        edges.push_back(run_edge);
+    }
+    if (edges.empty()) {
+        return 0.0;
+    }
+    // Each edge evaluated between its neighbouring edges (terminals at the
+    // ends), losses summed.
+    double total = 0.0;
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+        const std::size_t a = k == 0 ? 0 : edges[k - 1];
+        const std::size_t b = k + 1 == edges.size() ? last : edges[k + 1];
+        total += knife_edge_loss_db(nu_at(profile, link, a, b, edges[k]));
+    }
+    return total;
+}
+
+double deygout_loss_db(const TerrainProfile& profile, const LinkGeometry& link,
+                       int max_depth) {
+    if (profile.height.size() < 3 || !(profile.step > 0.0)) {
+        throw std::invalid_argument{"deygout_loss_db: profile too short"};
+    }
+    return deygout_recurse(profile, link, 0, profile.height.size() - 1, max_depth);
+}
+
+double path_loss_db(const TerrainProfile& profile, const LinkGeometry& link) {
+    return free_space_loss_db(profile.length(), link.wavelength) +
+           deygout_loss_db(profile, link);
+}
+
+}  // namespace rrs

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file diffraction.hpp
+/// Knife-edge diffraction machinery for terrain-profile path loss:
+/// free-space loss, Fresnel-zone geometry, the single-knife-edge loss
+/// J(ν) (ITU-R P.526 approximation), and the Epstein–Peterson and Deygout
+/// multiple-edge constructions.  This is the discrete-ray-tracing style
+/// analysis of the paper's companion work (its refs. [11]-[12]) built on
+/// the surfaces this library generates.
+
+#include <cstddef>
+#include <vector>
+
+#include "propagation/profile_path.hpp"
+
+namespace rrs {
+
+/// Free-space path loss in dB at distance d (same unit as wavelength).
+double free_space_loss_db(double distance, double wavelength);
+
+/// First-Fresnel-zone radius at a point d1 from one terminal and d2 from
+/// the other.
+double fresnel_radius(double d1, double d2, double wavelength);
+
+/// Fresnel–Kirchhoff diffraction parameter ν for an obstruction with
+/// excess height h (above the terminal-to-terminal line) at distances
+/// d1, d2 from the terminals.
+double fresnel_parameter(double excess_height, double d1, double d2, double wavelength);
+
+/// Single knife-edge loss J(ν) in dB (0 for ν <= −0.78; ITU-R P.526-style
+/// approximation otherwise).
+double knife_edge_loss_db(double nu);
+
+/// Per-obstacle summary of a profile's clearance analysis.
+struct Obstruction {
+    std::size_t index = 0;        ///< profile sample index
+    double excess_height = 0.0;   ///< height above the LOS line
+    double nu = 0.0;              ///< Fresnel-Kirchhoff parameter
+};
+
+/// Link geometry over a terrain profile: antennas `tx_height`/`rx_height`
+/// above the terrain at the endpoints.
+struct LinkGeometry {
+    double tx_height = 1.0;
+    double rx_height = 1.0;
+    double wavelength = 0.125;  ///< 2.4 GHz in metres by default
+};
+
+/// The worst obstruction (max ν) of the interior samples; nu is negative
+/// when the path is clear.
+Obstruction worst_obstruction(const TerrainProfile& profile, const LinkGeometry& link);
+
+/// True when every interior sample clears `clearance_fraction` of the
+/// first Fresnel zone (0.6 is the usual engineering rule).
+bool line_of_sight_clear(const TerrainProfile& profile, const LinkGeometry& link,
+                         double clearance_fraction = 0.6);
+
+/// Total diffraction loss (dB) by the Epstein–Peterson construction:
+/// each local-maximum edge evaluated between its neighbouring edges.
+double epstein_peterson_loss_db(const TerrainProfile& profile, const LinkGeometry& link);
+
+/// Total diffraction loss (dB) by the Deygout construction: the dominant
+/// edge first, then recursive sub-paths (depth-limited).
+double deygout_loss_db(const TerrainProfile& profile, const LinkGeometry& link,
+                       int max_depth = 3);
+
+/// End-to-end path loss over the profile: free-space plus Deygout
+/// diffraction.
+double path_loss_db(const TerrainProfile& profile, const LinkGeometry& link);
+
+}  // namespace rrs

@@ -1,0 +1,82 @@
+#include "propagation/hata.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrs {
+
+void HataParams::validate() const {
+    if (frequency_mhz < 150.0 || frequency_mhz > 1500.0) {
+        throw std::invalid_argument{"HataParams: frequency must be in [150, 1500] MHz"};
+    }
+    if (base_height_m < 30.0 || base_height_m > 200.0) {
+        throw std::invalid_argument{"HataParams: base height must be in [30, 200] m"};
+    }
+    if (mobile_height_m < 1.0 || mobile_height_m > 10.0) {
+        throw std::invalid_argument{"HataParams: mobile height must be in [1, 10] m"};
+    }
+}
+
+namespace {
+
+/// Mobile-antenna correction a(hm) in dB.
+double mobile_correction(const HataParams& p) {
+    const double f = p.frequency_mhz;
+    const double hm = p.mobile_height_m;
+    if (p.environment == HataEnvironment::kUrbanLarge) {
+        if (f >= 300.0) {
+            const double t = std::log10(11.75 * hm);
+            return 3.2 * t * t - 4.97;
+        }
+        const double t = std::log10(1.54 * hm);
+        return 8.29 * t * t - 1.1;
+    }
+    return (1.1 * std::log10(f) - 0.7) * hm - (1.56 * std::log10(f) - 0.8);
+}
+
+}  // namespace
+
+double hata_loss_db(const HataParams& p, double distance_km) {
+    p.validate();
+    if (!(distance_km > 0.0)) {
+        throw std::invalid_argument{"hata_loss_db: distance must be positive"};
+    }
+    const double f = p.frequency_mhz;
+    const double hb = p.base_height_m;
+    const double urban = 69.55 + 26.16 * std::log10(f) - 13.82 * std::log10(hb) -
+                         mobile_correction(p) +
+                         (44.9 - 6.55 * std::log10(hb)) * std::log10(distance_km);
+    switch (p.environment) {
+        case HataEnvironment::kUrbanLarge:
+        case HataEnvironment::kUrbanMedium:
+            return urban;
+        case HataEnvironment::kSuburban: {
+            const double t = std::log10(f / 28.0);
+            return urban - 2.0 * t * t - 5.4;
+        }
+        case HataEnvironment::kOpen: {
+            const double lf = std::log10(f);
+            return urban - 4.78 * lf * lf + 18.33 * lf - 40.94;
+        }
+    }
+    return urban;  // unreachable
+}
+
+double hata_range_km(const HataParams& p, double budget_db) {
+    p.validate();
+    double lo = 1.0;
+    double hi = 20.0;
+    if (hata_loss_db(p, lo) >= budget_db) {
+        return lo;
+    }
+    if (hata_loss_db(p, hi) <= budget_db) {
+        return hi;
+    }
+    for (int i = 0; i < 100; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (hata_loss_db(p, mid) < budget_db ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace rrs

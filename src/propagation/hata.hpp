@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file hata.hpp
+/// Hata's empirical propagation-loss formula (the paper's ref. [7]:
+/// M. Hata, IEEE Trans. Veh. Technol. 1980) — the baseline the paper says
+/// "seems difficult to apply ... to wireless sensor networks", which the
+/// surface-based analysis replaces.  Implemented for comparison in the
+/// communication-distance bench.
+
+#include <stdexcept>
+
+namespace rrs {
+
+enum class HataEnvironment {
+    kUrbanLarge,   ///< large city
+    kUrbanMedium,  ///< medium/small city
+    kSuburban,
+    kOpen,
+};
+
+/// Validity ranges of the original model.
+struct HataParams {
+    double frequency_mhz = 900.0;   ///< 150–1500 MHz
+    double base_height_m = 30.0;    ///< 30–200 m
+    double mobile_height_m = 1.5;   ///< 1–10 m
+    HataEnvironment environment = HataEnvironment::kUrbanMedium;
+
+    void validate() const;
+};
+
+/// Median path loss in dB at distance `distance_km` (1–20 km).
+double hata_loss_db(const HataParams& p, double distance_km);
+
+/// Distance (km) at which hata_loss_db reaches `budget_db` (bisection on
+/// the monotone loss curve); clamps into the model's [1, 20] km validity.
+double hata_range_km(const HataParams& p, double budget_db);
+
+}  // namespace rrs

@@ -1,0 +1,80 @@
+#include "propagation/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/engines.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+
+std::vector<RangeSample> communication_range_study(const Array2D<double>& surface,
+                                                   double spacing,
+                                                   const std::vector<double>& distances,
+                                                   const RangeStudyConfig& config) {
+    if (!(spacing > 0.0)) {
+        throw std::invalid_argument{"communication_range_study: spacing must be positive"};
+    }
+    if (config.paths_per_distance == 0 || config.profile_samples < 3) {
+        throw std::invalid_argument{"communication_range_study: bad sampling config"};
+    }
+    const double nx = static_cast<double>(surface.nx() - 1);
+    const double ny = static_cast<double>(surface.ny() - 1);
+
+    std::vector<RangeSample> out;
+    out.reserve(distances.size());
+    SplitMix64 engine{0x9e3779b97f4a7c15ULL};
+
+    for (const double d : distances) {
+        const double lattice_len = d / spacing;
+        if (lattice_len >= std::min(nx, ny)) {
+            throw std::invalid_argument{
+                "communication_range_study: distance exceeds the surface extent"};
+        }
+        RangeSample sample;
+        sample.distance = d;
+        double loss_sum = 0.0;
+        std::size_t los_count = 0;
+        std::size_t link_count = 0;
+        for (std::size_t k = 0; k < config.paths_per_distance; ++k) {
+            // Random start + orientation keeping the segment inside the grid:
+            // x0 uniform over [max(0, −dx), nx − max(0, dx)] and same for y.
+            const double ang = kTwoPi * to_unit_halfopen(engine());
+            const double dx = std::cos(ang) * lattice_len;
+            const double dy = std::sin(ang) * lattice_len;
+            const double x_lo = std::max(0.0, -dx);
+            const double x_hi = nx - std::max(0.0, dx);
+            const double y_lo = std::max(0.0, -dy);
+            const double y_hi = ny - std::max(0.0, dy);
+            const double x0 = x_lo + to_unit_halfopen(engine()) * (x_hi - x_lo);
+            const double y0 = y_lo + to_unit_halfopen(engine()) * (y_hi - y_lo);
+            const double x1 = x0 + dx;
+            const double y1 = y0 + dy;
+
+            const TerrainProfile profile = extract_profile(
+                surface, x0, y0, x1, y1, config.profile_samples, spacing);
+            const double loss = path_loss_db(profile, config.link);
+            loss_sum += loss;
+            los_count += line_of_sight_clear(profile, config.link) ? 1u : 0u;
+            link_count += loss <= config.budget_db ? 1u : 0u;
+        }
+        const double n = static_cast<double>(config.paths_per_distance);
+        sample.mean_loss_db = loss_sum / n;
+        sample.p_los = static_cast<double>(los_count) / n;
+        sample.p_link = static_cast<double>(link_count) / n;
+        out.push_back(sample);
+    }
+    return out;
+}
+
+double estimated_range(const std::vector<RangeSample>& samples, double reliability) {
+    double best = -1.0;
+    for (const RangeSample& s : samples) {
+        if (s.p_link >= reliability) {
+            best = std::max(best, s.distance);
+        }
+    }
+    return best;
+}
+
+}  // namespace rrs

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file link_budget.hpp
+/// Communication-distance estimation along rough surfaces — the study the
+/// paper's companion work (ref. [12], "Estimation of radio communication
+/// distance along random rough surface") performs, built here on the
+/// surfaces this library generates.  Sensors sit on the terrain; a link
+/// closes when free-space-plus-diffraction loss stays within the budget.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/array2d.hpp"
+#include "propagation/diffraction.hpp"
+
+namespace rrs {
+
+/// Per-distance ensemble result of the range study.
+struct RangeSample {
+    double distance = 0.0;      ///< terminal separation
+    double mean_loss_db = 0.0;  ///< ensemble mean path loss
+    double p_los = 0.0;         ///< fraction of links with a clear 0.6-zone
+    double p_link = 0.0;        ///< fraction of links within the budget
+};
+
+/// Study configuration: link geometry, loss budget, and sampling density.
+struct RangeStudyConfig {
+    LinkGeometry link;
+    double budget_db = 100.0;          ///< maximum tolerable path loss
+    std::size_t paths_per_distance = 32;
+    std::size_t profile_samples = 257;
+};
+
+/// Sweep terminal separations over transects of `surface` (spacing
+/// `spacing`), drawing paths at rotating offsets/orientations, and report
+/// loss/los/link statistics per distance.
+std::vector<RangeSample> communication_range_study(const Array2D<double>& surface,
+                                                   double spacing,
+                                                   const std::vector<double>& distances,
+                                                   const RangeStudyConfig& config);
+
+/// Largest swept distance with p_link >= `reliability`; −1 if none.
+double estimated_range(const std::vector<RangeSample>& samples, double reliability = 0.9);
+
+}  // namespace rrs

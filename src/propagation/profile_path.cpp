@@ -1,0 +1,43 @@
+#include "propagation/profile_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rrs {
+
+double bilinear_height(const Array2D<double>& f, double x, double y) {
+    if (f.nx() < 2 || f.ny() < 2) {
+        throw std::invalid_argument{"bilinear_height: array too small"};
+    }
+    const double cx = std::clamp(x, 0.0, static_cast<double>(f.nx() - 1));
+    const double cy = std::clamp(y, 0.0, static_cast<double>(f.ny() - 1));
+    const auto ix = std::min(static_cast<std::size_t>(cx), f.nx() - 2);
+    const auto iy = std::min(static_cast<std::size_t>(cy), f.ny() - 2);
+    const double tx = cx - static_cast<double>(ix);
+    const double ty = cy - static_cast<double>(iy);
+    const double a = f(ix, iy) * (1.0 - tx) + f(ix + 1, iy) * tx;
+    const double b = f(ix, iy + 1) * (1.0 - tx) + f(ix + 1, iy + 1) * tx;
+    return a * (1.0 - ty) + b * ty;
+}
+
+TerrainProfile extract_profile(const Array2D<double>& f, double x0, double y0, double x1,
+                               double y1, std::size_t samples, double spacing) {
+    if (samples < 2) {
+        throw std::invalid_argument{"extract_profile: need at least 2 samples"};
+    }
+    if (!(spacing > 0.0)) {
+        throw std::invalid_argument{"extract_profile: spacing must be positive"};
+    }
+    TerrainProfile p;
+    p.height.resize(samples);
+    const double n1 = static_cast<double>(samples - 1);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double t = static_cast<double>(i) / n1;
+        p.height[i] = bilinear_height(f, x0 + t * (x1 - x0), y0 + t * (y1 - y0));
+    }
+    p.step = spacing * std::hypot(x1 - x0, y1 - y0) / n1;
+    return p;
+}
+
+}  // namespace rrs

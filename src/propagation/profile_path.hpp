@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file profile_path.hpp
+/// Terrain-profile extraction along arbitrary transects of a generated
+/// surface.  The paper's motivation (§1) is EM propagation along rough
+/// surfaces for wireless sensor networks; propagation models consume 1-D
+/// terrain profiles between a transmitter and a receiver, which this
+/// module samples (bilinearly) from the 2-D height fields.
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Heights sampled at uniform steps along a straight transect.
+struct TerrainProfile {
+    std::vector<double> height;  ///< terrain height at each sample
+    double step = 0.0;           ///< physical distance between samples
+
+    double length() const noexcept {
+        return height.empty() ? 0.0
+                              : step * static_cast<double>(height.size() - 1);
+    }
+};
+
+/// Bilinear height lookup at fractional lattice coordinates (clamped to
+/// the array edge).
+double bilinear_height(const Array2D<double>& f, double x, double y);
+
+/// Sample `samples` points (>= 2) along the segment from (x0, y0) to
+/// (x1, y1), given in lattice coordinates; `spacing` converts lattice
+/// units to physical distance.
+TerrainProfile extract_profile(const Array2D<double>& f, double x0, double y0, double x1,
+                               double y1, std::size_t samples, double spacing = 1.0);
+
+}  // namespace rrs

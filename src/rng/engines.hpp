@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file engines.hpp
+/// Pseudo-random engines implemented from scratch.
+///
+/// The paper (§2.3) seeds its surfaces from C's `rand()` pushed through
+/// Box–Muller.  We provide: SplitMix64 (seeding / light use), a PCG64-class
+/// generator (bulk sequential use), and a small LCG that stands in for the
+/// paper's `rand()` in the RNG-quality comparison bench.  All three satisfy
+/// std::uniform_random_bit_generator.
+
+#include <cstdint>
+
+namespace rrs {
+
+/// SplitMix64 (Steele, Lea, Flood) — a tiny, statistically solid 64-bit
+/// engine; also the canonical seeder for larger-state engines.
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit SplitMix64(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept : state_(seed) {}
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// PCG64 (XSL-RR 128/64, O'Neill 2014): 128-bit LCG state with an
+/// xor-shift-low / random-rotate output permutation.  Distinct `stream`
+/// values give provably distinct sequences.
+class Pcg64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Pcg64(std::uint64_t seed = 0xcafef00dd15ea5e5ULL,
+                   std::uint64_t stream = 0xa02bdbf7bb3c0a7ULL) noexcept {
+        inc_ = (static_cast<u128>(stream) << 1) | 1u;  // must be odd
+        state_ = 0;
+        (*this)();
+        state_ += static_cast<u128>(seed);
+        (*this)();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept {
+        state_ = state_ * kMult + inc_;
+        const auto hi = static_cast<std::uint64_t>(state_ >> 64);
+        const auto lo = static_cast<std::uint64_t>(state_);
+        const auto rot = static_cast<unsigned>(state_ >> 122);
+        const std::uint64_t x = hi ^ lo;
+        return (x >> rot) | (x << ((64u - rot) & 63u));
+    }
+
+private:
+    // GCC/Clang extension; silence -Wpedantic locally (the build requires a
+    // 128-bit type for the PCG state, available on every supported target).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+    using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+    static constexpr u128 kMult =
+        (static_cast<u128>(0x2360ED051FC65DA4ULL) << 64) | 0x4385DF649FCCF645ULL;
+
+    u128 state_{};
+    u128 inc_{};
+};
+
+/// 48-bit linear congruential generator (drand48 constants) returning its
+/// high 31 bits — a faithful stand-in for the paper's `rand()` used only to
+/// demonstrate that the algorithm does not depend on engine quality.
+class Lcg48 {
+public:
+    using result_type = std::uint32_t;
+
+    explicit Lcg48(std::uint64_t seed = 1) noexcept
+        : state_((seed << 16 | 0x330E) & kMask) {}
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return 0x7FFFFFFFu; }
+
+    result_type operator()() noexcept {
+        state_ = (state_ * 0x5DEECE66DULL + 0xB) & kMask;
+        return static_cast<result_type>(state_ >> 17);
+    }
+
+private:
+    static constexpr std::uint64_t kMask = (1ULL << 48) - 1;
+    std::uint64_t state_;
+};
+
+/// Map a 64-bit word to a double in [0, 1) with 53 random bits.
+inline double to_unit_halfopen(std::uint64_t u) noexcept {
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+/// Map a 64-bit word to a double in (0, 1] — safe as a log() argument.
+inline double to_unit_open_zero(std::uint64_t u) noexcept {
+    return (static_cast<double>(u >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace rrs

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file gaussian.hpp
+/// Gaussian variate generation: the paper's Box–Muller construction
+/// (eq. 18), the polar variant, and the stateless GaussianLattice used by
+/// the convolution generator's white-noise field X (eq. 36).
+
+#include <cmath>
+#include <cstdint>
+
+#include "rng/engines.hpp"
+#include "rng/hash.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+
+/// Paper eq. (18): u1 = rand(2π), u2 = rand(1),
+/// X = sqrt(−2 log u2) · cos(u1).  Exact N(0,1) when u1 ~ U[0,2π),
+/// u2 ~ U(0,1].
+inline double box_muller_paper(double u1_angle, double u2_unit) noexcept {
+    return std::sqrt(-2.0 * std::log(u2_unit)) * std::cos(u1_angle);
+}
+
+/// Stateful Box–Muller sampler over any 64-bit engine; produces pairs and
+/// caches the sine partner, so consecutive draws are independent N(0,1).
+template <typename Engine>
+class BoxMullerGaussian {
+public:
+    explicit BoxMullerGaussian(Engine engine) noexcept : engine_(engine) {}
+
+    double operator()() noexcept {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        const double u1 = to_unit_open_zero(engine_());
+        const double u2 = to_unit_halfopen(engine_());
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double a = kTwoPi * u2;
+        spare_ = r * std::sin(a);
+        has_spare_ = true;
+        return r * std::cos(a);
+    }
+
+    Engine& engine() noexcept { return engine_; }
+
+private:
+    Engine engine_;
+    double spare_ = 0.0;
+    bool has_spare_ = false;
+};
+
+/// Marsaglia polar method — rejection variant of Box–Muller that avoids the
+/// trig calls; kept for the RNG micro-bench comparison.
+template <typename Engine>
+class PolarGaussian {
+public:
+    explicit PolarGaussian(Engine engine) noexcept : engine_(engine) {}
+
+    double operator()() noexcept {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        double v1 = 0.0;
+        double v2 = 0.0;
+        double s = 0.0;
+        do {
+            v1 = 2.0 * to_unit_halfopen(engine_()) - 1.0;
+            v2 = 2.0 * to_unit_halfopen(engine_()) - 1.0;
+            s = v1 * v1 + v2 * v2;
+        } while (s >= 1.0 || s == 0.0);
+        const double f = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v2 * f;
+        has_spare_ = true;
+        return v1 * f;
+    }
+
+private:
+    Engine engine_;
+    double spare_ = 0.0;
+    bool has_spare_ = false;
+};
+
+/// Unbounded lattice of i.i.d. N(0,1) values, defined as a pure function of
+/// (seed, ix, iy).  This realises the array {X_{nx,ny}} of eq. (36) on an
+/// infinite index set: streamed tiles and parallel workers read identical
+/// noise without coordination.
+///
+/// Construction: two independent coordinate hashes feed Box–Muller exactly
+/// as in eq. (18) — u1 plays rand(2π), u2 plays rand(1).
+class GaussianLattice {
+public:
+    explicit GaussianLattice(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// N(0,1) noise at lattice point (ix, iy); thread-safe, O(1), stateless.
+    double operator()(std::int64_t ix, std::int64_t iy) const noexcept {
+        const double angle = kTwoPi * to_unit_halfopen(hash_coords(seed_, ix, iy, 1));
+        const double unit = to_unit_open_zero(hash_coords(seed_, ix, iy, 2));
+        return box_muller_paper(angle, unit);
+    }
+
+private:
+    std::uint64_t seed_;
+};
+
+}  // namespace rrs

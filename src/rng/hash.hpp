@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file hash.hpp
+/// Stateless avalanche hashing of lattice coordinates.
+///
+/// This is what turns the paper's "successive computations" (§2.4) into a
+/// deterministic, order-independent scheme: the white-noise value at lattice
+/// point (ix, iy) is a pure function of (seed, ix, iy), so any tile of an
+/// unbounded surface can be generated independently — in any order, on any
+/// thread — and overlapping tiles agree bit-for-bit.
+
+#include <cstdint>
+
+namespace rrs {
+
+/// Murmur3-style 64-bit finalizer: full avalanche, bijective.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+    z ^= z >> 33;
+    z *= 0xFF51AFD7ED558CCDULL;
+    z ^= z >> 33;
+    z *= 0xC4CEB9FE1A85EC53ULL;
+    z ^= z >> 33;
+    return z;
+}
+
+/// Hash (seed, ix, iy, salt) into a uniform 64-bit word.  `salt`
+/// distinguishes independent random fields over the same lattice.
+inline std::uint64_t hash_coords(std::uint64_t seed, std::int64_t ix, std::int64_t iy,
+                                 std::uint64_t salt = 0) noexcept {
+    std::uint64_t h = mix64(seed ^ (salt * 0x9E3779B97F4A7C15ULL + 0x632BE59BD9B4E019ULL));
+    h = mix64(h ^ static_cast<std::uint64_t>(ix));
+    h = mix64(h ^ (static_cast<std::uint64_t>(iy) * 0xD6E8FEB86659FD93ULL));
+    return h;
+}
+
+}  // namespace rrs

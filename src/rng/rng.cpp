@@ -1,0 +1,15 @@
+/// \file rng.cpp
+/// Explicit instantiations of the templated samplers (one home for the
+/// emitted code; headers stay cheap for downstream TUs).
+
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+
+namespace rrs {
+
+template class BoxMullerGaussian<SplitMix64>;
+template class BoxMullerGaussian<Pcg64>;
+template class PolarGaussian<SplitMix64>;
+template class PolarGaussian<Pcg64>;
+
+}  // namespace rrs

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file rrs.hpp
+/// Umbrella header: the full public API of librrs, the random-rough-surface
+/// generation library reproducing Uchida, Honda & Yoon, "An Algorithm for
+/// Rough Surface Generation with Inhomogeneous Parameters".
+///
+/// Quick tour:
+///   make_gaussian / make_power_law / make_exponential   — spectra (§2.1)
+///   DirectDftGenerator                                  — baseline (§2.4 eq. 30)
+///   ConvolutionKernel + ConvolutionGenerator            — convolution method (§2.4)
+///   PlateMap / CircleMap / PointMap                     — inhomogeneity (§3)
+///   InhomogeneousGenerator                              — blended surfaces (§3)
+///   StripStreamer                                       — successive computation
+///   stats/*                                             — validation estimators
+///   io/*                                                — plot-ready output
+
+#include "core/convolution.hpp"
+#include "core/direct_dft.hpp"
+#include "core/discrete_spectrum.hpp"
+#include "core/grid_spec.hpp"
+#include "core/hermitian_noise.hpp"
+#include "core/inhomogeneous.hpp"
+#include "core/kernel.hpp"
+#include "core/gradient.hpp"
+#include "core/polygon_map.hpp"
+#include "core/profile1d.hpp"
+#include "core/region_map.hpp"
+#include "core/segment_map.hpp"
+#include "core/spectrum.hpp"
+#include "core/spectrum1d.hpp"
+#include "core/spectrum_ops.hpp"
+#include "core/streaming.hpp"
+#include "core/surface.hpp"
+#include "fdtd/fdtd2d.hpp"
+#include "grid/array2d.hpp"
+#include "grid/permute.hpp"
+#include "grid/rect.hpp"
+#include "io/table.hpp"
+#include "io/writers.hpp"
+#include "propagation/diffraction.hpp"
+#include "propagation/hata.hpp"
+#include "propagation/link_budget.hpp"
+#include "propagation/profile_path.hpp"
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+#include "rng/hash.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/gof.hpp"
+#include "stats/moments.hpp"
+#include "stats/periodogram.hpp"
+#include "stats/ensemble.hpp"
+#include "stats/variogram.hpp"

@@ -1,0 +1,137 @@
+#include "special/bessel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "special/constants.hpp"
+#include "special/gamma.hpp"
+
+namespace rrs {
+
+namespace {
+
+constexpr double kEps = 1.0e-16;
+constexpr int kMaxIter = 10000;
+
+// gam1(μ) = [1/Γ(1−μ) − 1/Γ(1+μ)] / (2μ), continuous at μ = 0 where it
+// equals −γ (Euler's constant).  gam2(μ) = [1/Γ(1−μ) + 1/Γ(1+μ)] / 2.
+// Also returns the reciprocals gampl = 1/Γ(1+μ), gammi = 1/Γ(1−μ).
+void temme_gammas(double mu, double& gam1, double& gam2, double& gampl, double& gammi) {
+    gampl = 1.0 / gamma_fn(1.0 + mu);
+    gammi = 1.0 / gamma_fn(1.0 - mu);
+    if (std::abs(mu) < 1.0e-8) {
+        // Taylor expansion of (1/Γ(1−μ) − 1/Γ(1+μ))/(2μ) about μ = 0:
+        // −γ − c3·μ² with c3 = γ³/6 − γπ²/12 + ζ(3)/3.
+        const double c3 =
+            kEulerGamma * kEulerGamma * kEulerGamma / 6.0 -
+            kEulerGamma * kPi * kPi / 12.0 + kZeta3 / 3.0;
+        gam1 = -kEulerGamma - c3 * mu * mu;
+    } else {
+        gam1 = (gammi - gampl) / (2.0 * mu);
+    }
+    gam2 = 0.5 * (gammi + gampl);
+}
+
+// Temme's series: computes K_μ(x) and K_{μ+1}(x) for x <= 2, |μ| <= 1/2.
+void bessel_k_temme(double mu, double x, double& kmu, double& kmu1) {
+    const double x2 = 0.5 * x;
+    const double pimu = kPi * mu;
+    const double fact = (std::abs(pimu) < kEps) ? 1.0 : pimu / std::sin(pimu);
+    double d = -std::log(x2);
+    double e = mu * d;
+    const double fact2 = (std::abs(e) < kEps) ? 1.0 : std::sinh(e) / e;
+    double gam1 = 0.0, gam2 = 0.0, gampl = 0.0, gammi = 0.0;
+    temme_gammas(mu, gam1, gam2, gampl, gammi);
+    double ff = fact * (gam1 * std::cosh(e) + gam2 * fact2 * d);
+    double sum = ff;
+    e = std::exp(e);
+    double p = 0.5 * e / gampl;
+    double q = 0.5 / (e * gammi);
+    double c = 1.0;
+    d = x2 * x2;
+    double sum1 = p;
+    for (int i = 1; i <= kMaxIter; ++i) {
+        const double di = static_cast<double>(i);
+        ff = (di * ff + p + q) / (di * di - mu * mu);
+        c *= d / di;
+        p /= (di - mu);
+        q /= (di + mu);
+        const double del = c * ff;
+        sum += del;
+        const double del1 = c * (p - di * ff);
+        sum1 += del1;
+        if (std::abs(del) < std::abs(sum) * kEps) {
+            kmu = sum;
+            kmu1 = sum1 * (2.0 / x);
+            return;
+        }
+    }
+    throw std::runtime_error{"bessel_k: Temme series failed to converge"};
+}
+
+// Steed's continued fraction CF2: computes K_μ(x) and K_{μ+1}(x) for x >= 2.
+void bessel_k_cf2(double mu, double x, double& kmu, double& kmu1) {
+    double b = 2.0 * (1.0 + x);
+    double d = 1.0 / b;
+    double h = d;
+    double delh = d;
+    double q1 = 0.0;
+    double q2 = 1.0;
+    const double a1 = 0.25 - mu * mu;
+    double q = a1;
+    double c = a1;
+    double a = -a1;
+    double s = 1.0 + q * delh;
+    for (int i = 2; i <= kMaxIter; ++i) {
+        const double di = static_cast<double>(i);
+        a -= 2.0 * (di - 1.0);
+        c = -a * c / di;
+        const double qnew = (q1 - b * q2) / a;
+        q1 = q2;
+        q2 = qnew;
+        q += c * qnew;
+        b += 2.0;
+        d = 1.0 / (b + a * d);
+        delh = (b * d - 1.0) * delh;
+        h += delh;
+        const double dels = q * delh;
+        s += dels;
+        if (std::abs(dels / s) < kEps) {
+            h = a1 * h;
+            kmu = std::sqrt(kPi / (2.0 * x)) * std::exp(-x) / s;
+            kmu1 = kmu * (mu + x + 0.5 - h) / x;
+            return;
+        }
+    }
+    throw std::runtime_error{"bessel_k: CF2 failed to converge"};
+}
+
+}  // namespace
+
+double bessel_k(double nu, double x) {
+    if (!(x > 0.0) || nu < 0.0) {
+        throw std::domain_error{"bessel_k: requires x > 0, nu >= 0"};
+    }
+    // Split ν = μ + n with |μ| <= 1/2 and n = round(ν).
+    const int n = static_cast<int>(nu + 0.5);
+    const double mu = nu - static_cast<double>(n);
+    double kmu = 0.0;
+    double kmu1 = 0.0;
+    if (x < 2.0) {
+        bessel_k_temme(mu, x, kmu, kmu1);
+    } else {
+        bessel_k_cf2(mu, x, kmu, kmu1);
+    }
+    // Upward recurrence in order (stable for K).
+    for (int i = 0; i < n; ++i) {
+        const double knext = kmu + (2.0 * (mu + static_cast<double>(i) + 1.0) / x) * kmu1;
+        kmu = kmu1;
+        kmu1 = knext;
+    }
+    return kmu;
+}
+
+double bessel_k0(double x) { return bessel_k(0.0, x); }
+double bessel_k1(double x) { return bessel_k(1.0, x); }
+
+}  // namespace rrs

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file bessel.hpp
+/// Modified Bessel function of the second kind K_ν, from scratch.
+///
+/// The N-th order Power-Law spectrum's autocorrelation (paper eq. 8) is the
+/// Matérn covariance ρ(r) = (2h²/Γ(N−1))·(r̃/2)^{N−1}·K_{N−1}(r̃), so the
+/// library needs K_ν for real ν ≥ 0 (ν = 1/2 reproduces the Exponential
+/// spectrum's ρ = h²e^{−r̃} — a cross-check the tests exploit).
+///
+/// Algorithm (Temme / Numerical-Recipes style):
+///  * x < 2 : Temme's series for K_μ, K_{μ+1} with |μ| <= 1/2;
+///  * x >= 2: Steed's continued fraction CF2;
+///  * upward recurrence K_{μ+n+1} = K_{μ+n−1} + (2(μ+n)/x)·K_{μ+n}.
+
+namespace rrs {
+
+/// K_ν(x) for real order ν >= 0 and x > 0.  Accuracy ~1e-12 relative.
+double bessel_k(double nu, double x);
+
+/// K_0(x), x > 0.
+double bessel_k0(double x);
+
+/// K_1(x), x > 0.
+double bessel_k1(double x);
+
+}  // namespace rrs

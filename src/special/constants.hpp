@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file constants.hpp
+/// Mathematical constants used across librrs, to full double precision.
+
+namespace rrs {
+
+inline constexpr double kPi = 3.14159265358979323846264338327950288;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kSqrt2 = 1.41421356237309504880168872420969808;
+inline constexpr double kSqrtPi = 1.77245385090551602729816748334114518;
+inline constexpr double kEulerGamma = 0.57721566490153286060651209008240243;
+inline constexpr double kZeta3 = 1.20205690315959428539973816151144999;
+
+}  // namespace rrs

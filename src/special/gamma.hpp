@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file gamma.hpp
+/// Gamma function family, implemented from scratch (Lanczos approximation
+/// with reflection).  The Power-Law spectrum's normalisation and its Matérn
+/// autocorrelation (paper eqs. 7–8) need Γ(N) and Γ(N−1); the stats module
+/// needs the regularised incomplete gamma for χ² p-values.
+
+namespace rrs {
+
+/// Natural log of |Γ(x)| for x > 0 (throws std::domain_error otherwise).
+/// Lanczos g=7, 9-term fit; relative error < 1e-13 over the domain.
+double log_gamma(double x);
+
+/// Γ(x) for non-pole x (reflection handles x < 0).
+double gamma_fn(double x);
+
+/// Regularised lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Series for x < a+1, continued fraction otherwise.
+double gamma_p(double a, double x);
+
+/// Regularised upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+}  // namespace rrs

@@ -1,0 +1,69 @@
+#include "special/normal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "special/constants.hpp"
+#include "special/gamma.hpp"
+
+namespace rrs {
+
+double erf_fn(double x) {
+    if (x == 0.0) {
+        return 0.0;
+    }
+    const double p = gamma_p(0.5, x * x);
+    return x > 0.0 ? p : -p;
+}
+
+double erfc_fn(double x) {
+    if (x >= 0.0) {
+        return gamma_q(0.5, x * x);
+    }
+    return 2.0 - gamma_q(0.5, x * x);
+}
+
+double norm_cdf(double x) { return 0.5 * erfc_fn(-x / kSqrt2); }
+
+double norm_pdf(double x) {
+    return std::exp(-0.5 * x * x) / (kSqrt2 * kSqrtPi);
+}
+
+double norm_ppf(double p) {
+    if (!(p > 0.0) || !(p < 1.0)) {
+        throw std::domain_error{"norm_ppf: requires p in (0,1)"};
+    }
+    // Work with the lower tail; exploit Φ⁻¹(1−p) = −Φ⁻¹(p).
+    const bool upper = p > 0.5;
+    const double pl = upper ? 1.0 - p : p;
+
+    // Hastings rational approximation (A&S 26.2.23), |error| < 4.5e-4.
+    const double t = std::sqrt(-2.0 * std::log(pl));
+    double z = t - (2.515517 + t * (0.802853 + t * 0.010328)) /
+                       (1.0 + t * (1.432788 + t * (0.189269 + t * 0.001308)));
+    z = -z;  // lower-tail quantile is negative
+
+    // Newton polish on Φ(z) = pl.  In the far tail work in log space to
+    // dodge underflow of Φ; three steps reach machine precision.
+    for (int i = 0; i < 4; ++i) {
+        const double cdf = norm_cdf(z);
+        const double pdf = norm_pdf(z);
+        if (pdf <= 0.0) {
+            break;
+        }
+        double step;
+        if (cdf > 0.0) {
+            // Newton on log Φ is better conditioned in the deep tail.
+            step = (std::log(cdf) - std::log(pl)) * cdf / pdf;
+        } else {
+            break;
+        }
+        z -= step;
+        if (std::abs(step) < 1.0e-15 * (1.0 + std::abs(z))) {
+            break;
+        }
+    }
+    return upper ? -z : z;
+}
+
+}  // namespace rrs

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file normal.hpp
+/// Error function, normal CDF and its inverse, from scratch.
+///
+/// The inverse CDF powers the counter-based Gaussian lattice (one uniform
+/// draw per lattice point mapped through Φ⁻¹ — the deterministic analogue of
+/// the paper's Box–Muller construction, eq. 18), and Φ powers the KS / χ²
+/// normality checks in the stats module.
+
+namespace rrs {
+
+/// erf(x) via the regularised incomplete gamma (accuracy ~1e-14).
+double erf_fn(double x);
+
+/// erfc(x) = 1 - erf(x), accurate in the tail.
+double erfc_fn(double x);
+
+/// Standard normal CDF Φ(x).
+double norm_cdf(double x);
+
+/// Standard normal density φ(x).
+double norm_pdf(double x);
+
+/// Inverse standard normal CDF Φ⁻¹(p), p in (0, 1).
+/// Hastings initial guess (A&S 26.2.23) polished by Newton iterations on the
+/// accurate Φ; full double precision in [1e-300, 1-1e-16].
+double norm_ppf(double p);
+
+}  // namespace rrs

@@ -1,0 +1,162 @@
+#include "stats/autocorr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fft/fft2d.hpp"
+
+namespace rrs {
+
+Array2D<double> circular_autocovariance(const Array2D<double>& f, bool subtract_mean) {
+    const std::size_t nx = f.nx();
+    const std::size_t ny = f.ny();
+    const double n = static_cast<double>(nx * ny);
+
+    double mean = 0.0;
+    if (subtract_mean) {
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            mean += f.data()[i];
+        }
+        mean /= n;
+    }
+
+    Array2D<cplx> c(nx, ny);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        c.data()[i] = cplx{f.data()[i] - mean, 0.0};
+    }
+    Fft2D plan(nx, ny);
+    plan.forward(c);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const double mag2 = std::norm(c.data()[i]);
+        c.data()[i] = cplx{mag2, 0.0};
+    }
+    plan.inverse(c);
+
+    Array2D<double> acf(nx, ny);
+    for (std::size_t i = 0; i < acf.size(); ++i) {
+        acf.data()[i] = c.data()[i].real() / n;
+    }
+    return acf;
+}
+
+Array2D<double> linear_autocovariance(const Array2D<double>& f, bool subtract_mean) {
+    const std::size_t nx = f.nx();
+    const std::size_t ny = f.ny();
+
+    double mean = 0.0;
+    if (subtract_mean) {
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            mean += f.data()[i];
+        }
+        mean /= static_cast<double>(f.size());
+    }
+
+    // Zero-pad to double size: the circular correlation of the padded
+    // image contains the *linear* correlation sums of the original.
+    const std::size_t Px = 2 * nx;
+    const std::size_t Py = 2 * ny;
+    Array2D<cplx> c(Px, Py, cplx{});
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            c(ix, iy) = cplx{f(ix, iy) - mean, 0.0};
+        }
+    }
+    Fft2D plan(Px, Py);
+    plan.forward(c);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        c.data()[i] = cplx{std::norm(c.data()[i]), 0.0};
+    }
+    plan.inverse(c);
+
+    // Divide each lag by its overlap count (unbiased estimate) and fold
+    // back into the input-shaped aliased layout.
+    Array2D<double> acf(nx, ny);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+        const auto ly = static_cast<double>(
+            iy <= ny / 2 ? iy : ny - iy);  // |signed lag| along y
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            const auto lx = static_cast<double>(ix <= nx / 2 ? ix : nx - ix);
+            const double overlap =
+                (static_cast<double>(nx) - lx) * (static_cast<double>(ny) - ly);
+            // Padded-array index of the same signed lag.
+            const std::size_t px = ix <= nx / 2 ? ix : Px - (nx - ix);
+            const std::size_t py = iy <= ny / 2 ? iy : Py - (ny - iy);
+            acf(ix, iy) = c(px, py).real() / overlap;
+        }
+    }
+    return acf;
+}
+
+std::vector<double> lag_slice_x(const Array2D<double>& acf, std::size_t max_lag) {
+    const std::size_t m = std::min(max_lag + 1, acf.nx());
+    std::vector<double> out(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        out[k] = acf(k, 0);
+    }
+    return out;
+}
+
+std::vector<double> lag_slice_y(const Array2D<double>& acf, std::size_t max_lag) {
+    const std::size_t m = std::min(max_lag + 1, acf.ny());
+    std::vector<double> out(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        out[k] = acf(0, k);
+    }
+    return out;
+}
+
+std::vector<double> radial_average(const Array2D<double>& acf, std::size_t max_lag) {
+    std::vector<double> sum(max_lag + 1, 0.0);
+    std::vector<std::size_t> cnt(max_lag + 1, 0);
+    const auto hx = static_cast<std::ptrdiff_t>(acf.nx() / 2);
+    const auto hy = static_cast<std::ptrdiff_t>(acf.ny() / 2);
+    for (std::size_t iy = 0; iy < acf.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < acf.nx(); ++ix) {
+            // Signed lag: bins above the half-size alias to negative lags.
+            auto lx = static_cast<std::ptrdiff_t>(ix);
+            auto ly = static_cast<std::ptrdiff_t>(iy);
+            if (lx > hx) {
+                lx -= static_cast<std::ptrdiff_t>(acf.nx());
+            }
+            if (ly > hy) {
+                ly -= static_cast<std::ptrdiff_t>(acf.ny());
+            }
+            const double r = std::hypot(static_cast<double>(lx), static_cast<double>(ly));
+            const auto bin = static_cast<std::size_t>(std::llround(r));
+            if (bin <= max_lag) {
+                sum[bin] += acf(ix, iy);
+                ++cnt[bin];
+            }
+        }
+    }
+    std::vector<double> out(max_lag + 1, 0.0);
+    for (std::size_t k = 0; k <= max_lag; ++k) {
+        if (cnt[k] > 0) {
+            out[k] = sum[k] / static_cast<double>(cnt[k]);
+        }
+    }
+    return out;
+}
+
+double first_crossing(const std::vector<double>& curve, double level) {
+    if (curve.empty() || curve[0] <= 0.0) {
+        throw std::invalid_argument{"first_crossing: curve must start positive"};
+    }
+    const double target = level * curve[0];
+    for (std::size_t k = 1; k < curve.size(); ++k) {
+        if (curve[k] <= target) {
+            // Linear interpolation between samples k-1 and k.
+            const double a = curve[k - 1];
+            const double b = curve[k];
+            const double frac = (a - target) / (a - b);
+            return static_cast<double>(k - 1) + frac;
+        }
+    }
+    return -1.0;
+}
+
+double estimate_correlation_length(const std::vector<double>& curve) {
+    return first_crossing(curve, std::exp(-1.0));
+}
+
+}  // namespace rrs

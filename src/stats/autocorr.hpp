@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file autocorr.hpp
+/// Empirical autocorrelation of sampled surfaces.
+///
+/// The paper defines ρ(r) as the Fourier transform of W(K) (eq. 4) and uses
+/// `DFT(w) ≈ ρ` as its accuracy check (§2.2).  These estimators measure ρ̂
+/// from realised surfaces so generated fields can be validated against the
+/// analytic ρ of their spectrum.
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Circular (periodic) biased autocovariance estimate via the Wiener–
+/// Khinchin route: ρ̂(lag) = IDFT(|DFT(f − mean)|²) / N.  Lag (0,0) is the
+/// sample variance.  O(N log N).  Exact for periodic fields (direct-DFT
+/// surfaces); biased by the wrap for windowed samples.
+Array2D<double> circular_autocovariance(const Array2D<double>& f, bool subtract_mean = true);
+
+/// Unbiased linear autocovariance of a windowed (non-periodic) sample:
+/// zero-pads to 2Nx×2Ny so no wrap occurs and divides each lag by its true
+/// overlap count (Nx−|lx|)(Ny−|ly|).  E[ρ̂(lag)] = ρ(lag) exactly for a
+/// zero-mean stationary field.  Returned array has the input shape with
+/// the same aliased-lag layout as circular_autocovariance.
+Array2D<double> linear_autocovariance(const Array2D<double>& f, bool subtract_mean = false);
+
+/// Axis slice of a 2-D lag array: values at lags (0..max_lag, 0).
+std::vector<double> lag_slice_x(const Array2D<double>& acf, std::size_t max_lag);
+
+/// Axis slice of a 2-D lag array: values at lags (0, 0..max_lag).
+std::vector<double> lag_slice_y(const Array2D<double>& acf, std::size_t max_lag);
+
+/// Isotropic radial average of a lag array: bin k collects all lags with
+/// round(|r|) == k (up to max_lag).  Returns per-bin means; empty bins hold 0.
+std::vector<double> radial_average(const Array2D<double>& acf, std::size_t max_lag);
+
+/// Distance (in lag units) at which a sampled correlation curve first
+/// drops below `level` times its lag-0 value, linearly interpolated between
+/// samples; returns a negative value if it never crosses.
+///
+/// For the Gaussian and Exponential families, ρ(cl)/ρ(0) = 1/e exactly, so
+/// `estimate_correlation_length(curve)` with the default level recovers cl.
+double first_crossing(const std::vector<double>& curve, double level);
+
+/// Convenience: 1/e-crossing of a correlation curve (the paper's cl for the
+/// Gaussian and Exponential spectra).
+double estimate_correlation_length(const std::vector<double>& curve);
+
+}  // namespace rrs

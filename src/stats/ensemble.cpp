@@ -1,0 +1,43 @@
+#include "stats/ensemble.hpp"
+
+#include <stdexcept>
+
+#include "stats/autocorr.hpp"
+
+namespace rrs {
+
+EnsembleStats ensemble_stats(
+    const std::function<Array2D<double>(std::uint64_t)>& make_field,
+    std::size_t realisations, std::size_t max_lag) {
+    if (realisations == 0) {
+        throw std::invalid_argument{"ensemble_stats: need at least one realisation"};
+    }
+    EnsembleStats out;
+    out.realisations = realisations;
+    out.acf_x.assign(max_lag + 1, 0.0);
+    out.acf_y.assign(max_lag + 1, 0.0);
+
+    MomentAccumulator acc;
+    for (std::uint64_t k = 0; k < realisations; ++k) {
+        const Array2D<double> f = make_field(k);
+        if (f.nx() <= max_lag || f.ny() <= max_lag) {
+            throw std::invalid_argument{"ensemble_stats: field smaller than max_lag"};
+        }
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            acc.add(f.data()[i]);
+        }
+        const Array2D<double> acf = linear_autocovariance(f, /*subtract_mean=*/false);
+        const auto sx = lag_slice_x(acf, max_lag);
+        const auto sy = lag_slice_y(acf, max_lag);
+        for (std::size_t l = 0; l <= max_lag; ++l) {
+            out.acf_x[l] += sx[l] / static_cast<double>(realisations);
+            out.acf_y[l] += sy[l] / static_cast<double>(realisations);
+        }
+    }
+    out.moments = snapshot(acc);
+    out.cl_x = estimate_correlation_length(out.acf_x);
+    out.cl_y = estimate_correlation_length(out.acf_y);
+    return out;
+}
+
+}  // namespace rrs

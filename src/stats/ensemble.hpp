@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file ensemble.hpp
+/// Ensemble averaging over surface realisations.
+///
+/// The paper's statistics are ensemble expectations (the <> brackets of
+/// eqs. 1-2); single realisations estimate them with large variance.  This
+/// helper pools moments, axis ACF curves, and (optionally) periodograms
+/// over any number of realisations produced by a caller-supplied factory.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "grid/array2d.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+
+/// Pooled ensemble statistics of K realisations.
+struct EnsembleStats {
+    Moments moments;                 ///< pooled over all samples of all fields
+    std::vector<double> acf_x;       ///< ensemble-mean linear ACF along x
+    std::vector<double> acf_y;       ///< ensemble-mean linear ACF along y
+    double cl_x = -1.0;              ///< 1/e crossing of acf_x
+    double cl_y = -1.0;              ///< 1/e crossing of acf_y
+    std::size_t realisations = 0;
+};
+
+/// Accumulate statistics over `realisations` fields produced by
+/// `make_field(k)`, k = 0..realisations-1.  ACF curves use the unbiased
+/// linear estimator without mean subtraction (the generators are exactly
+/// zero-mean) out to `max_lag`.
+EnsembleStats ensemble_stats(
+    const std::function<Array2D<double>(std::uint64_t)>& make_field,
+    std::size_t realisations, std::size_t max_lag);
+
+}  // namespace rrs

@@ -1,0 +1,115 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "special/gamma.hpp"
+#include "special/normal.hpp"
+
+namespace rrs {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    if (!(hi > lo) || bins == 0) {
+        throw std::invalid_argument{"Histogram: bad range or bin count"};
+    }
+}
+
+void Histogram::add(double x) noexcept {
+    auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+void Histogram::add_range(std::span<const double> xs) noexcept {
+    for (const double x : xs) {
+        add(x);
+    }
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+    return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+    return lo_ + static_cast<double>(bin + 1) * width_;
+}
+
+std::vector<double> Histogram::density() const {
+    std::vector<double> d(counts_.size(), 0.0);
+    if (total_ == 0) {
+        return d;
+    }
+    const double norm = 1.0 / (static_cast<double>(total_) * width_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        d[i] = static_cast<double>(counts_[i]) * norm;
+    }
+    return d;
+}
+
+GofResult chi_square_normality(std::span<const double> standardised, std::size_t bins) {
+    if (bins < 3 || standardised.size() < 5 * bins) {
+        throw std::invalid_argument{"chi_square_normality: need >= 5 samples per bin"};
+    }
+    // Equal-probability cells: edges at Φ⁻¹(i/bins).
+    std::vector<double> edges(bins - 1);
+    for (std::size_t i = 1; i < bins; ++i) {
+        edges[i - 1] = norm_ppf(static_cast<double>(i) / static_cast<double>(bins));
+    }
+    std::vector<std::size_t> observed(bins, 0);
+    for (const double x : standardised) {
+        const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+        ++observed[static_cast<std::size_t>(it - edges.begin())];
+    }
+    const double expected =
+        static_cast<double>(standardised.size()) / static_cast<double>(bins);
+    double chi2 = 0.0;
+    for (const std::size_t o : observed) {
+        const double d = static_cast<double>(o) - expected;
+        chi2 += d * d / expected;
+    }
+    // dof = bins − 1 (parameters are fixed by construction, not fitted here).
+    const double dof = static_cast<double>(bins - 1);
+    return GofResult{chi2, gamma_q(0.5 * dof, 0.5 * chi2)};
+}
+
+double kolmogorov_q(double lambda) {
+    if (lambda <= 0.0) {
+        return 1.0;
+    }
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int j = 1; j <= 200; ++j) {
+        const double term = std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                                     lambda * lambda);
+        sum += sign * term;
+        if (term < 1e-12 * std::abs(sum) || term < 1e-300) {
+            break;
+        }
+        sign = -sign;
+    }
+    return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+GofResult ks_normality(std::span<const double> standardised) {
+    if (standardised.size() < 8) {
+        throw std::invalid_argument{"ks_normality: too few samples"};
+    }
+    std::vector<double> x(standardised.begin(), standardised.end());
+    std::sort(x.begin(), x.end());
+    const double n = static_cast<double>(x.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double cdf = norm_cdf(x[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        d = std::max({d, std::abs(cdf - lo), std::abs(hi - cdf)});
+    }
+    const double sqrtn = std::sqrt(n);
+    const double lambda = (sqrtn + 0.12 + 0.11 / sqrtn) * d;
+    return GofResult{d, kolmogorov_q(lambda)};
+}
+
+}  // namespace rrs

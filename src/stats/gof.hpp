@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file gof.hpp
+/// Goodness-of-fit machinery: histograms, χ² and Kolmogorov–Smirnov tests
+/// against the standard normal.  Surface heights generated from any of the
+/// paper's spectra are Gaussian (linear filtering of Gaussian noise); the
+/// test suite asserts that with these.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rrs {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// edge bins.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+    void add_range(std::span<const double> xs) noexcept;
+
+    std::size_t bin_count() const noexcept { return counts_.size(); }
+    std::size_t total() const noexcept { return total_; }
+    std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    double bin_lo(std::size_t bin) const;
+    double bin_hi(std::size_t bin) const;
+
+    /// Empirical density (count / total / width) for plotting.
+    std::vector<double> density() const;
+
+private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+struct GofResult {
+    double statistic = 0.0;  ///< χ² value or KS D statistic
+    double p_value = 0.0;    ///< probability of a statistic at least this extreme
+};
+
+/// Pearson χ² test of `standardised` samples (mean 0, sd 1 expected)
+/// against N(0,1), using `bins` equal-probability cells.
+GofResult chi_square_normality(std::span<const double> standardised, std::size_t bins = 32);
+
+/// One-sample Kolmogorov–Smirnov test of `standardised` samples against the
+/// standard normal CDF.  NOTE: sorts a copy of the data — O(n log n).
+GofResult ks_normality(std::span<const double> standardised);
+
+/// Kolmogorov's limiting distribution Q(λ) = 2 Σ (−1)^{j−1} e^{−2j²λ²}.
+double kolmogorov_q(double lambda);
+
+}  // namespace rrs

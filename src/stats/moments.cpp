@@ -1,0 +1,98 @@
+#include "stats/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrs {
+
+void MomentAccumulator::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    const double n1 = static_cast<double>(n_);
+    ++n_;
+    const double n = static_cast<double>(n_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+           4.0 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+    m2_ += term1;
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& o) noexcept {
+    if (o.n_ == 0) {
+        return;
+    }
+    if (n_ == 0) {
+        *this = o;
+        return;
+    }
+    // Pébay's pairwise update for combined central moments.
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double n = na + nb;
+    const double delta = o.mean_ - mean_;
+    const double d2 = delta * delta;
+    const double d3 = d2 * delta;
+    const double d4 = d3 * delta;
+
+    const double m4 = m4_ + o.m4_ +
+                      d4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                      6.0 * d2 * (na * na * o.m2_ + nb * nb * m2_) / (n * n) +
+                      4.0 * delta * (na * o.m3_ - nb * m3_) / n;
+    const double m3 = m3_ + o.m3_ + d3 * na * nb * (na - nb) / (n * n) +
+                      3.0 * delta * (na * o.m2_ - nb * m2_) / n;
+    const double m2 = m2_ + o.m2_ + d2 * na * nb / n;
+
+    mean_ = (na * mean_ + nb * o.mean_) / n;
+    m2_ = m2;
+    m3_ = m3;
+    m4_ = m4;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+double MomentAccumulator::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double MomentAccumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double MomentAccumulator::skewness() const noexcept {
+    if (n_ < 3 || m2_ <= 0.0) {
+        return 0.0;
+    }
+    const double n = static_cast<double>(n_);
+    return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double MomentAccumulator::excess_kurtosis() const noexcept {
+    if (n_ < 4 || m2_ <= 0.0) {
+        return 0.0;
+    }
+    const double n = static_cast<double>(n_);
+    return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+Moments snapshot(const MomentAccumulator& acc) {
+    return Moments{acc.count(),    acc.mean(),     acc.variance(),        acc.stddev(),
+                   acc.skewness(), acc.excess_kurtosis(), acc.min(), acc.max()};
+}
+
+Moments compute_moments(std::span<const double> data) {
+    MomentAccumulator acc;
+    for (const double x : data) {
+        acc.add(x);
+    }
+    return snapshot(acc);
+}
+
+}  // namespace rrs

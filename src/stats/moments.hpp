@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file moments.hpp
+/// One-pass descriptive statistics (Welford / Pébay update), used to verify
+/// generated surfaces against their target parameters: the paper's h is the
+/// standard deviation of height (eq. 1), and surface heights must be
+/// Gaussian with zero mean.
+
+#include <cstddef>
+#include <span>
+
+namespace rrs {
+
+/// Numerically stable accumulator for mean and 2nd–4th central moments.
+class MomentAccumulator {
+public:
+    void add(double x) noexcept;
+
+    /// Merge another accumulator (parallel reduction support).
+    void merge(const MomentAccumulator& o) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return mean_; }
+
+    /// Unbiased sample variance (n−1 denominator); 0 for n < 2.
+    double variance() const noexcept;
+
+    /// Population standard deviation estimate sqrt(variance()).
+    double stddev() const noexcept;
+
+    /// Sample skewness g1 = √n·M3 / M2^{3/2}; 0 for degenerate inputs.
+    double skewness() const noexcept;
+
+    /// Sample excess kurtosis g2 = n·M4/M2² − 3; 0 for degenerate inputs.
+    double excess_kurtosis() const noexcept;
+
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double m3_ = 0.0;
+    double m4_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Plain-value snapshot of the accumulator.
+struct Moments {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;
+    double stddev = 0.0;
+    double skewness = 0.0;
+    double excess_kurtosis = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// One-pass moments of a contiguous range.
+Moments compute_moments(std::span<const double> data);
+
+Moments snapshot(const MomentAccumulator& acc);
+
+}  // namespace rrs

@@ -1,0 +1,106 @@
+#include "stats/periodogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fft/fft2d.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+
+namespace {
+
+/// Hann taper value at index i of n samples.
+double hann(std::size_t i, std::size_t n) {
+    return 0.5 * (1.0 - std::cos(kTwoPi * static_cast<double>(i) /
+                                 static_cast<double>(n)));
+}
+
+}  // namespace
+
+Array2D<double> periodogram(const Array2D<double>& f, double Lx, double Ly,
+                            bool subtract_mean, SpectralWindow window) {
+    if (!(Lx > 0.0) || !(Ly > 0.0)) {
+        throw std::invalid_argument{"periodogram: domain lengths must be positive"};
+    }
+    const std::size_t nx = f.nx();
+    const std::size_t ny = f.ny();
+    const double dx = Lx / static_cast<double>(nx);
+    const double dy = Ly / static_cast<double>(ny);
+
+    double mean = 0.0;
+    if (subtract_mean) {
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            mean += f.data()[i];
+        }
+        mean /= static_cast<double>(f.size());
+    }
+
+    Array2D<cplx> c(nx, ny);
+    double window_power = 1.0;
+    if (window == SpectralWindow::kHann) {
+        double power = 0.0;
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+            const double wy = hann(iy, ny);
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+                const double w = hann(ix, nx) * wy;
+                c(ix, iy) = cplx{(f(ix, iy) - mean) * w, 0.0};
+                power += w * w;
+            }
+        }
+        window_power = power / static_cast<double>(f.size());
+    } else {
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            c.data()[i] = cplx{f.data()[i] - mean, 0.0};
+        }
+    }
+    Fft2D plan(nx, ny);
+    plan.forward(c);
+
+    // ∫f e^{-jKr} dr ≈ Δx·Δy·F_v at K_v, so
+    // Ŵ = (Δx·Δy)² |F|² / (4π² Lx Ly), divided by the window's mean-square
+    // to keep the estimate unbiased under tapering.
+    const double scale =
+        (dx * dy) * (dx * dy) / (4.0 * kPi * kPi * Lx * Ly * window_power);
+    Array2D<double> W(nx, ny);
+    for (std::size_t i = 0; i < W.size(); ++i) {
+        W.data()[i] = scale * std::norm(c.data()[i]);
+    }
+    return W;
+}
+
+SpectrumAverager::SpectrumAverager(std::size_t nx, std::size_t ny, double Lx, double Ly)
+    : Lx_(Lx), Ly_(Ly), sum_(nx, ny, 0.0) {}
+
+void SpectrumAverager::accumulate(const Array2D<double>& realisation) {
+    if (realisation.nx() != sum_.nx() || realisation.ny() != sum_.ny()) {
+        throw std::invalid_argument{"SpectrumAverager: shape mismatch"};
+    }
+    const Array2D<double> W = periodogram(realisation, Lx_, Ly_);
+    for (std::size_t i = 0; i < sum_.size(); ++i) {
+        sum_.data()[i] += W.data()[i];
+    }
+    ++count_;
+}
+
+Array2D<double> SpectrumAverager::average() const {
+    if (count_ == 0) {
+        throw std::logic_error{"SpectrumAverager: no realisations accumulated"};
+    }
+    Array2D<double> out(sum_.nx(), sum_.ny());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out.data()[i] = sum_.data()[i] / static_cast<double>(count_);
+    }
+    return out;
+}
+
+double spectrum_integral(const Array2D<double>& W, double Lx, double Ly) {
+    const double dK = (kTwoPi / Lx) * (kTwoPi / Ly);
+    double total = 0.0;
+    for (std::size_t i = 0; i < W.size(); ++i) {
+        total += W.data()[i];
+    }
+    return total * dK;
+}
+
+}  // namespace rrs

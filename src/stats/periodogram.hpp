@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file periodogram.hpp
+/// Spectral density estimation, normalised to the paper's convention
+/// (eq. 2): W(K) = (1/2π)² (1/LxLy) <|∫ f e^{−jK·r} dr|²>, so that
+/// ∬ W dK = h² (eq. 1).
+
+#include <cstddef>
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Data taper applied before the transform.
+enum class SpectralWindow {
+    kRect,  ///< no taper (raw periodogram)
+    kHann,  ///< separable 2-D Hann taper — suppresses leakage from the
+            ///< non-periodic sample boundary at the cost of resolution
+};
+
+/// One-shot periodogram Ŵ(K_m) of a surface sampled on an Lx×Ly domain.
+/// Bin (mx, my) corresponds to K = (2π·m̄x/Lx, 2π·m̄y/Ly) with signed
+/// aliasing per eq. (16).  Riemann sum of the result times ΔKx·ΔKy
+/// approximates h² (Parseval); window power is compensated so the
+/// estimate stays asymptotically unbiased with the Hann taper.
+Array2D<double> periodogram(const Array2D<double>& f, double Lx, double Ly,
+                            bool subtract_mean = true,
+                            SpectralWindow window = SpectralWindow::kRect);
+
+/// Welch-style averaging: accumulates periodograms of independent
+/// realisations to beat down the estimator's (100%) single-shot variance.
+class SpectrumAverager {
+public:
+    SpectrumAverager(std::size_t nx, std::size_t ny, double Lx, double Ly);
+
+    void accumulate(const Array2D<double>& realisation);
+
+    std::size_t count() const noexcept { return count_; }
+
+    /// Mean periodogram over all accumulated realisations.
+    Array2D<double> average() const;
+
+private:
+    double Lx_;
+    double Ly_;
+    Array2D<double> sum_;
+    std::size_t count_ = 0;
+};
+
+/// Riemann-sum ∬ Ŵ dK over all bins — should equal the sample variance h̃².
+double spectrum_integral(const Array2D<double>& W, double Lx, double Ly);
+
+}  // namespace rrs

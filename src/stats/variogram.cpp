@@ -1,0 +1,99 @@
+#include "stats/variogram.hpp"
+
+#include <stdexcept>
+
+namespace rrs {
+
+std::vector<double> semivariogram_x(const Array2D<double>& f, std::size_t max_lag) {
+    if (f.nx() <= max_lag) {
+        throw std::invalid_argument{"semivariogram_x: max_lag exceeds width"};
+    }
+    std::vector<double> gamma(max_lag + 1, 0.0);
+    for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+        double acc = 0.0;
+        for (std::size_t iy = 0; iy < f.ny(); ++iy) {
+            const auto row = f.row(iy);
+            for (std::size_t ix = 0; ix + lag < f.nx(); ++ix) {
+                const double d = row[ix + lag] - row[ix];
+                acc += d * d;
+            }
+        }
+        gamma[lag] =
+            0.5 * acc / (static_cast<double>(f.ny()) * static_cast<double>(f.nx() - lag));
+    }
+    return gamma;
+}
+
+std::vector<double> semivariogram_y(const Array2D<double>& f, std::size_t max_lag) {
+    if (f.ny() <= max_lag) {
+        throw std::invalid_argument{"semivariogram_y: max_lag exceeds height"};
+    }
+    std::vector<double> gamma(max_lag + 1, 0.0);
+    for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+        double acc = 0.0;
+        for (std::size_t iy = 0; iy + lag < f.ny(); ++iy) {
+            for (std::size_t ix = 0; ix < f.nx(); ++ix) {
+                const double d = f(ix, iy + lag) - f(ix, iy);
+                acc += d * d;
+            }
+        }
+        gamma[lag] =
+            0.5 * acc / (static_cast<double>(f.nx()) * static_cast<double>(f.ny() - lag));
+    }
+    return gamma;
+}
+
+std::vector<double> semivariogram(const std::vector<double>& f, std::size_t max_lag) {
+    if (f.size() <= max_lag) {
+        throw std::invalid_argument{"semivariogram: max_lag exceeds length"};
+    }
+    std::vector<double> gamma(max_lag + 1, 0.0);
+    for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i + lag < f.size(); ++i) {
+            const double d = f[i + lag] - f[i];
+            acc += d * d;
+        }
+        gamma[lag] = 0.5 * acc / static_cast<double>(f.size() - lag);
+    }
+    return gamma;
+}
+
+std::vector<double> variogram_from_acf(const std::vector<double>& acf) {
+    if (acf.empty()) {
+        throw std::invalid_argument{"variogram_from_acf: empty curve"};
+    }
+    std::vector<double> gamma(acf.size());
+    for (std::size_t k = 0; k < acf.size(); ++k) {
+        gamma[k] = acf[0] - acf[k];
+    }
+    return gamma;
+}
+
+double variogram_range(const std::vector<double>& gamma, double fraction) {
+    if (gamma.size() < 8) {
+        throw std::invalid_argument{"variogram_range: curve too short"};
+    }
+    // Sill: mean of the last quarter of the curve.
+    double sill = 0.0;
+    const std::size_t tail = gamma.size() / 4;
+    for (std::size_t k = gamma.size() - tail; k < gamma.size(); ++k) {
+        sill += gamma[k];
+    }
+    sill /= static_cast<double>(tail);
+    if (!(sill > 0.0)) {
+        return -1.0;
+    }
+    const double target = fraction * sill;
+    for (std::size_t k = 1; k < gamma.size(); ++k) {
+        if (gamma[k] >= target) {
+            const double a = gamma[k - 1];
+            const double b = gamma[k];
+            const double frac = (target - a) / (b - a);
+            return static_cast<double>(k - 1) + frac;
+        }
+    }
+    return -1.0;
+}
+
+}  // namespace rrs

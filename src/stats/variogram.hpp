@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file variogram.hpp
+/// Structure function (semivariogram) estimation — the geostatistics
+/// companion of the autocorrelation: for a stationary field
+/// D(lag) = E[(f(x+lag) − f(x))²] = 2(ρ(0) − ρ(lag)), so γ = D/2 rises
+/// from 0 to the sill h² over roughly one correlation length.  Preferred
+/// over the ACF when slow drifts contaminate long transects.
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+/// Semivariogram along the x axis: γ(k) for k = 0..max_lag, averaged over
+/// all rows and valid (non-wrapped) offsets.
+std::vector<double> semivariogram_x(const Array2D<double>& f, std::size_t max_lag);
+
+/// Semivariogram along the y axis.
+std::vector<double> semivariogram_y(const Array2D<double>& f, std::size_t max_lag);
+
+/// Semivariogram of a 1-D profile.
+std::vector<double> semivariogram(const std::vector<double>& f, std::size_t max_lag);
+
+/// Analytic semivariogram γ(lag) = ρ(0) − ρ(lag) from an autocorrelation
+/// curve (curve[0] must be ρ(0)).
+std::vector<double> variogram_from_acf(const std::vector<double>& acf);
+
+/// Lag (linear interpolation) at which a semivariogram first reaches
+/// `fraction` of its sill (the curve's final plateau value, estimated from
+/// its last quarter); a practical range estimator.  Negative if unreached.
+double variogram_range(const std::vector<double>& gamma, double fraction = 0.632);
+
+}  // namespace rrs

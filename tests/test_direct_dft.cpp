@@ -1,0 +1,139 @@
+// Tests for the direct DFT method (paper §2.4, eq. 30): generated surfaces
+// must be real, zero-mean, Gaussian, with variance h² and autocorrelation ρ.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/direct_dft.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/gof.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+TEST(DirectDft, RejectsNullSpectrum) {
+    EXPECT_THROW(DirectDftGenerator(nullptr, GridSpec::unit_spacing(16, 16)),
+                 std::invalid_argument);
+}
+
+TEST(DirectDft, ImaginaryResidueIsTiny) {
+    DirectDftGenerator gen(make_gaussian({1.0, 10.0, 10.0}),
+                           GridSpec::unit_spacing(128, 128));
+    double mi = -1.0;
+    const auto f = gen.generate(1, &mi);
+    EXPECT_GE(mi, 0.0);
+    EXPECT_LT(mi, 1e-9);
+}
+
+TEST(DirectDft, DeterministicInSeed) {
+    DirectDftGenerator gen(make_gaussian({1.0, 8.0, 8.0}), GridSpec::unit_spacing(64, 64));
+    EXPECT_EQ(gen.generate(5), gen.generate(5));
+    EXPECT_NE(gen.generate(5), gen.generate(6));
+}
+
+TEST(DirectDft, SurfaceVarianceMatchesTarget) {
+    const double h = 1.7;
+    DirectDftGenerator gen(make_gaussian({h, 10.0, 10.0}),
+                           GridSpec::unit_spacing(512, 512));
+    // Pool realisations: a single 512² field with cl = 10 has ~(512/10)²
+    // effective samples, so the variance of the variance is a few percent.
+    MomentAccumulator acc;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const auto f = gen.generate(seed);
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            acc.add(f.data()[i]);
+        }
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 0.08 * h);
+    EXPECT_NEAR(acc.stddev(), h, 0.05 * h);
+}
+
+TEST(DirectDft, HeightsAreGaussian) {
+    DirectDftGenerator gen(make_exponential({1.0, 6.0, 6.0}),
+                           GridSpec::unit_spacing(256, 256));
+    const auto f = gen.generate(77);
+    const Moments m = compute_moments({f.data(), f.size()});
+    std::vector<double> std_samples(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        std_samples[i] = (f.data()[i] - m.mean) / m.stddev;
+    }
+    // Correlated samples inflate the χ² statistic; KS on the standardised
+    // pool still detects gross non-normality.  Use generous thresholds.
+    const auto ks = ks_normality(std_samples);
+    EXPECT_LT(ks.statistic, 0.03);
+    EXPECT_NEAR(m.skewness, 0.0, 0.25);
+    EXPECT_NEAR(m.excess_kurtosis, 0.0, 0.4);
+}
+
+class DirectDftAcf : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectDftAcf, EmpiricalAcfTracksAnalyticRho) {
+    const SurfaceParams p{1.0, 16.0, 16.0};
+    SpectrumPtr s;
+    switch (GetParam()) {
+        case 0: s = make_gaussian(p); break;
+        case 1: s = make_power_law(p, 2.0); break;
+        default: s = make_exponential(p); break;
+    }
+    const GridSpec g = GridSpec::unit_spacing(512, 512);
+    DirectDftGenerator gen(s, g);
+    // Average the empirical ACF over realisations.
+    const std::size_t max_lag = 48;
+    std::vector<double> mean_acf(max_lag + 1, 0.0);
+    const int reps = 6;
+    for (int r = 0; r < reps; ++r) {
+        const auto f = gen.generate(100 + static_cast<std::uint64_t>(r));
+        const auto acf = circular_autocovariance(f, /*subtract_mean=*/false);
+        const auto slice = lag_slice_x(acf, max_lag);
+        for (std::size_t k = 0; k <= max_lag; ++k) {
+            mean_acf[k] += slice[k] / reps;
+        }
+    }
+    for (const std::size_t lag : {0u, 8u, 16u, 32u}) {
+        const double expect = s->autocorrelation(static_cast<double>(lag), 0.0);
+        EXPECT_NEAR(mean_acf[lag], expect, 0.08) << "family=" << GetParam() << " lag=" << lag;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DirectDftAcf, ::testing::Range(0, 3));
+
+TEST(DirectDft, AnisotropicCorrelationLengths) {
+    const SurfaceParams p{1.0, 24.0, 8.0};
+    DirectDftGenerator gen(make_gaussian(p), GridSpec::unit_spacing(512, 512));
+    std::vector<double> ax(61, 0.0), ay(61, 0.0);
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+        const auto f = gen.generate(300 + static_cast<std::uint64_t>(r));
+        const auto acf = circular_autocovariance(f, false);
+        const auto sx = lag_slice_x(acf, 60);
+        const auto sy = lag_slice_y(acf, 60);
+        for (std::size_t k = 0; k <= 60; ++k) {
+            ax[k] += sx[k] / reps;
+            ay[k] += sy[k] / reps;
+        }
+    }
+    EXPECT_NEAR(estimate_correlation_length(ax), 24.0, 3.0);
+    EXPECT_NEAR(estimate_correlation_length(ay), 8.0, 1.5);
+}
+
+TEST(DirectDft, SurfaceIsPeriodic) {
+    // The direct method's surfaces live on a torus: correlation between
+    // column 0 and column N−1 equals the lag-1 correlation, not the lag-N.
+    DirectDftGenerator gen(make_gaussian({1.0, 12.0, 12.0}),
+                           GridSpec::unit_spacing(128, 128));
+    const auto f = gen.generate(9);
+    double c_wrap = 0.0, c_adj = 0.0, var = 0.0;
+    for (std::size_t iy = 0; iy < 128; ++iy) {
+        c_wrap += f(0, iy) * f(127, iy);
+        c_adj += f(0, iy) * f(1, iy);
+        var += f(0, iy) * f(0, iy);
+    }
+    EXPECT_GT(c_wrap / var, 0.8);  // wraps around: highly correlated
+    EXPECT_GT(c_adj / var, 0.8);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,138 @@
+// Tests for paper §2.2: the discrete weighting arrays w (eq. 15) and
+// v = √w (eq. 17), and the DFT(w) ≈ ρ accuracy check the paper prescribes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/discrete_spectrum.hpp"
+#include "grid/permute.hpp"
+
+namespace rrs {
+namespace {
+
+SpectrumPtr spectrum_for(int idx, const SurfaceParams& p) {
+    switch (idx) {
+        case 0: return make_gaussian(p);
+        case 1: return make_power_law(p, 2.0);
+        case 2: return make_power_law(p, 3.0);
+        default: return make_exponential(p);
+    }
+}
+
+class DiscreteSpectrumFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscreteSpectrumFamilies, WeightSumApproximatesVariance) {
+    const SurfaceParams p{1.2, 20.0, 20.0};
+    const auto s = spectrum_for(GetParam(), p);
+    const GridSpec g = GridSpec::unit_spacing(512, 512);
+    const auto w = weight_array(*s, g);
+    // Slow-decaying spectra (exponential) keep a little mass beyond the
+    // Nyquist band; 2% covers every family at this grid.
+    EXPECT_NEAR(weight_sum(w), p.h * p.h, 0.02 * p.h * p.h);
+}
+
+TEST_P(DiscreteSpectrumFamilies, WeightsAreNonNegativeAndEven) {
+    const SurfaceParams p{1.0, 12.0, 24.0};
+    const auto s = spectrum_for(GetParam(), p);
+    const GridSpec g = GridSpec::unit_spacing(64, 128);
+    const auto w = weight_array(*s, g);
+    for (std::size_t my = 0; my < g.Ny; ++my) {
+        const std::size_t cy = (g.Ny - my) % g.Ny;
+        for (std::size_t mx = 0; mx < g.Nx; ++mx) {
+            const std::size_t cx = (g.Nx - mx) % g.Nx;
+            EXPECT_GE(w(mx, my), 0.0);
+            EXPECT_NEAR(w(mx, my), w(cx, cy), 1e-15) << mx << "," << my;
+        }
+    }
+}
+
+TEST_P(DiscreteSpectrumFamilies, SqrtWeightsSquareBackToWeights) {
+    const SurfaceParams p{0.7, 10.0, 10.0};
+    const auto s = spectrum_for(GetParam(), p);
+    const GridSpec g = GridSpec::unit_spacing(64, 64);
+    const auto w = weight_array(*s, g);
+    const auto v = sqrt_weight_array(*s, g);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_NEAR(v.data()[i] * v.data()[i], w.data()[i], 1e-14);
+    }
+}
+
+TEST_P(DiscreteSpectrumFamilies, DftOfWeightsMatchesAnalyticRho) {
+    // The paper's accuracy check: DFT(w) ≈ ρ(r_n) (§2.2).
+    const SurfaceParams p{1.0, 30.0, 30.0};
+    const auto s = spectrum_for(GetParam(), p);
+    const GridSpec g = GridSpec::unit_spacing(512, 512);
+    const auto w = weight_array(*s, g);
+    double max_imag = 0.0;
+    const auto rho_hat = weight_autocorr_check(w, &max_imag);
+    const auto rho = analytic_autocorr_grid(*s, g);
+    EXPECT_LT(max_imag, 1e-10);
+    // Max error dominated by spectral aliasing; 2% of h² is ample here and
+    // the Gaussian family is orders of magnitude tighter.
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < rho.size(); ++i) {
+        max_err = std::max(max_err, std::abs(rho_hat.data()[i] - rho.data()[i]));
+    }
+    EXPECT_LT(max_err, 0.02 * p.h * p.h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DiscreteSpectrumFamilies, ::testing::Range(0, 4));
+
+TEST(DiscreteSpectrum, GaussianAccuracyIsNearMachine) {
+    // For cl ≪ L the Gaussian spectrum has no aliasing to speak of:
+    // the paper's check should be satisfied to ~1e-9.
+    const auto s = make_gaussian({1.0, 20.0, 20.0});
+    const GridSpec g = GridSpec::unit_spacing(512, 512);
+    const auto w = weight_array(*s, g);
+    const auto rho_hat = weight_autocorr_check(w);
+    const auto rho = analytic_autocorr_grid(*s, g);
+    EXPECT_LT(max_abs_diff(rho_hat, rho), 1e-9);
+}
+
+TEST(DiscreteSpectrum, ZeroLagRecoversVariance) {
+    const auto s = make_gaussian({2.0, 16.0, 16.0});
+    const GridSpec g = GridSpec::unit_spacing(256, 256);
+    const auto rho_hat = weight_autocorr_check(weight_array(*s, g));
+    EXPECT_NEAR(rho_hat(0, 0), 4.0, 1e-6);
+}
+
+TEST(DiscreteSpectrum, AnalyticGridUsesAliasedLags) {
+    const auto s = make_gaussian({1.0, 4.0, 4.0});
+    const GridSpec g = GridSpec::unit_spacing(32, 32);
+    const auto rho = analytic_autocorr_grid(*s, g);
+    // Lag bin 31 aliases to −1: ρ(−1) = ρ(1).
+    EXPECT_NEAR(rho(31, 0), rho(1, 0), 1e-15);
+    EXPECT_NEAR(rho(0, 31), rho(0, 1), 1e-15);
+    // Bin 16 aliases to −16.
+    EXPECT_NEAR(rho(16, 0), s->autocorrelation(-16.0, 0.0), 1e-15);
+}
+
+TEST(DiscreteSpectrum, PhysicalSpacingScalesFrequencies) {
+    // Same spectrum sampled with dx = 2 (L = 2N) must halve ΔK and keep
+    // Σw ≈ h².
+    const auto s = make_gaussian({1.0, 20.0, 20.0});
+    const GridSpec g{512.0, 512.0, 256, 256};  // dx = dy = 2
+    EXPECT_DOUBLE_EQ(g.dx(), 2.0);
+    const auto w = weight_array(*s, g);
+    EXPECT_NEAR(weight_sum(w), 1.0, 0.02);
+}
+
+TEST(GridSpecValidation, RejectsBadGrids) {
+    EXPECT_THROW((GridSpec{0.0, 1.0, 4, 4}).validate(), std::invalid_argument);
+    EXPECT_THROW((GridSpec{1.0, 1.0, 3, 4}).validate(), std::invalid_argument);
+    EXPECT_THROW((GridSpec{1.0, 1.0, 4, 0}).validate(), std::invalid_argument);
+    EXPECT_NO_THROW((GridSpec{1.0, 1.0, 4, 4}).validate());
+}
+
+TEST(GridSpecValidation, DerivedQuantities) {
+    const GridSpec g{100.0, 50.0, 200, 50};
+    EXPECT_DOUBLE_EQ(g.dx(), 0.5);
+    EXPECT_DOUBLE_EQ(g.dy(), 1.0);
+    EXPECT_EQ(g.Mx(), 100u);
+    EXPECT_EQ(g.My(), 25u);
+    EXPECT_NEAR(g.dKx(), kTwoPi / 100.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,55 @@
+// Tests for the ensemble-averaging helper.
+
+#include <gtest/gtest.h>
+
+#include "core/convolution.hpp"
+#include "stats/ensemble.hpp"
+
+namespace rrs {
+namespace {
+
+TEST(Ensemble, RecoversTargetStatistics) {
+    const SurfaceParams p{1.5, 10.0, 10.0};
+    const auto s = make_gaussian(p);
+    const ConvolutionKernel kernel =
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(128, 128), 1e-8);
+
+    const auto stats = ensemble_stats(
+        [&](std::uint64_t seed) {
+            const ConvolutionGenerator gen(kernel, seed);
+            return gen.generate(Rect{0, 0, 256, 256});
+        },
+        6, 40);
+
+    EXPECT_EQ(stats.realisations, 6u);
+    EXPECT_EQ(stats.moments.count, 6u * 256u * 256u);
+    EXPECT_NEAR(stats.moments.stddev, 1.5, 0.08);
+    EXPECT_NEAR(stats.moments.mean, 0.0, 0.05);
+    EXPECT_NEAR(stats.cl_x, 10.0, 1.2);
+    EXPECT_NEAR(stats.cl_y, 10.0, 1.2);
+    // ACF curves start at the variance and decay.
+    EXPECT_NEAR(stats.acf_x[0], 2.25, 0.25);
+    EXPECT_LT(stats.acf_x[20], stats.acf_x[5]);
+}
+
+TEST(Ensemble, AnisotropyShowsInAxisCurves) {
+    const auto s = make_gaussian({1.0, 16.0, 4.0});
+    const ConvolutionKernel kernel =
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(128, 128), 1e-8);
+    const auto stats = ensemble_stats(
+        [&](std::uint64_t seed) {
+            const ConvolutionGenerator gen(kernel, 100 + seed);
+            return gen.generate(Rect{0, 0, 256, 256});
+        },
+        4, 40);
+    EXPECT_GT(stats.cl_x, 2.0 * stats.cl_y);
+}
+
+TEST(Ensemble, Validation) {
+    const auto make = [](std::uint64_t) { return Array2D<double>(16, 16, 0.0); };
+    EXPECT_THROW(ensemble_stats(make, 0, 4), std::invalid_argument);
+    EXPECT_THROW(ensemble_stats(make, 1, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs

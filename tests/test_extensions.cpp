@@ -1,0 +1,292 @@
+// Tests for the extension modules: semivariogram, gradient/slope fields,
+// PolygonMap, and the Hann-windowed periodogram.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/convolution.hpp"
+#include "core/gradient.hpp"
+#include "core/inhomogeneous.hpp"
+#include "core/polygon_map.hpp"
+#include "core/surface.hpp"
+#include "io/scene.hpp"
+#include "special/constants.hpp"
+#include "stats/periodogram.hpp"
+#include "stats/variogram.hpp"
+
+namespace rrs {
+namespace {
+
+// --- variogram -----------------------------------------------------------------
+
+TEST(Variogram, LinearRampHasQuadraticGamma) {
+    // f(ix) = ix: γ(k) = k²/2 exactly.
+    Array2D<double> f(64, 4);
+    for (std::size_t iy = 0; iy < 4; ++iy) {
+        for (std::size_t ix = 0; ix < 64; ++ix) {
+            f(ix, iy) = static_cast<double>(ix);
+        }
+    }
+    const auto g = semivariogram_x(f, 8);
+    for (std::size_t k = 0; k <= 8; ++k) {
+        EXPECT_NEAR(g[k], 0.5 * static_cast<double>(k * k), 1e-12);
+    }
+    // No variation along y.
+    const auto gy = semivariogram_y(f, 3);
+    EXPECT_NEAR(gy[1], 0.0, 1e-12);
+    EXPECT_NEAR(gy[3], 0.0, 1e-12);
+}
+
+TEST(Variogram, MatchesAcfIdentityOnGeneratedSurface) {
+    // γ(lag) = ρ(0) − ρ(lag) for a stationary field; check estimates agree.
+    const auto s = make_gaussian({1.0, 8.0, 8.0});
+    const ConvolutionGenerator gen(
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(128, 128), 1e-8), 7);
+    const auto f = gen.generate(Rect{0, 0, 384, 384});
+    const auto gamma = semivariogram_x(f, 24);
+    for (const std::size_t lag : {4u, 8u, 16u}) {
+        const double expect = s->autocorrelation(0, 0) -
+                              s->autocorrelation(static_cast<double>(lag), 0.0);
+        EXPECT_NEAR(gamma[lag], expect, 0.12) << "lag=" << lag;
+    }
+}
+
+TEST(Variogram, ProfileVersionMatches2dRows) {
+    Array2D<double> f(32, 1);
+    for (std::size_t ix = 0; ix < 32; ++ix) {
+        f(ix, 0) = std::sin(0.3 * static_cast<double>(ix));
+    }
+    const auto g2 = semivariogram_x(f, 6);
+    const auto g1 = semivariogram(extract_row(f, 0), 6);
+    for (std::size_t k = 0; k <= 6; ++k) {
+        EXPECT_NEAR(g1[k], g2[k], 1e-12);
+    }
+}
+
+TEST(Variogram, RangeEstimator) {
+    // Exponential model: γ = 1 − e^{−k/12}; 63.2% of the sill ~ the range.
+    std::vector<double> gamma;
+    for (int k = 0; k < 120; ++k) {
+        gamma.push_back(1.0 - std::exp(-static_cast<double>(k) / 12.0));
+    }
+    EXPECT_NEAR(variogram_range(gamma), 12.0, 1.5);
+    EXPECT_THROW(variogram_range({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Variogram, FromAcfHelper) {
+    const std::vector<double> acf{4.0, 3.0, 1.0};
+    const auto g = variogram_from_acf(acf);
+    EXPECT_EQ(g, (std::vector<double>{0.0, 1.0, 3.0}));
+    EXPECT_THROW(variogram_from_acf({}), std::invalid_argument);
+}
+
+TEST(Variogram, Validation) {
+    Array2D<double> f(8, 8, 0.0);
+    EXPECT_THROW(semivariogram_x(f, 8), std::invalid_argument);
+    EXPECT_THROW(semivariogram_y(f, 9), std::invalid_argument);
+    EXPECT_THROW(semivariogram(std::vector<double>(4, 0.0), 4), std::invalid_argument);
+}
+
+// --- gradient ------------------------------------------------------------------
+
+TEST(Gradient, ExactOnLinearField) {
+    Array2D<double> f(16, 12);
+    for (std::size_t iy = 0; iy < 12; ++iy) {
+        for (std::size_t ix = 0; ix < 16; ++ix) {
+            f(ix, iy) = 3.0 * static_cast<double>(ix) - 2.0 * static_cast<double>(iy);
+        }
+    }
+    const auto gx = slope_x(f, 1.0);
+    const auto gy = slope_y(f, 1.0);
+    for (std::size_t i = 0; i < gx.size(); ++i) {
+        EXPECT_NEAR(gx.data()[i], 3.0, 1e-12);
+        EXPECT_NEAR(gy.data()[i], -2.0, 1e-12);
+    }
+    const auto mag = gradient_magnitude(f, 1.0, 1.0);
+    EXPECT_NEAR(mag(5, 5), std::sqrt(13.0), 1e-12);
+    const auto rms = rms_slopes(f, 1.0, 1.0);
+    EXPECT_NEAR(rms.x, 3.0, 1e-12);
+    EXPECT_NEAR(rms.y, 2.0, 1e-12);
+    EXPECT_NEAR(rms.total, std::sqrt(13.0), 1e-12);
+}
+
+TEST(Gradient, SpacingScales) {
+    Array2D<double> f(8, 8);
+    for (std::size_t iy = 0; iy < 8; ++iy) {
+        for (std::size_t ix = 0; ix < 8; ++ix) {
+            f(ix, iy) = static_cast<double>(ix);
+        }
+    }
+    EXPECT_NEAR(slope_x(f, 2.0)(4, 4), 0.5, 1e-12);
+}
+
+TEST(Gradient, RmsSlopeTracksAnalyticForGaussianSurface) {
+    // For ρ = h²e^{−x²/cl²}, the x-slope variance is −ρ''(0) = 2h²/cl².
+    const double h = 1.0;
+    const double cl = 12.0;
+    const auto s = make_gaussian({h, cl, cl});
+    const ConvolutionGenerator gen(
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(128, 128), 1e-10), 3);
+    const auto f = gen.generate(Rect{0, 0, 512, 512});
+    const auto rms = rms_slopes(f, 1.0, 1.0);
+    const double expect = std::sqrt(2.0) * h / cl;
+    EXPECT_NEAR(rms.x, expect, 0.15 * expect);
+    EXPECT_NEAR(rms.y, expect, 0.15 * expect);
+}
+
+TEST(Gradient, Validation) {
+    Array2D<double> tiny(1, 4, 0.0);
+    EXPECT_THROW(slope_x(tiny, 1.0), std::invalid_argument);
+    Array2D<double> ok(4, 4, 0.0);
+    EXPECT_THROW(slope_x(ok, 0.0), std::invalid_argument);
+}
+
+// --- polygon map -----------------------------------------------------------------
+
+std::shared_ptr<const PolygonMap> unit_square_map(double T = 0.5) {
+    return std::make_shared<const PolygonMap>(
+        std::vector<PolyVertex>{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+        make_gaussian({0.2, 2, 2}), make_gaussian({1.0, 2, 2}), T);
+}
+
+TEST(PolygonMap, ContainsSquare) {
+    const auto m = unit_square_map();
+    EXPECT_TRUE(m->contains(5, 5));
+    EXPECT_TRUE(m->contains(0.1, 9.9));
+    EXPECT_FALSE(m->contains(-1, 5));
+    EXPECT_FALSE(m->contains(5, 11));
+}
+
+TEST(PolygonMap, SignedDistanceSquare) {
+    const auto m = unit_square_map();
+    EXPECT_NEAR(m->signed_distance(5, 5), -5.0, 1e-12);
+    EXPECT_NEAR(m->signed_distance(5, -3), 3.0, 1e-12);
+    EXPECT_NEAR(m->signed_distance(13, 14), 5.0, 1e-12);  // corner distance
+    EXPECT_NEAR(m->signed_distance(5, 0), 0.0, 1e-12);
+}
+
+TEST(PolygonMap, WeightsRampAcrossBoundary) {
+    const auto m = unit_square_map(1.0);
+    std::vector<double> g(2);
+    m->weights_at(5.0, 5.0, g);
+    EXPECT_NEAR(g[0], 1.0, 1e-12);
+    m->weights_at(5.0, 0.0, g);  // on the edge
+    EXPECT_NEAR(g[0], 0.5, 1e-12);
+    m->weights_at(5.0, -2.0, g);  // beyond the band
+    EXPECT_NEAR(g[1], 1.0, 1e-12);
+    m->weights_at(5.0, -0.5, g);  // halfway out
+    EXPECT_NEAR(g[1], 0.75, 1e-12);
+}
+
+TEST(PolygonMap, ConcavePolygon) {
+    // L-shape: the notch at (7, 7) is outside.
+    const auto m = std::make_shared<const PolygonMap>(
+        std::vector<PolyVertex>{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}},
+        make_gaussian({1, 1, 1}), make_gaussian({2, 1, 1}), 0.5);
+    EXPECT_TRUE(m->contains(2, 2));
+    EXPECT_TRUE(m->contains(8, 2));
+    EXPECT_TRUE(m->contains(2, 8));
+    EXPECT_FALSE(m->contains(8, 8));
+}
+
+TEST(PolygonMap, WorksWithInhomogeneousGenerator) {
+    const auto m = std::make_shared<const PolygonMap>(
+        std::vector<PolyVertex>{{8, 8}, {40, 8}, {40, 40}, {8, 40}},
+        make_gaussian({0.2, 3, 3}), make_gaussian({1.0, 3, 3}), 3.0);
+    const InhomogeneousGenerator gen(m, GridSpec::unit_spacing(64, 64), 3, {});
+    const Rect r{0, 0, 48, 48};
+    EXPECT_LT(max_abs_diff(gen.generate(r), gen.generate_reference(r)), 1e-10);
+}
+
+TEST(PolygonMap, Validation) {
+    EXPECT_THROW(PolygonMap({{0, 0}, {1, 0}}, make_gaussian({1, 1, 1}),
+                            make_gaussian({1, 1, 1}), 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(PolygonMap({{0, 0}, {1, 0}, {0, 1}}, make_gaussian({1, 1, 1}),
+                            make_gaussian({1, 1, 1}), 0.0),
+                 std::invalid_argument);
+}
+
+TEST(PolygonMap, SceneParserSupport) {
+    const Scene s = parse_scene_text(R"(
+[spectrum a]
+family = gaussian
+h = 0.2
+cl = 3
+[spectrum b]
+family = gaussian
+h = 1.0
+cl = 3
+[map]
+type = polygon
+transition = 2
+inside = a
+outside = b
+vertex = 0 0
+vertex = 20 0
+vertex = 10 20
+)");
+    EXPECT_EQ(s.map->region_count(), 2u);
+    std::vector<double> g(2);
+    s.map->weights_at(10.0, 5.0, g);
+    EXPECT_NEAR(g[0], 1.0, 1e-12);
+    EXPECT_THROW(parse_scene_text(R"(
+[spectrum a]
+family = gaussian
+h = 1
+cl = 1
+[map]
+type = polygon
+transition = 1
+inside = a
+outside = a
+vertex = 0 0
+vertex = 1 0
+)"),
+                 SceneError);
+}
+
+// --- Hann periodogram ---------------------------------------------------------
+
+TEST(HannPeriodogram, StaysUnbiasedOnWhiteNoise) {
+    const GaussianLattice lat{12};
+    const std::size_t n = 128;
+    Array2D<double> f(n, n);
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            f(ix, iy) = lat(static_cast<std::int64_t>(ix), static_cast<std::int64_t>(iy));
+        }
+    }
+    const auto Wr = periodogram(f, static_cast<double>(n), static_cast<double>(n), true,
+                                SpectralWindow::kRect);
+    const auto Wh = periodogram(f, static_cast<double>(n), static_cast<double>(n), true,
+                                SpectralWindow::kHann);
+    // Total power preserved by the window normalisation (within taper
+    // estimator noise).
+    const double pr = spectrum_integral(Wr, static_cast<double>(n), static_cast<double>(n));
+    const double ph = spectrum_integral(Wh, static_cast<double>(n), static_cast<double>(n));
+    EXPECT_NEAR(ph, pr, 0.15 * pr);
+}
+
+TEST(HannPeriodogram, SuppressesLeakageFromNonPeriodicTone) {
+    // A tone at a non-integer bin frequency leaks broadly with the rect
+    // window; Hann confines it near its bin.
+    const std::size_t n = 128;
+    Array2D<double> f(n, n);
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            f(ix, iy) = std::cos(kTwoPi * 10.37 * static_cast<double>(ix) /
+                                 static_cast<double>(n));
+        }
+    }
+    const double L = static_cast<double>(n);
+    const auto Wr = periodogram(f, L, L, true, SpectralWindow::kRect);
+    const auto Wh = periodogram(f, L, L, true, SpectralWindow::kHann);
+    // Far-off bin (m = 40): Hann suppresses leakage by orders of magnitude.
+    EXPECT_LT(Wh(40, 0), 1e-3 * Wr(40, 0));
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,171 @@
+// Tests for the 2-D FDTD (TMz) substrate: pulse propagation speed,
+// stability, PEC behaviour, Mur absorption, and the image theorem.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fdtd/fdtd2d.hpp"
+
+namespace rrs {
+namespace {
+
+FdtdConfig square(std::size_t n) {
+    FdtdConfig c;
+    c.nx = n;
+    c.ny = n;
+    c.courant = 0.5;
+    return c;
+}
+
+TEST(Fdtd, ConfigValidation) {
+    EXPECT_THROW(Fdtd2D(FdtdConfig{4, 64, 0.5}), std::invalid_argument);
+    EXPECT_THROW(Fdtd2D(FdtdConfig{64, 64, 0.9}), std::invalid_argument);  // > 1/sqrt(2)
+    EXPECT_THROW(Fdtd2D(FdtdConfig{64, 64, 0.0}), std::invalid_argument);
+    EXPECT_NO_THROW(Fdtd2D(square(16)));
+}
+
+TEST(Fdtd, PulseArrivalTimeMatchesWaveSpeed) {
+    // A pulse launched at the centre reaches a probe `d` cells away after
+    // ~d/(c·Δt) = d/S steps (plus the source delay).
+    Fdtd2D sim(square(160));
+    const std::size_t d = 50;
+    const auto probe = sim.add_probe(80 + d, 80);
+    GaussianPulse pulse{40.0, 10.0};
+    sim.run(300, 80, 80, pulse);
+
+    const auto& samples = sim.probe(probe).samples;
+    // Time of the peak |Ez|: pulse centre (delay) plus travel time d/S.
+    std::size_t arrival = 0;
+    double peak = 0.0;
+    for (std::size_t n = 0; n < samples.size(); ++n) {
+        if (std::abs(samples[n]) > peak) {
+            peak = std::abs(samples[n]);
+            arrival = n;
+        }
+    }
+    ASSERT_GT(peak, 0.0);
+    const double expected = 40.0 + static_cast<double>(d) / 0.5;  // delay + travel
+    EXPECT_NEAR(static_cast<double>(arrival), expected, 12.0);
+}
+
+TEST(Fdtd, StaysStableForManySteps) {
+    Fdtd2D sim(square(64));
+    GaussianPulse pulse{30.0, 8.0};
+    sim.run(2000, 32, 32, pulse);
+    EXPECT_LT(sim.max_abs_ez(), 10.0);  // bounded, no blow-up
+    EXPECT_TRUE(std::isfinite(sim.max_abs_ez()));
+}
+
+TEST(Fdtd, MurBoundaryAbsorbs) {
+    // After the pulse leaves a small grid, the residual field is a small
+    // fraction of the peak (first-order Mur: a few percent).
+    Fdtd2D sim(square(80));
+    const auto probe = sim.add_probe(40, 40);
+    GaussianPulse pulse{30.0, 8.0};
+    sim.run(900, 40, 40, pulse);
+    const double peak = sim.probe(probe).peak_abs();
+    EXPECT_LT(sim.max_abs_ez(), 0.05 * peak);
+}
+
+TEST(Fdtd, PecCellsStayZeroAndReflect) {
+    Fdtd2D sim(square(120));
+    // Vertical PEC wall at ix = 80.
+    for (std::size_t iy = 0; iy < 120; ++iy) {
+        sim.set_pec(80, iy);
+    }
+    EXPECT_TRUE(sim.is_pec(80, 5));
+    const auto on_wall = sim.add_probe(80, 60);
+    const auto before_wall = sim.add_probe(70, 60);
+    GaussianPulse pulse{35.0, 9.0};
+    sim.run(400, 40, 60, pulse);
+
+    EXPECT_EQ(sim.probe(on_wall).peak_abs(), 0.0);
+    // The probe between source and wall sees the incident pulse and then a
+    // reflected pulse: two well-separated excursions.  Direct path 30 cells
+    // (60 steps + delay 35 ≈ 95); reflected path 30 + 20 = 50 cells
+    // (100 steps → ≈ 135).
+    const auto& s = sim.probe(before_wall).samples;
+    const double peak = sim.probe(before_wall).peak_abs();
+    std::size_t late_peak_at = 0;
+    double late_peak = 0.0;
+    for (std::size_t n = 115; n < 220; ++n) {
+        if (std::abs(s[n]) > late_peak) {
+            late_peak = std::abs(s[n]);
+            late_peak_at = n;
+        }
+    }
+    EXPECT_GT(late_peak, 0.15 * peak) << "no reflection seen";
+    EXPECT_GT(late_peak_at, 115u);
+}
+
+TEST(Fdtd, ImageTheoremOverPecGround) {
+    // TMz Ez is tangential to a horizontal PEC ground, so the field of a
+    // source at height a above the ground equals (above the ground) the
+    // free-space field of the source plus a negated image at −a.
+    const std::size_t n = 140;
+    const std::size_t ground_y = 30;
+    const std::size_t src_h = 14;
+
+    // (a) source above a PEC ground plane.
+    Fdtd2D with_ground(square(n));
+    for (std::size_t ix = 0; ix < n; ++ix) {
+        for (std::size_t iy = 0; iy <= ground_y; ++iy) {
+            with_ground.set_pec(ix, iy);
+        }
+    }
+    const auto pg = with_ground.add_probe(100, ground_y + 22);
+    GaussianPulse pulse{35.0, 9.0};
+    with_ground.run(320, 60, ground_y + src_h, pulse);
+
+    // (b) free space, by superposition (the solver is linear): field of the
+    // source minus the field of the mirrored source, from two separate runs.
+    Fdtd2D run_a(square(n));
+    const auto pa = run_a.add_probe(100, ground_y + 22);
+    run_a.run(320, 60, ground_y + src_h, GaussianPulse{35.0, 9.0});
+    Fdtd2D run_b(square(n));
+    const auto pb = run_b.add_probe(100, ground_y + 22);
+    run_b.run(320, 60, ground_y - src_h, GaussianPulse{35.0, 9.0});
+
+    double max_err = 0.0;
+    double scale = 0.0;
+    for (std::size_t t = 0; t < 320; ++t) {
+        const double expect = run_a.probe(pa).samples[t] - run_b.probe(pb).samples[t];
+        const double got = with_ground.probe(pg).samples[t];
+        max_err = std::max(max_err, std::abs(got - expect));
+        scale = std::max(scale, std::abs(expect));
+    }
+    ASSERT_GT(scale, 0.0);
+    // Staircase PEC vs exact mirror + Mur corners: a few percent agreement.
+    EXPECT_LT(max_err, 0.08 * scale);
+}
+
+TEST(Fdtd, GroundProfileFillsPec) {
+    Fdtd2D sim(square(16));
+    std::vector<double> ground(16, 3.0);
+    ground[5] = 7.0;
+    ground[6] = -2.0;  // below grid: no PEC in that column
+    sim.set_ground(ground);
+    EXPECT_TRUE(sim.is_pec(0, 3));
+    EXPECT_FALSE(sim.is_pec(0, 4));
+    EXPECT_TRUE(sim.is_pec(5, 7));
+    EXPECT_FALSE(sim.is_pec(5, 8));
+    EXPECT_FALSE(sim.is_pec(6, 0));
+    EXPECT_THROW(sim.set_ground(std::vector<double>(4, 0.0)), std::invalid_argument);
+}
+
+TEST(Fdtd, RoughGroundSweepRunsAndDecays) {
+    // Flat ground: amplitude decays with distance (cylindrical spreading +
+    // ground interference), and the sweep API returns sane data.
+    std::vector<double> flat(200, 0.0);
+    const auto res =
+        rough_ground_cw_sweep(flat, 6.0, 6.0, {40, 80, 160}, /*wavelength=*/16.0, 40);
+    ASSERT_EQ(res.distance.size(), 3u);
+    EXPECT_GT(res.amplitude[0], 0.0);
+    EXPECT_GT(res.amplitude[0], res.amplitude[2]);
+    EXPECT_THROW(rough_ground_cw_sweep({}, 5, 5, {1}, 16, 40), std::invalid_argument);
+    EXPECT_THROW(rough_ground_cw_sweep(flat, 5, 5, {500}, 16, 40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs

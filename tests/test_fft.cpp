@@ -1,0 +1,286 @@
+// Tests for the FFT substrate: 1-D (radix-2 and Bluestein) and 2-D
+// transforms, validated against the naive O(N²) DFT (the literal paper
+// eqs. 11-12) and against analytic transform identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "fft/fft2d.hpp"
+#include "fft/reference.hpp"
+#include "rng/engines.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+    SplitMix64 eng{seed};
+    std::vector<cplx> x(n);
+    for (auto& v : x) {
+        v = cplx{2.0 * to_unit_halfopen(eng()) - 1.0, 2.0 * to_unit_halfopen(eng()) - 1.0};
+    }
+    return x;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+// --- parameterized: FFT matches the naive DFT for many lengths -------------
+
+class FftVsNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsNaive, ForwardMatchesNaiveDft) {
+    const std::size_t n = GetParam();
+    auto x = random_signal(n, 1234 + n);
+    const auto expect = naive_dft(x);
+    Fft1D plan(n);
+    plan.forward(x);
+    EXPECT_LT(max_err(x, expect), 1e-9 * static_cast<double>(n)) << "n=" << n;
+}
+
+TEST_P(FftVsNaive, InverseMatchesNaiveInverse) {
+    const std::size_t n = GetParam();
+    auto x = random_signal(n, 77 + n);
+    const auto expect = naive_dft(x, /*inverse=*/true);
+    Fft1D plan(n);
+    plan.inverse(x);
+    EXPECT_LT(max_err(x, expect), 1e-10 * static_cast<double>(n)) << "n=" << n;
+}
+
+TEST_P(FftVsNaive, RoundTripIsIdentity) {
+    const std::size_t n = GetParam();
+    const auto orig = random_signal(n, 9000 + n);
+    auto x = orig;
+    Fft1D plan(n);
+    plan.forward(x);
+    plan.inverse(x);
+    EXPECT_LT(max_err(x, orig), 1e-11 * static_cast<double>(n)) << "n=" << n;
+}
+
+TEST_P(FftVsNaive, ParsevalHolds) {
+    const std::size_t n = GetParam();
+    auto x = random_signal(n, 31 + n);
+    double time_energy = 0.0;
+    for (const auto& v : x) {
+        time_energy += std::norm(v);
+    }
+    Fft1D plan(n);
+    plan.forward(x);
+    double freq_energy = 0.0;
+    for (const auto& v : x) {
+        freq_energy += std::norm(v);
+    }
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+                1e-10 * time_energy * static_cast<double>(n));
+}
+
+// Powers of two (radix-2 path), odd/prime/mixed (Bluestein path).
+INSTANTIATE_TEST_SUITE_P(Lengths, FftVsNaive,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 7, 8, 12, 13, 16,
+                                                        27, 31, 32, 48, 64, 97, 100, 128,
+                                                        210, 256, 257));
+
+// --- targeted 1-D properties ------------------------------------------------
+
+TEST(Fft1D, DeltaTransformsToAllOnes) {
+    const std::size_t n = 64;
+    std::vector<cplx> x(n, cplx{});
+    x[0] = cplx{1.0, 0.0};
+    Fft1D plan(n);
+    plan.forward(x);
+    for (const auto& v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft1D, ConstantTransformsToScaledDelta) {
+    const std::size_t n = 32;
+    std::vector<cplx> x(n, cplx{1.0, 0.0});
+    Fft1D plan(n);
+    plan.forward(x);
+    EXPECT_NEAR(x[0].real(), static_cast<double>(n), 1e-11);
+    for (std::size_t k = 1; k < n; ++k) {
+        EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10);
+    }
+}
+
+TEST(Fft1D, SingleToneLandsInItsBin) {
+    const std::size_t n = 128;
+    const std::size_t tone = 5;
+    std::vector<cplx> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ang = kTwoPi * static_cast<double>(tone * i) / static_cast<double>(n);
+        x[i] = cplx{std::cos(ang), std::sin(ang)};  // e^{+jωt}, forward uses e^{−jωt}
+    }
+    Fft1D plan(n);
+    plan.forward(x);
+    EXPECT_NEAR(x[tone].real(), static_cast<double>(n), 1e-9);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k != tone) {
+            EXPECT_LT(std::abs(x[k]), 1e-9) << "k=" << k;
+        }
+    }
+}
+
+TEST(Fft1D, Linearity) {
+    const std::size_t n = 48;  // Bluestein path
+    const auto a = random_signal(n, 1);
+    const auto b = random_signal(n, 2);
+    std::vector<cplx> sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sum[i] = 2.0 * a[i] + cplx{0.0, 3.0} * b[i];
+    }
+    Fft1D plan(n);
+    auto fa = a;
+    auto fb = b;
+    plan.forward(fa);
+    plan.forward(fb);
+    plan.forward(sum);
+    for (std::size_t i = 0; i < n; ++i) {
+        const cplx expect = 2.0 * fa[i] + cplx{0.0, 3.0} * fb[i];
+        EXPECT_LT(std::abs(sum[i] - expect), 1e-10);
+    }
+}
+
+TEST(Fft1D, RealEvenInputGivesRealSpectrum) {
+    const std::size_t n = 64;
+    std::vector<cplx> x(n);
+    SplitMix64 eng{5};
+    x[0] = cplx{to_unit_halfopen(eng()), 0.0};
+    x[n / 2] = cplx{to_unit_halfopen(eng()), 0.0};
+    for (std::size_t i = 1; i < n / 2; ++i) {
+        const double v = to_unit_halfopen(eng());
+        x[i] = x[n - i] = cplx{v, 0.0};
+    }
+    Fft1D plan(n);
+    plan.forward(x);
+    for (const auto& v : x) {
+        EXPECT_LT(std::abs(v.imag()), 1e-11);
+    }
+}
+
+TEST(Fft1D, LengthMismatchThrows) {
+    Fft1D plan(16);
+    std::vector<cplx> x(8);
+    EXPECT_THROW(plan.forward(x), std::invalid_argument);
+    EXPECT_THROW(plan.inverse(x), std::invalid_argument);
+}
+
+TEST(Fft1D, ZeroLengthThrows) { EXPECT_THROW(Fft1D{0}, std::invalid_argument); }
+
+TEST(Fft1D, PlanCacheReturnsSameInstance) {
+    const auto a = fft_plan(96);
+    const auto b = fft_plan(96);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), fft_plan(128).get());
+}
+
+// --- 2-D -----------------------------------------------------------------
+
+TEST(Fft2D, MatchesNaive2dDft) {
+    for (const auto& [nx, ny] :
+         {std::pair<std::size_t, std::size_t>{8, 8}, {16, 4}, {6, 10}, {12, 5}}) {
+        Array2D<cplx> f(nx, ny);
+        SplitMix64 eng{nx * 1000 + ny};
+        for (auto& v : f) {
+            v = cplx{2.0 * to_unit_halfopen(eng()) - 1.0,
+                     2.0 * to_unit_halfopen(eng()) - 1.0};
+        }
+        const auto expect = naive_dft2d(f);
+        Fft2D plan(nx, ny);
+        auto got = f;
+        plan.forward(got);
+        double m = 0.0;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            m = std::max(m, std::abs(got.data()[i] - expect.data()[i]));
+        }
+        EXPECT_LT(m, 1e-9) << nx << "x" << ny;
+    }
+}
+
+TEST(Fft2D, RoundTrip) {
+    Array2D<cplx> f(32, 16);
+    SplitMix64 eng{99};
+    for (auto& v : f) {
+        v = cplx{to_unit_halfopen(eng()), to_unit_halfopen(eng())};
+    }
+    const auto orig = f;
+    Fft2D plan(32, 16);
+    plan.forward(f);
+    plan.inverse(f);
+    double m = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        m = std::max(m, std::abs(f.data()[i] - orig.data()[i]));
+    }
+    EXPECT_LT(m, 1e-10);
+}
+
+TEST(Fft2D, SeparableProduct) {
+    // DFT2(outer(a,b)) == outer(DFT(a), DFT(b)).
+    const std::size_t nx = 16;
+    const std::size_t ny = 8;
+    auto a = random_signal(nx, 3);
+    auto b = random_signal(ny, 4);
+    Array2D<cplx> f(nx, ny);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            f(ix, iy) = a[ix] * b[iy];
+        }
+    }
+    Fft2D plan(nx, ny);
+    plan.forward(f);
+    Fft1D px(nx);
+    Fft1D py(ny);
+    px.forward(a);
+    py.forward(b);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            EXPECT_LT(std::abs(f(ix, iy) - a[ix] * b[iy]), 1e-9);
+        }
+    }
+}
+
+TEST(Fft2D, RealInputSpectrumIsHermitian) {
+    Array2D<double> f(16, 16);
+    SplitMix64 eng{17};
+    for (auto& v : f) {
+        v = 2.0 * to_unit_halfopen(eng()) - 1.0;
+    }
+    const auto F = fft2d_forward(f);
+    for (std::size_t my = 0; my < 16; ++my) {
+        for (std::size_t mx = 0; mx < 16; ++mx) {
+            const cplx mirror = F((16 - mx) % 16, (16 - my) % 16);
+            EXPECT_LT(std::abs(F(mx, my) - std::conj(mirror)), 1e-9);
+        }
+    }
+}
+
+TEST(Fft2D, InverseRealReportsImagDefect) {
+    Array2D<double> f(8, 8, 0.0);
+    f(3, 2) = 1.0;
+    auto F = fft2d_forward(f);
+    double mi = -1.0;
+    const auto back = fft2d_inverse_real(std::move(F), &mi);
+    EXPECT_GE(mi, 0.0);
+    EXPECT_LT(mi, 1e-12);
+    EXPECT_NEAR(back(3, 2), 1.0, 1e-12);
+}
+
+TEST(Fft2D, ShapeMismatchThrows) {
+    Fft2D plan(8, 8);
+    Array2D<cplx> f(8, 4);
+    EXPECT_THROW(plan.forward(f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs

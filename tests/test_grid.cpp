@@ -1,0 +1,184 @@
+// Tests for the grid substrate: Array2D, index permutations, rectangles.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numeric>
+
+#include "grid/array2d.hpp"
+#include "grid/permute.hpp"
+#include "grid/rect.hpp"
+
+namespace rrs {
+namespace {
+
+TEST(Array2D, DefaultConstructedIsEmpty) {
+    Array2D<double> a;
+    EXPECT_EQ(a.nx(), 0u);
+    EXPECT_EQ(a.ny(), 0u);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(Array2D, ConstructionFills) {
+    Array2D<double> a(3, 4, 2.5);
+    EXPECT_EQ(a.nx(), 3u);
+    EXPECT_EQ(a.ny(), 4u);
+    EXPECT_EQ(a.size(), 12u);
+    for (const double v : a) {
+        EXPECT_EQ(v, 2.5);
+    }
+}
+
+TEST(Array2D, RowMajorLayout) {
+    Array2D<double> a(4, 3, 0.0);
+    a(1, 2) = 7.0;
+    EXPECT_EQ(a.data()[2 * 4 + 1], 7.0);
+}
+
+TEST(Array2D, RowSpanViewsContiguousStorage) {
+    Array2D<int> a(5, 2, 0);
+    auto r1 = a.row(1);
+    ASSERT_EQ(r1.size(), 5u);
+    r1[3] = 42;
+    EXPECT_EQ(a(3, 1), 42);
+}
+
+TEST(Array2D, AtThrowsOutOfRange) {
+    Array2D<double> a(2, 2);
+    EXPECT_THROW(a.at(2, 0), std::out_of_range);
+    EXPECT_THROW(a.at(0, 2), std::out_of_range);
+    EXPECT_NO_THROW(a.at(1, 1));
+}
+
+TEST(Array2D, EqualityComparesShapeAndContents) {
+    Array2D<double> a(2, 2, 1.0);
+    Array2D<double> b(2, 2, 1.0);
+    EXPECT_EQ(a, b);
+    b(0, 1) = 2.0;
+    EXPECT_NE(a, b);
+    Array2D<double> c(4, 1, 1.0);
+    EXPECT_NE(a, c);
+}
+
+TEST(Array2D, ResizeDiscardsContents) {
+    Array2D<double> a(2, 2, 3.0);
+    a.resize(3, 3, -1.0);
+    EXPECT_EQ(a.nx(), 3u);
+    for (const double v : a) {
+        EXPECT_EQ(v, -1.0);
+    }
+}
+
+TEST(Array2D, ColumnCopy) {
+    Array2D<double> a(3, 4);
+    std::iota(a.begin(), a.end(), 0.0);
+    const auto col = column_copy(a, 1);
+    ASSERT_EQ(col.size(), 4u);
+    for (std::size_t iy = 0; iy < 4; ++iy) {
+        EXPECT_EQ(col[iy], a(1, iy));
+    }
+}
+
+TEST(Array2D, MaxAbsDiff) {
+    Array2D<double> a(2, 2, 1.0);
+    Array2D<double> b(2, 2, 1.0);
+    b(1, 1) = 1.5;
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+    Array2D<double> c(3, 2);
+    EXPECT_THROW(max_abs_diff(a, c), std::invalid_argument);
+}
+
+TEST(Array2D, AlignedStorage) {
+    Array2D<double> a(7, 5, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % 64, 0u);
+}
+
+// --- signed_freq (paper eq. 16) -------------------------------------------
+
+TEST(SignedFreq, NonNegativeBelowM) {
+    EXPECT_EQ(signed_freq(0, 4), 0);
+    EXPECT_EQ(signed_freq(3, 4), 3);
+}
+
+TEST(SignedFreq, AliasesToNegativeAtAndAboveM) {
+    EXPECT_EQ(signed_freq(4, 4), -4);
+    EXPECT_EQ(signed_freq(5, 4), -3);
+    EXPECT_EQ(signed_freq(7, 4), -1);
+}
+
+TEST(SignedFreq, EvenSpectrumFoldMatchesPaper) {
+    // Paper writes m̄ = 2M − m for m >= M; for even functions
+    // g(−(2M−m)) == g(m−2M), so both conventions index the same value.
+    const std::size_t M = 8;
+    for (std::size_t m = M; m < 2 * M; ++m) {
+        EXPECT_EQ(-signed_freq(m, M), static_cast<std::ptrdiff_t>(2 * M - m));
+    }
+}
+
+// --- fftshift (paper eq. 35) ----------------------------------------------
+
+TEST(FftShift, IndexPermutation) {
+    EXPECT_EQ(fftshift_index(0, 4), 4u);
+    EXPECT_EQ(fftshift_index(3, 4), 7u);
+    EXPECT_EQ(fftshift_index(4, 4), 0u);
+    EXPECT_EQ(fftshift_index(7, 4), 3u);
+}
+
+TEST(FftShift, IsItsOwnInverse) {
+    for (std::size_t M : {1u, 2u, 8u, 16u}) {
+        for (std::size_t k = 0; k < 2 * M; ++k) {
+            EXPECT_EQ(fftshift_index(fftshift_index(k, M), M), k);
+        }
+    }
+}
+
+TEST(FftShift, MovesZeroToCenter) {
+    Array2D<double> a(4, 6, 0.0);
+    a(0, 0) = 1.0;  // zero-lag tap
+    const auto s = fftshift(a);
+    EXPECT_EQ(s(2, 3), 1.0);
+}
+
+TEST(FftShift, RoundTripsArray) {
+    Array2D<double> a(8, 4);
+    std::iota(a.begin(), a.end(), 0.0);
+    EXPECT_EQ(fftshift(fftshift(a)), a);
+}
+
+// --- Rect ------------------------------------------------------------------
+
+TEST(Rect, ContainsHalfOpen) {
+    const Rect r{-2, 3, 4, 2};
+    EXPECT_TRUE(r.contains(-2, 3));
+    EXPECT_TRUE(r.contains(1, 4));
+    EXPECT_FALSE(r.contains(2, 3));
+    EXPECT_FALSE(r.contains(-2, 5));
+}
+
+TEST(Rect, IntersectOverlapping) {
+    const Rect a{0, 0, 10, 10};
+    const Rect b{5, -3, 10, 10};
+    const Rect c = intersect(a, b);
+    EXPECT_EQ(c, (Rect{5, 0, 5, 7}));
+}
+
+TEST(Rect, IntersectDisjointIsEmpty) {
+    const Rect a{0, 0, 4, 4};
+    const Rect b{10, 10, 4, 4};
+    EXPECT_TRUE(intersect(a, b).empty());
+}
+
+TEST(Rect, DilateGrowsAllSides) {
+    const Rect r{2, 2, 4, 4};
+    const Rect d = dilate(r, 3, 1);
+    EXPECT_EQ(d, (Rect{-1, 1, 10, 6}));
+}
+
+TEST(Rect, AreaAndEmpty) {
+    EXPECT_EQ((Rect{0, 0, 3, 5}).area(), 15);
+    EXPECT_TRUE((Rect{0, 0, 0, 5}).empty());
+    EXPECT_FALSE((Rect{0, 0, 1, 1}).empty());
+}
+
+}  // namespace
+}  // namespace rrs

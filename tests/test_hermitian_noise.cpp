@@ -1,0 +1,123 @@
+// Tests for paper §2.3: the Hermitian complex Gaussian array u whose DFT
+// is a real white Gaussian field with U/√(NxNy) ~ N(0,1) (eq. 33).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hermitian_noise.hpp"
+#include "fft/fft2d.hpp"
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+template <typename F = BoxMullerGaussian<Pcg64>>
+Array2D<cplx> make_noise(std::size_t nx, std::size_t ny, std::uint64_t seed) {
+    BoxMullerGaussian<Pcg64> g{Pcg64{seed}};
+    return hermitian_gaussian_array(nx, ny, [&g]() { return g(); });
+}
+
+TEST(HermitianNoise, SymmetryDefectIsExactlyZero) {
+    for (const auto& [nx, ny] :
+         {std::pair<std::size_t, std::size_t>{8, 8}, {16, 4}, {32, 32}, {2, 2}}) {
+        const auto u = make_noise(nx, ny, nx * 100 + ny);
+        EXPECT_EQ(hermitian_symmetry_defect(u), 0.0) << nx << "x" << ny;
+    }
+}
+
+TEST(HermitianNoise, SelfConjugateBinsAreReal) {
+    const auto u = make_noise(16, 16, 3);
+    for (const std::size_t mx : {0u, 8u}) {
+        for (const std::size_t my : {0u, 8u}) {
+            EXPECT_EQ(u(mx, my).imag(), 0.0);
+        }
+    }
+}
+
+TEST(HermitianNoise, DftIsReal) {
+    auto u = make_noise(32, 32, 7);
+    Fft2D plan(32, 32);
+    plan.forward(u);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+        EXPECT_LT(std::abs(u.data()[i].imag()), 1e-10);
+    }
+}
+
+TEST(HermitianNoise, DftSamplesAreStandardNormalAfterScaling) {
+    // Eq. (33): U/√(NxNy) ~ N(0,1).  Pool several realisations.
+    const std::size_t n = 64;
+    const double scale = 1.0 / std::sqrt(static_cast<double>(n * n));
+    MomentAccumulator acc;
+    Fft2D plan(n, n);
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        auto u = make_noise(n, n, 1000 + seed);
+        plan.forward(u);
+        for (std::size_t i = 0; i < u.size(); ++i) {
+            acc.add(u.data()[i].real() * scale);
+        }
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+    EXPECT_NEAR(acc.variance(), 1.0, 0.03);
+    EXPECT_NEAR(acc.skewness(), 0.0, 0.05);
+    EXPECT_NEAR(acc.excess_kurtosis(), 0.0, 0.1);
+}
+
+TEST(HermitianNoise, DftFieldIsWhite) {
+    // Adjacent samples of U must be uncorrelated.
+    const std::size_t n = 64;
+    auto u = make_noise(n, n, 42);
+    Fft2D plan(n, n);
+    plan.forward(u);
+    double var = 0.0, cross = 0.0;
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix + 1 < n; ++ix) {
+            var += u(ix, iy).real() * u(ix, iy).real();
+            cross += u(ix, iy).real() * u(ix + 1, iy).real();
+        }
+    }
+    EXPECT_LT(std::abs(cross / var), 0.05);
+}
+
+TEST(HermitianNoise, BinsHaveUnitSecondMoment) {
+    // E|u_m|² = 1 for every bin class (complex pairs and real
+    // self-conjugate bins alike).
+    const std::size_t n = 16;
+    double sum = 0.0;
+    const int reps = 400;
+    for (int r = 0; r < reps; ++r) {
+        const auto u = make_noise(n, n, 5000 + static_cast<std::uint64_t>(r));
+        for (std::size_t i = 0; i < u.size(); ++i) {
+            sum += std::norm(u.data()[i]);
+        }
+    }
+    const double mean_norm = sum / (reps * static_cast<double>(n * n));
+    EXPECT_NEAR(mean_norm, 1.0, 0.02);
+}
+
+TEST(HermitianNoise, DeterministicInSeed) {
+    const auto a = make_noise(16, 8, 9);
+    const auto b = make_noise(16, 8, 9);
+    EXPECT_EQ(a, b);
+    const auto c = make_noise(16, 8, 10);
+    EXPECT_NE(a, c);
+}
+
+TEST(HermitianNoise, OddByEvenShapesWork) {
+    // Non-power-of-two and odd dimensions still satisfy the symmetry
+    // (self-conjugate set differs: odd axes have no Nyquist bin).
+    BoxMullerGaussian<Pcg64> g{Pcg64{11}};
+    const auto u = hermitian_gaussian_array(6, 10, [&g]() { return g(); });
+    EXPECT_EQ(hermitian_symmetry_defect(u), 0.0);
+    Array2D<cplx> copy = u;
+    Fft2D plan(6, 10);
+    plan.forward(copy);
+    for (std::size_t i = 0; i < copy.size(); ++i) {
+        EXPECT_LT(std::abs(copy.data()[i].imag()), 1e-10);
+    }
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,149 @@
+// Cross-module integration tests: the two generation methods agree in
+// distribution; full figure scenarios in miniature carry the right
+// region statistics end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "rrs.hpp"
+
+namespace rrs {
+namespace {
+
+TEST(Integration, ConvolutionAndDirectDftAgreeInDistribution) {
+    // Same spectrum through both methods: pooled variance and ACF must
+    // coincide (different noise sources, so the match is statistical).
+    const SurfaceParams p{1.0, 12.0, 12.0};
+    const auto s = make_gaussian(p);
+    const GridSpec g = GridSpec::unit_spacing(256, 256);
+
+    MomentAccumulator direct_acc, conv_acc;
+    std::vector<double> direct_acf(25, 0.0), conv_acf(25, 0.0);
+    const int reps = 4;
+
+    DirectDftGenerator dgen(s, g);
+    const ConvolutionGenerator cgen(ConvolutionKernel::build_truncated(*s, g, 1e-8), 500);
+    for (int r = 0; r < reps; ++r) {
+        const auto fd = dgen.generate(static_cast<std::uint64_t>(r));
+        const auto fc = cgen.generate(Rect{r * 300, 0, 256, 256});
+        for (std::size_t i = 0; i < fd.size(); ++i) {
+            direct_acc.add(fd.data()[i]);
+            conv_acc.add(fc.data()[i]);
+        }
+        const auto ad = lag_slice_x(circular_autocovariance(fd, false), 24);
+        const auto ac = lag_slice_x(circular_autocovariance(fc, false), 24);
+        for (std::size_t k = 0; k < 25; ++k) {
+            direct_acf[k] += ad[k] / reps;
+            conv_acf[k] += ac[k] / reps;
+        }
+    }
+    EXPECT_NEAR(direct_acc.stddev(), conv_acc.stddev(), 0.08);
+    for (const std::size_t lag : {0u, 6u, 12u, 24u}) {
+        EXPECT_NEAR(direct_acf[lag], conv_acf[lag], 0.12) << "lag=" << lag;
+    }
+}
+
+TEST(Integration, MiniFig3PondScenario) {
+    // Fig. 3 in miniature: exponential pond inside a gaussian field.
+    const auto pond = make_exponential({0.2, 8.0, 8.0});
+    const auto field = make_gaussian({1.0, 8.0, 8.0});
+    const auto map =
+        std::make_shared<const CircleMap>(128.0, 128.0, 64.0, pond, field, 16.0);
+    const InhomogeneousGenerator gen(map, GridSpec::unit_spacing(128, 128), 7, {});
+    const auto f = gen.generate(Rect{0, 0, 256, 256});
+
+    // Pond centre: smooth, h = 0.2.
+    const Moments inside = subgrid_moments(f, 96, 96, 64, 64);
+    EXPECT_NEAR(inside.stddev, 0.2, 0.08);
+    // Far corner: rough, h = 1.0.
+    const Moments outside = subgrid_moments(f, 0, 0, 48, 48);
+    EXPECT_NEAR(outside.stddev, 1.0, 0.35);
+    EXPECT_GT(outside.stddev, 2.5 * inside.stddev);
+}
+
+TEST(Integration, MiniFig4PointOrientedScenario) {
+    // Fig. 4 in miniature: three ring points plus a smooth centre.
+    std::vector<RepresentativePoint> pts;
+    for (int i = 0; i < 3; ++i) {
+        const double ang = kTwoPi * i / 3.0;
+        pts.push_back(
+            {96.0 + 80.0 * std::cos(ang), 96.0 + 80.0 * std::sin(ang),
+             make_gaussian({1.0 + 0.5 * i, 10.0 + 5.0 * i, 10.0 + 5.0 * i})});
+    }
+    pts.push_back({96.0, 96.0, make_exponential({0.3, 12.0, 12.0})});
+    const auto map = std::make_shared<const PointMap>(std::move(pts), 20.0);
+    const InhomogeneousGenerator gen(map, GridSpec::unit_spacing(128, 128), 13, {});
+    const auto f = gen.generate(Rect{0, 0, 192, 192});
+
+    // Centre region owned by the origin point.
+    const Moments centre = subgrid_moments(f, 80, 80, 32, 32);
+    EXPECT_NEAR(centre.stddev, 0.3, 0.15);
+    // Point 0's neighbourhood (at physical (176, 96)) is rougher.
+    const Moments ring = subgrid_moments(f, 160, 80, 32, 32);
+    EXPECT_GT(ring.stddev, 2.0 * centre.stddev);
+}
+
+TEST(Integration, SpectrumEstimateTracksTarget) {
+    // Full loop: generate → periodogram-average → compare to W(K).
+    const SurfaceParams p{1.0, 10.0, 10.0};
+    const auto s = make_gaussian(p);
+    const std::size_t N = 256;
+    const GridSpec g = GridSpec::unit_spacing(N, N);
+    const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-8), 31);
+
+    // Single-bin periodogram estimates are ~exponential (100% deviation);
+    // 32 averaged realisations bring the SE to ~18%.
+    SpectrumAverager avg(N, N, static_cast<double>(N), static_cast<double>(N));
+    for (int r = 0; r < 32; ++r) {
+        avg.accumulate(gen.generate(Rect{r * 300, 0, static_cast<std::int64_t>(N),
+                                         static_cast<std::int64_t>(N)}));
+    }
+    const auto What = avg.average();
+    // Compare at a few in-band frequencies (skip K=0: mean removal).
+    for (const std::size_t m : {2u, 4u, 8u}) {
+        const double K = g.dKx() * static_cast<double>(m);
+        const double expect = s->density(K, 0.0);
+        EXPECT_NEAR(What(m, 0), expect, 0.4 * expect) << "m=" << m;
+    }
+    // Total power ≈ h².
+    EXPECT_NEAR(spectrum_integral(What, static_cast<double>(N), static_cast<double>(N)),
+                1.0, 0.15);
+}
+
+TEST(Integration, HeightsOfBlendedSurfaceRemainGaussian) {
+    // Inhomogeneous blending is linear in the same Gaussian noise, so
+    // pointwise heights stay Gaussian — standardise per-region and test.
+    const auto map = make_quadrant_map(
+        64.0, 64.0, 64.0, make_gaussian({1.0, 6.0, 6.0}), make_gaussian({0.5, 6.0, 6.0}),
+        make_gaussian({2.0, 6.0, 6.0}), make_gaussian({1.5, 6.0, 6.0}), 6.0);
+    std::vector<double> standardised;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const InhomogeneousGenerator gen(map, GridSpec::unit_spacing(64, 64), seed, {});
+        const auto f = gen.generate(Rect{96, 96, 24, 24});  // interior of q1 (h = 1)
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            standardised.push_back(f.data()[i]);
+        }
+    }
+    const Moments m = compute_moments(standardised);
+    for (auto& v : standardised) {
+        v = (v - m.mean) / m.stddev;
+    }
+    EXPECT_LT(ks_normality(standardised).statistic, 0.05);
+}
+
+TEST(Integration, UmbrellaHeaderExposesFullApi) {
+    // Compile-time sanity: everything needed for the quickstart flows
+    // through rrs.hpp alone (this test uses only that header).
+    const auto s = make_gaussian({1.0, 4.0, 4.0});
+    const ConvolutionGenerator gen(
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(32, 32), 1e-6), 1);
+    const auto f = gen.generate(Rect{0, 0, 16, 16});
+    EXPECT_EQ(f.nx(), 16u);
+    const Moments m = compute_moments({f.data(), f.size()});
+    EXPECT_GT(m.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,191 @@
+// Tests for the io module: file writers (CSV, gnuplot, PGM, NPY) and the
+// console table printer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/surface.hpp"
+#include "io/table.hpp"
+#include "io/writers.hpp"
+
+namespace rrs {
+namespace {
+
+class IoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("rrs_io_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+    static std::string slurp(const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }
+
+    std::filesystem::path dir_;
+};
+
+Array2D<double> sample_array() {
+    Array2D<double> a(3, 2);
+    a(0, 0) = 1.0;
+    a(1, 0) = 2.0;
+    a(2, 0) = 3.0;
+    a(0, 1) = -1.5;
+    a(1, 1) = 0.0;
+    a(2, 1) = 4.25;
+    return a;
+}
+
+TEST_F(IoTest, CsvLayout) {
+    write_csv(path("a.csv"), sample_array());
+    EXPECT_EQ(slurp(path("a.csv")), "1,2,3\n-1.5,0,4.25\n");
+}
+
+TEST_F(IoTest, GnuplotSurfaceFormat) {
+    write_gnuplot_surface(path("a.dat"), sample_array(), 10.0, 20.0, 0.5, 2.0);
+    const std::string text = slurp(path("a.dat"));
+    // First point: x=10, y=20, z=1; second row starts at y=22.
+    EXPECT_NE(text.find("10 20 1\n"), std::string::npos);
+    EXPECT_NE(text.find("10.5 20 2\n"), std::string::npos);
+    EXPECT_NE(text.find("10 22 -1.5\n"), std::string::npos);
+    // Blank line between scans.
+    EXPECT_NE(text.find("\n\n"), std::string::npos);
+}
+
+TEST_F(IoTest, Pgm16HeaderAndRange) {
+    write_pgm16(path("a.pgm"), sample_array());
+    const std::string raw = slurp(path("a.pgm"));
+    EXPECT_EQ(raw.substr(0, 3), "P5\n");
+    EXPECT_NE(raw.find("3 2"), std::string::npos);
+    EXPECT_NE(raw.find("65535"), std::string::npos);
+    // 6 pixels * 2 bytes of payload after the header.
+    const auto header_end = raw.find("65535\n") + 6;
+    EXPECT_EQ(raw.size() - header_end, 12u);
+    // Minimum maps to 0x0000 (pixel (0,1) = −1.5), max to 0xFFFF (4.25).
+    const auto* px = reinterpret_cast<const unsigned char*>(raw.data() + header_end);
+    const std::uint16_t p_min =
+        static_cast<std::uint16_t>((px[2 * 3 + 0] << 8) | px[2 * 3 + 1]);
+    const std::uint16_t p_max =
+        static_cast<std::uint16_t>((px[2 * 5 + 0] << 8) | px[2 * 5 + 1]);
+    EXPECT_EQ(p_min, 0);
+    EXPECT_EQ(p_max, 65535);
+}
+
+TEST_F(IoTest, NpyHeaderAndPayload) {
+    const auto a = sample_array();
+    write_npy(path("a.npy"), a);
+    const std::string raw = slurp(path("a.npy"));
+    ASSERT_GT(raw.size(), 10u);
+    EXPECT_EQ(raw.substr(1, 5), "NUMPY");
+    EXPECT_NE(raw.find("'descr': '<f8'"), std::string::npos);
+    EXPECT_NE(raw.find("(2, 3)"), std::string::npos);
+    // Total length is 64-aligned header + 6 doubles.
+    const std::size_t header_len =
+        10 + static_cast<std::size_t>(static_cast<unsigned char>(raw[8])) +
+        (static_cast<std::size_t>(static_cast<unsigned char>(raw[9])) << 8);
+    EXPECT_EQ(header_len % 64, 0u);
+    EXPECT_EQ(raw.size(), header_len + 6 * sizeof(double));
+    double first = 0.0;
+    std::memcpy(&first, raw.data() + header_len, sizeof(double));
+    EXPECT_EQ(first, 1.0);
+}
+
+TEST_F(IoTest, CurveCsv) {
+    write_curve_csv(path("c.csv"), {0.0, 1.0}, {2.0, 3.5});
+    EXPECT_EQ(slurp(path("c.csv")), "x,y\n0,2\n1,3.5\n");
+    EXPECT_THROW(write_curve_csv(path("d.csv"), {0.0}, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST_F(IoTest, EnsureDirectoryIsIdempotent) {
+    const auto p = path("nested/dir/tree");
+    ensure_directory(p);
+    ensure_directory(p);
+    EXPECT_TRUE(std::filesystem::is_directory(p));
+}
+
+TEST_F(IoTest, WriterThrowsOnUnwritablePath) {
+    EXPECT_THROW(write_csv("/nonexistent_dir_xyz/a.csv", sample_array()),
+                 std::runtime_error);
+}
+
+TEST_F(IoTest, Pgm16RejectsEmpty) {
+    Array2D<double> empty;
+    EXPECT_THROW(write_pgm16(path("e.pgm"), empty), std::invalid_argument);
+}
+
+TEST(TablePrinter, AlignsColumnsAndFormatsNumbers) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", Table::num(1.23456, 3)});
+    t.add_row({"b", Table::num(-2.0, 1)});
+    std::ostringstream ss;
+    t.print(ss);
+    const std::string text = ss.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("1.235"), std::string::npos);  // rounded
+    EXPECT_NE(text.find("-2.0"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);  // header rule
+    EXPECT_THROW(t.add_row({"only-one-cell"}), std::invalid_argument);
+}
+
+// --- surface helpers (kept here: light io-adjacent utilities) ---------------
+
+TEST(SurfaceHelpers, SubgridMoments) {
+    Array2D<double> f(4, 4, 0.0);
+    f(2, 2) = 2.0;
+    f(3, 2) = 4.0;
+    f(2, 3) = 6.0;
+    f(3, 3) = 8.0;
+    const Moments m = subgrid_moments(f, 2, 2, 2, 2);
+    EXPECT_DOUBLE_EQ(m.mean, 5.0);
+    EXPECT_EQ(m.count, 4u);
+    EXPECT_THROW(subgrid_moments(f, 3, 3, 2, 2), std::out_of_range);
+}
+
+TEST(SurfaceHelpers, ProfileExtraction) {
+    Array2D<double> f(3, 2);
+    f(0, 1) = 1.0;
+    f(1, 1) = 2.0;
+    f(2, 1) = 3.0;
+    EXPECT_EQ(extract_row(f, 1), (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(extract_column(f, 1).size(), 2u);
+    EXPECT_EQ(extract_column(f, 1)[1], 2.0);
+}
+
+TEST(SurfaceHelpers, SurfaceStructCarriesPlacement) {
+    Surface s;
+    s.heights = Array2D<double>(4, 4, 1.0);
+    s.region = Rect{-2, 6, 4, 4};
+    s.dx = 2.0;
+    EXPECT_EQ(s.heights.size(), 16u);
+    EXPECT_EQ(s.region.x1(), 2);
+    EXPECT_DOUBLE_EQ(s.dx, 2.0);
+}
+
+TEST(SurfaceHelpers, RmsSlope) {
+    // f(x) = 3x → slope exactly 3 everywhere.
+    Array2D<double> f(16, 4);
+    for (std::size_t iy = 0; iy < 4; ++iy) {
+        for (std::size_t ix = 0; ix < 16; ++ix) {
+            f(ix, iy) = 3.0 * static_cast<double>(ix);
+        }
+    }
+    EXPECT_NEAR(rms_slope_x(f, 1.0), 3.0, 1e-12);
+    EXPECT_NEAR(rms_slope_x(f, 2.0), 1.5, 1e-12);
+    EXPECT_THROW(rms_slope_x(f, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,192 @@
+// Tests for the convolution kernel (paper eqs. 34-35): reality, symmetry,
+// Parseval energy, the kernel↔autocorrelation identity, and truncation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/discrete_spectrum.hpp"
+#include "core/kernel.hpp"
+
+namespace rrs {
+namespace {
+
+SpectrumPtr spectrum_for(int idx, const SurfaceParams& p) {
+    switch (idx) {
+        case 0: return make_gaussian(p);
+        case 1: return make_power_law(p, 2.0);
+        case 2: return make_power_law(p, 3.0);
+        default: return make_exponential(p);
+    }
+}
+
+class KernelFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelFamilies, EnergyEqualsWeightSum) {
+    // Parseval: Σc² = Σw (the discrete h²).
+    const SurfaceParams p{1.4, 12.0, 12.0};
+    const auto s = spectrum_for(GetParam(), p);
+    const GridSpec g = GridSpec::unit_spacing(128, 128);
+    const auto k = ConvolutionKernel::build(*s, g);
+    const double wsum = weight_sum(weight_array(*s, g));
+    EXPECT_NEAR(k.energy(), wsum, 1e-10 * wsum);
+    EXPECT_NEAR(k.energy(), p.h * p.h, 0.03 * p.h * p.h);
+    EXPECT_DOUBLE_EQ(k.target_variance(), p.h * p.h);
+}
+
+TEST_P(KernelFamilies, KernelIsEvenInBothAxes) {
+    const auto s = spectrum_for(GetParam(), {1.0, 8.0, 16.0});
+    const auto k = ConvolutionKernel::build(*s, GridSpec::unit_spacing(64, 64));
+    for (std::ptrdiff_t dy = -10; dy <= 10; ++dy) {
+        for (std::ptrdiff_t dx = -10; dx <= 10; ++dx) {
+            EXPECT_NEAR(k.tap(dx, dy), k.tap(-dx, -dy), 1e-12);
+            EXPECT_NEAR(k.tap(dx, dy), k.tap(-dx, dy), 1e-12);
+        }
+    }
+}
+
+TEST_P(KernelFamilies, CenterTapIsMaximal) {
+    const auto s = spectrum_for(GetParam(), {1.0, 10.0, 10.0});
+    const auto k = ConvolutionKernel::build(*s, GridSpec::unit_spacing(64, 64));
+    const double c0 = k.tap(0, 0);
+    for (std::size_t i = 0; i < k.taps().size(); ++i) {
+        EXPECT_LE(k.taps().data()[i], c0 + 1e-12);
+    }
+}
+
+TEST_P(KernelFamilies, SelfCorrelationReproducesRho) {
+    // Exact identity: (c ⋆ c)(lag) equals DFT(w)(lag) up to the circular
+    // wrap (Parseval chain through eqs. 15→34) — and both approximate the
+    // analytic ρ(lag) up to spectral aliasing.
+    const SurfaceParams p{1.0, 10.0, 10.0};
+    const auto s = spectrum_for(GetParam(), p);
+    const GridSpec g = GridSpec::unit_spacing(256, 256);
+    const auto k = ConvolutionKernel::build(*s, g);
+    const auto rho_hat = weight_autocorr_check(weight_array(*s, g));
+    for (const std::ptrdiff_t lag : {0, 3, 10, 20}) {
+        double acc = 0.0;
+        for (std::ptrdiff_t dy = k.min_dy(); dy <= k.max_dy(); ++dy) {
+            for (std::ptrdiff_t dx = k.min_dx(); dx <= k.max_dx(); ++dx) {
+                acc += k.tap(dx, dy) * k.tap(dx - lag, dy);
+            }
+        }
+        // Non-circular self-correlation drops the wrapped tail; allow a
+        // small slack on top of rounding for the slow-decay families.
+        EXPECT_NEAR(acc, rho_hat(static_cast<std::size_t>(lag), 0), 2e-3) << "lag=" << lag;
+        const double analytic = s->autocorrelation(static_cast<double>(lag), 0.0);
+        EXPECT_NEAR(acc, analytic, 0.05 * p.h * p.h) << "lag=" << lag;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, KernelFamilies, ::testing::Range(0, 4));
+
+TEST(Kernel, FullBuildShape) {
+    const auto s = make_gaussian({1.0, 8.0, 8.0});
+    const auto k = ConvolutionKernel::build(*s, GridSpec::unit_spacing(64, 32));
+    EXPECT_EQ(k.nx(), 64u);
+    EXPECT_EQ(k.ny(), 32u);
+    EXPECT_EQ(k.center_x(), 32u);
+    EXPECT_EQ(k.center_y(), 16u);
+    EXPECT_EQ(k.min_dx(), -32);
+    EXPECT_EQ(k.max_dx(), 31);
+}
+
+TEST(Kernel, TapOutsideSupportIsZero) {
+    const auto s = make_gaussian({1.0, 4.0, 4.0});
+    const auto k = ConvolutionKernel::build(*s, GridSpec::unit_spacing(32, 32));
+    EXPECT_EQ(k.tap(100, 0), 0.0);
+    EXPECT_EQ(k.tap(0, -100), 0.0);
+}
+
+TEST(Kernel, TruncationKeepsRequestedEnergy) {
+    const auto s = make_gaussian({1.0, 10.0, 10.0});
+    const auto full = ConvolutionKernel::build(*s, GridSpec::unit_spacing(256, 256));
+    for (const double eps : {1e-2, 1e-4, 1e-8}) {
+        const auto t = full.truncated(eps);
+        EXPECT_GE(t.energy(), (1.0 - eps) * full.energy()) << "eps=" << eps;
+        EXPECT_LE(t.nx(), full.nx() + 1);
+        // Truncated kernels have odd, centered shape.
+        EXPECT_EQ(t.nx() % 2, 1u);
+        EXPECT_EQ(t.center_x(), t.nx() / 2);
+    }
+}
+
+TEST(Kernel, TighterEpsGivesLargerSupport) {
+    const auto s = make_gaussian({1.0, 12.0, 12.0});
+    const auto full = ConvolutionKernel::build(*s, GridSpec::unit_spacing(256, 256));
+    const auto loose = full.truncated(1e-2);
+    const auto tight = full.truncated(1e-10);
+    EXPECT_LT(loose.nx(), tight.nx());
+}
+
+TEST(Kernel, SmallerClGivesSmallerTruncatedKernel) {
+    // The paper: "we can reduce the size of the weighting array ... when the
+    // correlation length of a RRS is small".
+    const GridSpec g = GridSpec::unit_spacing(256, 256);
+    const auto small =
+        ConvolutionKernel::build_truncated(*make_gaussian({1.0, 5.0, 5.0}), g, 1e-6);
+    const auto large =
+        ConvolutionKernel::build_truncated(*make_gaussian({1.0, 40.0, 40.0}), g, 1e-6);
+    EXPECT_LT(small.nx(), large.nx());
+    EXPECT_LT(small.nx() * small.ny(), large.nx() * large.ny() / 8);
+}
+
+TEST(Kernel, TruncationPreservesTapValues) {
+    const auto s = make_exponential({1.0, 6.0, 6.0});
+    const auto full = ConvolutionKernel::build(*s, GridSpec::unit_spacing(128, 128));
+    const auto t = full.truncated(1e-5);
+    for (std::ptrdiff_t dy = t.min_dy(); dy <= t.max_dy(); ++dy) {
+        for (std::ptrdiff_t dx = t.min_dx(); dx <= t.max_dx(); ++dx) {
+            EXPECT_EQ(t.tap(dx, dy), full.tap(dx, dy));
+        }
+    }
+}
+
+TEST(Kernel, AnisotropicTruncationFollowsAspect) {
+    const auto s = make_gaussian({1.0, 40.0, 10.0});
+    const auto t =
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(512, 512), 1e-6);
+    // clx = 4·cly → the x support must be markedly wider.
+    EXPECT_GT(t.nx(), 2 * t.ny());
+}
+
+TEST(Kernel, TruncationRejectsBadEps) {
+    const auto s = make_gaussian({1.0, 5.0, 5.0});
+    const auto k = ConvolutionKernel::build(*s, GridSpec::unit_spacing(64, 64));
+    EXPECT_THROW(k.truncated(0.0), std::invalid_argument);
+    EXPECT_THROW(k.truncated(1.0), std::invalid_argument);
+}
+
+TEST(Kernel, WrappedImagePlacesTapsCircularly) {
+    const auto s = make_gaussian({1.0, 4.0, 4.0});
+    const auto k = ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(64, 64), 1e-8);
+    const std::size_t P = 64;
+    const auto img = k.wrapped_image(P, P);
+    EXPECT_EQ(img(0, 0), k.tap(0, 0));
+    EXPECT_EQ(img(1, 0), k.tap(1, 0));
+    EXPECT_EQ(img(P - 1, 0), k.tap(-1, 0));
+    EXPECT_EQ(img(0, P - 2), k.tap(0, -2));
+    // Total energy preserved.
+    double e = 0.0;
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        e += img.data()[i] * img.data()[i];
+    }
+    EXPECT_NEAR(e, k.energy(), 1e-12);
+}
+
+TEST(Kernel, WrappedImageRejectsTooSmallGrid) {
+    const auto s = make_gaussian({1.0, 8.0, 8.0});
+    const auto k = ConvolutionKernel::build(*s, GridSpec::unit_spacing(64, 64));
+    EXPECT_THROW(k.wrapped_image(32, 64), std::invalid_argument);
+}
+
+TEST(Kernel, PhysicalSpacingCarriesThrough) {
+    const auto s = make_gaussian({1.0, 8.0, 8.0});
+    const GridSpec g{128.0, 64.0, 64, 64};  // dx = 2, dy = 1
+    const auto k = ConvolutionKernel::build(*s, g);
+    EXPECT_DOUBLE_EQ(k.spacing_x(), 2.0);
+    EXPECT_DOUBLE_EQ(k.spacing_y(), 1.0);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,118 @@
+// Tests for the parallel substrate: loop helpers and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rrs {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(0, 1000, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+    std::atomic<int> count{0};
+    parallel_for(5, 5, [&](std::int64_t) { ++count; });
+    parallel_for(5, 3, [&](std::int64_t) { ++count; });
+    EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelFor, NegativeRangeWorks) {
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(-10, 10, [&](std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), -10);
+}
+
+TEST(ParallelForChunks, ChunksPartitionTheRange) {
+    std::vector<std::atomic<int>> hits(777);
+    parallel_for_chunks(0, 777, [&](std::int64_t lo, std::int64_t hi) {
+        EXPECT_LE(lo, hi);
+        for (std::int64_t i = lo; i < hi; ++i) {
+            ++hits[static_cast<std::size_t>(i)];
+        }
+    });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelForChunks, EmptyRangeIsNoop) {
+    std::atomic<int> calls{0};
+    parallel_for_chunks(0, 0, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelReduce, SumsMatchSerial) {
+    const double got = parallel_reduce_sum(1, 1001, [](std::int64_t i) {
+        return static_cast<double>(i);
+    });
+    EXPECT_DOUBLE_EQ(got, 500500.0);
+}
+
+TEST(ParallelReduce, EmptyRangeIsZero) {
+    EXPECT_EQ(parallel_reduce_sum(3, 3, [](std::int64_t) { return 1.0; }), 0.0);
+}
+
+TEST(MaxThreads, IsPositive) { EXPECT_GE(max_threads(), 1); }
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool{4};
+    EXPECT_EQ(pool.thread_count(), 4u);
+    auto f1 = pool.submit([] { return 6 * 7; });
+    auto f2 = pool.submit([] { return std::string{"ok"}; });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+    ThreadPool pool{2};
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&done] { ++done; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+    ThreadPool pool;  // hardware default
+    std::vector<std::future<int>> futures;
+    futures.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+        futures.push_back(pool.submit([i] { return i * i; }));
+    }
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    }
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+    ThreadPool pool{1};
+    auto f = pool.submit([]() -> int { throw std::runtime_error{"boom"}; });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool{3};
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&done] { ++done; });
+        }
+        pool.wait_idle();
+    }  // destructor joins
+    EXPECT_EQ(done.load(), 32);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,81 @@
+// Tests for non-unit lattice spacing (physical units): with Δx = Lx/Nx ≠ 1
+// the kernel taps are spaced Δx apart, targets are expressed in physical
+// distance, and every statistic must come out in the same units.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/convolution.hpp"
+#include "core/discrete_spectrum.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+TEST(PhysicalUnits, WeightSumIndependentOfSpacing) {
+    const auto s = make_gaussian({1.5, 30.0, 30.0});
+    for (const double dx : {0.5, 1.0, 2.0, 4.0}) {
+        const std::size_t N = 256;
+        const GridSpec g{dx * static_cast<double>(N), dx * static_cast<double>(N), N, N};
+        EXPECT_NEAR(weight_sum(weight_array(*s, g)), 2.25, 0.05) << "dx=" << dx;
+    }
+}
+
+TEST(PhysicalUnits, KernelEnergyIndependentOfSpacing) {
+    const auto s = make_gaussian({1.0, 24.0, 24.0});
+    const GridSpec fine{256.0, 256.0, 256, 256};   // dx = 1
+    const GridSpec coarse{512.0, 512.0, 256, 256};  // dx = 2
+    const auto kf = ConvolutionKernel::build(*s, fine);
+    const auto kc = ConvolutionKernel::build(*s, coarse);
+    EXPECT_NEAR(kf.energy(), kc.energy(), 0.02);
+    EXPECT_DOUBLE_EQ(kc.spacing_x(), 2.0);
+}
+
+TEST(PhysicalUnits, CoarserGridNeedsFewerTapsForSameCl) {
+    // cl = 24 physical units is 24 lattice cells at dx=1 but only 12 at
+    // dx=2: the truncated kernel support (in taps) halves.
+    const auto s = make_gaussian({1.0, 24.0, 24.0});
+    const auto fine = ConvolutionKernel::build_truncated(
+        *s, GridSpec{256.0, 256.0, 256, 256}, 1e-6);
+    const auto coarse = ConvolutionKernel::build_truncated(
+        *s, GridSpec{512.0, 512.0, 256, 256}, 1e-6);
+    EXPECT_NEAR(static_cast<double>(fine.nx()) / static_cast<double>(coarse.nx()), 2.0,
+                0.25);
+}
+
+TEST(PhysicalUnits, MeasuredClScalesWithSpacing) {
+    // Generate at dx = 2: the 1/e crossing in LATTICE lags must be cl/2.
+    const double cl = 24.0;
+    const auto s = make_gaussian({1.0, cl, cl});
+    const GridSpec g{512.0, 512.0, 256, 256};  // dx = 2
+    const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-8), 5);
+    const auto f = gen.generate(Rect{0, 0, 512, 512});
+    const auto acf = linear_autocovariance(f, false);
+    const double lattice_cl = estimate_correlation_length(lag_slice_x(acf, 60));
+    EXPECT_NEAR(lattice_cl * g.dx(), cl, 3.0);
+}
+
+TEST(PhysicalUnits, VarianceUnaffectedBySpacing) {
+    const auto s = make_exponential({2.0, 16.0, 16.0});
+    for (const double dx : {1.0, 2.0}) {
+        const std::size_t N = 256;
+        const GridSpec g{dx * static_cast<double>(N), dx * static_cast<double>(N), N, N};
+        const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-8), 9);
+        const auto f = gen.generate(Rect{0, 0, 384, 384});
+        const Moments m = compute_moments({f.data(), f.size()});
+        EXPECT_NEAR(m.stddev, 2.0, 0.2) << "dx=" << dx;
+    }
+}
+
+TEST(PhysicalUnits, AnalyticGridUsesPhysicalLags) {
+    const auto s = make_gaussian({1.0, 8.0, 8.0});
+    const GridSpec g{64.0, 64.0, 32, 32};  // dx = 2
+    const auto rho = analytic_autocorr_grid(*s, g);
+    // Lattice lag 4 = physical lag 8 = one correlation length → 1/e.
+    EXPECT_NEAR(rho(4, 0), std::exp(-1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace rrs

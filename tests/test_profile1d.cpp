@@ -1,0 +1,221 @@
+// Tests for the 1-D profile subsystem: spectral families, kernels, and
+// the streaming profile generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/profile1d.hpp"
+#include "core/spectrum1d.hpp"
+#include "special/constants.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+Spectrum1DPtr family(int idx, const ProfileParams& p) {
+    switch (idx) {
+        case 0: return make_gaussian_1d(p);
+        case 1: return make_power_law_1d(p, 1.0);
+        case 2: return make_power_law_1d(p, 2.5);
+        default: return make_exponential_1d(p);
+    }
+}
+
+class Profile1DFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(Profile1DFamilies, DensityIntegratesToVariance) {
+    const ProfileParams p{1.3, 9.0};
+    const auto s = family(GetParam(), p);
+    // Trapezoid over scaled frequency u = K·cl, fine enough for the
+    // Lorentzian tail (~1/umax residual).
+    const double umax = 40000.0;
+    const int n = 4'000'000;
+    const double du = umax / n;
+    double total = 0.0;
+    for (int i = 0; i <= n; ++i) {
+        const double u = du * i;
+        const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+        total += w * s->density(u / p.cl);
+    }
+    total *= 2.0 * du / p.cl;  // even integrand: double the half-line
+    EXPECT_NEAR(total, p.h * p.h, 0.002 * p.h * p.h) << s->name();
+}
+
+TEST_P(Profile1DFamilies, AutocorrAtZeroIsVariance) {
+    const ProfileParams p{0.8, 5.0};
+    const auto s = family(GetParam(), p);
+    EXPECT_NEAR(s->autocorrelation(0.0), p.h * p.h, 1e-10);
+    EXPECT_NEAR(s->autocorrelation(1.0), s->autocorrelation(-1.0), 1e-14);
+}
+
+TEST_P(Profile1DFamilies, RhoMatchesNumericTransform) {
+    const ProfileParams p{1.0, 6.0};
+    const auto s = family(GetParam(), p);
+    for (const double x : {3.0, 6.0, 12.0}) {
+        // ρ(x) = 2∫₀^∞ W(K) cos(Kx) dK.
+        const double Kmax = 400.0 / p.cl;
+        const int n = 400000;
+        const double dK = Kmax / n;
+        double rho = 0.0;
+        for (int i = 0; i <= n; ++i) {
+            const double K = dK * i;
+            const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+            rho += w * s->density(K) * std::cos(K * x);
+        }
+        rho *= 2.0 * dK;
+        EXPECT_NEAR(rho, s->autocorrelation(x), 6e-3) << s->name() << " x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Profile1DFamilies, ::testing::Range(0, 4));
+
+TEST(Spectrum1D, ExponentialIsPowerLawOne) {
+    const ProfileParams p{1.1, 7.0};
+    const auto e = make_exponential_1d(p);
+    const auto pl = make_power_law_1d(p, 1.0);
+    for (const double K : {0.0, 0.05, 0.3, 2.0}) {
+        EXPECT_NEAR(e->density(K), pl->density(K), 1e-12);
+    }
+    for (const double x : {0.5, 3.0, 20.0}) {
+        EXPECT_NEAR(e->autocorrelation(x), pl->autocorrelation(x),
+                    1e-9 * e->autocorrelation(x));
+    }
+}
+
+TEST(Spectrum1D, CorrelationDistance) {
+    const ProfileParams p{1.0, 14.0};
+    EXPECT_NEAR(correlation_distance_1d(*make_gaussian_1d(p), std::exp(-1.0)), 14.0, 1e-6);
+    EXPECT_NEAR(correlation_distance_1d(*make_exponential_1d(p), std::exp(-1.0)), 14.0,
+                1e-6);
+}
+
+TEST(Spectrum1D, Validation) {
+    EXPECT_THROW(make_gaussian_1d({0.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(make_power_law_1d({1.0, 1.0}, 0.5), std::invalid_argument);
+    EXPECT_NO_THROW(make_power_law_1d({1.0, 1.0}, 0.51));
+}
+
+// --- kernel ------------------------------------------------------------------
+
+TEST(ProfileKernel, EnergyMatchesWeightSum) {
+    const auto s = make_gaussian_1d({1.2, 8.0});
+    const LineSpec g = LineSpec::unit_spacing(256);
+    const auto k = ProfileKernel::build(*s, g);
+    const auto w = weight_array_1d(*s, g);
+    double wsum = 0.0;
+    for (const double v : w) {
+        wsum += v;
+    }
+    EXPECT_NEAR(k.energy(), wsum, 1e-10);
+    EXPECT_NEAR(k.energy(), 1.44, 0.03);
+    EXPECT_DOUBLE_EQ(k.target_variance(), 1.44);
+}
+
+TEST(ProfileKernel, SymmetricAndCentered) {
+    const auto k =
+        ProfileKernel::build(*make_exponential_1d({1.0, 5.0}), LineSpec::unit_spacing(128));
+    for (std::ptrdiff_t d = 0; d <= 20; ++d) {
+        EXPECT_NEAR(k.tap(d), k.tap(-d), 1e-12);
+    }
+    EXPECT_GE(k.tap(0), k.tap(1));
+    EXPECT_EQ(k.tap(1000), 0.0);
+}
+
+TEST(ProfileKernel, SelfCorrelationReproducesRho) {
+    const auto s = make_gaussian_1d({1.0, 8.0});
+    const auto k = ProfileKernel::build(*s, LineSpec::unit_spacing(256));
+    for (const std::ptrdiff_t lag : {0, 4, 8, 16}) {
+        double acc = 0.0;
+        for (std::ptrdiff_t d = k.min_dx(); d <= k.max_dx(); ++d) {
+            acc += k.tap(d) * k.tap(d - lag);
+        }
+        EXPECT_NEAR(acc, s->autocorrelation(static_cast<double>(lag)), 0.01)
+            << "lag=" << lag;
+    }
+}
+
+TEST(ProfileKernel, TruncationKeepsEnergyAndShrinks) {
+    const auto full =
+        ProfileKernel::build(*make_gaussian_1d({1.0, 10.0}), LineSpec::unit_spacing(512));
+    const auto t = full.truncated(1e-6);
+    EXPECT_LT(t.size(), full.size());
+    EXPECT_GE(t.energy(), (1.0 - 1e-6) * full.energy());
+    EXPECT_EQ(t.size() % 2, 1u);
+    EXPECT_EQ(t.center(), t.size() / 2);
+    EXPECT_THROW(full.truncated(0.0), std::invalid_argument);
+}
+
+TEST(LineSpecValidation, Rules) {
+    EXPECT_THROW(LineSpec({0.0, 8}).validate(), std::invalid_argument);
+    EXPECT_THROW(LineSpec({8.0, 7}).validate(), std::invalid_argument);
+    EXPECT_NO_THROW(LineSpec({8.0, 8}).validate());
+    EXPECT_DOUBLE_EQ(LineSpec({64.0, 32}).dx(), 2.0);
+}
+
+// --- generator ------------------------------------------------------------------
+
+TEST(ProfileGenerator, OverlappingIntervalsAgreeExactly) {
+    const ProfileGenerator gen(
+        ProfileKernel::build_truncated(*make_gaussian_1d({1.0, 6.0}),
+                                       LineSpec::unit_spacing(128), 1e-8),
+        5);
+    const auto big = gen.generate(-50, 200);
+    const auto sub = gen.generate(13, 40);
+    for (std::int64_t i = 0; i < 40; ++i) {
+        EXPECT_EQ(sub[static_cast<std::size_t>(i)],
+                  big[static_cast<std::size_t>(13 + 50 + i)]);
+    }
+}
+
+TEST(ProfileGenerator, StatisticsMatchTargets) {
+    const auto s = make_gaussian_1d({1.5, 10.0});
+    const ProfileGenerator gen(
+        ProfileKernel::build_truncated(*s, LineSpec::unit_spacing(256), 1e-8), 11);
+    const auto f = gen.generate(0, 200000);
+    const Moments m = compute_moments(f);
+    EXPECT_NEAR(m.stddev, 1.5, 0.08);
+    EXPECT_NEAR(m.mean, 0.0, 0.08);
+    EXPECT_NEAR(m.skewness, 0.0, 0.1);
+}
+
+TEST(ProfileGenerator, EmpiricalAcfTracksRho) {
+    const auto s = make_exponential_1d({1.0, 12.0});
+    const ProfileGenerator gen(
+        ProfileKernel::build_truncated(*s, LineSpec::unit_spacing(512), 1e-8), 3);
+    const auto f = gen.generate(0, 400000);
+    for (const std::size_t lag : {6u, 12u, 24u}) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i + lag < f.size(); ++i) {
+            acc += f[i] * f[i + lag];
+        }
+        acc /= static_cast<double>(f.size() - lag);
+        EXPECT_NEAR(acc, s->autocorrelation(static_cast<double>(lag)), 0.06)
+            << "lag=" << lag;
+    }
+}
+
+TEST(ProfileGenerator, IndependentOfSurfaceNoise) {
+    // The profile row must not collide with typical 2-D surface rows.
+    const ProfileGenerator gen(
+        ProfileKernel::build_truncated(*make_gaussian_1d({1.0, 4.0}),
+                                       LineSpec::unit_spacing(64), 1e-8),
+        42);
+    const GaussianLattice lat{42};
+    const auto X = gen.noise_line(0, 64);
+    int same = 0;
+    for (std::int64_t i = 0; i < 64; ++i) {
+        same += (X[static_cast<std::size_t>(i)] == lat(i, 0));
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(ProfileGenerator, RejectsBadLength) {
+    const ProfileGenerator gen(
+        ProfileKernel::build(*make_gaussian_1d({1.0, 4.0}), LineSpec::unit_spacing(64)), 1);
+    EXPECT_THROW(gen.generate(0, 0), std::invalid_argument);
+    EXPECT_THROW(gen.noise_line(0, -5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,255 @@
+// Tests for the propagation module: profile extraction, Fresnel/knife-edge
+// machinery, the Hata baseline, and the communication-range study.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/convolution.hpp"
+#include "propagation/diffraction.hpp"
+#include "propagation/hata.hpp"
+#include "propagation/link_budget.hpp"
+#include "propagation/profile_path.hpp"
+
+namespace rrs {
+namespace {
+
+// --- profile extraction -----------------------------------------------------
+
+TEST(ProfilePath, BilinearInterpolatesExactlyOnPlane) {
+    // f(x, y) = 2x + 3y is reproduced exactly by bilinear interpolation.
+    Array2D<double> f(8, 8);
+    for (std::size_t iy = 0; iy < 8; ++iy) {
+        for (std::size_t ix = 0; ix < 8; ++ix) {
+            f(ix, iy) = 2.0 * static_cast<double>(ix) + 3.0 * static_cast<double>(iy);
+        }
+    }
+    EXPECT_NEAR(bilinear_height(f, 2.5, 3.25), 2.0 * 2.5 + 3.0 * 3.25, 1e-12);
+    EXPECT_NEAR(bilinear_height(f, 0.0, 0.0), 0.0, 1e-12);
+    // Clamped outside the domain.
+    EXPECT_NEAR(bilinear_height(f, -5.0, 3.0), 9.0, 1e-12);
+}
+
+TEST(ProfilePath, ExtractProfileGeometry) {
+    Array2D<double> f(16, 16, 1.0);
+    const auto p = extract_profile(f, 2.0, 2.0, 14.0, 2.0, 13, 0.5);
+    EXPECT_EQ(p.height.size(), 13u);
+    EXPECT_NEAR(p.step, 0.5 * 12.0 / 12.0, 1e-12);
+    EXPECT_NEAR(p.length(), 6.0, 1e-12);
+    for (const double h : p.height) {
+        EXPECT_NEAR(h, 1.0, 1e-12);
+    }
+}
+
+TEST(ProfilePath, Validation) {
+    Array2D<double> f(4, 4, 0.0);
+    EXPECT_THROW(extract_profile(f, 0, 0, 3, 3, 1), std::invalid_argument);
+    EXPECT_THROW(extract_profile(f, 0, 0, 3, 3, 16, 0.0), std::invalid_argument);
+    Array2D<double> tiny(1, 1, 0.0);
+    EXPECT_THROW(bilinear_height(tiny, 0, 0), std::invalid_argument);
+}
+
+// --- Fresnel / knife edge -----------------------------------------------------
+
+TEST(Diffraction, FreeSpaceLossKnownValue) {
+    // FSPL at 1 km, 2.4 GHz (λ = 0.125 m): 20·log10(4π·1000/0.125) ≈ 100.05 dB.
+    EXPECT_NEAR(free_space_loss_db(1000.0, 0.125), 100.05, 0.05);
+    // +6 dB per doubling of distance.
+    EXPECT_NEAR(free_space_loss_db(2000.0, 0.125) - free_space_loss_db(1000.0, 0.125),
+                6.0206, 1e-3);
+}
+
+TEST(Diffraction, FresnelRadiusMidpoint) {
+    // r1 = sqrt(λ·d/4) at the midpoint of a path of length d.
+    EXPECT_NEAR(fresnel_radius(500.0, 500.0, 0.125), std::sqrt(0.125 * 250.0), 1e-9);
+    // Radius shrinks toward the terminals.
+    EXPECT_GT(fresnel_radius(500.0, 500.0, 0.125), fresnel_radius(100.0, 900.0, 0.125));
+}
+
+TEST(Diffraction, KnifeEdgeLossProperties) {
+    EXPECT_EQ(knife_edge_loss_db(-1.0), 0.0);
+    EXPECT_EQ(knife_edge_loss_db(-0.78), 0.0);
+    // Grazing incidence (ν = 0): exactly 6 dB in this approximation.
+    EXPECT_NEAR(knife_edge_loss_db(0.0), 6.0, 0.1);
+    // Monotone increasing and ~ 13 dB at ν = 1, ~ 20·log10(ν)+13 beyond.
+    EXPECT_NEAR(knife_edge_loss_db(1.0), 13.5, 0.6);
+    EXPECT_GT(knife_edge_loss_db(2.0), knife_edge_loss_db(1.0));
+    EXPECT_NEAR(knife_edge_loss_db(10.0), 6.9 + 20.0 * std::log10(19.82), 0.1);
+}
+
+TEST(Diffraction, FresnelParameterSigns) {
+    EXPECT_GT(fresnel_parameter(5.0, 100.0, 100.0, 0.125), 0.0);
+    EXPECT_LT(fresnel_parameter(-5.0, 100.0, 100.0, 0.125), 0.0);
+    EXPECT_EQ(fresnel_parameter(0.0, 100.0, 100.0, 0.125), 0.0);
+}
+
+TerrainProfile flat_profile(std::size_t n, double step, double height = 0.0) {
+    TerrainProfile p;
+    p.height.assign(n, height);
+    p.step = step;
+    return p;
+}
+
+TEST(Diffraction, FlatProfileIsClearAndLossless) {
+    const auto p = flat_profile(101, 10.0);
+    const LinkGeometry link{5.0, 5.0, 0.125};
+    EXPECT_TRUE(line_of_sight_clear(p, link));
+    EXPECT_EQ(deygout_loss_db(p, link), 0.0);
+    EXPECT_EQ(epstein_peterson_loss_db(p, link), 0.0);
+    EXPECT_NEAR(path_loss_db(p, link), free_space_loss_db(1000.0, 0.125), 1e-9);
+}
+
+TerrainProfile single_bump(std::size_t n, double step, std::size_t at, double height) {
+    auto p = flat_profile(n, step);
+    p.height[at] = height;
+    return p;
+}
+
+TEST(Diffraction, SingleBumpMatchesClosedForm) {
+    const std::size_t n = 101;
+    const double step = 10.0;
+    const double hobs = 8.0;
+    const LinkGeometry link{2.0, 2.0, 0.125};
+    const auto p = single_bump(n, step, 50, hobs);
+    // LOS line is at +2 m; excess = 6 m at the midpoint.
+    const double nu = fresnel_parameter(6.0, 500.0, 500.0, 0.125);
+    const double expect = knife_edge_loss_db(nu);
+    EXPECT_NEAR(deygout_loss_db(p, link), expect, 1e-9);
+    EXPECT_NEAR(epstein_peterson_loss_db(p, link), expect, 1e-9);
+    EXPECT_FALSE(line_of_sight_clear(p, link));
+    const auto worst = worst_obstruction(p, link);
+    EXPECT_EQ(worst.index, 50u);
+    EXPECT_NEAR(worst.excess_height, 6.0, 1e-12);
+    EXPECT_NEAR(worst.nu, nu, 1e-12);
+}
+
+TEST(Diffraction, TwoBumpsCostMoreThanOne) {
+    const LinkGeometry link{2.0, 2.0, 0.125};
+    const auto one = single_bump(101, 10.0, 33, 8.0);
+    auto two = one;
+    two.height[66] = 8.0;
+    EXPECT_GT(deygout_loss_db(two, link), deygout_loss_db(one, link));
+    EXPECT_GT(epstein_peterson_loss_db(two, link), epstein_peterson_loss_db(one, link));
+}
+
+TEST(Diffraction, HigherAntennasReduceLoss) {
+    const auto p = single_bump(101, 10.0, 50, 8.0);
+    const LinkGeometry low{1.0, 1.0, 0.125};
+    const LinkGeometry high{12.0, 12.0, 0.125};
+    EXPECT_GT(deygout_loss_db(p, low), deygout_loss_db(p, high));
+    EXPECT_TRUE(line_of_sight_clear(p, high, 0.2));
+}
+
+TEST(Diffraction, InputValidation) {
+    EXPECT_THROW(free_space_loss_db(0.0, 0.1), std::invalid_argument);
+    EXPECT_THROW(fresnel_radius(0.0, 1.0, 0.1), std::invalid_argument);
+    const LinkGeometry link;
+    TerrainProfile tiny = flat_profile(2, 1.0);
+    EXPECT_THROW(deygout_loss_db(tiny, link), std::invalid_argument);
+    EXPECT_THROW(worst_obstruction(tiny, link), std::invalid_argument);
+}
+
+// --- Hata ----------------------------------------------------------------------
+
+TEST(Hata, KnownMagnitudeAndMonotonicity) {
+    const HataParams p{900.0, 30.0, 1.5, HataEnvironment::kUrbanMedium};
+    const double l1 = hata_loss_db(p, 1.0);
+    const double l10 = hata_loss_db(p, 10.0);
+    // Classic figure: ~126 dB at 1 km for these parameters.
+    EXPECT_NEAR(l1, 126.4, 1.0);
+    // Path-loss exponent: (44.9 − 6.55·log10 hb) per decade ≈ 35.2 dB.
+    EXPECT_NEAR(l10 - l1, 35.2, 0.5);
+}
+
+TEST(Hata, EnvironmentOrdering) {
+    const double d = 5.0;
+    const double urban =
+        hata_loss_db({900.0, 30.0, 1.5, HataEnvironment::kUrbanMedium}, d);
+    const double suburban =
+        hata_loss_db({900.0, 30.0, 1.5, HataEnvironment::kSuburban}, d);
+    const double open = hata_loss_db({900.0, 30.0, 1.5, HataEnvironment::kOpen}, d);
+    EXPECT_GT(urban, suburban);
+    EXPECT_GT(suburban, open);
+}
+
+TEST(Hata, RangeInvertsLoss) {
+    const HataParams p{900.0, 50.0, 1.5, HataEnvironment::kSuburban};
+    const double budget = hata_loss_db(p, 7.3);
+    EXPECT_NEAR(hata_range_km(p, budget), 7.3, 1e-6);
+    EXPECT_EQ(hata_range_km(p, 1.0), 1.0);     // budget below 1-km loss
+    EXPECT_EQ(hata_range_km(p, 500.0), 20.0);  // budget beyond 20-km loss
+}
+
+TEST(Hata, Validation) {
+    EXPECT_THROW(hata_loss_db({100.0, 30.0, 1.5, HataEnvironment::kOpen}, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(hata_loss_db({900.0, 10.0, 1.5, HataEnvironment::kOpen}, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(hata_loss_db({900.0, 30.0, 0.5, HataEnvironment::kOpen}, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(hata_loss_db({900.0, 30.0, 1.5, HataEnvironment::kOpen}, 0.0),
+                 std::invalid_argument);
+}
+
+// --- range study ------------------------------------------------------------------
+
+TEST(RangeStudy, RougherSurfaceShortensRange) {
+    // The companion-paper finding (its ref. [12]): roughness shortens the
+    // achievable communication distance.
+    const GridSpec g = GridSpec::unit_spacing(256, 256);
+    RangeStudyConfig cfg;
+    cfg.link = LinkGeometry{1.5, 1.5, 0.33};  // ~900 MHz
+    cfg.budget_db = 82.0;
+    cfg.paths_per_distance = 24;
+    cfg.profile_samples = 129;
+    const std::vector<double> distances{40.0, 80.0, 120.0, 160.0, 200.0};
+
+    auto range_for = [&](double h) {
+        const auto s = make_gaussian({h, 12.0, 12.0});
+        const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, 1e-6), 9);
+        const auto f = gen.generate(Rect{0, 0, 320, 320});
+        const auto samples = communication_range_study(f, 1.0, distances, cfg);
+        return estimated_range(samples, 0.75);
+    };
+    const double smooth = range_for(0.05);
+    const double rough = range_for(3.0);
+    EXPECT_GT(smooth, 0.0);
+    EXPECT_GE(smooth, rough);
+}
+
+TEST(RangeStudy, StatisticsAreWellFormed) {
+    Array2D<double> flat(128, 128, 0.0);
+    RangeStudyConfig cfg;
+    cfg.paths_per_distance = 8;
+    cfg.profile_samples = 65;
+    const auto samples = communication_range_study(flat, 1.0, {30.0, 60.0}, cfg);
+    ASSERT_EQ(samples.size(), 2u);
+    for (const auto& s : samples) {
+        EXPECT_EQ(s.p_los, 1.0);  // flat terrain: always clear
+        EXPECT_GE(s.p_link, 0.0);
+        EXPECT_LE(s.p_link, 1.0);
+        EXPECT_GT(s.mean_loss_db, 0.0);
+    }
+    // Loss grows with distance.
+    EXPECT_GT(samples[1].mean_loss_db, samples[0].mean_loss_db);
+}
+
+TEST(RangeStudy, Validation) {
+    Array2D<double> f(64, 64, 0.0);
+    RangeStudyConfig cfg;
+    EXPECT_THROW(communication_range_study(f, 0.0, {10.0}, cfg), std::invalid_argument);
+    EXPECT_THROW(communication_range_study(f, 1.0, {1000.0}, cfg), std::invalid_argument);
+    cfg.paths_per_distance = 0;
+    EXPECT_THROW(communication_range_study(f, 1.0, {10.0}, cfg), std::invalid_argument);
+}
+
+TEST(RangeStudy, EstimatedRangeSelection) {
+    std::vector<RangeSample> samples{
+        {50.0, 80.0, 1.0, 1.0}, {100.0, 90.0, 0.8, 0.95}, {150.0, 100.0, 0.2, 0.4}};
+    EXPECT_EQ(estimated_range(samples, 0.9), 100.0);
+    EXPECT_EQ(estimated_range(samples, 0.99), 50.0);
+    EXPECT_EQ(estimated_range(samples, 1.01), -1.0);
+}
+
+}  // namespace
+}  // namespace rrs

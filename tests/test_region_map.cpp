@@ -1,0 +1,226 @@
+// Tests for the region maps of paper §3: plate-oriented (eqs. 37-39),
+// circular, and point-oriented (eqs. 40-46) blending weights.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/region_map.hpp"
+#include "rng/engines.hpp"
+
+namespace rrs {
+namespace {
+
+SpectrumPtr dummy(double h = 1.0) { return make_gaussian({h, 5.0, 5.0}); }
+
+std::vector<double> weights(const RegionMap& map, double x, double y) {
+    std::vector<double> g(map.region_count());
+    map.weights_at(x, y, g);
+    return g;
+}
+
+void expect_partition_of_unity(const RegionMap& map, double x, double y) {
+    const auto g = weights(map, x, y);
+    double sum = 0.0;
+    for (const double v : g) {
+        EXPECT_GE(v, -1e-12) << "at " << x << "," << y;
+        EXPECT_LE(v, 1.0 + 1e-12);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "at " << x << "," << y;
+}
+
+// --- PlateMap -----------------------------------------------------------------
+
+std::shared_ptr<const PlateMap> quadrants(double T = 10.0) {
+    return make_quadrant_map(0.0, 0.0, 500.0, dummy(1.0), dummy(2.0), dummy(3.0),
+                             dummy(4.0), T);
+}
+
+TEST(PlateMap, InteriorIsOneHot) {
+    const auto m = quadrants();
+    const auto g = weights(*m, 250.0, 250.0);  // deep in quadrant 1
+    EXPECT_NEAR(g[0], 1.0, 1e-12);
+    EXPECT_NEAR(g[1] + g[2] + g[3], 0.0, 1e-12);
+}
+
+TEST(PlateMap, QuadrantAssignmentsMatchConvention) {
+    const auto m = quadrants();
+    EXPECT_NEAR(weights(*m, 250.0, 250.0)[0], 1.0, 1e-12);    // +x +y
+    EXPECT_NEAR(weights(*m, -250.0, 250.0)[1], 1.0, 1e-12);   // −x +y
+    EXPECT_NEAR(weights(*m, -250.0, -250.0)[2], 1.0, 1e-12);  // −x −y
+    EXPECT_NEAR(weights(*m, 250.0, -250.0)[3], 1.0, 1e-12);   // +x −y
+}
+
+TEST(PlateMap, BoundaryIsFiftyFifty) {
+    const auto m = quadrants(10.0);
+    const auto g = weights(*m, 0.0, 200.0);  // on the x=0 line between q1/q2
+    EXPECT_NEAR(g[0], 0.5, 1e-9);
+    EXPECT_NEAR(g[1], 0.5, 1e-9);
+}
+
+TEST(PlateMap, TransitionIsLinearAcrossBoundary) {
+    const double T = 10.0;
+    const auto m = quadrants(T);
+    // Crossing x = 0 at y = 200: expect weight ramp g1 = (x+T)/(2T).
+    for (double x : {-10.0, -5.0, 0.0, 5.0, 10.0}) {
+        const auto g = weights(*m, x, 200.0);
+        EXPECT_NEAR(g[0], std::clamp((x + T) / (2.0 * T), 0.0, 1.0), 1e-9) << "x=" << x;
+        expect_partition_of_unity(*m, x, 200.0);
+    }
+}
+
+TEST(PlateMap, PartitionOfUnityEverywhere) {
+    const auto m = quadrants(25.0);
+    SplitMix64 e{4};
+    for (int i = 0; i < 500; ++i) {
+        const double x = 1200.0 * to_unit_halfopen(e()) - 600.0;
+        const double y = 1200.0 * to_unit_halfopen(e()) - 600.0;
+        expect_partition_of_unity(*m, x, y);
+    }
+}
+
+TEST(PlateMap, CenterBlendsAllFour) {
+    const auto m = quadrants(10.0);
+    const auto g = weights(*m, 0.0, 0.0);
+    for (const double v : g) {
+        EXPECT_NEAR(v, 0.25, 1e-9);
+    }
+}
+
+TEST(PlateMap, OutsideAllPlatesFallsBackToNearest) {
+    const auto m = quadrants(10.0);
+    const auto g = weights(*m, 1000.0, 1000.0);  // beyond plate 1 + T
+    EXPECT_NEAR(g[0], 1.0, 1e-12);
+}
+
+TEST(PlateMap, Validation) {
+    EXPECT_THROW(PlateMap({Plate{0, 1, 0, 1, dummy()}}, 0.0), std::invalid_argument);
+    EXPECT_THROW(PlateMap({Plate{1, 0, 0, 1, dummy()}}, 1.0), std::invalid_argument);
+    EXPECT_THROW(PlateMap({Plate{0, 1, 0, 1, nullptr}}, 1.0), std::invalid_argument);
+    EXPECT_THROW(PlateMap({}, 1.0), std::invalid_argument);
+    std::vector<double> wrong(3);
+    EXPECT_THROW(quadrants()->weights_at(0, 0, wrong), std::invalid_argument);
+}
+
+// --- CircleMap -----------------------------------------------------------------
+
+TEST(CircleMap, InsideOutsideAndBoundary) {
+    const CircleMap m(0.0, 0.0, 500.0, dummy(0.2), dummy(1.0), 100.0);
+    EXPECT_NEAR(weights(m, 0.0, 0.0)[0], 1.0, 1e-12);
+    EXPECT_NEAR(weights(m, 100.0, 100.0)[0], 1.0, 1e-12);
+    EXPECT_NEAR(weights(m, 800.0, 0.0)[1], 1.0, 1e-12);
+    // Exactly on the circle: 50/50.
+    EXPECT_NEAR(weights(m, 500.0, 0.0)[0], 0.5, 1e-12);
+    EXPECT_NEAR(weights(m, 0.0, -500.0)[1], 0.5, 1e-12);
+}
+
+TEST(CircleMap, TransitionIsLinearInRadialDistance) {
+    const double T = 100.0;
+    const CircleMap m(0.0, 0.0, 500.0, dummy(), dummy(), T);
+    for (double r : {400.0, 450.0, 500.0, 550.0, 600.0}) {
+        const auto g = weights(m, r, 0.0);
+        EXPECT_NEAR(g[1], std::clamp((r - 500.0 + T) / (2.0 * T), 0.0, 1.0), 1e-12);
+        EXPECT_NEAR(g[0] + g[1], 1.0, 1e-12);
+    }
+}
+
+TEST(CircleMap, OffCenterCircle) {
+    const CircleMap m(100.0, -50.0, 30.0, dummy(), dummy(), 5.0);
+    EXPECT_NEAR(weights(m, 100.0, -50.0)[0], 1.0, 1e-12);
+    EXPECT_NEAR(weights(m, 100.0, -20.0)[0], 0.5, 1e-12);  // on the rim
+}
+
+TEST(CircleMap, Validation) {
+    EXPECT_THROW(CircleMap(0, 0, 0.0, dummy(), dummy(), 1.0), std::invalid_argument);
+    EXPECT_THROW(CircleMap(0, 0, 1.0, dummy(), dummy(), 0.0), std::invalid_argument);
+    EXPECT_THROW(CircleMap(0, 0, 1.0, nullptr, dummy(), 1.0), std::invalid_argument);
+}
+
+// --- PointMap -----------------------------------------------------------------
+
+TEST(PointMap, BisectorDistanceProperties) {
+    // τ is zero on the bisector, positive on the m* side of it, and equals
+    // the point-to-bisector distance for axis-aligned configurations.
+    // Points at (−10,0) [m] and (10,0) [m*]:
+    EXPECT_NEAR(PointMap::bisector_distance(0.0, 5.0, -10.0, 0.0, 10.0, 0.0), 0.0, 1e-12);
+    EXPECT_NEAR(PointMap::bisector_distance(3.0, 7.0, -10.0, 0.0, 10.0, 0.0), 3.0, 1e-12);
+    EXPECT_NEAR(PointMap::bisector_distance(-4.0, 0.0, -10.0, 0.0, 10.0, 0.0), -4.0,
+                1e-12);
+}
+
+TEST(PointMap, TwoPointsReduceToLinearRamp) {
+    const double T = 20.0;
+    const PointMap m({{-100.0, 0.0, dummy(1.0)}, {100.0, 0.0, dummy(2.0)}}, T);
+    for (double x : {-30.0, -20.0, -10.0, 0.0, 10.0, 20.0, 30.0}) {
+        const auto g = weights(m, x, 50.0);
+        const double expect1 = std::clamp(0.5 + x / (2.0 * T), 0.0, 1.0);
+        EXPECT_NEAR(g[1], expect1, 1e-9) << "x=" << x;
+        EXPECT_NEAR(g[0] + g[1], 1.0, 1e-12);
+    }
+}
+
+TEST(PointMap, OwnerDominatesAwayFromTransitions) {
+    const PointMap m({{0.0, 0.0, dummy()}, {200.0, 0.0, dummy()}, {0.0, 200.0, dummy()}},
+                     15.0);
+    const auto g = weights(m, 10.0, 10.0);
+    EXPECT_NEAR(g[0], 1.0, 1e-12);
+    EXPECT_NEAR(g[1], 0.0, 1e-12);
+    EXPECT_NEAR(g[2], 0.0, 1e-12);
+}
+
+TEST(PointMap, BisectorGivesHalfHalf) {
+    const PointMap m({{-50.0, 0.0, dummy()}, {50.0, 0.0, dummy()}}, 10.0);
+    const auto g = weights(m, 0.0, 123.0);
+    EXPECT_NEAR(g[0], 0.5, 1e-12);
+    EXPECT_NEAR(g[1], 0.5, 1e-12);
+}
+
+TEST(PointMap, PartitionOfUnityEverywhere) {
+    // Fig. 4 geometry: nine points on a circle plus the origin.
+    std::vector<RepresentativePoint> pts;
+    for (int i = 1; i <= 9; ++i) {
+        const double ang = 2.0 * 3.14159265358979 * i / 9.0;
+        pts.push_back({1000.0 * std::cos(ang), 1000.0 * std::sin(ang), dummy()});
+    }
+    pts.push_back({0.0, 0.0, dummy()});
+    const PointMap m(std::move(pts), 100.0);
+    SplitMix64 e{8};
+    for (int i = 0; i < 500; ++i) {
+        const double x = 3000.0 * to_unit_halfopen(e()) - 1500.0;
+        const double y = 3000.0 * to_unit_halfopen(e()) - 1500.0;
+        expect_partition_of_unity(m, x, y);
+    }
+}
+
+TEST(PointMap, WeightsAreContinuousAcrossOwnershipChange) {
+    // Walk across the bisector between two points and check no jumps.
+    const PointMap m({{-50.0, 0.0, dummy()}, {50.0, 0.0, dummy()}, {0.0, 300.0, dummy()}},
+                     25.0);
+    std::vector<double> prev = weights(m, -1.0, 10.0);
+    for (double x = -0.9; x <= 1.0; x += 0.1) {
+        const auto g = weights(m, x, 10.0);
+        for (std::size_t k = 0; k < g.size(); ++k) {
+            EXPECT_NEAR(g[k], prev[k], 0.02) << "x=" << x << " k=" << k;
+        }
+        prev = g;
+    }
+}
+
+TEST(PointMap, Validation) {
+    EXPECT_THROW(PointMap({{0, 0, dummy()}}, 1.0), std::invalid_argument);
+    EXPECT_THROW(PointMap({{0, 0, dummy()}, {1, 1, dummy()}}, 0.0), std::invalid_argument);
+    EXPECT_THROW(PointMap({{0, 0, dummy()}, {1, 1, nullptr}}, 1.0), std::invalid_argument);
+}
+
+TEST(RegionMapBase, SpectraAccessors) {
+    const auto m = quadrants();
+    EXPECT_EQ(m->region_count(), 4u);
+    EXPECT_EQ(m->spectra().size(), 4u);
+    EXPECT_NEAR(m->spectrum(1)->params().h, 2.0, 1e-15);
+    EXPECT_THROW(m->spectrum(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rrs

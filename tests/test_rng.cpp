@@ -1,0 +1,244 @@
+// Tests for the RNG substrate: engines, coordinate hashing, Box-Muller
+// (paper eq. 18) and the stateless Gaussian lattice.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+#include "rng/hash.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+// --- engines ---------------------------------------------------------------
+
+TEST(Engines, SplitMixIsDeterministic) {
+    SplitMix64 a{42};
+    SplitMix64 b{42};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Engines, SplitMixSeedsDiffer) {
+    SplitMix64 a{1};
+    SplitMix64 b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += (a() == b());
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Engines, Pcg64IsDeterministic) {
+    Pcg64 a{7, 3};
+    Pcg64 b{7, 3};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Engines, Pcg64StreamsAreIndependentSequences) {
+    Pcg64 a{7, 1};
+    Pcg64 b{7, 2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += (a() == b());
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Engines, Lcg48MatchesRandRange) {
+    Lcg48 e{1};
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = e();
+        EXPECT_LE(v, Lcg48::max());
+    }
+}
+
+TEST(Engines, UniformMappingsInRange) {
+    SplitMix64 e{11};
+    for (int i = 0; i < 10000; ++i) {
+        const auto u = e();
+        const double h = to_unit_halfopen(u);
+        const double o = to_unit_open_zero(u);
+        EXPECT_GE(h, 0.0);
+        EXPECT_LT(h, 1.0);
+        EXPECT_GT(o, 0.0);
+        EXPECT_LE(o, 1.0);
+    }
+}
+
+TEST(Engines, ZeroWordMapsSafely) {
+    EXPECT_EQ(to_unit_halfopen(0), 0.0);
+    EXPECT_GT(to_unit_open_zero(0), 0.0);  // safe log() argument
+    EXPECT_LE(to_unit_open_zero(~std::uint64_t{0}), 1.0);
+}
+
+TEST(Engines, UniformMomentsMatch) {
+    SplitMix64 e{123};
+    MomentAccumulator acc;
+    for (int i = 0; i < 200000; ++i) {
+        acc.add(to_unit_halfopen(e()));
+    }
+    EXPECT_NEAR(acc.mean(), 0.5, 0.005);
+    EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.002);
+}
+
+// --- hash ------------------------------------------------------------------
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+    std::set<std::uint64_t> outs;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        outs.insert(mix64(i));
+    }
+    EXPECT_EQ(outs.size(), 10000u);
+}
+
+TEST(Hash, CoordsDistinguishNeighbours) {
+    const std::uint64_t seed = 9;
+    EXPECT_NE(hash_coords(seed, 0, 0), hash_coords(seed, 1, 0));
+    EXPECT_NE(hash_coords(seed, 0, 0), hash_coords(seed, 0, 1));
+    EXPECT_NE(hash_coords(seed, 5, 3), hash_coords(seed, 3, 5));
+    EXPECT_NE(hash_coords(seed, -1, 0), hash_coords(seed, 1, 0));
+}
+
+TEST(Hash, SaltGivesIndependentFields) {
+    EXPECT_NE(hash_coords(1, 10, 10, 1), hash_coords(1, 10, 10, 2));
+}
+
+TEST(Hash, AvalancheFlipsRoughlyHalfTheBits) {
+    int total = 0;
+    const int trials = 256;
+    for (int t = 0; t < trials; ++t) {
+        const auto a = hash_coords(42, t, 7);
+        const auto b = hash_coords(42, t + 1, 7);
+        total += __builtin_popcountll(a ^ b);
+    }
+    const double mean_flips = static_cast<double>(total) / trials;
+    EXPECT_GT(mean_flips, 24.0);
+    EXPECT_LT(mean_flips, 40.0);
+}
+
+// --- Box-Muller / polar ------------------------------------------------------
+
+TEST(Gaussian, PaperBoxMullerUnitCircleCases) {
+    // eq. (18) with u2 = 1 gives exactly 0 regardless of angle.
+    EXPECT_EQ(box_muller_paper(0.7, 1.0), 0.0);
+    // angle 0: X = sqrt(−2 ln u2).
+    EXPECT_NEAR(box_muller_paper(0.0, std::exp(-0.5)), 1.0, 1e-12);
+}
+
+TEST(Gaussian, BoxMullerMomentsAreStandardNormal) {
+    BoxMullerGaussian<SplitMix64> g{SplitMix64{2024}};
+    MomentAccumulator acc;
+    for (int i = 0; i < 400000; ++i) {
+        acc.add(g());
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+    EXPECT_NEAR(acc.variance(), 1.0, 0.02);
+    EXPECT_NEAR(acc.skewness(), 0.0, 0.02);
+    EXPECT_NEAR(acc.excess_kurtosis(), 0.0, 0.05);
+}
+
+TEST(Gaussian, PolarMomentsAreStandardNormal) {
+    PolarGaussian<Pcg64> g{Pcg64{77}};
+    MomentAccumulator acc;
+    for (int i = 0; i < 400000; ++i) {
+        acc.add(g());
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+    EXPECT_NEAR(acc.variance(), 1.0, 0.02);
+    EXPECT_NEAR(acc.excess_kurtosis(), 0.0, 0.05);
+}
+
+TEST(Gaussian, SpareValueMakesConsecutiveDrawsIndependent) {
+    BoxMullerGaussian<SplitMix64> g{SplitMix64{5}};
+    // lag-1 autocorrelation of the stream should vanish.
+    const int n = 200000;
+    double prev = g();
+    double sum = 0.0, sum2 = 0.0, cross = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = g();
+        cross += prev * x;
+        sum += x;
+        sum2 += x * x;
+        prev = x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    const double rho1 = (cross / n - mean * mean) / var;
+    EXPECT_LT(std::abs(rho1), 0.01);
+}
+
+// --- GaussianLattice ---------------------------------------------------------
+
+TEST(GaussianLattice, PureFunctionOfCoordinates) {
+    const GaussianLattice a{31415};
+    const GaussianLattice b{31415};
+    for (std::int64_t i = -5; i <= 5; ++i) {
+        for (std::int64_t j = -5; j <= 5; ++j) {
+            EXPECT_EQ(a(i, j), b(i, j));
+        }
+    }
+}
+
+TEST(GaussianLattice, SeedChangesField) {
+    const GaussianLattice a{1};
+    const GaussianLattice b{2};
+    int same = 0;
+    for (std::int64_t i = 0; i < 100; ++i) {
+        same += (a(i, 0) == b(i, 0));
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(GaussianLattice, MarginalIsStandardNormal) {
+    const GaussianLattice lat{8};
+    MomentAccumulator acc;
+    for (std::int64_t iy = 0; iy < 500; ++iy) {
+        for (std::int64_t ix = 0; ix < 500; ++ix) {
+            acc.add(lat(ix, iy));
+        }
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+    EXPECT_NEAR(acc.variance(), 1.0, 0.02);
+    EXPECT_NEAR(acc.skewness(), 0.0, 0.02);
+    EXPECT_NEAR(acc.excess_kurtosis(), 0.0, 0.05);
+}
+
+TEST(GaussianLattice, NeighboursAreUncorrelated) {
+    const GaussianLattice lat{21};
+    double cross_x = 0.0, cross_y = 0.0, var = 0.0;
+    const std::int64_t n = 400;
+    for (std::int64_t iy = 0; iy < n; ++iy) {
+        for (std::int64_t ix = 0; ix < n; ++ix) {
+            const double v = lat(ix, iy);
+            var += v * v;
+            cross_x += v * lat(ix + 1, iy);
+            cross_y += v * lat(ix, iy + 1);
+        }
+    }
+    EXPECT_LT(std::abs(cross_x / var), 0.01);
+    EXPECT_LT(std::abs(cross_y / var), 0.01);
+}
+
+TEST(GaussianLattice, NegativeCoordinatesWork) {
+    const GaussianLattice lat{3};
+    MomentAccumulator acc;
+    for (std::int64_t iy = -300; iy < 0; ++iy) {
+        for (std::int64_t ix = -300; ix < 0; ++ix) {
+            acc.add(lat(ix, iy));
+        }
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+    EXPECT_NEAR(acc.variance(), 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,247 @@
+// Tests for the scene-description parser and renderer behind `rrsgen`.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "io/scene.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+const char* kPondScene = R"(
+seed = 7
+kernel_grid = 128 128
+region = -64 -64 128 128
+tail_eps = 1e-6
+
+[spectrum field]
+family = gaussian
+h = 1.0
+cl = 10
+
+[spectrum pond]
+family = exponential
+h = 0.2
+cl = 10
+
+[map]
+type = circle
+center = 0 0
+radius = 30
+transition = 8
+inside = pond
+outside = field
+)";
+
+TEST(SceneParser, ParsesCompleteScene) {
+    const Scene s = parse_scene_text(kPondScene);
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_EQ(s.kernel_grid.Nx, 128u);
+    EXPECT_EQ(s.region, (Rect{-64, -64, 128, 128}));
+    EXPECT_DOUBLE_EQ(s.tail_eps, 1e-6);
+    ASSERT_TRUE(s.map);
+    EXPECT_EQ(s.map->region_count(), 2u);
+    EXPECT_EQ(s.map->spectrum(0)->name(), "exponential");
+    EXPECT_EQ(s.map->spectrum(1)->name(), "gaussian");
+}
+
+TEST(SceneParser, DefaultsApply) {
+    const Scene s = parse_scene_text(R"(
+[spectrum a]
+family = gaussian
+h = 1
+cl = 5
+
+[map]
+type = homogeneous
+spectrum = a
+)");
+    EXPECT_EQ(s.seed, 0u);
+    EXPECT_EQ(s.kernel_grid.Nx, 512u);
+    EXPECT_TRUE(s.outputs.empty());
+    EXPECT_EQ(s.map->region_count(), 1u);
+}
+
+TEST(SceneParser, CommentsAndBlankLinesIgnored) {
+    const Scene s = parse_scene_text(R"(
+# a comment
+seed = 3   # trailing comment
+
+[spectrum a]
+family = gaussian
+h = 1
+cl = 5
+[map]
+type = homogeneous
+spectrum = a
+)");
+    EXPECT_EQ(s.seed, 3u);
+}
+
+TEST(SceneParser, AnisotropicClAndRotation) {
+    const Scene s = parse_scene_text(R"(
+[spectrum a]
+family = gaussian
+h = 1
+cl = 20 5
+rotate = 0.785398163
+
+[map]
+type = homogeneous
+spectrum = a
+)");
+    const auto& spec = *s.map->spectrum(0);
+    EXPECT_NE(spec.name().find("@rot("), std::string::npos);
+    EXPECT_DOUBLE_EQ(spec.params().clx, 20.0);
+    EXPECT_DOUBLE_EQ(spec.params().cly, 5.0);
+}
+
+TEST(SceneParser, PowerLawNeedsN) {
+    EXPECT_THROW(parse_scene_text(R"(
+[spectrum a]
+family = power-law
+h = 1
+cl = 5
+[map]
+type = homogeneous
+spectrum = a
+)"),
+                 SceneError);
+}
+
+TEST(SceneParser, QuadrantPlatesAndPointsMaps) {
+    const char* spectra = R"(
+[spectrum a]
+family = gaussian
+h = 1
+cl = 5
+[spectrum b]
+family = exponential
+h = 2
+cl = 8
+)";
+    const Scene quad = parse_scene_text(std::string(spectra) + R"(
+[map]
+type = quadrant
+center = 0 0
+extent = 100
+transition = 5
+q1 = a
+q2 = b
+q3 = a
+q4 = b
+)");
+    EXPECT_EQ(quad.map->region_count(), 4u);
+
+    const Scene plates = parse_scene_text(std::string(spectra) + R"(
+[map]
+type = plates
+transition = 5
+plate = 0 50 0 50 a
+plate = 50 100 0 50 b
+)");
+    EXPECT_EQ(plates.map->region_count(), 2u);
+
+    const Scene points = parse_scene_text(std::string(spectra) + R"(
+[map]
+type = points
+transition = 10
+point = 0 0 a
+point = 80 0 b
+)");
+    EXPECT_EQ(points.map->region_count(), 2u);
+}
+
+TEST(SceneParser, ErrorsCarryLineNumbers) {
+    try {
+        parse_scene_text("seed = 1\nbogus line without equals\n");
+        FAIL() << "expected SceneError";
+    } catch (const SceneError& e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string{e.what()}.find("scene:2"), std::string::npos);
+    }
+}
+
+TEST(SceneParser, RejectsMalformedInput) {
+    EXPECT_THROW(parse_scene_text("region = 0 0 0 4\n[map]\ntype = homogeneous\n"),
+                 SceneError);  // empty region (before missing spectra checks)
+    EXPECT_THROW(parse_scene_text("[bogus section]\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("[spectrum a\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("seed = notanumber\n[spectrum a]\nfamily = gaussian\nh = 1\ncl = 2\n[map]\ntype = homogeneous\nspectrum = a\n"),
+                 SceneError);
+    // No [map].
+    EXPECT_THROW(parse_scene_text("[spectrum a]\nfamily = gaussian\nh = 1\ncl = 2\n"),
+                 SceneError);
+    // Unknown spectrum reference.
+    EXPECT_THROW(parse_scene_text("[map]\ntype = homogeneous\nspectrum = nope\n"),
+                 SceneError);
+    // Duplicate spectrum.
+    EXPECT_THROW(parse_scene_text(
+                     "[spectrum a]\nfamily = gaussian\nh = 1\ncl = 2\n"
+                     "[spectrum a]\nfamily = gaussian\nh = 1\ncl = 2\n"
+                     "[map]\ntype = homogeneous\nspectrum = a\n"),
+                 SceneError);
+    // Unknown map type.
+    EXPECT_THROW(parse_scene_text("[spectrum a]\nfamily = gaussian\nh = 1\ncl = 2\n"
+                                  "[map]\ntype = wiggly\nspectrum = a\n"),
+                 SceneError);
+    // Bad spectrum parameters surface as SceneError too.
+    EXPECT_THROW(parse_scene_text("[spectrum a]\nfamily = gaussian\nh = -1\ncl = 2\n"
+                                  "[map]\ntype = homogeneous\nspectrum = a\n"),
+                 SceneError);
+}
+
+TEST(SceneRender, PondSceneHasExpectedStatistics) {
+    const Scene s = parse_scene_text(kPondScene);
+    const Array2D<double> f = render_scene(s);
+    ASSERT_EQ(f.nx(), 128u);
+    // Pond centre (lattice index 64, 64) region is calm.
+    MomentAccumulator pond, field;
+    for (std::size_t iy = 0; iy < 128; ++iy) {
+        for (std::size_t ix = 0; ix < 128; ++ix) {
+            const double r = std::hypot(static_cast<double>(ix) - 64.0,
+                                        static_cast<double>(iy) - 64.0);
+            if (r < 20.0) {
+                pond.add(f(ix, iy));
+            } else if (r > 45.0) {
+                field.add(f(ix, iy));
+            }
+        }
+    }
+    EXPECT_LT(pond.stddev(), 0.45);
+    EXPECT_GT(field.stddev(), 0.6);
+}
+
+TEST(SceneRender, SeedChangesSurface) {
+    Scene s = parse_scene_text(kPondScene);
+    const auto a = render_scene(s);
+    s.seed = 1234;
+    const auto b = render_scene(s);
+    EXPECT_NE(a, b);
+}
+
+TEST(SceneOutputs, WritesDeclaredFiles) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("rrs_scene_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    Scene s = parse_scene_text(kPondScene);
+    s.region = Rect{0, 0, 16, 16};
+    s.outputs = {(dir / "a.pgm").string(), (dir / "a.csv").string(),
+                 (dir / "a.npy").string(), (dir / "a.dat").string()};
+    const auto f = render_scene(s);
+    write_scene_outputs(s, f);
+    for (const auto& p : s.outputs) {
+        EXPECT_TRUE(std::filesystem::exists(p)) << p;
+        EXPECT_GT(std::filesystem::file_size(p), 0u) << p;
+    }
+    s.outputs = {(dir / "a.unknown").string()};
+    EXPECT_THROW(write_scene_outputs(s, f), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,147 @@
+// Tests for inhomogeneous 1-D transects: SegmentMap blending and the
+// blended profile generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/segment_map.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+SegmentMapPtr three_zone(double T = 10.0) {
+    return std::make_shared<const SegmentMap>(
+        std::vector<Segment>{{0.0, make_gaussian_1d({0.3, 8.0})},
+                             {200.0, make_gaussian_1d({1.0, 12.0})},
+                             {400.0, make_exponential_1d({2.0, 10.0})}},
+        T);
+}
+
+std::vector<double> weights(const SegmentMap& m, double x) {
+    std::vector<double> g(m.region_count());
+    m.weights_at(x, g);
+    return g;
+}
+
+TEST(SegmentMap, InteriorIsOneHot) {
+    const auto m = three_zone();
+    EXPECT_NEAR(weights(*m, 100.0)[0], 1.0, 1e-12);
+    EXPECT_NEAR(weights(*m, 300.0)[1], 1.0, 1e-12);
+    EXPECT_NEAR(weights(*m, 900.0)[2], 1.0, 1e-12);
+    // First segment extends to −infinity.
+    EXPECT_NEAR(weights(*m, -500.0)[0], 1.0, 1e-12);
+}
+
+TEST(SegmentMap, BoundariesBlendLinearly) {
+    const double T = 10.0;
+    const auto m = three_zone(T);
+    for (const double off : {-10.0, -5.0, 0.0, 5.0, 10.0}) {
+        const auto g = weights(*m, 200.0 + off);
+        EXPECT_NEAR(g[1], std::clamp((off + T) / (2.0 * T), 0.0, 1.0), 1e-9)
+            << "off=" << off;
+        EXPECT_NEAR(g[0] + g[1] + g[2], 1.0, 1e-9);
+    }
+    EXPECT_NEAR(weights(*m, 400.0)[2], 0.5, 1e-9);
+}
+
+TEST(SegmentMap, Validation) {
+    EXPECT_THROW(SegmentMap({}, 1.0), std::invalid_argument);
+    EXPECT_THROW(SegmentMap({{0.0, make_gaussian_1d({1, 1})}}, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(SegmentMap({{0.0, nullptr}}, 1.0), std::invalid_argument);
+    EXPECT_THROW(SegmentMap({{10.0, make_gaussian_1d({1, 1})},
+                             {5.0, make_gaussian_1d({1, 1})}},
+                            1.0),
+                 std::invalid_argument);
+}
+
+TEST(InhomogeneousProfile, SegmentVariancesMatchTargets) {
+    const InhomogeneousProfileGenerator gen(three_zone(), LineSpec::unit_spacing(256), 7,
+                                            {});
+    // Pool over seeds for stable estimates, sampling deep in each zone.
+    MomentAccumulator z0, z1, z2;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const InhomogeneousProfileGenerator g(three_zone(), LineSpec::unit_spacing(256),
+                                              seed, {});
+        const auto a = g.generate(40, 120);
+        const auto b = g.generate(240, 120);
+        const auto c = g.generate(500, 400);
+        for (const double v : a) {
+            z0.add(v);
+        }
+        for (const double v : b) {
+            z1.add(v);
+        }
+        for (const double v : c) {
+            z2.add(v);
+        }
+    }
+    EXPECT_NEAR(z0.stddev(), 0.3, 0.08);
+    EXPECT_NEAR(z1.stddev(), 1.0, 0.25);
+    EXPECT_NEAR(z2.stddev(), 2.0, 0.5);
+    (void)gen;
+}
+
+TEST(InhomogeneousProfile, HomogeneousMapReducesToProfileGenerator) {
+    const auto s = make_gaussian_1d({1.0, 6.0});
+    const auto map = std::make_shared<const SegmentMap>(
+        std::vector<Segment>{{0.0, s}}, 5.0);
+    const InhomogeneousProfileGenerator inhomo(map, LineSpec::unit_spacing(128), 42, {});
+    const ProfileGenerator homo(
+        ProfileKernel::build_truncated(*s, LineSpec::unit_spacing(128), 1e-8), 42);
+    const auto a = inhomo.generate(-30, 100);
+    const auto b = homo.generate(-30, 100);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+    }
+}
+
+TEST(InhomogeneousProfile, OverlappingWindowsAgree) {
+    const InhomogeneousProfileGenerator gen(three_zone(), LineSpec::unit_spacing(256), 3,
+                                            {});
+    const auto big = gen.generate(150, 200);
+    const auto sub = gen.generate(180, 60);
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+        EXPECT_EQ(sub[i], big[30 + i]);
+    }
+}
+
+TEST(InhomogeneousProfile, ExpectedVarianceInterpolates) {
+    const InhomogeneousProfileGenerator gen(three_zone(), LineSpec::unit_spacing(256), 1,
+                                            {});
+    const double v_left = gen.expected_variance(100.0);
+    const double v_mid = gen.expected_variance(200.0);
+    const double v_right = gen.expected_variance(300.0);
+    EXPECT_NEAR(v_left, 0.09, 0.01);
+    EXPECT_NEAR(v_right, 1.0, 0.05);
+    EXPECT_GT(v_mid, v_left);
+    EXPECT_LT(v_mid, v_right);
+}
+
+TEST(InhomogeneousProfile, OriginOffsetShiftsPattern) {
+    const InhomogeneousProfileGenerator centred(three_zone(), LineSpec::unit_spacing(128),
+                                                5, {});
+    const InhomogeneousProfileGenerator shifted(
+        three_zone(), LineSpec::unit_spacing(128), 5,
+        {.kernel_tail_eps = 1e-8, .origin = 300.0});
+    // Lattice point 0 sits at x=0 (zone 0) vs x=300 (zone 1): different
+    // statistics, and x_of reflects the offset.
+    EXPECT_DOUBLE_EQ(shifted.x_of(0), 300.0);
+    EXPECT_NEAR(centred.expected_variance(centred.x_of(0)), 0.09, 0.01);
+    EXPECT_NEAR(shifted.expected_variance(shifted.x_of(0)), 1.0, 0.05);
+}
+
+TEST(InhomogeneousProfile, RejectsBadInput) {
+    EXPECT_THROW(
+        InhomogeneousProfileGenerator(nullptr, LineSpec::unit_spacing(64), 1, {}),
+        std::invalid_argument);
+    const InhomogeneousProfileGenerator gen(three_zone(), LineSpec::unit_spacing(64), 1,
+                                            {});
+    EXPECT_THROW(gen.generate(0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,228 @@
+// Tests for the special-function substrate: Γ, incomplete Γ, Bessel K,
+// erf / normal CDF / inverse CDF.  Reference values are standard
+// (Abramowitz & Stegun / DLMF).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "special/bessel.hpp"
+#include "special/constants.hpp"
+#include "special/gamma.hpp"
+#include "special/normal.hpp"
+
+namespace rrs {
+namespace {
+
+constexpr double kTol = 1e-11;
+
+// --- gamma -------------------------------------------------------------
+
+TEST(Gamma, IntegerFactorials) {
+    EXPECT_NEAR(gamma_fn(1.0), 1.0, kTol);
+    EXPECT_NEAR(gamma_fn(2.0), 1.0, kTol);
+    EXPECT_NEAR(gamma_fn(5.0), 24.0, 24.0 * kTol);
+    EXPECT_NEAR(gamma_fn(10.0), 362880.0, 362880.0 * kTol);
+}
+
+TEST(Gamma, HalfInteger) {
+    EXPECT_NEAR(gamma_fn(0.5), kSqrtPi, kSqrtPi * kTol);
+    EXPECT_NEAR(gamma_fn(1.5), 0.5 * kSqrtPi, kTol);
+    EXPECT_NEAR(gamma_fn(2.5), 0.75 * kSqrtPi, kTol);
+}
+
+TEST(Gamma, RecurrenceProperty) {
+    for (double x : {0.1, 0.7, 1.3, 2.9, 7.5, 33.0}) {
+        EXPECT_NEAR(gamma_fn(x + 1.0), x * gamma_fn(x), std::abs(x * gamma_fn(x)) * 1e-12)
+            << "x=" << x;
+    }
+}
+
+TEST(Gamma, ReflectionFormula) {
+    for (double x : {0.1, 0.25, 0.4, 0.49}) {
+        const double lhs = gamma_fn(x) * gamma_fn(1.0 - x);
+        const double rhs = kPi / std::sin(kPi * x);
+        EXPECT_NEAR(lhs, rhs, std::abs(rhs) * 1e-12) << "x=" << x;
+    }
+}
+
+TEST(Gamma, NegativeNonInteger) {
+    // Γ(−0.5) = −2√π.
+    EXPECT_NEAR(gamma_fn(-0.5), -2.0 * kSqrtPi, 1e-10);
+}
+
+TEST(Gamma, LogGammaDomainError) {
+    EXPECT_THROW(log_gamma(0.0), std::domain_error);
+    EXPECT_THROW(log_gamma(-1.0), std::domain_error);
+}
+
+TEST(Gamma, PoleThrows) { EXPECT_THROW(gamma_fn(-2.0), std::domain_error); }
+
+TEST(Gamma, LargeArgumentLogGamma) {
+    // lgamma(100) = 359.1342053695754 (known value).
+    EXPECT_NEAR(log_gamma(100.0), 359.1342053695754, 1e-9);
+}
+
+// --- incomplete gamma ----------------------------------------------------
+
+TEST(IncompleteGamma, ComplementarityAndBounds) {
+    for (double a : {0.5, 1.0, 2.5, 10.0}) {
+        for (double x : {0.1, 1.0, 3.0, 20.0}) {
+            const double p = gamma_p(a, x);
+            const double q = gamma_q(a, x);
+            EXPECT_NEAR(p + q, 1.0, 1e-12);
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+        }
+    }
+}
+
+TEST(IncompleteGamma, ExponentialSpecialCase) {
+    // P(1, x) = 1 − e^{−x}.
+    for (double x : {0.2, 1.0, 4.0}) {
+        EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-13);
+    }
+}
+
+TEST(IncompleteGamma, ChiSquareMedianNearDof) {
+    // For k dof the median of χ² is ≈ k(1−2/(9k))³; P at the median = 0.5.
+    const double k = 10.0;
+    const double median = k * std::pow(1.0 - 2.0 / (9.0 * k), 3.0);
+    EXPECT_NEAR(gamma_p(k / 2.0, median / 2.0), 0.5, 5e-3);
+}
+
+TEST(IncompleteGamma, EdgeCases) {
+    EXPECT_EQ(gamma_p(2.0, 0.0), 0.0);
+    EXPECT_EQ(gamma_q(2.0, 0.0), 1.0);
+    EXPECT_THROW(gamma_p(-1.0, 1.0), std::domain_error);
+    EXPECT_THROW(gamma_q(1.0, -1.0), std::domain_error);
+}
+
+// --- Bessel K ------------------------------------------------------------
+
+TEST(BesselK, KnownValuesK0) {
+    // DLMF / A&S tables.
+    EXPECT_NEAR(bessel_k0(0.1), 2.4270690247020166, 1e-10);
+    EXPECT_NEAR(bessel_k0(1.0), 0.42102443824070834, 1e-12);
+    EXPECT_NEAR(bessel_k0(2.0), 0.11389387274953343, 1e-12);
+    EXPECT_NEAR(bessel_k0(10.0), 1.7780062316167652e-5, 1e-16);
+}
+
+TEST(BesselK, KnownValuesK1) {
+    EXPECT_NEAR(bessel_k1(0.1), 9.853844780870606, 1e-8);
+    EXPECT_NEAR(bessel_k1(1.0), 0.6019072301972346, 1e-12);
+    EXPECT_NEAR(bessel_k1(2.0), 0.13986588181652243, 1e-12);
+}
+
+TEST(BesselK, HalfOrderClosedForm) {
+    // K_{1/2}(x) = sqrt(π/2x)·e^{−x}.
+    for (double x : {0.3, 0.9, 1.5, 3.0, 8.0}) {
+        const double expect = std::sqrt(kPi / (2.0 * x)) * std::exp(-x);
+        EXPECT_NEAR(bessel_k(0.5, x), expect, std::abs(expect) * 1e-11) << "x=" << x;
+    }
+}
+
+TEST(BesselK, ThreeHalvesClosedForm) {
+    // K_{3/2}(x) = sqrt(π/2x)·e^{−x}·(1 + 1/x).
+    for (double x : {0.4, 1.0, 2.5, 6.0}) {
+        const double expect = std::sqrt(kPi / (2.0 * x)) * std::exp(-x) * (1.0 + 1.0 / x);
+        EXPECT_NEAR(bessel_k(1.5, x), expect, std::abs(expect) * 1e-11) << "x=" << x;
+    }
+}
+
+TEST(BesselK, RecurrenceProperty) {
+    // K_{ν+1} = K_{ν−1} + (2ν/x)·K_ν for several real orders
+    // (K is even in its order, so |ν−1| evaluates K_{ν−1} for ν < 1).
+    for (double nu : {0.3, 1.0, 1.7, 2.5}) {
+        for (double x : {0.5, 1.0, 3.0, 7.0}) {
+            const double lhs = bessel_k(nu + 1.0, x);
+            const double rhs =
+                bessel_k(std::abs(nu - 1.0), x) + 2.0 * nu / x * bessel_k(nu, x);
+            EXPECT_NEAR(lhs, rhs, std::abs(rhs) * 1e-10) << "nu=" << nu << " x=" << x;
+        }
+    }
+}
+
+TEST(BesselK, EvenInOrderNearZero) {
+    // K_ν = K_{−ν}; our API takes ν >= 0, so check ν and tiny ν behave
+    // continuously toward K_0.
+    const double x = 1.3;
+    EXPECT_NEAR(bessel_k(1e-9, x), bessel_k0(x), 1e-10);
+}
+
+TEST(BesselK, DomainErrors) {
+    EXPECT_THROW(bessel_k(1.0, 0.0), std::domain_error);
+    EXPECT_THROW(bessel_k(1.0, -1.0), std::domain_error);
+    EXPECT_THROW(bessel_k(-1.0, 1.0), std::domain_error);
+}
+
+TEST(BesselK, LargeOrder) {
+    // K_5(2) by exact upward recurrence from the tabulated K_0(2), K_1(2):
+    // K_2 = K_0 + K_1, K_3 = K_1 + 2K_2, K_4 = K_2 + 3K_3, K_5 = K_3 + 4K_4
+    // = 9.431049100596467.
+    EXPECT_NEAR(bessel_k(5.0, 2.0), 9.431049100596467, 1e-10);
+}
+
+// --- erf / normal ----------------------------------------------------------
+
+TEST(Normal, ErfKnownValues) {
+    EXPECT_NEAR(erf_fn(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(erf_fn(1.0), 0.8427007929497149, 1e-13);
+    EXPECT_NEAR(erf_fn(-1.0), -0.8427007929497149, 1e-13);
+    EXPECT_NEAR(erf_fn(2.0), 0.9953222650189527, 1e-13);
+}
+
+TEST(Normal, ErfcTailAccuracy) {
+    // erfc(3) = 2.209049699858544e-5; relative accuracy matters in tails.
+    EXPECT_NEAR(erfc_fn(3.0) / 2.209049699858544e-5, 1.0, 1e-10);
+    EXPECT_NEAR(erfc_fn(-3.0), 2.0 - 2.209049699858544e-5, 1e-12);
+}
+
+TEST(Normal, CdfSymmetry) {
+    EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-14);
+    for (double x : {0.5, 1.0, 2.5}) {
+        EXPECT_NEAR(norm_cdf(x) + norm_cdf(-x), 1.0, 1e-13);
+    }
+}
+
+TEST(Normal, CdfKnownValues) {
+    EXPECT_NEAR(norm_cdf(1.0), 0.8413447460685429, 1e-12);
+    EXPECT_NEAR(norm_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(Normal, PpfInvertsCdf) {
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+        const double z = norm_ppf(p);
+        EXPECT_NEAR(norm_cdf(z), p, 1e-12) << "p=" << p;
+    }
+}
+
+TEST(Normal, PpfKnownQuantiles) {
+    EXPECT_NEAR(norm_ppf(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(norm_ppf(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(norm_ppf(0.84134474606854293), 1.0, 1e-9);
+}
+
+TEST(Normal, PpfDeepTail) {
+    const double z = norm_ppf(1e-10);
+    EXPECT_NEAR(norm_cdf(z) / 1e-10, 1.0, 1e-6);
+    EXPECT_LT(z, -6.0);
+}
+
+TEST(Normal, PpfDomainErrors) {
+    EXPECT_THROW(norm_ppf(0.0), std::domain_error);
+    EXPECT_THROW(norm_ppf(1.0), std::domain_error);
+    EXPECT_THROW(norm_ppf(-0.1), std::domain_error);
+}
+
+TEST(Normal, PdfIntegratesToCdfDerivative) {
+    // Finite-difference check dΦ/dx = φ.
+    for (double x : {-2.0, -0.5, 0.0, 1.0, 2.0}) {
+        const double h = 1e-6;
+        const double fd = (norm_cdf(x + h) - norm_cdf(x - h)) / (2.0 * h);
+        EXPECT_NEAR(fd, norm_pdf(x), 1e-8);
+    }
+}
+
+}  // namespace
+}  // namespace rrs

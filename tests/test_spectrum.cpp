@@ -1,0 +1,219 @@
+// Tests for the spectrum families (paper §2.1): normalisation ∬W dK = h²
+// (eq. 1), the Fourier pair W ↔ ρ (eq. 4), closed-form identities, and the
+// Exponential ≡ PowerLaw(3/2) cross-check.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/spectrum.hpp"
+#include "special/constants.hpp"
+
+namespace rrs {
+namespace {
+
+/// ∬W dK via radial quadrature.  Every family is radial in the scaled
+/// frequency K̃ = (Kx·clx, Ky·cly), so with u = |K̃|:
+///   ∬ W dK = (2π / clx·cly) ∫₀^∞ W̃(u)·u du,  W̃(u) = W(u/clx, 0).
+/// This resolves both the ~1-wide peak and the slow Exponential tail.
+double integrate_density(const Spectrum& s, double umax, int n) {
+    const auto& p = s.params();
+    const double du = umax / n;
+    double total = 0.0;
+    for (int i = 0; i <= n; ++i) {
+        const double u = du * i;
+        const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+        total += w * s.density(u / p.clx, 0.0) * u;
+    }
+    return total * du * kTwoPi / (p.clx * p.cly);
+}
+
+/// Numeric Fourier transform ρ(x,y) = ∬ W e^{jK·r} dK (cosine part; W even).
+double fourier_rho(const Spectrum& s, double x, double y, double Kmax, int n) {
+    const double dk = 2.0 * Kmax / n;
+    double total = 0.0;
+    for (int iy = 0; iy <= n; ++iy) {
+        const double Ky = -Kmax + dk * iy;
+        const double wy = (iy == 0 || iy == n) ? 0.5 : 1.0;
+        for (int ix = 0; ix <= n; ++ix) {
+            const double Kx = -Kmax + dk * ix;
+            const double wx = (ix == 0 || ix == n) ? 0.5 : 1.0;
+            total += wx * wy * s.density(Kx, Ky) * std::cos(Kx * x + Ky * y);
+        }
+    }
+    return total * dk * dk;
+}
+
+struct SpectrumCase {
+    const char* label;
+    SpectrumPtr s;
+    double umax;  // scaled-frequency cutoff for the radial quadrature
+};
+
+class SpectrumFamilies : public ::testing::TestWithParam<int> {
+protected:
+    static SpectrumCase make_case(int idx) {
+        const SurfaceParams iso{1.5, 10.0, 10.0};
+        const SurfaceParams aniso{0.8, 12.0, 6.0};
+        switch (idx) {
+            case 0: return {"gaussian-iso", make_gaussian(iso), 40.0};
+            case 1: return {"gaussian-aniso", make_gaussian(aniso), 40.0};
+            case 2: return {"power2-iso", make_power_law(iso, 2.0), 500.0};
+            case 3: return {"power3-aniso", make_power_law(aniso, 3.0), 100.0};
+            case 4: return {"power4-iso", make_power_law(iso, 4.0), 60.0};
+            case 5: return {"exp-iso", make_exponential(iso), 5000.0};
+            default: return {"exp-aniso", make_exponential(aniso), 5000.0};
+        }
+    }
+};
+
+TEST_P(SpectrumFamilies, DensityIntegratesToVariance) {
+    const auto c = make_case(GetParam());
+    const auto& p = c.s->params();
+    const double integral = integrate_density(*c.s, c.umax, 2'000'000);
+    EXPECT_NEAR(integral, p.h * p.h, 0.005 * p.h * p.h) << c.label;
+}
+
+TEST_P(SpectrumFamilies, AutocorrAtZeroIsVariance) {
+    const auto c = make_case(GetParam());
+    const auto& p = c.s->params();
+    EXPECT_NEAR(c.s->autocorrelation(0.0, 0.0), p.h * p.h, 1e-9 * p.h * p.h) << c.label;
+}
+
+TEST_P(SpectrumFamilies, AutocorrEvenAndDecaying) {
+    const auto c = make_case(GetParam());
+    const auto& p = c.s->params();
+    EXPECT_NEAR(c.s->autocorrelation(3.0, -2.0), c.s->autocorrelation(-3.0, 2.0), 1e-12);
+    double prev = c.s->autocorrelation(0.0, 0.0);
+    for (double x : {0.5 * p.clx, p.clx, 2.0 * p.clx, 4.0 * p.clx}) {
+        const double cur = c.s->autocorrelation(x, 0.0);
+        EXPECT_LT(cur, prev) << c.label << " x=" << x;
+        EXPECT_GT(cur, 0.0);
+        prev = cur;
+    }
+}
+
+TEST_P(SpectrumFamilies, DensityIsEvenAndPositive) {
+    const auto c = make_case(GetParam());
+    EXPECT_NEAR(c.s->density(0.3, -0.1), c.s->density(-0.3, 0.1), 1e-15);
+    EXPECT_GT(c.s->density(0.0, 0.0), 0.0);
+    EXPECT_GT(c.s->density(0.5, 0.5), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SpectrumFamilies, ::testing::Range(0, 7));
+
+// --- Fourier pair (eq. 4) ------------------------------------------------------
+
+TEST(SpectrumFourierPair, GaussianRhoMatchesTransform) {
+    const auto s = make_gaussian({1.0, 8.0, 8.0});
+    for (double x : {0.0, 4.0, 8.0, 16.0}) {
+        const double numeric = fourier_rho(*s, x, 0.0, 1.5, 500);
+        EXPECT_NEAR(numeric, s->autocorrelation(x, 0.0), 2e-3) << "x=" << x;
+    }
+}
+
+TEST(SpectrumFourierPair, PowerLawRhoMatchesTransform) {
+    const auto s = make_power_law({1.0, 8.0, 8.0}, 2.5);
+    for (double x : {0.0, 4.0, 8.0, 16.0}) {
+        const double numeric = fourier_rho(*s, x, 0.0, 6.0, 1200);
+        EXPECT_NEAR(numeric, s->autocorrelation(x, 0.0), 5e-3) << "x=" << x;
+    }
+}
+
+TEST(SpectrumFourierPair, ExponentialRhoMatchesTransform) {
+    const auto s = make_exponential({1.0, 8.0, 8.0});
+    // Exponential spectrum decays slowly in K (K^{-3}); check at lags where
+    // truncation error is controlled.
+    for (double x : {4.0, 8.0, 16.0}) {
+        const double numeric = fourier_rho(*s, x, 0.0, 25.0, 3000);
+        EXPECT_NEAR(numeric, s->autocorrelation(x, 0.0), 1e-2) << "x=" << x;
+    }
+}
+
+// --- family identities -----------------------------------------------------------
+
+TEST(SpectrumIdentities, ExponentialIsPowerLawThreeHalves) {
+    const SurfaceParams p{1.3, 15.0, 7.0};
+    const auto e = make_exponential(p);
+    const auto pl = make_power_law(p, 1.5);
+    for (double Kx : {0.0, 0.05, 0.2, 1.0}) {
+        for (double Ky : {0.0, 0.1, 0.4}) {
+            EXPECT_NEAR(e->density(Kx, Ky), pl->density(Kx, Ky),
+                        1e-12 * e->density(0, 0));
+        }
+    }
+    for (double x : {0.5, 3.0, 15.0, 40.0}) {
+        const double re = e->autocorrelation(x, 2.0);
+        const double rp = pl->autocorrelation(x, 2.0);
+        EXPECT_NEAR(rp, re, 1e-9 * std::abs(re)) << "x=" << x;
+    }
+}
+
+TEST(SpectrumIdentities, AnisotropyScalesAxes) {
+    // ρ depends on x/clx and y/cly only: stretching cl stretches ρ.
+    const auto a = make_gaussian({1.0, 10.0, 20.0});
+    EXPECT_NEAR(a->autocorrelation(10.0, 0.0), a->autocorrelation(0.0, 20.0), 1e-12);
+    const auto e = make_exponential({1.0, 10.0, 20.0});
+    EXPECT_NEAR(e->autocorrelation(10.0, 0.0), e->autocorrelation(0.0, 20.0), 1e-12);
+}
+
+TEST(SpectrumIdentities, PowerLawApproachesGaussianSmoothness) {
+    // Larger N → smoother (faster K-decay): at fixed K the N=6 density must
+    // lose relatively more mass at high K than N=2.
+    const SurfaceParams p{1.0, 10.0, 10.0};
+    const auto n2 = make_power_law(p, 2.0);
+    const auto n6 = make_power_law(p, 6.0);
+    const double ratio2 = n2->density(1.0, 0.0) / n2->density(0.0, 0.0);
+    const double ratio6 = n6->density(1.0, 0.0) / n6->density(0.0, 0.0);
+    EXPECT_LT(ratio6, ratio2);
+}
+
+// --- correlation_distance ---------------------------------------------------------
+
+TEST(CorrelationDistance, GaussianAndExponentialEqualCl) {
+    // For both families ρ(clx, 0) = h²/e exactly.
+    const SurfaceParams p{2.0, 25.0, 10.0};
+    EXPECT_NEAR(correlation_distance(*make_gaussian(p), std::exp(-1.0)), 25.0, 1e-6);
+    EXPECT_NEAR(correlation_distance(*make_exponential(p), std::exp(-1.0)), 25.0, 1e-6);
+}
+
+TEST(CorrelationDistance, PowerLawCrossingIsOrderDependent) {
+    const SurfaceParams p{1.0, 20.0, 20.0};
+    const double d2 = correlation_distance(*make_power_law(p, 2.0), std::exp(-1.0));
+    const double d4 = correlation_distance(*make_power_law(p, 4.0), std::exp(-1.0));
+    EXPECT_GT(d2, 0.0);
+    EXPECT_GT(d4, d2);  // higher order → longer-range Matérn correlation
+    // The crossing must actually hit the level.
+    const auto s = make_power_law(p, 2.0);
+    EXPECT_NEAR(s->autocorrelation(d2, 0.0), std::exp(-1.0), 1e-9);
+}
+
+TEST(CorrelationDistance, RejectsBadLevel) {
+    const auto s = make_gaussian({1.0, 5.0, 5.0});
+    EXPECT_THROW(correlation_distance(*s, 0.0), std::invalid_argument);
+    EXPECT_THROW(correlation_distance(*s, 1.0), std::invalid_argument);
+}
+
+// --- parameter validation -----------------------------------------------------------
+
+TEST(SurfaceParamsValidation, RejectsNonPositive) {
+    EXPECT_THROW(make_gaussian({0.0, 1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(make_gaussian({1.0, -1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(make_exponential({1.0, 1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(SurfaceParamsValidation, PowerLawRequiresNAboveOne) {
+    EXPECT_THROW(make_power_law({1.0, 1.0, 1.0}, 1.0), std::invalid_argument);
+    EXPECT_THROW(make_power_law({1.0, 1.0, 1.0}, 0.5), std::invalid_argument);
+    EXPECT_NO_THROW(make_power_law({1.0, 1.0, 1.0}, 1.01));
+}
+
+TEST(SpectrumNames, AreDescriptive) {
+    EXPECT_EQ(make_gaussian({1, 1, 1})->name(), "gaussian");
+    EXPECT_EQ(make_exponential({1, 1, 1})->name(), "exponential");
+    EXPECT_EQ(make_power_law({1, 1, 1}, 2.0)->name(), "power-law(N=2)");
+}
+
+}  // namespace
+}  // namespace rrs

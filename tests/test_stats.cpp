@@ -1,0 +1,365 @@
+// Tests for the statistics substrate: moments, autocovariance,
+// periodogram normalisation, correlation-length estimation, GOF tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/engines.hpp"
+#include "rng/gaussian.hpp"
+#include "special/constants.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/gof.hpp"
+#include "stats/moments.hpp"
+#include "stats/periodogram.hpp"
+
+namespace rrs {
+namespace {
+
+// --- moments -----------------------------------------------------------------
+
+TEST(Moments, KnownSmallSample) {
+    const std::vector<double> x{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    const Moments m = compute_moments(x);
+    EXPECT_EQ(m.count, 8u);
+    EXPECT_DOUBLE_EQ(m.mean, 5.0);
+    EXPECT_NEAR(m.variance, 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(m.min, 2.0);
+    EXPECT_DOUBLE_EQ(m.max, 9.0);
+}
+
+TEST(Moments, ConstantInputHasZeroSpread) {
+    const std::vector<double> x(100, 3.5);
+    const Moments m = compute_moments(x);
+    EXPECT_DOUBLE_EQ(m.mean, 3.5);
+    EXPECT_DOUBLE_EQ(m.variance, 0.0);
+    EXPECT_DOUBLE_EQ(m.skewness, 0.0);
+    EXPECT_DOUBLE_EQ(m.excess_kurtosis, 0.0);
+}
+
+TEST(Moments, SkewnessSignDetectsAsymmetry) {
+    std::vector<double> right_skewed;
+    SplitMix64 e{10};
+    for (int i = 0; i < 20000; ++i) {
+        right_skewed.push_back(-std::log(to_unit_open_zero(e())));  // Exp(1)
+    }
+    const Moments m = compute_moments(right_skewed);
+    EXPECT_GT(m.skewness, 1.5);         // Exp(1): skew = 2
+    EXPECT_GT(m.excess_kurtosis, 4.0);  // Exp(1): excess kurtosis = 6
+    EXPECT_NEAR(m.mean, 1.0, 0.05);
+    EXPECT_NEAR(m.variance, 1.0, 0.1);
+}
+
+TEST(Moments, MergeEqualsSinglePass) {
+    SplitMix64 e{3};
+    MomentAccumulator whole, a, b;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = to_unit_halfopen(e()) * 3.0 - 1.0;
+        whole.add(x);
+        (i % 3 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+    EXPECT_NEAR(a.skewness(), whole.skewness(), 1e-8);
+    EXPECT_NEAR(a.excess_kurtosis(), whole.excess_kurtosis(), 1e-8);
+}
+
+TEST(Moments, MergeWithEmptyIsIdentity) {
+    MomentAccumulator a;
+    a.add(1.0);
+    a.add(2.0);
+    MomentAccumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    MomentAccumulator b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+// --- autocovariance ------------------------------------------------------------
+
+TEST(Autocov, WhiteNoiseLagZeroIsVarianceAndRestSmall) {
+    const GaussianLattice lat{55};
+    Array2D<double> f(128, 128);
+    for (std::size_t iy = 0; iy < 128; ++iy) {
+        for (std::size_t ix = 0; ix < 128; ++ix) {
+            f(ix, iy) = lat(static_cast<std::int64_t>(ix), static_cast<std::int64_t>(iy));
+        }
+    }
+    const auto acf = circular_autocovariance(f);
+    EXPECT_NEAR(acf(0, 0), 1.0, 0.05);
+    EXPECT_LT(std::abs(acf(1, 0)), 0.05);
+    EXPECT_LT(std::abs(acf(0, 1)), 0.05);
+    EXPECT_LT(std::abs(acf(7, 9)), 0.05);
+}
+
+TEST(Autocov, CosineFieldGivesCosineAcf) {
+    // f = cos(2πk·x/N): circular ACF(τ) = ½cos(2πk·τ/N).
+    const std::size_t n = 64;
+    const std::size_t k = 3;
+    Array2D<double> f(n, n);
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            f(ix, iy) =
+                std::cos(kTwoPi * static_cast<double>(k * ix) / static_cast<double>(n));
+        }
+    }
+    const auto acf = circular_autocovariance(f, /*subtract_mean=*/true);
+    for (std::size_t lag : {0u, 1u, 5u, 16u}) {
+        const double expect =
+            0.5 * std::cos(kTwoPi * static_cast<double>(k * lag) / static_cast<double>(n));
+        EXPECT_NEAR(acf(lag, 0), expect, 1e-10) << "lag=" << lag;
+    }
+}
+
+TEST(Autocov, MeanSubtractionRemovesOffset) {
+    Array2D<double> f(32, 32, 5.0);  // constant field
+    const auto acf = circular_autocovariance(f, true);
+    EXPECT_NEAR(acf(0, 0), 0.0, 1e-10);
+}
+
+TEST(Autocov, LagSlices) {
+    Array2D<double> acf(16, 16, 0.0);
+    acf(0, 0) = 4.0;
+    acf(1, 0) = 3.0;
+    acf(0, 1) = 2.0;
+    const auto sx = lag_slice_x(acf, 2);
+    const auto sy = lag_slice_y(acf, 2);
+    EXPECT_EQ(sx, (std::vector<double>{4.0, 3.0, 0.0}));
+    EXPECT_EQ(sy, (std::vector<double>{4.0, 2.0, 0.0}));
+}
+
+TEST(Autocov, RadialAverageIsotropic) {
+    // Fill an isotropic function of |lag| (with aliased signed lags) and
+    // check bins recover it.
+    const std::size_t n = 32;
+    Array2D<double> acf(n, n);
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            const auto lx = ix <= n / 2 ? static_cast<double>(ix)
+                                        : static_cast<double>(ix) - static_cast<double>(n);
+            const auto ly = iy <= n / 2 ? static_cast<double>(iy)
+                                        : static_cast<double>(iy) - static_cast<double>(n);
+            acf(ix, iy) = std::hypot(lx, ly);
+        }
+    }
+    const auto rad = radial_average(acf, 10);
+    for (std::size_t k = 0; k <= 10; ++k) {
+        EXPECT_NEAR(rad[k], static_cast<double>(k), 0.5) << "k=" << k;
+    }
+}
+
+// --- linear (unbiased, non-circular) autocovariance -----------------------------
+
+TEST(LinearAutocov, MatchesDirectSumsOnSmallArray) {
+    Array2D<double> f(4, 3);
+    SplitMix64 e{12};
+    for (auto& v : f) {
+        v = 2.0 * to_unit_halfopen(e()) - 1.0;
+    }
+    const auto acf = linear_autocovariance(f, false);
+    // Direct O(N⁴) check at a few signed lags.
+    auto direct = [&](std::ptrdiff_t lx, std::ptrdiff_t ly) {
+        double sum = 0.0;
+        double count = 0.0;
+        for (std::size_t iy = 0; iy < 3; ++iy) {
+            for (std::size_t ix = 0; ix < 4; ++ix) {
+                const std::ptrdiff_t jx = static_cast<std::ptrdiff_t>(ix) + lx;
+                const std::ptrdiff_t jy = static_cast<std::ptrdiff_t>(iy) + ly;
+                if (jx >= 0 && jx < 4 && jy >= 0 && jy < 3) {
+                    sum += f(ix, iy) * f(static_cast<std::size_t>(jx),
+                                         static_cast<std::size_t>(jy));
+                    count += 1.0;
+                }
+            }
+        }
+        return sum / count;
+    };
+    EXPECT_NEAR(acf(0, 0), direct(0, 0), 1e-12);
+    EXPECT_NEAR(acf(1, 0), direct(1, 0), 1e-12);
+    EXPECT_NEAR(acf(2, 1), direct(2, 1), 1e-12);
+    EXPECT_NEAR(acf(3, 0), direct(-1, 0), 1e-12);  // aliased negative lag
+    EXPECT_NEAR(acf(0, 2), direct(0, -1), 1e-12);
+}
+
+TEST(LinearAutocov, UnbiasedForWhiteNoise) {
+    const GaussianLattice lat{91};
+    Array2D<double> f(96, 96);
+    for (std::size_t iy = 0; iy < 96; ++iy) {
+        for (std::size_t ix = 0; ix < 96; ++ix) {
+            f(ix, iy) = lat(static_cast<std::int64_t>(ix), static_cast<std::int64_t>(iy));
+        }
+    }
+    const auto acf = linear_autocovariance(f, false);
+    EXPECT_NEAR(acf(0, 0), 1.0, 0.05);
+    EXPECT_LT(std::abs(acf(5, 0)), 0.05);
+}
+
+TEST(LinearAutocov, NoWrapBiasOnRamp) {
+    // f(ix) = ix has exact linear lag sums we can verify by hand — a
+    // circular estimator would mix in wrapped products and miss these.
+    Array2D<double> f(8, 1);
+    for (std::size_t ix = 0; ix < 8; ++ix) {
+        f(ix, 0) = static_cast<double>(ix);
+    }
+    const auto acf = linear_autocovariance(f, false);
+    // lag 2: Σ_{i=0..5} i(i+2) / 6 = 85/6.
+    EXPECT_NEAR(acf(2, 0), 85.0 / 6.0, 1e-10);
+    // lag 4 (the maximum representable in the aliased fold):
+    // (0·4 + 1·5 + 2·6 + 3·7)/4 = 38/4.
+    EXPECT_NEAR(acf(4, 0), 9.5, 1e-10);
+    // index 6 aliases to lag −2 == lag 2 for a real field.
+    EXPECT_NEAR(acf(6, 0), 85.0 / 6.0, 1e-10);
+}
+
+// --- crossing / correlation length ----------------------------------------------
+
+TEST(Crossing, LinearCurveInterpolates) {
+    // curve(k) = 1 − k/10 crosses level 0.65 at exactly k = 3.5.
+    std::vector<double> curve;
+    for (int k = 0; k <= 10; ++k) {
+        curve.push_back(1.0 - 0.1 * k);
+    }
+    EXPECT_NEAR(first_crossing(curve, 0.65), 3.5, 1e-12);
+}
+
+TEST(Crossing, ExponentialCurveGivesCl) {
+    const double cl = 12.0;
+    std::vector<double> curve;
+    for (int k = 0; k < 100; ++k) {
+        curve.push_back(std::exp(-static_cast<double>(k) / cl));
+    }
+    EXPECT_NEAR(estimate_correlation_length(curve), cl, 0.05);
+}
+
+TEST(Crossing, NoCrossingReturnsNegative) {
+    const std::vector<double> curve{1.0, 0.9, 0.8};
+    EXPECT_LT(first_crossing(curve, 0.1), 0.0);
+}
+
+TEST(Crossing, NonPositiveStartThrows) {
+    EXPECT_THROW(first_crossing({0.0, 1.0}, 0.5), std::invalid_argument);
+    EXPECT_THROW(first_crossing({}, 0.5), std::invalid_argument);
+}
+
+// --- periodogram -----------------------------------------------------------------
+
+TEST(Periodogram, IntegralEqualsSampleVariance) {
+    const GaussianLattice lat{66};
+    const std::size_t n = 64;
+    Array2D<double> f(n, n);
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n; ++ix) {
+            f(ix, iy) =
+                2.0 * lat(static_cast<std::int64_t>(ix), static_cast<std::int64_t>(iy));
+        }
+    }
+    const double Lx = 128.0;  // non-unit spacing exercises the scaling
+    const double Ly = 64.0;
+    const auto W = periodogram(f, Lx, Ly);
+    // Parseval: ∬Ŵ dK equals the biased sample variance.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        mean += f.data()[i];
+    }
+    mean /= static_cast<double>(f.size());
+    double var = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        var += (f.data()[i] - mean) * (f.data()[i] - mean);
+    }
+    var /= static_cast<double>(f.size());
+    EXPECT_NEAR(spectrum_integral(W, Lx, Ly), var, 1e-10 * var);
+}
+
+TEST(Periodogram, AveragerReducesToSingleShotForOneRealisation) {
+    Array2D<double> f(16, 16, 0.0);
+    f(3, 5) = 1.0;
+    SpectrumAverager avg(16, 16, 16.0, 16.0);
+    avg.accumulate(f);
+    const auto a = avg.average();
+    const auto p = periodogram(f, 16.0, 16.0);
+    EXPECT_LT(max_abs_diff(a, p), 1e-15);
+    EXPECT_EQ(avg.count(), 1u);
+}
+
+TEST(Periodogram, AveragerRejectsShapeMismatch) {
+    SpectrumAverager avg(16, 16, 16.0, 16.0);
+    Array2D<double> f(8, 8, 0.0);
+    EXPECT_THROW(avg.accumulate(f), std::invalid_argument);
+    EXPECT_THROW(avg.average(), std::logic_error);
+}
+
+TEST(Periodogram, RejectsBadDomain) {
+    Array2D<double> f(8, 8, 0.0);
+    EXPECT_THROW(periodogram(f, 0.0, 8.0), std::invalid_argument);
+}
+
+// --- histogram / GOF -----------------------------------------------------------
+
+TEST(Histogram, CountsAndDensity) {
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i) {
+        h.add(static_cast<double>(i % 10) + 0.5);
+    }
+    EXPECT_EQ(h.total(), 100u);
+    for (std::size_t b = 0; b < 10; ++b) {
+        EXPECT_EQ(h.count(b), 10u);
+    }
+    const auto d = h.density();
+    EXPECT_NEAR(d[0], 0.1, 1e-12);  // 10/100/width(=1)
+    EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Gof, NormalSamplesPassBothTests) {
+    BoxMullerGaussian<Pcg64> g{Pcg64{2718}};
+    std::vector<double> x(20000);
+    for (auto& v : x) {
+        v = g();
+    }
+    const auto chi = chi_square_normality(x);
+    EXPECT_GT(chi.p_value, 1e-3);
+    const auto ks = ks_normality(x);
+    EXPECT_GT(ks.p_value, 1e-3);
+    EXPECT_LT(ks.statistic, 0.02);
+}
+
+TEST(Gof, UniformSamplesFailBothTests) {
+    SplitMix64 e{5};
+    std::vector<double> x(20000);
+    for (auto& v : x) {
+        v = 2.0 * to_unit_halfopen(e()) - 1.0;  // U(−1,1), var too small
+    }
+    EXPECT_LT(chi_square_normality(x).p_value, 1e-6);
+    EXPECT_LT(ks_normality(x).p_value, 1e-6);
+}
+
+TEST(Gof, KolmogorovQLimits) {
+    EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+    EXPECT_NEAR(kolmogorov_q(10.0), 0.0, 1e-15);
+    // Q is a decreasing function.
+    EXPECT_GT(kolmogorov_q(0.5), kolmogorov_q(1.0));
+    EXPECT_GT(kolmogorov_q(1.0), kolmogorov_q(1.5));
+}
+
+TEST(Gof, InputValidation) {
+    std::vector<double> tiny(10, 0.0);
+    EXPECT_THROW(chi_square_normality(tiny, 32), std::invalid_argument);
+    std::vector<double> small(4, 0.0);
+    EXPECT_THROW(ks_normality(small), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrs
