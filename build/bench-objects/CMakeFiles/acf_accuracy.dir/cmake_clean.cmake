@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/acf_accuracy"
+  "../bench/acf_accuracy.pdb"
+  "CMakeFiles/acf_accuracy.dir/acf_accuracy.cpp.o"
+  "CMakeFiles/acf_accuracy.dir/acf_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/convolution_vs_direct_dft"
+  "../bench/convolution_vs_direct_dft.pdb"
+  "CMakeFiles/convolution_vs_direct_dft.dir/convolution_vs_direct_dft.cpp.o"
+  "CMakeFiles/convolution_vs_direct_dft.dir/convolution_vs_direct_dft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution_vs_direct_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

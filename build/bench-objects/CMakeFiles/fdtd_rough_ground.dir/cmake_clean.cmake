@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fdtd_rough_ground"
+  "../bench/fdtd_rough_ground.pdb"
+  "CMakeFiles/fdtd_rough_ground.dir/fdtd_rough_ground.cpp.o"
+  "CMakeFiles/fdtd_rough_ground.dir/fdtd_rough_ground.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdtd_rough_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

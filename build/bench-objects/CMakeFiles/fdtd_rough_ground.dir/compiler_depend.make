@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fdtd_rough_ground.
+# This may be replaced when dependencies are built.

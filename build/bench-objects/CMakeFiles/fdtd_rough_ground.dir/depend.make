@@ -1,0 +1,2 @@
+# Empty dependencies file for fdtd_rough_ground.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fft_micro"
+  "../bench/fft_micro.pdb"
+  "CMakeFiles/fft_micro.dir/fft_micro.cpp.o"
+  "CMakeFiles/fft_micro.dir/fft_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_quadrants_same_spectrum"
+  "../bench/fig1_quadrants_same_spectrum.pdb"
+  "CMakeFiles/fig1_quadrants_same_spectrum.dir/fig1_quadrants_same_spectrum.cpp.o"
+  "CMakeFiles/fig1_quadrants_same_spectrum.dir/fig1_quadrants_same_spectrum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_quadrants_same_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

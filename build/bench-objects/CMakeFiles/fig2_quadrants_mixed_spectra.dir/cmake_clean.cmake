@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_quadrants_mixed_spectra"
+  "../bench/fig2_quadrants_mixed_spectra.pdb"
+  "CMakeFiles/fig2_quadrants_mixed_spectra.dir/fig2_quadrants_mixed_spectra.cpp.o"
+  "CMakeFiles/fig2_quadrants_mixed_spectra.dir/fig2_quadrants_mixed_spectra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_quadrants_mixed_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

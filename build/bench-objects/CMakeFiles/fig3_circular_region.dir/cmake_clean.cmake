@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_circular_region"
+  "../bench/fig3_circular_region.pdb"
+  "CMakeFiles/fig3_circular_region.dir/fig3_circular_region.cpp.o"
+  "CMakeFiles/fig3_circular_region.dir/fig3_circular_region.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_circular_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

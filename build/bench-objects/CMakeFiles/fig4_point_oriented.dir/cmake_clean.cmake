@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_point_oriented"
+  "../bench/fig4_point_oriented.pdb"
+  "CMakeFiles/fig4_point_oriented.dir/fig4_point_oriented.cpp.o"
+  "CMakeFiles/fig4_point_oriented.dir/fig4_point_oriented.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_point_oriented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/inhomogeneous_ablation"
+  "../bench/inhomogeneous_ablation.pdb"
+  "CMakeFiles/inhomogeneous_ablation.dir/inhomogeneous_ablation.cpp.o"
+  "CMakeFiles/inhomogeneous_ablation.dir/inhomogeneous_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inhomogeneous_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inhomogeneous_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/kernel_truncation"
+  "../bench/kernel_truncation.pdb"
+  "CMakeFiles/kernel_truncation.dir/kernel_truncation.cpp.o"
+  "CMakeFiles/kernel_truncation.dir/kernel_truncation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

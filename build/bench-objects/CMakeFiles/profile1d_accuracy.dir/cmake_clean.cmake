@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/profile1d_accuracy"
+  "../bench/profile1d_accuracy.pdb"
+  "CMakeFiles/profile1d_accuracy.dir/profile1d_accuracy.cpp.o"
+  "CMakeFiles/profile1d_accuracy.dir/profile1d_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile1d_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

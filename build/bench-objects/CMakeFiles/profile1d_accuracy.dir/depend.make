@@ -1,0 +1,2 @@
+# Empty dependencies file for profile1d_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/propagation_distance"
+  "../bench/propagation_distance.pdb"
+  "CMakeFiles/propagation_distance.dir/propagation_distance.cpp.o"
+  "CMakeFiles/propagation_distance.dir/propagation_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rng_micro"
+  "../bench/rng_micro.pdb"
+  "CMakeFiles/rng_micro.dir/rng_micro.cpp.o"
+  "CMakeFiles/rng_micro.dir/rng_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/streaming_strip"
+  "../bench/streaming_strip.pdb"
+  "CMakeFiles/streaming_strip.dir/streaming_strip.cpp.o"
+  "CMakeFiles/streaming_strip.dir/streaming_strip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_strip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_surface_streaming.dir/sea_surface_streaming.cpp.o"
+  "CMakeFiles/sea_surface_streaming.dir/sea_surface_streaming.cpp.o.d"
+  "sea_surface_streaming"
+  "sea_surface_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_surface_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

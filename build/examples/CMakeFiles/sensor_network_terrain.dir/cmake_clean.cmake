@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_network_terrain.dir/sensor_network_terrain.cpp.o"
+  "CMakeFiles/sensor_network_terrain.dir/sensor_network_terrain.cpp.o.d"
+  "sensor_network_terrain"
+  "sensor_network_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_network_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

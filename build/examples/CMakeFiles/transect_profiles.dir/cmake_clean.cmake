@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transect_profiles.dir/transect_profiles.cpp.o"
+  "CMakeFiles/transect_profiles.dir/transect_profiles.cpp.o.d"
+  "transect_profiles"
+  "transect_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transect_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegetable_field_pond.dir/vegetable_field_pond.cpp.o"
+  "CMakeFiles/vegetable_field_pond.dir/vegetable_field_pond.cpp.o.d"
+  "vegetable_field_pond"
+  "vegetable_field_pond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegetable_field_pond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

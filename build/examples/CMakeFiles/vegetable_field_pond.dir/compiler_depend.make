@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vegetable_field_pond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for vegetable_field_pond.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convolution.cpp" "src/core/CMakeFiles/rrs_core.dir/convolution.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/convolution.cpp.o.d"
+  "/root/repo/src/core/direct_dft.cpp" "src/core/CMakeFiles/rrs_core.dir/direct_dft.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/direct_dft.cpp.o.d"
+  "/root/repo/src/core/discrete_spectrum.cpp" "src/core/CMakeFiles/rrs_core.dir/discrete_spectrum.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/discrete_spectrum.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/core/CMakeFiles/rrs_core.dir/gradient.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/gradient.cpp.o.d"
+  "/root/repo/src/core/hermitian_noise.cpp" "src/core/CMakeFiles/rrs_core.dir/hermitian_noise.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/hermitian_noise.cpp.o.d"
+  "/root/repo/src/core/inhomogeneous.cpp" "src/core/CMakeFiles/rrs_core.dir/inhomogeneous.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/inhomogeneous.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/core/CMakeFiles/rrs_core.dir/kernel.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/kernel.cpp.o.d"
+  "/root/repo/src/core/polygon_map.cpp" "src/core/CMakeFiles/rrs_core.dir/polygon_map.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/polygon_map.cpp.o.d"
+  "/root/repo/src/core/profile1d.cpp" "src/core/CMakeFiles/rrs_core.dir/profile1d.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/profile1d.cpp.o.d"
+  "/root/repo/src/core/region_map.cpp" "src/core/CMakeFiles/rrs_core.dir/region_map.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/region_map.cpp.o.d"
+  "/root/repo/src/core/segment_map.cpp" "src/core/CMakeFiles/rrs_core.dir/segment_map.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/segment_map.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/core/CMakeFiles/rrs_core.dir/spectrum.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/spectrum.cpp.o.d"
+  "/root/repo/src/core/spectrum1d.cpp" "src/core/CMakeFiles/rrs_core.dir/spectrum1d.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/spectrum1d.cpp.o.d"
+  "/root/repo/src/core/spectrum_ops.cpp" "src/core/CMakeFiles/rrs_core.dir/spectrum_ops.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/spectrum_ops.cpp.o.d"
+  "/root/repo/src/core/surface.cpp" "src/core/CMakeFiles/rrs_core.dir/surface.cpp.o" "gcc" "src/core/CMakeFiles/rrs_core.dir/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rrs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/rrs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rrs_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/special/CMakeFiles/rrs_special.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rrs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rrs_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_core.dir/convolution.cpp.o"
+  "CMakeFiles/rrs_core.dir/convolution.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/direct_dft.cpp.o"
+  "CMakeFiles/rrs_core.dir/direct_dft.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/discrete_spectrum.cpp.o"
+  "CMakeFiles/rrs_core.dir/discrete_spectrum.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/gradient.cpp.o"
+  "CMakeFiles/rrs_core.dir/gradient.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/hermitian_noise.cpp.o"
+  "CMakeFiles/rrs_core.dir/hermitian_noise.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/inhomogeneous.cpp.o"
+  "CMakeFiles/rrs_core.dir/inhomogeneous.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/kernel.cpp.o"
+  "CMakeFiles/rrs_core.dir/kernel.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/polygon_map.cpp.o"
+  "CMakeFiles/rrs_core.dir/polygon_map.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/profile1d.cpp.o"
+  "CMakeFiles/rrs_core.dir/profile1d.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/region_map.cpp.o"
+  "CMakeFiles/rrs_core.dir/region_map.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/segment_map.cpp.o"
+  "CMakeFiles/rrs_core.dir/segment_map.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/spectrum.cpp.o"
+  "CMakeFiles/rrs_core.dir/spectrum.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/spectrum1d.cpp.o"
+  "CMakeFiles/rrs_core.dir/spectrum1d.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/spectrum_ops.cpp.o"
+  "CMakeFiles/rrs_core.dir/spectrum_ops.cpp.o.d"
+  "CMakeFiles/rrs_core.dir/surface.cpp.o"
+  "CMakeFiles/rrs_core.dir/surface.cpp.o.d"
+  "librrs_core.a"
+  "librrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdtd/fdtd2d.cpp" "src/fdtd/CMakeFiles/rrs_fdtd.dir/fdtd2d.cpp.o" "gcc" "src/fdtd/CMakeFiles/rrs_fdtd.dir/fdtd2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rrs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rrs_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/special/CMakeFiles/rrs_special.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/rrs_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rrs_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

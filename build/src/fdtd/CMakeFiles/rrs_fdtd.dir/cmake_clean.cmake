@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_fdtd.dir/fdtd2d.cpp.o"
+  "CMakeFiles/rrs_fdtd.dir/fdtd2d.cpp.o.d"
+  "librrs_fdtd.a"
+  "librrs_fdtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_fdtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

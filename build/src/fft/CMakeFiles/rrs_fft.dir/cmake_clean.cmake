@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/rrs_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/rrs_fft.dir/fft2d.cpp.o"
+  "CMakeFiles/rrs_fft.dir/fft2d.cpp.o.d"
+  "CMakeFiles/rrs_fft.dir/real.cpp.o"
+  "CMakeFiles/rrs_fft.dir/real.cpp.o.d"
+  "CMakeFiles/rrs_fft.dir/reference.cpp.o"
+  "CMakeFiles/rrs_fft.dir/reference.cpp.o.d"
+  "librrs_fft.a"
+  "librrs_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

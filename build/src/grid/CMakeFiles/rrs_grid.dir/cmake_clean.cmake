@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_grid.dir/grid.cpp.o"
+  "CMakeFiles/rrs_grid.dir/grid.cpp.o.d"
+  "librrs_grid.a"
+  "librrs_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

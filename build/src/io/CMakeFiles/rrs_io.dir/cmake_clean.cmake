@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_io.dir/scene.cpp.o"
+  "CMakeFiles/rrs_io.dir/scene.cpp.o.d"
+  "CMakeFiles/rrs_io.dir/table.cpp.o"
+  "CMakeFiles/rrs_io.dir/table.cpp.o.d"
+  "CMakeFiles/rrs_io.dir/writers.cpp.o"
+  "CMakeFiles/rrs_io.dir/writers.cpp.o.d"
+  "librrs_io.a"
+  "librrs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

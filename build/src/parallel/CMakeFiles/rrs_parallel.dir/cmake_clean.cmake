@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rrs_parallel.dir/thread_pool.cpp.o.d"
+  "librrs_parallel.a"
+  "librrs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

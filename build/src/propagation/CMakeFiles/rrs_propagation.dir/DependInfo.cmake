@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/propagation/diffraction.cpp" "src/propagation/CMakeFiles/rrs_propagation.dir/diffraction.cpp.o" "gcc" "src/propagation/CMakeFiles/rrs_propagation.dir/diffraction.cpp.o.d"
+  "/root/repo/src/propagation/hata.cpp" "src/propagation/CMakeFiles/rrs_propagation.dir/hata.cpp.o" "gcc" "src/propagation/CMakeFiles/rrs_propagation.dir/hata.cpp.o.d"
+  "/root/repo/src/propagation/link_budget.cpp" "src/propagation/CMakeFiles/rrs_propagation.dir/link_budget.cpp.o" "gcc" "src/propagation/CMakeFiles/rrs_propagation.dir/link_budget.cpp.o.d"
+  "/root/repo/src/propagation/profile_path.cpp" "src/propagation/CMakeFiles/rrs_propagation.dir/profile_path.cpp.o" "gcc" "src/propagation/CMakeFiles/rrs_propagation.dir/profile_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rrs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rrs_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/special/CMakeFiles/rrs_special.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_propagation.dir/diffraction.cpp.o"
+  "CMakeFiles/rrs_propagation.dir/diffraction.cpp.o.d"
+  "CMakeFiles/rrs_propagation.dir/hata.cpp.o"
+  "CMakeFiles/rrs_propagation.dir/hata.cpp.o.d"
+  "CMakeFiles/rrs_propagation.dir/link_budget.cpp.o"
+  "CMakeFiles/rrs_propagation.dir/link_budget.cpp.o.d"
+  "CMakeFiles/rrs_propagation.dir/profile_path.cpp.o"
+  "CMakeFiles/rrs_propagation.dir/profile_path.cpp.o.d"
+  "librrs_propagation.a"
+  "librrs_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_rng.dir/rng.cpp.o"
+  "CMakeFiles/rrs_rng.dir/rng.cpp.o.d"
+  "librrs_rng.a"
+  "librrs_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/special/bessel.cpp" "src/special/CMakeFiles/rrs_special.dir/bessel.cpp.o" "gcc" "src/special/CMakeFiles/rrs_special.dir/bessel.cpp.o.d"
+  "/root/repo/src/special/gamma.cpp" "src/special/CMakeFiles/rrs_special.dir/gamma.cpp.o" "gcc" "src/special/CMakeFiles/rrs_special.dir/gamma.cpp.o.d"
+  "/root/repo/src/special/normal.cpp" "src/special/CMakeFiles/rrs_special.dir/normal.cpp.o" "gcc" "src/special/CMakeFiles/rrs_special.dir/normal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_special.dir/bessel.cpp.o"
+  "CMakeFiles/rrs_special.dir/bessel.cpp.o.d"
+  "CMakeFiles/rrs_special.dir/gamma.cpp.o"
+  "CMakeFiles/rrs_special.dir/gamma.cpp.o.d"
+  "CMakeFiles/rrs_special.dir/normal.cpp.o"
+  "CMakeFiles/rrs_special.dir/normal.cpp.o.d"
+  "librrs_special.a"
+  "librrs_special.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_special.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/rrs_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/rrs_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/ensemble.cpp" "src/stats/CMakeFiles/rrs_stats.dir/ensemble.cpp.o" "gcc" "src/stats/CMakeFiles/rrs_stats.dir/ensemble.cpp.o.d"
+  "/root/repo/src/stats/gof.cpp" "src/stats/CMakeFiles/rrs_stats.dir/gof.cpp.o" "gcc" "src/stats/CMakeFiles/rrs_stats.dir/gof.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/rrs_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/rrs_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/periodogram.cpp" "src/stats/CMakeFiles/rrs_stats.dir/periodogram.cpp.o" "gcc" "src/stats/CMakeFiles/rrs_stats.dir/periodogram.cpp.o.d"
+  "/root/repo/src/stats/variogram.cpp" "src/stats/CMakeFiles/rrs_stats.dir/variogram.cpp.o" "gcc" "src/stats/CMakeFiles/rrs_stats.dir/variogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rrs_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/rrs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/special/CMakeFiles/rrs_special.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rrs_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

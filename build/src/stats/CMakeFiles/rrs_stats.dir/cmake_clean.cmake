@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_stats.dir/autocorr.cpp.o"
+  "CMakeFiles/rrs_stats.dir/autocorr.cpp.o.d"
+  "CMakeFiles/rrs_stats.dir/ensemble.cpp.o"
+  "CMakeFiles/rrs_stats.dir/ensemble.cpp.o.d"
+  "CMakeFiles/rrs_stats.dir/gof.cpp.o"
+  "CMakeFiles/rrs_stats.dir/gof.cpp.o.d"
+  "CMakeFiles/rrs_stats.dir/moments.cpp.o"
+  "CMakeFiles/rrs_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/rrs_stats.dir/periodogram.cpp.o"
+  "CMakeFiles/rrs_stats.dir/periodogram.cpp.o.d"
+  "CMakeFiles/rrs_stats.dir/variogram.cpp.o"
+  "CMakeFiles/rrs_stats.dir/variogram.cpp.o.d"
+  "librrs_stats.a"
+  "librrs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

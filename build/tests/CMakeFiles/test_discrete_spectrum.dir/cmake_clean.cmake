@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrete_spectrum.dir/test_discrete_spectrum.cpp.o"
+  "CMakeFiles/test_discrete_spectrum.dir/test_discrete_spectrum.cpp.o.d"
+  "test_discrete_spectrum"
+  "test_discrete_spectrum.pdb"
+  "test_discrete_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrete_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

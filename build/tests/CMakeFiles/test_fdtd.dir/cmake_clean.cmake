@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdtd.dir/test_fdtd.cpp.o"
+  "CMakeFiles/test_fdtd.dir/test_fdtd.cpp.o.d"
+  "test_fdtd"
+  "test_fdtd.pdb"
+  "test_fdtd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

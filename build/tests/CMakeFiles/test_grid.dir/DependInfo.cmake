@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/test_grid.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/test_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/rrs_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdtd/CMakeFiles/rrs_fdtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rrs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/rrs_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rrs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/rrs_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/special/CMakeFiles/rrs_special.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rrs_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rrs_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

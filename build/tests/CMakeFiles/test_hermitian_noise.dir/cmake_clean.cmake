@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hermitian_noise.dir/test_hermitian_noise.cpp.o"
+  "CMakeFiles/test_hermitian_noise.dir/test_hermitian_noise.cpp.o.d"
+  "test_hermitian_noise"
+  "test_hermitian_noise.pdb"
+  "test_hermitian_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hermitian_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

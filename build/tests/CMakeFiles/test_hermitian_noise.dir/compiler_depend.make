@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_hermitian_noise.
+# This may be replaced when dependencies are built.

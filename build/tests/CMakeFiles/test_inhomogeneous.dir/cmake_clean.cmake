@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inhomogeneous.dir/test_inhomogeneous.cpp.o"
+  "CMakeFiles/test_inhomogeneous.dir/test_inhomogeneous.cpp.o.d"
+  "test_inhomogeneous"
+  "test_inhomogeneous.pdb"
+  "test_inhomogeneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inhomogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical_units.dir/test_physical_units.cpp.o"
+  "CMakeFiles/test_physical_units.dir/test_physical_units.cpp.o.d"
+  "test_physical_units"
+  "test_physical_units.pdb"
+  "test_physical_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

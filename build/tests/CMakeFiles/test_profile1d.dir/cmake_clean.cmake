@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile1d.dir/test_profile1d.cpp.o"
+  "CMakeFiles/test_profile1d.dir/test_profile1d.cpp.o.d"
+  "test_profile1d"
+  "test_profile1d.pdb"
+  "test_profile1d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment_map.dir/test_segment_map.cpp.o"
+  "CMakeFiles/test_segment_map.dir/test_segment_map.cpp.o.d"
+  "test_segment_map"
+  "test_segment_map.pdb"
+  "test_segment_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrum_ops.dir/test_spectrum_ops.cpp.o"
+  "CMakeFiles/test_spectrum_ops.dir/test_spectrum_ops.cpp.o.d"
+  "test_spectrum_ops"
+  "test_spectrum_ops.pdb"
+  "test_spectrum_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrum_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

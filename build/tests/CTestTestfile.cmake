@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_special[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_fft_real[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_discrete_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/test_hermitian_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_direct_dft[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_convolution[1]_include.cmake")
+include("/root/repo/build/tests/test_region_map[1]_include.cmake")
+include("/root/repo/build/tests/test_inhomogeneous[1]_include.cmake")
+include("/root/repo/build/tests/test_streaming[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_profile1d[1]_include.cmake")
+include("/root/repo/build/tests/test_spectrum_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_propagation[1]_include.cmake")
+include("/root/repo/build/tests/test_scene[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ensemble[1]_include.cmake")
+include("/root/repo/build/tests/test_fdtd[1]_include.cmake")
+include("/root/repo/build/tests/test_physical_units[1]_include.cmake")
+include("/root/repo/build/tests/test_segment_map[1]_include.cmake")

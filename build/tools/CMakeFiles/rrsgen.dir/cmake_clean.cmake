@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsgen.dir/rrsgen.cpp.o"
+  "CMakeFiles/rrsgen.dir/rrsgen.cpp.o.d"
+  "rrsgen"
+  "rrsgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
