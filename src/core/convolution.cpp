@@ -1,11 +1,13 @@
 #include "core/convolution.hpp"
 
+#include <bit>
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
+#include "core/validate.hpp"
 #include "fft/real.hpp"
 #include "parallel/parallel_for.hpp"
+#include "rng/hash.hpp"
 
 namespace rrs {
 
@@ -36,8 +38,28 @@ struct ConvolutionGenerator::FftCache {
     std::unordered_map<std::uint64_t, std::shared_ptr<const CachedKernelFft>> entries;
 };
 
-ConvolutionGenerator::ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed)
-    : kernel_(std::move(kernel)), lattice_(seed), cache_(std::make_unique<FftCache>()) {}
+ConvolutionGenerator::ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed,
+                                           HealthPolicy health)
+    : kernel_(std::move(kernel)),
+      lattice_(seed),
+      health_(health),
+      cache_(std::make_unique<FftCache>()) {
+    apply_policy(kernel_health(kernel_), health_, kDefaultKernelEnergyTol,
+                 {"ConvolutionGenerator", "kernel"});
+}
+
+std::uint64_t ConvolutionGenerator::fingerprint() const noexcept {
+    std::uint64_t h = mix64(0x5252535F434F4E56ULL ^ lattice_.seed());  // "RRS_CONV"
+    h = mix64(h ^ static_cast<std::uint64_t>(kernel_.nx()));
+    h = mix64(h ^ static_cast<std::uint64_t>(kernel_.ny()));
+    h = mix64(h ^ static_cast<std::uint64_t>(kernel_.center_x()));
+    h = mix64(h ^ static_cast<std::uint64_t>(kernel_.center_y()));
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(kernel_.spacing_x()));
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(kernel_.spacing_y()));
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(kernel_.energy()));
+    // Never return the "unfingerprinted" sentinel.
+    return h == 0 ? 1 : h;
+}
 
 ConvolutionGenerator::~ConvolutionGenerator() = default;
 ConvolutionGenerator::ConvolutionGenerator(ConvolutionGenerator&&) noexcept = default;
@@ -45,9 +67,8 @@ ConvolutionGenerator& ConvolutionGenerator::operator=(ConvolutionGenerator&&) no
     default;
 
 Array2D<double> ConvolutionGenerator::noise_tile(const Rect& region) const {
-    if (region.empty()) {
-        throw std::invalid_argument{"ConvolutionGenerator: empty region"};
-    }
+    RRS_CHECK(!region.empty(), "ConvolutionGenerator::noise_tile",
+              "region must be non-empty");
     Array2D<double> X(static_cast<std::size_t>(region.nx),
                       static_cast<std::size_t>(region.ny));
     parallel_for(0, region.ny, [&](std::int64_t ty) {
@@ -60,9 +81,8 @@ Array2D<double> ConvolutionGenerator::noise_tile(const Rect& region) const {
 }
 
 Array2D<double> ConvolutionGenerator::generate_direct(const Rect& region) const {
-    if (region.empty()) {
-        throw std::invalid_argument{"ConvolutionGenerator: empty region"};
-    }
+    RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate_direct",
+              "region must be non-empty");
     const std::int64_t lx = halo_left_x();
     const std::int64_t ly = halo_left_y();
     const Rect noise_rect{region.x0 - lx, region.y0 - ly,
@@ -94,6 +114,10 @@ Array2D<double> ConvolutionGenerator::generate_direct(const Rect& region) const 
             f(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) = acc;
         }
     });
+    if (health_ != HealthPolicy::kIgnore) {
+        apply_policy(scan_surface(f, std::sqrt(kernel_.energy())), health_,
+                     {"ConvolutionGenerator", "generate_direct"});
+    }
     return f;
 }
 
@@ -115,9 +139,8 @@ const ConvolutionGenerator::CachedKernelFft& ConvolutionGenerator::kernel_fft(
 }
 
 Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
-    if (region.empty()) {
-        throw std::invalid_argument{"ConvolutionGenerator: empty region"};
-    }
+    RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate",
+              "region must be non-empty");
     const std::int64_t lx = halo_left_x();
     const std::int64_t ly = halo_left_y();
     const std::int64_t Sx = region.nx + lx + halo_right_x();
@@ -154,6 +177,10 @@ Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
             f(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) =
                 conv(static_cast<std::size_t>(tx + lx), static_cast<std::size_t>(ty + ly));
         }
+    }
+    if (health_ != HealthPolicy::kIgnore) {
+        apply_policy(scan_surface(f, std::sqrt(kernel_.energy())), health_,
+                     {"ConvolutionGenerator", "generate"});
     }
     return f;
 }

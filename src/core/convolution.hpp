@@ -20,6 +20,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/health.hpp"
 #include "core/kernel.hpp"
 #include "grid/array2d.hpp"
 #include "grid/rect.hpp"
@@ -30,7 +31,12 @@ namespace rrs {
 /// Homogeneous surface generator over an unbounded lattice.
 class ConvolutionGenerator {
 public:
-    ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed);
+    /// `health` gates the numeric guards (health.hpp): at construction the
+    /// kernel's energy-conservation check runs, and every generated tile is
+    /// scanned for NaN/Inf and implausible RMS.  kIgnore (default) skips
+    /// both and preserves historical behaviour.
+    explicit ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed,
+                                  HealthPolicy health = HealthPolicy::kIgnore);
     ~ConvolutionGenerator();
 
     ConvolutionGenerator(ConvolutionGenerator&&) noexcept;
@@ -51,6 +57,15 @@ public:
     const GaussianLattice& noise() const noexcept { return lattice_; }
     std::uint64_t seed() const noexcept { return lattice_.seed(); }
 
+    HealthPolicy health_policy() const noexcept { return health_; }
+    void set_health_policy(HealthPolicy policy) noexcept { health_ = policy; }
+
+    /// Stable hash of (seed, kernel shape, tap spacing, kernel energy) —
+    /// identifies the generator's configuration for checkpoint/resume
+    /// (streaming.hpp).  Two generators with equal fingerprints produce
+    /// bit-identical surfaces on every rectangle.
+    std::uint64_t fingerprint() const noexcept;
+
 private:
     struct CachedKernelFft;
 
@@ -66,6 +81,7 @@ private:
 
     ConvolutionKernel kernel_;
     GaussianLattice lattice_;
+    HealthPolicy health_ = HealthPolicy::kIgnore;
     std::unique_ptr<FftCache> cache_;  // keeps the generator movable
 };
 

@@ -1,8 +1,7 @@
 #include "core/direct_dft.hpp"
 
-#include <stdexcept>
-
 #include "core/hermitian_noise.hpp"
+#include "core/validate.hpp"
 #include "fft/fft2d.hpp"
 #include "rng/engines.hpp"
 #include "rng/gaussian.hpp"
@@ -11,9 +10,7 @@ namespace rrs {
 
 DirectDftGenerator::DirectDftGenerator(SpectrumPtr spectrum, GridSpec grid)
     : spectrum_(std::move(spectrum)), grid_(grid) {
-    if (!spectrum_) {
-        throw std::invalid_argument{"DirectDftGenerator: null spectrum"};
-    }
+    check_not_null(spectrum_.get(), "spectrum", {"DirectDftGenerator"});
     grid_.validate();
     v_ = sqrt_weight_array(*spectrum_, grid_);
 }

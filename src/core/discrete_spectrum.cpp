@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/validate.hpp"
 #include "fft/fft2d.hpp"
 #include "grid/permute.hpp"
 #include "parallel/parallel_for.hpp"
@@ -28,7 +29,17 @@ Array2D<double> weight_array(const Spectrum& s, const GridSpec& g) {
 Array2D<double> sqrt_weight_array(const Spectrum& s, const GridSpec& g) {
     Array2D<double> v = weight_array(s, g);
     for (std::size_t i = 0; i < v.size(); ++i) {
-        v.data()[i] = std::sqrt(v.data()[i]);
+        const double w = v.data()[i];
+        // A negative or non-finite density would turn into NaN here and
+        // silently corrupt every surface drawn from this spectrum — catch
+        // it at the boundary instead (Lang & Potthoff's failure class).
+        if (!(w >= 0.0) || !std::isfinite(w)) {
+            fail_numeric("spectral density must be finite and non-negative (got " +
+                             std::to_string(w) + " at flat index " + std::to_string(i) +
+                             ")",
+                         {"sqrt_weight_array", "spectrum " + s.name()});
+        }
+        v.data()[i] = std::sqrt(w);
     }
     return v;
 }

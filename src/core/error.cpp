@@ -1,0 +1,42 @@
+#include "core/error.hpp"
+
+namespace rrs {
+
+std::string Error::context_string() const {
+    std::string out;
+    for (const std::string& frame : context_) {
+        if (!out.empty()) {
+            out += " → ";
+        }
+        out += frame;
+    }
+    return out;
+}
+
+std::string Error::format(const std::string& message, const ErrorContext& context) {
+    std::string chain;
+    for (const std::string& frame : context) {
+        if (!chain.empty()) {
+            chain += " → ";
+        }
+        chain += frame;
+    }
+    if (chain.empty()) {
+        return message;
+    }
+    return chain + ": " + message;
+}
+
+ConfigError::ConfigError(std::string message, ErrorContext context)
+    : Error(std::move(message), std::move(context)),
+      std::invalid_argument(format(this->message(), this->context())) {}
+
+NumericError::NumericError(std::string message, ErrorContext context)
+    : Error(std::move(message), std::move(context)),
+      std::runtime_error(format(this->message(), this->context())) {}
+
+IoError::IoError(std::string message, ErrorContext context)
+    : Error(std::move(message), std::move(context)),
+      std::runtime_error(format(this->message(), this->context())) {}
+
+}  // namespace rrs

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file error.hpp
+/// Unified error taxonomy for librrs.
+///
+/// Every invalid-input, numeric-health, and I/O failure in the library
+/// throws a subclass of rrs::Error carrying a structured *context chain* —
+/// an outermost-first list of frames such as {"spectrum 'sea'", "cl_x"} —
+/// so callers (and log lines) see *where* a bad value entered the pipeline,
+/// not just what it was.  The what() text renders the chain as
+/// "spectrum 'sea' → cl_x: must be positive (got -2)".
+///
+/// The taxonomy deliberately multiply-inherits from the standard exception
+/// types the library historically threw (std::invalid_argument for
+/// configuration problems, std::runtime_error for numeric/I-O problems), so
+/// existing `catch (const std::invalid_argument&)` call sites — and the
+/// seed test-suite — keep working while new code can catch rrs::Error to
+/// get the structured chain.
+///
+///   Error (abstract mixin, not a std::exception)
+///   ├── ConfigError  : std::invalid_argument — bad parameters / bad input
+///   ├── NumericError : std::runtime_error    — NaN/Inf, energy loss, ...
+///   └── IoError      : std::runtime_error    — files, serialized state
+///
+/// See validate.hpp for the RRS_CHECK precondition helpers and health.hpp
+/// for the numeric guards that throw NumericError.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rrs {
+
+/// Ordered outermost-first context frames, e.g. {"scene:12", "spectrum 'sea'", "h"}.
+using ErrorContext = std::vector<std::string>;
+
+/// Abstract mixin root of the taxonomy.  Not itself a std::exception — the
+/// concrete subclasses each pick the standard base matching their legacy
+/// behaviour — but always catchable as `const rrs::Error&`.
+class Error {
+public:
+    virtual ~Error() = default;
+
+    /// The bare failure description, without the context chain.
+    const std::string& message() const noexcept { return message_; }
+
+    /// Outermost-first context frames.
+    const ErrorContext& context() const noexcept { return context_; }
+
+    /// The chain joined with " → " (empty string when there is no context).
+    std::string context_string() const;
+
+    /// Full rendered text: "ctx → ctx: message" (what() of the std base).
+    virtual const char* what() const noexcept = 0;
+
+    /// "a → b: message", or just "message" when the chain is empty.
+    static std::string format(const std::string& message, const ErrorContext& context);
+
+protected:
+    Error(std::string message, ErrorContext context)
+        : message_(std::move(message)), context_(std::move(context)) {}
+
+private:
+    std::string message_;
+    ErrorContext context_;
+};
+
+/// Invalid configuration: bad parameter values, malformed scenes, size and
+/// geometry violations.  IS-A std::invalid_argument.
+class ConfigError : public Error, public std::invalid_argument {
+public:
+    explicit ConfigError(std::string message, ErrorContext context = {});
+
+    const char* what() const noexcept override { return std::invalid_argument::what(); }
+};
+
+/// Numeric-health violation: non-finite samples, implausible variance,
+/// kernel energy loss.  IS-A std::runtime_error.
+class NumericError : public Error, public std::runtime_error {
+public:
+    explicit NumericError(std::string message, ErrorContext context = {});
+
+    const char* what() const noexcept override { return std::runtime_error::what(); }
+};
+
+/// Filesystem / serialization failure: unwritable outputs, corrupt
+/// checkpoints.  IS-A std::runtime_error.
+class IoError : public Error, public std::runtime_error {
+public:
+    explicit IoError(std::string message, ErrorContext context = {});
+
+    const char* what() const noexcept override { return std::runtime_error::what(); }
+};
+
+/// Rebuild `e` with `frame` prepended to its context chain and throw the
+/// copy.  Exceptions are immutable once thrown, so enclosing layers use this
+/// to extend the chain, e.g. catching "cl_x: must be positive" from a
+/// spectrum factory and rethrowing as "spectrum 'sea' → cl_x: ...".
+template <typename E>
+[[noreturn]] void rethrow_with_context(const E& e, std::string frame) {
+    static_assert(std::is_base_of_v<Error, E>, "rethrow_with_context needs an rrs::Error");
+    ErrorContext context;
+    context.reserve(e.context().size() + 1);
+    context.push_back(std::move(frame));
+    context.insert(context.end(), e.context().begin(), e.context().end());
+    throw E(e.message(), std::move(context));
+}
+
+}  // namespace rrs

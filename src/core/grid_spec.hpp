@@ -6,8 +6,8 @@
 /// discretised angular frequencies K_m = 2π·m̄/L (eq. 13).
 
 #include <cstddef>
-#include <stdexcept>
 
+#include "core/error.hpp"
 #include "special/constants.hpp"
 
 namespace rrs {
@@ -29,14 +29,16 @@ struct GridSpec {
     std::size_t Mx() const noexcept { return Nx / 2; }
     std::size_t My() const noexcept { return Ny / 2; }
 
-    /// Throws unless the grid satisfies the paper's constraints
+    /// Throws ConfigError unless the grid satisfies the paper's constraints
     /// (even positive truncation numbers, positive lengths).
     void validate() const {
         if (!(Lx > 0.0) || !(Ly > 0.0)) {
-            throw std::invalid_argument{"GridSpec: lengths must be positive"};
+            throw ConfigError{"Lx, Ly must be positive", {"GridSpec"}};
         }
         if (Nx < 2 || Ny < 2 || Nx % 2 != 0 || Ny % 2 != 0) {
-            throw std::invalid_argument{"GridSpec: Nx, Ny must be even and >= 2"};
+            throw ConfigError{"Nx, Ny must be even and >= 2 (got " + std::to_string(Nx) +
+                                  " x " + std::to_string(Ny) + ")",
+                              {"GridSpec"}};
         }
     }
 

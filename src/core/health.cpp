@@ -1,0 +1,157 @@
+#include "core/health.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "core/kernel.hpp"
+
+namespace rrs {
+
+namespace {
+
+/// RMS plausibility band: only trip on catastrophic scaling errors.  A
+/// correlated field with few effective degrees of freedom can legitimately
+/// sit far from its ensemble RMS, so the band is two orders of magnitude
+/// wide and only judged on reasonably large tiles.
+constexpr double kRmsRatioLo = 1e-2;
+constexpr double kRmsRatioHi = 1e2;
+constexpr std::size_t kMinSamplesForRatio = 1024;
+
+}  // namespace
+
+HealthPolicy parse_health_policy(std::string_view text) {
+    if (text == "throw") {
+        return HealthPolicy::kThrow;
+    }
+    if (text == "report") {
+        return HealthPolicy::kReport;
+    }
+    if (text == "ignore") {
+        return HealthPolicy::kIgnore;
+    }
+    throw ConfigError("unknown policy '" + std::string(text) +
+                          "' (expected throw, report, or ignore)",
+                      {"health"});
+}
+
+std::string_view health_policy_name(HealthPolicy policy) noexcept {
+    switch (policy) {
+        case HealthPolicy::kThrow:
+            return "throw";
+        case HealthPolicy::kReport:
+            return "report";
+        case HealthPolicy::kIgnore:
+            return "ignore";
+    }
+    return "ignore";
+}
+
+bool SurfaceHealth::plausible() const noexcept {
+    if (!finite()) {
+        return false;
+    }
+    if (target_rms > 0.0 && count >= kMinSamplesForRatio) {
+        const double ratio = rms / target_rms;
+        if (!(ratio > kRmsRatioLo) || !(ratio < kRmsRatioHi)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string SurfaceHealth::summary() const {
+    std::ostringstream ss;
+    ss << count << " samples";
+    if (nan_count != 0 || inf_count != 0) {
+        ss << ", " << nan_count << " NaN, " << inf_count << " Inf";
+    }
+    ss << ", min " << min << ", max " << max << ", rms " << rms;
+    if (target_rms > 0.0) {
+        ss << " (target " << target_rms << ", ratio " << rms / target_rms << ")";
+    }
+    return ss.str();
+}
+
+SurfaceHealth scan_surface(const double* data, std::size_t n, double target_rms) {
+    SurfaceHealth h;
+    h.count = n;
+    h.target_rms = target_rms;
+    h.min = std::numeric_limits<double>::infinity();
+    h.max = -std::numeric_limits<double>::infinity();
+    double sum_sq = 0.0;
+    std::size_t finite_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = data[i];
+        if (std::isnan(v)) {
+            ++h.nan_count;
+            continue;
+        }
+        if (std::isinf(v)) {
+            ++h.inf_count;
+            continue;
+        }
+        ++finite_count;
+        h.min = std::min(h.min, v);
+        h.max = std::max(h.max, v);
+        sum_sq += v * v;
+    }
+    if (finite_count == 0) {
+        h.min = 0.0;
+        h.max = 0.0;
+    } else {
+        h.rms = std::sqrt(sum_sq / static_cast<double>(finite_count));
+    }
+    return h;
+}
+
+SurfaceHealth scan_surface(const Array2D<double>& f, double target_rms) {
+    return scan_surface(f.data(), f.size(), target_rms);
+}
+
+void apply_policy(const SurfaceHealth& health, HealthPolicy policy, ErrorContext context) {
+    if (policy == HealthPolicy::kIgnore || health.plausible()) {
+        return;
+    }
+    if (policy == HealthPolicy::kReport) {
+        std::cerr << "rrs: health: " << Error::format(health.summary(), context) << "\n";
+        return;
+    }
+    throw NumericError("surface failed health scan: " + health.summary(),
+                       std::move(context));
+}
+
+double KernelHealth::ratio() const noexcept {
+    return target_variance > 0.0 ? energy / target_variance : 0.0;
+}
+
+bool KernelHealth::ok(double tol) const noexcept {
+    return std::isfinite(energy) && std::abs(ratio() - 1.0) <= tol;
+}
+
+std::string KernelHealth::summary() const {
+    std::ostringstream ss;
+    ss << "kernel energy " << energy << " vs target variance " << target_variance
+       << " (ratio " << ratio() << ")";
+    return ss.str();
+}
+
+KernelHealth kernel_health(const ConvolutionKernel& kernel) {
+    return KernelHealth{kernel.energy(), kernel.target_variance()};
+}
+
+void apply_policy(const KernelHealth& health, HealthPolicy policy, double tol,
+                  ErrorContext context) {
+    if (policy == HealthPolicy::kIgnore || health.ok(tol)) {
+        return;
+    }
+    if (policy == HealthPolicy::kReport) {
+        std::cerr << "rrs: health: " << Error::format(health.summary(), context) << "\n";
+        return;
+    }
+    throw NumericError("kernel failed energy-conservation check: " + health.summary(),
+                       std::move(context));
+}
+
+}  // namespace rrs

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file health.hpp
+/// Numeric health guards for generated surfaces and convolution kernels.
+///
+/// FFT-based generators fail *silently*: a mis-discretised spectrum, a
+/// negative density, or one NaN in the noise tile propagates into gigabytes
+/// of plausible-looking but wrong output (Lang & Potthoff; de Castro et
+/// al.).  This module gives the pipeline a specified failure contract:
+///
+///  * SurfaceHealth — one O(N) scan of a generated tile: NaN/Inf counts,
+///    min/max, RMS, and an RMS-vs-target sanity ratio (the target is the
+///    kernel's √energy, i.e. the surface's expected standard deviation).
+///  * KernelHealth — energy conservation of a (possibly truncated) kernel:
+///    Σc² must stay close to the spectrum's h² (Parseval); a large gap
+///    means the grid under-resolves the spectrum or truncation ate real
+///    energy.
+///
+/// Both feed a three-way HealthPolicy chosen by the caller:
+///  * kThrow  — violations raise NumericError with a context chain;
+///  * kReport — violations print one diagnostic line to stderr, output is
+///              delivered anyway (for pipelines that tolerate gaps);
+///  * kIgnore — guards are skipped entirely (zero overhead; the default,
+///              preserving historical behaviour).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+#include "grid/array2d.hpp"
+
+namespace rrs {
+
+class ConvolutionKernel;
+
+/// What to do when a health guard trips.
+enum class HealthPolicy {
+    kThrow,   ///< raise NumericError
+    kReport,  ///< one line to stderr, keep going
+    kIgnore,  ///< skip the guard entirely
+};
+
+/// Parse "throw" / "report" / "ignore"; throws ConfigError otherwise.
+HealthPolicy parse_health_policy(std::string_view text);
+
+/// The policy's canonical spelling.
+std::string_view health_policy_name(HealthPolicy policy) noexcept;
+
+/// Result of one surface scan.  `target_rms` = 0 means "unknown" and
+/// disables the plausibility ratio (only NaN/Inf are then checked).
+struct SurfaceHealth {
+    std::size_t count = 0;      ///< samples scanned
+    std::size_t nan_count = 0;  ///< samples that are NaN
+    std::size_t inf_count = 0;  ///< samples that are ±Inf
+    double min = 0.0;           ///< over finite samples
+    double max = 0.0;           ///< over finite samples
+    double rms = 0.0;           ///< over finite samples
+    double target_rms = 0.0;    ///< expected stddev (√kernel-energy), 0 = unknown
+
+    /// No NaN or Inf anywhere.
+    bool finite() const noexcept { return nan_count == 0 && inf_count == 0; }
+
+    /// finite() and, when a target is known and the sample is large enough
+    /// to judge, RMS within a (very generous) band of the target.  The band
+    /// only trips on catastrophic scaling errors, never on ordinary sample
+    /// fluctuation of a correlated field.
+    bool plausible() const noexcept;
+
+    /// One-line human-readable digest.
+    std::string summary() const;
+};
+
+/// Scan a raw buffer (never throws; the policy decides what to do).
+SurfaceHealth scan_surface(const double* data, std::size_t n, double target_rms = 0.0);
+
+/// Scan a surface tile.
+SurfaceHealth scan_surface(const Array2D<double>& f, double target_rms = 0.0);
+
+/// Apply `policy` to a scan result: throw NumericError / print / no-op.
+void apply_policy(const SurfaceHealth& health, HealthPolicy policy, ErrorContext context);
+
+/// Energy-conservation snapshot of a convolution kernel.
+struct KernelHealth {
+    double energy = 0.0;           ///< Σ taps² of the (truncated) kernel
+    double target_variance = 0.0;  ///< h² of the source spectrum
+
+    /// energy / target_variance; 1 means perfect Parseval conservation.
+    double ratio() const noexcept;
+
+    /// |ratio − 1| <= tol.
+    bool ok(double tol) const noexcept;
+
+    std::string summary() const;
+};
+
+/// Read the kernel's energy bookkeeping (cheap; no rescan of taps).
+KernelHealth kernel_health(const ConvolutionKernel& kernel);
+
+/// Apply `policy` to a kernel check with relative tolerance `tol`
+/// (kDefaultKernelEnergyTol unless the caller knows better).
+void apply_policy(const KernelHealth& health, HealthPolicy policy, double tol,
+                  ErrorContext context);
+
+/// Default relative tolerance for kernel energy vs h²: generous enough for
+/// ordinary spectral-discretisation error, tight enough to catch a spectrum
+/// the grid cannot resolve.
+inline constexpr double kDefaultKernelEnergyTol = 0.25;
+
+}  // namespace rrs

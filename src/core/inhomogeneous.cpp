@@ -1,19 +1,25 @@
 #include "core/inhomogeneous.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <bit>
 
+#include "core/validate.hpp"
 #include "parallel/parallel_for.hpp"
+#include "rng/hash.hpp"
 
 namespace rrs {
 
 InhomogeneousGenerator::InhomogeneousGenerator(RegionMapPtr map, GridSpec kernel_grid,
                                                std::uint64_t seed, Options opt)
     : map_(std::move(map)), grid_(kernel_grid), opt_(opt) {
-    if (!map_) {
-        throw std::invalid_argument{"InhomogeneousGenerator: null region map"};
-    }
+    check_not_null(map_.get(), "region map", {"InhomogeneousGenerator"});
     grid_.validate();
+    check_finite(opt_.origin_x, "origin_x", {"InhomogeneousGenerator"});
+    check_finite(opt_.origin_y, "origin_y", {"InhomogeneousGenerator"});
+    if (opt_.kernel_tail_eps != 0.0) {
+        check_open_unit(opt_.kernel_tail_eps, "kernel_tail_eps",
+                        {"InhomogeneousGenerator"});
+    }
     kernels_.reserve(map_->region_count());
     generators_.reserve(map_->region_count());
     for (std::size_t m = 0; m < map_->region_count(); ++m) {
@@ -21,9 +27,25 @@ InhomogeneousGenerator::InhomogeneousGenerator(RegionMapPtr map, GridSpec kernel
         if (opt_.kernel_tail_eps > 0.0) {
             k = k.truncated(opt_.kernel_tail_eps);
         }
+        apply_policy(kernel_health(k), opt_.health, kDefaultKernelEnergyTol,
+                     {"InhomogeneousGenerator",
+                      "region " + std::to_string(m) + " (" + map_->spectrum(m)->name() +
+                          ")"});
         kernels_.push_back(k);
+        // Sub-generators run with kIgnore: the blended output is scanned
+        // once in generate(), and per-region kernels were just checked.
         generators_.emplace_back(std::move(k), seed);
     }
+}
+
+std::uint64_t InhomogeneousGenerator::fingerprint() const noexcept {
+    std::uint64_t h = mix64(0x5252535F494E484FULL);  // "RRS_INHO"
+    for (const auto& gen : generators_) {
+        h = mix64(h ^ gen.fingerprint());
+    }
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(opt_.origin_x));
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(opt_.origin_y));
+    return h == 0 ? 1 : h;
 }
 
 Array2D<double> InhomogeneousGenerator::blend_weights(const Rect& region,
@@ -46,9 +68,8 @@ Array2D<double> InhomogeneousGenerator::blend_weights(const Rect& region,
 }
 
 Array2D<double> InhomogeneousGenerator::generate(const Rect& region) const {
-    if (region.empty()) {
-        throw std::invalid_argument{"InhomogeneousGenerator: empty region"};
-    }
+    RRS_CHECK(!region.empty(), "InhomogeneousGenerator::generate",
+              "region must be non-empty");
     const std::size_t M = map_->region_count();
     Array2D<double> out(static_cast<std::size_t>(region.nx),
                         static_cast<std::size_t>(region.ny), 0.0);
@@ -86,13 +107,18 @@ Array2D<double> InhomogeneousGenerator::generate(const Rect& region) const {
             }
         });
     }
+    if (opt_.health != HealthPolicy::kIgnore) {
+        // No single target RMS exists for a blended surface; scan for
+        // NaN/Inf only (target 0 disables the ratio check).
+        apply_policy(scan_surface(out), opt_.health,
+                     {"InhomogeneousGenerator", "generate"});
+    }
     return out;
 }
 
 Array2D<double> InhomogeneousGenerator::generate_reference(const Rect& region) const {
-    if (region.empty()) {
-        throw std::invalid_argument{"InhomogeneousGenerator: empty region"};
-    }
+    RRS_CHECK(!region.empty(), "InhomogeneousGenerator::generate_reference",
+              "region must be non-empty");
     const std::size_t M = map_->region_count();
     // Common halo covering every kernel's support.
     std::int64_t lx = 0, rx = 0, ly = 0, ry = 0;

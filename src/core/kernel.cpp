@@ -1,9 +1,9 @@
 #include "core/kernel.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "core/discrete_spectrum.hpp"
+#include "core/validate.hpp"
 #include "fft/fft2d.hpp"
 #include "grid/permute.hpp"
 
@@ -64,9 +64,7 @@ double ConvolutionKernel::tap(std::ptrdiff_t dx, std::ptrdiff_t dy) const noexce
 }
 
 ConvolutionKernel ConvolutionKernel::truncated(double tail_eps) const {
-    if (!(tail_eps > 0.0) || !(tail_eps < 1.0)) {
-        throw std::invalid_argument{"ConvolutionKernel::truncated: eps in (0,1) required"};
-    }
+    check_open_unit(tail_eps, "tail_eps", {"ConvolutionKernel::truncated"});
     // Energy inside the centered odd window of half-widths (kx, ky), via a
     // prefix-sum table of squared taps.
     Array2D<double> prefix(taps_.nx() + 1, taps_.ny() + 1, 0.0);
@@ -122,9 +120,10 @@ ConvolutionKernel ConvolutionKernel::truncated(double tail_eps) const {
 }
 
 Array2D<double> ConvolutionKernel::wrapped_image(std::size_t Px, std::size_t Py) const {
-    if (Px < taps_.nx() || Py < taps_.ny()) {
-        throw std::invalid_argument{"ConvolutionKernel::wrapped_image: grid too small"};
-    }
+    RRS_CHECK(Px >= taps_.nx() && Py >= taps_.ny(), "ConvolutionKernel::wrapped_image",
+              "padded grid " + std::to_string(Px) + " x " + std::to_string(Py) +
+                  " is smaller than the kernel " + std::to_string(taps_.nx()) + " x " +
+                  std::to_string(taps_.ny()));
     Array2D<double> img(Px, Py, 0.0);
     for (std::size_t iy = 0; iy < taps_.ny(); ++iy) {
         const auto dy = static_cast<std::ptrdiff_t>(iy) - static_cast<std::ptrdiff_t>(cy_);

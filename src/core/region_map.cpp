@@ -3,18 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
+
+#include "core/validate.hpp"
 
 namespace rrs {
 
 RegionMap::RegionMap(std::vector<SpectrumPtr> spectra) : spectra_(std::move(spectra)) {
-    if (spectra_.empty()) {
-        throw std::invalid_argument{"RegionMap: needs at least one spectrum"};
-    }
-    for (const auto& s : spectra_) {
-        if (!s) {
-            throw std::invalid_argument{"RegionMap: null spectrum"};
-        }
+    RRS_CHECK(!spectra_.empty(), "RegionMap", "needs at least one spectrum");
+    for (std::size_t m = 0; m < spectra_.size(); ++m) {
+        check_not_null(spectra_[m].get(), "spectrum " + std::to_string(m), {"RegionMap"});
     }
 }
 
@@ -47,20 +44,20 @@ PlateMap::PlateMap(std::vector<Plate> plates, double transition_half_width)
       }()),
       plates_(std::move(plates)),
       T_(transition_half_width) {
-    if (!(T_ > 0.0)) {
-        throw std::invalid_argument{"PlateMap: transition half-width must be positive"};
-    }
-    for (const auto& p : plates_) {
-        if (!(p.x1 > p.x0) || !(p.y1 > p.y0)) {
-            throw std::invalid_argument{"PlateMap: degenerate plate"};
-        }
+    check_positive(T_, "transition_half_width", {"PlateMap"});
+    for (std::size_t m = 0; m < plates_.size(); ++m) {
+        const Plate& p = plates_[m];
+        RRS_CHECK(p.x1 > p.x0 && p.y1 > p.y0, "PlateMap",
+                  "plate " + std::to_string(m) + " is degenerate (x0 " +
+                      std::to_string(p.x0) + ", x1 " + std::to_string(p.x1) + ", y0 " +
+                      std::to_string(p.y0) + ", y1 " + std::to_string(p.y1) + ")");
     }
 }
 
 void PlateMap::weights_at(double x, double y, std::span<double> g) const {
-    if (g.size() != plates_.size()) {
-        throw std::invalid_argument{"PlateMap::weights_at: span size mismatch"};
-    }
+    RRS_CHECK(g.size() == plates_.size(), "PlateMap::weights_at",
+              "span size mismatch (got " + std::to_string(g.size()) + ", want " +
+                  std::to_string(plates_.size()) + ")");
     double total = 0.0;
     for (std::size_t m = 0; m < plates_.size(); ++m) {
         const Plate& p = plates_[m];
@@ -93,9 +90,7 @@ std::shared_ptr<const PlateMap> make_quadrant_map(double cx, double cy, double e
                                                   SpectrumPtr q1, SpectrumPtr q2,
                                                   SpectrumPtr q3, SpectrumPtr q4,
                                                   double transition_half_width) {
-    if (!(extent > 0.0)) {
-        throw std::invalid_argument{"make_quadrant_map: extent must be positive"};
-    }
+    check_positive(extent, "extent", {"make_quadrant_map"});
     std::vector<Plate> plates{
         Plate{cx, cx + extent, cy, cy + extent, std::move(q1)},  // 1st: +x +y
         Plate{cx - extent, cx, cy, cy + extent, std::move(q2)},  // 2nd: −x +y
@@ -112,15 +107,13 @@ CircleMap::CircleMap(double cx, double cy, double radius, SpectrumPtr inside,
       cy_(cy),
       R_(radius),
       T_(transition_half_width) {
-    if (!(R_ > 0.0) || !(T_ > 0.0)) {
-        throw std::invalid_argument{"CircleMap: radius and T must be positive"};
-    }
+    check_positive(R_, "radius", {"CircleMap"});
+    check_positive(T_, "transition_half_width", {"CircleMap"});
 }
 
 void CircleMap::weights_at(double x, double y, std::span<double> g) const {
-    if (g.size() != 2) {
-        throw std::invalid_argument{"CircleMap::weights_at: span size mismatch"};
-    }
+    RRS_CHECK(g.size() == 2, "CircleMap::weights_at",
+              "span size mismatch (got " + std::to_string(g.size()) + ", want 2)");
     const double d = std::hypot(x - cx_, y - cy_) - R_;
     const double outside = std::clamp((d + T_) / (2.0 * T_), 0.0, 1.0);
     g[0] = 1.0 - outside;
@@ -138,12 +131,8 @@ PointMap::PointMap(std::vector<RepresentativePoint> points, double transition_ha
       }()),
       points_(std::move(points)),
       T_(transition_half_width) {
-    if (!(T_ > 0.0)) {
-        throw std::invalid_argument{"PointMap: transition half-width must be positive"};
-    }
-    if (points_.size() < 2) {
-        throw std::invalid_argument{"PointMap: needs at least two points"};
-    }
+    check_positive(T_, "transition_half_width", {"PointMap"});
+    RRS_CHECK(points_.size() >= 2, "PointMap", "needs at least two points");
 }
 
 double PointMap::bisector_distance(double x, double y, double mx, double my, double sx,
@@ -156,9 +145,9 @@ double PointMap::bisector_distance(double x, double y, double mx, double my, dou
 }
 
 void PointMap::weights_at(double x, double y, std::span<double> g) const {
-    if (g.size() != points_.size()) {
-        throw std::invalid_argument{"PointMap::weights_at: span size mismatch"};
-    }
+    RRS_CHECK(g.size() == points_.size(), "PointMap::weights_at",
+              "span size mismatch (got " + std::to_string(g.size()) + ", want " +
+                  std::to_string(points_.size()) + ")");
     // Eq. (40): nearest representative point m*.
     std::size_t mstar = 0;
     double best = std::numeric_limits<double>::infinity();

@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
+#include "core/validate.hpp"
 #include "special/bessel.hpp"
 #include "special/constants.hpp"
 #include "special/gamma.hpp"
@@ -11,9 +11,9 @@
 namespace rrs {
 
 void SurfaceParams::validate() const {
-    if (!(h > 0.0) || !(clx > 0.0) || !(cly > 0.0)) {
-        throw std::invalid_argument{"SurfaceParams: h, clx, cly must be positive"};
-    }
+    check_positive(h, "h", {"SurfaceParams"});
+    check_positive(clx, "cl_x", {"SurfaceParams"});
+    check_positive(cly, "cl_y", {"SurfaceParams"});
 }
 
 Spectrum::Spectrum(SurfaceParams p) : p_(p) { p_.validate(); }
@@ -43,9 +43,8 @@ public:
 class PowerLawSpectrum final : public Spectrum {
 public:
     PowerLawSpectrum(SurfaceParams p, double N) : Spectrum(p), N_(N) {
-        if (!(N > 1.0)) {
-            throw std::invalid_argument{"PowerLawSpectrum: requires N > 1"};
-        }
+        RRS_CHECK(std::isfinite(N) && N > 1.0, "power-law spectrum",
+                  "N must be finite and > 1 (got " + std::to_string(N) + ")");
         log_gamma_nm1_ = log_gamma(N_ - 1.0);
     }
 
@@ -118,9 +117,7 @@ SpectrumPtr make_exponential(SurfaceParams p) {
 }
 
 double correlation_distance(const Spectrum& s, double level) {
-    if (!(level > 0.0) || !(level < 1.0)) {
-        throw std::invalid_argument{"correlation_distance: level must be in (0,1)"};
-    }
+    check_open_unit(level, "level", {"correlation_distance"});
     const double h2 = s.params().h * s.params().h;
     const double target = level * h2;
     // Bracket: ρ decreases monotonically along the axis for these families.
@@ -130,7 +127,9 @@ double correlation_distance(const Spectrum& s, double level) {
         lo = hi;
         hi *= 2.0;
         if (hi > 1e6 * s.params().clx) {
-            throw std::runtime_error{"correlation_distance: failed to bracket"};
+            fail_numeric("failed to bracket the correlation level (spectrum " + s.name() +
+                             ")",
+                         {"correlation_distance"});
         }
     }
     for (int i = 0; i < 200; ++i) {

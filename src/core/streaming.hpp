@@ -11,14 +11,88 @@
 /// bit-identical to a one-shot generation of the full strip (a test
 /// asserts this).  Works with any generator exposing
 /// `Array2D<double> generate(const Rect&) const`.
+///
+/// Robustness contract (see DESIGN.md "Error handling & failure contract"):
+///  * a tile that throws leaves the cursor unchanged, so the caller can
+///    retry the same tile or skip it explicitly;
+///  * `checkpoint()` captures the cursor plus a fingerprint of the
+///    generator's configuration; `StreamCheckpoint` round-trips through a
+///    text serialization, and `resume()` in a fresh process continues the
+///    stream bit-identically to an uninterrupted run (the noise lattice is
+///    a pure function of (seed, coordinate), so no generator state beyond
+///    the fingerprint needs saving);
+///  * `resume()` rejects a checkpoint whose fingerprint does not match the
+///    generator it is being attached to.
 
+#include <concepts>
 #include <cstdint>
-#include <stdexcept>
+#include <sstream>
+#include <string>
 
+#include "core/validate.hpp"
 #include "grid/array2d.hpp"
 #include "grid/rect.hpp"
 
 namespace rrs {
+
+namespace detail {
+
+/// Generator fingerprint when the type provides one; 0 (= "unfingerprinted,
+/// skip the compatibility check") otherwise.
+template <typename Generator>
+std::uint64_t generator_fingerprint(const Generator& gen) {
+    if constexpr (requires {
+                      { gen.fingerprint() } -> std::convertible_to<std::uint64_t>;
+                  }) {
+        return gen.fingerprint();
+    } else {
+        return 0;
+    }
+}
+
+}  // namespace detail
+
+/// Serializable cursor state of a StripStreamer.  Plain text, versioned,
+/// whitespace-separated — diffable and safe to stash next to the output.
+struct StreamCheckpoint {
+    std::int64_t x0 = 0;    ///< strip origin along x
+    std::int64_t nx = 0;    ///< strip width
+    std::int64_t y = 0;     ///< lattice row the next tile starts at
+    std::int64_t rows = 0;  ///< rows per tile
+    std::uint64_t generator_fingerprint = 0;  ///< 0 = unknown generator type
+
+    /// "rrs-checkpoint 1 <x0> <nx> <y> <rows> <fingerprint>".
+    std::string serialize() const {
+        std::ostringstream ss;
+        ss << "rrs-checkpoint 1 " << x0 << ' ' << nx << ' ' << y << ' ' << rows << ' '
+           << generator_fingerprint;
+        return ss.str();
+    }
+
+    /// Inverse of serialize(); throws IoError on malformed or truncated text.
+    static StreamCheckpoint deserialize(const std::string& text) {
+        std::istringstream ss(text);
+        std::string magic;
+        int version = 0;
+        StreamCheckpoint c;
+        if (!(ss >> magic) || magic != "rrs-checkpoint") {
+            fail_io("not a checkpoint (missing 'rrs-checkpoint' magic)",
+                    {"StreamCheckpoint"});
+        }
+        if (!(ss >> version) || version != 1) {
+            fail_io("unsupported checkpoint version " + std::to_string(version),
+                    {"StreamCheckpoint"});
+        }
+        if (!(ss >> c.x0 >> c.nx >> c.y >> c.rows >> c.generator_fingerprint)) {
+            fail_io("truncated or corrupt checkpoint fields", {"StreamCheckpoint"});
+        }
+        check_positive_count(c.nx, "nx", {"StreamCheckpoint"});
+        check_positive_count(c.rows, "rows", {"StreamCheckpoint"});
+        return c;
+    }
+
+    friend bool operator==(const StreamCheckpoint&, const StreamCheckpoint&) = default;
+};
 
 template <typename Generator>
 class StripStreamer {
@@ -28,27 +102,59 @@ public:
     StripStreamer(const Generator& gen, std::int64_t x0, std::int64_t nx, std::int64_t y0,
                   std::int64_t rows_per_tile)
         : gen_(&gen), x0_(x0), nx_(nx), y_(y0), rows_(rows_per_tile) {
-        if (nx <= 0 || rows_per_tile <= 0) {
-            throw std::invalid_argument{"StripStreamer: sizes must be positive"};
+        check_positive_count(nx, "nx", {"StripStreamer"});
+        check_positive_count(rows_per_tile, "rows_per_tile", {"StripStreamer"});
+    }
+
+    /// Re-attach a saved checkpoint to `gen` and continue the stream.  The
+    /// checkpoint's fingerprint must match the generator's (when both are
+    /// known); a mismatch means the checkpoint came from a differently
+    /// configured run and resuming would splice incompatible surfaces.
+    static StripStreamer resume(const Generator& gen, const StreamCheckpoint& c) {
+        const std::uint64_t fp = detail::generator_fingerprint(gen);
+        if (c.generator_fingerprint != 0 && fp != 0 && c.generator_fingerprint != fp) {
+            fail_config("checkpoint fingerprint " +
+                            std::to_string(c.generator_fingerprint) +
+                            " does not match generator fingerprint " + std::to_string(fp),
+                        {"StripStreamer", "resume"});
         }
+        return StripStreamer(gen, c.x0, c.nx, c.y, c.rows);
     }
 
     /// Lattice row the next tile starts at.
     std::int64_t current_y() const noexcept { return y_; }
 
+    /// Snapshot of the cursor + generator fingerprint.  Saving this after
+    /// every delivered tile makes any interruption resumable.
+    StreamCheckpoint checkpoint() const {
+        return StreamCheckpoint{x0_, nx_, y_, rows_, detail::generator_fingerprint(*gen_)};
+    }
+
     /// Generate the next tile ([x0, x0+nx) × [current_y, current_y+rows))
-    /// and advance.
+    /// and advance.  If generation throws, the cursor does NOT advance: the
+    /// caller may retry the identical tile or `skip()` it.
     Array2D<double> next() {
         const Rect tile{x0_, y_, nx_, rows_};
-        y_ += rows_;
-        return gen_->generate(tile);
+        Array2D<double> out = gen_->generate(tile);
+        y_ += rows_;  // only after a successful generate
+        return out;
     }
+
+    /// Advance past the current tile without generating it (explicit
+    /// gap-acceptance after a failed next()).
+    void skip() noexcept { y_ += rows_; }
 
     /// Generate `count` tiles concatenated into one array (helper for
     /// continuity checks and the streaming bench).
     Array2D<double> take(std::int64_t count) {
+        check_positive_count(count, "count", {"StripStreamer", "take"});
+        const std::int64_t total_rows = checked_mul(rows_, count, "rows_per_tile * count",
+                                                    {"StripStreamer", "take"});
+        // The output buffer holds nx * total_rows doubles; reject requests
+        // that overflow 64-bit element counts before allocating.
+        (void)checked_mul(nx_, total_rows, "nx * rows", {"StripStreamer", "take"});
         Array2D<double> out(static_cast<std::size_t>(nx_),
-                            static_cast<std::size_t>(rows_ * count));
+                            static_cast<std::size_t>(total_rows));
         for (std::int64_t t = 0; t < count; ++t) {
             const Array2D<double> tile = next();
             for (std::size_t iy = 0; iy < tile.ny(); ++iy) {

@@ -1,0 +1,88 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace rrs {
+
+namespace {
+
+std::string describe(double value) {
+    std::ostringstream ss;
+    ss << value;
+    return ss.str();
+}
+
+/// Context with the parameter name appended as the innermost frame.
+ErrorContext with_name(ErrorContext context, std::string_view name) {
+    context.emplace_back(name);
+    return context;
+}
+
+}  // namespace
+
+void fail_config(std::string message, ErrorContext context) {
+    throw ConfigError(std::move(message), std::move(context));
+}
+
+void fail_numeric(std::string message, ErrorContext context) {
+    throw NumericError(std::move(message), std::move(context));
+}
+
+void fail_io(std::string message, ErrorContext context) {
+    throw IoError(std::move(message), std::move(context));
+}
+
+void check_finite(double value, std::string_view name, ErrorContext context) {
+    if (!std::isfinite(value)) {
+        fail_config("must be finite (got " + describe(value) + ")",
+                    with_name(std::move(context), name));
+    }
+}
+
+void check_positive(double value, std::string_view name, ErrorContext context) {
+    if (!std::isfinite(value) || !(value > 0.0)) {
+        fail_config("must be positive and finite (got " + describe(value) + ")",
+                    with_name(std::move(context), name));
+    }
+}
+
+void check_nonnegative(double value, std::string_view name, ErrorContext context) {
+    if (!std::isfinite(value) || value < 0.0) {
+        fail_config("must be non-negative and finite (got " + describe(value) + ")",
+                    with_name(std::move(context), name));
+    }
+}
+
+void check_open_unit(double value, std::string_view name, ErrorContext context) {
+    if (!std::isfinite(value) || !(value > 0.0) || !(value < 1.0)) {
+        fail_config("must lie in (0, 1) (got " + describe(value) + ")",
+                    with_name(std::move(context), name));
+    }
+}
+
+void check_positive_count(std::int64_t value, std::string_view name, ErrorContext context) {
+    if (value <= 0) {
+        fail_config("must be positive (got " + std::to_string(value) + ")",
+                    with_name(std::move(context), name));
+    }
+}
+
+void check_not_null(const void* ptr, std::string_view name, ErrorContext context) {
+    if (ptr == nullptr) {
+        fail_config("must not be null", with_name(std::move(context), name));
+    }
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b, std::string_view name,
+                         ErrorContext context) {
+    if (a > 0 && b > 0 && a <= std::numeric_limits<std::int64_t>::max() / b) {
+        return a * b;
+    }
+    fail_config("size " + std::to_string(a) + " * " + std::to_string(b) +
+                    " overflows 64-bit arithmetic",
+                with_name(std::move(context), name));
+}
+
+}  // namespace rrs

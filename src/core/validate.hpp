@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file validate.hpp
+/// Precondition layer over the error taxonomy (error.hpp).
+///
+/// Small, uniformly-named helpers that every boundary of the library calls
+/// before touching a value: `check_positive(h, "h", {"SurfaceParams"})`
+/// throws `ConfigError` with context {"SurfaceParams", "h"} and a message
+/// quoting the offending value.  The RRS_CHECK macro covers one-off
+/// predicates that do not fit a named helper.
+///
+/// All helpers are cheap enough for hot constructors; none allocate on the
+/// success path.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+
+namespace rrs {
+
+/// Throw ConfigError{message, context} (explicit failure entry point).
+[[noreturn]] void fail_config(std::string message, ErrorContext context = {});
+
+/// Throw NumericError{message, context}.
+[[noreturn]] void fail_numeric(std::string message, ErrorContext context = {});
+
+/// Throw IoError{message, context}.
+[[noreturn]] void fail_io(std::string message, ErrorContext context = {});
+
+/// value must be finite (not NaN, not ±Inf).
+void check_finite(double value, std::string_view name, ErrorContext context = {});
+
+/// value must be finite and > 0.
+void check_positive(double value, std::string_view name, ErrorContext context = {});
+
+/// value must be finite and >= 0.
+void check_nonnegative(double value, std::string_view name, ErrorContext context = {});
+
+/// value must be finite and strictly inside (0, 1).
+void check_open_unit(double value, std::string_view name, ErrorContext context = {});
+
+/// Integral count must be > 0.
+void check_positive_count(std::int64_t value, std::string_view name,
+                          ErrorContext context = {});
+
+/// Pointer must be non-null.
+void check_not_null(const void* ptr, std::string_view name, ErrorContext context = {});
+
+/// a * b must not overflow int64 (both assumed > 0); returns the product.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b, std::string_view name,
+                         ErrorContext context = {});
+
+}  // namespace rrs
+
+/// One-off predicate check: RRS_CHECK(rows > 0, "StripStreamer",
+/// "rows_per_tile must be positive") throws ConfigError with context
+/// {"StripStreamer"} when the condition is false.
+#define RRS_CHECK(cond, component, msg)                          \
+    do {                                                         \
+        if (!(cond)) {                                           \
+            ::rrs::fail_config((msg), {std::string{component}}); \
+        }                                                        \
+    } while (false)

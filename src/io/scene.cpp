@@ -1,10 +1,13 @@
 #include "io/scene.hpp"
 
 #include <cmath>
+#include <initializer_list>
 #include <istream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <sstream>
+#include <string_view>
 
 #include "core/inhomogeneous.hpp"
 #include "core/polygon_map.hpp"
@@ -13,8 +16,24 @@
 
 namespace rrs {
 
+namespace {
+
+ErrorContext scene_context(std::size_t line, ErrorContext inner) {
+    ErrorContext context;
+    context.reserve(inner.size() + 1);
+    context.push_back("scene:" + std::to_string(line));
+    context.insert(context.end(), std::make_move_iterator(inner.begin()),
+                   std::make_move_iterator(inner.end()));
+    return context;
+}
+
+}  // namespace
+
 SceneError::SceneError(std::size_t line, const std::string& message)
-    : std::runtime_error("scene:" + std::to_string(line) + ": " + message), line_(line) {}
+    : ConfigError(message, scene_context(line, {})), line_(line) {}
+
+SceneError::SceneError(std::size_t line, const std::string& message, ErrorContext inner)
+    : ConfigError(message, scene_context(line, std::move(inner))), line_(line) {}
 
 namespace {
 
@@ -105,7 +124,36 @@ std::vector<double> parse_numbers(const Section& sec, const std::string& key,
     return out;
 }
 
+/// Reject keys outside `allowed`, naming the offending line.  Unknown keys
+/// were historically ignored, which silently hid typos like `clx` vs `cl`.
+void reject_unknown_keys(const Section& sec,
+                         std::initializer_list<std::string_view> allowed,
+                         const std::string& where) {
+    for (const auto& [k, v, line] : sec.entries) {
+        bool known = false;
+        for (const std::string_view a : allowed) {
+            if (k == a) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::string list;
+            for (const std::string_view a : allowed) {
+                if (!list.empty()) {
+                    list += ", ";
+                }
+                list += a;
+            }
+            throw SceneError(line, "unknown key '" + k + "' in " + where +
+                                       " (allowed: " + list + ")");
+        }
+    }
+}
+
 SpectrumPtr build_spectrum(const Section& sec) {
+    reject_unknown_keys(sec, {"family", "h", "cl", "N", "rotate"},
+                        "[spectrum " + sec.name + "]");
     const std::string family = sec.get("family");
     if (family.empty()) {
         throw SceneError(sec.line, "spectrum '" + sec.name + "' missing 'family'");
@@ -129,6 +177,16 @@ SpectrumPtr build_spectrum(const Section& sec) {
         if (sec.has("rotate")) {
             s = rotate_spectrum(s, parse_numbers(sec, "rotate", 1, 1)[0]);
         }
+    } catch (const SceneError&) {
+        throw;  // already line-numbered
+    } catch (const ConfigError& e) {
+        // Preserve the inner context chain under "spectrum 'NAME'", e.g.
+        // scene:4 → spectrum 'sea' → SurfaceParams → cl_x: must be positive.
+        ErrorContext inner;
+        inner.reserve(e.context().size() + 1);
+        inner.push_back("spectrum '" + sec.name + "'");
+        inner.insert(inner.end(), e.context().begin(), e.context().end());
+        throw SceneError(sec.line, e.message(), std::move(inner));
     } catch (const std::invalid_argument& e) {
         throw SceneError(sec.line, std::string{"spectrum '"} + sec.name + "': " + e.what());
     }
@@ -155,12 +213,16 @@ RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumP
     }
     try {
         if (type == "homogeneous") {
+            reject_unknown_keys(sec, {"type", "spectrum"}, "[map] type homogeneous");
             // A single unbounded plate reproduces the homogeneous generator.
             const SpectrumPtr s = lookup(spectra, sec, "spectrum");
             return std::make_shared<const PlateMap>(
                 std::vector<Plate>{{-1e18, 1e18, -1e18, 1e18, s}}, 1.0);
         }
         if (type == "circle") {
+            reject_unknown_keys(
+                sec, {"type", "center", "radius", "transition", "inside", "outside"},
+                "[map] type circle");
             const auto c = parse_numbers(sec, "center", 2, 2);
             return std::make_shared<const CircleMap>(
                 c[0], c[1], parse_numbers(sec, "radius", 1, 1)[0],
@@ -168,6 +230,9 @@ RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumP
                 parse_numbers(sec, "transition", 1, 1)[0]);
         }
         if (type == "quadrant") {
+            reject_unknown_keys(
+                sec, {"type", "center", "extent", "transition", "q1", "q2", "q3", "q4"},
+                "[map] type quadrant");
             const auto c = parse_numbers(sec, "center", 2, 2);
             return make_quadrant_map(c[0], c[1], parse_numbers(sec, "extent", 1, 1)[0],
                                      lookup(spectra, sec, "q1"), lookup(spectra, sec, "q2"),
@@ -175,6 +240,7 @@ RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumP
                                      parse_numbers(sec, "transition", 1, 1)[0]);
         }
         if (type == "plates") {
+            reject_unknown_keys(sec, {"type", "transition", "plate"}, "[map] type plates");
             std::vector<Plate> plates;
             for (const auto& [k, v, line] : sec.entries) {
                 if (k != "plate") {
@@ -200,6 +266,8 @@ RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumP
                 std::move(plates), parse_numbers(sec, "transition", 1, 1)[0]);
         }
         if (type == "polygon") {
+            reject_unknown_keys(sec, {"type", "transition", "inside", "outside", "vertex"},
+                                "[map] type polygon");
             std::vector<PolyVertex> verts;
             for (const auto& [k, v, line] : sec.entries) {
                 if (k != "vertex") {
@@ -220,6 +288,7 @@ RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumP
                 lookup(spectra, sec, "outside"), parse_numbers(sec, "transition", 1, 1)[0]);
         }
         if (type == "points") {
+            reject_unknown_keys(sec, {"type", "transition", "point"}, "[map] type points");
             std::vector<RepresentativePoint> pts;
             for (const auto& [k, v, line] : sec.entries) {
                 if (k != "point") {
@@ -242,6 +311,14 @@ RegionMapPtr build_map(const Section& sec, const std::map<std::string, SpectrumP
             return std::make_shared<const PointMap>(
                 std::move(pts), parse_numbers(sec, "transition", 1, 1)[0]);
         }
+    } catch (const SceneError&) {
+        throw;  // already line-numbered
+    } catch (const ConfigError& e) {
+        ErrorContext inner;
+        inner.reserve(e.context().size() + 1);
+        inner.push_back("[map]");
+        inner.insert(inner.end(), e.context().begin(), e.context().end());
+        throw SceneError(sec.line, e.message(), std::move(inner));
     } catch (const std::invalid_argument& e) {
         throw SceneError(sec.line, std::string{"[map]: "} + e.what());
     }
@@ -296,6 +373,9 @@ Scene parse_scene(std::istream& in) {
     // Top-level settings.
     Scene scene;
     const Section& top = sections.front();
+    reject_unknown_keys(
+        top, {"seed", "kernel_grid", "region", "tail_eps", "origin", "output", "health"},
+        "top-level settings");
     if (top.has("seed")) {
         scene.seed =
             static_cast<std::uint64_t>(parse_numbers(top, "seed", 1, 1)[0]);
@@ -320,6 +400,13 @@ Scene parse_scene(std::istream& in) {
     }
     if (top.has("output")) {
         scene.outputs = split_ws(top.get("output"));
+    }
+    if (top.has("health")) {
+        try {
+            scene.health = parse_health_policy(top.get("health"));
+        } catch (const ConfigError& e) {
+            throw SceneError(top.line_of("health"), e.message(), e.context());
+        }
     }
     try {
         scene.kernel_grid.validate();
@@ -364,6 +451,7 @@ Array2D<double> render_scene(const Scene& scene) {
     opt.kernel_tail_eps = scene.tail_eps;
     opt.origin_x = scene.origin_x;
     opt.origin_y = scene.origin_y;
+    opt.health = scene.health;
     const InhomogeneousGenerator gen(scene.map, scene.kernel_grid, scene.seed, opt);
     return gen.generate(scene.region);
 }
@@ -382,8 +470,9 @@ void write_scene_outputs(const Scene& scene, const Array2D<double>& surface) {
             write_gnuplot_surface(path, surface, static_cast<double>(scene.region.x0),
                                   static_cast<double>(scene.region.y0));
         } else {
-            throw std::invalid_argument{"write_scene_outputs: unknown extension on '" +
-                                        path + "'"};
+            throw ConfigError{"unknown output extension on '" + path +
+                                  "' (expected .pgm, .csv, .npy, or .dat)",
+                              {"write_scene_outputs"}};
         }
     }
 }

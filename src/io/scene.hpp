@@ -39,11 +39,12 @@
 /// exponential, power-law (with `N = ...`); optional `rotate = radians`.
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/grid_spec.hpp"
+#include "core/health.hpp"
 #include "core/region_map.hpp"
 #include "grid/array2d.hpp"
 #include "grid/rect.hpp"
@@ -58,6 +59,9 @@ struct Scene {
     double tail_eps = 1e-6;
     double origin_x = 0.0;
     double origin_y = 0.0;
+    /// Numeric health policy for rendering (`health = throw|report|ignore`;
+    /// the rrsgen `--health` flag overrides it).
+    HealthPolicy health = HealthPolicy::kReport;
     RegionMapPtr map;                  ///< built blending map (never null)
     std::vector<std::string> outputs;  ///< format chosen by extension
 };
@@ -69,10 +73,15 @@ Scene parse_scene(std::istream& in);
 /// Convenience overload for in-memory text.
 Scene parse_scene_text(const std::string& text);
 
-/// Parse errors carry the offending 1-based line number.
-class SceneError : public std::runtime_error {
+/// Parse errors carry the offending 1-based line number.  Part of the
+/// library error taxonomy (error.hpp): a SceneError IS-A ConfigError whose
+/// outermost context frame is "scene:<line>".
+class SceneError : public ConfigError {
 public:
     SceneError(std::size_t line, const std::string& message);
+
+    /// Wrap an inner error's context chain under the "scene:<line>" frame.
+    SceneError(std::size_t line, const std::string& message, ErrorContext inner);
 
     std::size_t line() const noexcept { return line_; }
 

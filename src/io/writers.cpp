@@ -4,7 +4,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
-#include <stdexcept>
+
+#include "core/error.hpp"
 
 namespace rrs {
 
@@ -13,7 +14,7 @@ namespace {
 std::ofstream open_or_throw(const std::string& path, std::ios::openmode mode = std::ios::out) {
     std::ofstream out(path, mode);
     if (!out) {
-        throw std::runtime_error{"cannot open for writing: " + path};
+        throw IoError{"cannot open for writing: " + path, {"writers"}};
     }
     return out;
 }
@@ -47,7 +48,7 @@ void write_gnuplot_surface(const std::string& path, const Array2D<double>& a, do
 
 void write_pgm16(const std::string& path, const Array2D<double>& a) {
     if (a.empty()) {
-        throw std::invalid_argument{"write_pgm16: empty array"};
+        throw ConfigError{"empty array", {"write_pgm16"}};
     }
     const auto [mn_it, mx_it] = std::minmax_element(a.begin(), a.end());
     const double lo = *mn_it;
@@ -89,7 +90,9 @@ void write_npy(const std::string& path, const Array2D<double>& a) {
 void write_curve_csv(const std::string& path, const std::vector<double>& xs,
                      const std::vector<double>& ys) {
     if (xs.size() != ys.size()) {
-        throw std::invalid_argument{"write_curve_csv: length mismatch"};
+        throw ConfigError{"xs and ys length mismatch (" + std::to_string(xs.size()) +
+                              " vs " + std::to_string(ys.size()) + ")",
+                          {"write_curve_csv"}};
     }
     auto out = open_or_throw(path);
     out.precision(10);

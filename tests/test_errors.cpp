@@ -1,0 +1,423 @@
+// Negative-path coverage for the error taxonomy (core/error.hpp), the
+// precondition layer (core/validate.hpp), the numeric health guards
+// (core/health.hpp), and checkpoint/resume streaming (core/streaming.hpp).
+//
+// Every invalid input must throw a subclass of rrs::Error whose what()
+// renders the context chain; checkpoint restore must be bit-identical to an
+// uninterrupted run; a failed tile must leave the stream cursor unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/convolution.hpp"
+#include "core/error.hpp"
+#include "core/grid_spec.hpp"
+#include "core/health.hpp"
+#include "core/spectrum.hpp"
+#include "core/streaming.hpp"
+#include "core/validate.hpp"
+#include "io/scene.hpp"
+#include "io/writers.hpp"
+
+namespace rrs {
+namespace {
+
+// Run `fn`, require it to throw E, and return the caught error by value so
+// the caller can inspect the context chain.  A wrong-type exception (or no
+// exception) propagates a failure out of the test body.
+template <typename E, typename Fn>
+E capture(Fn&& fn) {
+    try {
+        fn();
+    } catch (const E& e) {
+        return e;
+    }
+    ADD_FAILURE() << "did not throw the expected exception type";
+    throw std::logic_error("expected exception was not thrown");
+}
+
+ConvolutionGenerator make_gen(std::uint64_t seed,
+                              HealthPolicy health = HealthPolicy::kIgnore) {
+    const auto s = make_gaussian({1.0, 6.0, 6.0});
+    return ConvolutionGenerator(
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(64, 64), 1e-8),
+        seed, health);
+}
+
+// ---------------------------------------------------------------------------
+// Taxonomy shape
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomy, ConfigErrorIsInvalidArgumentAndError) {
+    const ConfigError e{"must be positive (got -2)", {"spectrum 'sea'", "cl_x"}};
+    EXPECT_STREQ(e.what(), "spectrum 'sea' → cl_x: must be positive (got -2)");
+    EXPECT_EQ(e.message(), "must be positive (got -2)");
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.context()[0], "spectrum 'sea'");
+
+    // Catchable through both inheritance arms.
+    const auto thrower = [&] { throw ConfigError{e.message(), e.context()}; };
+    EXPECT_THROW(thrower(), std::invalid_argument);
+    EXPECT_THROW(thrower(), Error);
+}
+
+TEST(ErrorTaxonomy, NumericAndIoErrorsAreRuntimeErrors) {
+    EXPECT_THROW(throw NumericError{"NaN"}, std::runtime_error);
+    EXPECT_THROW(throw NumericError{"NaN"}, Error);
+    EXPECT_THROW(throw IoError{"corrupt"}, std::runtime_error);
+    EXPECT_THROW(throw IoError{"corrupt"}, Error);
+    // Empty chain renders the bare message.
+    EXPECT_STREQ(IoError{"corrupt"}.what(), "corrupt");
+}
+
+TEST(ErrorTaxonomy, RethrowWithContextPrependsFrame) {
+    const auto e = capture<NumericError>([] {
+        try {
+            throw NumericError{"negative density", {"sqrt_weight_array"}};
+        } catch (const NumericError& inner) {
+            rethrow_with_context(inner, "spectrum 'sea'");
+        }
+    });
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.context()[0], "spectrum 'sea'");
+    EXPECT_EQ(e.context()[1], "sqrt_weight_array");
+}
+
+// ---------------------------------------------------------------------------
+// Precondition layer: invalid parameters carry a context chain
+// ---------------------------------------------------------------------------
+
+TEST(Preconditions, SurfaceParamsRejectNonPositiveH) {
+    const auto e = capture<ConfigError>([] { SurfaceParams{-1.0, 5.0, 5.0}.validate(); });
+    EXPECT_NE(std::string{e.what()}.find("SurfaceParams"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("h"), std::string::npos);
+}
+
+TEST(Preconditions, SurfaceParamsRejectNaNCorrelationLength) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(SurfaceParams({1.0, nan, 5.0}).validate(), ConfigError);
+    EXPECT_THROW(SurfaceParams({1.0, 5.0, -2.0}).validate(), ConfigError);
+}
+
+TEST(Preconditions, GridSpecRejectsBadSizes) {
+    const auto e = capture<ConfigError>([] {
+        GridSpec g;
+        g.Lx = -3.0;
+        g.Ly = 1.0;
+        g.Nx = 16;
+        g.Ny = 16;
+        g.validate();
+    });
+    EXPECT_NE(std::string{e.what()}.find("GridSpec"), std::string::npos);
+    GridSpec odd = GridSpec::unit_spacing(16, 16);
+    odd.Nx = 15;  // must be even
+    EXPECT_THROW(odd.validate(), ConfigError);
+}
+
+TEST(Preconditions, TruncatedKernelRejectsBadTailEps) {
+    const auto s = make_gaussian({1.0, 6.0, 6.0});
+    const auto grid = GridSpec::unit_spacing(64, 64);
+    EXPECT_THROW(ConvolutionKernel::build_truncated(*s, grid, 0.0), ConfigError);
+    EXPECT_THROW(ConvolutionKernel::build_truncated(*s, grid, 1.5), ConfigError);
+}
+
+TEST(Preconditions, CheckedMulDetectsOverflow) {
+    EXPECT_EQ(checked_mul(1 << 20, 1 << 20, "n"), std::int64_t{1} << 40);
+    const auto e = capture<ConfigError>(
+        [] { checked_mul(std::int64_t{1} << 32, std::int64_t{1} << 32, "n", {"take"}); });
+    EXPECT_NE(std::string{e.what()}.find("overflow"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Scene parser hardening
+// ---------------------------------------------------------------------------
+
+TEST(SceneErrors, UnknownTopLevelKeyNamesLine) {
+    const auto e = capture<SceneError>(
+        [] { parse_scene_text("seed = 1\nbanana = 2\n"); });
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string{e.what()}.find("scene:2"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("unknown key 'banana'"), std::string::npos);
+}
+
+TEST(SceneErrors, UnknownSpectrumKeyListsAllowedKeys) {
+    const std::string text =
+        "[spectrum sea]\nfamily = gaussian\nh = 1\nclx = 5\n";
+    const auto e = capture<SceneError>([&] { parse_scene_text(text); });
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string{e.what()}.find("unknown key 'clx'"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("cl"), std::string::npos);  // allowed list
+}
+
+TEST(SceneErrors, DuplicateSpectrumNameRejected) {
+    const std::string text =
+        "[spectrum sea]\nfamily = gaussian\nh = 1\ncl = 5\n"
+        "[spectrum sea]\nfamily = exponential\nh = 1\ncl = 5\n";
+    const auto e = capture<SceneError>([&] { parse_scene_text(text); });
+    EXPECT_EQ(e.line(), 5u);
+    EXPECT_NE(std::string{e.what()}.find("duplicate spectrum 'sea'"), std::string::npos);
+}
+
+TEST(SceneErrors, BadSpectrumValueKeepsContextChain) {
+    const std::string text =
+        "region = 0 0 8 8\n"
+        "[spectrum sea]\nfamily = gaussian\nh = -1\ncl = 5\n"
+        "[map]\ntype = homogeneous\nspectrum = sea\n";
+    const auto e = capture<SceneError>([&] { parse_scene_text(text); });
+    const std::string what = e.what();
+    // scene:<line> → spectrum 'sea' → SurfaceParams → h: ...
+    EXPECT_NE(what.find("scene:"), std::string::npos);
+    EXPECT_NE(what.find("spectrum 'sea'"), std::string::npos);
+    EXPECT_NE(what.find("h"), std::string::npos);
+}
+
+TEST(SceneErrors, MalformedNumberAndBadHealthValue) {
+    EXPECT_THROW(parse_scene_text("seed = pear\n"), SceneError);
+    const auto e = capture<SceneError>([] { parse_scene_text("health = loud\n"); });
+    EXPECT_NE(std::string{e.what()}.find("health"), std::string::npos);
+}
+
+TEST(SceneErrors, SceneErrorIsConfigError) {
+    // The legacy test-suite catches std::invalid_argument; the taxonomy adds
+    // ConfigError and Error views of the same exception.
+    EXPECT_THROW(parse_scene_text("= 1\n"), std::invalid_argument);
+    EXPECT_THROW(parse_scene_text("= 1\n"), ConfigError);
+    EXPECT_THROW(parse_scene_text("= 1\n"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Numeric health guards
+// ---------------------------------------------------------------------------
+
+TEST(Health, ParsePolicyRoundTripsAndRejectsJunk) {
+    EXPECT_EQ(parse_health_policy("throw"), HealthPolicy::kThrow);
+    EXPECT_EQ(parse_health_policy("report"), HealthPolicy::kReport);
+    EXPECT_EQ(parse_health_policy("ignore"), HealthPolicy::kIgnore);
+    EXPECT_EQ(health_policy_name(HealthPolicy::kThrow), "throw");
+    const auto e = capture<ConfigError>([] { (void)parse_health_policy("loud"); });
+    EXPECT_NE(std::string{e.what()}.find("health"), std::string::npos);
+}
+
+TEST(Health, ScanCountsNaNAndInf) {
+    Array2D<double> f(8, 8);
+    f.fill(1.0);
+    f(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    f(1, 0) = std::numeric_limits<double>::infinity();
+    f(2, 0) = -std::numeric_limits<double>::infinity();
+    const SurfaceHealth h = scan_surface(f);
+    EXPECT_EQ(h.count, 64u);
+    EXPECT_EQ(h.nan_count, 1u);
+    EXPECT_EQ(h.inf_count, 2u);
+    EXPECT_FALSE(h.finite());
+    EXPECT_DOUBLE_EQ(h.min, 1.0);  // non-finite samples excluded from min/max
+    EXPECT_DOUBLE_EQ(h.max, 1.0);
+}
+
+TEST(Health, PolicyDecidesThrowReportIgnore) {
+    Array2D<double> f(8, 8);
+    f.fill(0.5);
+    f(3, 3) = std::numeric_limits<double>::quiet_NaN();
+    const SurfaceHealth h = scan_surface(f);
+    const auto e = capture<NumericError>(
+        [&] { apply_policy(h, HealthPolicy::kThrow, {"ConvolutionGenerator"}); });
+    EXPECT_NE(std::string{e.what()}.find("ConvolutionGenerator"), std::string::npos);
+    EXPECT_NO_THROW(apply_policy(h, HealthPolicy::kReport, {"ConvolutionGenerator"}));
+    EXPECT_NO_THROW(apply_policy(h, HealthPolicy::kIgnore, {"ConvolutionGenerator"}));
+}
+
+TEST(Health, ImplausibleRmsTripsOnlyWithEnoughSamples) {
+    // 64×64 = 4096 samples of constant 1.0 against target RMS 1e-4: three
+    // orders of magnitude off → implausible.
+    Array2D<double> f(64, 64);
+    f.fill(1.0);
+    EXPECT_FALSE(scan_surface(f, 1e-4).plausible());
+    EXPECT_TRUE(scan_surface(f, 1.0).plausible());
+    // A tiny tile must never be judged: 16 samples is sampling noise.
+    Array2D<double> tiny(4, 4);
+    tiny.fill(1.0);
+    EXPECT_TRUE(scan_surface(tiny, 1e-4).plausible());
+}
+
+TEST(Health, KernelEnergyGuard) {
+    // A well-resolved kernel conserves energy...
+    const auto s = make_gaussian({1.0, 6.0, 6.0});
+    const auto k = ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(64, 64),
+                                                      1e-8);
+    const KernelHealth good = kernel_health(k);
+    EXPECT_TRUE(good.ok(kDefaultKernelEnergyTol));
+    EXPECT_NO_THROW(apply_policy(good, HealthPolicy::kThrow, kDefaultKernelEnergyTol,
+                                 {"ConvolutionGenerator", "kernel"}));
+    // ...and a synthetic 40% energy loss trips the guard under kThrow only.
+    const KernelHealth bad{0.6, 1.0};
+    EXPECT_FALSE(bad.ok(kDefaultKernelEnergyTol));
+    const auto e = capture<NumericError>([&] {
+        apply_policy(bad, HealthPolicy::kThrow, kDefaultKernelEnergyTol, {"kernel"});
+    });
+    EXPECT_NE(std::string{e.what()}.find("kernel"), std::string::npos);
+    EXPECT_NO_THROW(
+        apply_policy(bad, HealthPolicy::kIgnore, kDefaultKernelEnergyTol, {"kernel"}));
+}
+
+TEST(Health, HealthyGenerationPassesUnderThrow) {
+    // End-to-end: a correctly configured generator must survive kThrow.
+    const auto gen = make_gen(7, HealthPolicy::kThrow);
+    EXPECT_NO_THROW((void)gen.generate(Rect{0, 0, 64, 64}));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, SerializeDeserializeRoundTrip) {
+    const StreamCheckpoint c{-40, 96, 1234, 16, 0x9e3779b97f4a7c15ULL};
+    const StreamCheckpoint back = StreamCheckpoint::deserialize(c.serialize());
+    EXPECT_EQ(back, c);
+}
+
+TEST(Checkpoint, DeserializeRejectsGarbage) {
+    EXPECT_THROW(StreamCheckpoint::deserialize(""), IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize("not-a-checkpoint 1 0 8 0 8 0"), IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 9 0 8 0 8 0"), IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 1 0 8"), IoError);
+    // Structurally valid but nonsensical sizes are configuration errors.
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 1 0 0 0 8 0"), ConfigError);
+}
+
+TEST(Checkpoint, ResumeRejectsFingerprintMismatch) {
+    const auto gen_a = make_gen(1);
+    const auto gen_b = make_gen(2);  // different seed → different fingerprint
+    ASSERT_NE(gen_a.fingerprint(), gen_b.fingerprint());
+    ASSERT_NE(gen_a.fingerprint(), 0u);
+
+    StripStreamer streamer(gen_a, 0, 32, 0, 8);
+    const StreamCheckpoint c = streamer.checkpoint();
+    EXPECT_EQ(c.generator_fingerprint, gen_a.fingerprint());
+    const auto e = capture<ConfigError>(
+        [&] { (void)StripStreamer<ConvolutionGenerator>::resume(gen_b, c); });
+    EXPECT_NE(std::string{e.what()}.find("fingerprint"), std::string::npos);
+    EXPECT_NO_THROW((void)StripStreamer<ConvolutionGenerator>::resume(gen_a, c));
+}
+
+TEST(Checkpoint, ResumeIsBitIdenticalToUninterruptedRun) {
+    // Stream 2 of 6 tiles, checkpoint through the text round-trip, resume on
+    // a freshly constructed generator (as a new process would), and require
+    // the stitched surface to equal an uninterrupted streamed run *exactly*
+    // — same tile geometry, so even FFT rounding must agree bit-for-bit.
+    const auto gen = make_gen(21);
+    StripStreamer streamer(gen, -8, 48, 0, 16);
+    const auto first = streamer.take(2);  // rows [0, 32)
+    const std::string saved = streamer.checkpoint().serialize();
+
+    const auto gen2 = make_gen(21);  // same configuration, new object
+    auto resumed = StripStreamer<ConvolutionGenerator>::resume(
+        gen2, StreamCheckpoint::deserialize(saved));
+    EXPECT_EQ(resumed.current_y(), 32);
+    const auto rest = resumed.take(4);  // rows [32, 96)
+
+    StripStreamer uninterrupted_streamer(gen, -8, 48, 0, 16);
+    const auto uninterrupted = uninterrupted_streamer.take(6);
+    ASSERT_EQ(uninterrupted.ny(), first.ny() + rest.ny());
+    Array2D<double> stitched(uninterrupted.nx(), uninterrupted.ny());
+    for (std::size_t iy = 0; iy < stitched.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < stitched.nx(); ++ix) {
+            stitched(ix, iy) = iy < first.ny() ? first(ix, iy)
+                                               : rest(ix, iy - first.ny());
+        }
+    }
+    EXPECT_EQ(stitched, uninterrupted);  // bit-identical, not approximate
+
+    // And the stitched stream still matches a one-shot generation to within
+    // FFT rounding (the pre-existing continuity guarantee).
+    const auto oneshot = gen.generate(Rect{-8, 0, 48, 96});
+    EXPECT_LT(max_abs_diff(stitched, oneshot), 1e-12);
+}
+
+// A generator that fails on demand: proves the cursor stays put on failure.
+struct FlakyGenerator {
+    mutable int failures_left = 0;
+
+    Array2D<double> generate(const Rect& r) const {
+        if (failures_left > 0) {
+            --failures_left;
+            fail_numeric("injected tile failure", {"FlakyGenerator"});
+        }
+        Array2D<double> out(static_cast<std::size_t>(r.nx),
+                            static_cast<std::size_t>(r.ny));
+        for (std::size_t iy = 0; iy < out.ny(); ++iy) {
+            for (std::size_t ix = 0; ix < out.nx(); ++ix) {
+                out(ix, iy) = static_cast<double>(r.x0 + static_cast<std::int64_t>(ix)) +
+                              1e3 * static_cast<double>(r.y0 + static_cast<std::int64_t>(iy));
+            }
+        }
+        return out;
+    }
+};
+
+TEST(Checkpoint, FailedTileLeavesCursorUnchangedAndRetryWorks) {
+    FlakyGenerator gen;
+    StripStreamer streamer(gen, 0, 4, 0, 2);
+    (void)streamer.next();
+    ASSERT_EQ(streamer.current_y(), 2);
+
+    gen.failures_left = 1;
+    EXPECT_THROW((void)streamer.next(), NumericError);
+    EXPECT_EQ(streamer.current_y(), 2);  // cursor did not advance
+
+    // Retrying yields exactly the tile the failed call would have produced.
+    const auto tile = streamer.next();
+    EXPECT_EQ(streamer.current_y(), 4);
+    EXPECT_DOUBLE_EQ(tile(0, 0), 2e3);  // row y=2
+
+    // Or the caller may accept a gap explicitly.
+    gen.failures_left = 1;
+    EXPECT_THROW((void)streamer.next(), NumericError);
+    streamer.skip();
+    EXPECT_EQ(streamer.current_y(), 6);
+}
+
+TEST(Checkpoint, UnfingerprintedGeneratorSkipsCompatibilityCheck) {
+    // FlakyGenerator has no fingerprint(): checkpoints record 0 and resume
+    // never rejects (nothing to compare).
+    FlakyGenerator gen;
+    StripStreamer streamer(gen, 0, 4, 10, 2);
+    const StreamCheckpoint c = streamer.checkpoint();
+    EXPECT_EQ(c.generator_fingerprint, 0u);
+    auto resumed = StripStreamer<FlakyGenerator>::resume(gen, c);
+    EXPECT_EQ(resumed.current_y(), 10);
+}
+
+TEST(Streaming, TakeRejectsBadCountsAndOverflow) {
+    const FlakyGenerator gen;
+    StripStreamer streamer(gen, 0, 4, 0, std::int64_t{1} << 32);
+    EXPECT_THROW((void)streamer.take(0), ConfigError);
+    EXPECT_THROW((void)streamer.take(-3), ConfigError);
+    // rows_per_tile * count overflows int64 → rejected before allocating.
+    EXPECT_THROW((void)streamer.take(std::int64_t{1} << 32), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// I/O failures
+// ---------------------------------------------------------------------------
+
+TEST(IoErrors, WritersThrowTaxonomyErrors) {
+    Array2D<double> f(2, 2);
+    f.fill(0.0);
+    EXPECT_THROW(write_csv("/nonexistent-dir-rrs/x.csv", f), IoError);
+    EXPECT_THROW(write_pgm16("/tmp/x.pgm", Array2D<double>{}), ConfigError);
+    EXPECT_THROW(write_curve_csv("/tmp/x.csv", {1.0, 2.0}, {1.0}), ConfigError);
+}
+
+TEST(IoErrors, UnknownOutputExtensionIsConfigError) {
+    Scene scene;
+    scene.outputs = {"surface.bmp"};
+    Array2D<double> f(2, 2);
+    f.fill(0.0);
+    const auto e = capture<ConfigError>([&] { write_scene_outputs(scene, f); });
+    EXPECT_NE(std::string{e.what()}.find("surface.bmp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrs

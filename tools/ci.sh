@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI driver: build + run the full test suite, then repeat the whole suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer (the `sanitize` preset
+# in CMakePresets.json).  Any sanitizer report is fatal
+# (-fno-sanitize-recover=all), so a green run means the suite is clean.
+#
+#   tools/ci.sh             # release + sanitize
+#   tools/ci.sh release     # release only
+#   tools/ci.sh sanitize    # sanitize only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+    local preset=$1
+    local dir="build"
+    [[ "$preset" == "sanitize" ]] && dir="build-sanitize"
+    # The presets use Ninja; a binary dir configured by hand with another
+    # generator cannot be reused — start it fresh instead of erroring out.
+    if [[ -f "$dir/CMakeCache.txt" ]] &&
+        ! grep -q '^CMAKE_GENERATOR:INTERNAL=Ninja$' "$dir/CMakeCache.txt"; then
+        echo "==> [$preset] $dir was configured with another generator; wiping it"
+        rm -rf "$dir"
+    fi
+    echo "==> [$preset] configure"
+    cmake --preset "$preset"
+    echo "==> [$preset] build"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    echo "==> [$preset] test"
+    ctest --preset "$preset" -j "$(nproc)"
+}
+
+want=${1:-all}
+case "$want" in
+    release)  run_preset release ;;
+    sanitize) run_preset sanitize ;;
+    all)      run_preset release; run_preset sanitize ;;
+    *)        echo "usage: tools/ci.sh [release|sanitize|all]" >&2; exit 2 ;;
+esac
+echo "==> ci: all requested suites passed"

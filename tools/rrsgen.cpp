@@ -4,13 +4,18 @@
 // the surface with the inhomogeneous convolution method, prints summary
 // statistics, and writes the declared outputs.
 //
-//   rrsgen SCENE.rrs [--seed N] [--print-stats]
+//   rrsgen SCENE.rrs [--seed N] [--print-stats] [--health MODE]
 //   rrsgen --example            # print a ready-to-run example scene
+//
+// --health MODE (throw | report | ignore) overrides the scene's numeric
+// health policy: `throw` aborts on NaN/Inf or implausible statistics,
+// `report` prints a diagnostic and keeps going, `ignore` skips the guards.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "core/error.hpp"
 #include "io/scene.hpp"
 #include "stats/moments.hpp"
 
@@ -43,8 +48,10 @@ outside = field
 )";
 
 int usage() {
-    std::cerr << "usage: rrsgen SCENE.rrs [--seed N] [--print-stats]\n"
-                 "       rrsgen --example   (print an example scene file)\n";
+    std::cerr << "usage: rrsgen SCENE.rrs [--seed N] [--print-stats] [--health MODE]\n"
+                 "       rrsgen --example   (print an example scene file)\n"
+                 "  --health MODE   numeric health policy: throw | report | ignore\n"
+                 "                  (default: the scene's 'health =' key, else report)\n";
     return 2;
 }
 
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
 
     bool print_stats = false;
     bool override_seed = false;
+    bool override_health = false;
+    HealthPolicy health = HealthPolicy::kReport;
     std::uint64_t seed = 0;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--print-stats") == 0) {
@@ -69,6 +78,14 @@ int main(int argc, char** argv) {
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             override_seed = true;
             seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--health") == 0 && i + 1 < argc) {
+            override_health = true;
+            try {
+                health = parse_health_policy(argv[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << "rrsgen: " << e.what() << "\n";
+                return usage();
+            }
         } else {
             return usage();
         }
@@ -84,9 +101,13 @@ int main(int argc, char** argv) {
         if (override_seed) {
             scene.seed = seed;
         }
+        if (override_health) {
+            scene.health = health;
+        }
         std::cerr << "rrsgen: rendering " << scene.region.nx << "x" << scene.region.ny
                   << " surface (" << scene.map->region_count() << " region(s), seed "
-                  << scene.seed << ")\n";
+                  << scene.seed << ", health " << health_policy_name(scene.health)
+                  << ")\n";
         const Array2D<double> f = render_scene(scene);
         write_scene_outputs(scene, f);
         for (const auto& path : scene.outputs) {
@@ -97,6 +118,10 @@ int main(int argc, char** argv) {
             std::cout << "points " << m.count << "\nmean " << m.mean << "\nstddev "
                       << m.stddev << "\nmin " << m.min << "\nmax " << m.max << "\n";
         }
+    } catch (const Error& e) {
+        // Taxonomy errors already render their context chain in what().
+        std::cerr << "rrsgen: error: " << e.what() << "\n";
+        return 1;
     } catch (const std::exception& e) {
         std::cerr << "rrsgen: " << e.what() << "\n";
         return 1;
