@@ -71,6 +71,7 @@ int main() {
     // (b) statistical agreement + (c) timing across sizes.
     Table table({"grid", "direct-DFT sd", "convolution sd", "direct-DFT s/surface",
                  "convolution s/surface"});
+    std::vector<bench::BenchRecord> records;
     for (const std::size_t N : {256u, 512u, 1024u}) {
         const GridSpec g = GridSpec::unit_spacing(N, N);
         DirectDftGenerator dgen(s, g);
@@ -99,8 +100,15 @@ int main() {
         table.add_row({std::to_string(N) + "^2", Table::num(dacc.stddev(), 4),
                        Table::num(cacc.stddev(), 4), Table::num(td, 3),
                        Table::num(tc, 3)});
+        const auto points = static_cast<std::int64_t>(N * N);
+        records.push_back({"direct_dft_" + std::to_string(N), points, td * 1e3,
+                           static_cast<double>(points) / td});
+        records.push_back({"convolution_" + std::to_string(N), points, tc * 1e3,
+                           static_cast<double>(points) / tc});
     }
     table.print(std::cout);
+    bench::write_bench_json("bench_out", "convolution_vs_direct_dft", records);
+    std::cout << "\nwrote bench_out/BENCH_convolution_vs_direct_dft.json\n";
     std::cout << "\nExpected shape: both methods deliver sd ~ h = " << p.h
               << "; comparable cost per surface (both FFT-bound), with the\n"
               << "convolution method additionally supporting unbounded/streamed\n"

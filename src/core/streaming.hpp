@@ -86,6 +86,14 @@ struct StreamCheckpoint {
         if (!(ss >> c.x0 >> c.nx >> c.y >> c.rows >> c.generator_fingerprint)) {
             fail_io("truncated or corrupt checkpoint fields", {"StreamCheckpoint"});
         }
+        std::string extra;
+        if (ss >> extra) {
+            // Anything after the fingerprint means the text is not a
+            // checkpoint this version wrote — a concatenated/corrupted file,
+            // not something to silently accept.
+            fail_io("trailing garbage after checkpoint fields ('" + extra + "')",
+                    {"StreamCheckpoint"});
+        }
         check_positive_count(c.nx, "nx", {"StreamCheckpoint"});
         check_positive_count(c.rows, "rows", {"StreamCheckpoint"});
         return c;

@@ -446,14 +446,17 @@ Scene parse_scene_text(const std::string& text) {
     return parse_scene(in);
 }
 
-Array2D<double> render_scene(const Scene& scene) {
+InhomogeneousGenerator make_scene_generator(const Scene& scene) {
     InhomogeneousGenerator::Options opt;
     opt.kernel_tail_eps = scene.tail_eps;
     opt.origin_x = scene.origin_x;
     opt.origin_y = scene.origin_y;
     opt.health = scene.health;
-    const InhomogeneousGenerator gen(scene.map, scene.kernel_grid, scene.seed, opt);
-    return gen.generate(scene.region);
+    return InhomogeneousGenerator(scene.map, scene.kernel_grid, scene.seed, opt);
+}
+
+Array2D<double> render_scene(const Scene& scene) {
+    return make_scene_generator(scene).generate(scene.region);
 }
 
 void write_scene_outputs(const Scene& scene, const Array2D<double>& surface) {

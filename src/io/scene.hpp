@@ -45,6 +45,7 @@
 #include "core/error.hpp"
 #include "core/grid_spec.hpp"
 #include "core/health.hpp"
+#include "core/inhomogeneous.hpp"
 #include "core/region_map.hpp"
 #include "grid/array2d.hpp"
 #include "grid/rect.hpp"
@@ -88,6 +89,12 @@ public:
 private:
     std::size_t line_;
 };
+
+/// Build the scene's generator (inhomogeneous convolution method) without
+/// rendering anything — the entry point for random-access serving
+/// (service/tile_service.hpp) where the scene's `region` is only a default
+/// viewport, not the extent of the surface.
+InhomogeneousGenerator make_scene_generator(const Scene& scene);
 
 /// Generate the scene's surface (inhomogeneous convolution method).
 Array2D<double> render_scene(const Scene& scene);

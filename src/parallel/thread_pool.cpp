@@ -14,6 +14,11 @@ ThreadPool::ThreadPool(std::size_t n) {
     }
 }
 
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool;
+    return pool;
+}
+
 ThreadPool::~ThreadPool() {
     {
         std::lock_guard lock(mutex_);

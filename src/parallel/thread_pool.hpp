@@ -25,6 +25,11 @@ public:
     /// Spin up `n` workers (defaults to hardware concurrency, min 1).
     explicit ThreadPool(std::size_t n = 0);
 
+    /// Lazily-constructed process-wide pool (hardware-concurrency workers)
+    /// for callers that want task parallelism without owning a pool — e.g.
+    /// TileService batch fan-out.  Lives until process exit.
+    static ThreadPool& shared();
+
     /// Drains outstanding tasks, then joins the workers.
     ~ThreadPool();
 

@@ -45,6 +45,10 @@
 #include "rng/engines.hpp"
 #include "rng/gaussian.hpp"
 #include "rng/hash.hpp"
+#include "service/metrics.hpp"
+#include "service/tile_cache.hpp"
+#include "service/tile_key.hpp"
+#include "service/tile_service.hpp"
 #include "stats/autocorr.hpp"
 #include "stats/gof.hpp"
 #include "stats/moments.hpp"

@@ -1,0 +1,108 @@
+#include "service/metrics.hpp"
+
+#include <sstream>
+
+namespace rrs {
+
+namespace {
+
+/// Upper bound (exclusive) of histogram bucket `b` in microseconds; the
+/// overflow bucket reports its floor (there is no finite ceiling).
+std::uint64_t bucket_ceil_us(std::size_t b) {
+    if (b + 1 >= LatencyHistogram::kBuckets) {
+        return LatencyHistogram::bucket_floor_us(b);
+    }
+    return LatencyHistogram::bucket_floor_us(b + 1);
+}
+
+/// Upper bound of the bucket holding quantile `q` of `counts`.
+std::uint64_t quantile_us(const std::array<std::uint64_t, LatencyHistogram::kBuckets>& counts,
+                          std::uint64_t samples, double q) {
+    if (samples == 0) {
+        return 0;
+    }
+    const double target = q * static_cast<double>(samples);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (static_cast<double>(seen) >= target) {
+            return bucket_ceil_us(b);
+        }
+    }
+    return bucket_ceil_us(counts.size() - 1);
+}
+
+void append_field(std::ostringstream& out, const char* key, std::uint64_t value,
+                  bool& first) {
+    if (!first) {
+        out << ',';
+    }
+    first = false;
+    out << '"' << key << "\":" << value;
+}
+
+}  // namespace
+
+void ServiceMetrics::fill_snapshot(MetricsSnapshot& out) const {
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.cache_hits = hits_.load(std::memory_order_relaxed);
+    out.cache_misses = misses_.load(std::memory_order_relaxed);
+    out.generations = generations_.load(std::memory_order_relaxed);
+    out.generation_failures = generation_failures_.load(std::memory_order_relaxed);
+    out.coalesced = coalesced_.load(std::memory_order_relaxed);
+    out.batches = batches_.load(std::memory_order_relaxed);
+
+    LatencySnapshot& lat = out.latency;
+    lat.samples = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        lat.counts[b] = latency_.count(b);
+        lat.samples += lat.counts[b];
+    }
+    lat.total_micros = latency_.total_micros();
+    lat.mean_us = lat.samples == 0 ? 0.0
+                                   : static_cast<double>(lat.total_micros) /
+                                         static_cast<double>(lat.samples);
+    lat.p50_us = quantile_us(lat.counts, lat.samples, 0.50);
+    lat.p95_us = quantile_us(lat.counts, lat.samples, 0.95);
+    lat.p99_us = quantile_us(lat.counts, lat.samples, 0.99);
+}
+
+std::string MetricsSnapshot::to_json() const {
+    std::ostringstream out;
+    out << '{';
+    bool first = true;
+    append_field(out, "requests", requests, first);
+    append_field(out, "cache_hits", cache_hits, first);
+    append_field(out, "cache_misses", cache_misses, first);
+    append_field(out, "generations", generations, first);
+    append_field(out, "coalesced", coalesced, first);
+    append_field(out, "batches", batches, first);
+    append_field(out, "generation_failures", generation_failures, first);
+    append_field(out, "cache_evictions", cache_evictions, first);
+    append_field(out, "cache_bytes", cache_bytes, first);
+    append_field(out, "cache_tiles", cache_tiles, first);
+    append_field(out, "cache_byte_budget", cache_byte_budget, first);
+    out << ",\"hit_rate\":" << hit_rate();
+    out << ",\"latency\":{\"samples\":" << latency.samples
+        << ",\"mean_us\":" << latency.mean_us << ",\"p50_us\":" << latency.p50_us
+        << ",\"p95_us\":" << latency.p95_us << ",\"p99_us\":" << latency.p99_us
+        << ",\"buckets_us\":[";
+    // Emit [floor_us, count] pairs for non-empty buckets only — compact and
+    // reconstructible (floors are the full log₂ ladder).
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < latency.counts.size(); ++b) {
+        if (latency.counts[b] == 0) {
+            continue;
+        }
+        if (!first_bucket) {
+            out << ',';
+        }
+        first_bucket = false;
+        out << '[' << LatencyHistogram::bucket_floor_us(b) << ',' << latency.counts[b]
+            << ']';
+    }
+    out << "]}}";
+    return out.str();
+}
+
+}  // namespace rrs

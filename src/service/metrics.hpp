@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Lock-cheap operational counters for the tile service.
+///
+/// Hot-path cost is one relaxed atomic increment per event (plus one for the
+/// latency bucket); there is no mutex anywhere.  Readers take a
+/// `MetricsSnapshot` — a plain value struct — and can export it as a
+/// single-line JSON record for scraping.  Counter relationships the service
+/// maintains (and tests assert):
+///
+///     requests  == cache_hits + cache_misses
+///     generations + coalesced == cache_misses
+///
+/// i.e. every request either hits the cache, starts the one generation for
+/// its tile, or coalesces onto a generation already in flight.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rrs {
+
+/// Fixed log₂-bucketed latency histogram over microseconds.
+/// Bucket b counts samples in [2^b, 2^(b+1)) µs (bucket 0 is [0, 2) µs);
+/// the last bucket absorbs everything slower.
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kBuckets = 26;  // last bucket: ≥ ~33.6 s
+
+    void record(std::uint64_t micros) noexcept {
+        counts_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
+        total_micros_.fetch_add(micros, std::memory_order_relaxed);
+    }
+
+    static std::size_t bucket_of(std::uint64_t micros) noexcept {
+        std::size_t b = 0;
+        while (micros > 1 && b + 1 < kBuckets) {
+            micros >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    /// Inclusive lower bound of bucket `b` in microseconds.
+    static std::uint64_t bucket_floor_us(std::size_t b) noexcept {
+        return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+
+    std::uint64_t count(std::size_t b) const noexcept {
+        return counts_[b].load(std::memory_order_relaxed);
+    }
+    std::uint64_t total_micros() const noexcept {
+        return total_micros_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+    std::atomic<std::uint64_t> total_micros_{0};
+};
+
+/// Plain-value export of the histogram: per-bucket counts plus the quantile
+/// estimates most dashboards want (upper bound of the bucket holding the
+/// quantile — conservative, never under-reports).
+struct LatencySnapshot {
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+    std::uint64_t samples = 0;
+    std::uint64_t total_micros = 0;
+    double mean_us = 0.0;
+    std::uint64_t p50_us = 0;
+    std::uint64_t p95_us = 0;
+    std::uint64_t p99_us = 0;
+};
+
+/// Point-in-time copy of every service counter.  Cache fields mirror the
+/// TileCache the service uses (which may be shared with other services —
+/// they then reflect combined traffic).
+struct MetricsSnapshot {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t generations = 0;
+    std::uint64_t coalesced = 0;  ///< requests that joined an in-flight generation
+    std::uint64_t batches = 0;    ///< get_many / window calls
+    std::uint64_t generation_failures = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_bytes = 0;
+    std::uint64_t cache_tiles = 0;
+    std::uint64_t cache_byte_budget = 0;
+    LatencySnapshot latency;
+
+    /// Hit fraction of served requests (0 when no requests were made).
+    double hit_rate() const noexcept {
+        return requests == 0 ? 0.0
+                             : static_cast<double>(cache_hits) /
+                                   static_cast<double>(requests);
+    }
+
+    /// Single-line JSON object (stable key order) for logs/scrapers.
+    std::string to_json() const;
+};
+
+/// The service-side counters (cache counters live in TileCache).
+class ServiceMetrics {
+public:
+    void record_hit() noexcept { hits_.fetch_add(1, std::memory_order_relaxed); }
+    void record_miss() noexcept { misses_.fetch_add(1, std::memory_order_relaxed); }
+    void record_request() noexcept { requests_.fetch_add(1, std::memory_order_relaxed); }
+    void record_generation() noexcept {
+        generations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_generation_failure() noexcept {
+        generation_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_coalesced() noexcept {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_batch() noexcept { batches_.fetch_add(1, std::memory_order_relaxed); }
+    void record_latency_us(std::uint64_t micros) noexcept { latency_.record(micros); }
+
+    /// Copy the counters into `out` (cache fields are left untouched — the
+    /// service fills those from its TileCache).
+    void fill_snapshot(MetricsSnapshot& out) const;
+
+private:
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> generations_{0};
+    std::atomic<std::uint64_t> generation_failures_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    LatencyHistogram latency_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,101 @@
+#include "service/tile_cache.hpp"
+
+#include "core/validate.hpp"
+
+namespace rrs {
+
+namespace {
+
+/// Smallest power of two ≥ n (n clamped to ≥ 1).
+std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) {
+        p <<= 1;
+    }
+    return p;
+}
+
+}  // namespace
+
+TileCache::TileCache(std::size_t byte_budget, std::size_t shards)
+    : byte_budget_(byte_budget) {
+    check_positive_count(static_cast<std::int64_t>(byte_budget), "byte_budget",
+                         {"TileCache"});
+    check_positive_count(static_cast<std::int64_t>(shards), "shards", {"TileCache"});
+    const std::size_t n = round_up_pow2(shards);
+    shard_mask_ = n - 1;
+    shard_budget_ = byte_budget / n;
+    shards_ = std::vector<Shard>(n);
+}
+
+TilePtr TileCache::find(const TileAddress& address) {
+    Shard& s = shard_of(address);
+    std::lock_guard lock(s.mutex);
+    const auto it = s.index.find(address);
+    if (it == s.index.end()) {
+        ++s.misses;
+        return nullptr;
+    }
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+    return it->second->tile;
+}
+
+void TileCache::insert(const TileAddress& address, TilePtr tile) {
+    if (!tile) {
+        return;
+    }
+    const std::size_t bytes = tile_bytes(*tile);
+    Shard& s = shard_of(address);
+    std::lock_guard lock(s.mutex);
+    const auto it = s.index.find(address);
+    if (it != s.index.end()) {
+        // Replace in place (same address ⇒ bit-identical payload in normal
+        // operation, but replacing keeps the cache correct regardless).
+        s.bytes -= it->second->bytes;
+        it->second->tile = std::move(tile);
+        it->second->bytes = bytes;
+        s.bytes += bytes;
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+    } else {
+        s.lru.push_front(Entry{address, std::move(tile), bytes});
+        s.index.emplace(address, s.lru.begin());
+        s.bytes += bytes;
+        ++s.insertions;
+    }
+    // Evict from the cold end until this shard fits its budget share.  The
+    // just-inserted entry sits at the hot end, but is itself evicted when it
+    // alone exceeds the shard budget — the budget is a hard bound.
+    while (s.bytes > shard_budget_ && !s.lru.empty()) {
+        const Entry& victim = s.lru.back();
+        s.bytes -= victim.bytes;
+        s.index.erase(victim.address);
+        s.lru.pop_back();
+        ++s.evictions;
+    }
+}
+
+void TileCache::clear() {
+    for (Shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        s.lru.clear();
+        s.index.clear();
+        s.bytes = 0;
+    }
+}
+
+TileCache::Stats TileCache::stats() const {
+    Stats out;
+    for (const Shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        out.hits += s.hits;
+        out.misses += s.misses;
+        out.insertions += s.insertions;
+        out.evictions += s.evictions;
+        out.bytes += s.bytes;
+        out.tiles += s.lru.size();
+    }
+    return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file tile_key.hpp
+/// Map-tile addressing of the unbounded output lattice.
+///
+/// The paper's convolution method (§2.4) generates "any size of continuous
+/// RRSs by successive computations", and the noise lattice is a pure
+/// function of (seed, ix, iy) — so the plane splits into fixed-size tiles
+/// that can be generated independently, in any order, on any thread, and
+/// always agree where they meet.  A TileKey is the integer address (tx, ty)
+/// of one such tile; TileShape fixes the tile extent for a whole service.
+///
+/// Addressing convention: tile (tx, ty) covers the half-open lattice window
+/// [tx·nx, (tx+1)·nx) × [ty·ny, (ty+1)·ny).  Tile indices may be negative —
+/// the lattice is unbounded in every direction.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "grid/rect.hpp"
+#include "rng/hash.hpp"
+
+namespace rrs {
+
+/// Fixed per-service tile extent (lattice points per tile along each axis).
+struct TileShape {
+    std::int64_t nx = 256;
+    std::int64_t ny = 256;
+
+    friend bool operator==(const TileShape&, const TileShape&) = default;
+};
+
+/// Throws ConfigError unless both extents are positive.
+inline void check_tile_shape(const TileShape& s) {
+    check_positive_count(s.nx, "tile nx", {"TileShape"});
+    check_positive_count(s.ny, "tile ny", {"TileShape"});
+}
+
+/// Integer address of one tile of the unbounded lattice.
+struct TileKey {
+    std::int64_t tx = 0;
+    std::int64_t ty = 0;
+
+    friend bool operator==(const TileKey&, const TileKey&) = default;
+    friend bool operator<(const TileKey& a, const TileKey& b) noexcept {
+        return a.ty != b.ty ? a.ty < b.ty : a.tx < b.tx;
+    }
+};
+
+/// Output window of tile `key`: [tx·nx, (tx+1)·nx) × [ty·ny, (ty+1)·ny).
+inline Rect tile_rect(const TileShape& shape, const TileKey& key) noexcept {
+    return Rect{key.tx * shape.nx, key.ty * shape.ny, shape.nx, shape.ny};
+}
+
+/// Tile window grown by the kernel halo (`dilate`): the noise footprint a
+/// convolution generator reads to produce this tile.  Useful for sizing the
+/// per-tile working set; generators take the *output* rect from tile_rect()
+/// and handle their halo internally.
+inline Rect tile_rect_with_halo(const TileShape& shape, const TileKey& key,
+                                std::int64_t halo_x, std::int64_t halo_y) noexcept {
+    return dilate(tile_rect(shape, key), halo_x, halo_y);
+}
+
+/// Floor division (toward −∞) for signed lattice coordinates.
+inline std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+    const std::int64_t q = a / b;
+    return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Address of the tile containing lattice point (x, y).
+inline TileKey containing_tile(const TileShape& shape, std::int64_t x,
+                               std::int64_t y) noexcept {
+    return TileKey{floor_div(x, shape.nx), floor_div(y, shape.ny)};
+}
+
+/// All tile addresses intersecting `region`, in row-major (ty, tx) order.
+inline std::vector<TileKey> covering_tiles(const TileShape& shape, const Rect& region) {
+    std::vector<TileKey> keys;
+    if (region.empty()) {
+        return keys;
+    }
+    const TileKey lo = containing_tile(shape, region.x0, region.y0);
+    const TileKey hi = containing_tile(shape, region.x1() - 1, region.y1() - 1);
+    keys.reserve(static_cast<std::size_t>((hi.tx - lo.tx + 1) * (hi.ty - lo.ty + 1)));
+    for (std::int64_t ty = lo.ty; ty <= hi.ty; ++ty) {
+        for (std::int64_t tx = lo.tx; tx <= hi.tx; ++tx) {
+            keys.push_back(TileKey{tx, ty});
+        }
+    }
+    return keys;
+}
+
+/// Cache address of a generated tile: which surface (generator fingerprint,
+/// see streaming.hpp / ConvolutionGenerator::fingerprint) and which tile of
+/// it.  Two generators with equal fingerprints produce bit-identical tiles,
+/// so cached entries are shareable across service instances.
+struct TileAddress {
+    std::uint64_t fingerprint = 0;
+    TileKey key;
+
+    friend bool operator==(const TileAddress&, const TileAddress&) = default;
+};
+
+/// Avalanche hash of a TileAddress (reuses the lattice coordinate hash with
+/// the fingerprint as the seed — uniform across tx/ty/fingerprint bits).
+struct TileAddressHash {
+    std::size_t operator()(const TileAddress& a) const noexcept {
+        return static_cast<std::size_t>(
+            hash_coords(a.fingerprint, a.key.tx, a.key.ty, /*salt=*/0x7115u));
+    }
+};
+
+}  // namespace rrs

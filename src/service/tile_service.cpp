@@ -1,0 +1,178 @@
+#include "service/tile_service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "core/validate.hpp"
+
+namespace rrs {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+std::uint64_t micros_since(clock_type::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock_type::now() - t0)
+            .count());
+}
+
+/// Distinct nonzero stand-in fingerprints for generators that don't expose
+/// one: entries from two unfingerprinted generators must never alias inside
+/// a shared cache, so each service instance gets a private id.
+std::uint64_t next_private_fingerprint() {
+    static std::atomic<std::uint64_t> counter{0};
+    // Salted away from real fingerprints; mix64 is bijective so ids never
+    // collide with each other, and never return the reserved value 0.
+    const std::uint64_t id =
+        mix64(counter.fetch_add(1, std::memory_order_relaxed) ^ 0x5EB41CEDULL << 32);
+    return id == 0 ? 1 : id;
+}
+
+}  // namespace
+
+TileService::TileService(std::function<Array2D<double>(const Rect&)> generate,
+                         std::uint64_t fingerprint, Options opt,
+                         std::shared_ptr<TileCache> cache)
+    : generate_(std::move(generate)),
+      fingerprint_(fingerprint != 0 ? fingerprint : next_private_fingerprint()),
+      opt_(opt),
+      cache_(std::move(cache)) {
+    check_tile_shape(opt_.shape);
+    RRS_CHECK(static_cast<bool>(generate_), "TileService", "generate callable is empty");
+    if (!cache_) {
+        cache_ = std::make_shared<TileCache>(opt_.cache_bytes, opt_.cache_shards);
+    }
+}
+
+TilePtr TileService::get(const TileKey& key) {
+    const auto t0 = clock_type::now();
+    metrics_.record_request();
+    const TileAddress address{fingerprint_, key};
+    if (TilePtr hit = cache_->find(address)) {
+        metrics_.record_hit();
+        metrics_.record_latency_us(micros_since(t0));
+        return hit;
+    }
+    metrics_.record_miss();
+    TilePtr tile = generate_or_join(key);
+    metrics_.record_latency_us(micros_since(t0));
+    return tile;
+}
+
+TilePtr TileService::generate_or_join(const TileKey& key) {
+    const TileAddress address{fingerprint_, key};
+    std::promise<TilePtr> promise;
+    std::shared_future<TilePtr> future;
+    bool leader = false;
+    {
+        std::lock_guard lock(inflight_mutex_);
+        const auto it = inflight_.find(address);
+        if (it != inflight_.end()) {
+            future = it->second;
+            metrics_.record_coalesced();
+        } else {
+            future = promise.get_future().share();
+            inflight_.emplace(address, future);
+            leader = true;
+        }
+    }
+    if (leader) {
+        metrics_.record_generation();
+        try {
+            TilePtr tile = std::make_shared<const Array2D<double>>(
+                generate_(tile_rect(opt_.shape, key)));
+            // Publish to the cache BEFORE retiring the in-flight entry, so a
+            // request arriving between the two always finds one or the other
+            // (never generates a duplicate).
+            cache_->insert(address, tile);
+            {
+                std::lock_guard lock(inflight_mutex_);
+                inflight_.erase(address);
+            }
+            promise.set_value(std::move(tile));
+        } catch (...) {
+            metrics_.record_generation_failure();
+            {
+                std::lock_guard lock(inflight_mutex_);
+                inflight_.erase(address);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();  // rethrows the leader's exception for every waiter
+}
+
+std::vector<TilePtr> TileService::get_many(const std::vector<TileKey>& keys) {
+    metrics_.record_batch();
+    std::vector<TilePtr> out(keys.size());
+    if (keys.empty()) {
+        return out;
+    }
+    if (keys.size() == 1) {
+        out[0] = get(keys[0]);
+        return out;
+    }
+    ThreadPool& workers = pool();
+    std::vector<std::future<TilePtr>> futures;
+    futures.reserve(keys.size());
+    for (const TileKey& key : keys) {
+        futures.push_back(workers.submit([this, key] { return get(key); }));
+    }
+    // Settle every tile before reporting the first failure: no task is left
+    // running against a batch the caller has already abandoned.
+    std::exception_ptr first_failure;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            out[i] = futures[i].get();
+        } catch (...) {
+            if (!first_failure) {
+                first_failure = std::current_exception();
+            }
+        }
+    }
+    if (first_failure) {
+        std::rethrow_exception(first_failure);
+    }
+    return out;
+}
+
+Array2D<double> TileService::window(const Rect& region) {
+    check_positive_count(region.nx, "region.nx", {"TileService", "window"});
+    check_positive_count(region.ny, "region.ny", {"TileService", "window"});
+    (void)checked_mul(region.nx, region.ny, "region.nx * region.ny",
+                      {"TileService", "window"});
+    const std::vector<TileKey> keys = covering_tiles(opt_.shape, region);
+    const std::vector<TilePtr> tiles = get_many(keys);
+    Array2D<double> out(static_cast<std::size_t>(region.nx),
+                        static_cast<std::size_t>(region.ny));
+    for (std::size_t t = 0; t < keys.size(); ++t) {
+        const Rect tile = tile_rect(opt_.shape, keys[t]);
+        const Rect overlap = intersect(tile, region);
+        const Array2D<double>& data = *tiles[t];
+        for (std::int64_t y = overlap.y0; y < overlap.y1(); ++y) {
+            for (std::int64_t x = overlap.x0; x < overlap.x1(); ++x) {
+                out(static_cast<std::size_t>(x - region.x0),
+                    static_cast<std::size_t>(y - region.y0)) =
+                    data(static_cast<std::size_t>(x - tile.x0),
+                         static_cast<std::size_t>(y - tile.y0));
+            }
+        }
+    }
+    return out;
+}
+
+MetricsSnapshot TileService::metrics() const {
+    MetricsSnapshot out;
+    metrics_.fill_snapshot(out);
+    const TileCache::Stats cache = cache_->stats();
+    out.cache_evictions = cache.evictions;
+    out.cache_bytes = cache.bytes;
+    out.cache_tiles = cache.tiles;
+    out.cache_byte_budget = cache_->byte_budget();
+    return out;
+}
+
+}  // namespace rrs

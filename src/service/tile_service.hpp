@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file tile_service.hpp
+/// Concurrent random-access front end over any `generate(Rect)` generator.
+///
+/// Turns "run a generator once" into "serve surface tiles on demand, map-tile
+/// style": clients ask for TileKeys (or whole windows) in any order, from
+/// any thread, and the service answers from a sharded LRU TileCache, fanning
+/// cold batches out across a ThreadPool.  Because librrs noise is a pure
+/// function of (seed, lattice coordinate), a tile served through the cache —
+/// in any order, on any thread — is bit-identical to the same window cut
+/// from a one-shot generation; the random-access extension of the streaming
+/// seam guarantee (streaming.hpp), asserted by tests/test_tile_service.cpp.
+///
+/// Request coalescing: concurrent requests for the same cold tile trigger
+/// exactly ONE generation.  The first requester becomes the leader and
+/// generates; every other request parks on the leader's shared_future.  If
+/// the leader's generation throws, all parked waiters observe the same
+/// exception and the tile stays uncached (a later request retries).
+///
+/// Cache keying: tiles are cached under (generator fingerprint, TileKey) —
+/// the same fingerprints checkpoint/resume uses — so one TileCache may back
+/// many services; equal fingerprints guarantee interchangeable tiles.  A
+/// generator without a fingerprint gets a unique private id, so its entries
+/// can never alias another generator's.
+///
+/// Thread-safety contract: `get`, `get_many`, `window`, and `metrics` may be
+/// called concurrently.  The wrapped generator's `generate(Rect) const` must
+/// itself be safe for concurrent calls (true for ConvolutionGenerator and
+/// InhomogeneousGenerator), and must outlive the service.  Do not call
+/// batch entry points from inside the service's own pool workers — a
+/// saturated pool would deadlock waiting on itself.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "grid/array2d.hpp"
+#include "grid/rect.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/metrics.hpp"
+#include "service/tile_cache.hpp"
+#include "service/tile_key.hpp"
+
+namespace rrs {
+
+/// Thread-safe tile server over one generator; see file comment.
+class TileService {
+public:
+    struct Options {
+        TileShape shape{256, 256};
+        /// Cache payload budget when the service builds its own cache
+        /// (ignored when a shared cache is injected).
+        std::size_t cache_bytes = std::size_t{256} << 20;  // 256 MiB
+        std::size_t cache_shards = 16;
+        /// Pool for batch fan-out; nullptr = ThreadPool::shared().
+        ThreadPool* pool = nullptr;
+    };
+
+    /// Wrap `gen` (any type with `Array2D<double> generate(const Rect&) const`).
+    /// `cache` may be shared across services; nullptr builds a private cache
+    /// from `opt.cache_bytes` / `opt.cache_shards`.
+    template <typename Generator>
+    explicit TileService(const Generator& gen, Options opt = {},
+                         std::shared_ptr<TileCache> cache = nullptr)
+        : TileService([&gen](const Rect& r) { return gen.generate(r); },
+                      detail::generator_fingerprint(gen), opt, std::move(cache)) {}
+
+    /// Type-erased core constructor (also usable directly with a lambda;
+    /// pass fingerprint 0 for "unfingerprinted").
+    TileService(std::function<Array2D<double>(const Rect&)> generate,
+                std::uint64_t fingerprint, Options opt,
+                std::shared_ptr<TileCache> cache);
+
+    TileService(const TileService&) = delete;
+    TileService& operator=(const TileService&) = delete;
+
+    /// Serve one tile: cache hit, join of an in-flight generation, or a
+    /// fresh generation.  Never returns null; rethrows generation failures.
+    TilePtr get(const TileKey& key);
+
+    /// Serve a batch, fanning cold tiles out across the pool.  Results align
+    /// with `keys` (duplicates coalesce onto one generation).  If any tile's
+    /// generation fails the first failure is rethrown — after every other
+    /// tile of the batch has settled, so no work is left dangling.
+    std::vector<TilePtr> get_many(const std::vector<TileKey>& keys);
+
+    /// Assemble an arbitrary lattice window from cached/generated tiles —
+    /// bit-identical to `generate(region)` on the wrapped generator.
+    Array2D<double> window(const Rect& region);
+
+    /// Point-in-time counters (service + its cache view).
+    MetricsSnapshot metrics() const;
+
+    const TileShape& shape() const noexcept { return opt_.shape; }
+    std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+    const std::shared_ptr<TileCache>& cache() const noexcept { return cache_; }
+
+private:
+    /// Miss path: lead a new generation or park on the in-flight one.
+    TilePtr generate_or_join(const TileKey& key);
+
+    ThreadPool& pool() const noexcept {
+        return opt_.pool != nullptr ? *opt_.pool : ThreadPool::shared();
+    }
+
+    std::function<Array2D<double>(const Rect&)> generate_;
+    std::uint64_t fingerprint_ = 0;
+    Options opt_;
+    std::shared_ptr<TileCache> cache_;
+    ServiceMetrics metrics_;
+
+    std::mutex inflight_mutex_;
+    std::unordered_map<TileAddress, std::shared_future<TilePtr>, TileAddressHash>
+        inflight_;
+};
+
+}  // namespace rrs

@@ -286,6 +286,20 @@ TEST(Checkpoint, DeserializeRejectsGarbage) {
     EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 1 0 0 0 8 0"), ConfigError);
 }
 
+TEST(Checkpoint, DeserializeRejectsTrailingGarbage) {
+    // All five fields parse, then extra tokens follow — a concatenated or
+    // corrupted checkpoint file, not one this version wrote.
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 1 0 8 0 8 0 junk"),
+                 IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 1 0 8 0 8 0 42"), IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize(
+                     "rrs-checkpoint 1 0 8 0 8 0 rrs-checkpoint 1 0 8 0 8 0"),
+                 IoError);
+    // Trailing whitespace (incl. a final newline) is still fine.
+    const StreamCheckpoint c{-4, 8, 16, 8, 77};
+    EXPECT_EQ(StreamCheckpoint::deserialize(c.serialize() + "  \n"), c);
+}
+
 TEST(Checkpoint, ResumeRejectsFingerprintMismatch) {
     const auto gen_a = make_gen(1);
     const auto gen_b = make_gen(2);  // different seed → different fingerprint

@@ -1,0 +1,177 @@
+// Direct statistical coverage of rng/hash.hpp — the primitive every
+// deterministic-tile guarantee in the library rests on (tile service cache
+// keys, lattice noise, checkpoint fingerprints).  test_rng.cpp has smoke
+// checks; this suite quantifies avalanche, uniformity, and cross-salt
+// independence of hash_coords.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rng/hash.hpp"
+
+namespace rrs {
+namespace {
+
+double to_unit(std::uint64_t h) {
+    // Top 53 bits → [0, 1), the same mapping the engines use.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// --- avalanche ---------------------------------------------------------------
+
+// Flipping ANY single bit of any input word must flip each output bit with
+// probability ~1/2 (full avalanche).  We measure the mean flip count per
+// input bit and require it close to 32 of 64.
+void expect_avalanche(std::uint64_t (*hash_flipped)(std::uint64_t base, int bit,
+                                                    std::uint64_t trial),
+                      std::uint64_t (*hash_base)(std::uint64_t trial)) {
+    constexpr int kTrials = 64;
+    for (int bit = 0; bit < 64; ++bit) {
+        std::int64_t flips = 0;
+        for (std::uint64_t t = 0; t < kTrials; ++t) {
+            const std::uint64_t a = hash_base(t);
+            const std::uint64_t b = hash_flipped(0, bit, t);
+            flips += __builtin_popcountll(a ^ b);
+        }
+        const double mean = static_cast<double>(flips) / kTrials;
+        // Binomial(64, 1/2) has σ ≈ 4; a ±10 window is ~2.5σ on the mean of
+        // 64 trials — loose enough to be non-flaky, tight enough to catch a
+        // weak mixer.
+        EXPECT_GT(mean, 22.0) << "weak avalanche on input bit " << bit;
+        EXPECT_LT(mean, 42.0) << "weak avalanche on input bit " << bit;
+    }
+}
+
+TEST(HashQuality, AvalancheOverSeedBits) {
+    expect_avalanche(
+        [](std::uint64_t, int bit, std::uint64_t t) {
+            return hash_coords(0x12345 ^ (std::uint64_t{1} << bit), 7 + static_cast<std::int64_t>(t), -3);
+        },
+        [](std::uint64_t t) {
+            return hash_coords(0x12345, 7 + static_cast<std::int64_t>(t), -3);
+        });
+}
+
+TEST(HashQuality, AvalancheOverXCoordinateBits) {
+    expect_avalanche(
+        [](std::uint64_t, int bit, std::uint64_t t) {
+            const auto x = static_cast<std::int64_t>(
+                (0x9E37ULL + t) ^ (std::uint64_t{1} << bit));
+            return hash_coords(42, x, 5);
+        },
+        [](std::uint64_t t) {
+            return hash_coords(42, static_cast<std::int64_t>(0x9E37ULL + t), 5);
+        });
+}
+
+TEST(HashQuality, AvalancheOverYCoordinateBits) {
+    expect_avalanche(
+        [](std::uint64_t, int bit, std::uint64_t t) {
+            const auto y = static_cast<std::int64_t>(
+                (0x51EDULL + t) ^ (std::uint64_t{1} << bit));
+            return hash_coords(42, -9, y);
+        },
+        [](std::uint64_t t) {
+            return hash_coords(42, -9, static_cast<std::int64_t>(0x51EDULL + t));
+        });
+}
+
+// --- uniformity --------------------------------------------------------------
+
+TEST(HashQuality, CoordinateScanIsUniformAcrossBuckets) {
+    // Hash a structured (worst-case-adjacent) coordinate scan into 256
+    // buckets and chi-square the counts.  For k=256 d.o.f. the statistic has
+    // mean ≈ 255, σ ≈ 22.6; 400 is ~+6σ — fails only on real structure.
+    constexpr std::size_t kBuckets = 256;
+    constexpr std::int64_t kSide = 128;  // 16384 samples → 64 per bucket
+    std::array<std::int64_t, kBuckets> counts{};
+    for (std::int64_t iy = -kSide / 2; iy < kSide / 2; ++iy) {
+        for (std::int64_t ix = -kSide / 2; ix < kSide / 2; ++ix) {
+            counts[hash_coords(2024, ix, iy) % kBuckets]++;
+        }
+    }
+    const double expected =
+        static_cast<double>(kSide * kSide) / static_cast<double>(kBuckets);
+    double chi2 = 0.0;
+    for (const std::int64_t c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 400.0) << "bucket counts too lumpy (chi2 vs 255 expected)";
+    EXPECT_GT(chi2, 150.0) << "bucket counts suspiciously even";
+}
+
+TEST(HashQuality, UnitMappingMomentsMatchUniform) {
+    // Mean 1/2, variance 1/12 for the [0,1) mapping of a coordinate scan.
+    double sum = 0.0;
+    double sumsq = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double u = to_unit(hash_coords(7, i, -i * 3));
+        sum += u;
+        sumsq += u * u;
+    }
+    const double mean = sum / kN;
+    const double var = sumsq / kN - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+// --- cross-salt independence -------------------------------------------------
+
+TEST(HashQuality, SaltsProduceUncorrelatedFields) {
+    // The salt separates independent random fields over one lattice (e.g.
+    // different noise channels).  Sample correlation between the salted and
+    // unsalted field over n=8192 points has σ ≈ 1/√n ≈ 0.011; |r| < 0.05 is
+    // ~4.5σ.
+    for (const std::uint64_t salt : {1ULL, 2ULL, 0xDEADBEEFULL}) {
+        double sxy = 0.0;
+        double sx = 0.0;
+        double sy = 0.0;
+        double sxx = 0.0;
+        double syy = 0.0;
+        constexpr std::int64_t kN = 8192;
+        for (std::int64_t i = 0; i < kN; ++i) {
+            const std::int64_t ix = i % 128;
+            const std::int64_t iy = i / 128;
+            const double a = to_unit(hash_coords(5, ix, iy, 0));
+            const double b = to_unit(hash_coords(5, ix, iy, salt));
+            sx += a;
+            sy += b;
+            sxx += a * a;
+            syy += b * b;
+            sxy += a * b;
+        }
+        const double n = static_cast<double>(kN);
+        const double cov = sxy / n - (sx / n) * (sy / n);
+        const double va = sxx / n - (sx / n) * (sx / n);
+        const double vb = syy / n - (sy / n) * (sy / n);
+        const double r = cov / std::sqrt(va * vb);
+        EXPECT_LT(std::abs(r), 0.05) << "salt " << salt << " correlates with salt 0";
+    }
+}
+
+TEST(HashQuality, SaltChangesRoughlyHalfTheBits) {
+    std::int64_t flips = 0;
+    constexpr int kTrials = 512;
+    for (int t = 0; t < kTrials; ++t) {
+        flips += __builtin_popcountll(hash_coords(9, t, -t, 0) ^ hash_coords(9, t, -t, 1));
+    }
+    const double mean = static_cast<double>(flips) / kTrials;
+    EXPECT_GT(mean, 28.0);
+    EXPECT_LT(mean, 36.0);
+}
+
+TEST(HashQuality, SeedAndSaltAreNotInterchangeable) {
+    // Regression guard for the salt-mixing formula: (seed, salt) pairs must
+    // not collide along the diagonal the xor-only mixing would alias.
+    EXPECT_NE(hash_coords(1, 10, 20, 2), hash_coords(2, 10, 20, 1));
+    EXPECT_NE(hash_coords(0, 10, 20, 1), hash_coords(1, 10, 20, 0));
+}
+
+}  // namespace
+}  // namespace rrs

@@ -28,6 +28,28 @@ run_preset() {
     cmake --build --preset "$preset" -j "$(nproc)"
     echo "==> [$preset] test"
     ctest --preset "$preset" -j "$(nproc)"
+    rrstile_smoke "$dir"
+}
+
+# Serve a few tiles end-to-end through the tile service (coalescing cache,
+# batch fan-out, metrics JSON) — run under both presets so the service layer
+# gets ASan+UBSan coverage too.
+rrstile_smoke() {
+    local dir=$1
+    echo "==> [$dir] rrstile smoke"
+    local scene
+    scene=$(mktemp)
+    "$dir/tools/rrstile" --example > "$scene"
+    # --repeat 2: the second round must be all cache hits (hit_rate 0.5).
+    local metrics
+    metrics=$("$dir/tools/rrstile" "$scene" --tile-size 64 --cache-mb 16 \
+        --threads 2 --repeat 2 --quiet 0,0 1,0 0,1)
+    rm -f "$scene"
+    echo "    $metrics"
+    case "$metrics" in
+        *'"generation_failures":0'*'"hit_rate":0.5'*) ;;
+        *) echo "==> rrstile smoke: unexpected metrics" >&2; return 1 ;;
+    esac
 }
 
 want=${1:-all}
