@@ -22,6 +22,7 @@ double seconds_since(clock_type::time_point t0) {
 
 int main() {
     using namespace rrs;
+    const bench::TraceFromEnv trace_guard;  // RRS_TRACE=file.json records spans
     std::cout << "=== Convolution method vs direct DFT method (paper sec 2.4) ===\n\n";
 
     const SurfaceParams p{1.0, 20.0, 20.0};

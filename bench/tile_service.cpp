@@ -24,6 +24,7 @@ double seconds_since(clock_type::time_point t0) {
 
 int main() {
     using namespace rrs;
+    const bench::TraceFromEnv trace_guard;  // RRS_TRACE=file.json records spans
     std::cout << "=== Tile service: cold vs cached vs batched serving ===\n\n";
 
     const auto spectrum = make_gaussian({1.0, 10.0, 10.0});

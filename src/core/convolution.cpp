@@ -6,12 +6,27 @@
 
 #include "core/validate.hpp"
 #include "fft/real.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rng/hash.hpp"
 
 namespace rrs {
 
 namespace {
+
+/// Pipeline counters for both convolution engines (obs registry, cold
+/// lookup once, then relaxed atomics — tile granularity, never per-point).
+struct ConvCounters {
+    obs::Counter& tiles;
+    obs::Counter& points;
+
+    static ConvCounters& get() {
+        static ConvCounters c{obs::MetricsRegistry::global().counter("conv.tiles"),
+                              obs::MetricsRegistry::global().counter("conv.points")};
+        return c;
+    }
+};
 
 std::size_t next_pow2(std::size_t n) {
     std::size_t m = 1;
@@ -71,18 +86,16 @@ Array2D<double> ConvolutionGenerator::noise_tile(const Rect& region) const {
               "region must be non-empty");
     Array2D<double> X(static_cast<std::size_t>(region.nx),
                       static_cast<std::size_t>(region.ny));
-    parallel_for(0, region.ny, [&](std::int64_t ty) {
-        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
-            X(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) =
-                lattice_(region.x0 + tx, region.y0 + ty);
-        }
-    });
+    lattice_.fill(region, X);
     return X;
 }
 
 Array2D<double> ConvolutionGenerator::generate_direct(const Rect& region) const {
     RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate_direct",
               "region must be non-empty");
+    RRS_TRACE_SPAN("conv.direct");
+    ConvCounters::get().tiles.add();
+    ConvCounters::get().points.add(static_cast<std::uint64_t>(region.nx * region.ny));
     const std::int64_t lx = halo_left_x();
     const std::int64_t ly = halo_left_y();
     const Rect noise_rect{region.x0 - lx, region.y0 - ly,
@@ -128,6 +141,7 @@ const ConvolutionGenerator::CachedKernelFft& ConvolutionGenerator::kernel_fft(
     auto& cache = cache_->entries;
     auto it = cache.find(key);
     if (it == cache.end()) {
+        RRS_TRACE_SPAN("conv.kernel_fft");
         auto entry = std::make_shared<CachedKernelFft>();
         entry->Px = Px;
         entry->Py = Py;
@@ -141,6 +155,9 @@ const ConvolutionGenerator::CachedKernelFft& ConvolutionGenerator::kernel_fft(
 Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
     RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate",
               "region must be non-empty");
+    RRS_TRACE_SPAN("conv.generate");
+    ConvCounters::get().tiles.add();
+    ConvCounters::get().points.add(static_cast<std::uint64_t>(region.nx * region.ny));
     const std::int64_t lx = halo_left_x();
     const std::int64_t ly = halo_left_y();
     const std::int64_t Sx = region.nx + lx + halo_right_x();
@@ -153,12 +170,7 @@ Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
 
     // Real noise image, zero-padded to (Px, Py), through the r2c path.
     Array2D<double> noise(Px, Py, 0.0);
-    parallel_for(0, Sy, [&](std::int64_t sy) {
-        for (std::int64_t sx = 0; sx < Sx; ++sx) {
-            noise(static_cast<std::size_t>(sx), static_cast<std::size_t>(sy)) =
-                lattice_(region.x0 - lx + sx, region.y0 - ly + sy);
-        }
-    });
+    lattice_.fill(Rect{region.x0 - lx, region.y0 - ly, Sx, Sy}, noise);
 
     Array2D<cplx> spec;
     plan->forward(noise, spec);

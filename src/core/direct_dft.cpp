@@ -3,6 +3,8 @@
 #include "core/hermitian_noise.hpp"
 #include "core/validate.hpp"
 #include "fft/fft2d.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/engines.hpp"
 #include "rng/gaussian.hpp"
 
@@ -16,6 +18,9 @@ DirectDftGenerator::DirectDftGenerator(SpectrumPtr spectrum, GridSpec grid)
 }
 
 Array2D<double> DirectDftGenerator::generate(std::uint64_t seed, double* max_imag) const {
+    RRS_TRACE_SPAN("dft.generate");
+    static obs::Counter& fields = obs::MetricsRegistry::global().counter("dft.fields");
+    fields.add();
     BoxMullerGaussian<Pcg64> gauss{Pcg64{seed}};
     Array2D<cplx> z =
         hermitian_gaussian_array(grid_.Nx, grid_.Ny, [&gauss]() { return gauss(); });

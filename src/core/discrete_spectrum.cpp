@@ -5,11 +5,17 @@
 #include "core/validate.hpp"
 #include "fft/fft2d.hpp"
 #include "grid/permute.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace rrs {
 
 Array2D<double> weight_array(const Spectrum& s, const GridSpec& g) {
+    RRS_TRACE_SPAN("spectrum.weights");
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("spectrum.weight_builds");
+    builds.add();
     g.validate();
     Array2D<double> w(g.Nx, g.Ny);
     const double scale = g.dKx() * g.dKy();  // = 4π²/(LxLy), eq. (15)

@@ -16,6 +16,7 @@
 #include <cstddef>
 
 #include "grid/array2d.hpp"
+#include "obs/trace.hpp"
 #include "special/constants.hpp"
 
 namespace rrs {
@@ -25,6 +26,7 @@ namespace rrs {
 template <typename GaussFn>
 Array2D<std::complex<double>> hermitian_gaussian_array(std::size_t Nx, std::size_t Ny,
                                                        GaussFn&& gauss) {
+    RRS_TRACE_SPAN("noise.hermitian");
     Array2D<std::complex<double>> u(Nx, Ny);
     const double inv_sqrt2 = 1.0 / kSqrt2;
     for (std::size_t my = 0; my < Ny; ++my) {

@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "core/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rng/hash.hpp"
 
@@ -53,6 +55,7 @@ Array2D<double> InhomogeneousGenerator::blend_weights(const Rect& region,
     if (m >= map_->region_count()) {
         throw std::out_of_range{"blend_weights: region index"};
     }
+    RRS_TRACE_SPAN("inhom.weights");
     const std::size_t M = map_->region_count();
     Array2D<double> gm(static_cast<std::size_t>(region.nx),
                        static_cast<std::size_t>(region.ny));
@@ -70,6 +73,11 @@ Array2D<double> InhomogeneousGenerator::blend_weights(const Rect& region,
 Array2D<double> InhomogeneousGenerator::generate(const Rect& region) const {
     RRS_CHECK(!region.empty(), "InhomogeneousGenerator::generate",
               "region must be non-empty");
+    RRS_TRACE_SPAN("inhom.generate");
+    static obs::Counter& tiles = obs::MetricsRegistry::global().counter("inhom.tiles");
+    static obs::Counter& points = obs::MetricsRegistry::global().counter("inhom.points");
+    tiles.add();
+    points.add(static_cast<std::uint64_t>(region.nx * region.ny));
     const std::size_t M = map_->region_count();
     Array2D<double> out(static_cast<std::size_t>(region.nx),
                         static_cast<std::size_t>(region.ny), 0.0);
@@ -95,6 +103,7 @@ Array2D<double> InhomogeneousGenerator::generate(const Rect& region) const {
         const Rect sub{region.x0 + bx0, region.y0 + by0, bx1 - bx0 + 1, by1 - by0 + 1};
         const Array2D<double> fm = generators_[m].generate(sub);
 
+        RRS_TRACE_SPAN("inhom.blend");
         parallel_for(by0, by1 + 1, [&](std::int64_t ty) {
             for (std::int64_t tx = bx0; tx <= bx1; ++tx) {
                 const double g =

@@ -6,6 +6,8 @@
 #include "core/validate.hpp"
 #include "fft/fft2d.hpp"
 #include "grid/permute.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rrs {
 
@@ -23,6 +25,9 @@ ConvolutionKernel::ConvolutionKernel(Array2D<double> taps, std::size_t cx, std::
 }
 
 ConvolutionKernel ConvolutionKernel::build(const Spectrum& spectrum, const GridSpec& g) {
+    RRS_TRACE_SPAN("kernel.build");
+    static obs::Counter& builds = obs::MetricsRegistry::global().counter("kernel.builds");
+    builds.add();
     g.validate();
     const Array2D<double> v = sqrt_weight_array(spectrum, g);
 
@@ -64,6 +69,10 @@ double ConvolutionKernel::tap(std::ptrdiff_t dx, std::ptrdiff_t dy) const noexce
 }
 
 ConvolutionKernel ConvolutionKernel::truncated(double tail_eps) const {
+    RRS_TRACE_SPAN("kernel.truncate");
+    static obs::Counter& truncations =
+        obs::MetricsRegistry::global().counter("kernel.truncations");
+    truncations.add();
     check_open_unit(tail_eps, "tail_eps", {"ConvolutionKernel::truncated"});
     // Energy inside the centered odd window of half-widths (kx, ky), via a
     // prefix-sum table of squared taps.

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace rrs {
@@ -19,6 +21,12 @@ void Fft2D::transform(Array2D<cplx>& a, bool inv) const {
     if (a.nx() != nx_ || a.ny() != ny_) {
         throw std::invalid_argument{"Fft2D: shape mismatch"};
     }
+    RRS_TRACE_SPAN("fft.transform");
+    static obs::Counter& forwards =
+        obs::MetricsRegistry::global().counter("fft.forward");
+    static obs::Counter& inverses =
+        obs::MetricsRegistry::global().counter("fft.inverse");
+    (inv ? inverses : forwards).add();
     // Row pass: rows are contiguous, embarrassingly parallel.
     parallel_for(0, static_cast<std::int64_t>(ny_), [&](std::int64_t iy) {
         auto row = a.row(static_cast<std::size_t>(iy));

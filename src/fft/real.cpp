@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "special/constants.hpp"
 
@@ -81,6 +83,10 @@ void Rfft2D::forward(const Array2D<double>& in, Array2D<cplx>& spectrum) const {
     if (in.nx() != nx_ || in.ny() != ny_) {
         throw std::invalid_argument{"Rfft2D::forward: shape mismatch"};
     }
+    RRS_TRACE_SPAN("fft.forward");
+    static obs::Counter& forwards =
+        obs::MetricsRegistry::global().counter("fft.forward");
+    forwards.add();
     const std::size_t sx = spectrum_nx();
     spectrum.resize(sx, ny_);
     // r2c on rows.
@@ -117,6 +123,10 @@ void Rfft2D::inverse(const Array2D<cplx>& spectrum, Array2D<double>& out) const 
     if (spectrum.nx() != sx || spectrum.ny() != ny_) {
         throw std::invalid_argument{"Rfft2D::inverse: shape mismatch"};
     }
+    RRS_TRACE_SPAN("fft.inverse");
+    static obs::Counter& inverses =
+        obs::MetricsRegistry::global().counter("fft.inverse");
+    inverses.add();
     Array2D<cplx> work = spectrum;
     parallel_for_chunks(0, static_cast<std::int64_t>(sx),
                         [&](std::int64_t lo, std::int64_t hi) {
@@ -153,6 +163,9 @@ std::shared_ptr<const Rfft2D> rfft2d_plan(std::size_t nx, std::size_t ny) {
     std::lock_guard lock(mutex);
     auto it = cache.find(key);
     if (it == cache.end()) {
+        RRS_TRACE_SPAN("fft.plan");
+        static obs::Counter& plans = obs::MetricsRegistry::global().counter("fft.plans");
+        plans.add();
         it = cache.emplace(key, std::make_shared<const Rfft2D>(nx, ny)).first;
     }
     return it->second;

@@ -13,6 +13,7 @@
 #include "core/polygon_map.hpp"
 #include "core/spectrum_ops.hpp"
 #include "io/writers.hpp"
+#include "obs/trace.hpp"
 
 namespace rrs {
 
@@ -447,6 +448,7 @@ Scene parse_scene_text(const std::string& text) {
 }
 
 InhomogeneousGenerator make_scene_generator(const Scene& scene) {
+    RRS_TRACE_SPAN("scene.build");
     InhomogeneousGenerator::Options opt;
     opt.kernel_tail_eps = scene.tail_eps;
     opt.origin_x = scene.origin_x;
@@ -456,6 +458,7 @@ InhomogeneousGenerator make_scene_generator(const Scene& scene) {
 }
 
 Array2D<double> render_scene(const Scene& scene) {
+    RRS_TRACE_SPAN("scene.render");
     return make_scene_generator(scene).generate(scene.region);
 }
 

@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rrs::obs {
+
+namespace {
+
+/// Upper bound (exclusive) of bucket `b`; the overflow bucket reports its
+/// floor (there is no finite ceiling).
+std::uint64_t bucket_ceil(std::size_t b) {
+    if (b + 1 >= Log2Histogram::kBuckets) {
+        return Log2Histogram::bucket_floor(b);
+    }
+    return Log2Histogram::bucket_floor(b + 1);
+}
+
+}  // namespace
+
+std::uint64_t histogram_quantile(
+    const std::array<std::uint64_t, Log2Histogram::kBuckets>& counts,
+    std::uint64_t samples, double q) {
+    if (samples == 0) {
+        return 0;
+    }
+    const double target = q * static_cast<double>(samples);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (static_cast<double>(seen) >= target) {
+            return bucket_ceil(b);
+        }
+    }
+    return bucket_ceil(counts.size() - 1);
+}
+
+HistogramSnapshot snapshot_histogram(const Log2Histogram& h) {
+    HistogramSnapshot s;
+    for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+        s.counts[b] = h.count(b);
+        s.samples += s.counts[b];
+    }
+    s.sum = h.sum();
+    s.mean = s.samples == 0
+                 ? 0.0
+                 : static_cast<double>(s.sum) / static_cast<double>(s.samples);
+    s.p50 = histogram_quantile(s.counts, s.samples, 0.50);
+    s.p95 = histogram_quantile(s.counts, s.samples, 0.95);
+    s.p99 = histogram_quantile(s.counts, s.samples, 0.99);
+    return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    if (gauges_.count(std::string(name)) != 0 ||
+        histograms_.count(std::string(name)) != 0) {
+        throw std::logic_error{"MetricsRegistry: '" + std::string(name) +
+                               "' already registered with a different kind"};
+    }
+    return counters_[std::string(name)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    if (counters_.count(std::string(name)) != 0 ||
+        histograms_.count(std::string(name)) != 0) {
+        throw std::logic_error{"MetricsRegistry: '" + std::string(name) +
+                               "' already registered with a different kind"};
+    }
+    return gauges_[std::string(name)];
+}
+
+Log2Histogram& MetricsRegistry::histogram(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    if (counters_.count(std::string(name)) != 0 ||
+        gauges_.count(std::string(name)) != 0) {
+        throw std::logic_error{"MetricsRegistry: '" + std::string(name) +
+                               "' already registered with a different kind"};
+    }
+    return histograms_[std::string(name)];
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    std::lock_guard lock(mutex_);
+    Snapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        s.counters.emplace_back(name, c.value());
+    }
+    s.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        s.gauges.emplace_back(name, g.value());
+    }
+    s.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        s.histograms.emplace_back(name, snapshot_histogram(h));
+    }
+    return s;
+}
+
+std::string MetricsRegistry::to_json() const {
+    const Snapshot s = snapshot();
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : s.counters) {
+        if (!first) {
+            out << ',';
+        }
+        first = false;
+        out << '"' << name << "\":" << v;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : s.gauges) {
+        if (!first) {
+            out << ',';
+        }
+        first = false;
+        out << '"' << name << "\":" << v;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : s.histograms) {
+        if (!first) {
+            out << ',';
+        }
+        first = false;
+        out << '"' << name << "\":{\"samples\":" << h.samples << ",\"sum\":" << h.sum
+            << ",\"mean\":" << h.mean << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95
+            << ",\"p99\":" << h.p99 << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            if (h.counts[b] == 0) {
+                continue;
+            }
+            if (!first_bucket) {
+                out << ',';
+            }
+            first_bucket = false;
+            out << '[' << Log2Histogram::bucket_floor(b) << ',' << h.counts[b] << ']';
+        }
+        out << "]}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+void MetricsRegistry::reset_values() {
+    std::lock_guard lock(mutex_);
+    for (auto& [name, c] : counters_) {
+        c.reset();
+    }
+    for (auto& [name, g] : gauges_) {
+        g.reset();
+    }
+    for (auto& [name, h] : histograms_) {
+        h.reset();
+    }
+}
+
+std::size_t MetricsRegistry::size() const {
+    std::lock_guard lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    // Leaked singleton: instrumentation may run during static destruction
+    // (e.g. thread pools draining), so the registry must never be destroyed.
+    static auto* instance = new MetricsRegistry();
+    return *instance;
+}
+
+}  // namespace rrs::obs

@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Library-wide metrics primitives: relaxed-atomic counters, gauges, and
+/// log₂ histograms, plus a named registry that aggregates them for export.
+///
+/// Design contract (DESIGN.md §9):
+///  * Recording is wait-free: one relaxed atomic RMW per event, no mutex on
+///    any hot path.  A `Counter&`/`Gauge&`/`Log2Histogram&` obtained from a
+///    registry stays valid for the registry's lifetime, so call sites look
+///    the metric up once (static local) and then only touch the atomic.
+///  * The primitives are also usable standalone — `ServiceMetrics`
+///    (service/metrics.hpp) keeps per-service instances without going
+///    through any registry, and its JSON shape is unchanged.
+///  * Registration (name → metric) is mutex-protected and expected cold.
+///
+/// Naming convention: dot-separated lowercase paths, `<subsystem>.<what>`
+/// with unit suffixes where ambiguous — e.g. `kernel.builds`,
+/// `fft.forward`, `conv.points`, `service.tile.hits`.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrs::obs {
+
+/// Monotone event counter (wait-free, relaxed ordering).
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. cache bytes, queue depth).
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t v) noexcept { value_.fetch_add(v, std::memory_order_relaxed); }
+    std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log₂-bucketed histogram over non-negative integer samples.
+/// Bucket b counts samples in [2^b, 2^(b+1)) (bucket 0 is [0, 2)); the last
+/// bucket absorbs everything larger.  Also tracks Σ samples for means.
+/// With microsecond samples the last bucket starts at ~33.6 s — this is the
+/// generalisation of the tile service's latency histogram.
+class Log2Histogram {
+public:
+    static constexpr std::size_t kBuckets = 26;
+
+    void record(std::uint64_t sample) noexcept {
+        counts_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(sample, std::memory_order_relaxed);
+    }
+
+    static std::size_t bucket_of(std::uint64_t sample) noexcept {
+        std::size_t b = 0;
+        while (sample > 1 && b + 1 < kBuckets) {
+            sample >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    /// Inclusive lower bound of bucket `b`.
+    static std::uint64_t bucket_floor(std::size_t b) noexcept {
+        return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+
+    std::uint64_t count(std::size_t b) const noexcept {
+        return counts_[b].load(std::memory_order_relaxed);
+    }
+    std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+    void reset() noexcept {
+        for (auto& c : counts_) {
+            c.store(0, std::memory_order_relaxed);
+        }
+        sum_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain-value copy of one histogram plus derived quantile estimates
+/// (upper bound of the bucket holding the quantile — conservative).
+struct HistogramSnapshot {
+    std::array<std::uint64_t, Log2Histogram::kBuckets> counts{};
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+};
+
+/// Read a histogram into a value snapshot (quantiles included).
+HistogramSnapshot snapshot_histogram(const Log2Histogram& h);
+
+/// Upper bound of the bucket holding quantile `q` of `counts` — the shared
+/// quantile estimator (service/metrics.cpp reuses it for latency p50/p95/p99).
+std::uint64_t histogram_quantile(
+    const std::array<std::uint64_t, Log2Histogram::kBuckets>& counts,
+    std::uint64_t samples, double q);
+
+/// Named metric registry.  Metrics are created on first lookup and live as
+/// long as the registry; lookups of an existing name return the same object
+/// (same name, same kind — a kind clash throws std::logic_error).
+class MetricsRegistry {
+public:
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Log2Histogram& histogram(std::string_view name);
+
+    /// Point-in-time copy of every registered metric, name-sorted.
+    struct Snapshot {
+        std::vector<std::pair<std::string, std::uint64_t>> counters;
+        std::vector<std::pair<std::string, std::int64_t>> gauges;
+        std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    };
+    Snapshot snapshot() const;
+
+    /// One JSON object, stable (sorted) key order:
+    /// {"counters":{...},"gauges":{...},"histograms":{"name":{"samples":..,
+    /// "mean":..,"p50":..,"p95":..,"p99":..,"buckets":[[floor,count],...]}}}
+    std::string to_json() const;
+
+    /// Zero every metric's value; registrations (and references handed out)
+    /// stay valid.  Meant for tests and between benchmark legs.
+    void reset_values();
+
+    /// Number of registered metrics of all kinds.
+    std::size_t size() const;
+
+    /// The process-wide registry the library's built-in instrumentation
+    /// records into (`rrsgen --metrics` exports it).
+    static MetricsRegistry& global();
+
+private:
+    // std::map: node-based, so metric addresses are stable across inserts.
+    mutable std::mutex mutex_;
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, Log2Histogram, std::less<>> histograms_;
+};
+
+}  // namespace rrs::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace rrs::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread span storage.  The owning thread is the only writer; readers
+/// (export) take a best-effort snapshot of completed slots.
+struct ThreadRing {
+    static constexpr std::size_t kRingCapacity = std::size_t{1} << 14;  // 16384 spans
+
+    std::vector<TraceEvent> slots{kRingCapacity};
+    /// Total spans ever recorded by this thread; the write cursor is
+    /// head % capacity.  Published with release so a reader that acquires
+    /// `head` sees every slot the count covers.
+    std::atomic<std::uint64_t> head{0};
+    std::uint32_t tid = 0;
+};
+
+struct TraceState {
+    std::mutex mutex;
+    // shared_ptr: rings must outlive both their thread and any reset() —
+    // exiting threads may still hold a cached pointer.
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+};
+
+TraceState& state() {
+    // Leaked: spans may record during static destruction of other objects.
+    static auto* s = new TraceState();
+    return *s;
+}
+
+ThreadRing& thread_ring() {
+    thread_local std::shared_ptr<ThreadRing> ring = [] {
+        auto r = std::make_shared<ThreadRing>();
+        TraceState& s = state();
+        std::lock_guard lock(s.mutex);
+        r->tid = static_cast<std::uint32_t>(s.rings.size());
+        s.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+const std::chrono::steady_clock::time_point g_epoch = std::chrono::steady_clock::now();
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_epoch)
+            .count());
+}
+
+void trace_record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept {
+    ThreadRing& ring = thread_ring();
+    const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+    TraceEvent& slot = ring.slots[head % ThreadRing::kRingCapacity];
+    slot.name = name;
+    slot.t0_ns = t0_ns;
+    slot.t1_ns = t1_ns;
+    slot.tid = ring.tid;
+    ring.head.store(head + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void trace_enable() noexcept {
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_disable() noexcept {
+    detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void trace_reset() noexcept {
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    for (const auto& ring : s.rings) {
+        ring->head.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t trace_dropped() noexcept {
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    std::uint64_t dropped = 0;
+    for (const auto& ring : s.rings) {
+        const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+        if (head > ThreadRing::kRingCapacity) {
+            dropped += head - ThreadRing::kRingCapacity;
+        }
+    }
+    return dropped;
+}
+
+std::vector<TraceEvent> trace_events() {
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    {
+        TraceState& s = state();
+        std::lock_guard lock(s.mutex);
+        rings = s.rings;
+    }
+    std::vector<TraceEvent> events;
+    for (const auto& ring : rings) {
+        const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(head, ThreadRing::kRingCapacity);
+        const std::uint64_t first = head - n;
+        for (std::uint64_t i = first; i < head; ++i) {
+            const TraceEvent& e = ring->slots[i % ThreadRing::kRingCapacity];
+            if (e.name != nullptr) {
+                events.push_back(e);
+            }
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) { return a.t0_ns < b.t0_ns; });
+    return events;
+}
+
+void write_chrome_trace(std::ostream& out) {
+    const std::vector<TraceEvent> events = trace_events();
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& e : events) {
+        if (!first) {
+            out << ',';
+        }
+        first = false;
+        // Complete ('X') events; Chrome wants µs.  Durations keep ns
+        // resolution as fractional µs.
+        out << "{\"name\":\"" << e.name << "\",\"cat\":\"rrs\",\"ph\":\"X\",\"ts\":"
+            << static_cast<double>(e.t0_ns) / 1000.0
+            << ",\"dur\":" << static_cast<double>(e.t1_ns - e.t0_ns) / 1000.0
+            << ",\"pid\":1,\"tid\":" << e.tid << '}';
+    }
+    out << "]}\n";
+}
+
+std::string chrome_trace_json() {
+    std::ostringstream out;
+    write_chrome_trace(out);
+    return out.str();
+}
+
+}  // namespace rrs::obs

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file trace.hpp
+/// Scoped-span tracing with Chrome `trace_event` JSON export.
+///
+/// Usage at an instrumentation site:
+///
+///     void build_kernel() {
+///         RRS_TRACE_SPAN("kernel.build");
+///         ...                      // span covers the enclosing scope
+///     }
+///
+/// Contract (DESIGN.md §9):
+///  * Disabled by default.  With tracing disabled the span macro costs one
+///    relaxed atomic load and two branches — no clock read, no allocation,
+///    no store.  Library code may therefore instrument hot stages
+///    unconditionally; benches assert the enabled overhead stays small.
+///  * When enabled (`trace_enable()`), each span records {name, t0, t1,
+///    thread} into a lock-free per-thread ring buffer: the owning thread is
+///    the only writer, so recording is a plain array store plus one
+///    release-ordered index publish.  Rings hold the most recent
+///    `kRingCapacity` spans per thread; older spans are overwritten and
+///    counted in `trace_dropped()`.
+///  * Span names must be string literals (or otherwise outlive the trace) —
+///    the ring stores the pointer, not a copy.
+///  * Export (`write_chrome_trace`) is meant to run after the traced work
+///    has quiesced; exporting while spans are actively recording yields a
+///    best-effort snapshot.  Load the output in chrome://tracing or Perfetto.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrs::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+/// Monotonic nanoseconds since the process trace epoch.
+std::uint64_t trace_now_ns() noexcept;
+
+/// Record one completed span into the calling thread's ring.
+void trace_record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept;
+}  // namespace detail
+
+/// Is span recording active?  (Relaxed load — the only cost a disabled
+/// span pays.)
+inline bool trace_enabled() noexcept {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void trace_enable() noexcept;
+void trace_disable() noexcept;
+
+/// Forget all recorded spans (ring indices rewind; buffers are retained).
+void trace_reset() noexcept;
+
+/// Spans lost to ring wrap-around since the last reset.
+std::uint64_t trace_dropped() noexcept;
+
+/// One completed span, times in nanoseconds since the trace epoch.
+struct TraceEvent {
+    const char* name = nullptr;
+    std::uint64_t t0_ns = 0;
+    std::uint64_t t1_ns = 0;
+    std::uint32_t tid = 0;  ///< dense per-process thread index (not OS tid)
+};
+
+/// Snapshot of every retained span across all threads, sorted by t0.
+std::vector<TraceEvent> trace_events();
+
+/// Write the retained spans as a Chrome trace_event JSON document
+/// ({"traceEvents":[...complete 'X' events...]}, timestamps in µs).
+void write_chrome_trace(std::ostream& out);
+
+/// write_chrome_trace into a string (tests / small traces).
+std::string chrome_trace_json();
+
+/// RAII span: measures construction → destruction when tracing is enabled,
+/// does nothing otherwise.  `name` must outlive the trace (use a literal).
+class TraceSpan {
+public:
+    explicit TraceSpan(const char* name) noexcept {
+        if (trace_enabled()) {
+            name_ = name;
+            t0_ = detail::trace_now_ns();
+        }
+    }
+    ~TraceSpan() {
+        if (name_ != nullptr) {
+            detail::trace_record(name_, t0_, detail::trace_now_ns());
+        }
+    }
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+    const char* name_ = nullptr;
+    std::uint64_t t0_ = 0;
+};
+
+}  // namespace rrs::obs
+
+#define RRS_OBS_CONCAT_IMPL(a, b) a##b
+#define RRS_OBS_CONCAT(a, b) RRS_OBS_CONCAT_IMPL(a, b)
+
+/// Trace the enclosing scope as one span named `name` (a string literal).
+#define RRS_TRACE_SPAN(name) \
+    ::rrs::obs::TraceSpan RRS_OBS_CONCAT(rrs_trace_span_, __LINE__) { name }

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "grid/array2d.hpp"
+#include "grid/rect.hpp"
 #include "rng/engines.hpp"
 #include "rng/hash.hpp"
 #include "special/constants.hpp"
@@ -101,6 +103,13 @@ public:
         const double unit = to_unit_open_zero(hash_coords(seed_, ix, iy, 2));
         return box_muller_paper(angle, unit);
     }
+
+    /// Bulk noise fill — the instrumented lattice-fill primitive every
+    /// generator uses.  Writes noise for `window` into the top-left
+    /// (window.nx × window.ny) block of `out` (which may be larger, e.g.
+    /// zero-padded for an FFT), parallel over rows.  Traced as "noise.fill"
+    /// and counted under "noise.points".
+    void fill(const Rect& window, Array2D<double>& out) const;
 
 private:
     std::uint64_t seed_;

@@ -38,6 +38,8 @@
 #include "grid/rect.hpp"
 #include "io/table.hpp"
 #include "io/writers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "propagation/diffraction.hpp"
 #include "propagation/hata.hpp"
 #include "propagation/link_budget.hpp"

@@ -6,32 +6,6 @@ namespace rrs {
 
 namespace {
 
-/// Upper bound (exclusive) of histogram bucket `b` in microseconds; the
-/// overflow bucket reports its floor (there is no finite ceiling).
-std::uint64_t bucket_ceil_us(std::size_t b) {
-    if (b + 1 >= LatencyHistogram::kBuckets) {
-        return LatencyHistogram::bucket_floor_us(b);
-    }
-    return LatencyHistogram::bucket_floor_us(b + 1);
-}
-
-/// Upper bound of the bucket holding quantile `q` of `counts`.
-std::uint64_t quantile_us(const std::array<std::uint64_t, LatencyHistogram::kBuckets>& counts,
-                          std::uint64_t samples, double q) {
-    if (samples == 0) {
-        return 0;
-    }
-    const double target = q * static_cast<double>(samples);
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < counts.size(); ++b) {
-        seen += counts[b];
-        if (static_cast<double>(seen) >= target) {
-            return bucket_ceil_us(b);
-        }
-    }
-    return bucket_ceil_us(counts.size() - 1);
-}
-
 void append_field(std::ostringstream& out, const char* key, std::uint64_t value,
                   bool& first) {
     if (!first) {
@@ -44,27 +18,25 @@ void append_field(std::ostringstream& out, const char* key, std::uint64_t value,
 }  // namespace
 
 void ServiceMetrics::fill_snapshot(MetricsSnapshot& out) const {
-    out.requests = requests_.load(std::memory_order_relaxed);
-    out.cache_hits = hits_.load(std::memory_order_relaxed);
-    out.cache_misses = misses_.load(std::memory_order_relaxed);
-    out.generations = generations_.load(std::memory_order_relaxed);
-    out.generation_failures = generation_failures_.load(std::memory_order_relaxed);
-    out.coalesced = coalesced_.load(std::memory_order_relaxed);
-    out.batches = batches_.load(std::memory_order_relaxed);
+    out.requests = requests_.value();
+    out.cache_hits = hits_.value();
+    out.cache_misses = misses_.value();
+    out.generations = generations_.value();
+    out.generation_failures = generation_failures_.value();
+    out.coalesced = coalesced_.value();
+    out.batches = batches_.value();
 
+    // The latency block reuses the shared obs quantile estimator (upper
+    // bucket bound — conservative, never under-reports).
+    const obs::HistogramSnapshot h = obs::snapshot_histogram(latency_);
     LatencySnapshot& lat = out.latency;
-    lat.samples = 0;
-    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
-        lat.counts[b] = latency_.count(b);
-        lat.samples += lat.counts[b];
-    }
-    lat.total_micros = latency_.total_micros();
-    lat.mean_us = lat.samples == 0 ? 0.0
-                                   : static_cast<double>(lat.total_micros) /
-                                         static_cast<double>(lat.samples);
-    lat.p50_us = quantile_us(lat.counts, lat.samples, 0.50);
-    lat.p95_us = quantile_us(lat.counts, lat.samples, 0.95);
-    lat.p99_us = quantile_us(lat.counts, lat.samples, 0.99);
+    lat.counts = h.counts;
+    lat.samples = h.samples;
+    lat.total_micros = h.sum;
+    lat.mean_us = h.mean;
+    lat.p50_us = h.p50;
+    lat.p95_us = h.p95;
+    lat.p99_us = h.p99;
 }
 
 std::string MetricsSnapshot::to_json() const {

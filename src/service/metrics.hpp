@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file metrics.hpp
-/// Lock-cheap operational counters for the tile service.
+/// Lock-cheap operational counters for the tile service — a client of the
+/// library-wide observability primitives (obs/metrics.hpp).
 ///
 /// Hot-path cost is one relaxed atomic increment per event (plus one for the
 /// latency bucket); there is no mutex anywhere.  Readers take a
@@ -14,50 +15,33 @@
 ///
 /// i.e. every request either hits the cache, starts the one generation for
 /// its tile, or coalesces onto a generation already in flight.
+///
+/// Each service keeps its own ServiceMetrics instance (per-service JSON
+/// stays self-consistent); the service additionally mirrors its events into
+/// the process-wide `obs::MetricsRegistry::global()` under `service.tile.*`
+/// so registry exports (`rrsgen --metrics`, `rrstile --metrics`) see
+/// combined traffic.
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace rrs {
 
-/// Fixed log₂-bucketed latency histogram over microseconds.
+/// Fixed log₂-bucketed latency histogram over microseconds — the generic
+/// obs::Log2Histogram with microsecond-named accessors.
 /// Bucket b counts samples in [2^b, 2^(b+1)) µs (bucket 0 is [0, 2) µs);
-/// the last bucket absorbs everything slower.
-class LatencyHistogram {
+/// the last bucket absorbs everything slower (≥ ~33.6 s).
+class LatencyHistogram : public obs::Log2Histogram {
 public:
-    static constexpr std::size_t kBuckets = 26;  // last bucket: ≥ ~33.6 s
-
-    void record(std::uint64_t micros) noexcept {
-        counts_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
-        total_micros_.fetch_add(micros, std::memory_order_relaxed);
-    }
-
-    static std::size_t bucket_of(std::uint64_t micros) noexcept {
-        std::size_t b = 0;
-        while (micros > 1 && b + 1 < kBuckets) {
-            micros >>= 1;
-            ++b;
-        }
-        return b;
-    }
-
     /// Inclusive lower bound of bucket `b` in microseconds.
     static std::uint64_t bucket_floor_us(std::size_t b) noexcept {
-        return b == 0 ? 0 : (std::uint64_t{1} << b);
+        return bucket_floor(b);
     }
 
-    std::uint64_t count(std::size_t b) const noexcept {
-        return counts_[b].load(std::memory_order_relaxed);
-    }
-    std::uint64_t total_micros() const noexcept {
-        return total_micros_.load(std::memory_order_relaxed);
-    }
-
-private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-    std::atomic<std::uint64_t> total_micros_{0};
+    std::uint64_t total_micros() const noexcept { return sum(); }
 };
 
 /// Plain-value export of the histogram: per-bucket counts plus the quantile
@@ -104,19 +88,13 @@ struct MetricsSnapshot {
 /// The service-side counters (cache counters live in TileCache).
 class ServiceMetrics {
 public:
-    void record_hit() noexcept { hits_.fetch_add(1, std::memory_order_relaxed); }
-    void record_miss() noexcept { misses_.fetch_add(1, std::memory_order_relaxed); }
-    void record_request() noexcept { requests_.fetch_add(1, std::memory_order_relaxed); }
-    void record_generation() noexcept {
-        generations_.fetch_add(1, std::memory_order_relaxed);
-    }
-    void record_generation_failure() noexcept {
-        generation_failures_.fetch_add(1, std::memory_order_relaxed);
-    }
-    void record_coalesced() noexcept {
-        coalesced_.fetch_add(1, std::memory_order_relaxed);
-    }
-    void record_batch() noexcept { batches_.fetch_add(1, std::memory_order_relaxed); }
+    void record_hit() noexcept { hits_.add(); }
+    void record_miss() noexcept { misses_.add(); }
+    void record_request() noexcept { requests_.add(); }
+    void record_generation() noexcept { generations_.add(); }
+    void record_generation_failure() noexcept { generation_failures_.add(); }
+    void record_coalesced() noexcept { coalesced_.add(); }
+    void record_batch() noexcept { batches_.add(); }
     void record_latency_us(std::uint64_t micros) noexcept { latency_.record(micros); }
 
     /// Copy the counters into `out` (cache fields are left untouched — the
@@ -124,13 +102,13 @@ public:
     void fill_snapshot(MetricsSnapshot& out) const;
 
 private:
-    std::atomic<std::uint64_t> requests_{0};
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> generations_{0};
-    std::atomic<std::uint64_t> generation_failures_{0};
-    std::atomic<std::uint64_t> coalesced_{0};
-    std::atomic<std::uint64_t> batches_{0};
+    obs::Counter requests_;
+    obs::Counter hits_;
+    obs::Counter misses_;
+    obs::Counter generations_;
+    obs::Counter generation_failures_;
+    obs::Counter coalesced_;
+    obs::Counter batches_;
     LatencyHistogram latency_;
 };
 

@@ -6,10 +6,32 @@
 #include <utility>
 
 #include "core/validate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rrs {
 
 namespace {
+
+/// Process-wide mirrors of the per-service counters (obs registry view of
+/// combined traffic across every TileService in the process).
+struct GlobalTileCounters {
+    obs::Counter& requests;
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& coalesced;
+    obs::Counter& generations;
+
+    static GlobalTileCounters& get() {
+        static GlobalTileCounters c{
+            obs::MetricsRegistry::global().counter("service.tile.requests"),
+            obs::MetricsRegistry::global().counter("service.tile.hits"),
+            obs::MetricsRegistry::global().counter("service.tile.misses"),
+            obs::MetricsRegistry::global().counter("service.tile.coalesced"),
+            obs::MetricsRegistry::global().counter("service.tile.generations")};
+        return c;
+    }
+};
 
 using clock_type = std::chrono::steady_clock;
 
@@ -50,13 +72,16 @@ TileService::TileService(std::function<Array2D<double>(const Rect&)> generate,
 TilePtr TileService::get(const TileKey& key) {
     const auto t0 = clock_type::now();
     metrics_.record_request();
+    GlobalTileCounters::get().requests.add();
     const TileAddress address{fingerprint_, key};
     if (TilePtr hit = cache_->find(address)) {
         metrics_.record_hit();
+        GlobalTileCounters::get().hits.add();
         metrics_.record_latency_us(micros_since(t0));
         return hit;
     }
     metrics_.record_miss();
+    GlobalTileCounters::get().misses.add();
     TilePtr tile = generate_or_join(key);
     metrics_.record_latency_us(micros_since(t0));
     return tile;
@@ -73,6 +98,7 @@ TilePtr TileService::generate_or_join(const TileKey& key) {
         if (it != inflight_.end()) {
             future = it->second;
             metrics_.record_coalesced();
+            GlobalTileCounters::get().coalesced.add();
         } else {
             future = promise.get_future().share();
             inflight_.emplace(address, future);
@@ -81,7 +107,9 @@ TilePtr TileService::generate_or_join(const TileKey& key) {
     }
     if (leader) {
         metrics_.record_generation();
+        GlobalTileCounters::get().generations.add();
         try {
+            RRS_TRACE_SPAN("tile.generate");
             TilePtr tile = std::make_shared<const Array2D<double>>(
                 generate_(tile_rect(opt_.shape, key)));
             // Publish to the cache BEFORE retiring the in-flight entry, so a
@@ -140,8 +168,16 @@ std::vector<TilePtr> TileService::get_many(const std::vector<TileKey>& keys) {
 }
 
 Array2D<double> TileService::window(const Rect& region) {
-    check_positive_count(region.nx, "region.nx", {"TileService", "window"});
-    check_positive_count(region.ny, "region.ny", {"TileService", "window"});
+    RRS_TRACE_SPAN("tile.window");
+    RRS_CHECK(region.nx >= 0, "TileService::window", "region.nx must be non-negative");
+    RRS_CHECK(region.ny >= 0, "TileService::window", "region.ny must be non-negative");
+    if (region.nx == 0 || region.ny == 0) {
+        // Degenerate 0×N / N×0 / 0×0 windows are valid empty requests: no
+        // tiles are touched and no metrics recorded — just the (possibly
+        // zero-extent-but-shaped) empty array.
+        return Array2D<double>(static_cast<std::size_t>(region.nx),
+                               static_cast<std::size_t>(region.ny));
+    }
     (void)checked_mul(region.nx, region.ny, "region.nx * region.ny",
                       {"TileService", "window"});
     const std::vector<TileKey> keys = covering_tiles(opt_.shape, region);

@@ -92,6 +92,9 @@ public:
 
     /// Assemble an arbitrary lattice window from cached/generated tiles —
     /// bit-identical to `generate(region)` on the wrapped generator.
+    /// Degenerate regions (0×N, N×0, 0×0) are valid empty requests and
+    /// return an empty array of the requested shape without touching any
+    /// tile or metric; negative extents throw ConfigError.
     Array2D<double> window(const Rect& region);
 
     /// Point-in-time counters (service + its cache view).

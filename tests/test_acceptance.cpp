@@ -1,0 +1,137 @@
+// Statistical acceptance tier (ctest label "stats"): seeded ensemble runs
+// asserting the generated surfaces reproduce the paper's closed-form
+// statistics for all three spectrum families (§2.1):
+//
+//   * the empirical ACF matches the analytic ρ(r) lag-by-lag,
+//   * the 1/e correlation length matches correlation_distance(ρ),
+//   * height moments: mean ≈ 0, σ ≈ h, excess kurtosis ≈ 0,
+//   * decorrelated height subsamples pass KS and χ² normality tests.
+//
+// Everything is seeded, so the assertions are deterministic; tolerances
+// are sized from the effective sample count (the fields hold ~(L/cl)²
+// independent correlation cells each, not L² independent points).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/convolution.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/ensemble.hpp"
+#include "stats/gof.hpp"
+#include "stats/moments.hpp"
+
+namespace rrs {
+namespace {
+
+constexpr std::size_t kKernelGrid = 128;
+constexpr std::int64_t kField = 128;    // one realisation is kField² points
+constexpr std::size_t kRealisations = 8;
+constexpr std::size_t kMaxLag = 24;
+constexpr double kCl = 8.0;             // correlation length in lattice units
+
+struct FamilyRun {
+    EnsembleStats stats;              ///< pooled moments + ensemble-mean ACF
+    std::vector<double> standardised; ///< decorrelated samples, (x−0)/σ̂
+};
+
+/// Generate the seeded ensemble for one spectrum family and pool its
+/// statistics.  The normality subsample strides 3·cl in both axes, so
+/// neighbouring samples are ~e⁻³-correlated (effectively independent),
+/// and pools across realisations (independent by construction).
+FamilyRun run_family(const SpectrumPtr& s, std::uint64_t seed_base) {
+    const ConvolutionKernel kernel = ConvolutionKernel::build_truncated(
+        *s, GridSpec::unit_spacing(kKernelGrid, kKernelGrid), 1e-6);
+
+    std::vector<Array2D<double>> fields;
+    fields.reserve(kRealisations);
+    for (std::size_t k = 0; k < kRealisations; ++k) {
+        const ConvolutionGenerator gen(kernel, seed_base + k);
+        fields.push_back(gen.generate(Rect{0, 0, kField, kField}));
+    }
+
+    FamilyRun run;
+    run.stats = ensemble_stats(
+        [&](std::uint64_t k) { return fields[static_cast<std::size_t>(k)]; },
+        kRealisations, kMaxLag);
+
+    const auto stride = static_cast<std::size_t>(3.0 * kCl);
+    const double sigma = run.stats.moments.stddev;
+    for (const auto& f : fields) {
+        for (std::size_t iy = 0; iy < f.ny(); iy += stride) {
+            for (std::size_t ix = 0; ix < f.nx(); ix += stride) {
+                run.standardised.push_back(f(ix, iy) / sigma);
+            }
+        }
+    }
+    return run;
+}
+
+/// Shared assertions: moments, ACF-vs-ρ, correlation length, normality.
+void expect_family_acceptance(const SpectrumPtr& s, const FamilyRun& run) {
+    const double h = s->params().h;
+    const double var = h * h;
+
+    // ~(kField/cl)² independent cells per field, kRealisations fields.
+    // sd(mean) ≈ h/√n_eff ≈ 0.022·h; sd(g2) ≈ √(24/n_eff) ≈ 0.11.
+    EXPECT_EQ(run.stats.realisations, kRealisations);
+    EXPECT_NEAR(run.stats.moments.mean, 0.0, 0.08 * h);
+    EXPECT_NEAR(run.stats.moments.stddev, h, 0.06 * h);
+    EXPECT_NEAR(run.stats.moments.skewness, 0.0, 0.25);
+    EXPECT_NEAR(run.stats.moments.excess_kurtosis, 0.0, 0.35);
+
+    // Lag-by-lag ACF against the closed form, both axes.
+    for (const std::size_t lag : {0u, 4u, 8u, 16u, 24u}) {
+        const double rho = s->autocorrelation(static_cast<double>(lag), 0.0);
+        EXPECT_NEAR(run.stats.acf_x[lag], rho, 0.12 * var)
+            << s->name() << " acf_x lag " << lag;
+        EXPECT_NEAR(run.stats.acf_y[lag], rho, 0.12 * var)
+            << s->name() << " acf_y lag " << lag;
+    }
+
+    // 1/e correlation length against the family's analytic crossing (cl
+    // exactly for Gaussian/Exponential; a different multiple for PowerLaw).
+    const double cl_analytic = correlation_distance(*s, std::exp(-1.0));
+    EXPECT_NEAR(run.stats.cl_x, cl_analytic, 0.15 * cl_analytic) << s->name();
+    EXPECT_NEAR(run.stats.cl_y, cl_analytic, 0.15 * cl_analytic) << s->name();
+
+    // Heights are Gaussian for every family (linear filter of Gaussian
+    // noise): the decorrelated subsample must pass both GoF tests.
+    ASSERT_GE(run.standardised.size(), 200u);
+    EXPECT_GT(ks_normality(run.standardised).p_value, 0.01) << s->name();
+    EXPECT_GT(chi_square_normality(run.standardised, 16).p_value, 0.01) << s->name();
+}
+
+TEST(Acceptance, GaussianFamilyMatchesClosedForm) {
+    const auto s = make_gaussian({1.0, kCl, kCl});
+    expect_family_acceptance(s, run_family(s, 1000));
+}
+
+TEST(Acceptance, PowerLawFamilyMatchesClosedForm) {
+    const auto s = make_power_law({1.25, kCl, kCl}, 2.0);
+    expect_family_acceptance(s, run_family(s, 2000));
+}
+
+TEST(Acceptance, ExponentialFamilyMatchesClosedForm) {
+    const auto s = make_exponential({0.8, kCl, kCl});
+    expect_family_acceptance(s, run_family(s, 3000));
+}
+
+TEST(Acceptance, ExponentialIsPowerLawThreeHalves) {
+    // Family cross-check (§2.1): the exponential spectrum is the N = 3/2
+    // power-law member, so the two generators driven by the same seed and
+    // kernel grid must produce (nearly) the same surface.
+    const SurfaceParams p{1.0, kCl, kCl};
+    const auto exp_s = make_exponential(p);
+    const auto pl_s = make_power_law(p, 1.5);
+    const GridSpec g = GridSpec::unit_spacing(kKernelGrid, kKernelGrid);
+    const ConvolutionGenerator a(ConvolutionKernel::build_truncated(*exp_s, g, 1e-8), 7);
+    const ConvolutionGenerator b(ConvolutionKernel::build_truncated(*pl_s, g, 1e-8), 7);
+    const auto fa = a.generate(Rect{0, 0, 64, 64});
+    const auto fb = b.generate(Rect{0, 0, 64, 64});
+    EXPECT_LT(max_abs_diff(fa, fb), 1e-6);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "core/convolution.hpp"
 #include "core/direct_dft.hpp"
@@ -156,6 +158,99 @@ TEST(Convolution, MoveConstructionPreservesBehaviour) {
     const auto before = gen.generate(Rect{0, 0, 16, 16});
     ConvolutionGenerator moved{std::move(gen)};
     EXPECT_EQ(moved.generate(Rect{0, 0, 16, 16}), before);
+}
+
+// --- determinism sweeps ------------------------------------------------------
+
+/// Pins RRS_THREADS for a scope (max_threads() re-reads the environment on
+/// every call, so this changes the worker count of subsequent parallel_for
+/// regions in-process) and restores the previous value on destruction.
+class ThreadCountGuard {
+public:
+    explicit ThreadCountGuard(int threads) {
+        const char* prev = std::getenv("RRS_THREADS");
+        had_prev_ = prev != nullptr;
+        if (had_prev_) {
+            prev_ = prev;
+        }
+        ::setenv("RRS_THREADS", std::to_string(threads).c_str(), 1);
+    }
+    ~ThreadCountGuard() {
+        if (had_prev_) {
+            ::setenv("RRS_THREADS", prev_.c_str(), 1);
+        } else {
+            ::unsetenv("RRS_THREADS");
+        }
+    }
+    ThreadCountGuard(const ThreadCountGuard&) = delete;
+    ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+private:
+    bool had_prev_ = false;
+    std::string prev_;
+};
+
+TEST(Convolution, BitIdenticalAcrossThreadCounts) {
+    // The paper's successive-computation promise depends on the noise
+    // lattice being a pure function of (seed, coords): the worker count
+    // must never leak into the surface.  Sweep odd and even tile sizes
+    // (odd extents exercise uneven row partitions) for both engines.
+    const auto gen = make_gen(make_gaussian({1.0, 6.0, 6.0}), 77, 1e-6, 64);
+    for (const Rect r : {Rect{-5, 3, 33, 17}, Rect{0, 0, 32, 32}, Rect{7, -9, 31, 48}}) {
+        Array2D<double> fft1;
+        Array2D<double> direct1;
+        {
+            const ThreadCountGuard one(1);
+            fft1 = gen.generate(r);
+            direct1 = gen.generate_direct(r);
+        }
+        for (const int threads : {2, 5}) {
+            const ThreadCountGuard many(threads);
+            EXPECT_EQ(gen.generate(r), fft1)
+                << "fft engine, " << threads << " threads, rect " << r.nx << "x" << r.ny;
+            EXPECT_EQ(gen.generate_direct(r), direct1)
+                << "direct engine, " << threads << " threads, rect " << r.nx << "x"
+                << r.ny;
+        }
+    }
+}
+
+TEST(Convolution, TruncatedKernelsStayDeterministicAcrossThreadCounts) {
+    // Truncation changes the kernel support (and the halo), not the
+    // determinism contract; sweep truncation levels including the full
+    // (even-dimension) kernel.
+    const auto s = make_exponential({1.0, 5.0, 5.0});
+    const GridSpec g = GridSpec::unit_spacing(64, 64);
+    const Rect r{-11, 6, 29, 22};
+    for (const double eps : {1e-3, 1e-8}) {
+        const ConvolutionGenerator gen(ConvolutionKernel::build_truncated(*s, g, eps),
+                                       55);
+        Array2D<double> base;
+        {
+            const ThreadCountGuard one(1);
+            base = gen.generate(r);
+        }
+        const ThreadCountGuard many(4);
+        EXPECT_EQ(gen.generate(r), base) << "eps=" << eps;
+        // And the engines still agree on the truncated kernel.
+        EXPECT_LT(max_abs_diff(gen.generate_direct(r), base), 1e-10) << "eps=" << eps;
+    }
+}
+
+TEST(Convolution, NoiseFillBitIdenticalAcrossThreadCounts) {
+    const GaussianLattice lattice(321);
+    const Rect window{-13, 40, 27, 19};
+    Array2D<double> a(27, 19);
+    Array2D<double> b(27, 19);
+    {
+        const ThreadCountGuard one(1);
+        lattice.fill(window, a);
+    }
+    {
+        const ThreadCountGuard many(6);
+        lattice.fill(window, b);
+    }
+    EXPECT_EQ(a, b);
 }
 
 // --- the paper's eq. (30) == eq. (36) equivalence, exactly -------------------

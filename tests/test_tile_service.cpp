@@ -396,7 +396,27 @@ TEST(TileService, RejectsBadConfiguration) {
     TileService::Options opt;
     opt.shape = TileShape{16, 16};
     TileService service(gen, opt);
-    EXPECT_THROW((void)service.window(Rect{0, 0, 0, 4}), ConfigError);
+    // Negative extents are malformed requests; degenerate (zero) extents
+    // are valid empty requests (see DegenerateWindowIsEmpty).
+    EXPECT_THROW((void)service.window(Rect{0, 0, -1, 4}), ConfigError);
+    EXPECT_THROW((void)service.window(Rect{0, 0, 4, -2}), ConfigError);
+}
+
+TEST(TileService, DegenerateWindowIsEmpty) {
+    const auto gen = make_gen(9);
+    TileService::Options opt;
+    opt.shape = TileShape{16, 16};
+    TileService service(gen, opt);
+    for (const Rect r : {Rect{0, 0, 0, 4}, Rect{-3, 7, 5, 0}, Rect{2, 2, 0, 0}}) {
+        const Array2D<double> w = service.window(r);
+        EXPECT_EQ(w.nx(), static_cast<std::size_t>(r.nx));
+        EXPECT_EQ(w.ny(), static_cast<std::size_t>(r.ny));
+        EXPECT_EQ(w.size(), 0u);
+    }
+    // Empty requests touch no tiles: the metrics stay silent.
+    const MetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.requests, 0u);
+    EXPECT_EQ(m.generations, 0u);
 }
 
 }  // namespace

@@ -26,9 +26,22 @@ run_preset() {
     cmake --preset "$preset"
     echo "==> [$preset] build"
     cmake --build --preset "$preset" -j "$(nproc)"
-    echo "==> [$preset] test"
-    ctest --preset "$preset" -j "$(nproc)"
+    if [[ "$preset" == "release" ]]; then
+        # Tier 1 (fast unit/property tests) first for quick failure, then
+        # tier 2: the statistical acceptance suite (ctest label "stats").
+        # The sanitize preset excludes "stats" via its testPreset filter —
+        # ensemble runs under ASan are slow and the assertions are about
+        # statistics, not memory.
+        echo "==> [$preset] test (tier 1)"
+        ctest --preset "$preset" -j "$(nproc)" -LE stats
+        echo "==> [$preset] test (tier 2: stats)"
+        ctest --preset "$preset" -j "$(nproc)" -L stats
+    else
+        echo "==> [$preset] test"
+        ctest --preset "$preset" -j "$(nproc)"
+    fi
     rrstile_smoke "$dir"
+    rrsgen_trace_smoke "$dir"
 }
 
 # Serve a few tiles end-to-end through the tile service (coalescing cache,
@@ -50,6 +63,53 @@ rrstile_smoke() {
         *'"generation_failures":0'*'"hit_rate":0.5'*) ;;
         *) echo "==> rrstile smoke: unexpected metrics" >&2; return 1 ;;
     esac
+}
+
+# Render a tiny scene with tracing on and validate the emitted Chrome
+# trace_event JSON: parseable, all complete ('X') events, and at least six
+# distinct pipeline span names (the observability contract of DESIGN.md §9).
+rrsgen_trace_smoke() {
+    local dir=$1
+    echo "==> [$dir] rrsgen trace smoke"
+    local scene trace
+    scene=$(mktemp)
+    trace=$(mktemp)
+    cat > "$scene" <<'EOF'
+seed = 11
+kernel_grid = 64 64
+region = -32 -32 64 64
+tail_eps = 1e-6
+
+[spectrum field]
+family = gaussian
+h = 1.0
+cl = 6
+
+[spectrum pond]
+family = exponential
+h = 0.3
+cl = 6
+
+[map]
+type = circle
+center = 0 0
+radius = 20
+transition = 6
+inside = pond
+outside = field
+EOF
+    "$dir/tools/rrsgen" "$scene" --trace "$trace" --metrics > /dev/null
+    python3 - "$trace" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+names = {e["name"] for e in events}
+assert events, "trace has no events"
+assert all(e["ph"] == "X" for e in events), "expected only complete events"
+assert len(names) >= 6, f"only {len(names)} span names: {sorted(names)}"
+print(f"    trace ok: {len(events)} spans, {len(names)} distinct names")
+EOF
+    rm -f "$scene" "$trace"
 }
 
 want=${1:-all}

@@ -5,11 +5,15 @@
 // statistics, and writes the declared outputs.
 //
 //   rrsgen SCENE.rrs [--seed N] [--print-stats] [--health MODE]
+//                    [--trace FILE] [--metrics]
 //   rrsgen --example            # print a ready-to-run example scene
 //
 // --health MODE (throw | report | ignore) overrides the scene's numeric
 // health policy: `throw` aborts on NaN/Inf or implausible statistics,
 // `report` prints a diagnostic and keeps going, `ignore` skips the guards.
+// --trace FILE enables span tracing for the render and writes a Chrome
+// trace_event JSON file (load in chrome://tracing or Perfetto);
+// --metrics prints the library metrics registry as one JSON line.
 
 #include <cstring>
 #include <fstream>
@@ -17,6 +21,8 @@
 
 #include "core/error.hpp"
 #include "io/scene.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/moments.hpp"
 
 namespace {
@@ -49,9 +55,12 @@ outside = field
 
 int usage() {
     std::cerr << "usage: rrsgen SCENE.rrs [--seed N] [--print-stats] [--health MODE]\n"
+                 "                        [--trace FILE] [--metrics]\n"
                  "       rrsgen --example   (print an example scene file)\n"
                  "  --health MODE   numeric health policy: throw | report | ignore\n"
-                 "                  (default: the scene's 'health =' key, else report)\n";
+                 "                  (default: the scene's 'health =' key, else report)\n"
+                 "  --trace FILE    record pipeline spans, write Chrome trace JSON\n"
+                 "  --metrics       print the metrics registry as one JSON line\n";
     return 2;
 }
 
@@ -68,13 +77,19 @@ int main(int argc, char** argv) {
     }
 
     bool print_stats = false;
+    bool print_metrics = false;
     bool override_seed = false;
     bool override_health = false;
     HealthPolicy health = HealthPolicy::kReport;
     std::uint64_t seed = 0;
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--print-stats") == 0) {
             print_stats = true;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            print_metrics = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             override_seed = true;
             seed = std::strtoull(argv[++i], nullptr, 10);
@@ -108,15 +123,36 @@ int main(int argc, char** argv) {
                   << " surface (" << scene.map->region_count() << " region(s), seed "
                   << scene.seed << ", health " << health_policy_name(scene.health)
                   << ")\n";
+        if (!trace_path.empty()) {
+            obs::trace_enable();
+        }
         const Array2D<double> f = render_scene(scene);
+        if (!trace_path.empty()) {
+            obs::trace_disable();
+            std::ofstream trace_out(trace_path);
+            if (!trace_out) {
+                std::cerr << "rrsgen: cannot write trace to '" << trace_path << "'\n";
+                return 1;
+            }
+            obs::write_chrome_trace(trace_out);
+            std::cerr << "rrsgen: wrote trace " << trace_path << " ("
+                      << obs::trace_events().size() << " spans";
+            if (obs::trace_dropped() != 0) {
+                std::cerr << ", " << obs::trace_dropped() << " dropped";
+            }
+            std::cerr << ")\n";
+        }
         write_scene_outputs(scene, f);
         for (const auto& path : scene.outputs) {
             std::cerr << "rrsgen: wrote " << path << "\n";
         }
-        if (print_stats || scene.outputs.empty()) {
+        if (print_stats || (scene.outputs.empty() && !print_metrics)) {
             const Moments m = compute_moments({f.data(), f.size()});
             std::cout << "points " << m.count << "\nmean " << m.mean << "\nstddev "
                       << m.stddev << "\nmin " << m.min << "\nmax " << m.max << "\n";
+        }
+        if (print_metrics) {
+            std::cout << obs::MetricsRegistry::global().to_json() << "\n";
         }
     } catch (const Error& e) {
         // Taxonomy errors already render their context chain in what().

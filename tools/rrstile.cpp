@@ -18,6 +18,8 @@
 //   --seed N          override the scene's seed
 //   --out-dir DIR     also write each distinct tile as PGM into DIR
 //   --quiet           suppress the per-tile log lines
+//   --trace FILE      record pipeline spans, write Chrome trace JSON
+//   --metrics         also print the global metrics registry JSON line
 
 #include <cstdint>
 #include <cstring>
@@ -31,6 +33,8 @@
 #include "core/error.hpp"
 #include "io/scene.hpp"
 #include "io/writers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/tile_service.hpp"
 
@@ -73,7 +77,9 @@ int usage() {
            "  --repeat N      serve the request list N times (default 1)\n"
            "  --seed N        override the scene's seed\n"
            "  --out-dir DIR   write each distinct tile as PGM into DIR\n"
-           "  --quiet         suppress per-tile log lines\n";
+           "  --quiet         suppress per-tile log lines\n"
+           "  --trace FILE    record pipeline spans, write Chrome trace JSON\n"
+           "  --metrics       also print the global metrics registry JSON line\n";
     return 2;
 }
 
@@ -111,6 +117,8 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 0;
     bool quiet = false;
     bool read_stdin = false;
+    bool print_metrics = false;
+    std::string trace_path;
     std::string out_dir;
     std::vector<TileKey> requests;
 
@@ -163,6 +171,14 @@ int main(int argc, char** argv) {
             out_dir = v;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--trace") {
+            const char* v = next_value("--trace");
+            if (v == nullptr) {
+                return usage();
+            }
+            trace_path = v;
+        } else if (arg == "--metrics") {
+            print_metrics = true;
         } else if (arg == "-") {
             read_stdin = true;
         } else if (parse_tile_arg(arg, key)) {
@@ -212,6 +228,9 @@ int main(int argc, char** argv) {
                   << pool.thread_count() << " threads, cache " << cache_mb
                   << " MiB, fingerprint " << service.fingerprint() << ")\n";
 
+        if (!trace_path.empty()) {
+            obs::trace_enable();
+        }
         std::map<TileKey, TilePtr> distinct;
         for (int r = 0; r < repeat; ++r) {
             const std::vector<TilePtr> tiles = service.get_many(requests);
@@ -225,6 +244,21 @@ int main(int argc, char** argv) {
                 }
             }
         }
+        if (!trace_path.empty()) {
+            obs::trace_disable();
+            std::ofstream trace_out(trace_path);
+            if (!trace_out) {
+                std::cerr << "rrstile: cannot write trace to '" << trace_path << "'\n";
+                return 1;
+            }
+            obs::write_chrome_trace(trace_out);
+            std::cerr << "rrstile: wrote trace " << trace_path << " ("
+                      << obs::trace_events().size() << " spans";
+            if (obs::trace_dropped() != 0) {
+                std::cerr << ", " << obs::trace_dropped() << " dropped";
+            }
+            std::cerr << ")\n";
+        }
         if (!out_dir.empty()) {
             ensure_directory(out_dir);
             for (const auto& [key, tile] : distinct) {
@@ -237,6 +271,9 @@ int main(int argc, char** argv) {
             }
         }
         std::cout << service.metrics().to_json() << "\n";
+        if (print_metrics) {
+            std::cout << obs::MetricsRegistry::global().to_json() << "\n";
+        }
     } catch (const Error& e) {
         std::cerr << "rrstile: error: " << e.what() << "\n";
         return 1;
