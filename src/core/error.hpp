@@ -12,15 +12,26 @@
 ///
 /// The taxonomy deliberately multiply-inherits from the standard exception
 /// types the library historically threw (std::invalid_argument for
-/// configuration problems, std::runtime_error for numeric/I-O problems), so
-/// existing `catch (const std::invalid_argument&)` call sites — and the
-/// seed test-suite — keep working while new code can catch rrs::Error to
-/// get the structured chain.
+/// configuration problems, std::runtime_error for numeric/I-O problems,
+/// std::domain_error / std::out_of_range / std::logic_error for the
+/// mathematical and indexing layers), so existing
+/// `catch (const std::invalid_argument&)` call sites — and the seed
+/// test-suite — keep working while new code can catch rrs::Error to get the
+/// structured chain.
 ///
 ///   Error (abstract mixin, not a std::exception)
 ///   ├── ConfigError  : std::invalid_argument — bad parameters / bad input
 ///   ├── NumericError : std::runtime_error    — NaN/Inf, energy loss, ...
-///   └── IoError      : std::runtime_error    — files, serialized state
+///   ├── IoError      : std::runtime_error    — files, serialized state
+///   ├── DomainError  : std::domain_error     — math argument outside domain
+///   ├── BoundsError  : std::out_of_range     — index / window out of range
+///   └── StateError   : std::logic_error      — API misuse, invalid state
+///
+/// This header is intentionally header-only: the leaf libraries (grid, fft,
+/// special, stats, ...) sit *below* rrs::core in the link graph but still
+/// throw taxonomy types, which must not drag in a link dependency.
+/// `tools/rrslint` machine-enforces that every `throw` in src/ uses this
+/// taxonomy (DESIGN.md §11).
 ///
 /// See validate.hpp for the RRS_CHECK precondition helpers and health.hpp
 /// for the numeric guards that throw NumericError.
@@ -49,13 +60,34 @@ public:
     const ErrorContext& context() const noexcept { return context_; }
 
     /// The chain joined with " → " (empty string when there is no context).
-    std::string context_string() const;
+    std::string context_string() const {
+        std::string out;
+        for (const std::string& frame : context_) {
+            if (!out.empty()) {
+                out += " → ";
+            }
+            out += frame;
+        }
+        return out;
+    }
 
     /// Full rendered text: "ctx → ctx: message" (what() of the std base).
     virtual const char* what() const noexcept = 0;
 
     /// "a → b: message", or just "message" when the chain is empty.
-    static std::string format(const std::string& message, const ErrorContext& context);
+    static std::string format(const std::string& message, const ErrorContext& context) {
+        std::string chain;
+        for (const std::string& frame : context) {
+            if (!chain.empty()) {
+                chain += " → ";
+            }
+            chain += frame;
+        }
+        if (chain.empty()) {
+            return message;
+        }
+        return chain + ": " + message;
+    }
 
 protected:
     Error(std::string message, ErrorContext context)
@@ -70,16 +102,20 @@ private:
 /// geometry violations.  IS-A std::invalid_argument.
 class ConfigError : public Error, public std::invalid_argument {
 public:
-    explicit ConfigError(std::string message, ErrorContext context = {});
+    explicit ConfigError(std::string message, ErrorContext context = {})
+        : Error(std::move(message), std::move(context)),
+          std::invalid_argument(format(this->message(), this->context())) {}
 
     const char* what() const noexcept override { return std::invalid_argument::what(); }
 };
 
 /// Numeric-health violation: non-finite samples, implausible variance,
-/// kernel energy loss.  IS-A std::runtime_error.
+/// kernel energy loss, iteration/convergence failure.  IS-A std::runtime_error.
 class NumericError : public Error, public std::runtime_error {
 public:
-    explicit NumericError(std::string message, ErrorContext context = {});
+    explicit NumericError(std::string message, ErrorContext context = {})
+        : Error(std::move(message), std::move(context)),
+          std::runtime_error(format(this->message(), this->context())) {}
 
     const char* what() const noexcept override { return std::runtime_error::what(); }
 };
@@ -88,9 +124,45 @@ public:
 /// checkpoints.  IS-A std::runtime_error.
 class IoError : public Error, public std::runtime_error {
 public:
-    explicit IoError(std::string message, ErrorContext context = {});
+    explicit IoError(std::string message, ErrorContext context = {})
+        : Error(std::move(message), std::move(context)),
+          std::runtime_error(format(this->message(), this->context())) {}
 
     const char* what() const noexcept override { return std::runtime_error::what(); }
+};
+
+/// Mathematical argument outside a function's domain (special functions,
+/// quantile inversions).  IS-A std::domain_error.
+class DomainError : public Error, public std::domain_error {
+public:
+    explicit DomainError(std::string message, ErrorContext context = {})
+        : Error(std::move(message), std::move(context)),
+          std::domain_error(format(this->message(), this->context())) {}
+
+    const char* what() const noexcept override { return std::domain_error::what(); }
+};
+
+/// Index or window outside the addressed object (Array2D::at, probe
+/// placement, region lookup).  IS-A std::out_of_range.
+class BoundsError : public Error, public std::out_of_range {
+public:
+    explicit BoundsError(std::string message, ErrorContext context = {})
+        : Error(std::move(message), std::move(context)),
+          std::out_of_range(format(this->message(), this->context())) {}
+
+    const char* what() const noexcept override { return std::out_of_range::what(); }
+};
+
+/// API misuse or an object in the wrong state for the call (submit on a
+/// stopped pool, averaging an empty accumulator, metric kind clash).
+/// IS-A std::logic_error.
+class StateError : public Error, public std::logic_error {
+public:
+    explicit StateError(std::string message, ErrorContext context = {})
+        : Error(std::move(message), std::move(context)),
+          std::logic_error(format(this->message(), this->context())) {}
+
+    const char* what() const noexcept override { return std::logic_error::what(); }
 };
 
 /// Rebuild `e` with `frame` prepended to its context chain and throw the
@@ -104,7 +176,7 @@ template <typename E>
     context.reserve(e.context().size() + 1);
     context.push_back(std::move(frame));
     context.insert(context.end(), e.context().begin(), e.context().end());
-    throw E(e.message(), std::move(context));
+    throw E(e.message(), std::move(context));  // rrslint-allow(error-taxonomy): E is static_asserted to be an rrs::Error subclass
 }
 
 }  // namespace rrs

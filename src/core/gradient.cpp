@@ -5,16 +5,18 @@
 
 #include "parallel/parallel_for.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 namespace {
 
 void check(const Array2D<double>& f, double dx, double dy) {
     if (f.nx() < 2 || f.ny() < 2) {
-        throw std::invalid_argument{"gradient: field must be at least 2x2"};
+        throw ConfigError{"gradient: field must be at least 2x2"};
     }
     if (!(dx > 0.0) || !(dy > 0.0)) {
-        throw std::invalid_argument{"gradient: spacings must be positive"};
+        throw ConfigError{"gradient: spacings must be positive"};
     }
 }
 

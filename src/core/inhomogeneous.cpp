@@ -53,7 +53,7 @@ std::uint64_t InhomogeneousGenerator::fingerprint() const noexcept {
 Array2D<double> InhomogeneousGenerator::blend_weights(const Rect& region,
                                                       std::size_t m) const {
     if (m >= map_->region_count()) {
-        throw std::out_of_range{"blend_weights: region index"};
+        throw BoundsError{"blend_weights: region index"};
     }
     RRS_TRACE_SPAN("inhom.weights");
     const std::size_t M = map_->region_count();

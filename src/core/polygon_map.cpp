@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 PolygonMap::PolygonMap(std::vector<PolyVertex> outline, SpectrumPtr inside,
@@ -13,10 +15,10 @@ PolygonMap::PolygonMap(std::vector<PolyVertex> outline, SpectrumPtr inside,
       outline_(std::move(outline)),
       T_(transition_half_width) {
     if (outline_.size() < 3) {
-        throw std::invalid_argument{"PolygonMap: needs at least 3 vertices"};
+        throw ConfigError{"PolygonMap: needs at least 3 vertices"};
     }
     if (!(T_ > 0.0)) {
-        throw std::invalid_argument{"PolygonMap: transition half-width must be positive"};
+        throw ConfigError{"PolygonMap: transition half-width must be positive"};
     }
 }
 
@@ -58,7 +60,7 @@ double PolygonMap::signed_distance(double x, double y) const {
 
 void PolygonMap::weights_at(double x, double y, std::span<double> g) const {
     if (g.size() != 2) {
-        throw std::invalid_argument{"PolygonMap::weights_at: span size mismatch"};
+        throw ConfigError{"PolygonMap::weights_at: span size mismatch"};
     }
     const double d = signed_distance(x, y);
     const double outside = std::clamp((d + T_) / (2.0 * T_), 0.0, 1.0);

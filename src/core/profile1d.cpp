@@ -7,16 +7,18 @@
 #include "grid/permute.hpp"
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 double LineSpec::dK() const noexcept { return kTwoPi / L; }
 
 void LineSpec::validate() const {
     if (!(L > 0.0)) {
-        throw std::invalid_argument{"LineSpec: length must be positive"};
+        throw ConfigError{"LineSpec: length must be positive"};
     }
     if (N < 2 || N % 2 != 0) {
-        throw std::invalid_argument{"LineSpec: N must be even and >= 2"};
+        throw ConfigError{"LineSpec: N must be even and >= 2"};
     }
 }
 
@@ -71,7 +73,7 @@ double ProfileKernel::tap(std::ptrdiff_t dx) const noexcept {
 
 ProfileKernel ProfileKernel::truncated(double tail_eps) const {
     if (!(tail_eps > 0.0) || !(tail_eps < 1.0)) {
-        throw std::invalid_argument{"ProfileKernel::truncated: eps in (0,1) required"};
+        throw ConfigError{"ProfileKernel::truncated: eps in (0,1) required"};
     }
     const double need = (1.0 - tail_eps) * energy_;
     const std::size_t hmax = std::max(center_, taps_.size() - 1 - center_);
@@ -107,7 +109,7 @@ ProfileGenerator::ProfileGenerator(ProfileKernel kernel, std::uint64_t seed)
 
 std::vector<double> ProfileGenerator::noise_line(std::int64_t x0, std::int64_t n) const {
     if (n <= 0) {
-        throw std::invalid_argument{"ProfileGenerator: length must be positive"};
+        throw ConfigError{"ProfileGenerator: length must be positive"};
     }
     std::vector<double> X(static_cast<std::size_t>(n));
     for (std::int64_t t = 0; t < n; ++t) {
@@ -118,7 +120,7 @@ std::vector<double> ProfileGenerator::noise_line(std::int64_t x0, std::int64_t n
 
 std::vector<double> ProfileGenerator::generate(std::int64_t x0, std::int64_t n) const {
     if (n <= 0) {
-        throw std::invalid_argument{"ProfileGenerator: length must be positive"};
+        throw ConfigError{"ProfileGenerator: length must be positive"};
     }
     const std::int64_t left = kernel_.max_dx();
     const std::int64_t right = -kernel_.min_dx();

@@ -4,29 +4,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 SegmentMap::SegmentMap(std::vector<Segment> segments, double transition_half_width)
     : segments_(std::move(segments)), T_(transition_half_width) {
     if (segments_.empty()) {
-        throw std::invalid_argument{"SegmentMap: needs at least one segment"};
+        throw ConfigError{"SegmentMap: needs at least one segment"};
     }
     if (!(T_ > 0.0)) {
-        throw std::invalid_argument{"SegmentMap: transition half-width must be positive"};
+        throw ConfigError{"SegmentMap: transition half-width must be positive"};
     }
     for (std::size_t m = 0; m < segments_.size(); ++m) {
         if (!segments_[m].spectrum) {
-            throw std::invalid_argument{"SegmentMap: null spectrum"};
+            throw ConfigError{"SegmentMap: null spectrum"};
         }
         if (m > 0 && !(segments_[m].begin > segments_[m - 1].begin)) {
-            throw std::invalid_argument{"SegmentMap: segments must be strictly ordered"};
+            throw ConfigError{"SegmentMap: segments must be strictly ordered"};
         }
     }
 }
 
 void SegmentMap::weights_at(double x, std::span<double> g) const {
     if (g.size() != segments_.size()) {
-        throw std::invalid_argument{"SegmentMap::weights_at: span size mismatch"};
+        throw ConfigError{"SegmentMap::weights_at: span size mismatch"};
     }
     const std::size_t M = segments_.size();
     double total = 0.0;
@@ -60,7 +62,7 @@ InhomogeneousProfileGenerator::InhomogeneousProfileGenerator(SegmentMapPtr map,
                                                              Options opt)
     : map_(std::move(map)), line_(kernel_line), opt_(opt) {
     if (!map_) {
-        throw std::invalid_argument{"InhomogeneousProfileGenerator: null map"};
+        throw ConfigError{"InhomogeneousProfileGenerator: null map"};
     }
     line_.validate();
     kernels_.reserve(map_->region_count());
@@ -78,7 +80,7 @@ InhomogeneousProfileGenerator::InhomogeneousProfileGenerator(SegmentMapPtr map,
 std::vector<double> InhomogeneousProfileGenerator::generate(std::int64_t x0,
                                                             std::int64_t n) const {
     if (n <= 0) {
-        throw std::invalid_argument{"InhomogeneousProfileGenerator: length must be positive"};
+        throw ConfigError{"InhomogeneousProfileGenerator: length must be positive"};
     }
     const std::size_t M = map_->region_count();
     std::vector<double> out(static_cast<std::size_t>(n), 0.0);

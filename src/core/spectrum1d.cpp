@@ -8,11 +8,13 @@
 #include "special/constants.hpp"
 #include "special/gamma.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 void ProfileParams::validate() const {
     if (!(h > 0.0) || !(cl > 0.0)) {
-        throw std::invalid_argument{"ProfileParams: h, cl must be positive"};
+        throw ConfigError{"ProfileParams: h, cl must be positive"};
     }
 }
 
@@ -41,7 +43,7 @@ class PowerLaw1D final : public Spectrum1D {
 public:
     PowerLaw1D(ProfileParams p, double N) : Spectrum1D(p), N_(N) {
         if (!(N > 0.5)) {
-            throw std::invalid_argument{"PowerLaw1D: requires N > 1/2"};
+            throw ConfigError{"PowerLaw1D: requires N > 1/2"};
         }
         log_norm_ = log_gamma(N_) - log_gamma(N_ - 0.5) - std::log(kSqrtPi);
         log_gamma_nu_ = log_gamma(N_ - 0.5);
@@ -106,7 +108,7 @@ Spectrum1DPtr make_exponential_1d(ProfileParams p) {
 
 double correlation_distance_1d(const Spectrum1D& s, double level) {
     if (!(level > 0.0) || !(level < 1.0)) {
-        throw std::invalid_argument{"correlation_distance_1d: level must be in (0,1)"};
+        throw ConfigError{"correlation_distance_1d: level must be in (0,1)"};
     }
     const double target = level * s.params().h * s.params().h;
     double lo = 0.0;
@@ -115,7 +117,7 @@ double correlation_distance_1d(const Spectrum1D& s, double level) {
         lo = hi;
         hi *= 2.0;
         if (hi > 1e6 * s.params().cl) {
-            throw std::runtime_error{"correlation_distance_1d: failed to bracket"};
+            throw NumericError{"correlation_distance_1d: failed to bracket"};
         }
     }
     for (int i = 0; i < 200; ++i) {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 namespace {
@@ -74,13 +76,13 @@ public:
 private:
     static SurfaceParams combined_params(const std::vector<SpectrumPtr>& parts) {
         if (parts.empty()) {
-            throw std::invalid_argument{"mix_spectra: needs at least one component"};
+            throw ConfigError{"mix_spectra: needs at least one component"};
         }
         SurfaceParams p{0.0, 0.0, 0.0};
         double h2 = 0.0;
         for (const auto& s : parts) {
             if (!s) {
-                throw std::invalid_argument{"mix_spectra: null component"};
+                throw ConfigError{"mix_spectra: null component"};
             }
             h2 += s->params().h * s->params().h;
             p.clx = std::max(p.clx, s->params().clx);
@@ -97,7 +99,7 @@ private:
 
 SpectrumPtr rotate_spectrum(SpectrumPtr base, double theta_rad) {
     if (!base) {
-        throw std::invalid_argument{"rotate_spectrum: null base"};
+        throw ConfigError{"rotate_spectrum: null base"};
     }
     return std::make_shared<const RotatedSpectrum>(std::move(base), theta_rad);
 }

@@ -3,12 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 Moments subgrid_moments(const Array2D<double>& f, std::size_t x0, std::size_t y0,
                         std::size_t nx, std::size_t ny) {
     if (x0 + nx > f.nx() || y0 + ny > f.ny()) {
-        throw std::out_of_range{"subgrid_moments: window exceeds array"};
+        throw BoundsError{"subgrid_moments: window exceeds array"};
     }
     MomentAccumulator acc;
     for (std::size_t iy = y0; iy < y0 + ny; ++iy) {
@@ -30,7 +32,7 @@ std::vector<double> extract_column(const Array2D<double>& f, std::size_t ix) {
 
 double rms_slope_x(const Array2D<double>& f, double dx) {
     if (f.nx() < 2 || !(dx > 0.0)) {
-        throw std::invalid_argument{"rms_slope_x: need nx >= 2 and dx > 0"};
+        throw ConfigError{"rms_slope_x: need nx >= 2 and dx > 0"};
     }
     double sum = 0.0;
     std::size_t count = 0;

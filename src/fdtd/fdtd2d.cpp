@@ -7,6 +7,8 @@
 #include "parallel/parallel_for.hpp"
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 double FdtdProbe::peak_abs() const {
@@ -20,10 +22,10 @@ double FdtdProbe::peak_abs() const {
 Fdtd2D::Fdtd2D(const FdtdConfig& config)
     : nx_(config.nx), ny_(config.ny), S_(config.courant) {
     if (nx_ < 8 || ny_ < 8) {
-        throw std::invalid_argument{"Fdtd2D: grid must be at least 8x8"};
+        throw ConfigError{"Fdtd2D: grid must be at least 8x8"};
     }
     if (!(S_ > 0.0) || S_ > 1.0 / kSqrt2 + 1e-12) {
-        throw std::invalid_argument{"Fdtd2D: Courant number must be in (0, 1/sqrt(2)]"};
+        throw ConfigError{"Fdtd2D: Courant number must be in (0, 1/sqrt(2)]"};
     }
     mur_ = (S_ - 1.0) / (S_ + 1.0);
     ez_.resize(nx_, ny_, 0.0);
@@ -43,7 +45,7 @@ bool Fdtd2D::is_pec(std::size_t ix, std::size_t iy) const { return pec_.at(ix, i
 
 void Fdtd2D::set_ground(const std::vector<double>& ground_height) {
     if (ground_height.size() != nx_) {
-        throw std::invalid_argument{"Fdtd2D::set_ground: profile length mismatch"};
+        throw ConfigError{"Fdtd2D::set_ground: profile length mismatch"};
     }
     for (std::size_t ix = 0; ix < nx_; ++ix) {
         const auto top = static_cast<std::ptrdiff_t>(std::floor(ground_height[ix]));
@@ -60,7 +62,7 @@ void Fdtd2D::set_ground(const std::vector<double>& ground_height) {
 
 std::size_t Fdtd2D::add_probe(std::size_t ix, std::size_t iy) {
     if (ix >= nx_ || iy >= ny_) {
-        throw std::out_of_range{"Fdtd2D::add_probe: outside grid"};
+        throw BoundsError{"Fdtd2D::add_probe: outside grid"};
     }
     probes_.push_back(FdtdProbe{ix, iy, {}});
     return probes_.size() - 1;
@@ -166,7 +168,7 @@ RoughGroundResult rough_ground_cw_sweep(const std::vector<double>& ground,
                                         double wavelength_cells, std::size_t sky_cells,
                                         std::size_t probe_stack) {
     if (ground.empty() || probe_offsets.empty() || probe_stack == 0) {
-        throw std::invalid_argument{"rough_ground_cw_sweep: empty inputs"};
+        throw ConfigError{"rough_ground_cw_sweep: empty inputs"};
     }
     const double gmax = *std::max_element(ground.begin(), ground.end());
     const double gmin = *std::min_element(ground.begin(), ground.end());
@@ -192,7 +194,7 @@ RoughGroundResult rough_ground_cw_sweep(const std::vector<double>& ground,
     for (std::size_t k = 0; k < probe_offsets.size(); ++k) {
         const std::size_t off = probe_offsets[k];
         if (off >= ground.size()) {
-            throw std::invalid_argument{"rough_ground_cw_sweep: probe beyond profile"};
+            throw ConfigError{"rough_ground_cw_sweep: probe beyond profile"};
         }
         for (std::size_t s = 0; s < probe_stack; ++s) {
             probe_idx[k].push_back(sim.add_probe(

@@ -7,6 +7,8 @@
 
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 namespace {
@@ -23,7 +25,7 @@ std::size_t next_pow2(std::size_t n) {
 
 Fft1D::Fft1D(std::size_t n) : n_(n) {
     if (n == 0) {
-        throw std::invalid_argument{"Fft1D: length must be positive"};
+        throw ConfigError{"Fft1D: length must be positive"};
     }
     const std::size_t m = is_pow2(n) ? n : next_pow2(2 * n - 1);
     m_ = is_pow2(n) ? 0 : m;
@@ -118,7 +120,7 @@ void Fft1D::bluestein_forward(std::span<cplx> data) const {
 
 void Fft1D::forward(std::span<cplx> data) const {
     if (data.size() != n_) {
-        throw std::invalid_argument{"Fft1D::forward: length mismatch"};
+        throw ConfigError{"Fft1D::forward: length mismatch"};
     }
     if (m_ == 0) {
         pow2_transform(data.data(), n_, false);
@@ -129,7 +131,7 @@ void Fft1D::forward(std::span<cplx> data) const {
 
 void Fft1D::inverse(std::span<cplx> data) const {
     if (data.size() != n_) {
-        throw std::invalid_argument{"Fft1D::inverse: length mismatch"};
+        throw ConfigError{"Fft1D::inverse: length mismatch"};
     }
     if (m_ == 0) {
         pow2_transform(data.data(), n_, true);

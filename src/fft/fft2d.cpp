@@ -8,18 +8,20 @@
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 Fft2D::Fft2D(std::size_t nx, std::size_t ny)
     : nx_(nx), ny_(ny), row_plan_(fft_plan(nx)), col_plan_(fft_plan(ny)) {
     if (nx == 0 || ny == 0) {
-        throw std::invalid_argument{"Fft2D: dimensions must be positive"};
+        throw ConfigError{"Fft2D: dimensions must be positive"};
     }
 }
 
 void Fft2D::transform(Array2D<cplx>& a, bool inv) const {
     if (a.nx() != nx_ || a.ny() != ny_) {
-        throw std::invalid_argument{"Fft2D: shape mismatch"};
+        throw ConfigError{"Fft2D: shape mismatch"};
     }
     RRS_TRACE_SPAN("fft.transform");
     static obs::Counter& forwards =

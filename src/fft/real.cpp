@@ -10,11 +10,13 @@
 #include "parallel/parallel_for.hpp"
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 Rfft1D::Rfft1D(std::size_t n) : n_(n) {
     if (n < 2 || n % 2 != 0) {
-        throw std::invalid_argument{"Rfft1D: length must be even and >= 2"};
+        throw ConfigError{"Rfft1D: length must be even and >= 2"};
     }
     half_plan_ = fft_plan(n / 2);
     twiddle_.resize(n / 2 + 1);
@@ -26,7 +28,7 @@ Rfft1D::Rfft1D(std::size_t n) : n_(n) {
 
 void Rfft1D::forward(std::span<const double> in, std::span<cplx> out) const {
     if (in.size() != n_ || out.size() != spectrum_size()) {
-        throw std::invalid_argument{"Rfft1D::forward: length mismatch"};
+        throw ConfigError{"Rfft1D::forward: length mismatch"};
     }
     const std::size_t m = n_ / 2;
     // Pack x[2k] + i·x[2k+1] and transform at half length.
@@ -50,7 +52,7 @@ void Rfft1D::forward(std::span<const double> in, std::span<cplx> out) const {
 
 void Rfft1D::inverse(std::span<const cplx> in, std::span<double> out) const {
     if (in.size() != spectrum_size() || out.size() != n_) {
-        throw std::invalid_argument{"Rfft1D::inverse: length mismatch"};
+        throw ConfigError{"Rfft1D::inverse: length mismatch"};
     }
     const std::size_t m = n_ / 2;
     // Re-pack: Z_k = A_k + i·B_k with A_k = (X_k + conj(X_{m−k}))/2 and
@@ -75,13 +77,13 @@ void Rfft1D::inverse(std::span<const cplx> in, std::span<double> out) const {
 Rfft2D::Rfft2D(std::size_t nx, std::size_t ny)
     : nx_(nx), ny_(ny), row_plan_(nx), col_plan_(fft_plan(ny)) {
     if (ny < 1) {
-        throw std::invalid_argument{"Rfft2D: bad shape"};
+        throw ConfigError{"Rfft2D: bad shape"};
     }
 }
 
 void Rfft2D::forward(const Array2D<double>& in, Array2D<cplx>& spectrum) const {
     if (in.nx() != nx_ || in.ny() != ny_) {
-        throw std::invalid_argument{"Rfft2D::forward: shape mismatch"};
+        throw ConfigError{"Rfft2D::forward: shape mismatch"};
     }
     RRS_TRACE_SPAN("fft.forward");
     static obs::Counter& forwards =
@@ -121,7 +123,7 @@ void Rfft2D::forward(const Array2D<double>& in, Array2D<cplx>& spectrum) const {
 void Rfft2D::inverse(const Array2D<cplx>& spectrum, Array2D<double>& out) const {
     const std::size_t sx = spectrum_nx();
     if (spectrum.nx() != sx || spectrum.ny() != ny_) {
-        throw std::invalid_argument{"Rfft2D::inverse: shape mismatch"};
+        throw ConfigError{"Rfft2D::inverse: shape mismatch"};
     }
     RRS_TRACE_SPAN("fft.inverse");
     static obs::Counter& inverses =

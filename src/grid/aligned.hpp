@@ -36,7 +36,7 @@ public:
 
     [[nodiscard]] T* allocate(size_type n) {
         if (n > std::numeric_limits<size_type>::max() / sizeof(T)) {
-            throw std::bad_alloc{};
+            throw std::bad_alloc{};  // rrslint-allow(error-taxonomy): allocator contract requires std::bad_alloc
         }
         // operator new with align_val_t is the portable aligned path.
         void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});

@@ -17,6 +17,8 @@
 
 #include "grid/aligned.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 /// Dense, cache-aligned, row-major 2-D array.
@@ -89,7 +91,7 @@ public:
 private:
     void check(std::size_t ix, std::size_t iy) const {
         if (ix >= nx_ || iy >= ny_) {
-            throw std::out_of_range{"Array2D::at: index out of range"};
+            throw BoundsError{"Array2D::at: index out of range"};
         }
     }
 
@@ -113,7 +115,7 @@ std::vector<T> column_copy(const Array2D<T>& a, std::size_t ix) {
 template <typename T>
 double max_abs_diff(const Array2D<T>& a, const Array2D<T>& b) {
     if (a.nx() != b.nx() || a.ny() != b.ny()) {
-        throw std::invalid_argument{"max_abs_diff: shape mismatch"};
+        throw ConfigError{"max_abs_diff: shape mismatch"};
     }
     double m = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {

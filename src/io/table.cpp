@@ -6,13 +6,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) {
     if (cells.size() != headers_.size()) {
-        throw std::invalid_argument{"Table::add_row: cell count mismatch"};
+        throw ConfigError{"Table::add_row: cell count mismatch"};
     }
     rows_.push_back(std::move(cells));
 }

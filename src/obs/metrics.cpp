@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs::obs {
 
 namespace {
@@ -55,7 +57,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
     std::lock_guard lock(mutex_);
     if (gauges_.count(std::string(name)) != 0 ||
         histograms_.count(std::string(name)) != 0) {
-        throw std::logic_error{"MetricsRegistry: '" + std::string(name) +
+        throw StateError{"MetricsRegistry: '" + std::string(name) +
                                "' already registered with a different kind"};
     }
     return counters_[std::string(name)];
@@ -65,7 +67,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
     std::lock_guard lock(mutex_);
     if (counters_.count(std::string(name)) != 0 ||
         histograms_.count(std::string(name)) != 0) {
-        throw std::logic_error{"MetricsRegistry: '" + std::string(name) +
+        throw StateError{"MetricsRegistry: '" + std::string(name) +
                                "' already registered with a different kind"};
     }
     return gauges_[std::string(name)];
@@ -75,7 +77,7 @@ Log2Histogram& MetricsRegistry::histogram(std::string_view name) {
     std::lock_guard lock(mutex_);
     if (counters_.count(std::string(name)) != 0 ||
         gauges_.count(std::string(name)) != 0) {
-        throw std::logic_error{"MetricsRegistry: '" + std::string(name) +
+        throw StateError{"MetricsRegistry: '" + std::string(name) +
                                "' already registered with a different kind"};
     }
     return histograms_[std::string(name)];

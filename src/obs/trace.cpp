@@ -15,12 +15,24 @@ std::atomic<bool> g_trace_enabled{false};
 
 namespace {
 
+/// One ring slot.  The fields are individually atomic (all accesses
+/// relaxed) so a concurrent exporter reading a slot the owner is about to
+/// overwrite on wrap-around is well-defined: it may observe a *mixed* slot,
+/// never a torn word — and mixed slots are discarded by the wrap guard in
+/// trace_events() (it re-reads `head` after copying and drops any slot the
+/// writer could have reached mid-copy).
+struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> t0_ns{0};
+    std::atomic<std::uint64_t> t1_ns{0};
+};
+
 /// Per-thread span storage.  The owning thread is the only writer; readers
-/// (export) take a best-effort snapshot of completed slots.
+/// (export) take a snapshot of completed slots.
 struct ThreadRing {
     static constexpr std::size_t kRingCapacity = std::size_t{1} << 14;  // 16384 spans
 
-    std::vector<TraceEvent> slots{kRingCapacity};
+    std::vector<Slot> slots{kRingCapacity};
     /// Total spans ever recorded by this thread; the write cursor is
     /// head % capacity.  Published with release so a reader that acquires
     /// `head` sees every slot the count covers.
@@ -69,11 +81,12 @@ std::uint64_t trace_now_ns() noexcept {
 void trace_record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) noexcept {
     ThreadRing& ring = thread_ring();
     const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
-    TraceEvent& slot = ring.slots[head % ThreadRing::kRingCapacity];
-    slot.name = name;
-    slot.t0_ns = t0_ns;
-    slot.t1_ns = t1_ns;
-    slot.tid = ring.tid;
+    Slot& slot = ring.slots[head % ThreadRing::kRingCapacity];
+    // Relaxed stores: the release store of `head` below publishes them to
+    // any reader that acquires `head`.
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.t0_ns.store(t0_ns, std::memory_order_relaxed);
+    slot.t1_ns.store(t1_ns, std::memory_order_relaxed);
     ring.head.store(head + 1, std::memory_order_release);
 }
 
@@ -117,14 +130,41 @@ std::vector<TraceEvent> trace_events() {
     }
     std::vector<TraceEvent> events;
     for (const auto& ring : rings) {
-        const std::uint64_t head = ring->head.load(std::memory_order_acquire);
-        const std::uint64_t n = std::min<std::uint64_t>(head, ThreadRing::kRingCapacity);
-        const std::uint64_t first = head - n;
-        for (std::uint64_t i = first; i < head; ++i) {
-            const TraceEvent& e = ring->slots[i % ThreadRing::kRingCapacity];
+        const std::uint64_t head0 = ring->head.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(head0, ThreadRing::kRingCapacity);
+        const std::uint64_t first = head0 - n;
+        const std::size_t start = events.size();
+        std::vector<std::uint64_t> indices;
+        indices.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = first; i < head0; ++i) {
+            const Slot& slot = ring->slots[i % ThreadRing::kRingCapacity];
+            TraceEvent e;
+            e.name = slot.name.load(std::memory_order_relaxed);
+            e.t0_ns = slot.t0_ns.load(std::memory_order_relaxed);
+            e.t1_ns = slot.t1_ns.load(std::memory_order_relaxed);
+            e.tid = ring->tid;
             if (e.name != nullptr) {
                 events.push_back(e);
+                indices.push_back(i);
             }
+        }
+        // Wrap guard: while we copied, the owning thread may have lapped the
+        // ring and overwritten slots we already read — those copies could mix
+        // fields of two different spans.  Re-read `head`; every slot index
+        // the writer could have reached (i < head1 - capacity) is unreliable
+        // and gets dropped.  Spans recorded after head0 are simply not part
+        // of this snapshot.
+        const std::uint64_t head1 = ring->head.load(std::memory_order_acquire);
+        if (head1 > head0 && head1 - ThreadRing::kRingCapacity > first) {
+            const std::uint64_t stale_below =
+                head1 < ThreadRing::kRingCapacity ? 0 : head1 - ThreadRing::kRingCapacity;
+            std::size_t keep = start;
+            for (std::size_t k = 0; k < indices.size(); ++k) {
+                if (indices[k] >= stale_below) {
+                    events[keep++] = events[start + k];
+                }
+            }
+            events.resize(keep);
         }
     }
     std::sort(events.begin(), events.end(),

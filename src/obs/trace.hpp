@@ -23,9 +23,12 @@
 ///    counted in `trace_dropped()`.
 ///  * Span names must be string literals (or otherwise outlive the trace) —
 ///    the ring stores the pointer, not a copy.
-///  * Export (`write_chrome_trace`) is meant to run after the traced work
-///    has quiesced; exporting while spans are actively recording yields a
-///    best-effort snapshot.  Load the output in chrome://tracing or Perfetto.
+///  * Export (`write_chrome_trace`) may run concurrently with recording: it
+///    snapshots only fully-published spans and discards any slot the writer
+///    could have overwritten mid-copy (ring fields are atomic; the reader
+///    re-checks the publish cursor after copying), so concurrent export is
+///    data-race-free — asserted by the `race` test tier under TSan.  Load
+///    the output in chrome://tracing or Perfetto.
 
 #include <atomic>
 #include <cstdint>

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 /// Fixed-size pool of worker threads consuming a FIFO task queue.
@@ -47,7 +49,7 @@ public:
         {
             std::lock_guard lock(mutex_);
             if (stopping_) {
-                throw std::runtime_error{"ThreadPool::submit on stopped pool"};
+                throw StateError{"ThreadPool::submit on stopped pool"};
             }
             queue_.emplace_back([task]() { (*task)(); });
         }

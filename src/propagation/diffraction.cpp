@@ -6,25 +6,27 @@
 
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 double free_space_loss_db(double distance, double wavelength) {
     if (!(distance > 0.0) || !(wavelength > 0.0)) {
-        throw std::invalid_argument{"free_space_loss_db: positive arguments required"};
+        throw ConfigError{"free_space_loss_db: positive arguments required"};
     }
     return 20.0 * std::log10(4.0 * kPi * distance / wavelength);
 }
 
 double fresnel_radius(double d1, double d2, double wavelength) {
     if (!(d1 > 0.0) || !(d2 > 0.0) || !(wavelength > 0.0)) {
-        throw std::invalid_argument{"fresnel_radius: positive arguments required"};
+        throw ConfigError{"fresnel_radius: positive arguments required"};
     }
     return std::sqrt(wavelength * d1 * d2 / (d1 + d2));
 }
 
 double fresnel_parameter(double excess_height, double d1, double d2, double wavelength) {
     if (!(d1 > 0.0) || !(d2 > 0.0) || !(wavelength > 0.0)) {
-        throw std::invalid_argument{"fresnel_parameter: positive distances required"};
+        throw ConfigError{"fresnel_parameter: positive distances required"};
     }
     return excess_height * std::sqrt(2.0 * (d1 + d2) / (wavelength * d1 * d2));
 }
@@ -99,7 +101,7 @@ double deygout_recurse(const TerrainProfile& p, const LinkGeometry& link, std::s
 
 Obstruction worst_obstruction(const TerrainProfile& profile, const LinkGeometry& link) {
     if (profile.height.size() < 3 || !(profile.step > 0.0)) {
-        throw std::invalid_argument{"worst_obstruction: profile too short"};
+        throw ConfigError{"worst_obstruction: profile too short"};
     }
     const std::size_t last = profile.height.size() - 1;
     Obstruction worst;
@@ -129,7 +131,7 @@ bool line_of_sight_clear(const TerrainProfile& profile, const LinkGeometry& link
 
 double epstein_peterson_loss_db(const TerrainProfile& profile, const LinkGeometry& link) {
     if (profile.height.size() < 3 || !(profile.step > 0.0)) {
-        throw std::invalid_argument{"epstein_peterson_loss_db: profile too short"};
+        throw ConfigError{"epstein_peterson_loss_db: profile too short"};
     }
     const std::size_t last = profile.height.size() - 1;
     // Edges: contiguous runs of samples that block the direct line, each
@@ -171,7 +173,7 @@ double epstein_peterson_loss_db(const TerrainProfile& profile, const LinkGeometr
 double deygout_loss_db(const TerrainProfile& profile, const LinkGeometry& link,
                        int max_depth) {
     if (profile.height.size() < 3 || !(profile.step > 0.0)) {
-        throw std::invalid_argument{"deygout_loss_db: profile too short"};
+        throw ConfigError{"deygout_loss_db: profile too short"};
     }
     return deygout_recurse(profile, link, 0, profile.height.size() - 1, max_depth);
 }

@@ -3,17 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 void HataParams::validate() const {
     if (frequency_mhz < 150.0 || frequency_mhz > 1500.0) {
-        throw std::invalid_argument{"HataParams: frequency must be in [150, 1500] MHz"};
+        throw ConfigError{"HataParams: frequency must be in [150, 1500] MHz"};
     }
     if (base_height_m < 30.0 || base_height_m > 200.0) {
-        throw std::invalid_argument{"HataParams: base height must be in [30, 200] m"};
+        throw ConfigError{"HataParams: base height must be in [30, 200] m"};
     }
     if (mobile_height_m < 1.0 || mobile_height_m > 10.0) {
-        throw std::invalid_argument{"HataParams: mobile height must be in [1, 10] m"};
+        throw ConfigError{"HataParams: mobile height must be in [1, 10] m"};
     }
 }
 
@@ -39,7 +41,7 @@ double mobile_correction(const HataParams& p) {
 double hata_loss_db(const HataParams& p, double distance_km) {
     p.validate();
     if (!(distance_km > 0.0)) {
-        throw std::invalid_argument{"hata_loss_db: distance must be positive"};
+        throw ConfigError{"hata_loss_db: distance must be positive"};
     }
     const double f = p.frequency_mhz;
     const double hb = p.base_height_m;

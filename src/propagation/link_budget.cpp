@@ -6,6 +6,8 @@
 #include "rng/engines.hpp"
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 std::vector<RangeSample> communication_range_study(const Array2D<double>& surface,
@@ -13,10 +15,10 @@ std::vector<RangeSample> communication_range_study(const Array2D<double>& surfac
                                                    const std::vector<double>& distances,
                                                    const RangeStudyConfig& config) {
     if (!(spacing > 0.0)) {
-        throw std::invalid_argument{"communication_range_study: spacing must be positive"};
+        throw ConfigError{"communication_range_study: spacing must be positive"};
     }
     if (config.paths_per_distance == 0 || config.profile_samples < 3) {
-        throw std::invalid_argument{"communication_range_study: bad sampling config"};
+        throw ConfigError{"communication_range_study: bad sampling config"};
     }
     const double nx = static_cast<double>(surface.nx() - 1);
     const double ny = static_cast<double>(surface.ny() - 1);
@@ -28,7 +30,7 @@ std::vector<RangeSample> communication_range_study(const Array2D<double>& surfac
     for (const double d : distances) {
         const double lattice_len = d / spacing;
         if (lattice_len >= std::min(nx, ny)) {
-            throw std::invalid_argument{
+            throw ConfigError{
                 "communication_range_study: distance exceeds the surface extent"};
         }
         RangeSample sample;

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 double bilinear_height(const Array2D<double>& f, double x, double y) {
     if (f.nx() < 2 || f.ny() < 2) {
-        throw std::invalid_argument{"bilinear_height: array too small"};
+        throw ConfigError{"bilinear_height: array too small"};
     }
     const double cx = std::clamp(x, 0.0, static_cast<double>(f.nx() - 1));
     const double cy = std::clamp(y, 0.0, static_cast<double>(f.ny() - 1));
@@ -24,10 +26,10 @@ double bilinear_height(const Array2D<double>& f, double x, double y) {
 TerrainProfile extract_profile(const Array2D<double>& f, double x0, double y0, double x1,
                                double y1, std::size_t samples, double spacing) {
     if (samples < 2) {
-        throw std::invalid_argument{"extract_profile: need at least 2 samples"};
+        throw ConfigError{"extract_profile: need at least 2 samples"};
     }
     if (!(spacing > 0.0)) {
-        throw std::invalid_argument{"extract_profile: spacing must be positive"};
+        throw ConfigError{"extract_profile: spacing must be positive"};
     }
     TerrainProfile p;
     p.height.resize(samples);

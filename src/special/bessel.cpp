@@ -6,6 +6,8 @@
 #include "special/constants.hpp"
 #include "special/gamma.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 namespace {
@@ -66,7 +68,7 @@ void bessel_k_temme(double mu, double x, double& kmu, double& kmu1) {
             return;
         }
     }
-    throw std::runtime_error{"bessel_k: Temme series failed to converge"};
+    throw NumericError{"bessel_k: Temme series failed to converge"};
 }
 
 // Steed's continued fraction CF2: computes K_μ(x) and K_{μ+1}(x) for x >= 2.
@@ -103,14 +105,14 @@ void bessel_k_cf2(double mu, double x, double& kmu, double& kmu1) {
             return;
         }
     }
-    throw std::runtime_error{"bessel_k: CF2 failed to converge"};
+    throw NumericError{"bessel_k: CF2 failed to converge"};
 }
 
 }  // namespace
 
 double bessel_k(double nu, double x) {
     if (!(x > 0.0) || nu < 0.0) {
-        throw std::domain_error{"bessel_k: requires x > 0, nu >= 0"};
+        throw DomainError{"bessel_k: requires x > 0, nu >= 0"};
     }
     // Split ν = μ + n with |μ| <= 1/2 and n = round(ν).
     const int n = static_cast<int>(nu + 0.5);

@@ -5,6 +5,8 @@
 
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 namespace {
@@ -33,7 +35,7 @@ double lanczos_log_gamma(double x) {
 
 double log_gamma(double x) {
     if (!(x > 0.0)) {
-        throw std::domain_error{"log_gamma: requires x > 0"};
+        throw DomainError{"log_gamma: requires x > 0"};
     }
     if (x < 0.5) {
         // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
@@ -45,12 +47,12 @@ double log_gamma(double x) {
 double gamma_fn(double x) {
     if (x > 0.0) {
         if (x > 171.6) {
-            throw std::overflow_error{"gamma_fn: overflow"};
+            throw NumericError{"gamma_fn: overflow"};
         }
         return std::exp(log_gamma(x));
     }
     if (x == std::floor(x)) {
-        throw std::domain_error{"gamma_fn: pole at non-positive integer"};
+        throw DomainError{"gamma_fn: pole at non-positive integer"};
     }
     return kPi / (std::sin(kPi * x) * std::exp(log_gamma(1.0 - x)));
 }
@@ -74,7 +76,7 @@ double gamma_p_series(double a, double x) {
             return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
         }
     }
-    throw std::runtime_error{"gamma_p: series failed to converge"};
+    throw NumericError{"gamma_p: series failed to converge"};
 }
 
 // Lentz continued fraction for Q(a, x); converges fast for x >= a + 1.
@@ -101,14 +103,14 @@ double gamma_q_cf(double a, double x) {
             return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
         }
     }
-    throw std::runtime_error{"gamma_q: continued fraction failed to converge"};
+    throw NumericError{"gamma_q: continued fraction failed to converge"};
 }
 
 }  // namespace
 
 double gamma_p(double a, double x) {
     if (!(a > 0.0) || x < 0.0) {
-        throw std::domain_error{"gamma_p: requires a > 0, x >= 0"};
+        throw DomainError{"gamma_p: requires a > 0, x >= 0"};
     }
     if (x == 0.0) {
         return 0.0;
@@ -118,7 +120,7 @@ double gamma_p(double a, double x) {
 
 double gamma_q(double a, double x) {
     if (!(a > 0.0) || x < 0.0) {
-        throw std::domain_error{"gamma_q: requires a > 0, x >= 0"};
+        throw DomainError{"gamma_q: requires a > 0, x >= 0"};
     }
     if (x == 0.0) {
         return 1.0;

@@ -6,6 +6,8 @@
 #include "special/constants.hpp"
 #include "special/gamma.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 double erf_fn(double x) {
@@ -31,7 +33,7 @@ double norm_pdf(double x) {
 
 double norm_ppf(double p) {
     if (!(p > 0.0) || !(p < 1.0)) {
-        throw std::domain_error{"norm_ppf: requires p in (0,1)"};
+        throw DomainError{"norm_ppf: requires p in (0,1)"};
     }
     // Work with the lower tail; exploit Φ⁻¹(1−p) = −Φ⁻¹(p).
     const bool upper = p > 0.5;

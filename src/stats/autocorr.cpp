@@ -5,6 +5,8 @@
 
 #include "fft/fft2d.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 Array2D<double> circular_autocovariance(const Array2D<double>& f, bool subtract_mean) {
@@ -140,7 +142,7 @@ std::vector<double> radial_average(const Array2D<double>& acf, std::size_t max_l
 
 double first_crossing(const std::vector<double>& curve, double level) {
     if (curve.empty() || curve[0] <= 0.0) {
-        throw std::invalid_argument{"first_crossing: curve must start positive"};
+        throw ConfigError{"first_crossing: curve must start positive"};
     }
     const double target = level * curve[0];
     for (std::size_t k = 1; k < curve.size(); ++k) {

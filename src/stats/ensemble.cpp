@@ -4,13 +4,15 @@
 
 #include "stats/autocorr.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 EnsembleStats ensemble_stats(
     const std::function<Array2D<double>(std::uint64_t)>& make_field,
     std::size_t realisations, std::size_t max_lag) {
     if (realisations == 0) {
-        throw std::invalid_argument{"ensemble_stats: need at least one realisation"};
+        throw ConfigError{"ensemble_stats: need at least one realisation"};
     }
     EnsembleStats out;
     out.realisations = realisations;
@@ -21,7 +23,7 @@ EnsembleStats ensemble_stats(
     for (std::uint64_t k = 0; k < realisations; ++k) {
         const Array2D<double> f = make_field(k);
         if (f.nx() <= max_lag || f.ny() <= max_lag) {
-            throw std::invalid_argument{"ensemble_stats: field smaller than max_lag"};
+            throw ConfigError{"ensemble_stats: field smaller than max_lag"};
         }
         for (std::size_t i = 0; i < f.size(); ++i) {
             acc.add(f.data()[i]);

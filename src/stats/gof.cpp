@@ -7,12 +7,14 @@
 #include "special/gamma.hpp"
 #include "special/normal.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
     if (!(hi > lo) || bins == 0) {
-        throw std::invalid_argument{"Histogram: bad range or bin count"};
+        throw ConfigError{"Histogram: bad range or bin count"};
     }
 }
 
@@ -51,7 +53,7 @@ std::vector<double> Histogram::density() const {
 
 GofResult chi_square_normality(std::span<const double> standardised, std::size_t bins) {
     if (bins < 3 || standardised.size() < 5 * bins) {
-        throw std::invalid_argument{"chi_square_normality: need >= 5 samples per bin"};
+        throw ConfigError{"chi_square_normality: need >= 5 samples per bin"};
     }
     // Equal-probability cells: edges at Φ⁻¹(i/bins).
     std::vector<double> edges(bins - 1);
@@ -95,7 +97,7 @@ double kolmogorov_q(double lambda) {
 
 GofResult ks_normality(std::span<const double> standardised) {
     if (standardised.size() < 8) {
-        throw std::invalid_argument{"ks_normality: too few samples"};
+        throw ConfigError{"ks_normality: too few samples"};
     }
     std::vector<double> x(standardised.begin(), standardised.end());
     std::sort(x.begin(), x.end());

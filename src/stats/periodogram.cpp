@@ -6,6 +6,8 @@
 #include "fft/fft2d.hpp"
 #include "special/constants.hpp"
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 namespace {
@@ -21,7 +23,7 @@ double hann(std::size_t i, std::size_t n) {
 Array2D<double> periodogram(const Array2D<double>& f, double Lx, double Ly,
                             bool subtract_mean, SpectralWindow window) {
     if (!(Lx > 0.0) || !(Ly > 0.0)) {
-        throw std::invalid_argument{"periodogram: domain lengths must be positive"};
+        throw ConfigError{"periodogram: domain lengths must be positive"};
     }
     const std::size_t nx = f.nx();
     const std::size_t ny = f.ny();
@@ -74,7 +76,7 @@ SpectrumAverager::SpectrumAverager(std::size_t nx, std::size_t ny, double Lx, do
 
 void SpectrumAverager::accumulate(const Array2D<double>& realisation) {
     if (realisation.nx() != sum_.nx() || realisation.ny() != sum_.ny()) {
-        throw std::invalid_argument{"SpectrumAverager: shape mismatch"};
+        throw ConfigError{"SpectrumAverager: shape mismatch"};
     }
     const Array2D<double> W = periodogram(realisation, Lx_, Ly_);
     for (std::size_t i = 0; i < sum_.size(); ++i) {
@@ -85,7 +87,7 @@ void SpectrumAverager::accumulate(const Array2D<double>& realisation) {
 
 Array2D<double> SpectrumAverager::average() const {
     if (count_ == 0) {
-        throw std::logic_error{"SpectrumAverager: no realisations accumulated"};
+        throw StateError{"SpectrumAverager: no realisations accumulated"};
     }
     Array2D<double> out(sum_.nx(), sum_.ny());
     for (std::size_t i = 0; i < out.size(); ++i) {

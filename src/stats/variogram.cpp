@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "core/error.hpp"
+
 namespace rrs {
 
 std::vector<double> semivariogram_x(const Array2D<double>& f, std::size_t max_lag) {
     if (f.nx() <= max_lag) {
-        throw std::invalid_argument{"semivariogram_x: max_lag exceeds width"};
+        throw ConfigError{"semivariogram_x: max_lag exceeds width"};
     }
     std::vector<double> gamma(max_lag + 1, 0.0);
     for (std::size_t lag = 1; lag <= max_lag; ++lag) {
@@ -26,7 +28,7 @@ std::vector<double> semivariogram_x(const Array2D<double>& f, std::size_t max_la
 
 std::vector<double> semivariogram_y(const Array2D<double>& f, std::size_t max_lag) {
     if (f.ny() <= max_lag) {
-        throw std::invalid_argument{"semivariogram_y: max_lag exceeds height"};
+        throw ConfigError{"semivariogram_y: max_lag exceeds height"};
     }
     std::vector<double> gamma(max_lag + 1, 0.0);
     for (std::size_t lag = 1; lag <= max_lag; ++lag) {
@@ -45,7 +47,7 @@ std::vector<double> semivariogram_y(const Array2D<double>& f, std::size_t max_la
 
 std::vector<double> semivariogram(const std::vector<double>& f, std::size_t max_lag) {
     if (f.size() <= max_lag) {
-        throw std::invalid_argument{"semivariogram: max_lag exceeds length"};
+        throw ConfigError{"semivariogram: max_lag exceeds length"};
     }
     std::vector<double> gamma(max_lag + 1, 0.0);
     for (std::size_t lag = 1; lag <= max_lag; ++lag) {
@@ -61,7 +63,7 @@ std::vector<double> semivariogram(const std::vector<double>& f, std::size_t max_
 
 std::vector<double> variogram_from_acf(const std::vector<double>& acf) {
     if (acf.empty()) {
-        throw std::invalid_argument{"variogram_from_acf: empty curve"};
+        throw ConfigError{"variogram_from_acf: empty curve"};
     }
     std::vector<double> gamma(acf.size());
     for (std::size_t k = 0; k < acf.size(); ++k) {
@@ -72,7 +74,7 @@ std::vector<double> variogram_from_acf(const std::vector<double>& acf) {
 
 double variogram_range(const std::vector<double>& gamma, double fraction) {
     if (gamma.size() < 8) {
-        throw std::invalid_argument{"variogram_range: curve too short"};
+        throw ConfigError{"variogram_range: curve too short"};
     }
     // Sill: mean of the last quarter of the curve.
     double sill = 0.0;

@@ -1,0 +1,32 @@
+// Known-bad fixture: wall-clock/entropy seeding and default-constructed
+// engines break the determinism contract (rrslint rule `determinism`) —
+// library output must be a pure function of the caller-provided seed.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace rrs {
+
+inline unsigned seed_from_clock() {
+    // LINT-EXPECT: determinism
+    return static_cast<unsigned>(time(nullptr));
+}
+
+inline int raw_rand() {
+    // LINT-EXPECT: determinism
+    return std::rand();
+}
+
+inline unsigned device_entropy() {
+    // LINT-EXPECT: determinism
+    std::random_device rd;
+    return rd();
+}
+
+inline double engine_with_implicit_seed() {
+    // LINT-EXPECT: determinism
+    std::mt19937 engine;
+    return static_cast<double>(engine());
+}
+
+}  // namespace rrs

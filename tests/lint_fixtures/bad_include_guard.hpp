@@ -1,0 +1,11 @@
+// Known-bad fixture: a classic include guard instead of #pragma once must
+// be flagged (rrslint rule `pragma-once`).
+// LINT-EXPECT-FILE: pragma-once
+#ifndef RRS_TESTS_LINT_FIXTURES_BAD_INCLUDE_GUARD_HPP
+#define RRS_TESTS_LINT_FIXTURES_BAD_INCLUDE_GUARD_HPP
+
+namespace rrs {
+inline int forty_two() { return 42; }
+}  // namespace rrs
+
+#endif  // RRS_TESTS_LINT_FIXTURES_BAD_INCLUDE_GUARD_HPP

@@ -1,0 +1,17 @@
+// Known-bad fixture: std::cout in library code must be flagged (rrslint
+// rule `iostream-discipline`); stdout belongs to tools/ and bench/.
+#include <iostream>
+
+namespace rrs {
+
+inline void report_done() {
+    // LINT-EXPECT: iostream-discipline
+    std::cout << "done\n";
+}
+
+/// std::cerr is allowed (health reports) and must NOT be flagged.
+inline void report_warning() {
+    std::cerr << "warning\n";
+}
+
+}  // namespace rrs

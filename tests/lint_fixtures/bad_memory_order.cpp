@@ -1,0 +1,30 @@
+// Known-bad fixture: std::atomic accesses without an explicit
+// std::memory_order must be flagged (rrslint rule `memory-order`) —
+// including operator forms, which are spelled-out seq_cst.
+#include <atomic>
+
+namespace rrs {
+
+inline std::atomic<int> g_count{0};
+
+inline int touch() {
+    // LINT-EXPECT: memory-order
+    g_count.store(1);
+    // LINT-EXPECT: memory-order
+    g_count.fetch_add(2);
+    // LINT-EXPECT: memory-order
+    g_count++;
+    // LINT-EXPECT: memory-order
+    g_count += 3;
+    // LINT-EXPECT: memory-order
+    return g_count.load();
+}
+
+/// Compliant accesses are not flagged.
+inline int touch_explicit() {
+    g_count.store(1, std::memory_order_relaxed);
+    g_count.fetch_add(2, std::memory_order_acq_rel);
+    return g_count.load(std::memory_order_acquire);
+}
+
+}  // namespace rrs

@@ -1,0 +1,24 @@
+// Known-bad fixture: raw standard-library throws must be flagged
+// (rrslint rule `error-taxonomy`).  Never compiled — scanned by
+// `rrslint --check-fixtures` (ctest: rrslint_fixtures).
+#include <stdexcept>
+
+namespace rrs {
+
+inline int parse_count(int n) {
+    if (n < 0) {
+        // LINT-EXPECT: error-taxonomy
+        throw std::runtime_error{"parse_count: negative"};
+    }
+    if (n > 100) {
+        // LINT-EXPECT: error-taxonomy
+        throw std::invalid_argument{"parse_count: too large"};
+    }
+    if (n == 13) {
+        // LINT-EXPECT: error-taxonomy
+        throw std::out_of_range{"parse_count: unlucky"};
+    }
+    return n;
+}
+
+}  // namespace rrs

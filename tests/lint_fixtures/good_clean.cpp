@@ -1,0 +1,26 @@
+// Compliant fixture: taxonomy throw, explicit memory orders, no stdout, no
+// entropy — rrslint must report nothing here.
+#include <atomic>
+
+#include "core/error.hpp"
+
+namespace rrs {
+
+inline std::atomic<int> g_ticks{0};
+
+inline void tick(int n) {
+    if (n < 0) {
+        throw ConfigError{"tick: n must be non-negative"};
+    }
+    g_ticks.fetch_add(n, std::memory_order_relaxed);
+}
+
+inline void rethrow_current() {
+    try {
+        tick(-1);
+    } catch (const Error&) {
+        throw;  // bare rethrow is allowed
+    }
+}
+
+}  // namespace rrs

@@ -1,0 +1,20 @@
+// Fixture for the suppression mechanism: a justified rrslint-allow silences
+// the rule; one without a reason is itself an error (`suppression-reason`).
+#include <stdexcept>
+
+namespace rrs {
+
+inline void justified(bool bad) {
+    if (bad) {
+        throw std::runtime_error{"x"};  // rrslint-allow(error-taxonomy): fixture demonstrating a justified escape hatch
+    }
+}
+
+inline void unjustified(bool bad) {
+    if (bad) {
+        // LINT-EXPECT: suppression-reason
+        throw std::runtime_error{"y"};  // rrslint-allow(error-taxonomy):
+    }
+}
+
+}  // namespace rrs

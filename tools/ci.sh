@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# CI driver: build + run the full test suite, then repeat the whole suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer (the `sanitize` preset
-# in CMakePresets.json).  Any sanitizer report is fatal
-# (-fno-sanitize-recover=all), so a green run means the suite is clean.
+# CI driver — five stages, each runnable on its own:
 #
-#   tools/ci.sh             # release + sanitize
-#   tools/ci.sh release     # release only
-#   tools/ci.sh sanitize    # sanitize only
+#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, tidy
+#   tools/ci.sh lint        # rrslint conventions + lint fixtures (no build)
+#   tools/ci.sh release     # build + tier 1 (-LE "stats|race") + tier 2 (-L stats)
+#   tools/ci.sh sanitize    # tier 1 under ASan+UBSan
+#   tools/ci.sh tsan        # tier 3: race tests (-L race) under ThreadSanitizer
+#   tools/ci.sh tidy        # clang-tidy over src/ (skips cleanly if not installed)
+#
+# Sanitizer reports are fatal (-fno-sanitize-recover=all, TSan
+# halt_on_error=1), so a green run means the suite is clean.  The `race`
+# label is excluded from the release/sanitize tiers (tier-1 wall time is
+# unchanged by the race suite); the tsan preset runs ONLY that label.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-run_preset() {
-    local preset=$1
-    local dir="build"
-    [[ "$preset" == "sanitize" ]] && dir="build-sanitize"
+build_preset() {
+    local preset=$1 dir=$2
     # The presets use Ninja; a binary dir configured by hand with another
     # generator cannot be reused — start it fresh instead of erroring out.
     if [[ -f "$dir/CMakeCache.txt" ]] &&
@@ -26,22 +29,52 @@ run_preset() {
     cmake --preset "$preset"
     echo "==> [$preset] build"
     cmake --build --preset "$preset" -j "$(nproc)"
-    if [[ "$preset" == "release" ]]; then
-        # Tier 1 (fast unit/property tests) first for quick failure, then
-        # tier 2: the statistical acceptance suite (ctest label "stats").
-        # The sanitize preset excludes "stats" via its testPreset filter —
-        # ensemble runs under ASan are slow and the assertions are about
-        # statistics, not memory.
-        echo "==> [$preset] test (tier 1)"
-        ctest --preset "$preset" -j "$(nproc)" -LE stats
-        echo "==> [$preset] test (tier 2: stats)"
-        ctest --preset "$preset" -j "$(nproc)" -L stats
-    else
-        echo "==> [$preset] test"
-        ctest --preset "$preset" -j "$(nproc)"
-    fi
-    rrstile_smoke "$dir"
-    rrsgen_trace_smoke "$dir"
+}
+
+run_release() {
+    build_preset release build
+    # Tier 1 (fast unit/property tests) first for quick failure, then
+    # tier 2: the statistical acceptance suite (ctest label "stats").  The
+    # "race" label is tier 3 — tsan stage only.
+    echo "==> [release] test (tier 1)"
+    ctest --preset release -j "$(nproc)" -LE 'stats|race'
+    echo "==> [release] test (tier 2: stats)"
+    ctest --preset release -j "$(nproc)" -L stats
+    rrstile_smoke build
+    rrsgen_trace_smoke build
+}
+
+run_sanitize() {
+    # The sanitize testPreset excludes "stats" (ensemble statistics under
+    # ASan cost minutes and check nothing ASan can see) and "race" (that
+    # contention pattern belongs to the tsan stage).
+    build_preset sanitize build-sanitize
+    echo "==> [sanitize] test"
+    ctest --preset sanitize -j "$(nproc)"
+    rrstile_smoke build-sanitize
+    rrsgen_trace_smoke build-sanitize
+}
+
+run_tsan() {
+    # Tier 3: high-contention race suite (tests/test_race.cpp) under
+    # ThreadSanitizer.  The preset turns OpenMP off (libgomp is not
+    # TSan-instrumented) and runs only the "race" label with halt_on_error.
+    build_preset tsan build-tsan
+    echo "==> [tsan] test (tier 3: race)"
+    ctest --preset tsan -j "$(nproc)"
+}
+
+run_lint() {
+    echo "==> [lint] rrslint src"
+    tools/rrslint src
+    echo "==> [lint] rrslint fixtures"
+    tools/rrslint --check-fixtures tests/lint_fixtures
+}
+
+run_tidy() {
+    # run_tidy.sh fails on ANY diagnostic; it skips (exit 0) when no
+    # clang-tidy binary exists in the environment.
+    tools/run_tidy.sh build
 }
 
 # Serve a few tiles end-to-end through the tile service (coalescing cache,
@@ -114,9 +147,13 @@ EOF
 
 want=${1:-all}
 case "$want" in
-    release)  run_preset release ;;
-    sanitize) run_preset sanitize ;;
-    all)      run_preset release; run_preset sanitize ;;
-    *)        echo "usage: tools/ci.sh [release|sanitize|all]" >&2; exit 2 ;;
+    lint)     run_lint ;;
+    release)  run_release ;;
+    sanitize) run_sanitize ;;
+    tsan)     run_tsan ;;
+    tidy)     run_tidy ;;
+    all)      run_lint; run_release; run_sanitize; run_tsan; run_tidy ;;
+    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|tidy|all]" >&2
+        exit 2 ;;
 esac
-echo "==> ci: all requested suites passed"
+echo "==> ci: all requested stages passed"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# clang-tidy driver for librrs (project config: .clang-tidy).
+#
+#   tools/run_tidy.sh [BUILD_DIR]     # default build dir: build/
+#
+# Runs clang-tidy over every src/ translation unit against the compilation
+# database (CMAKE_EXPORT_COMPILE_COMMANDS is on by default), with
+# --warnings-as-errors='*': ANY diagnostic fails the run, so the tree is
+# kept tidy-clean — suppressions happen in code via NOLINT(check) with an
+# inline justification, never by loosening this driver.
+#
+# Environment:
+#   CLANG_TIDY   override the clang-tidy binary to use.
+#
+# When no clang-tidy is installed the stage is skipped with exit 0 (the
+# container for CI tiers 1-3 ships only gcc; the tidy stage runs where a
+# clang toolchain exists).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY=${CLANG_TIDY:-}
+if [[ -z "$TIDY" ]]; then
+    for candidate in clang-tidy clang-tidy-2{0,1} clang-tidy-1{9,8,7,6,5,4}; do
+        if command -v "$candidate" > /dev/null 2>&1; then
+            TIDY=$candidate
+            break
+        fi
+    done
+fi
+if [[ -z "$TIDY" ]]; then
+    echo "==> run_tidy: no clang-tidy binary found (set CLANG_TIDY to override) — SKIPPED"
+    exit 0
+fi
+
+BUILD_DIR=${1:-build}
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "==> run_tidy: $BUILD_DIR/compile_commands.json missing; configuring release preset"
+    cmake --preset release > /dev/null
+fi
+
+# Translation units only: headers are covered through HeaderFilterRegex.
+mapfile -t files < <(find src -name '*.cpp' | sort)
+echo "==> run_tidy: $TIDY over ${#files[@]} translation units (db: $BUILD_DIR)"
+"$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "${files[@]}"
+echo "==> run_tidy: clean"
