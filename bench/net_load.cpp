@@ -1,0 +1,273 @@
+// net_load — closed-loop load generator for the HTTP tile server.
+//
+// Two legs, both against an in-process HttpServer (loopback TCP, so the
+// numbers measure the transport + service stack, not a NIC):
+//
+//  1. Latency sweep: C keep-alive clients request cached tiles as fast as
+//     they can; reports throughput and p50/p99 request latency per
+//     concurrency level ("c4", "c4.p50_ms", "c4.p99_ms" records).
+//  2. Admission control: a connection storm against a deliberately slow
+//     handler behind a cap of 2.  Demonstrates load shedding: excess
+//     connections get their 503 at the door — far faster than the handler's
+//     service time — while admitted requests still finish.  Records the
+//     shed rate and the p99 time-to-503; exits non-zero if the storm
+//     produced no sheds or no successes (the bench then proves nothing).
+//
+//   net_load [--quick] [--out-dir DIR]
+//
+// Writes bench_out/BENCH_net.json via bench_util.hpp like every harness.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/scene.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "net/tile_routes.hpp"
+#include "obs/metrics.hpp"
+#include "service/tile_service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+    if (sorted_ms.empty()) {
+        return 0.0;
+    }
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_ms.size() - 1) / 100.0);
+    return sorted_ms[idx];
+}
+
+constexpr const char* kBenchScene = R"(seed = 5
+kernel_grid = 64 64
+region = 0 0 64 64
+tail_eps = 1e-6
+
+[spectrum field]
+family = gaussian
+h = 1.0
+cl = 6
+
+[spectrum pond]
+family = exponential
+h = 0.3
+cl = 6
+
+[map]
+type = circle
+center = 32 32
+radius = 48
+transition = 12
+inside = pond
+outside = field
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace rrs;
+    bench::TraceFromEnv trace;
+
+    bool quick = false;
+    std::string out_dir = "bench_out";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else {
+            std::cerr << "usage: net_load [--quick] [--out-dir DIR]\n";
+            return 2;
+        }
+    }
+
+    std::vector<bench::BenchRecord> records;
+
+    // ---- Leg 1: keep-alive latency sweep over cached tiles ------------------
+    const Scene scene = parse_scene_text(kBenchScene);
+    auto gen = std::make_shared<InhomogeneousGenerator>(make_scene_generator(scene));
+    TileService::Options sopt;
+    sopt.shape = TileShape{32, 32};
+    net::SceneServices scenes;
+    scenes.emplace("bench", TileService::owning(std::move(gen), sopt));
+
+    obs::MetricsRegistry registry;
+    net::HttpServer::Options opt;
+    opt.workers = 8;
+    opt.max_connections = 64;  // this leg measures latency, not shedding
+    opt.registry = &registry;
+    net::HttpServer server(net::make_tile_router(std::move(scenes), &registry), opt);
+    server.start();
+
+    constexpr int kTiles = 4;  // 4x4 working set, warmed below
+    {
+        net::HttpClient warm("127.0.0.1", server.port());
+        for (int ty = 0; ty < kTiles; ++ty) {
+            for (int tx = 0; tx < kTiles; ++tx) {
+                const auto resp = warm.get("/v1/tile?tx=" + std::to_string(tx) +
+                                           "&ty=" + std::to_string(ty));
+                if (resp.status != 200) {
+                    std::cerr << "net_load: warmup got HTTP " << resp.status << "\n";
+                    return 1;
+                }
+            }
+        }
+    }
+
+    const std::vector<int> sweep = quick ? std::vector<int>{1, 4}
+                                         : std::vector<int>{1, 2, 4, 8};
+    const int per_client = quick ? 200 : 2000;
+    for (const int concurrency : sweep) {
+        std::vector<std::vector<double>> lat_ms(
+            static_cast<std::size_t>(concurrency));
+        std::vector<std::thread> clients;
+        clients.reserve(static_cast<std::size_t>(concurrency));
+        const Clock::time_point leg0 = Clock::now();
+        for (int c = 0; c < concurrency; ++c) {
+            clients.emplace_back([&, c] {
+                auto& lat = lat_ms[static_cast<std::size_t>(c)];
+                lat.reserve(static_cast<std::size_t>(per_client));
+                net::HttpClient client("127.0.0.1", server.port());
+                for (int i = 0; i < per_client; ++i) {
+                    const int tx = (c + i) % kTiles;
+                    const int ty = i % kTiles;
+                    const Clock::time_point t0 = Clock::now();
+                    const auto resp =
+                        client.get("/v1/tile?tx=" + std::to_string(tx) +
+                                   "&ty=" + std::to_string(ty));
+                    lat.push_back(ms_since(t0));
+                    if (resp.status != 200) {
+                        std::cerr << "net_load: sweep got HTTP " << resp.status
+                                  << "\n";
+                        std::exit(1);
+                    }
+                }
+            });
+        }
+        for (auto& th : clients) {
+            th.join();
+        }
+        const double wall = ms_since(leg0);
+        std::vector<double> all;
+        for (const auto& lat : lat_ms) {
+            all.insert(all.end(), lat.begin(), lat.end());
+        }
+        std::sort(all.begin(), all.end());
+        const auto n = static_cast<std::int64_t>(all.size());
+        const std::string tag = "c" + std::to_string(concurrency);
+        records.push_back({tag, n, wall,
+                           static_cast<double>(n) / (wall / 1000.0)});
+        records.push_back({tag + ".p50_ms", n, percentile(all, 50.0), 0.0});
+        records.push_back({tag + ".p99_ms", n, percentile(all, 99.0), 0.0});
+        std::cout << "net_load: " << tag << "  " << n << " req in " << wall
+                  << " ms  (" << records[records.size() - 3].throughput
+                  << " req/s, p50 " << percentile(all, 50.0) << " ms, p99 "
+                  << percentile(all, 99.0) << " ms)\n";
+    }
+    server.stop();
+
+    // ---- Leg 2: admission control under a connection storm ------------------
+    const auto handler_ms = std::chrono::milliseconds(quick ? 20 : 50);
+    net::Router slow_router;
+    slow_router.add("/slow", [handler_ms](const net::HttpRequest&) {
+        std::this_thread::sleep_for(handler_ms);
+        return net::HttpResponse::text(200, "done");
+    });
+    obs::MetricsRegistry shed_registry;
+    net::HttpServer::Options shed_opt;
+    shed_opt.workers = 2;
+    shed_opt.max_connections = 2;
+    shed_opt.registry = &shed_registry;
+    net::HttpServer shed_server(std::move(slow_router), shed_opt);
+    shed_server.start();
+
+    constexpr int kStormThreads = 8;
+    const int storm_rounds = quick ? 10 : 40;
+    std::atomic<std::uint64_t> storm_ok{0};
+    std::atomic<std::uint64_t> storm_shed{0};
+    std::vector<std::vector<double>> t503(kStormThreads);
+    {
+        std::vector<std::thread> storm;
+        storm.reserve(kStormThreads);
+        for (int t = 0; t < kStormThreads; ++t) {
+            storm.emplace_back([&, t] {
+                for (int i = 0; i < storm_rounds; ++i) {
+                    try {
+                        // Fresh connection per request: every request faces
+                        // the admission gate.
+                        net::HttpClient client("127.0.0.1", shed_server.port(),
+                                               {.timeout_ms = 2000});
+                        const Clock::time_point t0 = Clock::now();
+                        const auto resp = client.get("/slow");
+                        const double ms = ms_since(t0);
+                        if (resp.status == 200) {
+                            storm_ok.fetch_add(1, std::memory_order_relaxed);
+                        } else if (resp.status == 503) {
+                            storm_shed.fetch_add(1, std::memory_order_relaxed);
+                            t503[static_cast<std::size_t>(t)].push_back(ms);
+                        }
+                    } catch (const Error&) {
+                        // connect refused under the storm: not counted
+                    }
+                }
+            });
+        }
+        for (auto& th : storm) {
+            th.join();
+        }
+    }
+    shed_server.stop();
+
+    std::vector<double> shed_ms;
+    for (const auto& v : t503) {
+        shed_ms.insert(shed_ms.end(), v.begin(), v.end());
+    }
+    std::sort(shed_ms.begin(), shed_ms.end());
+    const std::uint64_t ok = storm_ok.load(std::memory_order_relaxed);
+    const std::uint64_t shed = storm_shed.load(std::memory_order_relaxed);
+    const double shed_p99 = percentile(shed_ms, 99.0);
+    std::cout << "net_load: storm  " << ok << " served, " << shed
+              << " shed (503 p99 " << shed_p99 << " ms vs handler "
+              << static_cast<double>(handler_ms.count()) << " ms)\n";
+    records.push_back({"shed.count", static_cast<std::int64_t>(shed),
+                       0.0, 0.0});
+    records.push_back({"shed.t503_p99_ms", static_cast<std::int64_t>(shed),
+                       shed_p99, 0.0});
+    records.push_back({"shed.served", static_cast<std::int64_t>(ok), 0.0, 0.0});
+
+    bench::write_bench_json(out_dir, "net", records);
+    std::cout << "net_load: wrote " << out_dir << "/BENCH_net.json\n";
+
+    if (ok == 0 || shed == 0) {
+        std::cerr << "net_load: storm produced no "
+                  << (ok == 0 ? "successes" : "sheds")
+                  << " — admission control not demonstrated\n";
+        return 1;
+    }
+    // A shed 503 must be answered at the door: well under one handler
+    // service time even at p99.
+    if (shed_p99 >= static_cast<double>(handler_ms.count())) {
+        std::cerr << "net_load: 503 p99 " << shed_p99
+                  << " ms is not faster than the handler — shedding queued?\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,175 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.hpp"
+#include "net/http.hpp"
+
+namespace rrs::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+    throw IoError{message, {"net", "HttpClient"}};
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Parse "HTTP/1.x STATUS reason" + header lines into a ClientResponse
+/// (body filled by the caller).
+ClientResponse parse_response_head(std::string_view head) {
+    ClientResponse resp;
+    std::size_t eol = head.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? head : head.substr(0, eol);
+    if (line.substr(0, 5) != "HTTP/") {
+        fail("malformed status line '" + std::string(line) + "'");
+    }
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+        fail("malformed status line '" + std::string(line) + "'");
+    }
+    const std::string_view code = line.substr(sp1 + 1, 3);
+    if (code.size() != 3 ||
+        !std::all_of(code.begin(), code.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; })) {
+        fail("malformed status code in '" + std::string(line) + "'");
+    }
+    resp.status = (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
+
+    std::size_t pos = eol == std::string_view::npos ? head.size() : eol + 2;
+    while (pos < head.size()) {
+        eol = head.find("\r\n", pos);
+        if (eol == std::string_view::npos) {
+            eol = head.size();
+        }
+        const std::string_view raw = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (raw.empty()) {
+            continue;
+        }
+        const std::size_t colon = raw.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            fail("malformed response header '" + std::string(raw) + "'");
+        }
+        resp.headers.emplace_back(to_lower(raw.substr(0, colon)),
+                                  std::string(trim(raw.substr(colon + 1))));
+    }
+    return resp;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::header(std::string_view name) const noexcept {
+    for (const auto& [key, value] : headers) {
+        if (key == name) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : HttpClient(std::move(host), port, Options{}) {}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, Options opt)
+    : host_(std::move(host)), port_(port), opt_(opt) {
+    if (opt_.timeout_ms <= 0) {
+        throw ConfigError{"timeout_ms must be positive", {"net", "HttpClient"}};
+    }
+}
+
+void HttpClient::close() noexcept {
+    sock_.close();
+    carry_.clear();
+}
+
+ClientResponse HttpClient::get(const std::string& target) {
+    const bool reused = sock_.valid();
+    if (!reused) {
+        sock_ = connect_tcp(host_, port_, opt_.timeout_ms);
+        carry_.clear();
+    }
+    try {
+        return roundtrip(target);
+    } catch (const IoError&) {
+        if (!reused) {
+            throw;
+        }
+        // Stale keep-alive connection: the server closed it between
+        // requests.  Reconnect once and retry on a fresh socket.
+        close();
+        sock_ = connect_tcp(host_, port_, opt_.timeout_ms);
+        return roundtrip(target);
+    }
+}
+
+ClientResponse HttpClient::roundtrip(const std::string& target) {
+    if (target.empty() || target.front() != '/') {
+        throw ConfigError{"request target must start with '/'",
+                          {"net", "HttpClient"}};
+    }
+    const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ +
+                                ":" + std::to_string(port_) +
+                                "\r\nConnection: keep-alive\r\n\r\n";
+    if (!send_all(sock_, request.data(), request.size())) {
+        close();
+        fail("send failed for '" + target + "'");
+    }
+    std::string head;
+    const HeadResult hr =
+        read_head(sock_, carry_, /*max_bytes=*/std::size_t{64} << 10, head);
+    if (hr.status != HeadStatus::kOk) {
+        close();
+        fail(hr.status == HeadStatus::kTimedOut
+                 ? "timed out waiting for the response head"
+                 : "connection closed before a response arrived");
+    }
+    ClientResponse resp = parse_response_head(head);
+
+    std::size_t body_len = 0;
+    if (const std::string* cl = resp.header("content-length")) {
+        if (cl->empty() ||
+            !std::all_of(cl->begin(), cl->end(), [](unsigned char c) {
+                return std::isdigit(c) != 0;
+            })) {
+            close();
+            fail("malformed Content-Length '" + *cl + "'");
+        }
+        body_len = std::stoull(*cl);
+    }
+    if (body_len > opt_.max_response_bytes) {
+        close();
+        fail("response of " + std::to_string(body_len) +
+             " bytes exceeds the client cap");
+    }
+    resp.body.reserve(body_len);
+    if (!read_exact(sock_, carry_, body_len, &resp.body)) {
+        close();
+        fail("connection lost mid-body");
+    }
+    const std::string* connection = resp.header("connection");
+    if (connection != nullptr && to_lower(*connection) == "close") {
+        close();
+    }
+    return resp;
+}
+
+}  // namespace rrs::net

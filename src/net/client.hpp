@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file client.hpp
+/// Small blocking HTTP/1.1 GET client over the same socket layer the
+/// server uses.  Exists for the repo's own closed loop — tests drive the
+/// server end-to-end with it, bench/net_load.cpp generates load with it,
+/// and tools/rrsquery wraps it for the command line.  It is intentionally
+/// not a general user agent: GET only, numeric IPv4, `Content-Length`
+/// bodies only (which is everything HttpServer emits).
+///
+/// Connections are kept alive across `get()` calls; a stale keep-alive
+/// connection (server closed it between requests) is transparently
+/// reconnected once.  All failures throw IoError — a non-2xx *response* is
+/// not a failure, callers inspect `ClientResponse::status`.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace rrs::net {
+
+/// One parsed response (header names lower-cased).
+struct ClientResponse {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    const std::string* header(std::string_view name) const noexcept;
+    bool ok() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// See file comment.
+class HttpClient {
+public:
+    struct Options {
+        int timeout_ms = 5000;  ///< connect + per-recv + per-send deadline
+        std::size_t max_response_bytes = std::size_t{256} << 20;
+    };
+
+    /// Lazily connecting: the first get() dials `host:port`.
+    HttpClient(std::string host, std::uint16_t port);
+    HttpClient(std::string host, std::uint16_t port, Options opt);
+
+    HttpClient(HttpClient&&) = default;
+    HttpClient& operator=(HttpClient&&) = default;
+
+    /// Issue one GET for `target` (e.g. "/v1/tile?tx=0&ty=1") and read the
+    /// full response.  Reconnects a stale keep-alive connection once.
+    ClientResponse get(const std::string& target);
+
+    /// Drop the connection (the next get() reconnects).
+    void close() noexcept;
+
+    bool connected() const noexcept { return sock_.valid(); }
+
+    const std::string& host() const noexcept { return host_; }
+    std::uint16_t port() const noexcept { return port_; }
+
+private:
+    ClientResponse roundtrip(const std::string& target);
+
+    std::string host_;
+    std::uint16_t port_;
+    Options opt_;
+    Socket sock_;
+    std::string carry_;
+};
+
+}  // namespace rrs::net

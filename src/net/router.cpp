@@ -1,0 +1,38 @@
+#include "net/router.hpp"
+
+#include "core/error.hpp"
+
+namespace rrs::net {
+
+void Router::add(std::string path, Handler handler) {
+    if (path.empty() || path.front() != '/') {
+        throw ConfigError{"route path must start with '/'", {"net", "router"}};
+    }
+    if (handler == nullptr) {
+        throw ConfigError{"route handler must not be null", {"net", "router", path}};
+    }
+    const auto [it, inserted] = routes_.emplace(std::move(path), std::move(handler));
+    if (!inserted) {
+        throw StateError{"route '" + it->first + "' registered twice",
+                         {"net", "router"}};
+    }
+}
+
+HttpResponse Router::dispatch(const HttpRequest& req) const {
+    const auto it = routes_.find(req.path);
+    if (it == routes_.end()) {
+        throw HttpError{404, "no route for '" + req.path + "'"};
+    }
+    return it->second(req);
+}
+
+std::vector<std::string> Router::paths() const {
+    std::vector<std::string> out;
+    out.reserve(routes_.size());
+    for (const auto& [path, handler] : routes_) {
+        out.push_back(path);
+    }
+    return out;
+}
+
+}  // namespace rrs::net

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file router.hpp
+/// Exact-path route table: `GET <path>` → handler.  The server owns method
+/// policy (everything but GET answers 405) and error→status mapping; the
+/// router only resolves paths.  Handlers run on server worker threads and
+/// must therefore be thread-safe and re-entrant — the tile handlers are,
+/// because TileService is.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace rrs::net {
+
+/// Copyable route table (copying shares the handlers' captured state).
+class Router {
+public:
+    using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+    /// Register `path` (exact match on the decoded path).  Re-registering a
+    /// path is a StateError — routes are wired once at startup.
+    void add(std::string path, Handler handler);
+
+    /// Resolve and invoke; throws HttpError(404) for unknown paths.
+    HttpResponse dispatch(const HttpRequest& req) const;
+
+    /// Registered paths, sorted (for index/debug endpoints).
+    std::vector<std::string> paths() const;
+
+    std::size_t size() const noexcept { return routes_.size(); }
+
+private:
+    std::map<std::string, Handler> routes_;
+};
+
+}  // namespace rrs::net

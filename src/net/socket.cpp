@@ -1,0 +1,224 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "core/error.hpp"
+
+namespace rrs::net {
+
+namespace {
+
+/// errno rendered the std way ("Connection refused"), no strerror races.
+std::string errno_text(int err) { return std::system_category().message(err); }
+
+[[noreturn]] void fail(const std::string& what, int err) {
+    throw IoError{what + ": " + errno_text(err), {"net"}};
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw IoError{"not a numeric IPv4 address: '" + host + "'", {"net"}};
+    }
+    return addr;
+}
+
+void set_timeout(const Socket& s, int ms, int option, const char* what) {
+    if (ms <= 0) {
+        throw ConfigError{"socket timeout must be positive", {"net"}};
+    }
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    if (::setsockopt(s.fd(), SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+        fail(what, errno);
+    }
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+    Socket s{::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0)};
+    if (!s.valid()) {
+        fail("socket", errno);
+    }
+    const int one = 1;
+    if (::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+        fail("setsockopt(SO_REUSEADDR)", errno);
+    }
+    const sockaddr_in addr = make_addr(host, port);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        fail("bind " + host + ":" + std::to_string(port), errno);
+    }
+    if (::listen(s.fd(), backlog) != 0) {
+        fail("listen", errno);
+    }
+    return s;
+}
+
+std::uint16_t local_port(const Socket& listener) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        fail("getsockname", errno);
+    }
+    return ntohs(addr.sin_port);
+}
+
+Socket accept_with_timeout(const Socket& listener, int timeout_ms) {
+    pollfd pfd{};
+    pfd.fd = listener.fd();
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+        if (errno == EINTR) {
+            return Socket{};
+        }
+        fail("poll(listener)", errno);
+    }
+    if (ready == 0) {
+        return Socket{};
+    }
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+        // The connection can evaporate between poll and accept; that (or a
+        // signal) is not a listener fault.
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+            errno == ECONNABORTED) {
+            return Socket{};
+        }
+        fail("accept", errno);
+    }
+    return Socket{fd};
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
+    Socket s{::socket(AF_INET, SOCK_STREAM, 0)};
+    if (!s.valid()) {
+        fail("socket", errno);
+    }
+    // SO_SNDTIMEO bounds a blocking connect() as well as later sends.
+    set_timeout(s, timeout_ms, SO_SNDTIMEO, "setsockopt(SO_SNDTIMEO)");
+    set_timeout(s, timeout_ms, SO_RCVTIMEO, "setsockopt(SO_RCVTIMEO)");
+    const sockaddr_in addr = make_addr(host, port);
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int err = (errno == EINPROGRESS || errno == EAGAIN ||
+                         errno == EWOULDBLOCK)
+                            ? ETIMEDOUT
+                            : errno;
+        fail("connect " + host + ":" + std::to_string(port), err);
+    }
+    return s;
+}
+
+void set_recv_timeout(const Socket& s, int ms) {
+    set_timeout(s, ms, SO_RCVTIMEO, "setsockopt(SO_RCVTIMEO)");
+}
+
+void set_send_timeout(const Socket& s, int ms) {
+    set_timeout(s, ms, SO_SNDTIMEO, "setsockopt(SO_SNDTIMEO)");
+}
+
+RecvResult recv_some(const Socket& s, char* buf, std::size_t max) noexcept {
+    for (;;) {
+        const ssize_t n = ::recv(s.fd(), buf, max, 0);
+        if (n > 0) {
+            return RecvResult{static_cast<std::size_t>(n), false, false};
+        }
+        if (n == 0) {
+            return RecvResult{0, true, false};
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return RecvResult{0, false, true};
+        }
+        // ECONNRESET and everything else: the connection is unusable.
+        return RecvResult{0, true, false};
+    }
+}
+
+bool send_all(const Socket& s, const char* data, std::size_t n) noexcept {
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w = ::send(s.fd(), data + sent, n - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR) {
+            continue;
+        }
+        return false;  // peer gone, or SO_SNDTIMEO expired (EAGAIN)
+    }
+    return true;
+}
+
+void shutdown_both(int fd) noexcept { ::shutdown(fd, SHUT_RDWR); }
+
+HeadResult read_head(const Socket& s, std::string& carry, std::size_t max_bytes,
+                     std::string& head) {
+    char buf[4096];
+    for (;;) {
+        const std::size_t pos = carry.find("\r\n\r\n");
+        if (pos != std::string::npos) {
+            head.assign(carry, 0, pos);
+            carry.erase(0, pos + 4);
+            return HeadResult{HeadStatus::kOk, true};
+        }
+        if (carry.size() > max_bytes) {
+            return HeadResult{HeadStatus::kTooLarge, true};
+        }
+        const RecvResult r = recv_some(s, buf, sizeof(buf));
+        if (r.closed) {
+            return HeadResult{HeadStatus::kPeerClosed, !carry.empty()};
+        }
+        if (r.timed_out) {
+            return HeadResult{HeadStatus::kTimedOut, !carry.empty()};
+        }
+        carry.append(buf, r.n);
+    }
+}
+
+bool read_exact(const Socket& s, std::string& carry, std::size_t n, std::string* out) {
+    const std::size_t from_carry = std::min(n, carry.size());
+    if (out != nullptr) {
+        out->append(carry, 0, from_carry);
+    }
+    carry.erase(0, from_carry);
+    std::size_t remaining = n - from_carry;
+    char buf[4096];
+    while (remaining > 0) {
+        const RecvResult r = recv_some(s, buf, std::min(remaining, sizeof(buf)));
+        if (r.closed || r.timed_out) {
+            return false;
+        }
+        if (out != nullptr) {
+            out->append(buf, r.n);
+        }
+        remaining -= r.n;
+    }
+    return true;
+}
+
+}  // namespace rrs::net

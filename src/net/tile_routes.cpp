@@ -1,0 +1,182 @@
+#include "net/tile_routes.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "core/error.hpp"
+#include "net/http.hpp"
+#include "obs/trace.hpp"
+#include "service/tile_key.hpp"
+
+namespace rrs::net {
+
+namespace {
+
+/// Strict signed integer query parameter; HttpError(400) when missing or
+/// not a plain base-10 integer.
+std::int64_t int_param(const HttpRequest& req, const char* name) {
+    const std::string* raw = req.query_param(name);
+    if (raw == nullptr) {
+        throw HttpError{400, std::string("missing query parameter '") + name + "'"};
+    }
+    std::int64_t value = 0;
+    const char* first = raw->data();
+    const char* last = first + raw->size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+        throw HttpError{400, std::string("query parameter '") + name +
+                                 "' is not an integer: '" + *raw + "'"};
+    }
+    return value;
+}
+
+/// Shared immutable routing state, captured by every handler.
+struct RouteState {
+    SceneServices scenes;
+    obs::MetricsRegistry* registry = nullptr;
+    TileRoutesOptions opt;
+
+    /// Resolve the scene a request addresses: explicit `scene=` parameter,
+    /// or the sole registered scene when there is exactly one.
+    std::pair<const std::string*, TileService*> resolve(const HttpRequest& req) const {
+        const std::string* name = req.query_param("scene");
+        if (name == nullptr) {
+            if (scenes.size() == 1) {
+                const auto& [only_name, only_service] = *scenes.begin();
+                return {&only_name, only_service.get()};
+            }
+            throw HttpError{400,
+                            "query parameter 'scene' is required when more "
+                            "than one scene is served"};
+        }
+        const auto it = scenes.find(*name);
+        if (it == scenes.end()) {
+            throw HttpError{404, "unknown scene '" + *name + "'"};
+        }
+        return {&it->first, it->second.get()};
+    }
+};
+
+/// Wrap an encoded surface window into the binary wire response.
+HttpResponse surface_response(const Array2D<double>& a, const Rect& r,
+                              const std::string& scene, std::uint64_t fingerprint) {
+    HttpResponse resp = HttpResponse::octets(encode_tile_f32(a));
+    resp.extra_headers.emplace_back("X-RRS-Nx", std::to_string(r.nx));
+    resp.extra_headers.emplace_back("X-RRS-Ny", std::to_string(r.ny));
+    resp.extra_headers.emplace_back("X-RRS-X0", std::to_string(r.x0));
+    resp.extra_headers.emplace_back("X-RRS-Y0", std::to_string(r.y0));
+    resp.extra_headers.emplace_back("X-RRS-Scene", scene);
+    resp.extra_headers.emplace_back("X-RRS-Fingerprint", std::to_string(fingerprint));
+    return resp;
+}
+
+HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
+    const auto [scene, service] = state.resolve(req);
+    const TileKey key{int_param(req, "tx"), int_param(req, "ty")};
+    const TilePtr tile = service->get(key);
+    return surface_response(*tile, tile_rect(service->shape(), key), *scene,
+                            service->fingerprint());
+}
+
+HttpResponse handle_window(const RouteState& state, const HttpRequest& req) {
+    const auto [scene, service] = state.resolve(req);
+    const Rect region{int_param(req, "x0"), int_param(req, "y0"),
+                      int_param(req, "nx"), int_param(req, "ny")};
+    if (region.nx < 0 || region.ny < 0) {
+        throw HttpError{400, "window extents must be non-negative"};
+    }
+    const auto cap = static_cast<std::uint64_t>(state.opt.max_window_points);
+    if (region.nx > 0 && region.ny > 0) {
+        const auto nx = static_cast<std::uint64_t>(region.nx);
+        const auto ny = static_cast<std::uint64_t>(region.ny);
+        if (nx > cap || ny > cap / nx) {
+            throw HttpError{413, "window of " + std::to_string(region.nx) + "x" +
+                                     std::to_string(region.ny) +
+                                     " points exceeds the cap of " +
+                                     std::to_string(cap) + " points"};
+        }
+    }
+    const Array2D<double> window = service->window(region);
+    return surface_response(window, region, *scene, service->fingerprint());
+}
+
+HttpResponse handle_index(const RouteState& state) {
+    std::string body = "{\"scenes\":[";
+    bool first = true;
+    for (const auto& [name, service] : state.scenes) {
+        if (!first) {
+            body += ',';
+        }
+        first = false;
+        body += "{\"name\":\"" + json_escape(name) +
+                "\",\"tile_nx\":" + std::to_string(service->shape().nx) +
+                ",\"tile_ny\":" + std::to_string(service->shape().ny) +
+                ",\"fingerprint\":" + std::to_string(service->fingerprint()) + "}";
+    }
+    body +=
+        "],\"endpoints\":[\"/\",\"/healthz\",\"/metrics\",\"/tracez\","
+        "\"/v1/tile\",\"/v1/window\"]}";
+    return HttpResponse::json(200, std::move(body));
+}
+
+}  // namespace
+
+std::string encode_tile_f32(const Array2D<double>& a) {
+    std::string out;
+    out.resize(a.size() * 4);
+    const double* src = a.data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto f = static_cast<float>(src[i]);
+        std::uint32_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(f));
+        std::memcpy(&bits, &f, sizeof(bits));
+        // Explicit little-endian byte order, independent of the host.
+        out[i * 4 + 0] = static_cast<char>(bits & 0xffu);
+        out[i * 4 + 1] = static_cast<char>((bits >> 8) & 0xffu);
+        out[i * 4 + 2] = static_cast<char>((bits >> 16) & 0xffu);
+        out[i * 4 + 3] = static_cast<char>((bits >> 24) & 0xffu);
+    }
+    return out;
+}
+
+Router make_tile_router(SceneServices scenes, obs::MetricsRegistry* registry,
+                        TileRoutesOptions opt) {
+    if (scenes.empty()) {
+        throw ConfigError{"make_tile_router requires at least one scene",
+                          {"net", "tile_routes"}};
+    }
+    for (const auto& [name, service] : scenes) {
+        if (service == nullptr) {
+            throw ConfigError{"scene '" + name + "' has a null service",
+                              {"net", "tile_routes"}};
+        }
+    }
+    auto state = std::make_shared<const RouteState>(RouteState{
+        std::move(scenes),
+        registry != nullptr ? registry : &obs::MetricsRegistry::global(), opt});
+
+    Router router;
+    router.add("/healthz",
+               [](const HttpRequest&) { return HttpResponse::text(200, "ok\n"); });
+    router.add("/metrics", [state](const HttpRequest&) {
+        return HttpResponse::json(200, state->registry->to_json());
+    });
+    router.add("/tracez", [](const HttpRequest&) {
+        if (!obs::trace_enabled()) {
+            throw HttpError{404, "tracing disabled — start the server with tracing on"};
+        }
+        return HttpResponse::json(200, obs::chrome_trace_json());
+    });
+    router.add("/", [state](const HttpRequest&) { return handle_index(*state); });
+    router.add("/v1/tile", [state](const HttpRequest& req) {
+        return handle_tile(*state, req);
+    });
+    router.add("/v1/window", [state](const HttpRequest& req) {
+        return handle_window(*state, req);
+    });
+    return router;
+}
+
+}  // namespace rrs::net

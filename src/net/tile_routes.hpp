@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file tile_routes.hpp
+/// The tile API: a Router wiring TileService instances (one per named
+/// scene) plus the operational endpoints every deployment of the daemon
+/// needs.  Route table (DESIGN.md §12):
+///
+///   GET /            JSON index: scenes, tile shape, endpoint list
+///   GET /healthz     liveness probe — "ok" once routable
+///   GET /metrics     MetricsRegistry snapshot as JSON
+///   GET /tracez      Chrome trace JSON (404 while tracing is disabled)
+///   GET /v1/tile?scene=NAME&tx=I&ty=J
+///                    one tile as little-endian float32, row-major;
+///                    dimensions ride in X-RRS-* response headers
+///   GET /v1/window?scene=NAME&x0=I&y0=J&nx=W&ny=H
+///                    arbitrary lattice window, same wire format
+///
+/// `scene` may be omitted when exactly one scene is registered.  Parameter
+/// errors are HttpError(400), unknown scenes HttpError(404), and windows
+/// larger than `TileRoutesOptions::max_window_points` HttpError(413) — the
+/// window cap is the router-level admission control that keeps one request
+/// from monopolizing the generation pool.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "grid/array2d.hpp"
+#include "net/router.hpp"
+#include "obs/metrics.hpp"
+#include "service/tile_service.hpp"
+
+namespace rrs::net {
+
+/// Limits the tile router imposes beyond the server's own.
+struct TileRoutesOptions {
+    /// Maximum nx*ny lattice points one /v1/window request may ask for
+    /// (default 16 Mi points = 64 MiB on the wire).
+    std::size_t max_window_points = std::size_t{16} << 20;
+};
+
+/// Map of scene name -> the service answering for it.  Services are shared
+/// because handlers run concurrently on server workers.
+using SceneServices = std::map<std::string, std::shared_ptr<TileService>>;
+
+/// Build the full route table over `scenes`.  `registry` backs /metrics
+/// (nullptr = the global registry — pass the server's registry so one JSON
+/// document carries both service and transport counters).  Throws
+/// ConfigError when `scenes` is empty or any service is null.
+Router make_tile_router(SceneServices scenes,
+                        obs::MetricsRegistry* registry = nullptr,
+                        TileRoutesOptions opt = {});
+
+/// Encode an array as the wire format served by /v1/tile and /v1/window:
+/// row-major float32, little-endian, no header (dimensions travel in HTTP
+/// headers).  Doubles are narrowed to float — the wire format trades
+/// precision for half the bytes, which tests account for when comparing.
+std::string encode_tile_f32(const Array2D<double>& a);
+
+}  // namespace rrs::net

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/error.hpp"
 #include "core/streaming.hpp"
 #include "grid/array2d.hpp"
 #include "grid/rect.hpp"
@@ -76,6 +77,24 @@ public:
     TileService(std::function<Array2D<double>(const Rect&)> generate,
                 std::uint64_t fingerprint, Options opt,
                 std::shared_ptr<TileCache> cache);
+
+    /// Build a service that OWNS its generator (shared ownership captured in
+    /// the generation closure), for callers — like the tile server daemon —
+    /// that cannot keep a generator alive on the stack for the service's
+    /// whole lifetime.  Throws ConfigError on a null generator.
+    template <typename Generator>
+    static std::unique_ptr<TileService> owning(
+        std::shared_ptr<Generator> gen, Options opt = {},
+        std::shared_ptr<TileCache> cache = nullptr) {
+        if (gen == nullptr) {
+            throw ConfigError{"TileService::owning requires a non-null generator",
+                              {"service", "TileService"}};
+        }
+        const std::uint64_t fp = detail::generator_fingerprint(*gen);
+        return std::make_unique<TileService>(
+            [gen = std::move(gen)](const Rect& r) { return gen->generate(r); },
+            fp, opt, std::move(cache));
+    }
 
     TileService(const TileService&) = delete;
     TileService& operator=(const TileService&) = delete;

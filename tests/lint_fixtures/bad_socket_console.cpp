@@ -1,0 +1,27 @@
+// Known-bad fixture: logging a socket error to stdout from library code
+// must be flagged (rrslint rule `iostream-discipline`) — the net subsystem
+// reports failures through the rrs::Error taxonomy and metrics, never by
+// printing.  Mirrors the tempting-but-wrong pattern of dumping errno to
+// std::cout inside an accept/serve loop.
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+
+namespace rrs::net {
+
+inline bool accept_failed_verbose(int error_code) {
+    if (error_code != 0) {
+        // LINT-EXPECT: iostream-discipline
+        std::cout << "accept failed: " << std::strerror(errno) << "\n";
+        return true;
+    }
+    return false;
+}
+
+/// std::cerr for operator-facing health reporting is allowed and must NOT
+/// be flagged — only stdout is reserved.
+inline void warn_backlog_full() {
+    std::cerr << "net: listen backlog full\n";
+}
+
+}  // namespace rrs::net

@@ -1,0 +1,628 @@
+// Tests for src/net/: HTTP parsing (every negative path is pure and
+// socket-free), the router, and the served tile API end-to-end — a real
+// HttpServer over a real scene's TileService, driven by net::HttpClient.
+//
+// The two core acceptance properties of DESIGN.md §12 are asserted here:
+//  * a tile fetched over HTTP is bit-identical (after the documented
+//    float32 narrowing) to the tile served by TileService directly, and
+//  * the metrics accounting identity
+//      net.requests == net.status_2xx + net.status_4xx + net.status_5xx
+//                      + net.shed
+//    holds after a mixed workload including errors and shed connections.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "grid/array2d.hpp"
+#include "io/scene.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/tile_routes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/tile_service.hpp"
+
+namespace rrs::net {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(HttpParse, SimpleGetRequest) {
+    const HttpRequest req = parse_request_head(
+        "GET /v1/tile?tx=3&ty=-2&name=a%20b HTTP/1.1\r\n"
+        "Host: localhost\r\n"
+        "X-Custom:  spaced value \r\n");
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/v1/tile");
+    EXPECT_EQ(req.version_minor, 1);
+    EXPECT_TRUE(req.keep_alive);
+    ASSERT_NE(req.query_param("tx"), nullptr);
+    EXPECT_EQ(*req.query_param("tx"), "3");
+    EXPECT_EQ(*req.query_param("ty"), "-2");
+    EXPECT_EQ(*req.query_param("name"), "a b");
+    ASSERT_NE(req.header("x-custom"), nullptr);
+    EXPECT_EQ(*req.header("x-custom"), "spaced value");
+    EXPECT_EQ(req.query_param("absent"), nullptr);
+    EXPECT_EQ(req.header("absent"), nullptr);
+}
+
+TEST(HttpParse, KeepAliveDefaults) {
+    EXPECT_FALSE(parse_request_head("GET / HTTP/1.0\r\n").keep_alive);
+    EXPECT_TRUE(parse_request_head(
+                    "GET / HTTP/1.0\r\nConnection: keep-alive\r\n")
+                    .keep_alive);
+    EXPECT_TRUE(parse_request_head("GET / HTTP/1.1\r\n").keep_alive);
+    EXPECT_FALSE(
+        parse_request_head("GET / HTTP/1.1\r\nConnection: close\r\n").keep_alive);
+}
+
+/// Expect an HttpError with a given status from a parse.
+template <typename Fn>
+void expect_http_error(int status, Fn&& fn) {
+    try {
+        std::forward<Fn>(fn)();
+        FAIL() << "expected HttpError(" << status << ")";
+    } catch (const HttpError& e) {
+        EXPECT_EQ(e.status(), status) << e.what();
+    }
+}
+
+TEST(HttpParse, MalformedRequestLinesAre400) {
+    expect_http_error(400, [] { parse_request_head("GET /\r\n"); });
+    expect_http_error(400, [] { parse_request_head("GET / HTTP/1.1 x\r\n"); });
+    expect_http_error(400, [] { parse_request_head("\r\n"); });
+    expect_http_error(400, [] { parse_request_head("GET noslash HTTP/1.1\r\n"); });
+    expect_http_error(400, [] { parse_request_head("GE T / HTTP/1.1\r\n"); });
+    expect_http_error(400, [] { parse_request_head("GET / FTP/1.1\r\n"); });
+}
+
+TEST(HttpParse, UnsupportedHttpVersionIs505) {
+    expect_http_error(505, [] { parse_request_head("GET / HTTP/2.0\r\n"); });
+    expect_http_error(505, [] { parse_request_head("GET / HTTP/0.9\r\n"); });
+}
+
+TEST(HttpParse, HeaderLimitsAre431) {
+    RequestLimits limits;
+    limits.max_headers = 2;
+    expect_http_error(431, [&] {
+        parse_request_head("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n", limits);
+    });
+    RequestLimits tiny;
+    tiny.max_header_bytes = 32;
+    expect_http_error(431, [&] {
+        parse_request_head(
+            "GET / HTTP/1.1\r\nX-Long: " + std::string(64, 'x') + "\r\n", tiny);
+    });
+}
+
+TEST(HttpParse, MalformedHeaderLineIs400) {
+    expect_http_error(400, [] {
+        parse_request_head("GET / HTTP/1.1\r\nno-colon-here\r\n");
+    });
+    expect_http_error(400, [] {
+        parse_request_head("GET / HTTP/1.1\r\n: empty-name\r\n");
+    });
+}
+
+TEST(HttpParse, ContentLengthValidation) {
+    EXPECT_EQ(parse_request_head("GET / HTTP/1.1\r\n").content_length(), 0u);
+    EXPECT_EQ(parse_request_head("GET / HTTP/1.1\r\nContent-Length: 42\r\n")
+                  .content_length(),
+              42u);
+    expect_http_error(400, [] {
+        parse_request_head("GET / HTTP/1.1\r\nContent-Length: nope\r\n")
+            .content_length();
+    });
+    expect_http_error(413, [] {
+        parse_request_head("GET / HTTP/1.1\r\nContent-Length: "
+                           "99999999999999999999999999\r\n")
+            .content_length();
+    });
+}
+
+TEST(HttpParse, UrlDecode) {
+    EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+    EXPECT_EQ(url_decode("%2Fpath%3f"), "/path?");
+    expect_http_error(400, [] { url_decode("bad%2"); });
+    expect_http_error(400, [] { url_decode("bad%zz"); });
+}
+
+TEST(HttpParse, ErrorsAreConfigErrors) {
+    // HttpError slots into the taxonomy: catchable as ConfigError (client
+    // fault), rrs::Error, and std::invalid_argument.
+    const HttpError e{418, "teapot"};
+    EXPECT_EQ(e.status(), 418);
+    EXPECT_NE(dynamic_cast<const ConfigError*>(&e), nullptr);
+    EXPECT_NE(dynamic_cast<const Error*>(&e), nullptr);
+    EXPECT_NE(dynamic_cast<const std::invalid_argument*>(&e), nullptr);
+    EXPECT_THROW(parse_request_head("junk\r\n"), ConfigError);
+}
+
+TEST(HttpSerialize, ResponseWireFormat) {
+    HttpResponse r = HttpResponse::text(200, "hello");
+    const std::string keep = serialize_response(r, /*keep_alive=*/true);
+    EXPECT_EQ(keep.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << keep;
+    EXPECT_NE(keep.find("Content-Length: 5\r\n"), std::string::npos);
+    EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+    EXPECT_EQ(keep.substr(keep.size() - 5), "hello");
+    const std::string close = serialize_response(r, /*keep_alive=*/false);
+    EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpSerialize, JsonEscape) {
+    EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+// ----------------------------------------------------------------- router
+
+TEST(RouterTest, DispatchAndErrors) {
+    Router router;
+    router.add("/ping", [](const HttpRequest&) {
+        return HttpResponse::text(200, "pong");
+    });
+    EXPECT_THROW(router.add("/ping", [](const HttpRequest&) {
+        return HttpResponse{};
+    }),
+                 StateError);
+    EXPECT_THROW(router.add("no-slash", [](const HttpRequest&) {
+        return HttpResponse{};
+    }),
+                 ConfigError);
+    HttpRequest req;
+    req.path = "/ping";
+    EXPECT_EQ(router.dispatch(req).body, "pong");
+    req.path = "/absent";
+    expect_http_error(404, [&] { router.dispatch(req); });
+}
+
+// ------------------------------------------------------------- end-to-end
+
+constexpr const char* kTestScene = R"(seed = 11
+kernel_grid = 64 64
+region = 0 0 64 64
+tail_eps = 1e-6
+
+[spectrum field]
+family = gaussian
+h = 1.0
+cl = 6
+
+[spectrum pond]
+family = exponential
+h = 0.3
+cl = 6
+
+[map]
+type = circle
+center = 0 0
+radius = 40
+transition = 12
+inside = pond
+outside = field
+)";
+
+std::shared_ptr<TileService> make_scene_service(std::int64_t tile = 32) {
+    const Scene scene = parse_scene_text(kTestScene);
+    auto gen = std::make_shared<InhomogeneousGenerator>(make_scene_generator(scene));
+    TileService::Options opt;
+    opt.shape = TileShape{tile, tile};
+    opt.cache_bytes = std::size_t{16} << 20;
+    return TileService::owning(std::move(gen), opt);
+}
+
+/// Decode the wire format (little-endian float32, row-major).
+std::vector<float> decode_f32(const std::string& body) {
+    EXPECT_EQ(body.size() % 4, 0u);
+    std::vector<float> out(body.size() / 4);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto* p = reinterpret_cast<const unsigned char*>(body.data()) + i * 4;
+        const std::uint32_t bits = static_cast<std::uint32_t>(p[0]) |
+                                   (static_cast<std::uint32_t>(p[1]) << 8) |
+                                   (static_cast<std::uint32_t>(p[2]) << 16) |
+                                   (static_cast<std::uint32_t>(p[3]) << 24);
+        std::memcpy(&out[i], &bits, sizeof(float));
+    }
+    return out;
+}
+
+/// One running server over the test scene with a private registry.
+class TileServerTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        service_ = make_scene_service();
+        SceneServices scenes;
+        scenes.emplace("scene", service_);
+        HttpServer::Options opt;
+        opt.workers = 4;
+        opt.registry = &registry_;
+        server_ = std::make_unique<HttpServer>(
+            make_tile_router(std::move(scenes), &registry_), opt);
+        server_->start();
+    }
+
+    void TearDown() override { server_->stop(); }
+
+    std::uint64_t counter(const char* name) {
+        return registry_.counter(name).value();
+    }
+
+    /// requests == 2xx + 4xx + 5xx + shed must hold at any quiescent point.
+    void expect_accounting_identity() {
+        EXPECT_EQ(counter("net.requests"),
+                  counter("net.status_2xx") + counter("net.status_4xx") +
+                      counter("net.status_5xx") + counter("net.shed"));
+    }
+
+    obs::MetricsRegistry registry_;
+    std::shared_ptr<TileService> service_;
+    std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(TileServerTest, HealthzAndIndex) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse health = client.get("/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(health.body, "ok\n");
+    const ClientResponse index = client.get("/");
+    EXPECT_EQ(index.status, 200);
+    EXPECT_NE(index.body.find("\"scenes\""), std::string::npos);
+    EXPECT_NE(index.body.find("\"scene\""), std::string::npos);
+}
+
+TEST_F(TileServerTest, ServedTileIsBitIdenticalToDirectService) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse resp = client.get("/v1/tile?scene=scene&tx=0&ty=1");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    ASSERT_NE(resp.header("x-rrs-nx"), nullptr);
+    EXPECT_EQ(*resp.header("x-rrs-nx"), "32");
+    EXPECT_EQ(*resp.header("x-rrs-ny"), "32");
+    EXPECT_EQ(*resp.header("x-rrs-y0"), "32");
+    EXPECT_EQ(*resp.header("x-rrs-fingerprint"),
+              std::to_string(service_->fingerprint()));
+
+    const std::vector<float> wire = decode_f32(resp.body);
+    const TilePtr direct = service_->get(TileKey{0, 1});
+    ASSERT_EQ(wire.size(), direct->size());
+    for (std::size_t iy = 0; iy < direct->ny(); ++iy) {
+        for (std::size_t ix = 0; ix < direct->nx(); ++ix) {
+            const auto expected = static_cast<float>((*direct)(ix, iy));
+            ASSERT_EQ(wire[iy * direct->nx() + ix], expected)
+                << "mismatch at (" << ix << "," << iy << ")";
+        }
+    }
+}
+
+TEST_F(TileServerTest, WindowMatchesDirectWindow) {
+    HttpClient client("127.0.0.1", server_->port());
+    // Straddles four tiles and negative coordinates.
+    const ClientResponse resp =
+        client.get("/v1/window?x0=-5&y0=-7&nx=40&ny=20");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    const std::vector<float> wire = decode_f32(resp.body);
+    const Array2D<double> direct = service_->window(Rect{-5, -7, 40, 20});
+    ASSERT_EQ(wire.size(), direct.size());
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        ASSERT_EQ(wire[i], static_cast<float>(direct.data()[i])) << "at " << i;
+    }
+}
+
+TEST_F(TileServerTest, SceneResolutionDefaultsAndFailures) {
+    HttpClient client("127.0.0.1", server_->port());
+    // Single registered scene: the parameter is optional.
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0").status, 200);
+    const ClientResponse unknown = client.get("/v1/tile?scene=nope&tx=0&ty=0");
+    EXPECT_EQ(unknown.status, 404);
+    EXPECT_NE(unknown.body.find("unknown scene"), std::string::npos);
+}
+
+TEST_F(TileServerTest, ParameterErrorsAre400) {
+    HttpClient client("127.0.0.1", server_->port());
+    EXPECT_EQ(client.get("/v1/tile?tx=0").status, 400);           // missing ty
+    EXPECT_EQ(client.get("/v1/tile?tx=zero&ty=0").status, 400);   // not an int
+    EXPECT_EQ(client.get("/v1/window?x0=0&y0=0&nx=-1&ny=4").status, 400);
+    const ClientResponse missing = client.get("/v1/nope");
+    EXPECT_EQ(missing.status, 404);
+    EXPECT_NE(missing.body.find("no route"), std::string::npos);
+}
+
+TEST_F(TileServerTest, MetricsEndpointAndAccountingIdentity) {
+    HttpClient client("127.0.0.1", server_->port());
+    // Mixed workload: successes and client errors.
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0").status, 200);
+    EXPECT_EQ(client.get("/v1/tile?tx=bad&ty=0").status, 400);
+    EXPECT_EQ(client.get("/absent").status, 404);
+
+    const ClientResponse metrics = client.get("/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("\"net.requests\""), std::string::npos);
+    EXPECT_NE(metrics.body.find("\"net.latency\""), std::string::npos);
+
+    EXPECT_EQ(counter("net.status_2xx"), 3u);  // healthz, tile, metrics
+    EXPECT_EQ(counter("net.status_4xx"), 2u);
+    EXPECT_GE(counter("net.bytes_out"), 1u);
+    expect_accounting_identity();
+}
+
+TEST_F(TileServerTest, KeepAliveReusesOneConnection) {
+    HttpClient client("127.0.0.1", server_->port());
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(client.get("/healthz").status, 200);
+    }
+    EXPECT_TRUE(client.connected());
+    EXPECT_EQ(counter("net.accepted"), 1u);
+    EXPECT_EQ(counter("net.requests"), 3u);
+}
+
+TEST_F(TileServerTest, OversizedWindowIs413) {
+    SceneServices scenes;
+    scenes.emplace("scene", service_);
+    TileRoutesOptions ropt;
+    ropt.max_window_points = 100;
+    obs::MetricsRegistry registry;
+    HttpServer::Options opt;
+    opt.registry = &registry;
+    HttpServer capped(make_tile_router(std::move(scenes), &registry, ropt), opt);
+    capped.start();
+    HttpClient client("127.0.0.1", capped.port());
+    EXPECT_EQ(client.get("/v1/window?x0=0&y0=0&nx=10&ny=10").status, 200);
+    const ClientResponse big = client.get("/v1/window?x0=0&y0=0&nx=11&ny=10");
+    EXPECT_EQ(big.status, 413);
+    EXPECT_NE(big.body.find("exceeds the cap"), std::string::npos);
+    capped.stop();
+}
+
+TEST_F(TileServerTest, TracezRequiresTracing) {
+    HttpClient client("127.0.0.1", server_->port());
+    obs::trace_disable();
+    EXPECT_EQ(client.get("/tracez").status, 404);
+    obs::trace_reset();
+    obs::trace_enable();
+    EXPECT_EQ(client.get("/healthz").status, 200);  // records net.* spans
+    const ClientResponse trace = client.get("/tracez");
+    obs::trace_disable();
+    ASSERT_EQ(trace.status, 200);
+    EXPECT_NE(trace.body.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.body.find("net.handle"), std::string::npos);
+}
+
+TEST_F(TileServerTest, ClientSurvivesIdleTimeoutClose) {
+    // A keep-alive connection the server idle-times-out must be
+    // transparently re-dialled by the client on the next get().
+    SceneServices scenes;
+    scenes.emplace("scene", service_);
+    obs::MetricsRegistry registry;
+    HttpServer::Options opt;
+    opt.registry = &registry;
+    opt.read_timeout_ms = 100;
+    HttpServer server(make_tile_router(std::move(scenes), &registry), opt);
+    server.start();
+    HttpClient client("127.0.0.1", server.port());
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    EXPECT_EQ(registry.counter("net.accepted").value(), 2u);
+    server.stop();
+}
+
+// ------------------------------------------------- raw-socket wire tests
+
+/// Send raw bytes, optionally half-close the write side, read to EOF/deadline.
+std::string raw_exchange(std::uint16_t port, std::string_view bytes,
+                         bool half_close, int timeout_ms = 3000) {
+    Socket s = connect_tcp("127.0.0.1", port, timeout_ms);
+    set_recv_timeout(s, timeout_ms);
+    EXPECT_TRUE(send_all(s, bytes.data(), bytes.size()));
+    if (half_close) {
+        ::shutdown(s.fd(), SHUT_WR);
+    }
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const RecvResult r = recv_some(s, buf, sizeof buf);
+        if (r.n > 0) {
+            out.append(buf, r.n);
+            continue;
+        }
+        break;  // closed or timed out
+    }
+    return out;
+}
+
+TEST_F(TileServerTest, TruncatedRequestLineIs400) {
+    const std::string resp =
+        raw_exchange(server_->port(), "GET /healthz HTT", /*half_close=*/true);
+    EXPECT_EQ(resp.rfind("HTTP/1.1 400 ", 0), 0u) << resp;
+    EXPECT_NE(resp.find("truncated request"), std::string::npos);
+    EXPECT_EQ(counter("net.status_4xx"), 1u);
+    expect_accounting_identity();
+}
+
+TEST_F(TileServerTest, BadMethodTokenIs400) {
+    const std::string resp = raw_exchange(
+        server_->port(), "GE T /healthz HTTP/1.1\r\n\r\n", /*half_close=*/false);
+    EXPECT_EQ(resp.rfind("HTTP/1.1 400 ", 0), 0u) << resp;
+}
+
+TEST_F(TileServerTest, UnsupportedVersionIs505) {
+    const std::string resp = raw_exchange(
+        server_->port(), "GET /healthz HTTP/2.0\r\n\r\n", /*half_close=*/false);
+    EXPECT_EQ(resp.rfind("HTTP/1.1 505 ", 0), 0u) << resp;
+}
+
+TEST_F(TileServerTest, OversizedHeaderIs431) {
+    std::string huge = "GET / HTTP/1.1\r\nX-Big: ";
+    huge += std::string(server_->options().max_header_bytes, 'x');
+    const std::string resp =
+        raw_exchange(server_->port(), huge, /*half_close=*/false);
+    EXPECT_EQ(resp.rfind("HTTP/1.1 431 ", 0), 0u) << resp;
+    expect_accounting_identity();
+}
+
+TEST_F(TileServerTest, SlowLorisIs408) {
+    SceneServices scenes;
+    scenes.emplace("scene", service_);
+    obs::MetricsRegistry registry;
+    HttpServer::Options opt;
+    opt.registry = &registry;
+    opt.read_timeout_ms = 150;  // the slow-loris bound under test
+    HttpServer server(make_tile_router(std::move(scenes), &registry), opt);
+    server.start();
+    // Send a partial head, then stall past the read deadline.
+    const std::string resp = raw_exchange(server.port(), "GET /healthz HTTP/1.",
+                                          /*half_close=*/false,
+                                          /*timeout_ms=*/3000);
+    EXPECT_EQ(resp.rfind("HTTP/1.1 408 ", 0), 0u) << resp;
+    EXPECT_EQ(registry.counter("net.status_4xx").value(), 1u);
+    server.stop();
+}
+
+// -------------------------------------------------- shedding and drain
+
+TEST(TileServerAdmission, ConnectionCapSheds503) {
+    Router router;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::atomic<int> entered{0};
+    router.add("/slow", [gate, &entered](const HttpRequest&) {
+        entered.fetch_add(1, std::memory_order_acq_rel);
+        gate.wait();
+        return HttpResponse::text(200, "done");
+    });
+    obs::MetricsRegistry registry;
+    HttpServer::Options opt;
+    opt.workers = 1;
+    opt.max_connections = 1;
+    opt.registry = &registry;
+    HttpServer server(std::move(router), opt);
+    server.start();
+
+    std::thread holder([&] {
+        HttpClient client("127.0.0.1", server.port());
+        const ClientResponse resp = client.get("/slow");
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, "done");
+    });
+    while (entered.load(std::memory_order_acquire) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // The admission gate is full: an extra connection is answered 503
+    // immediately — it never waits for the busy worker.
+    HttpClient extra("127.0.0.1", server.port());
+    const ClientResponse shed = extra.get("/healthz");
+    EXPECT_EQ(shed.status, 503);
+    ASSERT_NE(shed.header("retry-after"), nullptr);
+    EXPECT_EQ(*shed.header("retry-after"), "1");
+
+    release.set_value();
+    holder.join();
+    server.stop();
+    EXPECT_EQ(registry.counter("net.shed").value(), 1u);
+    EXPECT_EQ(registry.counter("net.requests").value(),
+              registry.counter("net.status_2xx").value() +
+                  registry.counter("net.status_4xx").value() +
+                  registry.counter("net.status_5xx").value() +
+                  registry.counter("net.shed").value());
+}
+
+TEST(TileServerDrain, GracefulStopFinishesInFlightRequests) {
+    Router router;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    std::atomic<int> entered{0};
+    router.add("/slow", [gate, &entered](const HttpRequest&) {
+        entered.fetch_add(1, std::memory_order_acq_rel);
+        gate.wait();
+        return HttpResponse::text(200, "finished");
+    });
+    obs::MetricsRegistry registry;
+    HttpServer::Options opt;
+    opt.workers = 2;
+    opt.registry = &registry;
+    HttpServer server(std::move(router), opt);
+    server.start();
+    const std::uint16_t port = server.port();
+
+    std::thread requester([&] {
+        HttpClient client("127.0.0.1", port);
+        const ClientResponse resp = client.get("/slow");
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, "finished");
+        // Drain answers with Connection: close.
+        ASSERT_NE(resp.header("connection"), nullptr);
+        EXPECT_EQ(*resp.header("connection"), "close");
+    });
+    while (entered.load(std::memory_order_acquire) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    std::atomic<bool> stop_returned{false};
+    std::thread stopper([&] {
+        server.stop();
+        stop_returned.store(true, std::memory_order_release);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // stop() must wait for the in-flight request, not abandon it.
+    EXPECT_FALSE(stop_returned.load(std::memory_order_acquire));
+
+    release.set_value();
+    stopper.join();
+    EXPECT_TRUE(stop_returned.load(std::memory_order_acquire));
+    requester.join();
+
+    // Fully drained: new connections are refused.
+    EXPECT_THROW(connect_tcp("127.0.0.1", port, 500), IoError);
+    EXPECT_EQ(registry.counter("net.status_2xx").value(), 1u);
+    EXPECT_EQ(registry.gauge("net.active").value(), 0);
+}
+
+TEST(TileServerLifecycle, StartStopStateMachine) {
+    Router router;
+    router.add("/", [](const HttpRequest&) { return HttpResponse::text(200, "x"); });
+    obs::MetricsRegistry registry;
+    HttpServer::Options opt;
+    opt.registry = &registry;
+    HttpServer server(std::move(router), opt);
+    EXPECT_FALSE(server.running());
+    server.start();
+    EXPECT_TRUE(server.running());
+    EXPECT_THROW(server.start(), StateError);
+    server.stop();
+    server.stop();  // idempotent
+    EXPECT_FALSE(server.running());
+}
+
+TEST(TileServiceOwning, KeepsGeneratorAliveAndRejectsNull) {
+    std::shared_ptr<TileService> service;
+    {
+        const Scene scene = parse_scene_text(kTestScene);
+        auto gen =
+            std::make_shared<InhomogeneousGenerator>(make_scene_generator(scene));
+        service = TileService::owning(gen, TileService::Options{});
+        // The caller's reference goes away; the service keeps the generator.
+    }
+    const TilePtr tile = service->get(TileKey{0, 0});
+    EXPECT_EQ(tile->nx(), 256u);
+    EXPECT_THROW(TileService::owning(std::shared_ptr<InhomogeneousGenerator>{}),
+                 ConfigError);
+}
+
+}  // namespace
+}  // namespace rrs::net

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# CI driver — five stages, each runnable on its own:
+# CI driver — six stages, each runnable on its own:
 #
-#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, tidy
+#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, tidy, perf
 #   tools/ci.sh lint        # rrslint conventions + lint fixtures (no build)
 #   tools/ci.sh release     # build + tier 1 (-LE "stats|race") + tier 2 (-L stats)
 #   tools/ci.sh sanitize    # tier 1 under ASan+UBSan
 #   tools/ci.sh tsan        # tier 3: race tests (-L race) under ThreadSanitizer
 #   tools/ci.sh tidy        # clang-tidy over src/ (skips cleanly if not installed)
+#   tools/ci.sh perf        # quick net load bench -> bench_out/BENCH_net.json
 #
 # Sanitizer reports are fatal (-fno-sanitize-recover=all, TSan
 # halt_on_error=1), so a green run means the suite is clean.  The `race`
@@ -42,6 +43,7 @@ run_release() {
     ctest --preset release -j "$(nproc)" -L stats
     rrstile_smoke build
     rrsgen_trace_smoke build
+    rrsd_smoke build
 }
 
 run_sanitize() {
@@ -75,6 +77,17 @@ run_tidy() {
     # run_tidy.sh fails on ANY diagnostic; it skips (exit 0) when no
     # clang-tidy binary exists in the environment.
     tools/run_tidy.sh build
+}
+
+run_perf() {
+    # Quick closed-loop load bench against the in-process tile server.
+    # Produces bench_out/BENCH_net.json (p50/p99 per concurrency level) and
+    # fails if the admission-control storm sheds nothing — the perf record
+    # must always demonstrate the 503 path.
+    build_preset release build
+    echo "==> [perf] net_load --quick"
+    build/bench/net_load --quick --out-dir bench_out
+    echo "==> [perf] wrote bench_out/BENCH_net.json"
 }
 
 # Serve a few tiles end-to-end through the tile service (coalescing cache,
@@ -145,6 +158,56 @@ EOF
     rm -f "$scene" "$trace"
 }
 
+# Full server smoke: boot rrsd on an ephemeral port, probe it with
+# rrsquery (health, one tile, the metrics document), then SIGTERM and
+# assert the graceful-drain exit: code 0 and a final metrics JSON line on
+# stdout whose net.requests covers the probes.
+rrsd_smoke() {
+    local dir=$1
+    echo "==> [$dir] rrsd smoke"
+    local scene port_file out pid port
+    scene=$(mktemp)
+    port_file=$(mktemp -u)
+    out=$(mktemp)
+    "$dir/tools/rrstile" --example > "$scene"
+    "$dir/tools/rrsd" "$scene" --port 0 --port-file "$port_file" \
+        --tile-size 64 --cache-mb 16 --quiet > "$out" &
+    pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        sleep 0.1
+    done
+    if [[ ! -s "$port_file" ]]; then
+        echo "==> rrsd smoke: daemon never published its port" >&2
+        kill -9 "$pid" 2>/dev/null || true
+        return 1
+    fi
+    port=$(cat "$port_file")
+    "$dir/tools/rrsquery" "127.0.0.1:$port" /healthz > /dev/null
+    "$dir/tools/rrsquery" "127.0.0.1:$port" '/v1/tile?tx=0&ty=0' --stats
+    "$dir/tools/rrsquery" "127.0.0.1:$port" /metrics > /dev/null
+    kill -TERM "$pid"
+    local rc=0
+    wait "$pid" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+        echo "==> rrsd smoke: daemon exited $rc after SIGTERM" >&2
+        return 1
+    fi
+    # The drain prints one final metrics line; the three probes must be in it.
+    python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+c = doc["counters"]
+requests = c["net.requests"]
+assert requests >= 3, f"net.requests == {requests}, expected >= 3"
+identity = c["net.status_2xx"] + c["net.status_4xx"] + c["net.status_5xx"] + c["net.shed"]
+assert requests == identity, f"{requests} != 2xx+4xx+5xx+shed == {identity}"
+assert doc["gauges"]["net.active"] == 0, "connections survived the drain"
+print(f"    rrsd ok: {requests} requests, accounting identity holds")
+EOF
+    rm -f "$scene" "$port_file" "$out"
+}
+
 want=${1:-all}
 case "$want" in
     lint)     run_lint ;;
@@ -152,8 +215,9 @@ case "$want" in
     sanitize) run_sanitize ;;
     tsan)     run_tsan ;;
     tidy)     run_tidy ;;
-    all)      run_lint; run_release; run_sanitize; run_tsan; run_tidy ;;
-    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|tidy|all]" >&2
+    perf)     run_perf ;;
+    all)      run_lint; run_release; run_sanitize; run_tsan; run_tidy; run_perf ;;
+    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|tidy|perf|all]" >&2
         exit 2 ;;
 esac
 echo "==> ci: all requested stages passed"

@@ -1,0 +1,284 @@
+// rrsd — the rough-surface tile daemon.
+//
+// Loads one or more scene descriptions (src/io/scene.hpp), wraps each in a
+// TileService, and serves them over HTTP (src/net/) until SIGTERM/SIGINT,
+// then drains gracefully: stop accepting, finish in-flight requests, print
+// the metrics registry as one JSON line, exit 0.
+//
+//   rrsd SCENE.rrs [NAME=SCENE.rrs ...] [options]
+//
+// Each positional argument registers one scene: `NAME=FILE` serves FILE as
+// scene NAME; a bare FILE is served under its basename without extension.
+// Endpoints (see src/net/tile_routes.hpp): /, /healthz, /metrics, /tracez,
+// /v1/tile, /v1/window.
+//
+//   --host ADDR        bind address                         (default 127.0.0.1)
+//   --port N           bind port; 0 = ephemeral             (default 0)
+//   --port-file FILE   write the bound port to FILE (for ephemeral-port
+//                      scripting: start, poll FILE, connect)
+//   --tile-size N      tile extent in lattice points        (default 256)
+//   --cache-mb N       tile cache budget in MiB             (default 256)
+//   --gen-threads N    generation fan-out threads           (default hardware)
+//   --workers N        HTTP connection workers              (default 4)
+//   --connections N    admission cap; 0 = workers           (default 0)
+//   --timeout-ms N     per-connection read/write deadline   (default 5000)
+//   --seed N           override every scene's seed
+//   --trace            enable span recording (serves /tracez)
+//   --quiet            suppress startup/shutdown log lines
+
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "io/scene.hpp"
+#include "net/server.hpp"
+#include "net/tile_routes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/tile_service.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: rrsd SCENE.rrs [NAME=SCENE.rrs ...] [options]\n"
+                 "  --host ADDR      bind address (default 127.0.0.1)\n"
+                 "  --port N         bind port; 0 = ephemeral (default 0)\n"
+                 "  --port-file FILE write the bound port to FILE\n"
+                 "  --tile-size N    tile extent in lattice points (default 256)\n"
+                 "  --cache-mb N     tile cache budget in MiB (default 256)\n"
+                 "  --gen-threads N  generation fan-out threads (default hardware)\n"
+                 "  --workers N      HTTP connection workers (default 4)\n"
+                 "  --connections N  admission cap; 0 = workers (default 0)\n"
+                 "  --timeout-ms N   read/write deadline in ms (default 5000)\n"
+                 "  --seed N         override every scene's seed\n"
+                 "  --trace          enable span recording (serves /tracez)\n"
+                 "  --quiet          suppress log lines\n";
+    return 2;
+}
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void rrsd_on_signal(int /*signum*/) {
+    const char byte = 1;
+    // Self-pipe: the only async-signal-safe thing to do is poke main.
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// "NAME=FILE" -> {NAME, FILE}; "dir/scene.rrs" -> {"scene", "dir/scene.rrs"}.
+std::pair<std::string, std::string> scene_arg(const std::string& arg) {
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos && eq > 0) {
+        return {arg.substr(0, eq), arg.substr(eq + 1)};
+    }
+    const std::size_t slash = arg.find_last_of('/');
+    std::string name = slash == std::string::npos ? arg : arg.substr(slash + 1);
+    const std::size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) {
+        name.resize(dot);
+    }
+    return {name, arg};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace rrs;
+    std::vector<std::pair<std::string, std::string>> scene_files;
+    net::HttpServer::Options server_opt;
+    std::string port_file;
+    std::int64_t tile_size = 256;
+    std::size_t cache_mb = 256;
+    std::size_t gen_threads = 0;
+    bool override_seed = false;
+    std::uint64_t seed = 0;
+    bool trace = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "rrsd: " << flag << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            const char* v = next_value("--host");
+            if (v == nullptr) {
+                return usage();
+            }
+            server_opt.host = v;
+        } else if (arg == "--port") {
+            const char* v = next_value("--port");
+            if (v == nullptr) {
+                return usage();
+            }
+            server_opt.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--port-file") {
+            const char* v = next_value("--port-file");
+            if (v == nullptr) {
+                return usage();
+            }
+            port_file = v;
+        } else if (arg == "--tile-size") {
+            const char* v = next_value("--tile-size");
+            if (v == nullptr) {
+                return usage();
+            }
+            tile_size = std::strtoll(v, nullptr, 10);
+        } else if (arg == "--cache-mb") {
+            const char* v = next_value("--cache-mb");
+            if (v == nullptr) {
+                return usage();
+            }
+            cache_mb = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--gen-threads") {
+            const char* v = next_value("--gen-threads");
+            if (v == nullptr) {
+                return usage();
+            }
+            gen_threads = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--workers") {
+            const char* v = next_value("--workers");
+            if (v == nullptr) {
+                return usage();
+            }
+            server_opt.workers = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--connections") {
+            const char* v = next_value("--connections");
+            if (v == nullptr) {
+                return usage();
+            }
+            server_opt.max_connections = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--timeout-ms") {
+            const char* v = next_value("--timeout-ms");
+            if (v == nullptr) {
+                return usage();
+            }
+            server_opt.read_timeout_ms = std::atoi(v);
+            server_opt.write_timeout_ms = server_opt.read_timeout_ms;
+        } else if (arg == "--seed") {
+            const char* v = next_value("--seed");
+            if (v == nullptr) {
+                return usage();
+            }
+            override_seed = true;
+            seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "rrsd: unrecognised option '" << arg << "'\n";
+            return usage();
+        } else {
+            scene_files.push_back(scene_arg(arg));
+        }
+    }
+    if (scene_files.empty()) {
+        std::cerr << "rrsd: at least one scene file is required\n";
+        return usage();
+    }
+    if (tile_size <= 0 || cache_mb == 0) {
+        std::cerr << "rrsd: --tile-size and --cache-mb must be positive\n";
+        return usage();
+    }
+
+    try {
+        // One generation pool shared by every scene's TileService; the HTTP
+        // server runs its own worker pool, so window fan-out from a server
+        // worker cannot deadlock against itself (tile_service.hpp contract).
+        ThreadPool gen_pool(gen_threads);
+        net::SceneServices scenes;
+        for (const auto& [name, file] : scene_files) {
+            std::ifstream in(file);
+            if (!in) {
+                std::cerr << "rrsd: cannot open '" << file << "'\n";
+                return 1;
+            }
+            Scene scene = parse_scene(in);
+            if (override_seed) {
+                scene.seed = seed;
+            }
+            auto gen = std::make_shared<InhomogeneousGenerator>(
+                make_scene_generator(scene));
+            TileService::Options opt;
+            opt.shape = TileShape{tile_size, tile_size};
+            opt.cache_bytes = cache_mb << 20;
+            opt.pool = &gen_pool;
+            auto [it, inserted] = scenes.emplace(
+                name, TileService::owning(std::move(gen), opt));
+            if (!inserted) {
+                std::cerr << "rrsd: scene name '" << name << "' used twice\n";
+                return 1;
+            }
+            if (!quiet) {
+                std::cerr << "rrsd: scene '" << name << "' <- " << file
+                          << " (fingerprint " << it->second->fingerprint() << ")\n";
+            }
+        }
+
+        if (trace) {
+            obs::trace_enable();
+        }
+        net::HttpServer server(net::make_tile_router(std::move(scenes)),
+                               server_opt);
+
+        if (::pipe(g_signal_pipe) != 0) {
+            std::cerr << "rrsd: pipe: " << std::strerror(errno) << "\n";
+            return 1;
+        }
+        struct sigaction sa = {};
+        sa.sa_handler = rrsd_on_signal;
+        ::sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::signal(SIGPIPE, SIG_IGN);
+
+        server.start();
+        if (!quiet) {
+            std::cerr << "rrsd: listening on " << server_opt.host << ":"
+                      << server.port() << " (" << server_opt.workers
+                      << " workers, cap "
+                      << server.options().max_connections << ")\n";
+        }
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file);
+            if (!pf) {
+                std::cerr << "rrsd: cannot write '" << port_file << "'\n";
+                return 1;
+            }
+            pf << server.port() << "\n";
+        }
+
+        // Park until a signal pokes the self-pipe (EINTR just re-reads).
+        char byte = 0;
+        while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+        }
+        if (!quiet) {
+            std::cerr << "rrsd: draining...\n";
+        }
+        server.stop();
+        std::cout << obs::MetricsRegistry::global().to_json() << "\n";
+        if (!quiet) {
+            std::cerr << "rrsd: bye\n";
+        }
+    } catch (const Error& e) {
+        std::cerr << "rrsd: error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "rrsd: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,191 @@
+// rrsquery — one-shot HTTP client for an rrsd tile server.
+//
+//   rrsquery HOST:PORT TARGET [options]
+//
+//   rrsquery 127.0.0.1:8080 /healthz
+//   rrsquery 127.0.0.1:8080 "/v1/tile?tx=0&ty=0" --stats
+//   rrsquery 127.0.0.1:8080 /metrics
+//
+// Prints the response body to stdout (binary surface bodies are summarised
+// unless --out or --stats asks otherwise) and exits 0 iff the response
+// status is 2xx — which makes it a usable smoke-test probe in shell scripts.
+//
+//   --out FILE       write the raw response body to FILE
+//   --stats          decode a float32 surface body (X-RRS-Nx/Ny headers)
+//                    and print one JSON line: {"nx":..,"ny":..,"min":..,
+//                    "max":..,"mean":..,"rms":..}
+//   --headers        also print status line + response headers to stderr
+//   --timeout-ms N   connect/read/write deadline (default 5000)
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/error.hpp"
+#include "net/client.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: rrsquery HOST:PORT TARGET [options]\n"
+                 "  --out FILE     write the raw response body to FILE\n"
+                 "  --stats        decode a float32 surface body, print stats\n"
+                 "  --headers      also print status + headers to stderr\n"
+                 "  --timeout-ms N connect/read/write deadline (default 5000)\n";
+    return 2;
+}
+
+/// Little-endian float32 at `p`.
+float read_f32(const unsigned char* p) noexcept {
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    float f = 0.0F;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+int print_surface_stats(const rrs::net::ClientResponse& resp) {
+    const std::string* nx_h = resp.header("x-rrs-nx");
+    const std::string* ny_h = resp.header("x-rrs-ny");
+    if (nx_h == nullptr || ny_h == nullptr) {
+        std::cerr << "rrsquery: response has no X-RRS-Nx/Ny headers\n";
+        return 1;
+    }
+    const std::uint64_t nx = std::strtoull(nx_h->c_str(), nullptr, 10);
+    const std::uint64_t ny = std::strtoull(ny_h->c_str(), nullptr, 10);
+    if (resp.body.size() != nx * ny * 4) {
+        std::cerr << "rrsquery: body is " << resp.body.size() << " bytes, want "
+                  << nx * ny * 4 << " for " << nx << "x" << ny << " float32\n";
+        return 1;
+    }
+    double lo = 0.0;
+    double hi = 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const auto* p = reinterpret_cast<const unsigned char*>(resp.body.data());
+    const std::uint64_t n = nx * ny;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto v = static_cast<double>(read_f32(p + i * 4));
+        lo = i == 0 ? v : std::min(lo, v);
+        hi = i == 0 ? v : std::max(hi, v);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double denom = n == 0 ? 1.0 : static_cast<double>(n);
+    std::cout << "{\"nx\":" << nx << ",\"ny\":" << ny << ",\"min\":" << lo
+              << ",\"max\":" << hi << ",\"mean\":" << sum / denom
+              << ",\"rms\":" << std::sqrt(sum_sq / denom) << "}\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace rrs;
+    if (argc < 3) {
+        return usage();
+    }
+    const std::string host_port = argv[1];
+    const std::string target = argv[2];
+    std::string out_file;
+    bool stats = false;
+    bool show_headers = false;
+    net::HttpClient::Options copt;
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "rrsquery: " << flag << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            const char* v = next_value("--out");
+            if (v == nullptr) {
+                return usage();
+            }
+            out_file = v;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--headers") {
+            show_headers = true;
+        } else if (arg == "--timeout-ms") {
+            const char* v = next_value("--timeout-ms");
+            if (v == nullptr) {
+                return usage();
+            }
+            copt.timeout_ms = std::atoi(v);
+        } else {
+            std::cerr << "rrsquery: unrecognised argument '" << arg << "'\n";
+            return usage();
+        }
+    }
+
+    const std::size_t colon = host_port.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= host_port.size()) {
+        std::cerr << "rrsquery: first argument must be HOST:PORT\n";
+        return usage();
+    }
+    const std::string host = host_port.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
+
+    try {
+        net::HttpClient client(host, port, copt);
+        const net::ClientResponse resp = client.get(target);
+        if (show_headers) {
+            std::cerr << "HTTP " << resp.status << "\n";
+            for (const auto& [name, value] : resp.headers) {
+                std::cerr << name << ": " << value << "\n";
+            }
+        }
+        if (!out_file.empty()) {
+            std::ofstream out(out_file, std::ios::binary);
+            if (!out) {
+                std::cerr << "rrsquery: cannot write '" << out_file << "'\n";
+                return 1;
+            }
+            out.write(resp.body.data(),
+                      static_cast<std::streamsize>(resp.body.size()));
+        }
+        if (stats) {
+            const int rc = print_surface_stats(resp);
+            if (rc != 0) {
+                return rc;
+            }
+        } else if (out_file.empty()) {
+            const std::string* type = resp.header("content-type");
+            const bool binary =
+                type != nullptr && type->rfind("application/octet-stream", 0) == 0;
+            if (binary) {
+                std::cout << "(" << resp.body.size()
+                          << " bytes of application/octet-stream; use --out or "
+                             "--stats)\n";
+            } else {
+                std::cout << resp.body;
+                if (!resp.body.empty() && resp.body.back() != '\n') {
+                    std::cout << "\n";
+                }
+            }
+        }
+        if (!resp.ok()) {
+            std::cerr << "rrsquery: HTTP " << resp.status << " for " << target
+                      << "\n";
+            return 1;
+        }
+    } catch (const Error& e) {
+        std::cerr << "rrsquery: error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "rrsquery: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
