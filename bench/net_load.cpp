@@ -213,8 +213,10 @@ int main(int argc, char** argv) {
                     try {
                         // Fresh connection per request: every request faces
                         // the admission gate.
+                        net::HttpClient::Options copt;
+                        copt.timeout_ms = 2000;
                         net::HttpClient client("127.0.0.1", shed_server.port(),
-                                               {.timeout_ms = 2000});
+                                               copt);
                         const Clock::time_point t0 = Clock::now();
                         const auto resp = client.get("/slow");
                         const double ms = ms_since(t0);

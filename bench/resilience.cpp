@@ -1,0 +1,284 @@
+// resilience — the fault-injection and retry stack under measurement.
+//
+// Four legs, all loopback like net_load so the numbers measure the stack,
+// not a NIC:
+//
+//  1. Dormant overhead: ns/op of a disarmed fault::inject() site.  The
+//     zero-cost contract of DESIGN.md §13 — one relaxed atomic load — is
+//     enforced: the harness exits non-zero if a disarmed probe costs more
+//     than 100 ns even on a loaded CI box.
+//  2. Fault-free baseline: p50/p99 request latency over warmed tiles, and
+//     the reference bodies every later leg is diffed against.
+//  3. Fault sweep: the same workload with `net.recv=error@p:R` armed for
+//     R in {0.05, 0.1, 0.2} and a retrying client (6 attempts, decorrelated
+//     jitter).  Reports availability (eventually-200 rate), p99 latency,
+//     and the retry count.  Availability below 99% fails the harness —
+//     retries must absorb a 20% per-recv fault rate.
+//  4. Disarm: every tile re-fetched fault-free must be byte-identical to
+//     the baseline bodies AND to encode_tile_f32 over the direct
+//     TileService — injected faults may cost latency, never integrity.
+//
+//   resilience [--quick] [--out-dir DIR]
+//
+// Writes bench_out/BENCH_resilience.json via bench_util.hpp.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/inject.hpp"
+#include "io/scene.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/server.hpp"
+#include "net/tile_routes.hpp"
+#include "obs/metrics.hpp"
+#include "service/tile_service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+    if (sorted_ms.empty()) {
+        return 0.0;
+    }
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_ms.size() - 1) / 100.0);
+    return sorted_ms[idx];
+}
+
+constexpr const char* kBenchScene = R"(seed = 5
+kernel_grid = 64 64
+region = 0 0 64 64
+tail_eps = 1e-6
+
+[spectrum field]
+family = gaussian
+h = 1.0
+cl = 6
+
+[spectrum pond]
+family = exponential
+h = 0.3
+cl = 6
+
+[map]
+type = circle
+center = 32 32
+radius = 48
+transition = 12
+inside = pond
+outside = field
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace rrs;
+    bench::TraceFromEnv trace;
+
+    bool quick = false;
+    std::string out_dir = "bench_out";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else {
+            std::cerr << "usage: resilience [--quick] [--out-dir DIR]\n";
+            return 2;
+        }
+    }
+
+    std::vector<bench::BenchRecord> records;
+    fault::disarm();
+
+    // ---- Leg 1: dormant probe overhead --------------------------------------
+    // The sink keeps the loop honest; with no plan armed every call is one
+    // acquire load of a null pointer.
+    const std::int64_t probes = quick ? 5'000'000 : 50'000'000;
+    std::int64_t fired = 0;
+    const Clock::time_point probe0 = Clock::now();
+    for (std::int64_t i = 0; i < probes; ++i) {
+        fired += fault::inject("bench.dormant") ? 1 : 0;
+    }
+    const double probe_ms = ms_since(probe0);
+    const double dormant_ns =
+        probe_ms * 1e6 / static_cast<double>(probes);
+    std::cout << "resilience: dormant inject " << dormant_ns << " ns/op ("
+              << fired << " fired)\n";
+    records.push_back({"dormant.inject_ns", probes, dormant_ns, 0.0});
+    if (fired != 0) {
+        std::cerr << "resilience: disarmed probe fired — not dormant\n";
+        return 1;
+    }
+
+    // ---- Server under test --------------------------------------------------
+    const Scene scene = parse_scene_text(kBenchScene);
+    auto gen = std::make_shared<InhomogeneousGenerator>(make_scene_generator(scene));
+    TileService::Options sopt;
+    sopt.shape = TileShape{32, 32};
+    auto service = TileService::owning(std::move(gen), sopt);
+    const TileService& direct = *service;
+    net::SceneServices scenes;
+    scenes.emplace("bench", std::move(service));
+
+    obs::MetricsRegistry registry;
+    net::HttpServer::Options opt;
+    opt.workers = 4;
+    opt.registry = &registry;
+    net::HttpServer server(net::make_tile_router(std::move(scenes), &registry),
+                           opt);
+    server.start();
+
+    constexpr int kTiles = 4;  // 4x4 working set
+    const auto path = [](int tx, int ty) {
+        return "/v1/tile?tx=" + std::to_string(tx) + "&ty=" + std::to_string(ty);
+    };
+
+    // ---- Leg 2: fault-free baseline and reference bodies --------------------
+    std::vector<std::string> baseline(kTiles * kTiles);
+    {
+        net::HttpClient warm("127.0.0.1", server.port());
+        for (int ty = 0; ty < kTiles; ++ty) {
+            for (int tx = 0; tx < kTiles; ++tx) {
+                const auto resp = warm.get(path(tx, ty));
+                if (resp.status != 200) {
+                    std::cerr << "resilience: warmup got HTTP " << resp.status
+                              << "\n";
+                    return 1;
+                }
+                baseline[static_cast<std::size_t>(ty * kTiles + tx)] = resp.body;
+            }
+        }
+    }
+    const int requests = quick ? 200 : 2000;
+    {
+        net::HttpClient client("127.0.0.1", server.port());
+        std::vector<double> lat;
+        lat.reserve(static_cast<std::size_t>(requests));
+        const Clock::time_point leg0 = Clock::now();
+        for (int i = 0; i < requests; ++i) {
+            const Clock::time_point t0 = Clock::now();
+            const auto resp = client.get(path(i % kTiles, (i / kTiles) % kTiles));
+            lat.push_back(ms_since(t0));
+            if (resp.status != 200) {
+                std::cerr << "resilience: baseline got HTTP " << resp.status
+                          << "\n";
+                return 1;
+            }
+        }
+        const double wall = ms_since(leg0);
+        std::sort(lat.begin(), lat.end());
+        records.push_back({"nofault.p50_ms", requests, percentile(lat, 50.0), 0.0});
+        records.push_back({"nofault.p99_ms", requests, percentile(lat, 99.0), 0.0});
+        std::cout << "resilience: nofault  " << requests << " req in " << wall
+                  << " ms (p50 " << percentile(lat, 50.0) << " ms, p99 "
+                  << percentile(lat, 99.0) << " ms)\n";
+    }
+
+    // ---- Leg 3: fault sweep with a retrying client --------------------------
+    bool availability_ok = true;
+    for (const double rate : {0.05, 0.1, 0.2}) {
+        fault::FaultPlan plan = fault::FaultPlan::parse(
+            "seed:11 net.recv=error@p:" + std::to_string(rate));
+        fault::arm(plan);
+
+        net::HttpClient::Options copt;
+        copt.retry.max_attempts = 8;
+        copt.retry.base_backoff_ms = 1;
+        copt.retry.max_backoff_ms = 20;
+        copt.registry = &registry;
+        const std::uint64_t retries_before =
+            registry.counter("net.client.retries").value();
+
+        std::vector<double> lat;
+        lat.reserve(static_cast<std::size_t>(requests));
+        std::int64_t served = 0;
+        net::HttpClient client("127.0.0.1", server.port(), copt);
+        for (int i = 0; i < requests; ++i) {
+            const Clock::time_point t0 = Clock::now();
+            try {
+                const auto resp =
+                    client.get(path(i % kTiles, (i / kTiles) % kTiles));
+                if (resp.status == 200) {
+                    ++served;
+                }
+            } catch (const Error&) {
+                // all attempts lost to the schedule: an availability miss
+            }
+            lat.push_back(ms_since(t0));
+        }
+        fault::disarm();
+
+        const std::uint64_t retries =
+            registry.counter("net.client.retries").value() - retries_before;
+        const double availability =
+            100.0 * static_cast<double>(served) / static_cast<double>(requests);
+        std::sort(lat.begin(), lat.end());
+        const int pct = static_cast<int>(rate * 100.0 + 0.5);
+        const std::string tag = "fault_p" + std::to_string(pct);
+        records.push_back({tag + ".availability_pct", served, availability, 0.0});
+        records.push_back({tag + ".p99_ms", requests, percentile(lat, 99.0), 0.0});
+        records.push_back({tag + ".retries", static_cast<std::int64_t>(retries),
+                           0.0, 0.0});
+        std::cout << "resilience: " << tag << "  availability " << availability
+                  << "% (" << retries << " retries, p99 "
+                  << percentile(lat, 99.0) << " ms)\n";
+        if (availability < 99.0) {
+            availability_ok = false;
+        }
+    }
+
+    // ---- Leg 4: disarm — integrity must be untouched ------------------------
+    bool identical = true;
+    {
+        net::HttpClient client("127.0.0.1", server.port());
+        for (int ty = 0; ty < kTiles; ++ty) {
+            for (int tx = 0; tx < kTiles; ++tx) {
+                const auto resp = client.get(path(tx, ty));
+                const std::string& ref =
+                    baseline[static_cast<std::size_t>(ty * kTiles + tx)];
+                const TilePtr tile = direct.cache()->find(
+                    TileAddress{direct.fingerprint(), TileKey{tx, ty}});
+                if (resp.status != 200 || resp.body != ref ||
+                    tile == nullptr || resp.body != net::encode_tile_f32(*tile)) {
+                    std::cerr << "resilience: tile (" << tx << "," << ty
+                              << ") not byte-identical after disarm\n";
+                    identical = false;
+                }
+            }
+        }
+    }
+    server.stop();
+    records.push_back({"disarm.byte_identical", identical ? 1 : 0, 0.0, 0.0});
+
+    bench::write_bench_json(out_dir, "resilience", records);
+    std::cout << "resilience: wrote " << out_dir << "/BENCH_resilience.json\n";
+
+    if (dormant_ns > 100.0) {
+        std::cerr << "resilience: disarmed probe costs " << dormant_ns
+                  << " ns — the zero-cost contract is broken\n";
+        return 1;
+    }
+    if (!availability_ok) {
+        std::cerr << "resilience: availability dropped below 99% — retries "
+                     "did not absorb the fault schedule\n";
+        return 1;
+    }
+    if (!identical) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file backoff.hpp
+/// Capped exponential backoff with decorrelated jitter — the retry-delay
+/// schedule used by net::HttpClient's RetryPolicy (DESIGN.md §13).
+///
+/// Decorrelated jitter (the AWS architecture-blog variant): each delay is
+/// drawn uniformly from [base, min(cap, prev * 3)].  The upper bound grows
+/// roughly exponentially while the jitter keeps a fleet of retrying
+/// clients from synchronizing into retry storms.
+///
+/// Draws come from the repo's deterministic avalanche hash, seeded by the
+/// caller — the schedule is a pure function of (seed, draw index), so
+/// retry behaviour replays exactly in tests and chaos runs.  No
+/// std::random_device, no global state (the rrslint determinism rule).
+
+#include <cstdint>
+
+#include "core/error.hpp"
+#include "rng/hash.hpp"
+
+namespace rrs::fault {
+
+/// Delay bounds for one backoff sequence (milliseconds).
+struct BackoffPolicy {
+    int base_ms = 10;
+    int cap_ms = 2000;
+};
+
+/// One deterministic decorrelated-jitter delay sequence; see file comment.
+class Backoff {
+public:
+    Backoff(BackoffPolicy policy, std::uint64_t seed)
+        : policy_(policy), seed_(seed), prev_ms_(policy.base_ms) {
+        if (policy_.base_ms <= 0) {
+            throw ConfigError{"base_ms must be positive", {"fault", "Backoff"}};
+        }
+        if (policy_.cap_ms < policy_.base_ms) {
+            throw ConfigError{"cap_ms must be >= base_ms", {"fault", "Backoff"}};
+        }
+    }
+
+    /// The next delay in the sequence (advances the draw index).
+    /// Always in [base_ms, cap_ms].
+    int next_ms() noexcept {
+        const std::int64_t grown = static_cast<std::int64_t>(prev_ms_) * 3;
+        const int hi = grown > policy_.cap_ms ? policy_.cap_ms
+                                              : static_cast<int>(grown);
+        const std::uint64_t h =
+            hash_coords(seed_, static_cast<std::int64_t>(++draws_), 0,
+                        /*salt=*/0xBAC0FFu);
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        const int delay =
+            policy_.base_ms +
+            static_cast<int>(u * static_cast<double>(hi - policy_.base_ms));
+        prev_ms_ = delay;
+        return delay;
+    }
+
+private:
+    BackoffPolicy policy_;
+    std::uint64_t seed_;
+    std::uint64_t draws_ = 0;
+    int prev_ms_;
+};
+
+}  // namespace rrs::fault

@@ -1,0 +1,115 @@
+#include "fault/circuit_breaker.hpp"
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace rrs::fault {
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(options) {
+    if (options_.failure_threshold <= 0) {
+        throw ConfigError{"failure_threshold must be positive",
+                          {"fault", "CircuitBreaker"}};
+    }
+    if (options_.open_ms <= 0) {
+        throw ConfigError{"open_ms must be positive", {"fault", "CircuitBreaker"}};
+    }
+    if (options_.half_open_successes <= 0) {
+        throw ConfigError{"half_open_successes must be positive",
+                          {"fault", "CircuitBreaker"}};
+    }
+    if (options_.state_gauge != nullptr) {
+        options_.state_gauge->set(static_cast<std::int64_t>(State::kClosed));
+    }
+}
+
+void CircuitBreaker::transition_locked(State next) {
+    if (next == State::kOpen) {
+        opened_at_ = Clock::now();
+        if (state_ != State::kOpen && options_.opened != nullptr) {
+            options_.opened->add();
+        }
+    }
+    state_ = next;
+    if (options_.state_gauge != nullptr) {
+        options_.state_gauge->set(static_cast<std::int64_t>(next));
+    }
+}
+
+bool CircuitBreaker::allow() {
+    const std::lock_guard lock(mutex_);
+    switch (state_) {
+        case State::kClosed:
+            return true;
+        case State::kOpen: {
+            const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - opened_at_);
+            if (elapsed.count() < options_.open_ms) {
+                return false;
+            }
+            transition_locked(State::kHalfOpen);
+            probe_successes_ = 0;
+            probe_in_flight_ = true;
+            return true;
+        }
+        case State::kHalfOpen:
+            if (probe_in_flight_) {
+                return false;  // one probe at a time
+            }
+            probe_in_flight_ = true;
+            return true;
+    }
+    return false;
+}
+
+void CircuitBreaker::record_success() {
+    const std::lock_guard lock(mutex_);
+    switch (state_) {
+        case State::kClosed:
+            consecutive_failures_ = 0;
+            return;
+        case State::kHalfOpen:
+            probe_in_flight_ = false;
+            if (++probe_successes_ >= options_.half_open_successes) {
+                consecutive_failures_ = 0;
+                transition_locked(State::kClosed);
+            }
+            return;
+        case State::kOpen:
+            return;  // stale result from before the trip; timer governs
+    }
+}
+
+void CircuitBreaker::record_failure() {
+    const std::lock_guard lock(mutex_);
+    switch (state_) {
+        case State::kClosed:
+            if (++consecutive_failures_ >= options_.failure_threshold) {
+                transition_locked(State::kOpen);
+            }
+            return;
+        case State::kHalfOpen:
+            probe_in_flight_ = false;
+            transition_locked(State::kOpen);
+            return;
+        case State::kOpen:
+            return;
+    }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+    const std::lock_guard lock(mutex_);
+    return state_;
+}
+
+int CircuitBreaker::open_remaining_ms() const {
+    const std::lock_guard lock(mutex_);
+    if (state_ != State::kOpen) {
+        return 0;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - opened_at_);
+    const auto remaining = options_.open_ms - elapsed.count();
+    return remaining > 0 ? static_cast<int>(remaining) : 0;
+}
+
+}  // namespace rrs::fault

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file circuit_breaker.hpp
+/// Closed → open → half-open circuit breaker (DESIGN.md §13).
+///
+/// Wraps a failure-prone operation (tile generation behind `/v1/tile`):
+///
+///     if (!breaker.allow()) { /* short-circuit: serve stale or 503 */ }
+///     try { work(); breaker.record_success(); }
+///     catch (...) { breaker.record_failure(); throw; }
+///
+/// State machine:
+///
+///   Closed    — all calls allowed.  `failure_threshold` *consecutive*
+///               failures trip the breaker to Open (a success resets the
+///               streak).
+///   Open      — all calls denied for `open_ms`, giving the failing
+///               dependency time to recover.
+///   Half-open — after `open_ms`, exactly one caller wins the probe slot
+///               per `allow()`; others stay denied until the probe
+///               resolves.  `half_open_successes` successful probes close
+///               the breaker; one failed probe re-opens it (fresh timer).
+///
+/// Observability: an optional gauge mirrors the state (0 closed, 1 open,
+/// 2 half-open) and an optional counter tallies closed→open trips.
+/// Thread-safe; all timing from steady_clock.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace rrs::obs {
+class Gauge;
+class Counter;
+}  // namespace rrs::obs
+
+namespace rrs::fault {
+
+class CircuitBreaker {
+public:
+    enum class State : std::int64_t {
+        kClosed = 0,
+        kOpen = 1,
+        kHalfOpen = 2,
+    };
+
+    struct Options {
+        int failure_threshold = 5;  ///< consecutive failures that trip Open
+        int open_ms = 1000;         ///< how long Open denies before probing
+        int half_open_successes = 1;  ///< probe successes needed to close
+        obs::Gauge* state_gauge = nullptr;  ///< mirrors State, if set
+        obs::Counter* opened = nullptr;     ///< counts closed/half-open → open
+    };
+
+    /// Throws ConfigError when a threshold or duration is non-positive.
+    explicit CircuitBreaker(Options options);
+
+    /// May the caller proceed?  In Open, flips to Half-open once `open_ms`
+    /// has elapsed and grants the probe slot to this caller.  Every allowed
+    /// call MUST be matched by record_success() or record_failure().
+    bool allow();
+
+    void record_success();
+    void record_failure();
+
+    State state() const;
+
+    /// Milliseconds until an Open breaker will probe (0 otherwise) —
+    /// drives Retry-After on short-circuited responses.
+    int open_remaining_ms() const;
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    void transition_locked(State next);
+
+    Options options_;
+    mutable std::mutex mutex_;
+    State state_ = State::kClosed;
+    int consecutive_failures_ = 0;
+    int probe_successes_ = 0;
+    bool probe_in_flight_ = false;
+    Clock::time_point opened_at_{};
+};
+
+}  // namespace rrs::fault

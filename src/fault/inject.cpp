@@ -1,0 +1,270 @@
+#include "fault/inject.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "rng/hash.hpp"
+
+namespace rrs::fault {
+
+namespace detail {
+
+/// One armed rule: the parsed clause plus its runtime call counter and the
+/// injection counter it reports into.
+struct ArmedRule {
+    FaultRule rule;
+    std::atomic<std::uint64_t> calls{0};
+    obs::Counter* injected = nullptr;  ///< fault.injected.<site>, global registry
+};
+
+/// The armed schedule.  Immutable after construction except for the atomic
+/// per-rule counters, so concurrent `inject` calls need no lock.
+struct ArmedPlan {
+    std::vector<std::unique_ptr<ArmedRule>> rules;
+    std::uint64_t seed = 1;
+};
+
+std::atomic<const ArmedPlan*> g_plan{nullptr};
+
+namespace {
+
+/// Plans are never freed while the process lives: a thread inside
+/// `inject_armed` may still hold the pointer after a disarm.  Swapped-out
+/// plans park here (bounded by the number of arm() calls — test-scale).
+std::mutex& retired_mutex() {
+    static std::mutex m;
+    return m;
+}
+std::vector<std::unique_ptr<const ArmedPlan>>& retired_plans() {
+    static auto* plans = new std::vector<std::unique_ptr<const ArmedPlan>>();
+    return *plans;  // leaked, like obs::MetricsRegistry::global()
+}
+
+/// Uniform double in [0, 1) from the rule's deterministic draw stream.
+double uniform_draw(std::uint64_t seed, std::size_t rule_index, std::uint64_t call) noexcept {
+    const std::uint64_t h =
+        hash_coords(seed, static_cast<std::int64_t>(rule_index),
+                    static_cast<std::int64_t>(call), /*salt=*/0xFA017u);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool rule_fires(const ArmedPlan& plan, std::size_t index, const ArmedRule& armed,
+                std::uint64_t call) noexcept {
+    switch (armed.rule.trigger) {
+        case FaultTrigger::kAlways:
+            return true;
+        case FaultTrigger::kProbability:
+            return uniform_draw(plan.seed, index, call) < armed.rule.probability;
+        case FaultTrigger::kEveryNth:
+            return call % armed.rule.n == 0;
+        case FaultTrigger::kAfterN:
+            return call > armed.rule.n;
+    }
+    return false;
+}
+
+}  // namespace
+
+bool inject_armed(const ArmedPlan& plan, const char* site) noexcept {
+    bool error = false;
+    int latency_ms = 0;
+    for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+        ArmedRule& armed = *plan.rules[i];
+        if (armed.rule.site != site) {
+            continue;
+        }
+        // 1-based call number: every:N first fires on call N, after:N on N+1.
+        const std::uint64_t call =
+            armed.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (!rule_fires(plan, i, armed, call)) {
+            continue;
+        }
+        armed.injected->add();
+        if (armed.rule.action == FaultAction::kLatency) {
+            latency_ms += armed.rule.latency_ms;
+        } else {
+            error = true;
+        }
+    }
+    if (latency_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+    }
+    return error;
+}
+
+}  // namespace detail
+
+namespace {
+
+[[noreturn]] void parse_fail(std::string_view item, const std::string& why) {
+    throw ConfigError{"bad fault clause '" + std::string(item) + "': " + why,
+                      {"fault", "FaultPlan"}};
+}
+
+std::uint64_t parse_u64(std::string_view item, std::string_view text,
+                        const char* what) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+        parse_fail(item, std::string(what) + " is not a non-negative integer: '" +
+                             std::string(text) + "'");
+    }
+    return value;
+}
+
+double parse_probability(std::string_view item, std::string_view text) {
+    double value = -1.0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        parse_fail(item, "probability is not a number: '" + std::string(text) + "'");
+    }
+    if (!(value >= 0.0 && value <= 1.0)) {
+        parse_fail(item, "probability must be in [0, 1]");
+    }
+    return value;
+}
+
+void parse_action(std::string_view item, std::string_view text, FaultRule& rule) {
+    if (text == "error") {
+        rule.action = FaultAction::kError;
+        return;
+    }
+    if (text.rfind("latency:", 0) == 0) {
+        rule.action = FaultAction::kLatency;
+        const std::uint64_t ms = parse_u64(item, text.substr(8), "latency");
+        if (ms == 0 || ms > 60'000) {
+            parse_fail(item, "latency must be in [1, 60000] ms");
+        }
+        rule.latency_ms = static_cast<int>(ms);
+        return;
+    }
+    parse_fail(item, "unknown action '" + std::string(text) +
+                         "' (want error | latency:MS)");
+}
+
+void parse_trigger(std::string_view item, std::string_view text, FaultRule& rule) {
+    if (text.rfind("p:", 0) == 0) {
+        rule.trigger = FaultTrigger::kProbability;
+        rule.probability = parse_probability(item, text.substr(2));
+        return;
+    }
+    if (text.rfind("every:", 0) == 0) {
+        rule.trigger = FaultTrigger::kEveryNth;
+        rule.n = parse_u64(item, text.substr(6), "every");
+        if (rule.n == 0) {
+            parse_fail(item, "every:N requires N >= 1");
+        }
+        return;
+    }
+    if (text.rfind("after:", 0) == 0) {
+        rule.trigger = FaultTrigger::kAfterN;
+        rule.n = parse_u64(item, text.substr(6), "after");
+        return;
+    }
+    parse_fail(item, "unknown trigger '" + std::string(text) +
+                         "' (want p:F | every:N | after:N)");
+}
+
+FaultRule parse_rule(std::string_view item) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= item.size()) {
+        parse_fail(item, "want site=action[@trigger]");
+    }
+    FaultRule rule;
+    rule.site = std::string(item.substr(0, eq));
+    if (rule.site.find('@') != std::string::npos) {
+        parse_fail(item, "site names cannot contain '@'");
+    }
+    std::string_view rest = item.substr(eq + 1);
+    const std::size_t at = rest.find('@');
+    parse_action(item, at == std::string_view::npos ? rest : rest.substr(0, at), rule);
+    if (at != std::string_view::npos) {
+        parse_trigger(item, rest.substr(at + 1), rule);
+    }
+    return rule;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+    FaultPlan plan;
+    std::size_t pos = 0;
+    const auto is_sep = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == ';' || c == ',';
+    };
+    while (pos < spec.size()) {
+        while (pos < spec.size() && is_sep(spec[pos])) {
+            ++pos;
+        }
+        std::size_t end = pos;
+        while (end < spec.size() && !is_sep(spec[end])) {
+            ++end;
+        }
+        if (end == pos) {
+            break;
+        }
+        const std::string_view item = spec.substr(pos, end - pos);
+        pos = end;
+        if (item.rfind("seed:", 0) == 0) {
+            plan.seed = parse_u64(item, item.substr(5), "seed");
+            continue;
+        }
+        plan.rules.push_back(parse_rule(item));
+    }
+    return plan;
+}
+
+void arm(const FaultPlan& plan) {
+    if (plan.empty()) {
+        disarm();
+        return;
+    }
+    auto armed = std::make_unique<detail::ArmedPlan>();
+    armed->seed = plan.seed;
+    armed->rules.reserve(plan.rules.size());
+    for (const FaultRule& rule : plan.rules) {
+        auto state = std::make_unique<detail::ArmedRule>();
+        state->rule = rule;
+        state->injected =
+            &obs::MetricsRegistry::global().counter("fault.injected." + rule.site);
+        armed->rules.push_back(std::move(state));
+    }
+    const detail::ArmedPlan* next = armed.release();
+    const detail::ArmedPlan* prev =
+        detail::g_plan.exchange(next, std::memory_order_acq_rel);
+    const std::lock_guard lock(detail::retired_mutex());
+    if (prev != nullptr) {
+        detail::retired_plans().emplace_back(prev);
+    }
+}
+
+void disarm() noexcept {
+    const detail::ArmedPlan* prev =
+        detail::g_plan.exchange(nullptr, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+        const std::lock_guard lock(detail::retired_mutex());
+        detail::retired_plans().emplace_back(prev);
+    }
+}
+
+bool arm_from_env() {
+    const char* spec = std::getenv("RRS_FAULTS");
+    if (spec == nullptr || *spec == '\0') {
+        return false;
+    }
+    const FaultPlan plan = FaultPlan::parse(spec);
+    if (plan.empty()) {
+        return false;
+    }
+    arm(plan);
+    return true;
+}
+
+}  // namespace rrs::fault

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file inject.hpp
+/// Deterministic, seeded fault injection (DESIGN.md §13).
+///
+/// Library code marks *injection points* — named sites on failure-prone
+/// paths (socket reads, tile generation, cache fills) — with one call:
+///
+///     if (fault::inject("net.recv")) {
+///         return RecvResult{0, /*closed=*/true, false};  // injected failure
+///     }
+///
+/// The contract mirrors RRS_TRACE_SPAN's zero-cost rule: with no plan
+/// armed, `inject` costs one acquire load and one branch — no clock read,
+/// no lock, no allocation — so injection points may sit on hot paths
+/// unconditionally (bench/resilience guards the dormant overhead).
+///
+/// A FaultPlan is parsed from a spec string (the RRS_FAULTS environment
+/// variable, a tool flag, or a test literal) and armed process-wide:
+///
+///     spec    := item ( separator item )*          separator: space ';' ','
+///     item    := 'seed:N'  |  site '=' action [ '@' trigger ]
+///     action  := 'error'  |  'latency:MS'
+///     trigger := 'p:F'  |  'every:N'  |  'after:N'     (default: always)
+///
+///     RRS_FAULTS="net.recv=error@p:0.2 tile.generate=latency:50@every:3 seed:7"
+///
+/// Triggers are *deterministic*: every rule keeps a call counter, and the
+/// probability trigger draws from mix64(seed, rule, call#) — the same seed
+/// and call sequence always injects the same faults, so chaos tests replay
+/// bit-for-bit.  `every:N` fires on calls N, 2N, 3N, ...; `after:N` fires
+/// on every call past the first N; `p:F` fires each call with probability
+/// F.  Several rules may name one site (their effects combine: latencies
+/// add, any error wins).
+///
+/// Injections are counted into the global MetricsRegistry as
+/// `fault.injected.<site>` so chaos tests and /metrics can see exactly
+/// what fired.  Arm/disarm swaps an atomic plan pointer; retired plans are
+/// intentionally retained until process exit (the leaked-global pattern of
+/// obs::MetricsRegistry) so a concurrent `inject` can never observe a
+/// freed plan.
+///
+/// Sites wired in this repo: net.connect, net.accept, net.recv, net.send
+/// (socket layer), tile.generate, tile.cache_fill (service layer).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrs::fault {
+
+enum class FaultAction {
+    kError,    ///< the site reports its natural failure mode
+    kLatency,  ///< the site stalls for `latency_ms` before proceeding
+};
+
+enum class FaultTrigger {
+    kAlways,       ///< every call
+    kProbability,  ///< each call independently with probability `probability`
+    kEveryNth,     ///< calls n, 2n, 3n, ...
+    kAfterN,       ///< every call after the first `n`
+};
+
+/// One parsed `site=action@trigger` clause.
+struct FaultRule {
+    std::string site;
+    FaultAction action = FaultAction::kError;
+    int latency_ms = 0;  ///< for kLatency
+    FaultTrigger trigger = FaultTrigger::kAlways;
+    double probability = 1.0;  ///< for kProbability
+    std::uint64_t n = 0;       ///< for kEveryNth / kAfterN
+};
+
+/// A full parsed fault schedule (see the grammar in the file comment).
+struct FaultPlan {
+    std::vector<FaultRule> rules;
+    std::uint64_t seed = 1;  ///< drives the probability trigger draws
+
+    bool empty() const noexcept { return rules.empty(); }
+
+    /// Parse a spec string; throws ConfigError (context {"fault"}) on any
+    /// grammar violation.  An all-whitespace spec parses to an empty plan.
+    static FaultPlan parse(std::string_view spec);
+};
+
+namespace detail {
+struct ArmedPlan;  // defined in inject.cpp
+extern std::atomic<const ArmedPlan*> g_plan;
+
+/// Slow path: match `site` against the armed rules, apply latency, count
+/// the injection, and report whether an error fires.
+bool inject_armed(const ArmedPlan& plan, const char* site) noexcept;
+}  // namespace detail
+
+/// Is any fault plan armed?  (The only cost a dormant site pays.)
+inline bool armed() noexcept {
+    return detail::g_plan.load(std::memory_order_acquire) != nullptr;
+}
+
+/// Arm `plan` process-wide (an empty plan disarms).  Call counters start
+/// from zero; re-arming the same plan replays the same schedule.
+void arm(const FaultPlan& plan);
+
+/// Remove the armed plan; every site goes back to zero-cost passthrough.
+void disarm() noexcept;
+
+/// Arm from the RRS_FAULTS environment variable.  Returns true when a
+/// non-empty plan was armed; false (and no state change) when the variable
+/// is unset or blank.  Throws ConfigError on a malformed spec.
+bool arm_from_env();
+
+/// Fault injection point.  Applies any injected latency in-line (the
+/// calling thread sleeps), then returns true when the site should fail.
+/// Dormant cost: one acquire load + branch.
+inline bool inject(const char* site) noexcept {
+    const detail::ArmedPlan* plan = detail::g_plan.load(std::memory_order_acquire);
+    return plan != nullptr && detail::inject_armed(*plan, site);
+}
+
+}  // namespace rrs::fault

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <thread>
 
 #include "core/error.hpp"
+#include "fault/backoff.hpp"
 #include "net/http.hpp"
+#include "obs/metrics.hpp"
 
 namespace rrs::net {
 
@@ -75,6 +79,19 @@ ClientResponse parse_response_head(std::string_view head) {
     return resp;
 }
 
+/// A `Retry-After: N` value in whole seconds, as milliseconds; -1 when the
+/// header is absent, non-numeric (HTTP-date form unsupported), or absurd.
+int retry_after_ms(const ClientResponse& resp) {
+    const std::string* value = resp.header("retry-after");
+    if (value == nullptr || value->empty() || value->size() > 4 ||
+        !std::all_of(value->begin(), value->end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+        })) {
+        return -1;
+    }
+    return static_cast<int>(std::stoul(*value)) * 1000;
+}
+
 }  // namespace
 
 const std::string* ClientResponse::header(std::string_view name) const noexcept {
@@ -94,6 +111,22 @@ HttpClient::HttpClient(std::string host, std::uint16_t port, Options opt)
     if (opt_.timeout_ms <= 0) {
         throw ConfigError{"timeout_ms must be positive", {"net", "HttpClient"}};
     }
+    if (opt_.retry.max_attempts < 1) {
+        throw ConfigError{"retry.max_attempts must be >= 1", {"net", "HttpClient"}};
+    }
+    if (opt_.retry.deadline_ms < 0) {
+        throw ConfigError{"retry.deadline_ms must be >= 0", {"net", "HttpClient"}};
+    }
+    if (opt_.retry.base_backoff_ms <= 0 ||
+        opt_.retry.max_backoff_ms < opt_.retry.base_backoff_ms) {
+        throw ConfigError{"retry backoff bounds must satisfy 0 < base <= max",
+                          {"net", "HttpClient"}};
+    }
+    if (opt_.registry != nullptr) {
+        retries_ = &opt_.registry->counter("net.client.retries");
+        deadline_exhausted_ =
+            &opt_.registry->counter("net.client.deadline_exhausted");
+    }
 }
 
 void HttpClient::close() noexcept {
@@ -101,7 +134,63 @@ void HttpClient::close() noexcept {
     carry_.clear();
 }
 
+void HttpClient::exhaust_deadline(const std::string& target) {
+    if (deadline_exhausted_ != nullptr) {
+        deadline_exhausted_->add();
+    }
+    throw DeadlineError{"deadline of " + std::to_string(opt_.retry.deadline_ms) +
+                            " ms exhausted for '" + target + "'",
+                        {"net", "HttpClient"}};
+}
+
 ClientResponse HttpClient::get(const std::string& target) {
+    using SteadyClock = std::chrono::steady_clock;
+    const RetryPolicy& rp = opt_.retry;
+    if (rp.max_attempts == 1 && rp.deadline_ms == 0) {
+        return get_once(target);  // historical fail-fast path, zero overhead
+    }
+    const bool budgeted = rp.deadline_ms > 0;
+    const SteadyClock::time_point deadline =
+        SteadyClock::now() + std::chrono::milliseconds(rp.deadline_ms);
+    fault::Backoff backoff{
+        fault::BackoffPolicy{rp.base_backoff_ms, rp.max_backoff_ms},
+        rp.jitter_seed};
+    for (int attempt = 1;; ++attempt) {
+        const bool last = attempt >= rp.max_attempts;
+        int wait_ms = 0;
+        try {
+            ClientResponse resp = get_once(target);
+            if (resp.status != 503 || last) {
+                return resp;  // non-503 responses (incl. 4xx/5xx) are final
+            }
+            const int hinted = retry_after_ms(resp);
+            wait_ms = hinted >= 0 ? hinted : backoff.next_ms();
+        } catch (const DeadlineError&) {
+            throw;  // IS-A IoError: must not be swallowed into a retry
+        } catch (const IoError&) {
+            if (last) {
+                throw;
+            }
+            wait_ms = backoff.next_ms();
+        }
+        if (budgeted) {
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  deadline - SteadyClock::now())
+                                  .count();
+            if (left <= 0 || wait_ms > left) {
+                exhaust_deadline(target);  // the wait would overrun the budget
+            }
+        }
+        if (retries_ != nullptr) {
+            retries_->add();
+        }
+        if (wait_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+        }
+    }
+}
+
+ClientResponse HttpClient::get_once(const std::string& target) {
     const bool reused = sock_.valid();
     if (!reused) {
         sock_ = connect_tcp(host_, port_, opt_.timeout_ms);

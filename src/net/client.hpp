@@ -12,6 +12,13 @@
 /// connection (server closed it between requests) is transparently
 /// reconnected once.  All failures throw IoError — a non-2xx *response* is
 /// not a failure, callers inspect `ClientResponse::status`.
+///
+/// Resilience (DESIGN.md §13): an optional RetryPolicy makes `get()` retry
+/// transport failures (IoError, including ConnectError) and 503 responses
+/// with capped exponential backoff + decorrelated jitter, under an overall
+/// deadline budget.  Retrying is safe precisely because this client is
+/// GET-only — every request is idempotent by construction.  A 503 with a
+/// `Retry-After: N` header waits N seconds instead of the backoff draw.
 
 #include <cstdint>
 #include <string>
@@ -21,7 +28,31 @@
 
 #include "net/socket.hpp"
 
+namespace rrs::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace rrs::obs
+
 namespace rrs::net {
+
+/// The retry deadline budget ran out before a response was obtained.
+/// IS-A IoError (catch it *before* IoError to tell the cases apart);
+/// rrsquery maps it to its own exit code.
+class DeadlineError : public IoError {
+public:
+    explicit DeadlineError(std::string message, ErrorContext context = {"net"})
+        : IoError(std::move(message), std::move(context)) {}
+};
+
+/// Retry schedule for HttpClient::get().  The default policy (one attempt,
+/// no deadline) reproduces the historical fail-fast behaviour.
+struct RetryPolicy {
+    int max_attempts = 1;      ///< total tries, >= 1 (1 = no retries)
+    int base_backoff_ms = 10;  ///< first backoff delay
+    int max_backoff_ms = 2000; ///< backoff cap
+    int deadline_ms = 0;       ///< overall budget across attempts (0 = none)
+    std::uint64_t jitter_seed = 1;  ///< drives the deterministic jitter
+};
 
 /// One parsed response (header names lower-cased).
 struct ClientResponse {
@@ -39,6 +70,10 @@ public:
     struct Options {
         int timeout_ms = 5000;  ///< connect + per-recv + per-send deadline
         std::size_t max_response_bytes = std::size_t{256} << 20;
+        RetryPolicy retry;  ///< see file comment; default = fail fast
+        /// When set, retry traffic is counted here: `net.client.retries`
+        /// and `net.client.deadline_exhausted`.
+        obs::MetricsRegistry* registry = nullptr;
     };
 
     /// Lazily connecting: the first get() dials `host:port`.
@@ -50,6 +85,10 @@ public:
 
     /// Issue one GET for `target` (e.g. "/v1/tile?tx=0&ty=1") and read the
     /// full response.  Reconnects a stale keep-alive connection once.
+    /// Under a RetryPolicy, additionally retries IoError failures and 503
+    /// responses with backoff until the attempts or the deadline budget run
+    /// out — then rethrows the last IoError (or returns the last 503).
+    /// Throws DeadlineError when the budget expires first.
     ClientResponse get(const std::string& target);
 
     /// Drop the connection (the next get() reconnects).
@@ -61,13 +100,17 @@ public:
     std::uint16_t port() const noexcept { return port_; }
 
 private:
+    ClientResponse get_once(const std::string& target);
     ClientResponse roundtrip(const std::string& target);
+    [[noreturn]] void exhaust_deadline(const std::string& target);
 
     std::string host_;
     std::uint16_t port_;
     Options opt_;
     Socket sock_;
     std::string carry_;
+    obs::Counter* retries_ = nullptr;             ///< net.client.retries
+    obs::Counter* deadline_exhausted_ = nullptr;  ///< net.client.deadline_exhausted
 };
 
 }  // namespace rrs::net

@@ -32,6 +32,7 @@ HttpServer::HttpServer(Router router, Options opt)
       m_5xx_(registry_.counter("net.status_5xx")),
       m_bytes_out_(registry_.counter("net.bytes_out")),
       m_active_(registry_.gauge("net.active")),
+      m_ready_(registry_.gauge("net.ready")),
       m_latency_(registry_.histogram("net.latency")) {
     check_positive_count(static_cast<std::int64_t>(opt_.workers), "workers",
                          {"net", "HttpServer"});
@@ -58,6 +59,7 @@ void HttpServer::start() {
         port_.store(local_port(listener_), std::memory_order_release);
         pool_ = std::make_unique<ThreadPool>(opt_.workers);
         acceptor_ = std::thread([this] { accept_loop(); });
+        m_ready_.set(1);  // accepting traffic: /readyz may say yes
     } catch (...) {
         listener_.close();
         pool_.reset();
@@ -74,6 +76,7 @@ void HttpServer::stop() {
         return;
     }
     stopping_.store(true, std::memory_order_release);
+    m_ready_.set(0);  // draining: readiness drops before the drain begins
     if (acceptor_.joinable()) {
         acceptor_.join();  // no further admissions once joined
     }
@@ -132,6 +135,7 @@ void HttpServer::accept_loop() {
     } catch (const Error&) {
         // Listener breakage: the server can no longer accept; in-flight
         // connections keep being served and stop() still drains cleanly.
+        m_ready_.set(0);
     }
 }
 

@@ -28,6 +28,8 @@
 ///                      tests assert)
 ///   net.status_2xx/4xx/5xx  responses by status class
 ///   net.shed           connections answered 503 at the admission gate
+///   net.ready          gauge: 1 while accepting traffic, 0 once draining
+///                      or after listener breakage (feeds /readyz)
 ///   net.bytes_out      response bytes actually written
 ///   net.latency        µs from complete request head to response written
 /// Spans: net.accept, net.parse, net.handle, net.write.
@@ -148,6 +150,7 @@ private:
     obs::Counter& m_5xx_;
     obs::Counter& m_bytes_out_;
     obs::Gauge& m_active_;
+    obs::Gauge& m_ready_;  ///< net.ready: 1 while accepting, 0 once draining
     obs::Log2Histogram& m_latency_;
 };
 

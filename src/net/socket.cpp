@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,20 +10,35 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <system_error>
 
 #include "core/error.hpp"
+#include "fault/inject.hpp"
 
 namespace rrs::net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// errno rendered the std way ("Connection refused"), no strerror races.
 std::string errno_text(int err) { return std::system_category().message(err); }
 
 [[noreturn]] void fail(const std::string& what, int err) {
     throw IoError{what + ": " + errno_text(err), {"net"}};
+}
+
+[[noreturn]] void fail_connect(const std::string& what, int err) {
+    throw ConnectError{what + ": " + errno_text(err), {"net"}};
+}
+
+/// Whole milliseconds left until `deadline`, clamped at zero.
+int remaining_ms(Clock::time_point deadline) noexcept {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
 }
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
@@ -85,48 +101,99 @@ std::uint16_t local_port(const Socket& listener) {
 }
 
 Socket accept_with_timeout(const Socket& listener, int timeout_ms) {
-    pollfd pfd{};
-    pfd.fd = listener.fd();
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) {
-        if (errno == EINTR) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = listener.fd();
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+        if (ready < 0) {
+            if (errno == EINTR) {
+                continue;  // signal delivery is not a timeout; re-poll the budget
+            }
+            fail("poll(listener)", errno);
+        }
+        if (ready == 0) {
             return Socket{};
         }
-        fail("poll(listener)", errno);
-    }
-    if (ready == 0) {
-        return Socket{};
-    }
-    const int fd = ::accept(listener.fd(), nullptr, nullptr);
-    if (fd < 0) {
-        // The connection can evaporate between poll and accept; that (or a
-        // signal) is not a listener fault.
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
-            errno == ECONNABORTED) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd < 0) {
+            // The connection can evaporate between poll and accept; that (or
+            // a signal) is not a listener fault — retry within the budget.
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+                errno == ECONNABORTED) {
+                continue;
+            }
+            fail("accept", errno);
+        }
+        if (fault::inject("net.accept")) {
+            ::close(fd);  // injected: the connection dies at the threshold
             return Socket{};
         }
-        fail("accept", errno);
+        return Socket{fd};
     }
-    return Socket{fd};
 }
 
 Socket connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
-    Socket s{::socket(AF_INET, SOCK_STREAM, 0)};
+    if (timeout_ms <= 0) {
+        throw ConfigError{"socket timeout must be positive", {"net"}};
+    }
+    const std::string peer = host + ":" + std::to_string(port);
+    if (fault::inject("net.connect")) {
+        throw ConnectError{"connect " + peer + ": injected fault", {"net"}};
+    }
+    Socket s{::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0)};
     if (!s.valid()) {
-        fail("socket", errno);
+        fail_connect("socket", errno);
     }
-    // SO_SNDTIMEO bounds a blocking connect() as well as later sends.
-    set_timeout(s, timeout_ms, SO_SNDTIMEO, "setsockopt(SO_SNDTIMEO)");
-    set_timeout(s, timeout_ms, SO_RCVTIMEO, "setsockopt(SO_RCVTIMEO)");
     const sockaddr_in addr = make_addr(host, port);
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
     if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-        const int err = (errno == EINPROGRESS || errno == EAGAIN ||
-                         errno == EWOULDBLOCK)
-                            ? ETIMEDOUT
-                            : errno;
-        fail("connect " + host + ":" + std::to_string(port), err);
+        // EINTR on a non-blocking connect means the attempt continues
+        // asynchronously (retrying would yield EALREADY) — await it like
+        // EINPROGRESS.
+        if (errno != EINPROGRESS && errno != EINTR) {
+            fail_connect("connect " + peer, errno);
+        }
+        for (;;) {
+            const int wait_ms = remaining_ms(deadline);
+            if (wait_ms == 0) {
+                throw ConnectError{"connect " + peer + ": timed out after " +
+                                       std::to_string(timeout_ms) + " ms",
+                                   {"net"}};
+            }
+            pollfd pfd{};
+            pfd.fd = s.fd();
+            pfd.events = POLLOUT;
+            const int ready = ::poll(&pfd, 1, wait_ms);
+            if (ready < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                fail_connect("poll(connect " + peer + ")", errno);
+            }
+            if (ready > 0) {
+                break;
+            }
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+            fail_connect("getsockopt(SO_ERROR)", errno);
+        }
+        if (err != 0) {
+            fail_connect("connect " + peer, err);
+        }
     }
+    // Connected: back to blocking mode with recv/send deadlines for traffic.
+    const int flags = ::fcntl(s.fd(), F_GETFL, 0);
+    if (flags < 0 || ::fcntl(s.fd(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+        fail_connect("fcntl(clear O_NONBLOCK)", errno);
+    }
+    set_timeout(s, timeout_ms, SO_RCVTIMEO, "setsockopt(SO_RCVTIMEO)");
+    set_timeout(s, timeout_ms, SO_SNDTIMEO, "setsockopt(SO_SNDTIMEO)");
     return s;
 }
 
@@ -139,6 +206,9 @@ void set_send_timeout(const Socket& s, int ms) {
 }
 
 RecvResult recv_some(const Socket& s, char* buf, std::size_t max) noexcept {
+    if (fault::inject("net.recv")) {
+        return RecvResult{0, true, false};  // injected: connection lost
+    }
     for (;;) {
         const ssize_t n = ::recv(s.fd(), buf, max, 0);
         if (n > 0) {
@@ -159,6 +229,9 @@ RecvResult recv_some(const Socket& s, char* buf, std::size_t max) noexcept {
 }
 
 bool send_all(const Socket& s, const char* data, std::size_t n) noexcept {
+    if (fault::inject("net.send")) {
+        return false;  // injected: peer gone mid-write
+    }
     std::size_t sent = 0;
     while (sent < n) {
         const ssize_t w = ::send(s.fd(), data + sent, n - sent, MSG_NOSIGNAL);

@@ -15,15 +15,35 @@
 ///    fault.
 ///  * Receive/send deadlines use SO_RCVTIMEO / SO_SNDTIMEO: a blocked
 ///    recv/send returns after at most the configured interval, which is
-///    what bounds slow-loris clients and drain time.
+///    what bounds slow-loris clients and drain time.  The *connect*
+///    deadline is enforced by a non-blocking connect + poll loop, which is
+///    the portable mechanism (SO_SNDTIMEO bounding a blocking connect() is
+///    a Linux-ism).
+///  * EINTR never surfaces: connect/accept/recv/send all resume after
+///    signal delivery (rrsd's SIGTERM handler must not masquerade as a
+///    peer failure), with deadlines re-computed against steady_clock.
 ///  * Only numeric IPv4 addresses are accepted ("127.0.0.1", "0.0.0.0") —
 ///    the library does no DNS, so serving never blocks on a resolver.
+///  * Fault-injection sites (DESIGN.md §13): net.connect, net.accept,
+///    net.recv, net.send.  Dormant cost per call: one relaxed-acquire load.
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "core/error.hpp"
+
 namespace rrs::net {
+
+/// Failure to *establish* a connection (refusal, unreachable host, connect
+/// deadline expiry) as opposed to failure on an established one.  IS-A
+/// IoError, so existing `catch (const IoError&)` sites keep working;
+/// rrsquery maps it to its own exit code.
+class ConnectError : public IoError {
+public:
+    explicit ConnectError(std::string message, ErrorContext context = {"net"})
+        : IoError(std::move(message), std::move(context)) {}
+};
 
 /// Move-only owner of one socket file descriptor (-1 = empty).
 class Socket {
@@ -69,11 +89,15 @@ std::uint16_t local_port(const Socket& listener);
 
 /// Wait up to `timeout_ms` for a pending connection, then accept it.
 /// Returns an empty Socket when nothing arrived (the accept loop's chance
-/// to notice a stop flag).  Throws IoError only on listener breakage.
+/// to notice a stop flag).  Signal interruptions and connections that
+/// evaporate between poll and accept are retried within the same deadline.
+/// Throws IoError only on listener breakage.
 Socket accept_with_timeout(const Socket& listener, int timeout_ms);
 
-/// Blocking connect with a deadline (numeric IPv4 host only).
-/// Throws IoError on failure — including refused connections and timeouts.
+/// Connect with a deadline (numeric IPv4 host only): non-blocking connect,
+/// then poll(POLLOUT) against a steady_clock budget, then SO_ERROR.  The
+/// returned socket is blocking with recv/send deadlines of `timeout_ms`.
+/// Throws ConnectError on failure — refused, unreachable, or timed out.
 Socket connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms);
 
 /// Deadline for blocked recv() / send() on `s` (milliseconds, > 0).

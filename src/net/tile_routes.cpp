@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "fault/circuit_breaker.hpp"
 #include "net/http.hpp"
 #include "obs/trace.hpp"
+#include "service/tile_cache.hpp"
 #include "service/tile_key.hpp"
 
 namespace rrs::net {
@@ -32,11 +34,25 @@ std::int64_t int_param(const HttpRequest& req, const char* name) {
     return value;
 }
 
-/// Shared immutable routing state, captured by every handler.
+/// Shared routing state, captured by every handler.  Structurally immutable
+/// after make_tile_router; the breakers and the stale store are internally
+/// synchronized, so concurrent handlers share them freely.
 struct RouteState {
     SceneServices scenes;
     obs::MetricsRegistry* registry = nullptr;
     TileRoutesOptions opt;
+    /// Per-scene generation breakers (empty when breaker_failures == 0).
+    std::map<std::string, std::unique_ptr<fault::CircuitBreaker>> breakers;
+    /// Last-known-good tiles for degradation (null when stale_bytes == 0).
+    std::shared_ptr<TileCache> stale;
+    obs::Counter* short_circuited = nullptr;  ///< net.breaker.short_circuited
+    obs::Counter* stale_served = nullptr;     ///< net.stale_served
+    obs::Gauge* ready = nullptr;              ///< net.ready (set by HttpServer)
+
+    fault::CircuitBreaker* breaker_for(const std::string& scene) const {
+        const auto it = breakers.find(scene);
+        return it == breakers.end() ? nullptr : it->second.get();
+    }
 
     /// Resolve the scene a request addresses: explicit `scene=` parameter,
     /// or the sole registered scene when there is exactly one.
@@ -72,12 +88,77 @@ HttpResponse surface_response(const Array2D<double>& a, const Rect& r,
     return resp;
 }
 
+/// A breaker-denied 503: tells the client when the next probe will run.
+HttpResponse short_circuit_response(const fault::CircuitBreaker& breaker) {
+    HttpResponse resp = error_response(503, "circuit breaker open");
+    const int secs = (breaker.open_remaining_ms() + 999) / 1000;
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(secs > 0 ? secs : 1));
+    return resp;
+}
+
+/// Serve the last known good tile, if the stale store holds one.
+/// Returns an empty optional-like pair (bool found, response).
+bool try_stale(const RouteState& state, const TileAddress& address,
+               const TileKey& key, const std::string& scene,
+               const TileService& service, HttpResponse& out) {
+    if (state.stale == nullptr) {
+        return false;
+    }
+    const TilePtr tile = state.stale->find(address);
+    if (tile == nullptr) {
+        return false;
+    }
+    if (state.stale_served != nullptr) {
+        state.stale_served->add();
+    }
+    out = surface_response(*tile, tile_rect(service.shape(), key), scene,
+                           service.fingerprint());
+    out.extra_headers.emplace_back("X-RRS-Stale", "1");
+    return true;
+}
+
 HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
     const auto [scene, service] = state.resolve(req);
     const TileKey key{int_param(req, "tx"), int_param(req, "ty")};
-    const TilePtr tile = service->get(key);
-    return surface_response(*tile, tile_rect(service->shape(), key), *scene,
-                            service->fingerprint());
+    const TileAddress address{service->fingerprint(), key};
+    fault::CircuitBreaker* breaker = state.breaker_for(*scene);
+    HttpResponse stale;
+    if (breaker != nullptr && !breaker->allow()) {
+        if (state.short_circuited != nullptr) {
+            state.short_circuited->add();
+        }
+        if (try_stale(state, address, key, *scene, *service, stale)) {
+            return stale;
+        }
+        return short_circuit_response(*breaker);
+    }
+    try {
+        const TilePtr tile = service->get(key);
+        if (breaker != nullptr) {
+            breaker->record_success();
+        }
+        if (state.stale != nullptr) {
+            state.stale->insert(address, tile);  // shares the payload, no copy
+        }
+        return surface_response(*tile, tile_rect(service->shape(), key), *scene,
+                                service->fingerprint());
+    } catch (const HttpError&) {
+        // Request-shaped failure (bad key, ...): the generator is fine —
+        // release the breaker slot as a success and let the 4xx through.
+        if (breaker != nullptr) {
+            breaker->record_success();
+        }
+        throw;
+    } catch (const Error&) {
+        if (breaker != nullptr) {
+            breaker->record_failure();
+        }
+        if (try_stale(state, address, key, *scene, *service, stale)) {
+            return stale;  // degrade: stale beats a 500
+        }
+        throw;
+    }
 }
 
 HttpResponse handle_window(const RouteState& state, const HttpRequest& req) {
@@ -98,8 +179,32 @@ HttpResponse handle_window(const RouteState& state, const HttpRequest& req) {
                                      std::to_string(cap) + " points"};
         }
     }
-    const Array2D<double> window = service->window(region);
-    return surface_response(window, region, *scene, service->fingerprint());
+    fault::CircuitBreaker* breaker = state.breaker_for(*scene);
+    if (breaker != nullptr && !breaker->allow()) {
+        if (state.short_circuited != nullptr) {
+            state.short_circuited->add();
+        }
+        // No stale fallback: windows are arbitrary shapes with no
+        // last-known-good body (file comment in tile_routes.hpp).
+        return short_circuit_response(*breaker);
+    }
+    try {
+        const Array2D<double> window = service->window(region);
+        if (breaker != nullptr) {
+            breaker->record_success();
+        }
+        return surface_response(window, region, *scene, service->fingerprint());
+    } catch (const HttpError&) {
+        if (breaker != nullptr) {
+            breaker->record_success();
+        }
+        throw;
+    } catch (const Error&) {
+        if (breaker != nullptr) {
+            breaker->record_failure();
+        }
+        throw;
+    }
 }
 
 HttpResponse handle_index(const RouteState& state) {
@@ -116,9 +221,33 @@ HttpResponse handle_index(const RouteState& state) {
                 ",\"fingerprint\":" + std::to_string(service->fingerprint()) + "}";
     }
     body +=
-        "],\"endpoints\":[\"/\",\"/healthz\",\"/metrics\",\"/tracez\","
-        "\"/v1/tile\",\"/v1/window\"]}";
+        "],\"endpoints\":[\"/\",\"/healthz\",\"/readyz\",\"/metrics\","
+        "\"/tracez\",\"/v1/tile\",\"/v1/window\"]}";
     return HttpResponse::json(200, std::move(body));
+}
+
+/// Readiness: serving traffic AND no scene breaker open.  Distinct from
+/// /healthz (liveness): a draining or breaker-open process is still alive —
+/// take it out of rotation, don't restart it.
+HttpResponse handle_readyz(const RouteState& state) {
+    if (state.ready != nullptr && state.ready->value() != 1) {
+        HttpResponse resp =
+            HttpResponse::json(503, "{\"ready\":false,\"reason\":\"draining\"}");
+        resp.extra_headers.emplace_back("Retry-After", "1");
+        return resp;
+    }
+    for (const auto& [name, breaker] : state.breakers) {
+        if (breaker->state() == fault::CircuitBreaker::State::kOpen) {
+            HttpResponse resp = HttpResponse::json(
+                503, "{\"ready\":false,\"reason\":\"breaker open: " +
+                         json_escape(name) + "\"}");
+            const int secs = (breaker->open_remaining_ms() + 999) / 1000;
+            resp.extra_headers.emplace_back("Retry-After",
+                                            std::to_string(secs > 0 ? secs : 1));
+            return resp;
+        }
+    }
+    return HttpResponse::json(200, "{\"ready\":true}");
 }
 
 }  // namespace
@@ -153,13 +282,41 @@ Router make_tile_router(SceneServices scenes, obs::MetricsRegistry* registry,
                               {"net", "tile_routes"}};
         }
     }
-    auto state = std::make_shared<const RouteState>(RouteState{
-        std::move(scenes),
-        registry != nullptr ? registry : &obs::MetricsRegistry::global(), opt});
+    if (opt.breaker_failures < 0 || opt.breaker_open_ms <= 0 ||
+        opt.breaker_half_open_successes <= 0) {
+        throw ConfigError{"invalid circuit breaker configuration",
+                          {"net", "tile_routes"}};
+    }
+    RouteState st;
+    st.scenes = std::move(scenes);
+    st.registry = registry != nullptr ? registry : &obs::MetricsRegistry::global();
+    st.opt = opt;
+    st.short_circuited = &st.registry->counter("net.breaker.short_circuited");
+    st.stale_served = &st.registry->counter("net.stale_served");
+    st.ready = &st.registry->gauge("net.ready");
+    if (opt.breaker_failures > 0) {
+        obs::Counter& opened = st.registry->counter("net.breaker.opened");
+        for (const auto& [name, service] : st.scenes) {
+            fault::CircuitBreaker::Options bopt;
+            bopt.failure_threshold = opt.breaker_failures;
+            bopt.open_ms = opt.breaker_open_ms;
+            bopt.half_open_successes = opt.breaker_half_open_successes;
+            bopt.state_gauge = &st.registry->gauge("net.breaker.state." + name);
+            bopt.opened = &opened;
+            st.breakers.emplace(name,
+                                std::make_unique<fault::CircuitBreaker>(bopt));
+        }
+    }
+    if (opt.stale_bytes > 0) {
+        st.stale = std::make_shared<TileCache>(opt.stale_bytes);
+    }
+    auto state = std::make_shared<const RouteState>(std::move(st));
 
     Router router;
     router.add("/healthz",
                [](const HttpRequest&) { return HttpResponse::text(200, "ok\n"); });
+    router.add("/readyz",
+               [state](const HttpRequest&) { return handle_readyz(*state); });
     router.add("/metrics", [state](const HttpRequest&) {
         return HttpResponse::json(200, state->registry->to_json());
     });

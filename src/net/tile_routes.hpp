@@ -6,7 +6,11 @@
 /// needs.  Route table (DESIGN.md §12):
 ///
 ///   GET /            JSON index: scenes, tile shape, endpoint list
-///   GET /healthz     liveness probe — "ok" once routable
+///   GET /healthz     liveness probe — "ok" once routable (never degrades:
+///                    a live-but-not-ready process must not be restarted)
+///   GET /readyz      readiness probe — 200 while the server accepts
+///                    traffic (net.ready gauge) and no scene breaker is
+///                    open; 503 + Retry-After otherwise
 ///   GET /metrics     MetricsRegistry snapshot as JSON
 ///   GET /tracez      Chrome trace JSON (404 while tracing is disabled)
 ///   GET /v1/tile?scene=NAME&tx=I&ty=J
@@ -20,6 +24,16 @@
 /// larger than `TileRoutesOptions::max_window_points` HttpError(413) — the
 /// window cap is the router-level admission control that keeps one request
 /// from monopolizing the generation pool.
+///
+/// Resilience (DESIGN.md §13): each scene's /v1/tile generation sits behind
+/// a fault::CircuitBreaker (gauge `net.breaker.state.<scene>`, trip counter
+/// `net.breaker.opened`, denial counter `net.breaker.short_circuited`), and
+/// every successfully served tile is remembered in a small *stale store*.
+/// On a generation failure or an open breaker the route degrades: the last
+/// known good tile is served with `X-RRS-Stale: 1` instead of a 500/503
+/// (counted in `net.stale_served`).  /v1/window shares the breaker but not
+/// the stale store — windows are unbounded in shape, so there is no "last
+/// known" body to fall back to.
 
 #include <cstddef>
 #include <map>
@@ -38,6 +52,16 @@ struct TileRoutesOptions {
     /// Maximum nx*ny lattice points one /v1/window request may ask for
     /// (default 16 Mi points = 64 MiB on the wire).
     std::size_t max_window_points = std::size_t{16} << 20;
+    /// Consecutive generation failures that open a scene's circuit breaker
+    /// (0 disables the breakers entirely).
+    int breaker_failures = 5;
+    /// How long an open breaker denies before half-open probing.
+    int breaker_open_ms = 1000;
+    /// Successful half-open probes required to re-close.
+    int breaker_half_open_successes = 1;
+    /// Byte budget of the stale-tile store backing graceful degradation
+    /// (0 disables stale serving).
+    std::size_t stale_bytes = std::size_t{32} << 20;
 };
 
 /// Map of scene name -> the service answering for it.  Services are shared

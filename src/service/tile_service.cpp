@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/validate.hpp"
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -110,12 +111,20 @@ TilePtr TileService::generate_or_join(const TileKey& key) {
         GlobalTileCounters::get().generations.add();
         try {
             RRS_TRACE_SPAN("tile.generate");
+            if (fault::inject("tile.generate")) {
+                throw NumericError{"injected generation fault",
+                                   {"fault", "tile.generate"}};
+            }
             TilePtr tile = std::make_shared<const Array2D<double>>(
                 generate_(tile_rect(opt_.shape, key)));
             // Publish to the cache BEFORE retiring the in-flight entry, so a
             // request arriving between the two always finds one or the other
-            // (never generates a duplicate).
-            cache_->insert(address, tile);
+            // (never generates a duplicate).  An injected cache_fill fault
+            // serves the tile without retaining it (a lossy cache, not an
+            // error — the next request regenerates).
+            if (!fault::inject("tile.cache_fill")) {
+                cache_->insert(address, tile);
+            }
             {
                 std::lock_guard lock(inflight_mutex_);
                 inflight_.erase(address);

@@ -1,0 +1,25 @@
+// Known-bad fixture: fault-injection and resilience paths must throw
+// taxonomy types (ConnectError / DeadlineError / NumericError, ...), not
+// raw standard exceptions — injected failures flow through the same catch
+// sites as real ones (rrslint rule `error-taxonomy`).  Never compiled —
+// scanned by `rrslint --check-fixtures` (ctest: rrslint_fixtures).
+#include <stdexcept>
+
+namespace rrs::fault {
+
+inline bool inject_or_throw(bool fire) {
+    if (fire) {
+        // LINT-EXPECT: error-taxonomy
+        throw std::runtime_error{"injected fault at site 'net.recv'"};
+    }
+    return false;
+}
+
+inline void check_breaker_config(int failures) {
+    if (failures <= 0) {
+        // LINT-EXPECT: error-taxonomy
+        throw std::logic_error{"breaker threshold must be positive"};
+    }
+}
+
+}  // namespace rrs::fault

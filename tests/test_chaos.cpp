@@ -1,0 +1,362 @@
+// Tier-3 chaos suite (ctest label `chaos`): real client/server traffic with
+// an armed fault plan (DESIGN.md §13).  Each test drives a live HttpServer
+// through src/fault/ injection sites and asserts the resilience contracts:
+//
+//  * client retries recover from injected socket faults — every request
+//    still answers 200 and the bodies are bit-identical to fault-free runs,
+//  * the per-scene circuit breaker opens after consecutive generation
+//    failures, short-circuits with 503 + Retry-After, half-open probes, and
+//    re-closes once generation heals,
+//  * graceful degradation serves the last known good tile (X-RRS-Stale: 1)
+//    instead of a 500 when generation fails,
+//  * /healthz (liveness) stays 200 while /readyz (readiness) degrades, and
+//  * the metrics accounting identity
+//      net.requests == net.status_2xx + net.status_4xx + net.status_5xx
+//                      + net.shed
+//    survives an adversarial fault schedule, including a drain under load.
+//
+// Every test disarms via FaultGuard so a failed assertion cannot leak an
+// armed plan into the next test (fault plans are process-global).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "fault/circuit_breaker.hpp"
+#include "fault/inject.hpp"
+#include "grid/array2d.hpp"
+#include "grid/rect.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/server.hpp"
+#include "net/tile_routes.hpp"
+#include "obs/metrics.hpp"
+#include "service/tile_cache.hpp"
+#include "service/tile_service.hpp"
+
+namespace rrs::net {
+namespace {
+
+/// RAII: the process must leave every test disarmed, even when an ASSERT
+/// bails out mid-test.
+struct FaultGuard {
+    FaultGuard() { fault::disarm(); }
+    ~FaultGuard() { fault::disarm(); }
+};
+
+/// Deterministic coordinate-stamped tile payload (same idiom as
+/// test_tile_service.cpp): the value encodes the lattice point, so a
+/// mis-served or torn tile is detectable by value — and "bit-identical
+/// after faults stop" is a meaningful assertion.
+Array2D<double> stamp_tile(const Rect& r) {
+    Array2D<double> out(static_cast<std::size_t>(r.nx),
+                        static_cast<std::size_t>(r.ny));
+    for (std::size_t iy = 0; iy < out.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < out.nx(); ++ix) {
+            out(ix, iy) =
+                static_cast<double>(r.x0 + static_cast<std::int64_t>(ix)) +
+                1000.0 * static_cast<double>(r.y0 + static_cast<std::int64_t>(iy));
+        }
+    }
+    return out;
+}
+
+/// One running server over a stamped-tile scene with a private registry.
+/// Tests call start_server() themselves: the breaker/stale knobs under test
+/// differ per scenario.
+class ChaosServerTest : public ::testing::Test {
+protected:
+    void start_server(const TileRoutesOptions& ropt) {
+        TileService::Options sopt;
+        sopt.shape = TileShape{32, 32};
+        sopt.cache_bytes = std::size_t{16} << 20;
+        service_ = std::make_shared<TileService>(stamp_tile, /*fingerprint=*/77,
+                                                 sopt, nullptr);
+        SceneServices scenes;
+        scenes.emplace("scene", service_);
+        HttpServer::Options opt;
+        opt.workers = 4;
+        opt.registry = &registry_;
+        server_ = std::make_unique<HttpServer>(
+            make_tile_router(std::move(scenes), &registry_, ropt), opt);
+        server_->start();
+    }
+
+    void TearDown() override {
+        fault::disarm();
+        if (server_ != nullptr) {
+            server_->stop();
+        }
+    }
+
+    std::uint64_t counter(const char* name) {
+        return registry_.counter(name).value();
+    }
+
+    std::int64_t gauge(const char* name) {
+        return registry_.gauge(name).value();
+    }
+
+    /// requests == 2xx + 4xx + 5xx + shed must hold at any quiescent point —
+    /// injected faults may abort connections, never the accounting.
+    void expect_accounting_identity() {
+        EXPECT_EQ(counter("net.requests"),
+                  counter("net.status_2xx") + counter("net.status_4xx") +
+                      counter("net.status_5xx") + counter("net.shed"));
+    }
+
+    FaultGuard guard_;
+    obs::MetricsRegistry registry_;
+    std::shared_ptr<TileService> service_;
+    std::unique_ptr<HttpServer> server_;
+};
+
+std::string tile_path(int tx, int ty) {
+    return "/v1/tile?tx=" + std::to_string(tx) + "&ty=" + std::to_string(ty);
+}
+
+// ------------------------------------------------- retries under faults
+
+TEST_F(ChaosServerTest, RetriesRecoverUnderSocketFaults) {
+    start_server(TileRoutesOptions{});
+
+    // Deterministic schedule: every 5th recv anywhere in the process (client
+    // or server side) reports a dead peer.  A single attempt consumes only a
+    // few recv calls, so 6 attempts always straddle the next scheduled fault.
+    fault::arm(fault::FaultPlan::parse("seed:5 net.recv=error@every:5"));
+
+    HttpClient::Options copt;
+    copt.retry.max_attempts = 6;
+    copt.retry.base_backoff_ms = 1;
+    copt.retry.max_backoff_ms = 10;
+    copt.registry = &registry_;
+    HttpClient client("127.0.0.1", server_->port(), copt);
+
+    std::vector<std::string> bodies;
+    for (int i = 0; i < 40; ++i) {
+        const int tx = i % 4;
+        const int ty = (i / 4) % 4;
+        const ClientResponse resp = client.get(tile_path(tx, ty));
+        ASSERT_EQ(resp.status, 200) << "request " << i << ": " << resp.body;
+        bodies.push_back(resp.body);
+    }
+    EXPECT_GT(counter("net.client.retries"), 0u)
+        << "fault plan never fired — the test proved nothing";
+
+    // Disarmed, a fresh fault-free client must see bit-identical bodies.
+    fault::disarm();
+    HttpClient clean("127.0.0.1", server_->port());
+    for (int i = 0; i < 40; ++i) {
+        const int tx = i % 4;
+        const int ty = (i / 4) % 4;
+        const ClientResponse resp = clean.get(tile_path(tx, ty));
+        ASSERT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, bodies[static_cast<std::size_t>(i)])
+            << "tile (" << tx << "," << ty << ") not bit-identical after disarm";
+        EXPECT_EQ(resp.header("x-rrs-stale"), nullptr);
+    }
+    expect_accounting_identity();
+}
+
+// ------------------------------------------------- circuit breaker cycle
+
+TEST_F(ChaosServerTest, BreakerOpensProbesAndRecloses) {
+    TileRoutesOptions ropt;
+    ropt.breaker_failures = 3;
+    ropt.breaker_open_ms = 200;
+    ropt.stale_bytes = 0;  // failures must surface, not degrade to stale
+    start_server(ropt);
+
+    HttpClient client("127.0.0.1", server_->port());
+    fault::arm(fault::FaultPlan::parse("tile.generate=error"));
+
+    // Three consecutive generation failures on cold tiles trip the breaker.
+    for (int i = 0; i < 3; ++i) {
+        const ClientResponse resp = client.get(tile_path(100 + i, 0));
+        EXPECT_EQ(resp.status, 500) << resp.body;
+    }
+    EXPECT_EQ(gauge("net.breaker.state.scene"),
+              static_cast<std::int64_t>(fault::CircuitBreaker::State::kOpen));
+    EXPECT_EQ(counter("net.breaker.opened"), 1u);
+
+    // Open: denied at the door with a Retry-After hint, no generation run.
+    const ClientResponse denied = client.get(tile_path(103, 0));
+    EXPECT_EQ(denied.status, 503);
+    EXPECT_NE(denied.body.find("circuit breaker open"), std::string::npos);
+    ASSERT_NE(denied.header("retry-after"), nullptr);
+    EXPECT_GE(counter("net.breaker.short_circuited"), 1u);
+
+    // After open_ms a half-open probe runs — and fails while still armed,
+    // re-opening the breaker with a fresh timer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    EXPECT_EQ(client.get(tile_path(104, 0)).status, 500);
+    EXPECT_EQ(gauge("net.breaker.state.scene"),
+              static_cast<std::int64_t>(fault::CircuitBreaker::State::kOpen));
+    EXPECT_EQ(counter("net.breaker.opened"), 2u);
+    EXPECT_EQ(client.get(tile_path(105, 0)).status, 503);
+
+    // Generation heals: the next probe succeeds and the breaker re-closes.
+    fault::disarm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    EXPECT_EQ(client.get(tile_path(106, 0)).status, 200);
+    EXPECT_EQ(gauge("net.breaker.state.scene"),
+              static_cast<std::int64_t>(fault::CircuitBreaker::State::kClosed));
+    EXPECT_EQ(client.get(tile_path(107, 0)).status, 200);
+    expect_accounting_identity();
+}
+
+// ------------------------------------------------- graceful degradation
+
+TEST_F(ChaosServerTest, StaleTileServedWhenGenerationFails) {
+    TileRoutesOptions ropt;
+    ropt.breaker_failures = 0;  // isolate the stale path from the breaker
+    start_server(ropt);
+
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse fresh = client.get(tile_path(0, 0));
+    ASSERT_EQ(fresh.status, 200);
+    EXPECT_EQ(fresh.header("x-rrs-stale"), nullptr);
+
+    // Evict the primary cache so the next request must regenerate — which
+    // the armed plan makes fail.  The stale store is untouched by clear().
+    service_->cache()->clear();
+    fault::arm(fault::FaultPlan::parse("tile.generate=error"));
+
+    const ClientResponse degraded = client.get(tile_path(0, 0));
+    ASSERT_EQ(degraded.status, 200) << degraded.body;
+    ASSERT_NE(degraded.header("x-rrs-stale"), nullptr);
+    EXPECT_EQ(*degraded.header("x-rrs-stale"), "1");
+    EXPECT_EQ(degraded.body, fresh.body);
+    EXPECT_GE(counter("net.stale_served"), 1u);
+
+    // A tile never served before has no last-known-good: the failure must
+    // surface as a 500, not invent a body.
+    const ClientResponse cold = client.get(tile_path(200, 200));
+    EXPECT_EQ(cold.status, 500);
+
+    // Healed: regeneration is bit-identical and no longer marked stale.
+    fault::disarm();
+    const ClientResponse healed = client.get(tile_path(0, 0));
+    ASSERT_EQ(healed.status, 200);
+    EXPECT_EQ(healed.header("x-rrs-stale"), nullptr);
+    EXPECT_EQ(healed.body, fresh.body);
+    expect_accounting_identity();
+}
+
+// ------------------------------------------------- liveness vs readiness
+
+TEST_F(ChaosServerTest, ReadyzDegradesWhileHealthzStaysLive) {
+    TileRoutesOptions ropt;
+    ropt.breaker_failures = 2;
+    ropt.breaker_open_ms = 60000;  // stays open for the rest of the test
+    ropt.stale_bytes = 0;
+    start_server(ropt);
+
+    HttpClient client("127.0.0.1", server_->port());
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    const ClientResponse ready = client.get("/readyz");
+    EXPECT_EQ(ready.status, 200);
+    EXPECT_NE(ready.body.find("\"ready\":true"), std::string::npos);
+
+    // Trip the breaker: readiness must drop; liveness must not (a breaker-
+    // open process needs rotation out, not a restart).
+    fault::arm(fault::FaultPlan::parse("tile.generate=error"));
+    EXPECT_EQ(client.get(tile_path(300, 0)).status, 500);
+    EXPECT_EQ(client.get(tile_path(301, 0)).status, 500);
+
+    const ClientResponse not_ready = client.get("/readyz");
+    EXPECT_EQ(not_ready.status, 503);
+    EXPECT_NE(not_ready.body.find("breaker open"), std::string::npos);
+    ASSERT_NE(not_ready.header("retry-after"), nullptr);
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    expect_accounting_identity();
+
+    // Drain: the readiness gauge drops before connections are torn down.
+    server_->stop();
+    EXPECT_EQ(gauge("net.ready"), 0);
+}
+
+// ------------------------------------------------- drain under live faults
+
+TEST_F(ChaosServerTest, DrainCompletesUnderActiveFaults) {
+    start_server(TileRoutesOptions{});
+
+    // Mixed plan: dropped reads and writes on both sides plus generation
+    // latency — the drain must still converge with clean accounting.
+    fault::arm(fault::FaultPlan::parse(
+        "seed:9 net.recv=error@p:0.05 net.send=error@p:0.05 "
+        "tile.generate=latency:5@p:0.2"));
+
+    constexpr int kClients = 4;
+    std::atomic<bool> stop_clients{false};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < 200 && !stop_clients.load(); ++i) {
+                try {
+                    HttpClient::Options copt;
+                    copt.timeout_ms = 2000;
+                    copt.retry.max_attempts = 3;
+                    copt.retry.base_backoff_ms = 1;
+                    copt.retry.max_backoff_ms = 5;
+                    HttpClient client("127.0.0.1", server_->port(), copt);
+                    client.get(tile_path((c + i) % 4, i % 4));
+                } catch (const Error&) {
+                    // refused/aborted mid-drain: expected, not a test failure
+                }
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server_->stop();  // drain while clients are still firing under faults
+    stop_clients.store(true);
+    for (auto& th : clients) {
+        th.join();
+    }
+    fault::disarm();
+
+    EXPECT_EQ(gauge("net.active"), 0);
+    EXPECT_EQ(gauge("net.ready"), 0);
+    expect_accounting_identity();
+}
+
+// ------------------------------------------------- identity under schedule
+
+TEST_F(ChaosServerTest, AccountingIdentityUnderMixedFaultSchedule) {
+    start_server(TileRoutesOptions{});
+    fault::arm(fault::FaultPlan::parse("seed:3 net.recv=error@every:9"));
+
+    HttpClient::Options copt;
+    copt.retry.max_attempts = 6;
+    copt.retry.base_backoff_ms = 1;
+    copt.retry.max_backoff_ms = 10;
+    copt.registry = &registry_;
+    HttpClient client("127.0.0.1", server_->port(), copt);
+
+    // 200s, 404s (unknown scene), and 400s (bad params) interleaved while
+    // the schedule kills connections: retries mask the faults, the ledger
+    // still has to balance.
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(client.get(tile_path(i % 3, 0)).status, 200);
+        EXPECT_EQ(client.get("/v1/tile?scene=nope&tx=0&ty=0").status, 404);
+        EXPECT_EQ(client.get("/v1/tile?tx=abc&ty=0").status, 400);
+    }
+    fault::disarm();
+    expect_accounting_identity();
+    // A fault can kill the connection after the server counted a response
+    // but before the client read it — the retry then replays the request,
+    // so the server-side count is a floor, not an exact figure.
+    EXPECT_GE(counter("net.status_4xx"), 40u);
+}
+
+}  // namespace
+}  // namespace rrs::net

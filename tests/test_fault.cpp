@@ -1,0 +1,381 @@
+// Unit tests for the fault-injection layer (src/fault/): FaultPlan grammar,
+// trigger semantics and determinism, the Backoff jitter schedule, and the
+// CircuitBreaker state machine.  Tier 1 — everything here is milliseconds.
+//
+// Tests that arm a plan use FaultGuard so a failing assertion can never
+// leave a plan armed for the rest of the binary (injection state is
+// process-global by design).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "fault/backoff.hpp"
+#include "fault/circuit_breaker.hpp"
+#include "fault/inject.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace rrs {
+namespace {
+
+/// RAII disarm: every test leaves the process fault-free.
+struct FaultGuard {
+    ~FaultGuard() { fault::disarm(); }
+};
+
+int count_fires(const char* site, int calls) {
+    int fired = 0;
+    for (int i = 0; i < calls; ++i) {
+        if (fault::inject(site)) {
+            ++fired;
+        }
+    }
+    return fired;
+}
+
+// --- FaultPlan grammar -------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullGrammar) {
+    const fault::FaultPlan plan = fault::FaultPlan::parse(
+        "net.recv=error@p:0.25; tile.generate=latency:50@every:3,"
+        "net.send=error seed:42 tile.cache_fill=error@after:10");
+    ASSERT_EQ(plan.rules.size(), 4u);
+    EXPECT_EQ(plan.seed, 42u);
+
+    EXPECT_EQ(plan.rules[0].site, "net.recv");
+    EXPECT_EQ(plan.rules[0].action, fault::FaultAction::kError);
+    EXPECT_EQ(plan.rules[0].trigger, fault::FaultTrigger::kProbability);
+    EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.25);
+
+    EXPECT_EQ(plan.rules[1].site, "tile.generate");
+    EXPECT_EQ(plan.rules[1].action, fault::FaultAction::kLatency);
+    EXPECT_EQ(plan.rules[1].latency_ms, 50);
+    EXPECT_EQ(plan.rules[1].trigger, fault::FaultTrigger::kEveryNth);
+    EXPECT_EQ(plan.rules[1].n, 3u);
+
+    EXPECT_EQ(plan.rules[2].site, "net.send");
+    EXPECT_EQ(plan.rules[2].trigger, fault::FaultTrigger::kAlways);
+
+    EXPECT_EQ(plan.rules[3].trigger, fault::FaultTrigger::kAfterN);
+    EXPECT_EQ(plan.rules[3].n, 10u);
+}
+
+TEST(FaultPlan, EmptyAndWhitespaceSpecsParseEmpty) {
+    EXPECT_TRUE(fault::FaultPlan::parse("").empty());
+    EXPECT_TRUE(fault::FaultPlan::parse("  \t\n ;, ").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("=error"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv="), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=explode"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=error@sometimes"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=error@p:1.5"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=error@p:abc"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=error@every:0"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=latency:0"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("net.recv=latency:90000"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("a@b=error"), ConfigError);
+    EXPECT_THROW(fault::FaultPlan::parse("seed:xyz"), ConfigError);
+}
+
+TEST(FaultPlan, ParseErrorsCarryFaultContext) {
+    try {
+        fault::FaultPlan::parse("net.recv=explode");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        ASSERT_GE(e.context().size(), 1u);
+        EXPECT_EQ(e.context()[0], "fault");
+    }
+}
+
+// --- Arm / disarm / dormant behaviour ---------------------------------------
+
+TEST(FaultInject, DormantSitesNeverFire) {
+    fault::disarm();
+    EXPECT_FALSE(fault::armed());
+    EXPECT_EQ(count_fires("net.recv", 1000), 0);
+}
+
+TEST(FaultInject, ArmEmptyPlanDisarms) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("net.recv=error"));
+    EXPECT_TRUE(fault::armed());
+    fault::arm(fault::FaultPlan{});
+    EXPECT_FALSE(fault::armed());
+}
+
+TEST(FaultInject, UnknownSiteIsUntouched) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("net.recv=error"));
+    EXPECT_EQ(count_fires("tile.generate", 100), 0);
+    EXPECT_EQ(count_fires("net.recv", 3), 3);
+}
+
+TEST(FaultInject, EveryNthFiresOnSchedule) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("s=error@every:3"));
+    std::vector<bool> fired;
+    fired.reserve(9);
+    for (int i = 0; i < 9; ++i) {
+        fired.push_back(fault::inject("s"));
+    }
+    const std::vector<bool> want{false, false, true, false, false,
+                                 true,  false, false, true};
+    EXPECT_EQ(fired, want);
+}
+
+TEST(FaultInject, AfterNFiresForever) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("s=error@after:2"));
+    EXPECT_FALSE(fault::inject("s"));
+    EXPECT_FALSE(fault::inject("s"));
+    EXPECT_TRUE(fault::inject("s"));
+    EXPECT_TRUE(fault::inject("s"));
+    EXPECT_TRUE(fault::inject("s"));
+}
+
+TEST(FaultInject, ProbabilityExtremes) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("s=error@p:0"));
+    EXPECT_EQ(count_fires("s", 200), 0);
+    fault::arm(fault::FaultPlan::parse("s=error@p:1"));
+    EXPECT_EQ(count_fires("s", 200), 200);
+}
+
+TEST(FaultInject, ProbabilityIsRoughlyCalibrated) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("s=error@p:0.5 seed:7"));
+    const int fired = count_fires("s", 2000);
+    // 2000 draws at p=0.5: ±200 is > 8 sigma — deterministic, never flaky.
+    EXPECT_GT(fired, 800);
+    EXPECT_LT(fired, 1200);
+}
+
+TEST(FaultInject, SameSeedReplaysTheSameSchedule) {
+    FaultGuard guard;
+    auto schedule = [](const char* spec) {
+        fault::arm(fault::FaultPlan::parse(spec));
+        std::vector<bool> out;
+        out.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            out.push_back(fault::inject("s"));
+        }
+        return out;
+    };
+    const auto a = schedule("s=error@p:0.3 seed:11");
+    const auto b = schedule("s=error@p:0.3 seed:11");
+    const auto c = schedule("s=error@p:0.3 seed:12");
+    EXPECT_EQ(a, b) << "re-arming the same plan must replay bit-for-bit";
+    EXPECT_NE(a, c) << "a different seed must give a different schedule";
+}
+
+TEST(FaultInject, LatencyStallsTheCaller) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("s=latency:30"));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(fault::inject("s"));  // latency alone is not an error
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST(FaultInject, CombinedRulesLatencyPlusError) {
+    FaultGuard guard;
+    fault::arm(fault::FaultPlan::parse("s=latency:10 s=error"));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(fault::inject("s"));  // any error-action rule wins
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(elapsed.count(), 8);
+}
+
+TEST(FaultInject, InjectionsAreCounted) {
+    FaultGuard guard;
+    obs::Counter& counter =
+        obs::MetricsRegistry::global().counter("fault.injected.count.me");
+    const std::uint64_t before = counter.value();
+    fault::arm(fault::FaultPlan::parse("count.me=error@every:2"));
+    count_fires("count.me", 10);
+    EXPECT_EQ(counter.value() - before, 5u);
+}
+
+TEST(FaultInject, ArmFromEnvUnsetIsNoop) {
+    // The test environment does not set RRS_FAULTS; the parse paths above
+    // cover the armed case.
+    ::unsetenv("RRS_FAULTS");
+    EXPECT_FALSE(fault::arm_from_env());
+    EXPECT_FALSE(fault::armed());
+}
+
+// --- Backoff -----------------------------------------------------------------
+
+TEST(Backoff, StaysWithinBoundsAndGrows) {
+    fault::Backoff backoff{fault::BackoffPolicy{10, 500}, /*seed=*/3};
+    int prev = 10;
+    for (int i = 0; i < 32; ++i) {
+        const int d = backoff.next_ms();
+        EXPECT_GE(d, 10);
+        EXPECT_LE(d, 500);
+        EXPECT_LE(d, prev * 3 < 500 ? prev * 3 : 500)
+            << "decorrelated jitter upper bound violated at draw " << i;
+        prev = d;
+    }
+}
+
+TEST(Backoff, DeterministicPerSeed) {
+    auto draws = [](std::uint64_t seed) {
+        fault::Backoff b{fault::BackoffPolicy{5, 1000}, seed};
+        std::vector<int> out;
+        out.reserve(16);
+        for (int i = 0; i < 16; ++i) {
+            out.push_back(b.next_ms());
+        }
+        return out;
+    };
+    EXPECT_EQ(draws(1), draws(1));
+    EXPECT_NE(draws(1), draws(2));
+}
+
+TEST(Backoff, JitterActuallyVaries) {
+    fault::Backoff backoff{fault::BackoffPolicy{1, 2000}, /*seed=*/9};
+    std::set<int> seen;
+    for (int i = 0; i < 16; ++i) {
+        seen.insert(backoff.next_ms());
+    }
+    EXPECT_GT(seen.size(), 4u) << "a jittered schedule must not be constant";
+}
+
+TEST(Backoff, RejectsBadPolicy) {
+    EXPECT_THROW(fault::Backoff(fault::BackoffPolicy{0, 100}, 1), ConfigError);
+    EXPECT_THROW(fault::Backoff(fault::BackoffPolicy{100, 50}, 1), ConfigError);
+}
+
+// --- CircuitBreaker ----------------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+    fault::CircuitBreaker::Options opt;
+    opt.failure_threshold = 3;
+    opt.open_ms = 60'000;
+    fault::CircuitBreaker breaker{opt};
+    using State = fault::CircuitBreaker::State;
+
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(breaker.allow());
+        breaker.record_failure();
+    }
+    EXPECT_EQ(breaker.state(), State::kClosed);
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();  // third consecutive failure trips it
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_FALSE(breaker.allow());
+    EXPECT_GT(breaker.open_remaining_ms(), 0);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+    fault::CircuitBreaker::Options opt;
+    opt.failure_threshold = 2;
+    fault::CircuitBreaker breaker{opt};
+    breaker.record_failure();
+    breaker.record_success();  // streak broken
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), fault::CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess) {
+    fault::CircuitBreaker::Options opt;
+    opt.failure_threshold = 1;
+    opt.open_ms = 40;
+    fault::CircuitBreaker breaker{opt};
+    using State = fault::CircuitBreaker::State;
+
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_FALSE(breaker.allow());
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_TRUE(breaker.allow());  // probe slot granted
+    EXPECT_EQ(breaker.state(), State::kHalfOpen);
+    EXPECT_FALSE(breaker.allow()) << "only one probe may be in flight";
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), State::kClosed);
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_success();
+}
+
+TEST(CircuitBreaker, HalfOpenProbeReopensOnFailure) {
+    fault::CircuitBreaker::Options opt;
+    opt.failure_threshold = 1;
+    opt.open_ms = 40;
+    fault::CircuitBreaker breaker{opt};
+    using State = fault::CircuitBreaker::State;
+
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();  // probe failed
+    EXPECT_EQ(breaker.state(), State::kOpen);
+    EXPECT_FALSE(breaker.allow()) << "a failed probe restarts the open timer";
+}
+
+TEST(CircuitBreaker, GaugeAndCounterTrackTransitions) {
+    obs::MetricsRegistry registry;
+    fault::CircuitBreaker::Options opt;
+    opt.failure_threshold = 1;
+    opt.open_ms = 40;
+    opt.state_gauge = &registry.gauge("b.state");
+    opt.opened = &registry.counter("b.opened");
+    fault::CircuitBreaker breaker{opt};
+
+    EXPECT_EQ(registry.gauge("b.state").value(), 0);
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+    EXPECT_EQ(registry.gauge("b.state").value(), 1);
+    EXPECT_EQ(registry.counter("b.opened").value(), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(breaker.allow());
+    EXPECT_EQ(registry.gauge("b.state").value(), 2);
+    breaker.record_success();
+    EXPECT_EQ(registry.gauge("b.state").value(), 0);
+    EXPECT_EQ(registry.counter("b.opened").value(), 1);
+}
+
+TEST(CircuitBreaker, RejectsBadOptions) {
+    fault::CircuitBreaker::Options opt;
+    opt.failure_threshold = 0;
+    EXPECT_THROW(fault::CircuitBreaker{opt}, ConfigError);
+    opt.failure_threshold = 1;
+    opt.open_ms = 0;
+    EXPECT_THROW(fault::CircuitBreaker{opt}, ConfigError);
+    opt.open_ms = 1;
+    opt.half_open_successes = 0;
+    EXPECT_THROW(fault::CircuitBreaker{opt}, ConfigError);
+}
+
+// --- Error taxonomy for the new exception types ------------------------------
+
+TEST(FaultErrors, ConnectErrorIsAnIoError) {
+    const net::ConnectError e{"refused"};
+    EXPECT_NE(dynamic_cast<const IoError*>(&e), nullptr);
+    EXPECT_NE(dynamic_cast<const Error*>(&e), nullptr);
+    EXPECT_NE(dynamic_cast<const std::runtime_error*>(&e), nullptr);
+}
+
+TEST(FaultErrors, DeadlineErrorIsAnIoError) {
+    const net::DeadlineError e{"too slow"};
+    EXPECT_NE(dynamic_cast<const IoError*>(&e), nullptr);
+    EXPECT_NE(dynamic_cast<const std::runtime_error*>(&e), nullptr);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -609,6 +609,140 @@ TEST(TileServerLifecycle, StartStopStateMachine) {
     EXPECT_FALSE(server.running());
 }
 
+// ------------------------------------------------- client resilience
+
+/// Scripted raw server: accepts one connection per script entry, reads the
+/// request head, answers with the exact scripted bytes, and closes the
+/// connection — the tool for dissecting how HttpClient handles truncation
+/// and retryable failures without a cooperating HttpServer.
+void run_scripted_server(const Socket& listener,
+                         const std::vector<std::string>& scripts) {
+    for (const std::string& script : scripts) {
+        Socket conn = accept_with_timeout(listener, 5000);
+        if (!conn.valid()) {
+            ADD_FAILURE() << "scripted server: accept timed out";
+            return;
+        }
+        char buf[1024];
+        (void)recv_some(conn, buf, sizeof buf);
+        EXPECT_TRUE(send_all(conn, script.data(), script.size()));
+    }  // each conn closes on scope exit — mid-body for truncated scripts
+}
+
+TEST(HttpClientTruncation, MidBodyCloseIsIoErrorAndPoisonedConnIsNotReused) {
+    Socket listener = listen_tcp("127.0.0.1", 0);
+    const std::uint16_t port = local_port(listener);
+    std::thread server(run_scripted_server, std::cref(listener),
+                       std::vector<std::string>{
+                           "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc",
+                           "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+                       });
+
+    HttpClient client("127.0.0.1", port);
+    // The peer closes after 3 of 10 promised body bytes: that must be an
+    // IoError, never a silently short body.
+    EXPECT_THROW(client.get("/x"), IoError);
+    // The poisoned keep-alive socket must not be reused for the next
+    // request — the client reconnects and succeeds on a fresh connection.
+    EXPECT_FALSE(client.connected());
+    const ClientResponse resp = client.get("/x");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "ok");
+    server.join();
+}
+
+TEST(HttpClientRetry, RetryRecoversFromTruncatedResponse) {
+    Socket listener = listen_tcp("127.0.0.1", 0);
+    const std::uint16_t port = local_port(listener);
+    std::thread server(run_scripted_server, std::cref(listener),
+                       std::vector<std::string>{
+                           "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc",
+                           "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+                       });
+
+    obs::MetricsRegistry registry;
+    HttpClient::Options copt;
+    copt.retry.max_attempts = 3;
+    copt.retry.base_backoff_ms = 1;
+    copt.retry.max_backoff_ms = 5;
+    copt.registry = &registry;
+    HttpClient client("127.0.0.1", port, copt);
+    const ClientResponse resp = client.get("/x");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "ok");
+    EXPECT_EQ(registry.counter("net.client.retries").value(), 1u);
+    server.join();
+}
+
+TEST(HttpClientRetry, RetryAfterHintedServiceUnavailableIsRetried) {
+    Socket listener = listen_tcp("127.0.0.1", 0);
+    const std::uint16_t port = local_port(listener);
+    std::thread server(
+        run_scripted_server, std::cref(listener),
+        std::vector<std::string>{
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+            "Retry-After: 0\r\n\r\n",
+            "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok",
+        });
+
+    obs::MetricsRegistry registry;
+    HttpClient::Options copt;
+    copt.retry.max_attempts = 2;
+    copt.registry = &registry;
+    HttpClient client("127.0.0.1", port, copt);
+    const ClientResponse resp = client.get("/x");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "ok");
+    EXPECT_EQ(registry.counter("net.client.retries").value(), 1u);
+    server.join();
+}
+
+TEST(HttpClientRetry, ExhaustedAttemptsSurfaceTheFinalStatus) {
+    Socket listener = listen_tcp("127.0.0.1", 0);
+    const std::uint16_t port = local_port(listener);
+    std::thread server(
+        run_scripted_server, std::cref(listener),
+        std::vector<std::string>{
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+            "Retry-After: 0\r\n\r\n",
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+            "Retry-After: 0\r\n\r\n",
+        });
+
+    HttpClient::Options copt;
+    copt.retry.max_attempts = 2;
+    HttpClient client("127.0.0.1", port, copt);
+    // Both attempts answer 503: the client returns the response rather than
+    // inventing an exception — a non-2xx *response* is data, not an error.
+    EXPECT_EQ(client.get("/x").status, 503);
+    server.join();
+}
+
+TEST(HttpClientRetry, DeadlineBudgetExhaustionThrowsDeadlineError) {
+    // Grab an ephemeral port, then close the listener: connections to it are
+    // refused fast, so every attempt fails and only the deadline can stop
+    // the retry loop.
+    std::uint16_t port = 0;
+    {
+        const Socket listener = listen_tcp("127.0.0.1", 0);
+        port = local_port(listener);
+    }
+
+    obs::MetricsRegistry registry;
+    HttpClient::Options copt;
+    copt.timeout_ms = 500;
+    copt.retry.max_attempts = 50;
+    copt.retry.base_backoff_ms = 20;
+    copt.retry.max_backoff_ms = 40;
+    copt.retry.deadline_ms = 100;
+    copt.registry = &registry;
+    HttpClient client("127.0.0.1", port, copt);
+    EXPECT_THROW(client.get("/x"), DeadlineError);
+    EXPECT_EQ(registry.counter("net.client.deadline_exhausted").value(), 1u);
+    // Far fewer than 50 attempts ran: the budget cut the loop short.
+    EXPECT_LT(registry.counter("net.client.retries").value(), 49u);
+}
+
 TEST(TileServiceOwning, KeepsGeneratorAliveAndRejectsNull) {
     std::shared_ptr<TileService> service;
     {

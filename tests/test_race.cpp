@@ -358,7 +358,9 @@ TEST(RaceNet, ConcurrentClientsVersusGracefulDrain) {
     for (int c = 0; c < kClients; ++c) {
         clients.emplace_back([&] {
             start.arrive_and_wait();
-            net::HttpClient client("127.0.0.1", port, {.timeout_ms = 2000});
+            net::HttpClient::Options copt;
+            copt.timeout_ms = 2000;
+            net::HttpClient client("127.0.0.1", port, copt);
             for (int i = 0; i < 200; ++i) {
                 try {
                     const net::ClientResponse resp = client.get("/work");
@@ -427,7 +429,9 @@ TEST(RaceNet, ShedPathVersusAcceptLoop) {
             for (int i = 0; i < 40; ++i) {
                 try {
                     // Fresh connection every time: maximal accept/shed churn.
-                    net::HttpClient client("127.0.0.1", port, {.timeout_ms = 2000});
+                    net::HttpClient::Options copt;
+                    copt.timeout_ms = 2000;
+                    net::HttpClient client("127.0.0.1", port, copt);
                     const net::ClientResponse resp = client.get("/spin");
                     if (resp.status == 200) {
                         served.fetch_add(1, std::memory_order_relaxed);

@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# CI driver — six stages, each runnable on its own:
+# CI driver — seven stages, each runnable on its own:
 #
-#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, tidy, perf
+#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, chaos, tidy, perf
 #   tools/ci.sh lint        # rrslint conventions + lint fixtures (no build)
-#   tools/ci.sh release     # build + tier 1 (-LE "stats|race") + tier 2 (-L stats)
+#   tools/ci.sh release     # build + tier 1 (-LE "stats|race|chaos") + tier 2 (-L stats)
 #   tools/ci.sh sanitize    # tier 1 under ASan+UBSan
 #   tools/ci.sh tsan        # tier 3: race tests (-L race) under ThreadSanitizer
+#   tools/ci.sh chaos       # tier 3: fault-injection tests (-L chaos), release
+#                           # + ASan/UBSan, plus the resilience bench gates
 #   tools/ci.sh tidy        # clang-tidy over src/ (skips cleanly if not installed)
 #   tools/ci.sh perf        # quick net load bench -> bench_out/BENCH_net.json
 #
 # Sanitizer reports are fatal (-fno-sanitize-recover=all, TSan
-# halt_on_error=1), so a green run means the suite is clean.  The `race`
-# label is excluded from the release/sanitize tiers (tier-1 wall time is
-# unchanged by the race suite); the tsan preset runs ONLY that label.
+# halt_on_error=1), so a green run means the suite is clean.  The `race` and
+# `chaos` labels are excluded from the release/sanitize tiers (tier-1 wall
+# time is unchanged by them); the tsan/chaos stages run ONLY their label.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,9 +38,9 @@ run_release() {
     build_preset release build
     # Tier 1 (fast unit/property tests) first for quick failure, then
     # tier 2: the statistical acceptance suite (ctest label "stats").  The
-    # "race" label is tier 3 — tsan stage only.
+    # "race" and "chaos" labels are tier 3 — tsan/chaos stages only.
     echo "==> [release] test (tier 1)"
-    ctest --preset release -j "$(nproc)" -LE 'stats|race'
+    ctest --preset release -j "$(nproc)" -LE 'stats|race|chaos'
     echo "==> [release] test (tier 2: stats)"
     ctest --preset release -j "$(nproc)" -L stats
     rrstile_smoke build
@@ -64,6 +66,25 @@ run_tsan() {
     build_preset tsan build-tsan
     echo "==> [tsan] test (tier 3: race)"
     ctest --preset tsan -j "$(nproc)"
+}
+
+run_chaos() {
+    # Tier 3: the chaos suite (tests/test_chaos.cpp) — live client/server
+    # traffic under armed fault plans — in release and again under
+    # ASan+UBSan (injected faults exercise exactly the error paths a
+    # sanitizer wants to see).  Then the resilience bench, which exits
+    # non-zero if the disarmed probe is not zero-cost, if retries fail to
+    # absorb a 20% fault rate, or if any tile is not byte-identical after
+    # disarm.
+    build_preset release build
+    echo "==> [chaos] test (tier 3: chaos, release)"
+    ctest --preset chaos -j "$(nproc)"
+    build_preset sanitize build-sanitize
+    echo "==> [chaos] test (tier 3: chaos, ASan+UBSan)"
+    ctest --preset chaos-sanitize -j "$(nproc)"
+    echo "==> [chaos] resilience --quick"
+    build/bench/resilience --quick --out-dir bench_out
+    echo "==> [chaos] wrote bench_out/BENCH_resilience.json"
 }
 
 run_lint() {
@@ -214,10 +235,11 @@ case "$want" in
     release)  run_release ;;
     sanitize) run_sanitize ;;
     tsan)     run_tsan ;;
+    chaos)    run_chaos ;;
     tidy)     run_tidy ;;
     perf)     run_perf ;;
-    all)      run_lint; run_release; run_sanitize; run_tsan; run_tidy; run_perf ;;
-    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|tidy|perf|all]" >&2
+    all)      run_lint; run_release; run_sanitize; run_tsan; run_chaos; run_tidy; run_perf ;;
+    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|chaos|tidy|perf|all]" >&2
         exit 2 ;;
 esac
 echo "==> ci: all requested stages passed"

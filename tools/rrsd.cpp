@@ -9,8 +9,8 @@
 //
 // Each positional argument registers one scene: `NAME=FILE` serves FILE as
 // scene NAME; a bare FILE is served under its basename without extension.
-// Endpoints (see src/net/tile_routes.hpp): /, /healthz, /metrics, /tracez,
-// /v1/tile, /v1/window.
+// Endpoints (see src/net/tile_routes.hpp): /, /healthz, /readyz, /metrics,
+// /tracez, /v1/tile, /v1/window.
 //
 //   --host ADDR        bind address                         (default 127.0.0.1)
 //   --port N           bind port; 0 = ephemeral             (default 0)
@@ -25,6 +25,15 @@
 //   --seed N           override every scene's seed
 //   --trace            enable span recording (serves /tracez)
 //   --quiet            suppress startup/shutdown log lines
+//   --breaker-failures N  consecutive generation failures that open a
+//                      scene's circuit breaker; 0 disables    (default 5)
+//   --breaker-open-ms N   open-state duration before a probe  (default 1000)
+//   --stale-mb N       stale-tile store budget in MiB; serves the last
+//                      known tile with X-RRS-Stale: 1 on generation
+//                      failure or open breaker; 0 disables    (default 32)
+//   --faults SPEC      arm a fault-injection plan (DESIGN.md §13 grammar,
+//                      e.g. 'net.recv=error@p:0.1 seed:7'); without the
+//                      flag the RRS_FAULTS environment variable is used
 
 #include <csignal>
 #include <cstdint>
@@ -38,6 +47,7 @@
 #include <unistd.h>
 
 #include "core/error.hpp"
+#include "fault/inject.hpp"
 #include "io/scene.hpp"
 #include "net/server.hpp"
 #include "net/tile_routes.hpp"
@@ -61,7 +71,11 @@ int usage() {
                  "  --timeout-ms N   read/write deadline in ms (default 5000)\n"
                  "  --seed N         override every scene's seed\n"
                  "  --trace          enable span recording (serves /tracez)\n"
-                 "  --quiet          suppress log lines\n";
+                 "  --quiet          suppress log lines\n"
+                 "  --breaker-failures N  failures that open a breaker; 0 = off\n"
+                 "  --breaker-open-ms N   open duration before probing\n"
+                 "  --stale-mb N     stale-tile store MiB; 0 = off (default 32)\n"
+                 "  --faults SPEC    arm a fault plan (default: $RRS_FAULTS)\n";
     return 2;
 }
 
@@ -102,6 +116,10 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 0;
     bool trace = false;
     bool quiet = false;
+    net::TileRoutesOptions route_opt;
+    std::size_t stale_mb = 32;
+    std::string faults_spec;
+    bool faults_flag = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -178,6 +196,31 @@ int main(int argc, char** argv) {
             trace = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--breaker-failures") {
+            const char* v = next_value("--breaker-failures");
+            if (v == nullptr) {
+                return usage();
+            }
+            route_opt.breaker_failures = std::atoi(v);
+        } else if (arg == "--breaker-open-ms") {
+            const char* v = next_value("--breaker-open-ms");
+            if (v == nullptr) {
+                return usage();
+            }
+            route_opt.breaker_open_ms = std::atoi(v);
+        } else if (arg == "--stale-mb") {
+            const char* v = next_value("--stale-mb");
+            if (v == nullptr) {
+                return usage();
+            }
+            stale_mb = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--faults") {
+            const char* v = next_value("--faults");
+            if (v == nullptr) {
+                return usage();
+            }
+            faults_spec = v;
+            faults_flag = true;
         } else if (!arg.empty() && arg.front() == '-') {
             std::cerr << "rrsd: unrecognised option '" << arg << "'\n";
             return usage();
@@ -231,8 +274,18 @@ int main(int argc, char** argv) {
         if (trace) {
             obs::trace_enable();
         }
-        net::HttpServer server(net::make_tile_router(std::move(scenes)),
-                               server_opt);
+        if (faults_flag) {
+            fault::arm(fault::FaultPlan::parse(faults_spec));
+        } else {
+            fault::arm_from_env();
+        }
+        if (!quiet && fault::armed()) {
+            std::cerr << "rrsd: fault plan armed\n";
+        }
+        route_opt.stale_bytes = stale_mb << 20;
+        net::HttpServer server(
+            net::make_tile_router(std::move(scenes), nullptr, route_opt),
+            server_opt);
 
         if (::pipe(g_signal_pipe) != 0) {
             std::cerr << "rrsd: pipe: " << std::strerror(errno) << "\n";

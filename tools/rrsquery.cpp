@@ -16,6 +16,12 @@
 //                    "max":..,"mean":..,"rms":..}
 //   --headers        also print status line + response headers to stderr
 //   --timeout-ms N   connect/read/write deadline (default 5000)
+//   --retries N      retry transport failures / 503s up to N extra times
+//                    with jittered exponential backoff (default 0)
+//   --deadline-ms N  overall budget across all attempts (default: none)
+//
+// Exit codes: 0 = 2xx response; 1 = HTTP error or transport failure;
+// 2 = usage; 3 = could not connect; 4 = retry deadline exhausted.
 
 #include <cmath>
 #include <cstdint>
@@ -34,7 +40,11 @@ int usage() {
                  "  --out FILE     write the raw response body to FILE\n"
                  "  --stats        decode a float32 surface body, print stats\n"
                  "  --headers      also print status + headers to stderr\n"
-                 "  --timeout-ms N connect/read/write deadline (default 5000)\n";
+                 "  --timeout-ms N connect/read/write deadline (default 5000)\n"
+                 "  --retries N    extra attempts on transport failure / 503\n"
+                 "  --deadline-ms N overall retry budget (default: none)\n"
+                 "exit codes: 0 = 2xx, 1 = HTTP/transport error, 2 = usage,\n"
+                 "            3 = connect failure, 4 = deadline exhausted\n";
     return 2;
 }
 
@@ -122,6 +132,18 @@ int main(int argc, char** argv) {
                 return usage();
             }
             copt.timeout_ms = std::atoi(v);
+        } else if (arg == "--retries") {
+            const char* v = next_value("--retries");
+            if (v == nullptr) {
+                return usage();
+            }
+            copt.retry.max_attempts = std::atoi(v) + 1;
+        } else if (arg == "--deadline-ms") {
+            const char* v = next_value("--deadline-ms");
+            if (v == nullptr) {
+                return usage();
+            }
+            copt.retry.deadline_ms = std::atoi(v);
         } else {
             std::cerr << "rrsquery: unrecognised argument '" << arg << "'\n";
             return usage();
@@ -180,6 +202,12 @@ int main(int argc, char** argv) {
                       << "\n";
             return 1;
         }
+    } catch (const net::DeadlineError& e) {
+        std::cerr << "rrsquery: deadline exhausted: " << e.what() << "\n";
+        return 4;
+    } catch (const net::ConnectError& e) {
+        std::cerr << "rrsquery: connect failed: " << e.what() << "\n";
+        return 3;
     } catch (const Error& e) {
         std::cerr << "rrsquery: error: " << e.what() << "\n";
         return 1;
