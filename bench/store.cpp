@@ -1,0 +1,161 @@
+// Persistent L2 tile store (src/store/): what does a disk promotion cost
+// relative to cold generation and to a RAM cache hit, and what does the
+// conditional-GET wire path save over shipping the full tile body?
+//
+// Measures (a) cold tiles — every request generates (and write-throughs to
+// the store); (b) RAM hits — the sharded LRU answers; (c) L2 hits — a
+// fresh service over the warm segment file promotes every tile from disk
+// (the warm-restart path of `rrsd --store`); (d) full-body HTTP tile
+// fetches vs If-None-Match 304 answers for the same addresses.  Emits
+// bench_out/BENCH_store.json for the perf trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/tile_routes.hpp"
+#include "store/tile_store.hpp"
+
+namespace {
+using clock_type = std::chrono::steady_clock;
+double seconds_since(clock_type::time_point t0) {
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+}  // namespace
+
+int main() {
+    using namespace rrs;
+    const bench::TraceFromEnv trace_guard;  // RRS_TRACE=file.json records spans
+    std::cout << "=== L2 tile store: cold vs RAM hit vs disk promotion ===\n\n";
+
+    const auto spectrum = make_gaussian({1.0, 10.0, 10.0});
+    const ConvolutionGenerator gen(
+        ConvolutionKernel::build_truncated(*spectrum,
+                                           GridSpec::unit_spacing(128, 128), 1e-8),
+        424242);
+
+    constexpr std::int64_t kTileSize = 128;
+    constexpr std::int64_t kTiles = 64;
+    std::vector<TileKey> keys;
+    for (std::int64_t t = 0; t < kTiles; ++t) {
+        keys.push_back(TileKey{t % 8, t / 8});
+    }
+
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "rrs_bench_store";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string segment = (dir / "tiles.rrsstore").string();
+
+    std::vector<bench::BenchRecord> records;
+    auto record = [&](const std::string& name, std::int64_t n, double secs) {
+        records.push_back({name, n, secs * 1e3, static_cast<double>(n) / secs});
+    };
+
+    TileService::Options opt;
+    opt.shape = TileShape{kTileSize, kTileSize};
+    opt.cache_bytes = std::size_t{512} << 20;
+
+    // (a) cold generation, write-through to the store.
+    {
+        opt.store = std::make_shared<store::TileStore>(segment);
+        TileService service(gen, opt);
+        auto t0 = clock_type::now();
+        for (const TileKey& key : keys) {
+            (void)service.get(key);
+        }
+        record("cold_generate", kTiles, seconds_since(t0));
+
+        // (b) RAM hits on the same service.
+        t0 = clock_type::now();
+        for (const TileKey& key : keys) {
+            (void)service.get(key);
+        }
+        record("ram_hit", kTiles, seconds_since(t0));
+        opt.store.reset();  // drop the segment's writer before reopening
+    }
+
+    // (c) warm restart: fresh service, cold RAM cache, warm segment file.
+    {
+        opt.store = std::make_shared<store::TileStore>(segment);
+        TileService service(gen, opt);
+        auto t0 = clock_type::now();
+        for (const TileKey& key : keys) {
+            (void)service.get(key);
+        }
+        record("l2_promotion", kTiles, seconds_since(t0));
+        if (service.metrics().l2_promotions != static_cast<std::uint64_t>(kTiles)) {
+            std::cerr << "store: expected every tile to promote from L2\n";
+            return 1;
+        }
+        opt.store.reset();
+    }
+
+    // (d) the wire: full f32 bodies vs If-None-Match 304 answers.
+    {
+        opt.store = nullptr;
+        net::SceneServices scenes;
+        scenes.emplace("bench", std::make_shared<TileService>(gen, opt));
+        net::HttpServer::Options sopt;
+        sopt.workers = 2;
+        net::HttpServer server(net::make_tile_router(std::move(scenes), nullptr),
+                               sopt);
+        server.start();
+        net::HttpClient client("127.0.0.1", server.port());
+
+        constexpr int kRequests = 256;
+        std::string etag;
+        auto t0 = clock_type::now();
+        for (int i = 0; i < kRequests; ++i) {
+            const net::ClientResponse resp =
+                client.get("/v1/tile?tx=" + std::to_string(i % 8) + "&ty=0");
+            if (resp.status != 200) {
+                std::cerr << "store: tile fetch failed: " << resp.status << "\n";
+                return 1;
+            }
+            if (const std::string* e = resp.header("etag")) {
+                etag = *e;
+            }
+        }
+        record("http_full_body", kRequests, seconds_since(t0));
+
+        t0 = clock_type::now();
+        for (int i = 0; i < kRequests; ++i) {
+            const net::ClientResponse resp =
+                client.get("/v1/tile?tx=7&ty=0", {{"If-None-Match", etag}});
+            if (resp.status != 304) {
+                std::cerr << "store: expected 304, got " << resp.status << "\n";
+                return 1;
+            }
+        }
+        record("http_not_modified", kRequests, seconds_since(t0));
+        server.stop();
+    }
+
+    Table table({"mode", "n", "wall ms", "n/s"});
+    for (const auto& r : records) {
+        table.add_row({r.name, std::to_string(r.n), Table::num(r.wall_ms, 2),
+                       Table::num(r.throughput, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nl2/cold speedup:  "
+              << Table::num(records[2].throughput / records[0].throughput, 1)
+              << "x  (a promotion is a checksummed memcpy from the mmap)\n"
+              << "304/full speedup: "
+              << Table::num(records[4].throughput / records[3].throughput, 1)
+              << "x  (no body, no generation, no cache touch)\n";
+
+    bench::write_bench_json("bench_out", "store", records);
+    std::cout << "\nwrote bench_out/BENCH_store.json\n";
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return 0;
+}

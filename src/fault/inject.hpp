@@ -41,7 +41,8 @@
 /// freed plan.
 ///
 /// Sites wired in this repo: net.connect, net.accept, net.recv, net.send
-/// (socket layer), tile.generate, tile.cache_fill (service layer).
+/// (socket layer), tile.generate, tile.cache_fill (service layer),
+/// store.read, store.write (persistent L2 tile store).
 
 #include <atomic>
 #include <cstdint>

@@ -143,11 +143,12 @@ void HttpClient::exhaust_deadline(const std::string& target) {
                         {"net", "HttpClient"}};
 }
 
-ClientResponse HttpClient::get(const std::string& target) {
+ClientResponse HttpClient::get(const std::string& target,
+                               const HeaderList& headers) {
     using SteadyClock = std::chrono::steady_clock;
     const RetryPolicy& rp = opt_.retry;
     if (rp.max_attempts == 1 && rp.deadline_ms == 0) {
-        return get_once(target);  // historical fail-fast path, zero overhead
+        return get_once(target, headers);  // historical fail-fast path
     }
     const bool budgeted = rp.deadline_ms > 0;
     const SteadyClock::time_point deadline =
@@ -159,7 +160,7 @@ ClientResponse HttpClient::get(const std::string& target) {
         const bool last = attempt >= rp.max_attempts;
         int wait_ms = 0;
         try {
-            ClientResponse resp = get_once(target);
+            ClientResponse resp = get_once(target, headers);
             if (resp.status != 503 || last) {
                 return resp;  // non-503 responses (incl. 4xx/5xx) are final
             }
@@ -190,14 +191,15 @@ ClientResponse HttpClient::get(const std::string& target) {
     }
 }
 
-ClientResponse HttpClient::get_once(const std::string& target) {
+ClientResponse HttpClient::get_once(const std::string& target,
+                                    const HeaderList& headers) {
     const bool reused = sock_.valid();
     if (!reused) {
         sock_ = connect_tcp(host_, port_, opt_.timeout_ms);
         carry_.clear();
     }
     try {
-        return roundtrip(target);
+        return roundtrip(target, headers);
     } catch (const IoError&) {
         if (!reused) {
             throw;
@@ -206,18 +208,22 @@ ClientResponse HttpClient::get_once(const std::string& target) {
         // requests.  Reconnect once and retry on a fresh socket.
         close();
         sock_ = connect_tcp(host_, port_, opt_.timeout_ms);
-        return roundtrip(target);
+        return roundtrip(target, headers);
     }
 }
 
-ClientResponse HttpClient::roundtrip(const std::string& target) {
+ClientResponse HttpClient::roundtrip(const std::string& target,
+                                     const HeaderList& headers) {
     if (target.empty() || target.front() != '/') {
         throw ConfigError{"request target must start with '/'",
                           {"net", "HttpClient"}};
     }
-    const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ +
-                                ":" + std::to_string(port_) +
-                                "\r\nConnection: keep-alive\r\n\r\n";
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host_ + ":" +
+                          std::to_string(port_) + "\r\nConnection: keep-alive\r\n";
+    for (const auto& [name, value] : headers) {
+        request += name + ": " + value + "\r\n";
+    }
+    request += "\r\n";
     if (!send_all(sock_, request.data(), request.size())) {
         close();
         fail("send failed for '" + target + "'");

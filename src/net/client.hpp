@@ -83,13 +83,17 @@ public:
     HttpClient(HttpClient&&) = default;
     HttpClient& operator=(HttpClient&&) = default;
 
+    /// Extra request headers, sent verbatim after Host/Connection (e.g.
+    /// {"If-None-Match", "\"...\""} for conditional tile GETs).
+    using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
     /// Issue one GET for `target` (e.g. "/v1/tile?tx=0&ty=1") and read the
     /// full response.  Reconnects a stale keep-alive connection once.
     /// Under a RetryPolicy, additionally retries IoError failures and 503
     /// responses with backoff until the attempts or the deadline budget run
     /// out — then rethrows the last IoError (or returns the last 503).
     /// Throws DeadlineError when the budget expires first.
-    ClientResponse get(const std::string& target);
+    ClientResponse get(const std::string& target, const HeaderList& headers = {});
 
     /// Drop the connection (the next get() reconnects).
     void close() noexcept;
@@ -100,8 +104,8 @@ public:
     std::uint16_t port() const noexcept { return port_; }
 
 private:
-    ClientResponse get_once(const std::string& target);
-    ClientResponse roundtrip(const std::string& target);
+    ClientResponse get_once(const std::string& target, const HeaderList& headers);
+    ClientResponse roundtrip(const std::string& target, const HeaderList& headers);
     [[noreturn]] void exhaust_deadline(const std::string& target);
 
     std::string host_;

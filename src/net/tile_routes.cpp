@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -34,6 +35,78 @@ std::int64_t int_param(const HttpRequest& req, const char* name) {
     return value;
 }
 
+/// Like int_param, but absent means `fallback`.
+std::int64_t int_param_or(const HttpRequest& req, const char* name,
+                          std::int64_t fallback) {
+    return req.query_param(name) == nullptr ? fallback : int_param(req, name);
+}
+
+/// Zoom query parameter (`z` by default): optional, bounded to the pyramid.
+std::int32_t zoom_param(const HttpRequest& req, const char* name) {
+    const std::int64_t z = int_param_or(req, name, 0);
+    if (z < 0 || z > kMaxZoom) {
+        throw HttpError{400, std::string("query parameter '") + name +
+                                 "' must be in [0, " + std::to_string(kMaxZoom) +
+                                 "]"};
+    }
+    return static_cast<std::int32_t>(z);
+}
+
+/// Wire body encodings (`q=` query parameter).
+enum class WireEncoding { kF32, kI16, kF64 };
+
+const char* encoding_name(WireEncoding enc) noexcept {
+    switch (enc) {
+        case WireEncoding::kI16:
+            return "i16";
+        case WireEncoding::kF64:
+            return "f64";
+        case WireEncoding::kF32:
+            break;
+    }
+    return "f32";
+}
+
+WireEncoding encoding_param(const HttpRequest& req) {
+    const std::string* raw = req.query_param("q");
+    if (raw == nullptr || *raw == "f32") {
+        return WireEncoding::kF32;
+    }
+    if (*raw == "i16") {
+        return WireEncoding::kI16;
+    }
+    if (*raw == "f64") {
+        return WireEncoding::kF64;
+    }
+    throw HttpError{400, "query parameter 'q' must be f32, i16, or f64 (got '" +
+                             *raw + "')"};
+}
+
+/// Does an If-None-Match header value cover `etag`?  Handles `*` and
+/// comma-separated lists; weak validators (W/ prefix) never match — tile
+/// ETags are strong, byte-exact promises.
+bool etag_matches(std::string_view header_value, std::string_view etag) {
+    std::size_t pos = 0;
+    while (pos < header_value.size()) {
+        std::size_t comma = header_value.find(',', pos);
+        if (comma == std::string_view::npos) {
+            comma = header_value.size();
+        }
+        std::string_view item = header_value.substr(pos, comma - pos);
+        while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+            item.remove_prefix(1);
+        }
+        while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+            item.remove_suffix(1);
+        }
+        if (item == "*" || item == etag) {
+            return true;
+        }
+        pos = comma + 1;
+    }
+    return false;
+}
+
 /// Shared routing state, captured by every handler.  Structurally immutable
 /// after make_tile_router; the breakers and the stale store are internally
 /// synchronized, so concurrent handlers share them freely.
@@ -47,6 +120,7 @@ struct RouteState {
     std::shared_ptr<TileCache> stale;
     obs::Counter* short_circuited = nullptr;  ///< net.breaker.short_circuited
     obs::Counter* stale_served = nullptr;     ///< net.stale_served
+    obs::Counter* not_modified = nullptr;     ///< net.not_modified (304 answers)
     obs::Gauge* ready = nullptr;              ///< net.ready (set by HttpServer)
 
     fault::CircuitBreaker* breaker_for(const std::string& scene) const {
@@ -77,8 +151,30 @@ struct RouteState {
 
 /// Wrap an encoded surface window into the binary wire response.
 HttpResponse surface_response(const Array2D<double>& a, const Rect& r,
-                              const std::string& scene, std::uint64_t fingerprint) {
-    HttpResponse resp = HttpResponse::octets(encode_tile_f32(a));
+                              const std::string& scene, std::uint64_t fingerprint,
+                              WireEncoding enc = WireEncoding::kF32) {
+    HttpResponse resp;
+    switch (enc) {
+        case WireEncoding::kI16: {
+            QuantizedTile q = encode_tile_i16(a);
+            resp = HttpResponse::octets(std::move(q.body));
+            // Shortest round-trippable decimal (max_digits10) so decoding
+            // reproduces the server's doubles exactly.
+            char num[64];
+            std::snprintf(num, sizeof(num), "%.17g", q.scale);
+            resp.extra_headers.emplace_back("X-RRS-Scale", num);
+            std::snprintf(num, sizeof(num), "%.17g", q.offset);
+            resp.extra_headers.emplace_back("X-RRS-Offset", num);
+            break;
+        }
+        case WireEncoding::kF64:
+            resp = HttpResponse::octets(encode_tile_f64(a));
+            break;
+        case WireEncoding::kF32:
+            resp = HttpResponse::octets(encode_tile_f32(a));
+            break;
+    }
+    resp.extra_headers.emplace_back("X-RRS-Encoding", encoding_name(enc));
     resp.extra_headers.emplace_back("X-RRS-Nx", std::to_string(r.nx));
     resp.extra_headers.emplace_back("X-RRS-Ny", std::to_string(r.ny));
     resp.extra_headers.emplace_back("X-RRS-X0", std::to_string(r.x0));
@@ -101,7 +197,7 @@ HttpResponse short_circuit_response(const fault::CircuitBreaker& breaker) {
 /// Returns an empty optional-like pair (bool found, response).
 bool try_stale(const RouteState& state, const TileAddress& address,
                const TileKey& key, const std::string& scene,
-               const TileService& service, HttpResponse& out) {
+               const TileService& service, WireEncoding enc, HttpResponse& out) {
     if (state.stale == nullptr) {
         return false;
     }
@@ -113,22 +209,57 @@ bool try_stale(const RouteState& state, const TileAddress& address,
         state.stale_served->add();
     }
     out = surface_response(*tile, tile_rect(service.shape(), key), scene,
-                           service.fingerprint());
+                           service.fingerprint(), enc);
     out.extra_headers.emplace_back("X-RRS-Stale", "1");
     return true;
 }
 
+/// 413 unless the base-lattice footprint behind `points` zoom-z samples
+/// fits the window cap — a cold zoom tile costs its whole footprint to
+/// derive, so it is admission-checked like the equivalent window.
+void check_footprint(std::uint64_t points, std::int32_t z, std::uint64_t cap) {
+    std::uint64_t footprint = points;
+    for (std::int32_t i = 0; i < z && footprint <= cap; ++i) {
+        footprint *= 4;
+    }
+    if (footprint > cap) {
+        throw HttpError{413, "zoom-" + std::to_string(z) +
+                                 " request covers more than the cap of " +
+                                 std::to_string(cap) + " base-lattice points"};
+    }
+}
+
 HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
     const auto [scene, service] = state.resolve(req);
-    const TileKey key{int_param(req, "tx"), int_param(req, "ty")};
+    const std::int32_t z = zoom_param(req, "z");
+    const TileKey key{int_param(req, "tx"), int_param(req, "ty"), z};
+    const WireEncoding enc = encoding_param(req);
+    const auto tile_points =
+        static_cast<std::uint64_t>(service->shape().nx * service->shape().ny);
+    check_footprint(tile_points, z, state.opt.max_window_points);
     const TileAddress address{service->fingerprint(), key};
+    // Conditional GET first: the ETag is a pure function of the address, so
+    // a match answers 304 without touching cache, store, or generator.
+    const std::string etag =
+        tile_etag(service->fingerprint(), key, encoding_name(enc));
+    if (const std::string* inm = req.header("if-none-match");
+        inm != nullptr && etag_matches(*inm, etag)) {
+        if (state.not_modified != nullptr) {
+            state.not_modified->add();
+        }
+        HttpResponse resp;
+        resp.status = 304;  // empty body; the validator rides in ETag
+        resp.extra_headers.emplace_back("ETag", etag);
+        return resp;
+    }
     fault::CircuitBreaker* breaker = state.breaker_for(*scene);
     HttpResponse stale;
     if (breaker != nullptr && !breaker->allow()) {
         if (state.short_circuited != nullptr) {
             state.short_circuited->add();
         }
-        if (try_stale(state, address, key, *scene, *service, stale)) {
+        if (try_stale(state, address, key, *scene, *service, enc, stale)) {
+            stale.extra_headers.emplace_back("ETag", etag);
             return stale;
         }
         return short_circuit_response(*breaker);
@@ -141,8 +272,10 @@ HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
         if (state.stale != nullptr) {
             state.stale->insert(address, tile);  // shares the payload, no copy
         }
-        return surface_response(*tile, tile_rect(service->shape(), key), *scene,
-                                service->fingerprint());
+        HttpResponse resp = surface_response(*tile, tile_rect(service->shape(), key),
+                                             *scene, service->fingerprint(), enc);
+        resp.extra_headers.emplace_back("ETag", etag);
+        return resp;
     } catch (const HttpError&) {
         // Request-shaped failure (bad key, ...): the generator is fine —
         // release the breaker slot as a success and let the 4xx through.
@@ -154,8 +287,87 @@ HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
         if (breaker != nullptr) {
             breaker->record_failure();
         }
-        if (try_stale(state, address, key, *scene, *service, stale)) {
-            return stale;  // degrade: stale beats a 500
+        if (try_stale(state, address, key, *scene, *service, enc, stale)) {
+            // Degrade: stale beats a 500.  Stale bytes for an address are
+            // the same bytes (tiles are pure), so the ETag still holds.
+            stale.extra_headers.emplace_back("ETag", etag);
+            return stale;
+        }
+        throw;
+    }
+}
+
+HttpResponse handle_pyramid(const RouteState& state, const HttpRequest& req) {
+    const auto [scene, service] = state.resolve(req);
+    const std::int32_t z = zoom_param(req, "z");
+    const std::int32_t min_z = zoom_param(req, "min_z");
+    if (min_z > z) {
+        throw HttpError{400, "min_z must not exceed z"};
+    }
+    const TileKey top{int_param(req, "tx"), int_param(req, "ty"), z};
+    const WireEncoding enc = encoding_param(req);
+    if (enc == WireEncoding::kI16) {
+        throw HttpError{400,
+                        "q=i16 is per-tile quantized and not available for "
+                        "pyramids; use f32 or f64"};
+    }
+    // Admission: total response points across all levels (which also bounds
+    // the base-footprint generation cost from above).
+    const auto tile_points =
+        static_cast<std::uint64_t>(service->shape().nx * service->shape().ny);
+    const auto cap = static_cast<std::uint64_t>(state.opt.max_window_points);
+    std::uint64_t total_points = 0;
+    std::uint64_t level_tiles = 1;
+    for (std::int32_t lvl = z; lvl >= min_z; --lvl) {
+        total_points += level_tiles * tile_points;
+        if (total_points > cap) {
+            throw HttpError{413, "pyramid of " + std::to_string(total_points) +
+                                     "+ points exceeds the cap of " +
+                                     std::to_string(cap) + " points"};
+        }
+        level_tiles *= 4;
+    }
+    fault::CircuitBreaker* breaker = state.breaker_for(*scene);
+    if (breaker != nullptr && !breaker->allow()) {
+        if (state.short_circuited != nullptr) {
+            state.short_circuited->add();
+        }
+        // No stale fallback — like windows, pyramids have no single
+        // last-known-good body.
+        return short_circuit_response(*breaker);
+    }
+    try {
+        const auto tiles = service->pyramid(top, min_z);
+        if (breaker != nullptr) {
+            breaker->record_success();
+        }
+        std::string body;
+        body.reserve(total_points * (enc == WireEncoding::kF64 ? 8 : 4));
+        for (const auto& [key, tile] : tiles) {
+            body += enc == WireEncoding::kF64 ? encode_tile_f64(*tile)
+                                              : encode_tile_f32(*tile);
+        }
+        HttpResponse resp = HttpResponse::octets(std::move(body));
+        resp.extra_headers.emplace_back("X-RRS-Encoding", encoding_name(enc));
+        resp.extra_headers.emplace_back("X-RRS-Nx",
+                                        std::to_string(service->shape().nx));
+        resp.extra_headers.emplace_back("X-RRS-Ny",
+                                        std::to_string(service->shape().ny));
+        resp.extra_headers.emplace_back("X-RRS-Zoom", std::to_string(z));
+        resp.extra_headers.emplace_back("X-RRS-MinZoom", std::to_string(min_z));
+        resp.extra_headers.emplace_back("X-RRS-Tiles", std::to_string(tiles.size()));
+        resp.extra_headers.emplace_back("X-RRS-Scene", *scene);
+        resp.extra_headers.emplace_back("X-RRS-Fingerprint",
+                                        std::to_string(service->fingerprint()));
+        return resp;
+    } catch (const HttpError&) {
+        if (breaker != nullptr) {
+            breaker->record_success();
+        }
+        throw;
+    } catch (const Error&) {
+        if (breaker != nullptr) {
+            breaker->record_failure();
         }
         throw;
     }
@@ -193,7 +405,8 @@ HttpResponse handle_window(const RouteState& state, const HttpRequest& req) {
         if (breaker != nullptr) {
             breaker->record_success();
         }
-        return surface_response(window, region, *scene, service->fingerprint());
+        return surface_response(window, region, *scene, service->fingerprint(),
+                                encoding_param(req));
     } catch (const HttpError&) {
         if (breaker != nullptr) {
             breaker->record_success();
@@ -222,7 +435,7 @@ HttpResponse handle_index(const RouteState& state) {
     }
     body +=
         "],\"endpoints\":[\"/\",\"/healthz\",\"/readyz\",\"/metrics\","
-        "\"/tracez\",\"/v1/tile\",\"/v1/window\"]}";
+        "\"/tracez\",\"/v1/tile\",\"/v1/window\",\"/v1/pyramid\"]}";
     return HttpResponse::json(200, std::move(body));
 }
 
@@ -270,6 +483,66 @@ std::string encode_tile_f32(const Array2D<double>& a) {
     return out;
 }
 
+std::string encode_tile_f64(const Array2D<double>& a) {
+    std::string out;
+    out.resize(a.size() * 8);
+    const double* src = a.data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(double));
+        std::memcpy(&bits, &src[i], sizeof(bits));
+        for (std::size_t b = 0; b < 8; ++b) {
+            out[i * 8 + b] = static_cast<char>((bits >> (8 * b)) & 0xffu);
+        }
+    }
+    return out;
+}
+
+QuantizedTile encode_tile_i16(const Array2D<double>& a) {
+    QuantizedTile out;
+    double lo = 0.0;
+    double hi = 0.0;
+    if (!a.empty()) {
+        lo = hi = a.data()[0];
+        for (std::size_t i = 1; i < a.size(); ++i) {
+            const double v = a.data()[i];
+            lo = v < lo ? v : lo;
+            hi = v > hi ? v : hi;
+        }
+    }
+    out.offset = 0.5 * (lo + hi);
+    const double half_range = 0.5 * (hi - lo);
+    out.scale = half_range > 0.0 ? half_range / 32767.0 : 1.0;
+    out.body.resize(a.size() * 2);
+    const double inv_scale = 1.0 / out.scale;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double q = (a.data()[i] - out.offset) * inv_scale;
+        q = q < -32767.0 ? -32767.0 : (q > 32767.0 ? 32767.0 : q);
+        const auto s = static_cast<std::int16_t>(q < 0.0 ? q - 0.5 : q + 0.5);
+        const auto bits = static_cast<std::uint16_t>(s);
+        out.body[i * 2 + 0] = static_cast<char>(bits & 0xffu);
+        out.body[i * 2 + 1] = static_cast<char>((bits >> 8) & 0xffu);
+    }
+    return out;
+}
+
+std::string tile_etag(std::uint64_t fingerprint, const TileKey& key,
+                      std::string_view encoding) {
+    // Fold the encoding name and zoom into the salt: same tile, different
+    // body bytes ⇒ different ETag, as HTTP strong validators require.
+    std::uint64_t salt = 0xE7A6u ^ (static_cast<std::uint64_t>(
+                                        static_cast<std::uint32_t>(key.z))
+                                    << 16);
+    for (const char c : encoding) {
+        salt = (salt << 8) ^ static_cast<unsigned char>(c);
+    }
+    const std::uint64_t h = hash_coords(fingerprint, key.tx, key.ty, salt);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+}
+
 Router make_tile_router(SceneServices scenes, obs::MetricsRegistry* registry,
                         TileRoutesOptions opt) {
     if (scenes.empty()) {
@@ -293,6 +566,7 @@ Router make_tile_router(SceneServices scenes, obs::MetricsRegistry* registry,
     st.opt = opt;
     st.short_circuited = &st.registry->counter("net.breaker.short_circuited");
     st.stale_served = &st.registry->counter("net.stale_served");
+    st.not_modified = &st.registry->counter("net.not_modified");
     st.ready = &st.registry->gauge("net.ready");
     if (opt.breaker_failures > 0) {
         obs::Counter& opened = st.registry->counter("net.breaker.opened");
@@ -332,6 +606,9 @@ Router make_tile_router(SceneServices scenes, obs::MetricsRegistry* registry,
     });
     router.add("/v1/window", [state](const HttpRequest& req) {
         return handle_window(*state, req);
+    });
+    router.add("/v1/pyramid", [state](const HttpRequest& req) {
+        return handle_pyramid(*state, req);
     });
     return router;
 }

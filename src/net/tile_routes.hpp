@@ -13,17 +13,36 @@
 ///                    open; 503 + Retry-After otherwise
 ///   GET /metrics     MetricsRegistry snapshot as JSON
 ///   GET /tracez      Chrome trace JSON (404 while tracing is disabled)
-///   GET /v1/tile?scene=NAME&tx=I&ty=J
-///                    one tile as little-endian float32, row-major;
-///                    dimensions ride in X-RRS-* response headers
-///   GET /v1/window?scene=NAME&x0=I&y0=J&nx=W&ny=H
+///   GET /v1/tile?scene=NAME&tx=I&ty=J[&z=Z][&q=f32|i16|f64]
+///                    one tile, row-major little-endian; dimensions ride in
+///                    X-RRS-* response headers.  `z` selects a zoom-pyramid
+///                    level (default 0 = base lattice); `q` the body
+///                    encoding — f32 (default), i16 (int16 quantized, the
+///                    dequantization scale/offset ride in X-RRS-Scale /
+///                    X-RRS-Offset), or f64 (bit-exact escape hatch)
+///   GET /v1/window?scene=NAME&x0=I&y0=J&nx=W&ny=H[&q=...]
 ///                    arbitrary lattice window, same wire format
+///   GET /v1/pyramid?scene=NAME&tx=I&ty=J&z=Z[&min_z=M][&q=f32|f64]
+///                    tile (tx,ty,z) plus every descendant down to zoom
+///                    `min_z` (default 0): concatenated tile bodies in
+///                    level order, top tile first, each parent's four
+///                    children row-major (i16 is rejected — quantization
+///                    parameters are per-tile).  X-RRS-Tiles counts them.
+///
+/// Conditional GETs (DESIGN.md §14): /v1/tile responses carry a strong ETag
+/// that is a pure function of (generator fingerprint, tile key, zoom,
+/// encoding) — tiles are deterministic, so the ETag never has to see the
+/// body.  A request whose If-None-Match matches is answered 304 (counted in
+/// `net.not_modified`) *before* any cache/store/generator work.
 ///
 /// `scene` may be omitted when exactly one scene is registered.  Parameter
 /// errors are HttpError(400), unknown scenes HttpError(404), and windows
 /// larger than `TileRoutesOptions::max_window_points` HttpError(413) — the
 /// window cap is the router-level admission control that keeps one request
-/// from monopolizing the generation pool.
+/// from monopolizing the generation pool.  Zoomed tiles are admission-
+/// checked against the same cap on their *base-lattice footprint*
+/// (nx·ny·4^z points is what a cold zoom-z tile costs to derive), and
+/// pyramids against their total response points.
 ///
 /// Resilience (DESIGN.md §13): each scene's /v1/tile generation sits behind
 /// a fault::CircuitBreaker (gauge `net.breaker.state.<scene>`, trip counter
@@ -36,9 +55,11 @@
 /// known" body to fall back to.
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "grid/array2d.hpp"
 #include "net/router.hpp"
@@ -81,5 +102,28 @@ Router make_tile_router(SceneServices scenes,
 /// headers).  Doubles are narrowed to float — the wire format trades
 /// precision for half the bytes, which tests account for when comparing.
 std::string encode_tile_f32(const Array2D<double>& a);
+
+/// Bit-exact escape hatch (`?q=f64`): row-major float64, little-endian —
+/// the full double lattice, byte-for-byte reproducible across restarts.
+std::string encode_tile_f64(const Array2D<double>& a);
+
+/// Quantized body (`?q=i16`) plus the affine decode parameters:
+/// value ≈ offset + scale·q with q the little-endian int16 samples.
+struct QuantizedTile {
+    std::string body;
+    double scale = 1.0;
+    double offset = 0.0;
+};
+
+/// Encode as int16 + scale/offset: offset = midrange, scale sized so the
+/// extremes land on ±32767 (scale 1, all-zero body for a constant tile).
+/// Quarter the bytes of f64 at ~4.6 digits of dynamic range — plenty for
+/// display pipelines, not for resuming computation (use f64 for that).
+QuantizedTile encode_tile_i16(const Array2D<double>& a);
+
+/// Strong ETag for a tile body: pure function of (generator fingerprint,
+/// key, zoom, encoding name) — quoted, as it appears on the wire.
+std::string tile_etag(std::uint64_t fingerprint, const TileKey& key,
+                      std::string_view encoding);
 
 }  // namespace rrs::net

@@ -25,6 +25,8 @@ void ServiceMetrics::fill_snapshot(MetricsSnapshot& out) const {
     out.generation_failures = generation_failures_.value();
     out.coalesced = coalesced_.value();
     out.batches = batches_.value();
+    out.l2_promotions = l2_promotions_.value();
+    out.l2_write_failures = l2_write_failures_.value();
 
     // The latency block reuses the shared obs quantile estimator (upper
     // bucket bound — conservative, never under-reports).
@@ -50,6 +52,8 @@ std::string MetricsSnapshot::to_json() const {
     append_field(out, "coalesced", coalesced, first);
     append_field(out, "batches", batches, first);
     append_field(out, "generation_failures", generation_failures, first);
+    append_field(out, "l2_promotions", l2_promotions, first);
+    append_field(out, "l2_write_failures", l2_write_failures, first);
     append_field(out, "cache_evictions", cache_evictions, first);
     append_field(out, "cache_bytes", cache_bytes, first);
     append_field(out, "cache_tiles", cache_tiles, first);

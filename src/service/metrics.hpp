@@ -11,10 +11,11 @@
 /// maintains (and tests assert):
 ///
 ///     requests  == cache_hits + cache_misses
-///     generations + coalesced == cache_misses
+///     generations + coalesced + l2_promotions == cache_misses
 ///
-/// i.e. every request either hits the cache, starts the one generation for
-/// its tile, or coalesces onto a generation already in flight.
+/// i.e. every request either hits the in-memory cache, coalesces onto a
+/// generation already in flight, promotes the tile from the persistent L2
+/// store (tile_store.hpp), or starts the one generation for its tile.
 ///
 /// Each service keeps its own ServiceMetrics instance (per-service JSON
 /// stays self-consistent); the service additionally mirrors its events into
@@ -68,6 +69,8 @@ struct MetricsSnapshot {
     std::uint64_t coalesced = 0;  ///< requests that joined an in-flight generation
     std::uint64_t batches = 0;    ///< get_many / window calls
     std::uint64_t generation_failures = 0;
+    std::uint64_t l2_promotions = 0;      ///< misses served from the persistent store
+    std::uint64_t l2_write_failures = 0;  ///< store writes swallowed (tile still served)
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_bytes = 0;
     std::uint64_t cache_tiles = 0;
@@ -95,6 +98,8 @@ public:
     void record_generation_failure() noexcept { generation_failures_.add(); }
     void record_coalesced() noexcept { coalesced_.add(); }
     void record_batch() noexcept { batches_.add(); }
+    void record_l2_promotion() noexcept { l2_promotions_.add(); }
+    void record_l2_write_failure() noexcept { l2_write_failures_.add(); }
     void record_latency_us(std::uint64_t micros) noexcept { latency_.record(micros); }
 
     /// Copy the counters into `out` (cache fields are left untouched — the
@@ -109,6 +114,8 @@ private:
     obs::Counter generation_failures_;
     obs::Counter coalesced_;
     obs::Counter batches_;
+    obs::Counter l2_promotions_;
+    obs::Counter l2_write_failures_;
     LatencyHistogram latency_;
 };
 

@@ -26,6 +26,9 @@ TileCache::TileCache(std::size_t byte_budget, std::size_t shards)
     shard_mask_ = n - 1;
     shard_budget_ = byte_budget / n;
     shards_ = std::vector<Shard>(n);
+    for (Shard& s : shards_) {
+        s.budget.set_budget(shard_budget_);
+    }
 }
 
 TilePtr TileCache::find(const TileAddress& address) {
@@ -52,27 +55,30 @@ void TileCache::insert(const TileAddress& address, TilePtr tile) {
     if (it != s.index.end()) {
         // Replace in place (same address ⇒ bit-identical payload in normal
         // operation, but replacing keeps the cache correct regardless).
-        s.bytes -= it->second->bytes;
+        s.budget.release(it->second->bytes);
         it->second->tile = std::move(tile);
         it->second->bytes = bytes;
-        s.bytes += bytes;
+        s.budget.charge(bytes);
         s.lru.splice(s.lru.begin(), s.lru, it->second);
     } else {
         s.lru.push_front(Entry{address, std::move(tile), bytes});
         s.index.emplace(address, s.lru.begin());
-        s.bytes += bytes;
+        s.budget.charge(bytes);
         ++s.insertions;
     }
     // Evict from the cold end until this shard fits its budget share.  The
     // just-inserted entry sits at the hot end, but is itself evicted when it
     // alone exceeds the shard budget — the budget is a hard bound.
-    while (s.bytes > shard_budget_ && !s.lru.empty()) {
+    s.evictions += s.budget.evict_until_fit([&]() -> std::size_t {
+        if (s.lru.empty()) {
+            return 0;
+        }
         const Entry& victim = s.lru.back();
-        s.bytes -= victim.bytes;
+        const std::size_t freed = victim.bytes;
         s.index.erase(victim.address);
         s.lru.pop_back();
-        ++s.evictions;
-    }
+        return freed;
+    });
 }
 
 void TileCache::clear() {
@@ -80,7 +86,7 @@ void TileCache::clear() {
         std::lock_guard lock(s.mutex);
         s.lru.clear();
         s.index.clear();
-        s.bytes = 0;
+        s.budget.reset();
     }
 }
 
@@ -92,7 +98,7 @@ TileCache::Stats TileCache::stats() const {
         out.misses += s.misses;
         out.insertions += s.insertions;
         out.evictions += s.evictions;
-        out.bytes += s.bytes;
+        out.bytes += s.budget.used();
         out.tiles += s.lru.size();
     }
     return out;

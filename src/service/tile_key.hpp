@@ -13,8 +13,23 @@
 /// Addressing convention: tile (tx, ty) covers the half-open lattice window
 /// [tx·nx, (tx+1)·nx) × [ty·ny, (ty+1)·ny).  Tile indices may be negative —
 /// the lattice is unbounded in every direction.
+///
+/// Zoom pyramid (DESIGN.md §14): every key also carries a zoom level z ≥ 0.
+/// Zoom 0 is the base lattice; a zoom-z tile holds the same nx×ny sample
+/// count but each sample strides 2^z base-lattice points, so tile (tx,ty,z)
+/// covers the base window [tx·nx·2^z, (tx+1)·nx·2^z) × [...·2^z).  Because
+/// the surface is already band-limited by its correlation kernel (spectrum
+/// ∝ exp(−K²·cl²/4) is negligible beyond the coarse Nyquist whenever
+/// cl ≳ a few lattice spacings), plain decimation IS band-limited
+/// decimation: a zoom-z tile is statistically indistinguishable from a
+/// surface generated directly on a grid with spacing 2^z·dx (tier-2
+/// acceptance test), and bit-identical to decimating the base lattice —
+/// which is what lets parents be derived from their four children instead
+/// of regenerated (tile_service.cpp).
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/validate.hpp"
@@ -37,20 +52,76 @@ inline void check_tile_shape(const TileShape& s) {
     check_positive_count(s.ny, "tile ny", {"TileShape"});
 }
 
-/// Integer address of one tile of the unbounded lattice.
+/// Zoom levels above this are rejected: a single tile would then stride
+/// more than 2^24 base points per sample — far past any plausible viewport
+/// and close to where footprint arithmetic could overflow for large keys.
+inline constexpr std::int32_t kMaxZoom = 24;
+
+/// Integer address of one tile of the unbounded lattice at zoom level `z`
+/// (0 = base lattice; each level up halves the sampling rate).
 struct TileKey {
     std::int64_t tx = 0;
     std::int64_t ty = 0;
+    std::int32_t z = 0;
 
     friend bool operator==(const TileKey&, const TileKey&) = default;
     friend bool operator<(const TileKey& a, const TileKey& b) noexcept {
+        if (a.z != b.z) {
+            return a.z < b.z;
+        }
         return a.ty != b.ty ? a.ty < b.ty : a.tx < b.tx;
     }
 };
 
-/// Output window of tile `key`: [tx·nx, (tx+1)·nx) × [ty·ny, (ty+1)·ny).
+/// Throws ConfigError unless 0 ≤ z ≤ kMaxZoom.
+inline void check_zoom(std::int32_t z) {
+    if (z < 0 || z > kMaxZoom) {
+        throw ConfigError{"zoom must be in [0, " + std::to_string(kMaxZoom) +
+                              "] (got " + std::to_string(z) + ")",
+                          {"TileKey"}};
+    }
+}
+
+/// Base-lattice points one zoom-z sample strides (2^z).
+inline std::int64_t zoom_stride(std::int32_t z) {
+    check_zoom(z);
+    return std::int64_t{1} << z;
+}
+
+/// Output window of tile `key` on its own zoom lattice:
+/// [tx·nx, (tx+1)·nx) × [ty·ny, (ty+1)·ny) — zoom-z lattice units (one unit
+/// = 2^z base points).  At z = 0 this is the base-lattice window.
 inline Rect tile_rect(const TileShape& shape, const TileKey& key) noexcept {
     return Rect{key.tx * shape.nx, key.ty * shape.ny, shape.nx, shape.ny};
+}
+
+/// Base-lattice footprint of a zoom-z tile: origin tx·nx·2^z, extent nx·2^z.
+/// Sample (i, j) of the tile is base-lattice point
+/// (rect.x0 + i·2^z, rect.y0 + j·2^z).
+inline Rect tile_base_rect(const TileShape& shape, const TileKey& key) {
+    const std::int64_t s = zoom_stride(key.z);
+    return Rect{key.tx * shape.nx * s, key.ty * shape.ny * s, shape.nx * s,
+                shape.ny * s};
+}
+
+/// The zoom-(z+1) tile whose footprint contains this tile.
+inline TileKey tile_parent(const TileKey& key) {
+    check_zoom(key.z + 1);
+    // floor toward −∞ so negative tile indices nest correctly.
+    const auto half = [](std::int64_t t) { return t >= 0 ? t / 2 : (t - 1) / 2; };
+    return TileKey{half(key.tx), half(key.ty), key.z + 1};
+}
+
+/// The four zoom-(z−1) tiles tiling this tile's footprint, row-major
+/// ((0,0), (1,0), (0,1), (1,1) child offsets).  Requires key.z ≥ 1.
+inline std::array<TileKey, 4> tile_children(const TileKey& key) {
+    if (key.z < 1) {
+        throw ConfigError{"zoom-0 tiles have no children", {"TileKey"}};
+    }
+    return {TileKey{2 * key.tx, 2 * key.ty, key.z - 1},
+            TileKey{2 * key.tx + 1, 2 * key.ty, key.z - 1},
+            TileKey{2 * key.tx, 2 * key.ty + 1, key.z - 1},
+            TileKey{2 * key.tx + 1, 2 * key.ty + 1, key.z - 1}};
 }
 
 /// Tile window grown by the kernel halo (`dilate`): the noise footprint a
@@ -103,11 +174,15 @@ struct TileAddress {
 };
 
 /// Avalanche hash of a TileAddress (reuses the lattice coordinate hash with
-/// the fingerprint as the seed — uniform across tx/ty/fingerprint bits).
+/// the fingerprint as the seed — uniform across tx/ty/z/fingerprint bits;
+/// the zoom level rides in the salt so pyramid levels never collide).
 struct TileAddressHash {
     std::size_t operator()(const TileAddress& a) const noexcept {
+        const auto salt =
+            0x7115u ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.key.z))
+                       << 16);
         return static_cast<std::size_t>(
-            hash_coords(a.fingerprint, a.key.tx, a.key.ty, /*salt=*/0x7115u));
+            hash_coords(a.fingerprint, a.key.tx, a.key.ty, salt));
     }
 };
 

@@ -22,6 +22,8 @@ struct GlobalTileCounters {
     obs::Counter& misses;
     obs::Counter& coalesced;
     obs::Counter& generations;
+    obs::Counter& l2_promotions;
+    obs::Counter& l2_write_failures;
 
     static GlobalTileCounters& get() {
         static GlobalTileCounters c{
@@ -29,7 +31,9 @@ struct GlobalTileCounters {
             obs::MetricsRegistry::global().counter("service.tile.hits"),
             obs::MetricsRegistry::global().counter("service.tile.misses"),
             obs::MetricsRegistry::global().counter("service.tile.coalesced"),
-            obs::MetricsRegistry::global().counter("service.tile.generations")};
+            obs::MetricsRegistry::global().counter("service.tile.generations"),
+            obs::MetricsRegistry::global().counter("store.l2.promotions"),
+            obs::MetricsRegistry::global().counter("store.l2.write_failures")};
         return c;
     }
 };
@@ -71,6 +75,13 @@ TileService::TileService(std::function<Array2D<double>(const Rect&)> generate,
 }
 
 TilePtr TileService::get(const TileKey& key) {
+    check_zoom(key.z);
+    if (key.z > 0 && (opt_.shape.nx % 2 != 0 || opt_.shape.ny % 2 != 0)) {
+        // Derivation maps parent sample px to child sample 2·px − cx·nx,
+        // which tiles exactly only when the shape halves evenly.
+        throw ConfigError{"zoomed tiles require an even tile shape",
+                          {"service", "TileService"}};
+    }
     const auto t0 = clock_type::now();
     metrics_.record_request();
     GlobalTileCounters::get().requests.add();
@@ -107,16 +118,40 @@ TilePtr TileService::generate_or_join(const TileKey& key) {
         }
     }
     if (leader) {
-        metrics_.record_generation();
-        GlobalTileCounters::get().generations.add();
         try {
-            RRS_TRACE_SPAN("tile.generate");
-            if (fault::inject("tile.generate")) {
-                throw NumericError{"injected generation fault",
-                                   {"fault", "tile.generate"}};
+            // L2 first: a promotion serves the stored bytes without a
+            // generation (and without counting one).  An L2 miss — or any
+            // injected/real read degradation inside find() — falls through
+            // to generation.
+            TilePtr tile;
+            if (opt_.store) {
+                if (store::TileStore::TilePayload stored = opt_.store->find(address)) {
+                    tile = std::move(stored);
+                    metrics_.record_l2_promotion();
+                    GlobalTileCounters::get().l2_promotions.add();
+                }
             }
-            TilePtr tile = std::make_shared<const Array2D<double>>(
-                generate_(tile_rect(opt_.shape, key)));
+            if (!tile) {
+                metrics_.record_generation();
+                GlobalTileCounters::get().generations.add();
+                RRS_TRACE_SPAN("tile.generate");
+                if (fault::inject("tile.generate")) {
+                    throw NumericError{"injected generation fault",
+                                       {"fault", "tile.generate"}};
+                }
+                tile = std::make_shared<const Array2D<double>>(generate_tile(key));
+                if (opt_.store) {
+                    // Write-through; persistence failures are swallowed —
+                    // the tile is still served, the store stays an
+                    // optimisation (counted for observability).
+                    try {
+                        opt_.store->insert(address, *tile);
+                    } catch (const Error&) {
+                        metrics_.record_l2_write_failure();
+                        GlobalTileCounters::get().l2_write_failures.add();
+                    }
+                }
+            }
             // Publish to the cache BEFORE retiring the in-flight entry, so a
             // request arriving between the two always finds one or the other
             // (never generates a duplicate).  An injected cache_fill fault
@@ -140,6 +175,76 @@ TilePtr TileService::generate_or_join(const TileKey& key) {
         }
     }
     return future.get();  // rethrows the leader's exception for every waiter
+}
+
+Array2D<double> TileService::generate_tile(const TileKey& key) {
+    if (key.z == 0) {
+        return generate_(tile_rect(opt_.shape, key));
+    }
+    // Derive from the four z−1 children (decimation by 2 of the assembled
+    // child block).  get() runs on the calling thread — no pool submission —
+    // so recursion to the base lattice cannot deadlock a saturated pool, and
+    // every intermediate level lands in the cache (and store) on the way up.
+    const std::array<TileKey, 4> child_keys = tile_children(key);
+    std::array<TilePtr, 4> children;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        children[i] = get(child_keys[i]);
+    }
+    const auto nx = static_cast<std::size_t>(opt_.shape.nx);
+    const auto ny = static_cast<std::size_t>(opt_.shape.ny);
+    Array2D<double> out(nx, ny);
+    for (std::size_t py = 0; py < ny; ++py) {
+        const std::size_t cy = py < ny / 2 ? 0 : 1;
+        const std::size_t jy = 2 * py - cy * ny;
+        for (std::size_t px = 0; px < nx; ++px) {
+            const std::size_t cx = px < nx / 2 ? 0 : 1;
+            const std::size_t jx = 2 * px - cx * nx;
+            // Parent sample (px, py) IS child (cx, cy) sample (2px−cx·nx,
+            // 2py−cy·ny): both name base-lattice point ((tx·nx+px)·2^z, ...).
+            out(px, py) = (*children[cx + 2 * cy])(jx, jy);
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<TileKey, TilePtr>> TileService::pyramid(const TileKey& top,
+                                                              std::int32_t min_z) {
+    check_zoom(top.z);
+    check_zoom(min_z);
+    if (min_z > top.z) {
+        throw ConfigError{"pyramid min_z must not exceed the top tile's zoom",
+                          {"service", "TileService"}};
+    }
+    std::vector<std::vector<TileKey>> levels;
+    levels.push_back({top});
+    for (std::int32_t z = top.z; z > min_z; --z) {
+        std::vector<TileKey> next;
+        next.reserve(levels.back().size() * 4);
+        for (const TileKey& key : levels.back()) {
+            for (const TileKey& child : tile_children(key)) {
+                next.push_back(child);
+            }
+        }
+        levels.push_back(std::move(next));
+    }
+    // Fetch finest-first: the base level fans out across the pool (the
+    // expensive part), then each coarser level derives from warm children.
+    std::vector<std::vector<TilePtr>> tiles(levels.size());
+    for (std::size_t lvl = levels.size(); lvl-- > 0;) {
+        tiles[lvl] = get_many(levels[lvl]);
+    }
+    std::vector<std::pair<TileKey, TilePtr>> out;
+    std::size_t total = 0;
+    for (const auto& level : levels) {
+        total += level.size();
+    }
+    out.reserve(total);
+    for (std::size_t lvl = 0; lvl < levels.size(); ++lvl) {
+        for (std::size_t i = 0; i < levels[lvl].size(); ++i) {
+            out.emplace_back(levels[lvl][i], tiles[lvl][i]);
+        }
+    }
+    return out;
 }
 
 std::vector<TilePtr> TileService::get_many(const std::vector<TileKey>& keys) {

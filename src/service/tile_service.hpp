@@ -24,6 +24,21 @@
 /// generator without a fingerprint gets a unique private id, so its entries
 /// can never alias another generator's.
 ///
+/// Zoom pyramid (tile_key.hpp, DESIGN.md §14): keys with z > 0 are served by
+/// *deriving* the tile from its four z−1 children — decimation by 2 of the
+/// assembled child block — recursively down to the base lattice, caching
+/// every intermediate level.  Derivation is bit-exact: a zoom-z sample IS
+/// base-lattice sample ((tx·nx+i)·2^z, (ty·ny+j)·2^z), so a zoom tile is
+/// reproducible from any mix of cached, stored, and fresh children.  Zoomed
+/// requests require an even tile shape.
+///
+/// Tiered store: when Options::store is set, a cache miss consults the
+/// persistent L2 TileStore before generating (an L2 hit is *promoted* into
+/// the in-memory cache — counted, never regenerated), and every fresh
+/// generation is written through to the store.  Store write failures are
+/// swallowed (counted): persistence is an optimisation, not a correctness
+/// dependency.
+///
 /// Thread-safety contract: `get`, `get_many`, `window`, and `metrics` may be
 /// called concurrently.  The wrapped generator's `generate(Rect) const` must
 /// itself be safe for concurrent calls (true for ConvolutionGenerator and
@@ -47,6 +62,7 @@
 #include "service/metrics.hpp"
 #include "service/tile_cache.hpp"
 #include "service/tile_key.hpp"
+#include "store/tile_store.hpp"
 
 namespace rrs {
 
@@ -61,6 +77,10 @@ public:
         std::size_t cache_shards = 16;
         /// Pool for batch fan-out; nullptr = ThreadPool::shared().
         ThreadPool* pool = nullptr;
+        /// Persistent L2 tile store under the in-memory cache; may be shared
+        /// across services (addresses carry the fingerprint).  nullptr = no
+        /// persistence tier.
+        std::shared_ptr<store::TileStore> store = nullptr;
     };
 
     /// Wrap `gen` (any type with `Array2D<double> generate(const Rect&) const`).
@@ -99,8 +119,9 @@ public:
     TileService(const TileService&) = delete;
     TileService& operator=(const TileService&) = delete;
 
-    /// Serve one tile: cache hit, join of an in-flight generation, or a
-    /// fresh generation.  Never returns null; rethrows generation failures.
+    /// Serve one tile: cache hit, join of an in-flight generation, an L2
+    /// promotion, or a fresh generation (zoom tiles derive from children —
+    /// file comment).  Never returns null; rethrows generation failures.
     TilePtr get(const TileKey& key);
 
     /// Serve a batch, fanning cold tiles out across the pool.  Results align
@@ -116,16 +137,32 @@ public:
     /// tile or metric; negative extents throw ConfigError.
     Array2D<double> window(const Rect& region);
 
+    /// Serve tile `top` plus every descendant down to zoom `min_z`, level
+    /// order (top first; within a level, each parent's four children
+    /// row-major in the parents' order).  The finest level is fetched first
+    /// with batch fan-out, so coarser levels derive from warm children.
+    /// Throws ConfigError when min_z > top.z.
+    std::vector<std::pair<TileKey, TilePtr>> pyramid(const TileKey& top,
+                                                     std::int32_t min_z = 0);
+
     /// Point-in-time counters (service + its cache view).
     MetricsSnapshot metrics() const;
 
     const TileShape& shape() const noexcept { return opt_.shape; }
     std::uint64_t fingerprint() const noexcept { return fingerprint_; }
     const std::shared_ptr<TileCache>& cache() const noexcept { return cache_; }
+    const std::shared_ptr<store::TileStore>& store() const noexcept {
+        return opt_.store;
+    }
 
 private:
-    /// Miss path: lead a new generation or park on the in-flight one.
+    /// Miss path: lead a new L2 lookup/generation or park on the in-flight
+    /// one.
     TilePtr generate_or_join(const TileKey& key);
+
+    /// Produce the payload for `key`: base tiles call the generator; zoom
+    /// tiles recurse through get() on their children and decimate.
+    Array2D<double> generate_tile(const TileKey& key);
 
     ThreadPool& pool() const noexcept {
         return opt_.pool != nullptr ? *opt_.pool : ThreadPool::shared();

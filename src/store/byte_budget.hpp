@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file byte_budget.hpp
+/// Shared bounded-byte-budget eviction policy.
+///
+/// Three tile holders cap their payload bytes the same way — the sharded
+/// in-memory LRU (service/tile_cache.cpp), the stale-tile degradation store
+/// (net/tile_routes.cpp, via TileCache), and the persistent L2 segment file
+/// (store/tile_store.cpp).  This header is the one implementation of the
+/// policy they share: charge what you admit, then evict victims until the
+/// holder fits the budget again.  The holder supplies victim selection
+/// (LRU tail, FIFO head, ...); the budget supplies the stopping rule, so
+/// "never exceed the budget after an insert" is enforced in exactly one
+/// place.
+///
+/// Not thread-safe by itself — each holder guards its ByteBudget with the
+/// same lock that guards its container (TileCache: the shard mutex;
+/// TileStore: the store mutex).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace rrs::store {
+
+/// Byte ledger with a hard upper bound; see file comment.
+class ByteBudget {
+public:
+    explicit ByteBudget(std::size_t budget = 0) noexcept : budget_(budget) {}
+
+    /// Replace the bound (existing charges are kept; call evict_until_fit
+    /// afterwards if the bound shrank).
+    void set_budget(std::size_t budget) noexcept { budget_ = budget; }
+
+    void charge(std::size_t bytes) noexcept { used_ += bytes; }
+    void release(std::size_t bytes) noexcept {
+        used_ = bytes > used_ ? 0 : used_ - bytes;
+    }
+    void reset() noexcept { used_ = 0; }
+
+    bool over() const noexcept { return used_ > budget_; }
+    std::size_t used() const noexcept { return used_; }
+    std::size_t budget() const noexcept { return budget_; }
+
+    /// Evict until the ledger fits the budget.  `evict_one` removes the
+    /// holder's next victim and returns the payload bytes it freed — or 0
+    /// when nothing more is evictable, which stops the loop (so a single
+    /// oversized entry can still be dropped by its holder afterwards, or
+    /// retained deliberately).  Returns the number of victims evicted.
+    template <typename EvictOne>
+    std::uint64_t evict_until_fit(EvictOne&& evict_one) {
+        std::uint64_t evicted = 0;
+        while (over()) {
+            const std::size_t freed = evict_one();
+            if (freed == 0) {
+                break;
+            }
+            release(freed);
+            ++evicted;
+        }
+        return evicted;
+    }
+
+private:
+    std::size_t budget_ = 0;
+    std::size_t used_ = 0;
+};
+
+}  // namespace rrs::store

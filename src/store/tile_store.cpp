@@ -1,0 +1,554 @@
+#include "store/tile_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "fault/inject.hpp"
+#include "obs/metrics.hpp"
+
+namespace rrs::store {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'R', 'R', 'S', 'S', 'T', 'O', 'R', '1'};
+constexpr std::uint32_t kFileVersion = 1;
+constexpr std::uint64_t kFileHeaderSize = 32;
+
+constexpr std::uint32_t kRecordMagic = 0x31545252u;  // "RRT1" little-endian
+constexpr std::uint64_t kRecordHeaderSize = 72;
+
+// Sanity bound on per-axis tile extent in a record header; anything larger
+// is treated as corruption rather than trusted as an allocation size.
+constexpr std::uint32_t kMaxRecordExtent = 1u << 20;
+
+std::uint64_t fnv1a(const unsigned char* p, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+template <typename T>
+void put(unsigned char* buf, std::size_t off, T v) noexcept {
+    std::memcpy(buf + off, &v, sizeof(T));
+}
+
+template <typename T>
+T get(const unsigned char* buf, std::size_t off) noexcept {
+    T v;
+    std::memcpy(&v, buf + off, sizeof(T));
+    return v;
+}
+
+/// Record header byte layout (offsets within the 72-byte header).
+/// Header hash covers bytes [0, 64).
+enum RecordOffset : std::size_t {
+    kOffMagic = 0,          // u32
+    kOffReserved = 4,       // u32, zero
+    kOffFingerprint = 8,    // u64
+    kOffTx = 16,            // i64
+    kOffTy = 24,            // i64
+    kOffZ = 32,             // i32
+    kOffNx = 36,            // u32
+    kOffNy = 40,            // u32
+    kOffReserved2 = 44,     // u32, zero
+    kOffPayloadBytes = 48,  // u64
+    kOffPayloadHash = 56,   // u64
+    kOffHeaderHash = 64,    // u64
+};
+
+void fill_record_header(unsigned char* h, const TileAddress& a, std::uint32_t nx,
+                        std::uint32_t ny, std::uint64_t payload_bytes,
+                        std::uint64_t payload_hash) noexcept {
+    put<std::uint32_t>(h, kOffMagic, kRecordMagic);
+    put<std::uint32_t>(h, kOffReserved, 0);
+    put<std::uint64_t>(h, kOffFingerprint, a.fingerprint);
+    put<std::int64_t>(h, kOffTx, a.key.tx);
+    put<std::int64_t>(h, kOffTy, a.key.ty);
+    put<std::int32_t>(h, kOffZ, a.key.z);
+    put<std::uint32_t>(h, kOffNx, nx);
+    put<std::uint32_t>(h, kOffNy, ny);
+    put<std::uint32_t>(h, kOffReserved2, 0);
+    put<std::uint64_t>(h, kOffPayloadBytes, payload_bytes);
+    put<std::uint64_t>(h, kOffPayloadHash, payload_hash);
+    put<std::uint64_t>(h, kOffHeaderHash, fnv1a(h, kOffHeaderHash));
+}
+
+/// Parsed view of one record header; valid() covers everything the recovery
+/// scan and the read path must agree on before trusting the payload bounds.
+struct RecordHeader {
+    TileAddress address;
+    std::uint32_t nx = 0;
+    std::uint32_t ny = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t payload_hash = 0;
+    bool valid = false;
+};
+
+RecordHeader parse_record_header(const unsigned char* h) noexcept {
+    RecordHeader r;
+    if (get<std::uint32_t>(h, kOffMagic) != kRecordMagic) {
+        return r;
+    }
+    if (get<std::uint64_t>(h, kOffHeaderHash) != fnv1a(h, kOffHeaderHash)) {
+        return r;
+    }
+    r.address.fingerprint = get<std::uint64_t>(h, kOffFingerprint);
+    r.address.key.tx = get<std::int64_t>(h, kOffTx);
+    r.address.key.ty = get<std::int64_t>(h, kOffTy);
+    r.address.key.z = get<std::int32_t>(h, kOffZ);
+    r.nx = get<std::uint32_t>(h, kOffNx);
+    r.ny = get<std::uint32_t>(h, kOffNy);
+    r.payload_bytes = get<std::uint64_t>(h, kOffPayloadBytes);
+    r.payload_hash = get<std::uint64_t>(h, kOffPayloadHash);
+    if (r.address.key.z < 0 || r.address.key.z > kMaxZoom) {
+        return r;
+    }
+    if (r.nx == 0 || r.ny == 0 || r.nx > kMaxRecordExtent || r.ny > kMaxRecordExtent) {
+        return r;
+    }
+    if (r.payload_bytes !=
+        std::uint64_t{r.nx} * std::uint64_t{r.ny} * sizeof(double)) {
+        return r;
+    }
+    r.valid = true;
+    return r;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+    throw StoreError{what + " '" + path + "': " + std::strerror(errno),
+                     {"store", "tile_store"}};
+}
+
+/// pwrite the whole buffer, retrying partial writes and EINTR.
+void write_all(int fd, const unsigned char* buf, std::size_t len, std::uint64_t off,
+               const std::string& path) {
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n =
+            ::pwrite(fd, buf + done, len - done, static_cast<off_t>(off + done));
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw_errno("pwrite failed on", path);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/// pread exactly `len` bytes; returns false on EOF-short reads (treated as
+/// corruption by callers, not as an error).
+bool read_exact(int fd, unsigned char* buf, std::size_t len, std::uint64_t off) {
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n =
+            ::pread(fd, buf + done, len - done, static_cast<off_t>(off + done));
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        if (n == 0) {
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+TileStore::TileStore(std::string path, TileStoreOptions opt)
+    : path_(std::move(path)), opt_(opt), live_(opt.byte_budget) {
+    if (opt_.byte_budget == 0) {
+        throw ConfigError{"TileStore byte_budget must be positive", {"store"}};
+    }
+    if (opt_.compact_dead_fraction < 0.0 || opt_.compact_dead_fraction > 1.0) {
+        throw ConfigError{"TileStore compact_dead_fraction must be in [0, 1]",
+                          {"store"}};
+    }
+    auto& reg = obs::MetricsRegistry::global();
+    reg_.hits = &reg.counter("store.l2.hits");
+    reg_.misses = &reg.counter("store.l2.misses");
+    reg_.appends = &reg.counter("store.l2.appends");
+    reg_.evictions = &reg.counter("store.l2.evictions");
+    reg_.compactions = &reg.counter("store.l2.compactions");
+    reg_.corrupt = &reg.counter("store.l2.corrupt");
+    reg_.read_faults = &reg.counter("store.l2.read_faults");
+    reg_.tail_truncated = &reg.counter("store.l2.tail_truncated_bytes");
+    reg_.resets = &reg.counter("store.l2.resets");
+    reg_.bytes = &reg.gauge("store.l2.bytes");
+    reg_.file_bytes = &reg.gauge("store.l2.file_bytes");
+    reg_.tiles = &reg.gauge("store.l2.tiles");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_or_reset_locked();
+    recover_scan_locked();
+    enforce_budget_locked();
+    maybe_compact_locked();
+    update_gauges_locked();
+}
+
+TileStore::~TileStore() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (map_ != nullptr) {
+        ::munmap(map_, map_len_);
+        map_ = nullptr;
+    }
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void TileStore::open_or_reset_locked() {
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        throw_errno("cannot open tile store", path_);
+    }
+    const std::uint64_t size = file_size_locked();
+    if (size == 0) {
+        reset_file_locked();  // fresh store, not a reset event
+        return;
+    }
+    unsigned char header[kFileHeaderSize] = {};
+    bool ok = size >= kFileHeaderSize && read_exact(fd_, header, kFileHeaderSize, 0);
+    ok = ok && std::memcmp(header, kFileMagic, sizeof(kFileMagic)) == 0 &&
+         get<std::uint32_t>(header, 8) == kFileVersion;
+    if (!ok) {
+        // Foreign file, torn header, or a future format: the contents are a
+        // regenerable cache, so discard rather than fail (file comment).
+        ++counters_.resets;
+        reg_.resets->add();
+        reset_file_locked();
+    }
+}
+
+void TileStore::reset_file_locked() {
+    if (::ftruncate(fd_, 0) != 0) {
+        throw_errno("cannot truncate tile store", path_);
+    }
+    unsigned char header[kFileHeaderSize] = {};
+    std::memcpy(header, kFileMagic, sizeof(kFileMagic));
+    put<std::uint32_t>(header, 8, kFileVersion);
+    write_all(fd_, header, kFileHeaderSize, 0, path_);
+    end_ = kFileHeaderSize;
+    index_.clear();
+    fifo_.clear();
+    live_.reset();
+    dead_bytes_ = 0;
+}
+
+void TileStore::recover_scan_locked() {
+    const std::uint64_t size = file_size_locked();
+    if (end_ == 0) {
+        end_ = kFileHeaderSize;
+    }
+    std::uint64_t off = kFileHeaderSize;
+    unsigned char hbuf[kRecordHeaderSize];
+    while (off + kRecordHeaderSize <= size) {
+        if (!read_exact(fd_, hbuf, kRecordHeaderSize, off)) {
+            break;
+        }
+        const RecordHeader r = parse_record_header(hbuf);
+        if (!r.valid || off + kRecordHeaderSize + r.payload_bytes > size) {
+            break;  // torn tail starts here
+        }
+        retire_existing_locked(r.address);
+        index_[r.address] =
+            IndexEntry{off, r.nx, r.ny, r.payload_bytes};
+        fifo_.emplace_back(r.address, off);
+        live_.charge(static_cast<std::size_t>(r.payload_bytes));
+        off += kRecordHeaderSize + r.payload_bytes;
+    }
+    if (off != size) {
+        const std::uint64_t torn = size - off;
+        counters_.tail_truncated_bytes += torn;
+        reg_.tail_truncated->add(torn);
+        if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+            throw_errno("cannot truncate torn tail of", path_);
+        }
+    }
+    end_ = off;
+}
+
+TileStore::TilePayload TileStore::find(const TileAddress& address) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(address);
+    if (it == index_.end()) {
+        ++counters_.misses;
+        reg_.misses->add();
+        return nullptr;
+    }
+    if (fault::inject("store.read")) {
+        // Injected read failure: degrade to a miss, keep the record.
+        ++counters_.read_faults;
+        reg_.read_faults->add();
+        ++counters_.misses;
+        reg_.misses->add();
+        return nullptr;
+    }
+    const IndexEntry entry = it->second;
+    const std::uint64_t record_end =
+        entry.offset + kRecordHeaderSize + entry.payload_bytes;
+    bool ok = remap_locked(record_end);
+    RecordHeader r;
+    if (ok) {
+        const auto* base =
+            reinterpret_cast<const unsigned char*>(map_) + entry.offset;
+        r = parse_record_header(base);
+        ok = r.valid && r.address == address &&
+             r.payload_bytes == entry.payload_bytes &&
+             r.payload_hash == fnv1a(base + kRecordHeaderSize,
+                                     static_cast<std::size_t>(r.payload_bytes));
+    }
+    if (!ok) {
+        // Corrupt record (or unmappable file): drop it and report a miss so
+        // the caller regenerates; never surface wrong bytes.
+        ++counters_.corrupt_records;
+        reg_.corrupt->add();
+        ++counters_.misses;
+        reg_.misses->add();
+        live_.release(static_cast<std::size_t>(entry.payload_bytes));
+        dead_bytes_ += entry.payload_bytes;
+        index_.erase(it);
+        update_gauges_locked();
+        return nullptr;
+    }
+    auto tile = std::make_shared<Array2D<double>>(r.nx, r.ny);
+    std::memcpy(tile->data(), map_ + entry.offset + kRecordHeaderSize,
+                static_cast<std::size_t>(r.payload_bytes));
+    ++counters_.hits;
+    reg_.hits->add();
+    return tile;
+}
+
+void TileStore::insert(const TileAddress& address, const Array2D<double>& tile) {
+    if (tile.empty()) {
+        return;
+    }
+    check_zoom(address.key.z);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto nx = static_cast<std::uint32_t>(tile.nx());
+    const auto ny = static_cast<std::uint32_t>(tile.ny());
+    if (tile.nx() > kMaxRecordExtent || tile.ny() > kMaxRecordExtent) {
+        throw ConfigError{"tile too large for a store record",
+                          {"store", "tile_store"}};
+    }
+    const std::size_t payload_size =
+        static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+        sizeof(double);
+    const std::uint64_t payload_bytes = payload_size;
+    const std::size_t total =
+        static_cast<std::size_t>(kRecordHeaderSize) + payload_size;
+    std::vector<unsigned char> buf(total);
+    std::memcpy(buf.data() + kRecordHeaderSize, tile.data(), payload_size);
+    const std::uint64_t payload_hash =
+        fnv1a(buf.data() + kRecordHeaderSize, payload_size);
+    fill_record_header(buf.data(), address, nx, ny, payload_bytes, payload_hash);
+
+    if (fault::inject("store.write")) {
+        // Simulate a crash mid-append: a record prefix reaches the disk,
+        // the index is NOT updated, and the caller sees a StoreError.  The
+        // torn bytes sit past end_, so the next successful append overwrites
+        // them and a recovery scan truncates them.
+        write_all(fd_, buf.data(), total / 2, end_, path_);
+        throw StoreError{"injected store.write fault", {"store", "tile_store"}};
+    }
+
+    write_all(fd_, buf.data(), total, end_, path_);
+    if (opt_.fsync_appends) {
+        ::fsync(fd_);
+    }
+    retire_existing_locked(address);
+    index_[address] = IndexEntry{end_, nx, ny, payload_bytes};
+    fifo_.emplace_back(address, end_);
+    end_ += total;
+    live_.charge(static_cast<std::size_t>(payload_bytes));
+    ++counters_.appends;
+    reg_.appends->add();
+    enforce_budget_locked();
+    maybe_compact_locked();
+    update_gauges_locked();
+}
+
+bool TileStore::contains(const TileAddress& address) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.find(address) != index_.end();
+}
+
+void TileStore::compact() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    compact_locked();
+    update_gauges_locked();
+}
+
+void TileStore::flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::fsync(fd_);
+    }
+}
+
+TileStore::Stats TileStore::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = counters_;
+    s.live_bytes = live_.used();
+    s.dead_bytes = dead_bytes_;
+    s.file_bytes = end_;
+    s.tiles = index_.size();
+    return s;
+}
+
+void TileStore::retire_existing_locked(const TileAddress& address) {
+    const auto it = index_.find(address);
+    if (it == index_.end()) {
+        return;
+    }
+    live_.release(static_cast<std::size_t>(it->second.payload_bytes));
+    dead_bytes_ += it->second.payload_bytes;
+    index_.erase(it);
+    // The fifo entry pointing at the old offset goes stale and is skipped
+    // lazily by eviction/compaction.
+}
+
+void TileStore::enforce_budget_locked() {
+    const std::uint64_t evicted = live_.evict_until_fit([&]() -> std::size_t {
+        while (!fifo_.empty()) {
+            const auto [addr, off] = fifo_.front();
+            fifo_.pop_front();
+            const auto it = index_.find(addr);
+            if (it == index_.end() || it->second.offset != off) {
+                continue;  // superseded or already evicted
+            }
+            const auto freed = static_cast<std::size_t>(it->second.payload_bytes);
+            dead_bytes_ += it->second.payload_bytes;
+            index_.erase(it);
+            return freed;
+        }
+        return 0;
+    });
+    counters_.evictions += evicted;
+    reg_.evictions->add(evicted);
+}
+
+void TileStore::maybe_compact_locked() {
+    if (end_ < opt_.compact_min_bytes) {
+        return;
+    }
+    if (static_cast<double>(dead_bytes_) >
+        opt_.compact_dead_fraction * static_cast<double>(end_)) {
+        compact_locked();
+    }
+}
+
+void TileStore::compact_locked() {
+    const std::string tmp = path_ + ".compact";
+    const int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (tfd < 0) {
+        throw_errno("cannot open compaction file", tmp);
+    }
+    std::unordered_map<TileAddress, IndexEntry, TileAddressHash> new_index;
+    std::deque<std::pair<TileAddress, std::uint64_t>> new_fifo;
+    std::uint64_t new_end = kFileHeaderSize;
+    try {
+        unsigned char header[kFileHeaderSize] = {};
+        std::memcpy(header, kFileMagic, sizeof(kFileMagic));
+        put<std::uint32_t>(header, 8, kFileVersion);
+        write_all(tfd, header, kFileHeaderSize, 0, tmp);
+        std::vector<unsigned char> buf;
+        for (const auto& [addr, off] : fifo_) {
+            const auto it = index_.find(addr);
+            if (it == index_.end() || it->second.offset != off) {
+                continue;  // stale entry: superseded or evicted
+            }
+            const std::size_t total = static_cast<std::size_t>(
+                kRecordHeaderSize + it->second.payload_bytes);
+            buf.resize(total);
+            if (!read_exact(fd_, buf.data(), total, off)) {
+                throw_errno("cannot read record during compaction of", path_);
+            }
+            write_all(tfd, buf.data(), total, new_end, tmp);
+            new_index[addr] = IndexEntry{new_end, it->second.nx, it->second.ny,
+                                         it->second.payload_bytes};
+            new_fifo.emplace_back(addr, new_end);
+            new_end += total;
+        }
+        ::fsync(tfd);
+    } catch (...) {
+        ::close(tfd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    ::close(tfd);
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw_errno("cannot rename compacted store over", path_);
+    }
+    if (map_ != nullptr) {
+        ::munmap(map_, map_len_);
+        map_ = nullptr;
+        map_len_ = 0;
+    }
+    ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd_ < 0) {
+        throw_errno("cannot reopen compacted store", path_);
+    }
+    index_ = std::move(new_index);
+    fifo_ = std::move(new_fifo);
+    end_ = new_end;
+    dead_bytes_ = 0;
+    ++counters_.compactions;
+    reg_.compactions->add();
+}
+
+bool TileStore::remap_locked(std::uint64_t need) noexcept {
+    if (map_ != nullptr && need <= map_len_) {
+        return true;
+    }
+    const std::uint64_t size = file_size_locked();
+    if (size < need) {
+        return false;  // index points past EOF — treated as corruption
+    }
+    if (map_ != nullptr) {
+        ::munmap(map_, map_len_);
+        map_ = nullptr;
+        map_len_ = 0;
+    }
+    void* m = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ, MAP_SHARED,
+                     fd_, 0);
+    if (m == MAP_FAILED) {
+        return false;
+    }
+    map_ = static_cast<char*>(m);
+    map_len_ = static_cast<std::size_t>(size);
+    return true;
+}
+
+void TileStore::update_gauges_locked() noexcept {
+    reg_.bytes->set(static_cast<std::int64_t>(live_.used()));
+    reg_.file_bytes->set(static_cast<std::int64_t>(end_));
+    reg_.tiles->set(static_cast<std::int64_t>(index_.size()));
+}
+
+std::uint64_t TileStore::file_size_locked() const {
+    struct stat st = {};
+    if (::fstat(fd_, &st) != 0) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace rrs::store

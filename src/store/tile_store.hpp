@@ -1,0 +1,202 @@
+#pragma once
+
+/// \file tile_store.hpp
+/// Persistent on-disk L2 tile store (DESIGN.md §14).
+///
+/// One append-only segment file holds generated tiles keyed by
+/// TileAddress — (generator fingerprint, tile key, zoom) — so a restarted
+/// daemon (`rrsd --store DIR`) serves warm: tiles generated before the
+/// restart are promoted from disk instead of regenerated, bit-identically
+/// (the payload is the raw double lattice, checksummed end to end).
+///
+/// Record format (all integers host-endian; the file is a local cache, not
+/// an interchange format — checksums, not byte order, provide safety):
+///
+///   file header   32 B   "RRSSTOR1" magic, format version, reserved
+///   record        72 B   magic, fingerprint, tx, ty, z, nx, ny,
+///                        payload_bytes, payload_hash, header_hash
+///               + payload nx·ny doubles, row-major (8-byte aligned)
+///
+/// Crash safety: appends write one contiguous record and only then publish
+/// it to the in-memory index.  The recovery scan on open walks records from
+/// the front and stops at the first invalid header (bad magic, bad header
+/// checksum, payload past EOF) — everything after it is unreachable garbage
+/// from a torn write and is truncated away (counted).  Payload checksums
+/// are verified lazily on every read, so silent corruption degrades to a
+/// miss (the service regenerates) — never a crash or a wrong-bytes tile.
+/// An unreadable file header (foreign file, future format version) resets
+/// the store to empty rather than failing the process: every tile is
+/// regenerable by construction, so discarding an untrusted cache is always
+/// correct (counted in `resets`).
+///
+/// Byte budget & compaction: live payload bytes are bounded by the shared
+/// ByteBudget policy (byte_budget.hpp) with FIFO victim selection (an
+/// on-disk tier has no cheap recency signal; insertion order approximates
+/// it).  Evicted records become dead bytes in the segment; when dead bytes
+/// dominate (`compact_dead_fraction`) the store compacts — live records are
+/// rewritten to a temporary segment which atomically renames over the old
+/// one — so disk usage stays proportional to the budget.
+///
+/// Concurrency: one mutex guards every operation.  Reads memcpy the payload
+/// out of the mmap while holding it — this is the disk tier under a sharded
+/// in-memory LRU, not a hot path, and a single lock makes the mmap lifetime
+/// trivially safe against concurrent remaps.
+///
+/// Fault sites (DESIGN.md §13): `store.read` makes a lookup degrade to a
+/// miss; `store.write` simulates a torn append — a record prefix reaches
+/// the disk and the call fails with StoreError, exactly what a crash
+/// mid-write leaves behind for the recovery scan.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "grid/array2d.hpp"
+#include "service/tile_key.hpp"
+#include "store/byte_budget.hpp"
+
+namespace rrs::obs {
+class Counter;
+class Gauge;
+}  // namespace rrs::obs
+
+namespace rrs::store {
+
+/// Persistent-store failure: unopenable/unwritable segment file, failed
+/// compaction rename.  IS-A IoError (and therefore rrs::Error); corruption
+/// of stored *records* is never an error — it degrades to a miss.
+class StoreError : public IoError {
+public:
+    explicit StoreError(std::string message, ErrorContext context = {"store"})
+        : IoError(std::move(message), std::move(context)) {}
+};
+
+/// Tuning knobs for TileStore.
+struct TileStoreOptions {
+    /// Bound on summed live payload bytes (FIFO eviction past it).
+    std::size_t byte_budget = std::size_t{1} << 30;  // 1 GiB
+    /// Compact when dead bytes exceed this fraction of the segment file.
+    double compact_dead_fraction = 0.5;
+    /// ... but never bother compacting a segment smaller than this.
+    std::size_t compact_min_bytes = std::size_t{8} << 20;
+    /// fsync after every append (durability vs throughput; the recovery
+    /// scan makes un-synced tails safe either way, so default off).
+    bool fsync_appends = false;
+};
+
+/// Append-only, checksummed, mmap-backed tile segment file; see file
+/// comment.  Thread-safe.
+class TileStore {
+public:
+    using TilePayload = std::shared_ptr<const Array2D<double>>;
+
+    /// Counter snapshot (monotonic except the live/dead/file gauges).
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t appends = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t compactions = 0;
+        std::uint64_t corrupt_records = 0;        ///< checksum/shape failures on read
+        std::uint64_t read_faults = 0;            ///< injected store.read failures
+        std::uint64_t tail_truncated_bytes = 0;   ///< torn-write bytes discarded on open
+        std::uint64_t resets = 0;                 ///< unreadable headers discarded on open
+        std::uint64_t live_bytes = 0;             ///< indexed payload bytes
+        std::uint64_t dead_bytes = 0;             ///< evicted/superseded payload bytes
+        std::uint64_t file_bytes = 0;             ///< current segment size
+        std::uint64_t tiles = 0;                  ///< indexed record count
+    };
+
+    /// Open (or create) the segment file at `path` and recover its index.
+    /// Throws StoreError when the file cannot be opened or created; a
+    /// corrupt or foreign file is recovered from, not thrown on.
+    explicit TileStore(std::string path, TileStoreOptions opt = {});
+    ~TileStore();
+
+    TileStore(const TileStore&) = delete;
+    TileStore& operator=(const TileStore&) = delete;
+
+    /// Look up a tile.  Returns nullptr on miss, on an injected store.read
+    /// fault, and on a corrupt record (which is dropped from the index and
+    /// counted) — corruption degrades to cold generation, never throws.
+    TilePayload find(const TileAddress& address);
+
+    /// Append a tile record and publish it to the index, evicting FIFO
+    /// victims past the byte budget and compacting when dead bytes
+    /// dominate.  Throws StoreError on write failure (the store stays
+    /// consistent: a partial record past the published end is overwritten
+    /// by the next append and discarded by any recovery scan).
+    void insert(const TileAddress& address, const Array2D<double>& tile);
+
+    /// Is this address currently indexed?  (No counter side effects.)
+    bool contains(const TileAddress& address) const;
+
+    /// Force a compaction pass regardless of the dead-byte fraction.
+    void compact();
+
+    /// fsync the segment file.
+    void flush();
+
+    Stats stats() const;
+
+    const std::string& path() const noexcept { return path_; }
+    std::size_t byte_budget() const noexcept { return opt_.byte_budget; }
+
+private:
+    struct IndexEntry {
+        std::uint64_t offset = 0;  ///< record start (header) in the file
+        std::uint32_t nx = 0;
+        std::uint32_t ny = 0;
+        std::uint64_t payload_bytes = 0;
+    };
+
+    /// Registry mirrors under store.l2.* (obs/metrics.hpp).
+    struct Registry {
+        obs::Counter* hits = nullptr;
+        obs::Counter* misses = nullptr;
+        obs::Counter* appends = nullptr;
+        obs::Counter* evictions = nullptr;
+        obs::Counter* compactions = nullptr;
+        obs::Counter* corrupt = nullptr;
+        obs::Counter* read_faults = nullptr;
+        obs::Counter* tail_truncated = nullptr;
+        obs::Counter* resets = nullptr;
+        obs::Gauge* bytes = nullptr;
+        obs::Gauge* file_bytes = nullptr;
+        obs::Gauge* tiles = nullptr;
+    };
+
+    void open_or_reset_locked();
+    void reset_file_locked();
+    void recover_scan_locked();
+    void enforce_budget_locked();
+    void maybe_compact_locked();
+    void compact_locked();
+    bool remap_locked(std::uint64_t need) noexcept;
+    void update_gauges_locked() noexcept;
+    std::uint64_t file_size_locked() const;
+    /// Supersede the existing entry for `address` (its bytes become dead).
+    void retire_existing_locked(const TileAddress& address);
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    TileStoreOptions opt_;
+    int fd_ = -1;
+    char* map_ = nullptr;
+    std::size_t map_len_ = 0;
+    std::uint64_t end_ = 0;  ///< published append offset (logical file end)
+    std::unordered_map<TileAddress, IndexEntry, TileAddressHash> index_;
+    /// Insertion order for FIFO eviction/compaction; entries whose offset no
+    /// longer matches the index are stale and skipped lazily.
+    std::deque<std::pair<TileAddress, std::uint64_t>> fifo_;
+    ByteBudget live_;
+    std::uint64_t dead_bytes_ = 0;
+    Stats counters_;  ///< monotonic counters only; gauges derived on stats()
+    Registry reg_;
+};
+
+}  // namespace rrs::store

@@ -1,0 +1,15 @@
+// Compliant fixture: StoreError (src/store/tile_store.hpp) is part of the
+// rrs::Error taxonomy, so throwing it must NOT trip rule `error-taxonomy`.
+// Never compiled — scanned by `rrslint --check-fixtures` (ctest:
+// rrslint_fixtures).
+#include "store/tile_store.hpp"
+
+namespace rrs {
+
+inline void refuse_corrupt_segment(bool corrupt) {
+    if (corrupt) {
+        throw store::StoreError{"segment header is corrupt"};
+    }
+}
+
+}  // namespace rrs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/convolution.hpp"
+#include "service/tile_service.hpp"
 #include "stats/autocorr.hpp"
 #include "stats/ensemble.hpp"
 #include "stats/gof.hpp"
@@ -131,6 +132,87 @@ TEST(Acceptance, ExponentialIsPowerLawThreeHalves) {
     const auto fa = a.generate(Rect{0, 0, 64, 64});
     const auto fb = b.generate(Rect{0, 0, 64, 64});
     EXPECT_LT(max_abs_diff(fa, fb), 1e-6);
+}
+
+TEST(Acceptance, ZoomPyramidDecimationMatchesDirectCoarseGeneration) {
+    // The zoom-pyramid contract (DESIGN.md §14): a zoom-1 tile is the
+    // stride-2 decimation of the base surface, and for a Gaussian spectrum
+    // with correlation length cl the decimated lattice is *exactly* a
+    // Gaussian field with correlation length cl/2 in its own units
+    // (ρ(2ℓ; cl) = exp(−4ℓ²/cl²) = ρ(ℓ; cl/2)).  So a served zoom level
+    // must be statistically indistinguishable from generating the coarse
+    // surface directly — same ACF, same moments, still Gaussian heights.
+    const auto fine = make_gaussian({1.0, kCl, kCl});
+    const auto coarse = make_gaussian({1.0, kCl / 2, kCl / 2});
+    const GridSpec g = GridSpec::unit_spacing(kKernelGrid, kKernelGrid);
+    const ConvolutionKernel fine_kernel =
+        ConvolutionKernel::build_truncated(*fine, g, 1e-6);
+    const ConvolutionKernel coarse_kernel =
+        ConvolutionKernel::build_truncated(*coarse, g, 1e-6);
+
+    // 2×2 zoom-1 tiles of a 64×64-tile service: a 128×128 decimated field
+    // covering base lattice [0, 256)².
+    auto zoom_field = [&](std::uint64_t k) {
+        const ConvolutionGenerator gen(fine_kernel, 5000 + k);
+        TileService::Options opt;
+        opt.shape = TileShape{64, 64};
+        TileService service(gen, opt);
+        Array2D<double> out(128, 128);
+        for (std::int64_t ty = 0; ty < 2; ++ty) {
+            for (std::int64_t tx = 0; tx < 2; ++tx) {
+                const TilePtr tile = service.get(TileKey{tx, ty, 1});
+                for (std::size_t iy = 0; iy < 64; ++iy) {
+                    for (std::size_t ix = 0; ix < 64; ++ix) {
+                        out(static_cast<std::size_t>(tx) * 64 + ix,
+                            static_cast<std::size_t>(ty) * 64 + iy) =
+                            (*tile)(ix, iy);
+                    }
+                }
+            }
+        }
+        return out;
+    };
+    auto direct_field = [&](std::uint64_t k) {
+        const ConvolutionGenerator gen(coarse_kernel, 7000 + k);
+        return gen.generate(Rect{0, 0, 128, 128});
+    };
+
+    const EnsembleStats zoom = ensemble_stats(zoom_field, kRealisations, kMaxLag);
+    const EnsembleStats direct =
+        ensemble_stats(direct_field, kRealisations, kMaxLag);
+
+    // Both ensembles match the analytic coarse ACF lag-by-lag — and each
+    // other (independent seeds, so differences are pure sampling noise).
+    for (const std::size_t lag : {0u, 2u, 4u, 8u, 12u}) {
+        const double rho = coarse->autocorrelation(static_cast<double>(lag), 0.0);
+        EXPECT_NEAR(zoom.acf_x[lag], rho, 0.12) << "zoom acf_x lag " << lag;
+        EXPECT_NEAR(zoom.acf_y[lag], rho, 0.12) << "zoom acf_y lag " << lag;
+        EXPECT_NEAR(zoom.acf_x[lag], direct.acf_x[lag], 0.15)
+            << "zoom vs direct at lag " << lag;
+    }
+
+    // Moments and 1/e correlation length agree with the coarse closed form.
+    EXPECT_NEAR(zoom.moments.mean, 0.0, 0.08);
+    EXPECT_NEAR(zoom.moments.stddev, 1.0, 0.06);
+    EXPECT_NEAR(zoom.moments.stddev, direct.moments.stddev, 0.08);
+    const double cl_analytic = correlation_distance(*coarse, std::exp(-1.0));
+    EXPECT_NEAR(zoom.cl_x, cl_analytic, 0.15 * cl_analytic);
+    EXPECT_NEAR(zoom.cl_y, cl_analytic, 0.15 * cl_analytic);
+
+    // Decimation is a linear map of Gaussian noise: heights stay Gaussian.
+    std::vector<double> standardised;
+    const auto stride = static_cast<std::size_t>(3.0 * kCl / 2);
+    for (std::size_t k = 0; k < kRealisations; ++k) {
+        const Array2D<double> f = zoom_field(k);
+        for (std::size_t iy = 0; iy < f.ny(); iy += stride) {
+            for (std::size_t ix = 0; ix < f.nx(); ix += stride) {
+                standardised.push_back(f(ix, iy) / zoom.moments.stddev);
+            }
+        }
+    }
+    ASSERT_GE(standardised.size(), 200u);
+    EXPECT_GT(ks_normality(standardised).p_value, 0.01);
+    EXPECT_GT(chi_square_normality(standardised, 16).p_value, 0.01);
 }
 
 }  // namespace

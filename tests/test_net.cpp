@@ -758,5 +758,181 @@ TEST(TileServiceOwning, KeepsGeneratorAliveAndRejectsNull) {
                  ConfigError);
 }
 
+// ------------------------------------------------ conditional GET & encodings
+
+/// Decode the f64 exactness escape hatch (little-endian float64, row-major).
+std::vector<double> decode_f64(const std::string& body) {
+    EXPECT_EQ(body.size() % 8, 0u);
+    std::vector<double> out(body.size() / 8);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto* p = reinterpret_cast<const unsigned char*>(body.data()) + i * 8;
+        std::uint64_t bits = 0;
+        for (int b = 7; b >= 0; --b) {
+            bits = (bits << 8) | p[b];
+        }
+        std::memcpy(&out[i], &bits, sizeof(double));
+    }
+    return out;
+}
+
+/// Decode the i16 quantized body (little-endian int16, row-major).
+std::vector<std::int16_t> decode_i16(const std::string& body) {
+    EXPECT_EQ(body.size() % 2, 0u);
+    std::vector<std::int16_t> out(body.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto* p = reinterpret_cast<const unsigned char*>(body.data()) + i * 2;
+        const auto bits = static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(p[0]) |
+            (static_cast<std::uint16_t>(p[1]) << 8));
+        std::memcpy(&out[i], &bits, sizeof(std::int16_t));
+    }
+    return out;
+}
+
+TEST_F(TileServerTest, ConditionalGetAnswers304ForMatchingETag) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse first = client.get("/v1/tile?tx=0&ty=0");
+    ASSERT_EQ(first.status, 200);
+    const std::string* etag = first.header("etag");
+    ASSERT_NE(etag, nullptr);
+    EXPECT_EQ(etag->front(), '"');
+    EXPECT_EQ(etag->back(), '"');
+
+    // A matching validator short-circuits to 304 with no body.
+    const ClientResponse cond =
+        client.get("/v1/tile?tx=0&ty=0", {{"If-None-Match", *etag}});
+    EXPECT_EQ(cond.status, 304);
+    EXPECT_TRUE(cond.body.empty());
+    ASSERT_NE(cond.header("etag"), nullptr);
+    EXPECT_EQ(*cond.header("etag"), *etag);
+    EXPECT_EQ(counter("net.not_modified"), 1u);
+
+    // Comma lists and `*` match; weak validators and strangers do not.
+    EXPECT_EQ(client
+                  .get("/v1/tile?tx=0&ty=0",
+                       {{"If-None-Match", "\"deadbeef\", " + *etag}})
+                  .status,
+              304);
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0", {{"If-None-Match", "*"}}).status,
+              304);
+    EXPECT_EQ(client
+                  .get("/v1/tile?tx=0&ty=0", {{"If-None-Match", "W/" + *etag}})
+                  .status,
+              200);
+    EXPECT_EQ(client
+                  .get("/v1/tile?tx=0&ty=0", {{"If-None-Match", "\"deadbeef\""}})
+                  .status,
+              200);
+    expect_accounting_identity();
+}
+
+TEST_F(TileServerTest, ETagIsAPureFunctionOfAddressAndEncoding) {
+    HttpClient client("127.0.0.1", server_->port());
+    auto etag_of = [&](const std::string& target) {
+        const ClientResponse resp = client.get(target);
+        EXPECT_EQ(resp.status, 200) << target << ": " << resp.body;
+        const std::string* e = resp.header("etag");
+        return e == nullptr ? std::string{} : *e;
+    };
+    const std::string base = etag_of("/v1/tile?tx=0&ty=0");
+    // Stable across repeated requests (a strong validator must be).
+    EXPECT_EQ(etag_of("/v1/tile?tx=0&ty=0"), base);
+    // ... and distinct across tile, zoom, and encoding.
+    EXPECT_NE(etag_of("/v1/tile?tx=1&ty=0"), base);
+    EXPECT_NE(etag_of("/v1/tile?tx=0&ty=0&z=1"), base);
+    EXPECT_NE(etag_of("/v1/tile?tx=0&ty=0&q=f64"), base);
+}
+
+TEST_F(TileServerTest, ZoomedTileOverHttpMatchesDirectService) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse resp = client.get("/v1/tile?tx=0&ty=0&z=1");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    ASSERT_NE(resp.header("x-rrs-nx"), nullptr);
+    EXPECT_EQ(*resp.header("x-rrs-nx"), "32");
+    const std::vector<float> wire = decode_f32(resp.body);
+    const TilePtr direct = service_->get(TileKey{0, 0, 1});
+    ASSERT_EQ(wire.size(), direct->size());
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        ASSERT_EQ(wire[i], static_cast<float>(direct->data()[i])) << "at " << i;
+    }
+    // Out-of-range zoom is a client error, not a crash.
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0&z=-1").status, 400);
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0&z=25").status, 400);
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0&z=abc").status, 400);
+}
+
+TEST_F(TileServerTest, QuantizedI16BodyReconstructsWithinHalfAStep) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse resp = client.get("/v1/tile?tx=0&ty=0&q=i16");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    ASSERT_NE(resp.header("x-rrs-encoding"), nullptr);
+    EXPECT_EQ(*resp.header("x-rrs-encoding"), "i16");
+    ASSERT_NE(resp.header("x-rrs-scale"), nullptr);
+    ASSERT_NE(resp.header("x-rrs-offset"), nullptr);
+    const double scale = std::stod(*resp.header("x-rrs-scale"));
+    const double offset = std::stod(*resp.header("x-rrs-offset"));
+    ASSERT_GT(scale, 0.0);
+
+    const std::vector<std::int16_t> wire = decode_i16(resp.body);
+    const TilePtr direct = service_->get(TileKey{0, 0});
+    ASSERT_EQ(wire.size(), direct->size());
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        const double rebuilt = offset + scale * static_cast<double>(wire[i]);
+        ASSERT_NEAR(rebuilt, direct->data()[i], scale * 0.5 + 1e-12)
+            << "at " << i;
+    }
+    // Half the bytes of the default f32 body.
+    const ClientResponse f32 = client.get("/v1/tile?tx=0&ty=0");
+    EXPECT_EQ(resp.body.size() * 2, f32.body.size());
+    // Unknown encodings are client errors.
+    EXPECT_EQ(client.get("/v1/tile?tx=0&ty=0&q=f16").status, 400);
+}
+
+TEST_F(TileServerTest, Float64EscapeHatchIsBitExact) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse resp = client.get("/v1/tile?tx=0&ty=0&q=f64");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    EXPECT_EQ(*resp.header("x-rrs-encoding"), "f64");
+    const std::vector<double> wire = decode_f64(resp.body);
+    const TilePtr direct = service_->get(TileKey{0, 0});
+    ASSERT_EQ(wire.size(), direct->size());
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        ASSERT_EQ(wire[i], direct->data()[i]) << "f64 must be exact, at " << i;
+    }
+}
+
+TEST_F(TileServerTest, PyramidConcatenatesLevelsTopFirst) {
+    HttpClient client("127.0.0.1", server_->port());
+    const ClientResponse resp = client.get("/v1/pyramid?tx=0&ty=0&z=1");
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    ASSERT_NE(resp.header("x-rrs-tiles"), nullptr);
+    EXPECT_EQ(*resp.header("x-rrs-tiles"), "5");
+    EXPECT_EQ(*resp.header("x-rrs-zoom"), "1");
+    EXPECT_EQ(*resp.header("x-rrs-minzoom"), "0");
+    const std::size_t tile_floats = 32 * 32;
+    ASSERT_EQ(resp.body.size(), 5 * tile_floats * 4);
+    const std::vector<float> wire = decode_f32(resp.body);
+    // The first tile is the top (coarse) level; the rest are its children
+    // in the same level-order walk pyramid() documents.
+    const TilePtr top = service_->get(TileKey{0, 0, 1});
+    for (std::size_t i = 0; i < tile_floats; ++i) {
+        ASSERT_EQ(wire[i], static_cast<float>(top->data()[i])) << "at " << i;
+    }
+    const auto direct = service_->pyramid(TileKey{0, 0, 1}, 0);
+    ASSERT_EQ(direct.size(), 5u);
+    for (std::size_t t = 0; t < direct.size(); ++t) {
+        for (std::size_t i = 0; i < tile_floats; ++i) {
+            ASSERT_EQ(wire[t * tile_floats + i],
+                      static_cast<float>(direct[t].second->data()[i]))
+                << "tile " << t << " sample " << i;
+        }
+    }
+    // Quantization is per-tile, so i16 cannot describe a pyramid body.
+    EXPECT_EQ(client.get("/v1/pyramid?tx=0&ty=0&z=1&q=i16").status, 400);
+    // min_z above the top zoom is malformed.
+    EXPECT_EQ(client.get("/v1/pyramid?tx=0&ty=0&z=1&min_z=2").status, 400);
+    expect_accounting_identity();
+}
+
 }  // namespace
 }  // namespace rrs::net

@@ -419,5 +419,114 @@ TEST(TileService, DegenerateWindowIsEmpty) {
     EXPECT_EQ(m.generations, 0u);
 }
 
+// --- zoom pyramid addressing -------------------------------------------------
+
+TEST(TileKeyZoom, StrideAndBaseRectScaleWithLevel) {
+    EXPECT_EQ(zoom_stride(0), 1);
+    EXPECT_EQ(zoom_stride(3), 8);
+    EXPECT_THROW((void)zoom_stride(-1), ConfigError);
+    EXPECT_THROW((void)zoom_stride(kMaxZoom + 1), ConfigError);
+    const TileShape shape{16, 8};
+    EXPECT_EQ(tile_base_rect(shape, {0, 0, 0}), (Rect{0, 0, 16, 8}));
+    EXPECT_EQ(tile_base_rect(shape, {1, -1, 2}), (Rect{64, -32, 64, 32}));
+}
+
+TEST(TileKeyZoom, ParentChildrenRoundTripAcrossTheOrigin) {
+    for (const std::int64_t tx : {-3, -2, -1, 0, 1, 2}) {
+        for (const std::int64_t ty : {-2, -1, 0, 1}) {
+            const TileKey parent{tx, ty, 1};
+            for (const TileKey& child : tile_children(parent)) {
+                EXPECT_EQ(child.z, 0);
+                EXPECT_EQ(tile_parent(child), parent)
+                    << "child (" << child.tx << "," << child.ty
+                    << ") does not nest under (" << tx << "," << ty << ")";
+            }
+        }
+    }
+    EXPECT_THROW((void)tile_children(TileKey{0, 0, 0}), ConfigError);
+}
+
+TEST(TileKeyZoom, ChildrenExactlyTileTheParentFootprint) {
+    const TileShape shape{16, 8};
+    const TileKey parent{-1, 2, 3};
+    const Rect footprint = tile_base_rect(shape, parent);
+    std::int64_t covered = 0;
+    for (const TileKey& child : tile_children(parent)) {
+        const Rect r = tile_base_rect(shape, child);
+        const Rect overlap = intersect(r, footprint);
+        EXPECT_EQ(overlap.area(), r.area()) << "child leaks past the parent";
+        covered += r.area();
+    }
+    EXPECT_EQ(covered, footprint.area());
+}
+
+TEST(TileService, ZoomedTileIsDecimationOfTheBaseLattice) {
+    const auto gen = make_gen(5);
+    TileService::Options opt;
+    opt.shape = TileShape{16, 16};
+    TileService service(gen, opt);
+    // Sample (i, j) of a zoom-z tile must be base-lattice point
+    // (rect.x0 + i·2^z, rect.y0 + j·2^z), bit-exactly — the pyramid is a
+    // pure decimation of the served base surface, not a re-generation.
+    // (window() assembles the same base tiles, so equality is bitwise; a
+    // one-shot generation of the footprint agrees only to ~1e-12, cf.
+    // RandomAccessWindowMatchesOneShotConvolution.)
+    for (const TileKey key : {TileKey{0, 0, 1}, TileKey{1, -1, 2}}) {
+        const Rect base_rect = tile_base_rect(opt.shape, key);
+        const Array2D<double> base = service.window(base_rect);
+        const std::int64_t s = zoom_stride(key.z);
+        const TilePtr tile = service.get(key);
+        ASSERT_EQ(tile->nx(), static_cast<std::size_t>(opt.shape.nx));
+        for (std::size_t j = 0; j < tile->ny(); ++j) {
+            for (std::size_t i = 0; i < tile->nx(); ++i) {
+                ASSERT_EQ((*tile)(i, j),
+                          base(static_cast<std::size_t>(s) * i,
+                               static_cast<std::size_t>(s) * j))
+                    << "zoom " << key.z << " sample (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST(TileService, ZoomRejectsOddShapesAndBadLevels) {
+    const auto gen = make_gen(2);
+    TileService::Options odd;
+    odd.shape = TileShape{15, 16};
+    TileService odd_service(gen, odd);
+    // Odd shapes cannot split into children; z = 0 must keep working.
+    EXPECT_NO_THROW((void)odd_service.get({0, 0, 0}));
+    EXPECT_THROW((void)odd_service.get({0, 0, 1}), ConfigError);
+    TileService::Options opt;
+    opt.shape = TileShape{16, 16};
+    TileService service(gen, opt);
+    EXPECT_THROW((void)service.get({0, 0, -1}), ConfigError);
+    EXPECT_THROW((void)service.get({0, 0, kMaxZoom + 1}), ConfigError);
+}
+
+TEST(TileService, PyramidReturnsEveryLevelTopFirst) {
+    auto stamp = [](const Rect& r) { return stamp_tile(r, 0.0); };
+    TileService::Options opt;
+    opt.shape = TileShape{8, 8};
+    TileService service(stamp, /*fingerprint=*/11, opt, nullptr);
+    const TileKey top{0, 0, 2};
+    const auto tiles = service.pyramid(top, /*min_z=*/0);
+    ASSERT_EQ(tiles.size(), 1u + 4u + 16u);
+    EXPECT_EQ(tiles.front().first, top);
+    std::int32_t prev_z = top.z;
+    for (const auto& [key, tile] : tiles) {
+        EXPECT_LE(key.z, prev_z) << "levels must run top (coarse) first";
+        prev_z = key.z;
+        ASSERT_NE(tile, nullptr);
+        EXPECT_EQ(*tile, *service.get(key)) << "pyramid tile differs from get()";
+    }
+    // Every pyramid level rides the cache: each of the 21 tiles is built
+    // exactly once (16 base generations + 5 decimations, each a generation
+    // event for the metric identity), and re-reading them above hit cache.
+    EXPECT_EQ(service.metrics().generations, 21u);
+    const MetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.cache_misses, m.generations + m.coalesced + m.l2_promotions);
+    EXPECT_THROW((void)service.pyramid(TileKey{0, 0, 1}, /*min_z=*/2), ConfigError);
+}
+
 }  // namespace
 }  // namespace rrs

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# CI driver — seven stages, each runnable on its own:
+# CI driver — eight stages, each runnable on its own:
 #
-#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, chaos, tidy, perf
+#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, chaos, tidy, perf, store
 #   tools/ci.sh lint        # rrslint conventions + lint fixtures (no build)
 #   tools/ci.sh release     # build + tier 1 (-LE "stats|race|chaos") + tier 2 (-L stats)
 #   tools/ci.sh sanitize    # tier 1 under ASan+UBSan
@@ -10,6 +10,8 @@
 #                           # + ASan/UBSan, plus the resilience bench gates
 #   tools/ci.sh tidy        # clang-tidy over src/ (skips cleanly if not installed)
 #   tools/ci.sh perf        # quick net load bench -> bench_out/BENCH_net.json
+#   tools/ci.sh store       # warm-restart rrsd smoke (persistent L2 tile store)
+#                           # + the store bench -> bench_out/BENCH_store.json
 #
 # Sanitizer reports are fatal (-fno-sanitize-recover=all, TSan
 # halt_on_error=1), so a green run means the suite is clean.  The `race` and
@@ -109,6 +111,89 @@ run_perf() {
     echo "==> [perf] net_load --quick"
     build/bench/net_load --quick --out-dir bench_out
     echo "==> [perf] wrote bench_out/BENCH_net.json"
+}
+
+run_store() {
+    # Persistent L2 tile store, end to end: boot rrsd with --store, pull a
+    # few tiles (base zoom and zoom 1), restart the daemon on the SAME
+    # store directory, pull the same tiles again, and require (a) every
+    # body byte-identical across the restart and (b) store.l2.hits > 0 in
+    # the restarted daemon's /metrics — i.e. the warm tiles really came
+    # from the segment file, not from regeneration.  Then the store bench,
+    # which exits non-zero unless every tile of a warm restart promotes.
+    build_preset release build
+    echo "==> [store] warm-restart smoke"
+    local scene store_dir fetch_dir
+    scene=$(mktemp)
+    store_dir=$(mktemp -d)
+    fetch_dir=$(mktemp -d)
+    build/tools/rrstile --example > "$scene"
+
+    local -a tiles=('tx=0&ty=0' 'tx=1&ty=0' 'tx=0&ty=0&z=1')
+    store_boot_and_fetch "$scene" "$store_dir" "$fetch_dir/cold" cold tiles
+    store_boot_and_fetch "$scene" "$store_dir" "$fetch_dir/warm" warm tiles
+
+    local i
+    for i in "${!tiles[@]}"; do
+        if ! cmp -s "$fetch_dir/cold.$i" "$fetch_dir/warm.$i"; then
+            echo "==> store smoke: tile '${tiles[$i]}' changed across restart" >&2
+            return 1
+        fi
+    done
+    echo "    store ok: ${#tiles[@]} tiles byte-identical across restart"
+    rm -rf "$scene" "$fetch_dir" "$store_dir"
+
+    echo "==> [store] bench store"
+    build/bench/store > /dev/null ||
+        { echo "==> store bench failed" >&2; return 1; }
+    echo "==> [store] wrote bench_out/BENCH_store.json"
+}
+
+# Boot rrsd on an ephemeral port with a persistent store, fetch each tile
+# query in the named array to "<prefix>.<index>", then drain the daemon.
+# Phase "warm" additionally asserts the /metrics counter store.l2.hits > 0.
+store_boot_and_fetch() {
+    local scene=$1 store_dir=$2 prefix=$3 phase=$4
+    local -n queries=$5
+    local port_file pid port
+    port_file=$(mktemp -u)
+    build/tools/rrsd "$scene" --port 0 --port-file "$port_file" \
+        --tile-size 64 --cache-mb 16 --store "$store_dir" --quiet \
+        > /dev/null &
+    pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        sleep 0.1
+    done
+    if [[ ! -s "$port_file" ]]; then
+        echo "==> store smoke ($phase): daemon never published its port" >&2
+        kill -9 "$pid" 2>/dev/null || true
+        return 1
+    fi
+    port=$(cat "$port_file")
+    local i
+    for i in "${!queries[@]}"; do
+        build/tools/rrsquery "127.0.0.1:$port" "/v1/tile?${queries[$i]}" \
+            --out "$prefix.$i" > /dev/null
+    done
+    if [[ $phase == warm ]]; then
+        build/tools/rrsquery "127.0.0.1:$port" /metrics > "$prefix.metrics"
+        python3 - "$prefix.metrics" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+hits = c.get("store.l2.hits", 0)
+assert hits > 0, f"store.l2.hits == {hits} after warm restart"
+print(f"    warm restart ok: store.l2.hits == {hits}")
+EOF
+    fi
+    kill -TERM "$pid"
+    local rc=0
+    wait "$pid" || rc=$?
+    rm -f "$port_file"
+    if [[ $rc -ne 0 ]]; then
+        echo "==> store smoke ($phase): daemon exited $rc after SIGTERM" >&2
+        return 1
+    fi
 }
 
 # Serve a few tiles end-to-end through the tile service (coalescing cache,
@@ -238,8 +323,9 @@ case "$want" in
     chaos)    run_chaos ;;
     tidy)     run_tidy ;;
     perf)     run_perf ;;
-    all)      run_lint; run_release; run_sanitize; run_tsan; run_chaos; run_tidy; run_perf ;;
-    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|chaos|tidy|perf|all]" >&2
+    store)    run_store ;;
+    all)      run_lint; run_release; run_sanitize; run_tsan; run_chaos; run_tidy; run_perf; run_store ;;
+    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|chaos|tidy|perf|store|all]" >&2
         exit 2 ;;
 esac
 echo "==> ci: all requested stages passed"

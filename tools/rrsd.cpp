@@ -31,6 +31,12 @@
 //   --stale-mb N       stale-tile store budget in MiB; serves the last
 //                      known tile with X-RRS-Stale: 1 on generation
 //                      failure or open breaker; 0 disables    (default 32)
+//   --store DIR        persistent L2 tile store directory (created if
+//                      missing); a restarted daemon on the same DIR serves
+//                      previously generated tiles from disk instead of
+//                      regenerating — bit-identically, the store is keyed
+//                      by (fingerprint, key, zoom) and checksummed
+//   --store-mb N       L2 store payload budget in MiB        (default 1024)
 //   --faults SPEC      arm a fault-injection plan (DESIGN.md §13 grammar,
 //                      e.g. 'net.recv=error@p:0.1 seed:7'); without the
 //                      flag the RRS_FAULTS environment variable is used
@@ -55,6 +61,9 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/tile_service.hpp"
+#include "store/tile_store.hpp"
+
+#include <sys/stat.h>
 
 namespace {
 
@@ -75,6 +84,8 @@ int usage() {
                  "  --breaker-failures N  failures that open a breaker; 0 = off\n"
                  "  --breaker-open-ms N   open duration before probing\n"
                  "  --stale-mb N     stale-tile store MiB; 0 = off (default 32)\n"
+                 "  --store DIR      persistent L2 tile store directory\n"
+                 "  --store-mb N     L2 store budget in MiB (default 1024)\n"
                  "  --faults SPEC    arm a fault plan (default: $RRS_FAULTS)\n";
     return 2;
 }
@@ -118,6 +129,8 @@ int main(int argc, char** argv) {
     bool quiet = false;
     net::TileRoutesOptions route_opt;
     std::size_t stale_mb = 32;
+    std::string store_dir;
+    std::size_t store_mb = 1024;
     std::string faults_spec;
     bool faults_flag = false;
 
@@ -214,6 +227,18 @@ int main(int argc, char** argv) {
                 return usage();
             }
             stale_mb = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--store") {
+            const char* v = next_value("--store");
+            if (v == nullptr) {
+                return usage();
+            }
+            store_dir = v;
+        } else if (arg == "--store-mb") {
+            const char* v = next_value("--store-mb");
+            if (v == nullptr) {
+                return usage();
+            }
+            store_mb = std::strtoull(v, nullptr, 10);
         } else if (arg == "--faults") {
             const char* v = next_value("--faults");
             if (v == nullptr) {
@@ -236,8 +261,26 @@ int main(int argc, char** argv) {
         std::cerr << "rrsd: --tile-size and --cache-mb must be positive\n";
         return usage();
     }
+    if (!store_dir.empty() && store_mb == 0) {
+        std::cerr << "rrsd: --store-mb must be positive\n";
+        return usage();
+    }
 
     try {
+        // One segment file shared by every scene: addresses carry the
+        // generator fingerprint, so scenes can never alias each other.
+        std::shared_ptr<store::TileStore> tile_store;
+        if (!store_dir.empty()) {
+            if (::mkdir(store_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+                std::cerr << "rrsd: cannot create '" << store_dir
+                          << "': " << std::strerror(errno) << "\n";
+                return 1;
+            }
+            store::TileStoreOptions sopt;
+            sopt.byte_budget = store_mb << 20;
+            tile_store = std::make_shared<store::TileStore>(
+                store_dir + "/tiles.rrsstore", sopt);
+        }
         // One generation pool shared by every scene's TileService; the HTTP
         // server runs its own worker pool, so window fan-out from a server
         // worker cannot deadlock against itself (tile_service.hpp contract).
@@ -259,6 +302,7 @@ int main(int argc, char** argv) {
             opt.shape = TileShape{tile_size, tile_size};
             opt.cache_bytes = cache_mb << 20;
             opt.pool = &gen_pool;
+            opt.store = tile_store;
             auto [it, inserted] = scenes.emplace(
                 name, TileService::owning(std::move(gen), opt));
             if (!inserted) {

@@ -15,13 +15,20 @@
 //                    and print one JSON line: {"nx":..,"ny":..,"min":..,
 //                    "max":..,"mean":..,"rms":..}
 //   --headers        also print status line + response headers to stderr
+//   --zoom N         shorthand: append z=N to the request target's query
+//                    string (zoom-pyramid level, /v1/tile and /v1/pyramid)
+//   --if-none-match ETAG
+//                    send an If-None-Match header; a 304 Not Modified
+//                    answer prints "not modified" and exits 0 — the cached
+//                    copy named by ETAG is still valid
 //   --timeout-ms N   connect/read/write deadline (default 5000)
 //   --retries N      retry transport failures / 503s up to N extra times
 //                    with jittered exponential backoff (default 0)
 //   --deadline-ms N  overall budget across all attempts (default: none)
 //
-// Exit codes: 0 = 2xx response; 1 = HTTP error or transport failure;
-// 2 = usage; 3 = could not connect; 4 = retry deadline exhausted.
+// Exit codes: 0 = 2xx response or 304 Not Modified; 1 = HTTP error or
+// transport failure; 2 = usage; 3 = could not connect; 4 = retry deadline
+// exhausted.
 
 #include <cmath>
 #include <cstdint>
@@ -40,11 +47,14 @@ int usage() {
                  "  --out FILE     write the raw response body to FILE\n"
                  "  --stats        decode a float32 surface body, print stats\n"
                  "  --headers      also print status + headers to stderr\n"
+                 "  --zoom N       append z=N to the target query string\n"
+                 "  --if-none-match ETAG  conditional GET; 304 exits 0\n"
                  "  --timeout-ms N connect/read/write deadline (default 5000)\n"
                  "  --retries N    extra attempts on transport failure / 503\n"
                  "  --deadline-ms N overall retry budget (default: none)\n"
-                 "exit codes: 0 = 2xx, 1 = HTTP/transport error, 2 = usage,\n"
-                 "            3 = connect failure, 4 = deadline exhausted\n";
+                 "exit codes: 0 = 2xx or 304, 1 = HTTP/transport error,\n"
+                 "            2 = usage, 3 = connect failure, 4 = deadline "
+                 "exhausted\n";
     return 2;
 }
 
@@ -101,8 +111,10 @@ int main(int argc, char** argv) {
         return usage();
     }
     const std::string host_port = argv[1];
-    const std::string target = argv[2];
+    std::string target = argv[2];
     std::string out_file;
+    std::string zoom;
+    std::string if_none_match;
     bool stats = false;
     bool show_headers = false;
     net::HttpClient::Options copt;
@@ -126,6 +138,18 @@ int main(int argc, char** argv) {
             stats = true;
         } else if (arg == "--headers") {
             show_headers = true;
+        } else if (arg == "--zoom") {
+            const char* v = next_value("--zoom");
+            if (v == nullptr) {
+                return usage();
+            }
+            zoom = v;
+        } else if (arg == "--if-none-match") {
+            const char* v = next_value("--if-none-match");
+            if (v == nullptr) {
+                return usage();
+            }
+            if_none_match = v;
         } else if (arg == "--timeout-ms") {
             const char* v = next_value("--timeout-ms");
             if (v == nullptr) {
@@ -159,9 +183,18 @@ int main(int argc, char** argv) {
     const auto port = static_cast<std::uint16_t>(
         std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
 
+    if (!zoom.empty()) {
+        target += (target.find('?') == std::string::npos ? '?' : '&');
+        target += "z=" + zoom;
+    }
+
     try {
         net::HttpClient client(host, port, copt);
-        const net::ClientResponse resp = client.get(target);
+        net::HttpClient::HeaderList extra;
+        if (!if_none_match.empty()) {
+            extra.emplace_back("If-None-Match", if_none_match);
+        }
+        const net::ClientResponse resp = client.get(target, extra);
         if (show_headers) {
             std::cerr << "HTTP " << resp.status << "\n";
             for (const auto& [name, value] : resp.headers) {
@@ -176,6 +209,11 @@ int main(int argc, char** argv) {
             }
             out.write(resp.body.data(),
                       static_cast<std::streamsize>(resp.body.size()));
+        }
+        if (resp.status == 304) {
+            // The conditional GET succeeded: the client's copy is current.
+            std::cout << "not modified\n";
+            return 0;
         }
         if (stats) {
             const int rc = print_surface_stats(resp);
