@@ -1,11 +1,13 @@
 #include "core/convolution.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <vector>
 
 #include "core/validate.hpp"
 #include "fft/real.hpp"
+#include "grid/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
@@ -15,16 +17,29 @@ namespace rrs {
 
 namespace {
 
-/// Pipeline counters for both convolution engines (obs registry, cold
+/// Pipeline counters for the convolution engines (obs registry, cold
 /// lookup once, then relaxed atomics — tile granularity, never per-point).
+/// Per-engine tile counters expose where batch traffic actually lands.
 struct ConvCounters {
     obs::Counter& tiles;
     obs::Counter& points;
+    obs::Counter& direct_tiles;
+    obs::Counter& fft_tiles;
+    obs::Counter& separable_tiles;
 
     static ConvCounters& get() {
-        static ConvCounters c{obs::MetricsRegistry::global().counter("conv.tiles"),
-                              obs::MetricsRegistry::global().counter("conv.points")};
+        auto& reg = obs::MetricsRegistry::global();
+        static ConvCounters c{reg.counter("conv.tiles"), reg.counter("conv.points"),
+                              reg.counter("conv.engine.direct"),
+                              reg.counter("conv.engine.fft"),
+                              reg.counter("conv.engine.separable")};
         return c;
+    }
+
+    void count_tile(const Rect& region, obs::Counter& engine_tiles) {
+        tiles.add();
+        engine_tiles.add();
+        points.add(static_cast<std::uint64_t>(region.nx * region.ny));
     }
 };
 
@@ -39,7 +54,7 @@ std::size_t next_pow2(std::size_t n) {
 }  // namespace
 
 /// Forward r2c FFT of the wrapped kernel image at one padded size, built
-/// once per (Px, Py) and shared by all subsequent generate() calls.
+/// once per (Px, Py) and shared by all subsequent generate_fft() calls.
 struct ConvolutionGenerator::CachedKernelFft {
     std::size_t Px = 0;
     std::size_t Py = 0;
@@ -47,17 +62,21 @@ struct ConvolutionGenerator::CachedKernelFft {
 };
 
 /// Cache of kernel FFTs keyed by padded size, behind a unique_ptr so the
-/// generator stays movable despite the mutex.
+/// generator stays movable despite the mutex.  The lock is held only for
+/// the map lookup/insert (once per padded size per generator) — it is not
+/// on the per-tile path, so batch fan-out does not serialise here.
 struct ConvolutionGenerator::FftCache {
     std::mutex mutex;
     std::unordered_map<std::uint64_t, std::shared_ptr<const CachedKernelFft>> entries;
 };
 
 ConvolutionGenerator::ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed,
-                                           HealthPolicy health)
+                                           HealthPolicy health, KernelEngine engine)
     : kernel_(std::move(kernel)),
       lattice_(seed),
       health_(health),
+      engine_(engine),
+      factors_(kernel_.separable()),
       cache_(std::make_unique<FftCache>()) {
     apply_policy(kernel_health(kernel_), health_, kDefaultKernelEnergyTol,
                  {"ConvolutionGenerator", "kernel"});
@@ -90,12 +109,41 @@ Array2D<double> ConvolutionGenerator::noise_tile(const Rect& region) const {
     return X;
 }
 
+void ConvolutionGenerator::scan_health(const Array2D<double>& f,
+                                       const char* where) const {
+    if (health_ != HealthPolicy::kIgnore) {
+        apply_policy(scan_surface(f, std::sqrt(kernel_.energy())), health_,
+                     {"ConvolutionGenerator", where});
+    }
+}
+
+KernelEngine ConvolutionGenerator::resolved_engine() const {
+    KernelEngine e = kernel_engine_env_override().value_or(engine_);
+    if (e == KernelEngine::kAuto) {
+        e = factors_.has_value() ? KernelEngine::kSeparable : KernelEngine::kFft;
+    }
+    return e;
+}
+
+Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
+    RRS_TRACE_SPAN("conv.generate");
+    switch (resolved_engine()) {
+        case KernelEngine::kDirect:
+            return generate_direct(region);
+        case KernelEngine::kSeparable:
+            return generate_separable(region);
+        case KernelEngine::kFft:
+        case KernelEngine::kAuto:  // unreachable: resolved above
+            break;
+    }
+    return generate_fft(region);
+}
+
 Array2D<double> ConvolutionGenerator::generate_direct(const Rect& region) const {
     RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate_direct",
               "region must be non-empty");
     RRS_TRACE_SPAN("conv.direct");
-    ConvCounters::get().tiles.add();
-    ConvCounters::get().points.add(static_cast<std::uint64_t>(region.nx * region.ny));
+    ConvCounters::get().count_tile(region, ConvCounters::get().direct_tiles);
     const std::int64_t lx = halo_left_x();
     const std::int64_t ly = halo_left_y();
     const Rect noise_rect{region.x0 - lx, region.y0 - ly,
@@ -127,10 +175,70 @@ Array2D<double> ConvolutionGenerator::generate_direct(const Rect& region) const 
             f(static_cast<std::size_t>(tx), static_cast<std::size_t>(ty)) = acc;
         }
     });
-    if (health_ != HealthPolicy::kIgnore) {
-        apply_policy(scan_surface(f, std::sqrt(kernel_.energy())), health_,
-                     {"ConvolutionGenerator", "generate_direct"});
+    scan_health(f, "generate_direct");
+    return f;
+}
+
+Array2D<double> ConvolutionGenerator::generate_separable(const Rect& region) const {
+    RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate_separable",
+              "region must be non-empty");
+    if (!factors_.has_value()) {
+        throw ConfigError{
+            "separable engine requested but the kernel does not factor "
+            "rank-1 (only the Gaussian family does); use engine=fft or "
+            "engine=direct",
+            {"ConvolutionGenerator", "generate_separable"}};
     }
+    RRS_TRACE_SPAN("conv.separable");
+    ConvCounters::get().count_tile(region, ConvCounters::get().separable_tiles);
+
+    const std::int64_t lx = halo_left_x();
+    const std::int64_t ly = halo_left_y();
+    const std::int64_t Sx = region.nx + lx + halo_right_x();  // = nx + Kx − 1
+    const std::int64_t Sy = region.ny + ly + halo_right_y();  // = ny + Ky − 1
+    Array2D<double> X(static_cast<std::size_t>(Sx), static_cast<std::size_t>(Sy));
+    lattice_.fill(Rect{region.x0 - lx, region.y0 - ly, Sx, Sy}, X);
+
+    // taps = fx⊗fy turns eq. (36) into two 1-D passes:
+    //   H(t, s)  = Σ_u fx[Kx−1−u] · X(t+u, s)        (horizontal, dot)
+    //   f(t, ty) = Σ_v fy[Ky−1−v] · H(t, ty+v)       (vertical, axpy)
+    // Both passes parallelise over independent output rows with a fixed
+    // accumulation order, so results are bit-identical at any thread count
+    // and overlapping rectangles agree exactly (X is a pure function of
+    // absolute lattice coordinates).
+    const std::size_t knx = kernel_.nx();
+    const std::size_t kny = kernel_.ny();
+    std::vector<double> gx(knx);
+    std::vector<double> gy(kny);
+    for (std::size_t u = 0; u < knx; ++u) {
+        gx[u] = factors_->fx[knx - 1 - u];
+    }
+    for (std::size_t v = 0; v < kny; ++v) {
+        gy[v] = factors_->fy[kny - 1 - v];
+    }
+
+    Array2D<double> H(static_cast<std::size_t>(region.nx),
+                      static_cast<std::size_t>(Sy));
+    parallel_for(0, Sy, [&](std::int64_t sy) {
+        const double* xrow = X.row(static_cast<std::size_t>(sy)).data();
+        double* hrow = H.row(static_cast<std::size_t>(sy)).data();
+        for (std::int64_t tx = 0; tx < region.nx; ++tx) {
+            hrow[static_cast<std::size_t>(tx)] =
+                simd::dot(gx.data(), xrow + tx, knx);
+        }
+    });
+
+    Array2D<double> f(static_cast<std::size_t>(region.nx),
+                      static_cast<std::size_t>(region.ny));
+    parallel_for(0, region.ny, [&](std::int64_t ty) {
+        double* frow = f.row(static_cast<std::size_t>(ty)).data();
+        std::fill(frow, frow + region.nx, 0.0);
+        for (std::size_t v = 0; v < kny; ++v) {
+            const double* hrow = H.row(static_cast<std::size_t>(ty) + v).data();
+            simd::axpy(frow, hrow, gy[v], static_cast<std::size_t>(region.nx));
+        }
+    });
+    scan_health(f, "generate_separable");
     return f;
 }
 
@@ -152,12 +260,11 @@ const ConvolutionGenerator::CachedKernelFft& ConvolutionGenerator::kernel_fft(
     return *it->second;
 }
 
-Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
-    RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate",
+Array2D<double> ConvolutionGenerator::generate_fft(const Rect& region) const {
+    RRS_CHECK(!region.empty(), "ConvolutionGenerator::generate_fft",
               "region must be non-empty");
-    RRS_TRACE_SPAN("conv.generate");
-    ConvCounters::get().tiles.add();
-    ConvCounters::get().points.add(static_cast<std::uint64_t>(region.nx * region.ny));
+    RRS_TRACE_SPAN("conv.fft");
+    ConvCounters::get().count_tile(region, ConvCounters::get().fft_tiles);
     const std::int64_t lx = halo_left_x();
     const std::int64_t ly = halo_left_y();
     const std::int64_t Sx = region.nx + lx + halo_right_x();
@@ -174,9 +281,7 @@ Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
 
     Array2D<cplx> spec;
     plan->forward(noise, spec);
-    for (std::size_t i = 0; i < spec.size(); ++i) {
-        spec.data()[i] *= kfft.spectrum.data()[i];
-    }
+    simd::cmul(spec.data(), kfft.spectrum.data(), spec.size());
     Array2D<double> conv;
     plan->inverse(spec, conv);
 
@@ -190,10 +295,7 @@ Array2D<double> ConvolutionGenerator::generate(const Rect& region) const {
                 conv(static_cast<std::size_t>(tx + lx), static_cast<std::size_t>(ty + ly));
         }
     }
-    if (health_ != HealthPolicy::kIgnore) {
-        apply_policy(scan_surface(f, std::sqrt(kernel_.energy())), health_,
-                     {"ConvolutionGenerator", "generate"});
-    }
+    scan_health(f, "generate_fft");
     return f;
 }
 

@@ -10,16 +10,26 @@
 /// realises the paper's "any size of continuous RRSs ... by successive
 /// computations" claim deterministically.
 ///
-/// Two engines compute the same sums:
-///  * generate()        — FFT-based (circular convolution on a padded tile);
-///  * generate_direct() — the literal tap-sum of eq. (36), O(N²·K²), kept
-///                        as the reference and for small truncated kernels.
+/// Three engines compute the same sums (engine.hpp, DESIGN.md §15):
+///  * generate_direct()    — the literal tap-sum of eq. (36), O(N²·K²);
+///                           the reference every other engine is tested
+///                           against.
+///  * generate_fft()       — circular convolution on a pow2-padded tile via
+///                           the real-input FFT, O(P² log P).
+///  * generate_separable() — two SIMD 1-D passes over the noise halo for
+///                           rank-1 kernels (the Gaussian family),
+///                           O(N²·(Kx+Ky)).
+/// `generate()` dispatches on the configured engine (kAuto → separable
+/// when the kernel factors, else FFT), overridable per call by the
+/// RRS_KERNEL_ENGINE environment variable.
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
+#include "core/engine.hpp"
 #include "core/health.hpp"
 #include "core/kernel.hpp"
 #include "grid/array2d.hpp"
@@ -34,9 +44,11 @@ public:
     /// `health` gates the numeric guards (health.hpp): at construction the
     /// kernel's energy-conservation check runs, and every generated tile is
     /// scanned for NaN/Inf and implausible RMS.  kIgnore (default) skips
-    /// both and preserves historical behaviour.
+    /// both and preserves historical behaviour.  `engine` selects the
+    /// generate() fast path; kAuto resolves per call (engine.hpp).
     explicit ConvolutionGenerator(ConvolutionKernel kernel, std::uint64_t seed,
-                                  HealthPolicy health = HealthPolicy::kIgnore);
+                                  HealthPolicy health = HealthPolicy::kIgnore,
+                                  KernelEngine engine = KernelEngine::kAuto);
     ~ConvolutionGenerator();
 
     ConvolutionGenerator(ConvolutionGenerator&&) noexcept;
@@ -44,14 +56,39 @@ public:
     ConvolutionGenerator(const ConvolutionGenerator&) = delete;
     ConvolutionGenerator& operator=(const ConvolutionGenerator&) = delete;
 
-    /// Surface heights for lattice points in `region` (FFT engine).
+    /// Surface heights for lattice points in `region`, via the resolved
+    /// engine (see resolved_engine()).  All engines agree to ≤1e-12 and
+    /// each engine is individually bit-deterministic (DESIGN.md §15).
     Array2D<double> generate(const Rect& region) const;
 
-    /// Literal eq. (36) tap sums (direct engine); identical output.
+    /// Literal eq. (36) tap sums — the reference engine.
     Array2D<double> generate_direct(const Rect& region) const;
+
+    /// Padded circular convolution through the real-input FFT.
+    Array2D<double> generate_fft(const Rect& region) const;
+
+    /// Two 1-D passes over the noise halo (horizontal dot products, then a
+    /// vertical row accumulation), SIMD inner loops.  Throws ConfigError
+    /// when the kernel is not separable (separable_available() is false).
+    Array2D<double> generate_separable(const Rect& region) const;
 
     /// The white-noise field X over `region` (mostly for tests/diagnostics).
     Array2D<double> noise_tile(const Rect& region) const;
+
+    /// Engine configured on this generator (kAuto until set).
+    KernelEngine engine() const noexcept { return engine_; }
+    void set_engine(KernelEngine engine) noexcept { engine_ = engine; }
+
+    /// The engine generate() will run right now: RRS_KERNEL_ENGINE override
+    /// first, then the configured engine, with kAuto resolving to separable
+    /// when the kernel factors and FFT otherwise.  Throws ConfigError on a
+    /// malformed override; an explicit separable demand on a non-separable
+    /// kernel throws from generate_separable() itself.
+    KernelEngine resolved_engine() const;
+
+    /// True when the kernel admits the separable engine (rank-1 within
+    /// kSeparableTol; the Gaussian family qualifies exactly).
+    bool separable_available() const noexcept { return factors_.has_value(); }
 
     const ConvolutionKernel& kernel() const noexcept { return kernel_; }
     const GaussianLattice& noise() const noexcept { return lattice_; }
@@ -63,7 +100,9 @@ public:
     /// Stable hash of (seed, kernel shape, tap spacing, kernel energy) —
     /// identifies the generator's configuration for checkpoint/resume
     /// (streaming.hpp).  Two generators with equal fingerprints produce
-    /// bit-identical surfaces on every rectangle.
+    /// bit-identical surfaces on every rectangle.  Deliberately engine-
+    /// independent: engines agree to ≤1e-12, and the escape-hatch contract
+    /// is that switching engines must not invalidate caches or checkpoints.
     std::uint64_t fingerprint() const noexcept;
 
 private:
@@ -76,12 +115,17 @@ private:
     std::int64_t halo_right_y() const noexcept { return -kernel_.min_dy(); }
 
     const CachedKernelFft& kernel_fft(std::size_t Px, std::size_t Py) const;
+    void scan_health(const Array2D<double>& f, const char* where) const;
 
     struct FftCache;
 
     ConvolutionKernel kernel_;
     GaussianLattice lattice_;
     HealthPolicy health_ = HealthPolicy::kIgnore;
+    KernelEngine engine_ = KernelEngine::kAuto;
+    /// Rank-1 factors (kernel_.separable()), computed once at construction;
+    /// nullopt for non-separable kernels.
+    std::optional<SeparableFactors> factors_;
     std::unique_ptr<FftCache> cache_;  // keeps the generator movable
 };
 

@@ -1,0 +1,55 @@
+#include "core/engine.hpp"
+
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace rrs {
+
+const char* kernel_engine_name(KernelEngine engine) noexcept {
+    switch (engine) {
+        case KernelEngine::kDirect:
+            return "direct";
+        case KernelEngine::kFft:
+            return "fft";
+        case KernelEngine::kSeparable:
+            return "separable";
+        case KernelEngine::kAuto:
+            break;
+    }
+    return "auto";
+}
+
+KernelEngine parse_kernel_engine(const std::string& name) {
+    if (name == "auto") {
+        return KernelEngine::kAuto;
+    }
+    if (name == "direct") {
+        return KernelEngine::kDirect;
+    }
+    if (name == "fft") {
+        return KernelEngine::kFft;
+    }
+    if (name == "separable") {
+        return KernelEngine::kSeparable;
+    }
+    throw ConfigError{"unknown kernel engine '" + name +
+                          "' (expected auto|direct|fft|separable)",
+                      {"engine", "parse_kernel_engine"}};
+}
+
+std::optional<KernelEngine> kernel_engine_env_override() {
+    const char* env = std::getenv("RRS_KERNEL_ENGINE");
+    if (env == nullptr || *env == '\0') {
+        return std::nullopt;
+    }
+    try {
+        return parse_kernel_engine(env);
+    } catch (const ConfigError&) {
+        throw ConfigError{"unknown kernel engine '" + std::string(env) +
+                              "' (expected auto|direct|fft|separable)",
+                          {"engine", "RRS_KERNEL_ENGINE"}};
+    }
+}
+
+}  // namespace rrs

@@ -36,7 +36,8 @@ InhomogeneousGenerator::InhomogeneousGenerator(RegionMapPtr map, GridSpec kernel
         kernels_.push_back(k);
         // Sub-generators run with kIgnore: the blended output is scanned
         // once in generate(), and per-region kernels were just checked.
-        generators_.emplace_back(std::move(k), seed);
+        generators_.emplace_back(std::move(k), seed, HealthPolicy::kIgnore,
+                                 opt_.engine);
     }
 }
 

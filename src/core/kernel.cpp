@@ -1,10 +1,11 @@
 #include "core/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/discrete_spectrum.hpp"
 #include "core/validate.hpp"
-#include "fft/fft2d.hpp"
+#include "fft/real.hpp"
 #include "grid/permute.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -31,12 +32,18 @@ ConvolutionKernel ConvolutionKernel::build(const Spectrum& spectrum, const GridS
     g.validate();
     const Array2D<double> v = sqrt_weight_array(spectrum, g);
 
-    Array2D<cplx> V(g.Nx, g.Ny);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-        V.data()[i] = cplx{v.data()[i], 0.0};
-    }
-    Fft2D plan(g.Nx, g.Ny);
-    plan.forward(V);
+    // v is real (and even in both axes), so the DFT comes from the r2c
+    // half-spectrum path — half the transform work of the complex plan.
+    // Bins above Nx/2 follow from Hermitian symmetry, and since DFT(v) is
+    // real the conjugation is a no-op on the value we keep.
+    Array2D<cplx> V;  // (Nx/2+1) × Ny
+    rfft2d_plan(g.Nx, g.Ny)->forward(v, V);
+    const auto spectral_real = [&](std::size_t mx, std::size_t my) {
+        if (mx <= g.Nx / 2) {
+            return V(mx, my).real();
+        }
+        return V(g.Nx - mx, (g.Ny - my) % g.Ny).real();
+    };
 
     // Eq. (34): w̄ = DFT(v)/√(NxNy), re-centred per eq. (35).
     const double scale = 1.0 / std::sqrt(static_cast<double>(g.Nx * g.Ny));
@@ -44,9 +51,8 @@ ConvolutionKernel ConvolutionKernel::build(const Spectrum& spectrum, const GridS
     for (std::size_t my = 0; my < g.Ny; ++my) {
         const std::size_t oy = fftshift_index(my, g.My());
         for (std::size_t mx = 0; mx < g.Nx; ++mx) {
-            // v is even in both axes, so DFT(v) is real; the imaginary
-            // residue is rounding noise and is dropped.
-            c(fftshift_index(mx, g.Mx()), oy) = V(mx, my).real() * scale;
+            // The imaginary residue of DFT(v) is rounding noise; dropped.
+            c(fftshift_index(mx, g.Mx()), oy) = spectral_real(mx, my) * scale;
         }
     }
     const double h = spectrum.params().h;
@@ -126,6 +132,51 @@ ConvolutionKernel ConvolutionKernel::truncated(double tail_eps) const {
         }
     }
     return ConvolutionKernel{std::move(out), kx, ky, dx_, dy_, target_variance_};
+}
+
+std::optional<SeparableFactors> ConvolutionKernel::separable(double tol) const {
+    // Pivot at the largest-magnitude tap: if taps = fx⊗fy at all, then
+    // taps(ix, py)·taps(px, iy)/taps(px, py) reconstructs every entry.
+    std::size_t px = 0;
+    std::size_t py = 0;
+    double max_abs = 0.0;
+    for (std::size_t iy = 0; iy < taps_.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < taps_.nx(); ++ix) {
+            const double a = std::abs(taps_(ix, iy));
+            if (a > max_abs) {
+                max_abs = a;
+                px = ix;
+                py = iy;
+            }
+        }
+    }
+    if (max_abs == 0.0) {
+        return std::nullopt;  // all-zero kernel: degenerate, keep dense path
+    }
+
+    SeparableFactors f;
+    f.fx.resize(taps_.nx());
+    f.fy.resize(taps_.ny());
+    for (std::size_t ix = 0; ix < taps_.nx(); ++ix) {
+        f.fx[ix] = taps_(ix, py);
+    }
+    const double inv_pivot = 1.0 / taps_(px, py);
+    for (std::size_t iy = 0; iy < taps_.ny(); ++iy) {
+        f.fy[iy] = taps_(px, iy) * inv_pivot;
+    }
+
+    double residual = 0.0;
+    for (std::size_t iy = 0; iy < taps_.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < taps_.nx(); ++ix) {
+            residual = std::max(residual,
+                                std::abs(taps_(ix, iy) - f.fx[ix] * f.fy[iy]));
+        }
+    }
+    f.residual = residual / max_abs;
+    if (f.residual > tol) {
+        return std::nullopt;
+    }
+    return f;
 }
 
 Array2D<double> ConvolutionKernel::wrapped_image(std::size_t Px, std::size_t Py) const {

@@ -10,12 +10,31 @@
 /// "reduce the size of the weighting array to save computation time".
 
 #include <cstddef>
+#include <optional>
+#include <vector>
 
 #include "core/grid_spec.hpp"
 #include "core/spectrum.hpp"
 #include "grid/array2d.hpp"
 
 namespace rrs {
+
+/// Rank-1 factorisation of a kernel: taps(ix, iy) ≈ fx[ix]·fy[iy].
+/// The Gaussian family factors *exactly* (its sqrt-weight array is an
+/// outer product, and the DFT of an outer product is the outer product of
+/// the 1-D DFTs), so its residual is FFT rounding noise (~1e-16 relative);
+/// exponential and power-law kernels do not factor and fail the check.
+struct SeparableFactors {
+    std::vector<double> fx;  ///< column factor, length nx
+    std::vector<double> fy;  ///< row factor, length ny
+    /// max |taps − fx⊗fy| / max |taps| over the full support.
+    double residual = 0.0;
+};
+
+/// Default acceptance tolerance for SeparableFactors::residual — far above
+/// the Gaussian family's actual FFT-rounding residual, far below any
+/// genuinely non-separable kernel's.
+inline constexpr double kSeparableTol = 1e-12;
 
 /// Centered real-space convolution kernel with physical tap spacing.
 class ConvolutionKernel {
@@ -64,6 +83,14 @@ public:
     /// Smallest centered odd window, shrinking both axes proportionally,
     /// that keeps at least (1 − tail_eps) of the kernel energy.
     ConvolutionKernel truncated(double tail_eps) const;
+
+    /// Rank-1 factorisation taps ≈ fx⊗fy via the largest-|tap| pivot:
+    /// fx[ix] = taps(ix, py), fy[iy] = taps(px, iy)/taps(px, py), verified
+    /// against every tap.  Returns nullopt when the relative residual
+    /// exceeds `tol` (the kernel is not separable) — the gate for the
+    /// separable convolution engine.  Truncation preserves separability
+    /// (a window of an outer product is an outer product).
+    std::optional<SeparableFactors> separable(double tol = kSeparableTol) const;
 
     /// Kernel laid out cyclically on a Px×Py grid (tap at offset d lands at
     /// index d mod P) — the image FFT-based convolution transforms.

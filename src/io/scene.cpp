@@ -374,9 +374,10 @@ Scene parse_scene(std::istream& in) {
     // Top-level settings.
     Scene scene;
     const Section& top = sections.front();
-    reject_unknown_keys(
-        top, {"seed", "kernel_grid", "region", "tail_eps", "origin", "output", "health"},
-        "top-level settings");
+    reject_unknown_keys(top,
+                        {"seed", "kernel_grid", "region", "tail_eps", "origin",
+                         "output", "health", "engine"},
+                        "top-level settings");
     if (top.has("seed")) {
         scene.seed =
             static_cast<std::uint64_t>(parse_numbers(top, "seed", 1, 1)[0]);
@@ -407,6 +408,13 @@ Scene parse_scene(std::istream& in) {
             scene.health = parse_health_policy(top.get("health"));
         } catch (const ConfigError& e) {
             throw SceneError(top.line_of("health"), e.message(), e.context());
+        }
+    }
+    if (top.has("engine")) {
+        try {
+            scene.engine = parse_kernel_engine(top.get("engine"));
+        } catch (const ConfigError& e) {
+            throw SceneError(top.line_of("engine"), e.message(), e.context());
         }
     }
     try {
@@ -454,6 +462,7 @@ InhomogeneousGenerator make_scene_generator(const Scene& scene) {
     opt.origin_x = scene.origin_x;
     opt.origin_y = scene.origin_y;
     opt.health = scene.health;
+    opt.engine = scene.engine;
     return InhomogeneousGenerator(scene.map, scene.kernel_grid, scene.seed, opt);
 }
 

@@ -63,6 +63,9 @@ struct Scene {
     /// Numeric health policy for rendering (`health = throw|report|ignore`;
     /// the rrsgen `--health` flag overrides it).
     HealthPolicy health = HealthPolicy::kReport;
+    /// Kernel engine (`engine = auto|direct|fft|separable`; the rrsgen
+    /// `--engine` flag and RRS_KERNEL_ENGINE env var override it).
+    KernelEngine engine = KernelEngine::kAuto;
     RegionMapPtr map;                  ///< built blending map (never null)
     std::vector<std::string> outputs;  ///< format chosen by extension
 };

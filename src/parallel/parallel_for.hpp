@@ -20,9 +20,21 @@
 
 namespace rrs {
 
+/// True on a ThreadPool worker thread (defined in thread_pool.cpp, set for
+/// the lifetime of each worker).  Data-parallel loops run serially there:
+/// the pool already owns one core per worker, and nesting an OpenMP team
+/// inside every worker oversubscribes the machine N×M-fold — the batch
+/// fan-out serialisation the tile-service bench exposed (each cold tile's
+/// inner loops fought every other worker's team for the same cores).
+bool in_pool_worker() noexcept;
+
 /// Number of worker threads parallel loops will use.  Honours the
-/// RRS_THREADS environment variable, then OpenMP's default.
+/// RRS_THREADS environment variable, then OpenMP's default; always 1
+/// inside a ThreadPool worker (see in_pool_worker).
 inline int max_threads() noexcept {
+    if (in_pool_worker()) {
+        return 1;
+    }
 #ifdef RRS_HAVE_OPENMP
     if (const char* env = std::getenv("RRS_THREADS")) {
         const int n = std::atoi(env);
@@ -41,6 +53,12 @@ inline int max_threads() noexcept {
 template <typename Body>
 void parallel_for(std::int64_t begin, std::int64_t end, Body&& body) {
 #ifdef RRS_HAVE_OPENMP
+    if (max_threads() <= 1) {  // serial fast path: skip the OpenMP region
+        for (std::int64_t i = begin; i < end; ++i) {
+            body(i);
+        }
+        return;
+    }
 #pragma omp parallel for schedule(static) num_threads(max_threads())
     for (std::int64_t i = begin; i < end; ++i) {
         body(i);

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_for.hpp"
+
 namespace rrs {
+
+namespace {
+/// Set for the lifetime of each pool worker; read by max_threads() so
+/// nested data-parallel loops run serially on pool workers (the batch
+/// fan-out de-serialisation — see parallel_for.hpp).
+thread_local bool tl_in_pool_worker = false;
+}  // namespace
+
+bool in_pool_worker() noexcept { return tl_in_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t n) {
     if (n == 0) {
@@ -36,6 +47,7 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+    tl_in_pool_worker = true;
     for (;;) {
         std::function<void()> task;
         {

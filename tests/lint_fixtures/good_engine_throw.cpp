@@ -1,0 +1,19 @@
+// Compliant fixture: the engine-selection contract (DESIGN.md §15) rejects
+// an unknown kernel engine with ConfigError — a taxonomy throw, so rule
+// `error-taxonomy` must NOT fire, and the message carries the accepted
+// values the way parse_kernel_engine's does.  Never compiled — scanned by
+// `rrslint --check-fixtures` (ctest: rrslint_fixtures).
+#include "core/engine.hpp"
+#include "core/error.hpp"
+
+namespace rrs {
+
+inline KernelEngine require_known_engine(const char* name) {
+    if (name == nullptr) {
+        throw ConfigError{"unknown kernel engine (expected auto|direct|fft|separable)",
+                          {"engine"}};
+    }
+    return parse_kernel_engine(name);
+}
+
+}  // namespace rrs

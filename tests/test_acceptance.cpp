@@ -40,15 +40,19 @@ struct FamilyRun {
 /// Generate the seeded ensemble for one spectrum family and pool its
 /// statistics.  The normality subsample strides 3·cl in both axes, so
 /// neighbouring samples are ~e⁻³-correlated (effectively independent),
-/// and pools across realisations (independent by construction).
-FamilyRun run_family(const SpectrumPtr& s, std::uint64_t seed_base) {
+/// and pools across realisations (independent by construction).  `engine`
+/// pins the kernel engine so each acceptance run certifies a named fast
+/// path, not whatever kAuto happens to resolve.
+FamilyRun run_family(const SpectrumPtr& s, std::uint64_t seed_base,
+                     KernelEngine engine = KernelEngine::kFft) {
     const ConvolutionKernel kernel = ConvolutionKernel::build_truncated(
         *s, GridSpec::unit_spacing(kKernelGrid, kKernelGrid), 1e-6);
 
     std::vector<Array2D<double>> fields;
     fields.reserve(kRealisations);
     for (std::size_t k = 0; k < kRealisations; ++k) {
-        const ConvolutionGenerator gen(kernel, seed_base + k);
+        const ConvolutionGenerator gen(kernel, seed_base + k, HealthPolicy::kIgnore,
+                                       engine);
         fields.push_back(gen.generate(Rect{0, 0, kField, kField}));
     }
 
@@ -107,6 +111,16 @@ void expect_family_acceptance(const SpectrumPtr& s, const FamilyRun& run) {
 TEST(Acceptance, GaussianFamilyMatchesClosedForm) {
     const auto s = make_gaussian({1.0, kCl, kCl});
     expect_family_acceptance(s, run_family(s, 1000));
+}
+
+TEST(Acceptance, GaussianFamilySeparableEngineMatchesClosedForm) {
+    // The separable fast path must reproduce the paper's closed forms with
+    // the same ensemble machinery as the dense engines — statistical
+    // fidelity, not just the ≤1e-12 numerical agreement the differential
+    // suite (test_kernel_equivalence.cpp) pins.  Same seeds as the FFT
+    // run above, so any drift is the engine, not sampling noise.
+    const auto s = make_gaussian({1.0, kCl, kCl});
+    expect_family_acceptance(s, run_family(s, 1000, KernelEngine::kSeparable));
 }
 
 TEST(Acceptance, PowerLawFamilyMatchesClosedForm) {

@@ -28,7 +28,7 @@ ConvolutionGenerator make_gen(SpectrumPtr s, std::uint64_t seed, double eps = 1e
 TEST(Convolution, DirectAndFftEnginesAgree) {
     const auto gen = make_gen(make_gaussian({1.0, 8.0, 8.0}), 11);
     for (const Rect r : {Rect{0, 0, 40, 40}, Rect{-17, 23, 31, 19}, Rect{5, -60, 64, 8}}) {
-        const auto a = gen.generate(r);
+        const auto a = gen.generate_fft(r);
         const auto b = gen.generate_direct(r);
         EXPECT_LT(max_abs_diff(a, b), 1e-10)
             << "rect " << r.x0 << "," << r.y0 << " " << r.nx << "x" << r.ny;
@@ -42,7 +42,7 @@ TEST(Convolution, EnginesAgreeForAnisotropicEvenKernel) {
     ConvolutionGenerator gen(ConvolutionKernel::build(*s, GridSpec::unit_spacing(64, 64)),
                              3);
     const Rect r{-9, 4, 25, 33};
-    EXPECT_LT(max_abs_diff(gen.generate(r), gen.generate_direct(r)), 1e-10);
+    EXPECT_LT(max_abs_diff(gen.generate_fft(r), gen.generate_direct(r)), 1e-10);
 }
 
 TEST(Convolution, OverlappingRegionsAgreeExactly) {

@@ -304,7 +304,28 @@ TEST_F(ObsTrace, ChromeTraceJsonHasExpectedShape) {
 
 TEST_F(ObsTrace, PipelineEmitsExpectedSpanNames) {
     // The instrumentation contract the tools rely on: one generate() call
-    // must produce the documented pipeline spans.
+    // must produce the documented pipeline spans for the engine it ran.
+    const auto s = make_gaussian({1.0, 5.0, 5.0});
+    const ConvolutionGenerator gen(
+        ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(32, 32), 1e-6), 8,
+        HealthPolicy::kIgnore, KernelEngine::kFft);
+    trace_enable();
+    (void)gen.generate(Rect{0, 0, 24, 24});
+    trace_disable();
+    std::set<std::string> names;
+    for (const auto& e : trace_events()) {
+        names.insert(e.name);
+    }
+    for (const char* expected :
+         {"conv.generate", "conv.fft", "conv.kernel_fft", "noise.fill",
+          "fft.forward", "fft.inverse", "fft.plan"}) {
+        EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
+    }
+}
+
+TEST_F(ObsTrace, SeparableEngineEmitsItsOwnSpan) {
+    // The kAuto default routes Gaussian kernels to the separable engine;
+    // profiling must be able to tell the engines apart by span name.
     const auto s = make_gaussian({1.0, 5.0, 5.0});
     const ConvolutionGenerator gen(
         ConvolutionKernel::build_truncated(*s, GridSpec::unit_spacing(32, 32), 1e-6), 8);
@@ -315,11 +336,10 @@ TEST_F(ObsTrace, PipelineEmitsExpectedSpanNames) {
     for (const auto& e : trace_events()) {
         names.insert(e.name);
     }
-    for (const char* expected :
-         {"conv.generate", "conv.kernel_fft", "noise.fill", "fft.forward",
-          "fft.inverse", "fft.plan"}) {
+    for (const char* expected : {"conv.generate", "conv.separable", "noise.fill"}) {
         EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
     }
+    EXPECT_FALSE(names.count("conv.fft")) << "separable run must not enter the FFT engine";
 }
 
 TEST_F(ObsTrace, DisabledSpanOverheadIsNegligible) {

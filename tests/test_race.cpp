@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/convolution.hpp"
 #include "core/error.hpp"
 #include "grid/array2d.hpp"
 #include "net/client.hpp"
@@ -144,6 +145,66 @@ TEST(RaceTileService, ConcurrentWindowsUnderEvictionPressure) {
     const TileCache::Stats stats = cache->stats();
     EXPECT_GT(stats.evictions, 0u) << "budget was meant to force evictions";
     EXPECT_LE(stats.bytes, cache->byte_budget());
+}
+
+// --- TileService: real-generator batch fan-out under contention ---------------
+
+TEST(RaceTileService, BatchFanOutWithRealGeneratorStaysBitExact) {
+    // The de-serialized fan-out path end-to-end: get_many dispatches cold
+    // tiles onto a 4-worker pool, and inside each worker the convolution
+    // engine's parallel_for takes its serial fast path (in_pool_worker gate)
+    // instead of opening a nested OpenMP team.  Several client threads issue
+    // overlapping batches concurrently, so coalescing, the cache, and the
+    // pool gate are all exercised together under TSan — and every tile must
+    // still equal the pure-function reference generation bit-for-bit.
+    const auto spectrum = make_gaussian({1.0, 6.0, 6.0});
+    const ConvolutionGenerator gen(
+        ConvolutionKernel::build_truncated(*spectrum,
+                                           GridSpec::unit_spacing(64, 64), 1e-8),
+        /*seed=*/99);
+    ThreadPool pool(4);
+    TileService::Options opt;
+    opt.shape = TileShape{32, 32};
+    opt.pool = &pool;
+    TileService service(gen, opt);
+
+    constexpr int kClients = 4;
+    const std::vector<std::vector<TileKey>> batches = {
+        {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}, {0, 1, 0}, {1, 1, 0}},
+        {{1, 0, 0}, {1, 1, 0}, {1, 2, 0}, {1, 3, 0}, {2, 2, 0}, {3, 3, 0}},
+        {{-1, -1, 0}, {0, 0, 0}, {1, 1, 0}, {2, 2, 0}, {3, 3, 0}, {-2, 0, 0}},
+        {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}, {3, 0, 0}, {-1, -1, 0}, {-2, 0, 0}},
+    };
+
+    std::latch start{kClients};
+    std::vector<int> mismatches(kClients, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            start.arrive_and_wait();
+            const auto& keys = batches[static_cast<std::size_t>(c)];
+            const auto tiles = service.get_many(keys);
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                const Array2D<double> ref =
+                    gen.generate(tile_rect(opt.shape, keys[i]));
+                if (tiles[i] == nullptr || max_abs_diff(*tiles[i], ref) != 0.0) {
+                    ++mismatches[static_cast<std::size_t>(c)];
+                }
+            }
+        });
+    }
+    for (auto& th : clients) {
+        th.join();
+    }
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(mismatches[static_cast<std::size_t>(c)], 0)
+            << "client " << c << " received a tile differing from reference";
+    }
+    // Duplicated keys across batches coalesce or hit cache; the identity
+    // over the metric counters must survive the storm.
+    const MetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.cache_misses, m.generations + m.coalesced + m.l2_promotions);
 }
 
 // --- ThreadPool::shared(): submission churn from many threads -----------------

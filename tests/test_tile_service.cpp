@@ -528,5 +528,52 @@ TEST(TileService, PyramidReturnsEveryLevelTopFirst) {
     EXPECT_THROW((void)service.pyramid(TileKey{0, 0, 1}, /*min_z=*/2), ConfigError);
 }
 
+// --- batch fan-out parallel scaling ------------------------------------------
+
+TEST(TileService, BatchFanOutScalesWithPoolThreads) {
+    // Regression guard for the nested-parallelism serialization bug: get_many
+    // fans cold tiles out across the pool, and each per-tile generation used
+    // to open a *nested* OpenMP team, oversubscribing the machine until the
+    // batch ran effectively serially.  With the in-pool-worker gate
+    // (parallel_for.hpp) each worker generates its tile serially and the
+    // batch parallelism is the pool's, so a 4-thread pool must beat a
+    // 1-thread pool by a healthy margin on a cold batch.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw < 4) {
+        GTEST_SKIP() << "batch fan-out scaling needs >= 4 hardware threads, "
+                     << "this machine reports " << hw;
+    }
+
+    const auto timed_batch = [](std::size_t pool_threads) {
+        const auto gen = make_gen(404);
+        ThreadPool pool(pool_threads);
+        TileService::Options opt;
+        opt.shape = TileShape{64, 64};
+        opt.pool = &pool;
+        TileService service(gen, opt);
+        std::vector<TileKey> keys;
+        for (std::int64_t ty = 0; ty < 4; ++ty) {
+            for (std::int64_t tx = 0; tx < 4; ++tx) {
+                keys.push_back(TileKey{tx, ty, 0});
+            }
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto tiles = service.get_many(keys);
+        const auto t1 = std::chrono::steady_clock::now();
+        EXPECT_EQ(tiles.size(), keys.size());
+        EXPECT_EQ(service.metrics().generations, keys.size());
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    // Warm-up run to settle pool spin-up and any lazy FFT planning, then
+    // best-of-two per configuration to damp scheduler noise.
+    (void)timed_batch(1);
+    const double serial = std::min(timed_batch(1), timed_batch(1));
+    const double fanout = std::min(timed_batch(4), timed_batch(4));
+    EXPECT_GE(serial / fanout, 1.5)
+        << "cold 16-tile batch: 1-thread pool took " << serial << " s, 4-thread pool "
+        << fanout << " s — fan-out is serialized again";
+}
+
 }  // namespace
 }  // namespace rrs

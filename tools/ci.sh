@@ -111,6 +111,12 @@ run_perf() {
     echo "==> [perf] net_load --quick"
     build/bench/net_load --quick --out-dir bench_out
     echo "==> [perf] wrote bench_out/BENCH_net.json"
+    # Engine roofline sweep; --assert-speedup fails the stage unless the
+    # separable fast path holds its >= 2x-over-dense-FFT claim on the
+    # default Gaussian scene (DESIGN.md §15).
+    echo "==> [perf] kernel_roofline --assert-speedup"
+    build/bench/kernel_roofline --assert-speedup --out-dir bench_out
+    echo "==> [perf] wrote bench_out/BENCH_kernel_roofline.json"
 }
 
 run_store() {

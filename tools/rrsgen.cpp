@@ -5,12 +5,14 @@
 // statistics, and writes the declared outputs.
 //
 //   rrsgen SCENE.rrs [--seed N] [--print-stats] [--health MODE]
-//                    [--trace FILE] [--metrics]
+//                    [--engine NAME] [--trace FILE] [--metrics]
 //   rrsgen --example            # print a ready-to-run example scene
 //
 // --health MODE (throw | report | ignore) overrides the scene's numeric
 // health policy: `throw` aborts on NaN/Inf or implausible statistics,
 // `report` prints a diagnostic and keeps going, `ignore` skips the guards.
+// --engine NAME (auto | direct | fft | separable) overrides the scene's
+// kernel engine (engine.hpp); RRS_KERNEL_ENGINE overrides both.
 // --trace FILE enables span tracing for the render and writes a Chrome
 // trace_event JSON file (load in chrome://tracing or Perfetto);
 // --metrics prints the library metrics registry as one JSON line.
@@ -55,10 +57,12 @@ outside = field
 
 int usage() {
     std::cerr << "usage: rrsgen SCENE.rrs [--seed N] [--print-stats] [--health MODE]\n"
-                 "                        [--trace FILE] [--metrics]\n"
+                 "                        [--engine NAME] [--trace FILE] [--metrics]\n"
                  "       rrsgen --example   (print an example scene file)\n"
                  "  --health MODE   numeric health policy: throw | report | ignore\n"
                  "                  (default: the scene's 'health =' key, else report)\n"
+                 "  --engine NAME   kernel engine: auto | direct | fft | separable\n"
+                 "                  (default: the scene's 'engine =' key, else auto)\n"
                  "  --trace FILE    record pipeline spans, write Chrome trace JSON\n"
                  "  --metrics       print the metrics registry as one JSON line\n";
     return 2;
@@ -80,7 +84,9 @@ int main(int argc, char** argv) {
     bool print_metrics = false;
     bool override_seed = false;
     bool override_health = false;
+    bool override_engine = false;
     HealthPolicy health = HealthPolicy::kReport;
+    KernelEngine engine = KernelEngine::kAuto;
     std::uint64_t seed = 0;
     std::string trace_path;
     for (int i = 2; i < argc; ++i) {
@@ -97,6 +103,14 @@ int main(int argc, char** argv) {
             override_health = true;
             try {
                 health = parse_health_policy(argv[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << "rrsgen: " << e.what() << "\n";
+                return usage();
+            }
+        } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+            override_engine = true;
+            try {
+                engine = parse_kernel_engine(argv[++i]);
             } catch (const std::exception& e) {
                 std::cerr << "rrsgen: " << e.what() << "\n";
                 return usage();
@@ -119,10 +133,13 @@ int main(int argc, char** argv) {
         if (override_health) {
             scene.health = health;
         }
+        if (override_engine) {
+            scene.engine = engine;
+        }
         std::cerr << "rrsgen: rendering " << scene.region.nx << "x" << scene.region.ny
                   << " surface (" << scene.map->region_count() << " region(s), seed "
                   << scene.seed << ", health " << health_policy_name(scene.health)
-                  << ")\n";
+                  << ", engine " << kernel_engine_name(scene.engine) << ")\n";
         if (!trace_path.empty()) {
             obs::trace_enable();
         }
