@@ -1,0 +1,22 @@
+// Harness: StreamCheckpoint::deserialize — checkpoint files are read back
+// from disk across restarts.  Contract: parse or throw IoError; and any
+// accepted checkpoint must round-trip bit-exactly through serialize().
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/streaming.hpp"
+#include "harness_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    rrs::fuzz::guard("checkpoint", [&] {
+        const rrs::StreamCheckpoint c = rrs::StreamCheckpoint::deserialize(text);
+        const rrs::StreamCheckpoint back =
+            rrs::StreamCheckpoint::deserialize(c.serialize());
+        rrs::fuzz::expect(back == c, "checkpoint",
+                          "serialize/deserialize round-trip changed the state");
+    });
+    return 0;
+}

@@ -1,0 +1,16 @@
+// Harness: fault::parse_plan — the RRS_FAULTS environment grammar (an
+// attacker who controls the environment controls this string).  Contract:
+// parse or throw ConfigError; parsing never arms anything.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fault/inject.hpp"
+#include "harness_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string_view spec(reinterpret_cast<const char*>(data), size);
+    rrs::fuzz::guard("fault_plan", [&] { (void)rrs::fault::parse_plan(spec); });
+    return 0;
+}

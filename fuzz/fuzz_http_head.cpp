@@ -1,0 +1,36 @@
+// Harness: net::parse_request_head / net::parse_response_head — the bytes a
+// peer controls before the blank line.  Inputs starting "HTTP/" exercise the
+// client's response parser; everything else the server's request parser.
+// Contract: parse or throw HttpError/IoError (both rrs::Error).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "harness_util.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string_view head(reinterpret_cast<const char*>(data), size);
+    if (head.substr(0, 5) == "HTTP/") {
+        rrs::fuzz::guard("http_head", [&] {
+            const rrs::net::ClientResponse resp = rrs::net::parse_response_head(head);
+            (void)resp.header("content-length");
+            (void)resp.header("connection");
+            (void)resp.ok();
+        });
+        return 0;
+    }
+    rrs::fuzz::guard("http_head", [&] {
+        const rrs::net::HttpRequest req = rrs::net::parse_request_head(head);
+        // Walk the derived accessors too: they parse header/query values
+        // the request parser only stored.
+        (void)req.content_length();
+        (void)req.header("if-none-match");
+        (void)req.query_param("tx");
+        (void)req.keep_alive;
+    });
+    return 0;
+}

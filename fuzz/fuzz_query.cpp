@@ -1,0 +1,33 @@
+// Harness: the /v1/* query parsers (net/query.hpp).  The input is treated
+// as a raw query string, wrapped into a minimal GET head; each route parser
+// then runs against the decoded parameter map.  Contract: parse or throw
+// HttpError — parameters are attacker-typed by definition.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "harness_util.hpp"
+#include "net/http.hpp"
+#include "net/query.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string raw(reinterpret_cast<const char*>(data), size);
+    const std::string head = "GET /v1/tile?" + raw + " HTTP/1.1\r\n\r\n";
+    rrs::net::HttpRequest req;
+    bool parsed = false;
+    rrs::fuzz::guard("query", [&] {
+        req = rrs::net::parse_request_head(head);
+        parsed = true;
+    });
+    if (!parsed) {
+        return 0;  // the head itself was malformed — already exercised
+    }
+    rrs::fuzz::guard("query", [&] { (void)rrs::net::parse_tile_query(req); });
+    rrs::fuzz::guard("query", [&] { (void)rrs::net::parse_window_query(req); });
+    rrs::fuzz::guard("query", [&] { (void)rrs::net::parse_pyramid_query(req); });
+    // etag_matches is noexcept-shaped (pure scan): feed it the raw bytes as
+    // an If-None-Match value against a representative strong ETag.
+    (void)rrs::net::etag_matches(raw, "\"0123456789abcdef\"");
+    return 0;
+}

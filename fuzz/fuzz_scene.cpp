@@ -1,0 +1,16 @@
+// Harness: io::parse_scene_text — scene files arrive from disk and the
+// command line (rrsgen/rrsd --scene).  Contract: parse or throw SceneError
+// (line-numbered ConfigError); no raw cast UB on nan/huge numeric settings.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "harness_util.hpp"
+#include "io/scene.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    rrs::fuzz::guard("scene", [&] { (void)rrs::parse_scene_text(text); });
+    return 0;
+}

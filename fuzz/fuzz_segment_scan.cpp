@@ -1,0 +1,39 @@
+// Harness: store::scan_segment — the recovery scan over a segment file
+// image (torn writes, bit flips, foreign files).  scan_segment is noexcept
+// by contract, so beyond "no crash/sanitizer report" the harness asserts
+// the bounds invariants TileStore relies on when it trusts the result.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "harness_util.hpp"
+#include "store/segment_scan.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    using namespace rrs::store;
+    const SegmentScan scan = scan_segment(data, size);
+    const char* h = "segment_scan";
+    rrs::fuzz::expect(scan.end <= size, h, "end <= size");
+    rrs::fuzz::expect(scan.end + scan.truncated_bytes == size ||
+                          (!scan.header_ok && scan.truncated_bytes == size),
+                      h, "end + truncated_bytes == size");
+    if (!scan.header_ok) {
+        rrs::fuzz::expect(scan.records.empty(), h,
+                          "no records from an unreadable header");
+        return 0;
+    }
+    rrs::fuzz::expect(scan.end >= kSegmentFileHeaderSize, h,
+                      "end >= file header size");
+    std::uint64_t prev_end = kSegmentFileHeaderSize;
+    for (const SegmentRecord& r : scan.records) {
+        rrs::fuzz::expect(r.offset == prev_end, h, "records are contiguous");
+        rrs::fuzz::expect(r.payload_bytes ==
+                              std::uint64_t{r.nx} * std::uint64_t{r.ny} *
+                                  sizeof(double),
+                          h, "payload_bytes matches the record shape");
+        prev_end = r.offset + kSegmentRecordHeaderSize + r.payload_bytes;
+        rrs::fuzz::expect(prev_end <= scan.end, h, "record fits below end");
+    }
+    rrs::fuzz::expect(prev_end == scan.end, h, "end is the last record's end");
+    return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file harness_util.hpp
+/// Shared contract enforcement for the fuzz harnesses (DESIGN.md §16).
+///
+/// Every harness drives one pure untrusted-input parser under one rule:
+/// an arbitrary input either parses successfully or is rejected with an
+/// exception from the `rrs::Error` taxonomy.  Anything else — a crash, a
+/// sanitizer report, or a non-taxonomy exception (std::out_of_range from a
+/// raw stoull, std::bad_alloc from an attacker-controlled resize, ...) —
+/// is a finding, so the guard aborts and both libFuzzer and the corpus
+/// replay driver record the input as a crash.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "core/error.hpp"
+
+namespace rrs::fuzz {
+
+/// Run one parse attempt under the harness contract.  Returns normally on
+/// success and on a taxonomy rejection; aborts on any other escape.
+template <typename Fn>
+void guard(const char* harness, Fn&& fn) {
+    try {
+        fn();
+    } catch (const rrs::Error&) {
+        // Expected: malformed input rejected through the taxonomy.
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fuzz[%s]: non-taxonomy exception escaped: %s\n",
+                     harness, e.what());
+        std::abort();
+    } catch (...) {
+        std::fprintf(stderr, "fuzz[%s]: non-exception throw escaped\n", harness);
+        std::abort();
+    }
+}
+
+/// Abort with a message when a harness-checked invariant fails.
+inline void expect(bool ok, const char* harness, const char* what) {
+    if (!ok) {
+        std::fprintf(stderr, "fuzz[%s]: invariant failed: %s\n", harness, what);
+        std::abort();
+    }
+}
+
+}  // namespace rrs::fuzz

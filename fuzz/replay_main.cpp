@@ -1,0 +1,103 @@
+// Corpus replay driver: the degrade path of the fuzz tier (DESIGN.md §16).
+//
+// Links against the same LLVMFuzzerTestOneInput a libFuzzer build would use
+// and feeds it every corpus file named on the command line (files or
+// directories, sorted for determinism), plus the empty input.  Used two
+// ways: as the tier-1 `fuzz-regress` ctest entry under any compiler, and by
+// `tools/ci.sh fuzz` (with --repeat) to measure execs/s for BENCH_fuzz.json.
+//
+// Exit code 0 means every input honored the harness contract; a contract
+// violation aborts (SIGABRT) inside the harness guard.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+#ifndef RRS_FUZZ_HARNESS_NAME
+#define RRS_FUZZ_HARNESS_NAME "unknown"
+#endif
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "fuzz-replay: cannot read '%s'\n",
+                     path.string().c_str());
+        std::exit(2);
+    }
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void run_one(const std::vector<std::uint8_t>& bytes) {
+    // Never hand the harness a null pointer: an empty corpus file still
+    // exercises the size == 0 path with a valid (unread) address.
+    static const std::uint8_t kDummy = 0;
+    LLVMFuzzerTestOneInput(bytes.empty() ? &kDummy : bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    long repeat = 1;
+    std::vector<std::filesystem::path> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+            repeat = std::atol(argv[++i]);
+            if (repeat < 1) {
+                repeat = 1;
+            }
+            continue;
+        }
+        const std::filesystem::path arg = argv[i];
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+                if (entry.is_regular_file()) {
+                    files.push_back(entry.path());
+                }
+            }
+        } else {
+            files.push_back(arg);
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<std::vector<std::uint8_t>> corpus;
+    corpus.reserve(files.size());
+    for (const auto& path : files) {
+        corpus.push_back(read_file(path));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t execs = 0;
+    for (long r = 0; r < repeat; ++r) {
+        run_one({});  // the empty input is always part of the contract
+        ++execs;
+        for (const auto& bytes : corpus) {
+            run_one(bytes);
+            ++execs;
+        }
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  t0)
+            .count();
+    const double execs_per_s =
+        wall_ms > 0.0 ? static_cast<double>(execs) * 1000.0 / wall_ms : 0.0;
+    std::printf("fuzz-replay: name=%s files=%zu execs=%llu wall_ms=%.3f "
+                "execs_per_s=%.0f\n",
+                RRS_FUZZ_HARNESS_NAME, files.size(),
+                static_cast<unsigned long long>(execs), wall_ms, execs_per_s);
+    return 0;
+}

@@ -86,6 +86,10 @@ struct FaultPlan {
     static FaultPlan parse(std::string_view spec);
 };
 
+/// Free-function spelling of FaultPlan::parse — the pure untrusted-input
+/// entry point the fuzz_fault_plan harness drives (DESIGN.md §16).
+inline FaultPlan parse_plan(std::string_view spec) { return FaultPlan::parse(spec); }
+
 namespace detail {
 struct ArmedPlan;  // defined in inject.cpp
 extern std::atomic<const ArmedPlan*> g_plan;

@@ -102,6 +102,26 @@ double parse_number(const std::string& tok, std::size_t line) {
     return v;
 }
 
+/// Largest double that is still an exact integer (2^53); integral settings
+/// beyond it cannot round-trip through the scene file's decimal grammar.
+constexpr double kMaxExactInt = 9007199254740992.0;
+
+/// Checked double → int64 for integral settings (seed, kernel_grid,
+/// region).  A nan, ±inf, fractional, or out-of-range value is a scene
+/// error — a raw static_cast would be undefined behaviour (UBSan
+/// float-cast-overflow; surfaced by the fuzz_scene harness).
+std::int64_t checked_int(double v, double lo, double hi, const std::string& what,
+                         std::size_t line) {
+    if (!(v >= lo && v <= hi) || v != std::floor(v)) {
+        throw SceneError(line, "'" + what + "' must be an integer in [" +
+                                   std::to_string(static_cast<long long>(lo)) +
+                                   ", " +
+                                   std::to_string(static_cast<long long>(hi)) +
+                                   "]");
+    }
+    return static_cast<std::int64_t>(v);
+}
+
 std::vector<double> parse_numbers(const Section& sec, const std::string& key,
                                   std::size_t want_min, std::size_t want_max) {
     const std::string raw = sec.get(key);
@@ -379,18 +399,26 @@ Scene parse_scene(std::istream& in) {
                          "output", "health", "engine"},
                         "top-level settings");
     if (top.has("seed")) {
-        scene.seed =
-            static_cast<std::uint64_t>(parse_numbers(top, "seed", 1, 1)[0]);
+        const std::size_t line = top.line_of("seed");
+        scene.seed = static_cast<std::uint64_t>(checked_int(
+            parse_numbers(top, "seed", 1, 1)[0], 0.0, kMaxExactInt, "seed", line));
     }
     if (top.has("kernel_grid")) {
         const auto g = parse_numbers(top, "kernel_grid", 2, 2);
-        scene.kernel_grid = GridSpec::unit_spacing(static_cast<std::size_t>(g[0]),
-                                                   static_cast<std::size_t>(g[1]));
+        const std::size_t line = top.line_of("kernel_grid");
+        scene.kernel_grid = GridSpec::unit_spacing(
+            static_cast<std::size_t>(
+                checked_int(g[0], 0.0, kMaxExactInt, "kernel_grid", line)),
+            static_cast<std::size_t>(
+                checked_int(g[1], 0.0, kMaxExactInt, "kernel_grid", line)));
     }
     if (top.has("region")) {
         const auto r = parse_numbers(top, "region", 4, 4);
-        scene.region = Rect{static_cast<std::int64_t>(r[0]), static_cast<std::int64_t>(r[1]),
-                            static_cast<std::int64_t>(r[2]), static_cast<std::int64_t>(r[3])};
+        const std::size_t line = top.line_of("region");
+        scene.region = Rect{checked_int(r[0], -kMaxExactInt, kMaxExactInt, "region", line),
+                            checked_int(r[1], -kMaxExactInt, kMaxExactInt, "region", line),
+                            checked_int(r[2], -kMaxExactInt, kMaxExactInt, "region", line),
+                            checked_int(r[3], -kMaxExactInt, kMaxExactInt, "region", line)};
     }
     if (top.has("tail_eps")) {
         scene.tail_eps = parse_numbers(top, "tail_eps", 1, 1)[0];

@@ -36,13 +36,38 @@ std::string_view trim(std::string_view s) noexcept {
     return s;
 }
 
-/// Parse "HTTP/1.x STATUS reason" + header lines into a ClientResponse
-/// (body filled by the caller).
+/// A byte that must never appear inside a status or header line: any
+/// control byte other than horizontal tab.  Catches embedded NUL and lone
+/// CR/LF (the split below consumes well-formed "\r\n" pairs, so any CR or
+/// LF still inside a line is a smuggling attempt or corruption).
+bool forbidden_in_line(char ch) noexcept {
+    const auto c = static_cast<unsigned char>(ch);
+    return (c < 0x20 && c != '\t') || c == 0x7f;
+}
+
+/// A `Retry-After: N` value in whole seconds, as milliseconds; -1 when the
+/// header is absent, non-numeric (HTTP-date form unsupported), or absurd.
+int retry_after_ms(const ClientResponse& resp) {
+    const std::string* value = resp.header("retry-after");
+    if (value == nullptr || value->empty() || value->size() > 4 ||
+        !std::all_of(value->begin(), value->end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+        })) {
+        return -1;
+    }
+    return static_cast<int>(std::stoul(*value)) * 1000;
+}
+
+}  // namespace
+
 ClientResponse parse_response_head(std::string_view head) {
     ClientResponse resp;
     std::size_t eol = head.find("\r\n");
     const std::string_view line =
         eol == std::string_view::npos ? head : head.substr(0, eol);
+    if (std::any_of(line.begin(), line.end(), forbidden_in_line)) {
+        fail("control byte in status line");
+    }
     if (line.substr(0, 5) != "HTTP/") {
         fail("malformed status line '" + std::string(line) + "'");
     }
@@ -69,6 +94,9 @@ ClientResponse parse_response_head(std::string_view head) {
         if (raw.empty()) {
             continue;
         }
+        if (std::any_of(raw.begin(), raw.end(), forbidden_in_line)) {
+            fail("control byte in response header '" + std::string(raw) + "'");
+        }
         const std::size_t colon = raw.find(':');
         if (colon == std::string_view::npos || colon == 0) {
             fail("malformed response header '" + std::string(raw) + "'");
@@ -78,21 +106,6 @@ ClientResponse parse_response_head(std::string_view head) {
     }
     return resp;
 }
-
-/// A `Retry-After: N` value in whole seconds, as milliseconds; -1 when the
-/// header is absent, non-numeric (HTTP-date form unsupported), or absurd.
-int retry_after_ms(const ClientResponse& resp) {
-    const std::string* value = resp.header("retry-after");
-    if (value == nullptr || value->empty() || value->size() > 4 ||
-        !std::all_of(value->begin(), value->end(), [](unsigned char c) {
-            return std::isdigit(c) != 0;
-        })) {
-        return -1;
-    }
-    return static_cast<int>(std::stoul(*value)) * 1000;
-}
-
-}  // namespace
 
 const std::string* ClientResponse::header(std::string_view name) const noexcept {
     for (const auto& [key, value] : headers) {
@@ -241,7 +254,10 @@ ClientResponse HttpClient::roundtrip(const std::string& target,
 
     std::size_t body_len = 0;
     if (const std::string* cl = resp.header("content-length")) {
-        if (cl->empty() ||
+        // 18 digits cap: anything longer would overflow (or absurdly exceed
+        // any response cap) — reject before std::stoull can throw a
+        // non-taxonomy std::out_of_range.
+        if (cl->empty() || cl->size() > 18 ||
             !std::all_of(cl->begin(), cl->end(), [](unsigned char c) {
                 return std::isdigit(c) != 0;
             })) {

@@ -64,6 +64,13 @@ struct ClientResponse {
     bool ok() const noexcept { return status >= 200 && status < 300; }
 };
 
+/// Parse "HTTP/1.x STATUS reason" + header lines into a ClientResponse
+/// (body left empty — the caller reads it from the socket).  Pure parse
+/// over untrusted server bytes (fuzz surface, DESIGN.md §16): throws
+/// IoError on a malformed status line, malformed header, or any embedded
+/// control byte (NUL, lone CR/LF) — never anything outside the taxonomy.
+ClientResponse parse_response_head(std::string_view head);
+
 /// See file comment.
 class HttpClient {
 public:

@@ -38,6 +38,15 @@ std::string_view trim(std::string_view s) noexcept {
     return s;
 }
 
+/// A byte that must never appear inside a request or header line: any
+/// control byte other than horizontal tab.  Catches embedded NUL and lone
+/// CR/LF (the head splitter consumes well-formed "\r\n" pairs, so any CR
+/// or LF still inside a line is a smuggling attempt or corruption).
+bool forbidden_in_line(char ch) noexcept {
+    const auto c = static_cast<unsigned char>(ch);
+    return (c < 0x20 && c != '\t') || c == 0x7f;
+}
+
 int hex_digit(char c) noexcept {
     if (c >= '0' && c <= '9') {
         return c - '0';
@@ -98,11 +107,12 @@ std::size_t HttpRequest::content_length() const {
                      [](unsigned char c) { return std::isdigit(c) != 0; })) {
         throw HttpError{400, "malformed Content-Length '" + *raw + "'"};
     }
-    try {
-        return std::stoull(*raw);
-    } catch (const std::out_of_range&) {
+    // 18 digits cap: longer values would overflow 64 bits (or absurdly
+    // exceed any body limit) — reject before std::stoull can overflow.
+    if (raw->size() > 18) {
         throw HttpError{413, "Content-Length overflows"};
     }
+    return std::stoull(*raw);
 }
 
 HttpResponse HttpResponse::text(int status, std::string body) {
@@ -180,6 +190,9 @@ HttpRequest parse_request_head(std::string_view head, const RequestLimits& limit
     std::size_t eol = head.find("\r\n");
     const std::string_view line =
         eol == std::string_view::npos ? head : head.substr(0, eol);
+    if (std::any_of(line.begin(), line.end(), forbidden_in_line)) {
+        throw HttpError{400, "control byte in request line"};
+    }
     const std::size_t sp1 = line.find(' ');
     const std::size_t sp2 = sp1 == std::string_view::npos
                                 ? std::string_view::npos
@@ -227,6 +240,9 @@ HttpRequest parse_request_head(std::string_view head, const RequestLimits& limit
         pos = eol + 2;
         if (raw.empty()) {
             continue;
+        }
+        if (std::any_of(raw.begin(), raw.end(), forbidden_in_line)) {
+            throw HttpError{400, "control byte in header line"};
         }
         const std::size_t colon = raw.find(':');
         if (colon == std::string_view::npos || colon == 0 ||

@@ -1,0 +1,124 @@
+#include "net/query.hpp"
+
+#include <charconv>
+#include <string>
+
+namespace rrs::net {
+
+std::int64_t int_param(const HttpRequest& req, const char* name) {
+    const std::string* raw = req.query_param(name);
+    if (raw == nullptr) {
+        throw HttpError{400, std::string("missing query parameter '") + name + "'"};
+    }
+    std::int64_t value = 0;
+    const char* first = raw->data();
+    const char* last = first + raw->size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+        throw HttpError{400, std::string("query parameter '") + name +
+                                 "' is not an integer: '" + *raw + "'"};
+    }
+    return value;
+}
+
+std::int64_t int_param_or(const HttpRequest& req, const char* name,
+                          std::int64_t fallback) {
+    return req.query_param(name) == nullptr ? fallback : int_param(req, name);
+}
+
+std::int32_t zoom_param(const HttpRequest& req, const char* name) {
+    const std::int64_t z = int_param_or(req, name, 0);
+    if (z < 0 || z > kMaxZoom) {
+        throw HttpError{400, std::string("query parameter '") + name +
+                                 "' must be in [0, " + std::to_string(kMaxZoom) +
+                                 "]"};
+    }
+    return static_cast<std::int32_t>(z);
+}
+
+const char* encoding_name(WireEncoding enc) noexcept {
+    switch (enc) {
+        case WireEncoding::kI16:
+            return "i16";
+        case WireEncoding::kF64:
+            return "f64";
+        case WireEncoding::kF32:
+            break;
+    }
+    return "f32";
+}
+
+WireEncoding encoding_param(const HttpRequest& req) {
+    const std::string* raw = req.query_param("q");
+    if (raw == nullptr || *raw == "f32") {
+        return WireEncoding::kF32;
+    }
+    if (*raw == "i16") {
+        return WireEncoding::kI16;
+    }
+    if (*raw == "f64") {
+        return WireEncoding::kF64;
+    }
+    throw HttpError{400, "query parameter 'q' must be f32, i16, or f64 (got '" +
+                             *raw + "')"};
+}
+
+bool etag_matches(std::string_view header_value, std::string_view etag) {
+    std::size_t pos = 0;
+    while (pos < header_value.size()) {
+        std::size_t comma = header_value.find(',', pos);
+        if (comma == std::string_view::npos) {
+            comma = header_value.size();
+        }
+        std::string_view item = header_value.substr(pos, comma - pos);
+        while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+            item.remove_prefix(1);
+        }
+        while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+            item.remove_suffix(1);
+        }
+        if (item == "*" || item == etag) {
+            return true;
+        }
+        pos = comma + 1;
+    }
+    return false;
+}
+
+TileQuery parse_tile_query(const HttpRequest& req) {
+    TileQuery q;
+    q.key = TileKey{int_param(req, "tx"), int_param(req, "ty"),
+                    zoom_param(req, "z")};
+    q.encoding = encoding_param(req);
+    return q;
+}
+
+WindowQuery parse_window_query(const HttpRequest& req) {
+    WindowQuery q;
+    q.region = Rect{int_param(req, "x0"), int_param(req, "y0"),
+                    int_param(req, "nx"), int_param(req, "ny")};
+    if (q.region.nx < 0 || q.region.ny < 0) {
+        throw HttpError{400, "window extents must be non-negative"};
+    }
+    q.encoding = encoding_param(req);
+    return q;
+}
+
+PyramidQuery parse_pyramid_query(const HttpRequest& req) {
+    PyramidQuery q;
+    const std::int32_t z = zoom_param(req, "z");
+    q.min_z = zoom_param(req, "min_z");
+    if (q.min_z > z) {
+        throw HttpError{400, "min_z must not exceed z"};
+    }
+    q.top = TileKey{int_param(req, "tx"), int_param(req, "ty"), z};
+    q.encoding = encoding_param(req);
+    if (q.encoding == WireEncoding::kI16) {
+        throw HttpError{400,
+                        "q=i16 is per-tile quantized and not available for "
+                        "pyramids; use f32 or f64"};
+    }
+    return q;
+}
+
+}  // namespace rrs::net

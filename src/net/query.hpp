@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file query.hpp
+/// Pure query-parameter parsers for the `/v1/*` routes (DESIGN.md §16).
+///
+/// Everything here maps an already-parsed HttpRequest to a validated,
+/// plain-value query struct — no service registry, no metrics, no I/O — so
+/// the whole untrusted query surface can be driven by a fuzzer (harness
+/// fuzz_query) and unit-tested without standing up a router.  The contract
+/// is the taxonomy contract: a malformed parameter throws HttpError(400)
+/// (or 413 for cap-shaped complaints raised by the route layer); these
+/// functions never crash and never return an out-of-range value.
+///
+/// Scene resolution (`scene=` → TileService) intentionally stays in
+/// tile_routes.cpp: it needs the registry of live services and is therefore
+/// not a pure parse.
+
+#include <cstdint>
+#include <string_view>
+
+#include "grid/rect.hpp"
+#include "net/http.hpp"
+#include "service/tile_key.hpp"
+
+namespace rrs::net {
+
+/// Wire body encodings (`q=` query parameter).
+enum class WireEncoding { kF32, kI16, kF64 };
+
+/// Canonical wire name of an encoding ("f32" / "i16" / "f64").
+const char* encoding_name(WireEncoding enc) noexcept;
+
+/// Strict signed integer query parameter; HttpError(400) when missing or
+/// not a plain base-10 integer.
+std::int64_t int_param(const HttpRequest& req, const char* name);
+
+/// Like int_param, but absent means `fallback`.
+std::int64_t int_param_or(const HttpRequest& req, const char* name,
+                          std::int64_t fallback);
+
+/// Zoom query parameter: optional (absent = 0), bounded to [0, kMaxZoom].
+std::int32_t zoom_param(const HttpRequest& req, const char* name);
+
+/// `q=` encoding parameter: optional (absent = f32); HttpError(400) on an
+/// unknown encoding.
+WireEncoding encoding_param(const HttpRequest& req);
+
+/// Does an If-None-Match header value cover `etag`?  Handles `*` and
+/// comma-separated lists; weak validators (W/ prefix) never match — tile
+/// ETags are strong, byte-exact promises.
+bool etag_matches(std::string_view header_value, std::string_view etag);
+
+/// Validated /v1/tile query: tx, ty required; z, q optional.
+struct TileQuery {
+    TileKey key;
+    WireEncoding encoding = WireEncoding::kF32;
+};
+TileQuery parse_tile_query(const HttpRequest& req);
+
+/// Validated /v1/window query: x0, y0, nx, ny required (extents
+/// non-negative); q optional.
+struct WindowQuery {
+    Rect region;
+    WireEncoding encoding = WireEncoding::kF32;
+};
+WindowQuery parse_window_query(const HttpRequest& req);
+
+/// Validated /v1/pyramid query: tx, ty required; z, min_z, q optional;
+/// min_z ≤ z and q=i16 rejected (per-tile quantization has no
+/// multi-level body).
+struct PyramidQuery {
+    TileKey top;
+    std::int32_t min_z = 0;
+    WireEncoding encoding = WireEncoding::kF32;
+};
+PyramidQuery parse_pyramid_query(const HttpRequest& req);
+
+}  // namespace rrs::net

@@ -1,6 +1,5 @@
 #include "net/tile_routes.hpp"
 
-#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +8,7 @@
 #include "core/error.hpp"
 #include "fault/circuit_breaker.hpp"
 #include "net/http.hpp"
+#include "net/query.hpp"
 #include "obs/trace.hpp"
 #include "service/tile_cache.hpp"
 #include "service/tile_key.hpp"
@@ -16,96 +16,6 @@
 namespace rrs::net {
 
 namespace {
-
-/// Strict signed integer query parameter; HttpError(400) when missing or
-/// not a plain base-10 integer.
-std::int64_t int_param(const HttpRequest& req, const char* name) {
-    const std::string* raw = req.query_param(name);
-    if (raw == nullptr) {
-        throw HttpError{400, std::string("missing query parameter '") + name + "'"};
-    }
-    std::int64_t value = 0;
-    const char* first = raw->data();
-    const char* last = first + raw->size();
-    const auto [ptr, ec] = std::from_chars(first, last, value);
-    if (ec != std::errc{} || ptr != last) {
-        throw HttpError{400, std::string("query parameter '") + name +
-                                 "' is not an integer: '" + *raw + "'"};
-    }
-    return value;
-}
-
-/// Like int_param, but absent means `fallback`.
-std::int64_t int_param_or(const HttpRequest& req, const char* name,
-                          std::int64_t fallback) {
-    return req.query_param(name) == nullptr ? fallback : int_param(req, name);
-}
-
-/// Zoom query parameter (`z` by default): optional, bounded to the pyramid.
-std::int32_t zoom_param(const HttpRequest& req, const char* name) {
-    const std::int64_t z = int_param_or(req, name, 0);
-    if (z < 0 || z > kMaxZoom) {
-        throw HttpError{400, std::string("query parameter '") + name +
-                                 "' must be in [0, " + std::to_string(kMaxZoom) +
-                                 "]"};
-    }
-    return static_cast<std::int32_t>(z);
-}
-
-/// Wire body encodings (`q=` query parameter).
-enum class WireEncoding { kF32, kI16, kF64 };
-
-const char* encoding_name(WireEncoding enc) noexcept {
-    switch (enc) {
-        case WireEncoding::kI16:
-            return "i16";
-        case WireEncoding::kF64:
-            return "f64";
-        case WireEncoding::kF32:
-            break;
-    }
-    return "f32";
-}
-
-WireEncoding encoding_param(const HttpRequest& req) {
-    const std::string* raw = req.query_param("q");
-    if (raw == nullptr || *raw == "f32") {
-        return WireEncoding::kF32;
-    }
-    if (*raw == "i16") {
-        return WireEncoding::kI16;
-    }
-    if (*raw == "f64") {
-        return WireEncoding::kF64;
-    }
-    throw HttpError{400, "query parameter 'q' must be f32, i16, or f64 (got '" +
-                             *raw + "')"};
-}
-
-/// Does an If-None-Match header value cover `etag`?  Handles `*` and
-/// comma-separated lists; weak validators (W/ prefix) never match — tile
-/// ETags are strong, byte-exact promises.
-bool etag_matches(std::string_view header_value, std::string_view etag) {
-    std::size_t pos = 0;
-    while (pos < header_value.size()) {
-        std::size_t comma = header_value.find(',', pos);
-        if (comma == std::string_view::npos) {
-            comma = header_value.size();
-        }
-        std::string_view item = header_value.substr(pos, comma - pos);
-        while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
-            item.remove_prefix(1);
-        }
-        while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
-            item.remove_suffix(1);
-        }
-        if (item == "*" || item == etag) {
-            return true;
-        }
-        pos = comma + 1;
-    }
-    return false;
-}
 
 /// Shared routing state, captured by every handler.  Structurally immutable
 /// after make_tile_router; the breakers and the stale store are internally
@@ -231,9 +141,10 @@ void check_footprint(std::uint64_t points, std::int32_t z, std::uint64_t cap) {
 
 HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
     const auto [scene, service] = state.resolve(req);
-    const std::int32_t z = zoom_param(req, "z");
-    const TileKey key{int_param(req, "tx"), int_param(req, "ty"), z};
-    const WireEncoding enc = encoding_param(req);
+    const TileQuery query = parse_tile_query(req);
+    const TileKey& key = query.key;
+    const std::int32_t z = key.z;
+    const WireEncoding enc = query.encoding;
     const auto tile_points =
         static_cast<std::uint64_t>(service->shape().nx * service->shape().ny);
     check_footprint(tile_points, z, state.opt.max_window_points);
@@ -299,18 +210,11 @@ HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
 
 HttpResponse handle_pyramid(const RouteState& state, const HttpRequest& req) {
     const auto [scene, service] = state.resolve(req);
-    const std::int32_t z = zoom_param(req, "z");
-    const std::int32_t min_z = zoom_param(req, "min_z");
-    if (min_z > z) {
-        throw HttpError{400, "min_z must not exceed z"};
-    }
-    const TileKey top{int_param(req, "tx"), int_param(req, "ty"), z};
-    const WireEncoding enc = encoding_param(req);
-    if (enc == WireEncoding::kI16) {
-        throw HttpError{400,
-                        "q=i16 is per-tile quantized and not available for "
-                        "pyramids; use f32 or f64"};
-    }
+    const PyramidQuery query = parse_pyramid_query(req);
+    const TileKey& top = query.top;
+    const std::int32_t z = top.z;
+    const std::int32_t min_z = query.min_z;
+    const WireEncoding enc = query.encoding;
     // Admission: total response points across all levels (which also bounds
     // the base-footprint generation cost from above).
     const auto tile_points =
@@ -375,11 +279,8 @@ HttpResponse handle_pyramid(const RouteState& state, const HttpRequest& req) {
 
 HttpResponse handle_window(const RouteState& state, const HttpRequest& req) {
     const auto [scene, service] = state.resolve(req);
-    const Rect region{int_param(req, "x0"), int_param(req, "y0"),
-                      int_param(req, "nx"), int_param(req, "ny")};
-    if (region.nx < 0 || region.ny < 0) {
-        throw HttpError{400, "window extents must be non-negative"};
-    }
+    const WindowQuery query = parse_window_query(req);
+    const Rect& region = query.region;
     const auto cap = static_cast<std::uint64_t>(state.opt.max_window_points);
     if (region.nx > 0 && region.ny > 0) {
         const auto nx = static_cast<std::uint64_t>(region.nx);
@@ -406,7 +307,7 @@ HttpResponse handle_window(const RouteState& state, const HttpRequest& req) {
             breaker->record_success();
         }
         return surface_response(window, region, *scene, service->fingerprint(),
-                                encoding_param(req));
+                                query.encoding);
     } catch (const HttpError&) {
         if (breaker != nullptr) {
             breaker->record_success();

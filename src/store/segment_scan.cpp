@@ -1,0 +1,131 @@
+#include "store/segment_scan.hpp"
+
+#include <cstring>
+
+namespace rrs::store {
+
+namespace {
+
+template <typename T>
+void put(unsigned char* buf, std::size_t off, T v) noexcept {
+    std::memcpy(buf + off, &v, sizeof(T));
+}
+
+template <typename T>
+T get(const unsigned char* buf, std::size_t off) noexcept {
+    T v;
+    std::memcpy(&v, buf + off, sizeof(T));
+    return v;
+}
+
+/// Record header byte layout (offsets within the 72-byte header).
+/// Header hash covers bytes [0, 64).
+enum RecordOffset : std::size_t {
+    kOffMagic = 0,          // u32
+    kOffReserved = 4,       // u32, zero
+    kOffFingerprint = 8,    // u64
+    kOffTx = 16,            // i64
+    kOffTy = 24,            // i64
+    kOffZ = 32,             // i32
+    kOffNx = 36,            // u32
+    kOffNy = 40,            // u32
+    kOffReserved2 = 44,     // u32, zero
+    kOffPayloadBytes = 48,  // u64
+    kOffPayloadHash = 56,   // u64
+    kOffHeaderHash = 64,    // u64
+};
+
+}  // namespace
+
+std::uint64_t segment_hash(const unsigned char* p, std::size_t n,
+                           std::uint64_t h) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void fill_file_header(unsigned char* h) noexcept {
+    std::memset(h, 0, kSegmentFileHeaderSize);
+    std::memcpy(h, kSegmentFileMagic, sizeof(kSegmentFileMagic));
+    put<std::uint32_t>(h, 8, kSegmentFileVersion);
+}
+
+bool valid_file_header(const unsigned char* h) noexcept {
+    return std::memcmp(h, kSegmentFileMagic, sizeof(kSegmentFileMagic)) == 0 &&
+           get<std::uint32_t>(h, 8) == kSegmentFileVersion;
+}
+
+SegmentRecordHeader parse_record_header(const unsigned char* h) noexcept {
+    SegmentRecordHeader r;
+    if (get<std::uint32_t>(h, kOffMagic) != kSegmentRecordMagic) {
+        return r;
+    }
+    if (get<std::uint64_t>(h, kOffHeaderHash) != segment_hash(h, kOffHeaderHash)) {
+        return r;
+    }
+    r.address.fingerprint = get<std::uint64_t>(h, kOffFingerprint);
+    r.address.key.tx = get<std::int64_t>(h, kOffTx);
+    r.address.key.ty = get<std::int64_t>(h, kOffTy);
+    r.address.key.z = get<std::int32_t>(h, kOffZ);
+    r.nx = get<std::uint32_t>(h, kOffNx);
+    r.ny = get<std::uint32_t>(h, kOffNy);
+    r.payload_bytes = get<std::uint64_t>(h, kOffPayloadBytes);
+    r.payload_hash = get<std::uint64_t>(h, kOffPayloadHash);
+    if (r.address.key.z < 0 || r.address.key.z > kMaxZoom) {
+        return r;
+    }
+    if (r.nx == 0 || r.ny == 0 || r.nx > kMaxRecordExtent || r.ny > kMaxRecordExtent) {
+        return r;
+    }
+    if (r.payload_bytes !=
+        std::uint64_t{r.nx} * std::uint64_t{r.ny} * sizeof(double)) {
+        return r;
+    }
+    r.valid = true;
+    return r;
+}
+
+void fill_record_header(unsigned char* h, const TileAddress& a, std::uint32_t nx,
+                        std::uint32_t ny, std::uint64_t payload_bytes,
+                        std::uint64_t payload_hash) noexcept {
+    put<std::uint32_t>(h, kOffMagic, kSegmentRecordMagic);
+    put<std::uint32_t>(h, kOffReserved, 0);
+    put<std::uint64_t>(h, kOffFingerprint, a.fingerprint);
+    put<std::int64_t>(h, kOffTx, a.key.tx);
+    put<std::int64_t>(h, kOffTy, a.key.ty);
+    put<std::int32_t>(h, kOffZ, a.key.z);
+    put<std::uint32_t>(h, kOffNx, nx);
+    put<std::uint32_t>(h, kOffNy, ny);
+    put<std::uint32_t>(h, kOffReserved2, 0);
+    put<std::uint64_t>(h, kOffPayloadBytes, payload_bytes);
+    put<std::uint64_t>(h, kOffPayloadHash, payload_hash);
+    put<std::uint64_t>(h, kOffHeaderHash, segment_hash(h, kOffHeaderHash));
+}
+
+SegmentScan scan_segment(const unsigned char* data, std::size_t size) noexcept {
+    SegmentScan scan;
+    if (size < kSegmentFileHeaderSize || !valid_file_header(data)) {
+        // Foreign/torn/future file: nothing is trustworthy, including `end`.
+        scan.truncated_bytes = size;
+        return scan;
+    }
+    scan.header_ok = true;
+    std::uint64_t off = kSegmentFileHeaderSize;
+    while (off + kSegmentRecordHeaderSize <= size) {
+        const SegmentRecordHeader r = parse_record_header(data + off);
+        if (!r.valid ||
+            r.payload_bytes > size - off - kSegmentRecordHeaderSize) {
+            break;  // torn tail starts here
+        }
+        scan.records.push_back(
+            SegmentRecord{r.address, off, r.nx, r.ny, r.payload_bytes});
+        off += kSegmentRecordHeaderSize + r.payload_bytes;
+    }
+    scan.end = off;
+    scan.truncated_bytes = size - off;
+    return scan;
+}
+
+}  // namespace rrs::store

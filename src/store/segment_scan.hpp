@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file segment_scan.hpp
+/// Pure parsing layer of the persistent tile store (DESIGN.md §14, §16):
+/// the segment-file byte format (header + record layout + checksums) and
+/// the recovery scan, factored out of TileStore so they operate on an
+/// in-memory byte image with no filesystem, locking, or metrics coupling.
+///
+/// This is an untrusted-input surface: a segment file can be torn by a
+/// crash, bit-flipped by the disk, or be a foreign file entirely.  The
+/// contract — relied on by TileStore and machine-checked by the
+/// fuzz_segment_scan harness — is:
+///
+///  * scan_segment NEVER throws and NEVER reads outside [data, data+size);
+///  * a malformed image degrades: bad file header ⇒ `header_ok == false`
+///    (caller resets the store), bad record ⇒ the scan stops there and the
+///    remainder is reported as `truncated_bytes` (caller truncates);
+///  * every returned record lies entirely inside [header_size, end], and
+///    `end <= size` always holds.
+///
+/// Payload *checksums* are deliberately not verified here: the scan trusts
+/// record headers only (shape + header hash), exactly like TileStore's
+/// recovery, which defers payload verification to first read so opening a
+/// large store stays O(records), not O(bytes).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "service/tile_key.hpp"
+
+namespace rrs::store {
+
+/// "RRSSTOR1" — first 8 bytes of a segment file.
+inline constexpr char kSegmentFileMagic[8] = {'R', 'R', 'S', 'S', 'T', 'O', 'R', '1'};
+inline constexpr std::uint32_t kSegmentFileVersion = 1;
+inline constexpr std::uint64_t kSegmentFileHeaderSize = 32;
+
+inline constexpr std::uint32_t kSegmentRecordMagic = 0x31545252u;  // "RRT1" LE
+inline constexpr std::uint64_t kSegmentRecordHeaderSize = 72;
+
+/// Sanity bound on per-axis tile extent in a record header; anything larger
+/// is treated as corruption rather than trusted as an allocation size.
+inline constexpr std::uint32_t kMaxRecordExtent = 1u << 20;
+
+/// FNV-1a over `n` bytes (the segment format's checksum primitive).
+std::uint64_t segment_hash(const unsigned char* p, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ull) noexcept;
+
+/// Write the 32-byte segment file header into `h`.
+void fill_file_header(unsigned char* h) noexcept;
+
+/// Does `h` (32 readable bytes) carry this format's magic and version?
+bool valid_file_header(const unsigned char* h) noexcept;
+
+/// Parsed view of one 72-byte record header; `valid` covers everything the
+/// recovery scan and the read path must agree on before trusting the
+/// payload bounds: magic, header hash, zoom range, extent sanity, and
+/// payload_bytes == nx*ny*sizeof(double).
+struct SegmentRecordHeader {
+    TileAddress address;
+    std::uint32_t nx = 0;
+    std::uint32_t ny = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t payload_hash = 0;
+    bool valid = false;
+};
+
+/// Parse one record header from `h` (72 readable bytes).  Never throws.
+SegmentRecordHeader parse_record_header(const unsigned char* h) noexcept;
+
+/// Write one record header into `h` (72 bytes).
+void fill_record_header(unsigned char* h, const TileAddress& a, std::uint32_t nx,
+                        std::uint32_t ny, std::uint64_t payload_bytes,
+                        std::uint64_t payload_hash) noexcept;
+
+/// One record the scan accepted, in file order (duplicates possible when a
+/// record was superseded by a later append — the caller keeps the last).
+struct SegmentRecord {
+    TileAddress address;
+    std::uint64_t offset = 0;  ///< record start (header) within the image
+    std::uint32_t nx = 0;
+    std::uint32_t ny = 0;
+    std::uint64_t payload_bytes = 0;
+};
+
+/// Result of scanning one segment image.
+struct SegmentScan {
+    /// File header carried this format's magic+version.  False means a
+    /// foreign/torn/future file: `records` is empty and the caller should
+    /// reset the store (every tile is regenerable by construction).
+    bool header_ok = false;
+    std::vector<SegmentRecord> records;  ///< accepted records, file order
+    std::uint64_t end = 0;               ///< first byte past the last valid record
+    std::uint64_t truncated_bytes = 0;   ///< torn-tail bytes past `end`
+};
+
+/// Recovery-scan a segment image.  Walks records from the front and stops
+/// at the first invalid header (bad magic, bad checksum, payload past the
+/// end of the image) — everything after it is unreachable torn-write
+/// garbage, reported in `truncated_bytes`.  See the file comment for the
+/// full never-throws / in-bounds contract.
+SegmentScan scan_segment(const unsigned char* data, std::size_t size) noexcept;
+
+}  // namespace rrs::store

@@ -12,117 +12,11 @@
 
 #include "fault/inject.hpp"
 #include "obs/metrics.hpp"
+#include "store/segment_scan.hpp"
 
 namespace rrs::store {
 
 namespace {
-
-constexpr char kFileMagic[8] = {'R', 'R', 'S', 'S', 'T', 'O', 'R', '1'};
-constexpr std::uint32_t kFileVersion = 1;
-constexpr std::uint64_t kFileHeaderSize = 32;
-
-constexpr std::uint32_t kRecordMagic = 0x31545252u;  // "RRT1" little-endian
-constexpr std::uint64_t kRecordHeaderSize = 72;
-
-// Sanity bound on per-axis tile extent in a record header; anything larger
-// is treated as corruption rather than trusted as an allocation size.
-constexpr std::uint32_t kMaxRecordExtent = 1u << 20;
-
-std::uint64_t fnv1a(const unsigned char* p, std::size_t n,
-                    std::uint64_t h = 0xcbf29ce484222325ull) {
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-template <typename T>
-void put(unsigned char* buf, std::size_t off, T v) noexcept {
-    std::memcpy(buf + off, &v, sizeof(T));
-}
-
-template <typename T>
-T get(const unsigned char* buf, std::size_t off) noexcept {
-    T v;
-    std::memcpy(&v, buf + off, sizeof(T));
-    return v;
-}
-
-/// Record header byte layout (offsets within the 72-byte header).
-/// Header hash covers bytes [0, 64).
-enum RecordOffset : std::size_t {
-    kOffMagic = 0,          // u32
-    kOffReserved = 4,       // u32, zero
-    kOffFingerprint = 8,    // u64
-    kOffTx = 16,            // i64
-    kOffTy = 24,            // i64
-    kOffZ = 32,             // i32
-    kOffNx = 36,            // u32
-    kOffNy = 40,            // u32
-    kOffReserved2 = 44,     // u32, zero
-    kOffPayloadBytes = 48,  // u64
-    kOffPayloadHash = 56,   // u64
-    kOffHeaderHash = 64,    // u64
-};
-
-void fill_record_header(unsigned char* h, const TileAddress& a, std::uint32_t nx,
-                        std::uint32_t ny, std::uint64_t payload_bytes,
-                        std::uint64_t payload_hash) noexcept {
-    put<std::uint32_t>(h, kOffMagic, kRecordMagic);
-    put<std::uint32_t>(h, kOffReserved, 0);
-    put<std::uint64_t>(h, kOffFingerprint, a.fingerprint);
-    put<std::int64_t>(h, kOffTx, a.key.tx);
-    put<std::int64_t>(h, kOffTy, a.key.ty);
-    put<std::int32_t>(h, kOffZ, a.key.z);
-    put<std::uint32_t>(h, kOffNx, nx);
-    put<std::uint32_t>(h, kOffNy, ny);
-    put<std::uint32_t>(h, kOffReserved2, 0);
-    put<std::uint64_t>(h, kOffPayloadBytes, payload_bytes);
-    put<std::uint64_t>(h, kOffPayloadHash, payload_hash);
-    put<std::uint64_t>(h, kOffHeaderHash, fnv1a(h, kOffHeaderHash));
-}
-
-/// Parsed view of one record header; valid() covers everything the recovery
-/// scan and the read path must agree on before trusting the payload bounds.
-struct RecordHeader {
-    TileAddress address;
-    std::uint32_t nx = 0;
-    std::uint32_t ny = 0;
-    std::uint64_t payload_bytes = 0;
-    std::uint64_t payload_hash = 0;
-    bool valid = false;
-};
-
-RecordHeader parse_record_header(const unsigned char* h) noexcept {
-    RecordHeader r;
-    if (get<std::uint32_t>(h, kOffMagic) != kRecordMagic) {
-        return r;
-    }
-    if (get<std::uint64_t>(h, kOffHeaderHash) != fnv1a(h, kOffHeaderHash)) {
-        return r;
-    }
-    r.address.fingerprint = get<std::uint64_t>(h, kOffFingerprint);
-    r.address.key.tx = get<std::int64_t>(h, kOffTx);
-    r.address.key.ty = get<std::int64_t>(h, kOffTy);
-    r.address.key.z = get<std::int32_t>(h, kOffZ);
-    r.nx = get<std::uint32_t>(h, kOffNx);
-    r.ny = get<std::uint32_t>(h, kOffNy);
-    r.payload_bytes = get<std::uint64_t>(h, kOffPayloadBytes);
-    r.payload_hash = get<std::uint64_t>(h, kOffPayloadHash);
-    if (r.address.key.z < 0 || r.address.key.z > kMaxZoom) {
-        return r;
-    }
-    if (r.nx == 0 || r.ny == 0 || r.nx > kMaxRecordExtent || r.ny > kMaxRecordExtent) {
-        return r;
-    }
-    if (r.payload_bytes !=
-        std::uint64_t{r.nx} * std::uint64_t{r.ny} * sizeof(double)) {
-        return r;
-    }
-    r.valid = true;
-    return r;
-}
 
 [[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
     throw StoreError{what + " '" + path + "': " + std::strerror(errno),
@@ -222,10 +116,10 @@ void TileStore::open_or_reset_locked() {
         reset_file_locked();  // fresh store, not a reset event
         return;
     }
-    unsigned char header[kFileHeaderSize] = {};
-    bool ok = size >= kFileHeaderSize && read_exact(fd_, header, kFileHeaderSize, 0);
-    ok = ok && std::memcmp(header, kFileMagic, sizeof(kFileMagic)) == 0 &&
-         get<std::uint32_t>(header, 8) == kFileVersion;
+    unsigned char header[kSegmentFileHeaderSize] = {};
+    const bool ok = size >= kSegmentFileHeaderSize &&
+                    read_exact(fd_, header, kSegmentFileHeaderSize, 0) &&
+                    valid_file_header(header);
     if (!ok) {
         // Foreign file, torn header, or a future format: the contents are a
         // regenerable cache, so discard rather than fail (file comment).
@@ -239,11 +133,10 @@ void TileStore::reset_file_locked() {
     if (::ftruncate(fd_, 0) != 0) {
         throw_errno("cannot truncate tile store", path_);
     }
-    unsigned char header[kFileHeaderSize] = {};
-    std::memcpy(header, kFileMagic, sizeof(kFileMagic));
-    put<std::uint32_t>(header, 8, kFileVersion);
-    write_all(fd_, header, kFileHeaderSize, 0, path_);
-    end_ = kFileHeaderSize;
+    unsigned char header[kSegmentFileHeaderSize] = {};
+    fill_file_header(header);
+    write_all(fd_, header, kSegmentFileHeaderSize, 0, path_);
+    end_ = kSegmentFileHeaderSize;
     index_.clear();
     fifo_.clear();
     live_.reset();
@@ -252,25 +145,23 @@ void TileStore::reset_file_locked() {
 
 void TileStore::recover_scan_locked() {
     const std::uint64_t size = file_size_locked();
-    if (end_ == 0) {
-        end_ = kFileHeaderSize;
-    }
-    std::uint64_t off = kFileHeaderSize;
-    unsigned char hbuf[kRecordHeaderSize];
-    while (off + kRecordHeaderSize <= size) {
-        if (!read_exact(fd_, hbuf, kRecordHeaderSize, off)) {
-            break;
+    std::uint64_t off = kSegmentFileHeaderSize;
+    if (size > kSegmentFileHeaderSize && remap_locked(size)) {
+        const SegmentScan scan =
+            scan_segment(reinterpret_cast<const unsigned char*>(map_),
+                         static_cast<std::size_t>(size));
+        // open_or_reset_locked already validated the file header, so
+        // header_ok holds; guard anyway so a racing overwrite degrades to a
+        // full torn-tail truncation instead of trusting a bogus scan.end.
+        if (scan.header_ok) {
+            for (const SegmentRecord& r : scan.records) {
+                retire_existing_locked(r.address);
+                index_[r.address] = IndexEntry{r.offset, r.nx, r.ny, r.payload_bytes};
+                fifo_.emplace_back(r.address, r.offset);
+                live_.charge(static_cast<std::size_t>(r.payload_bytes));
+            }
+            off = scan.end;
         }
-        const RecordHeader r = parse_record_header(hbuf);
-        if (!r.valid || off + kRecordHeaderSize + r.payload_bytes > size) {
-            break;  // torn tail starts here
-        }
-        retire_existing_locked(r.address);
-        index_[r.address] =
-            IndexEntry{off, r.nx, r.ny, r.payload_bytes};
-        fifo_.emplace_back(r.address, off);
-        live_.charge(static_cast<std::size_t>(r.payload_bytes));
-        off += kRecordHeaderSize + r.payload_bytes;
     }
     if (off != size) {
         const std::uint64_t torn = size - off;
@@ -301,16 +192,16 @@ TileStore::TilePayload TileStore::find(const TileAddress& address) {
     }
     const IndexEntry entry = it->second;
     const std::uint64_t record_end =
-        entry.offset + kRecordHeaderSize + entry.payload_bytes;
+        entry.offset + kSegmentRecordHeaderSize + entry.payload_bytes;
     bool ok = remap_locked(record_end);
-    RecordHeader r;
+    SegmentRecordHeader r;
     if (ok) {
         const auto* base =
             reinterpret_cast<const unsigned char*>(map_) + entry.offset;
         r = parse_record_header(base);
         ok = r.valid && r.address == address &&
              r.payload_bytes == entry.payload_bytes &&
-             r.payload_hash == fnv1a(base + kRecordHeaderSize,
+             r.payload_hash == segment_hash(base + kSegmentRecordHeaderSize,
                                      static_cast<std::size_t>(r.payload_bytes));
     }
     if (!ok) {
@@ -327,7 +218,7 @@ TileStore::TilePayload TileStore::find(const TileAddress& address) {
         return nullptr;
     }
     auto tile = std::make_shared<Array2D<double>>(r.nx, r.ny);
-    std::memcpy(tile->data(), map_ + entry.offset + kRecordHeaderSize,
+    std::memcpy(tile->data(), map_ + entry.offset + kSegmentRecordHeaderSize,
                 static_cast<std::size_t>(r.payload_bytes));
     ++counters_.hits;
     reg_.hits->add();
@@ -351,11 +242,11 @@ void TileStore::insert(const TileAddress& address, const Array2D<double>& tile) 
         sizeof(double);
     const std::uint64_t payload_bytes = payload_size;
     const std::size_t total =
-        static_cast<std::size_t>(kRecordHeaderSize) + payload_size;
+        static_cast<std::size_t>(kSegmentRecordHeaderSize) + payload_size;
     std::vector<unsigned char> buf(total);
-    std::memcpy(buf.data() + kRecordHeaderSize, tile.data(), payload_size);
+    std::memcpy(buf.data() + kSegmentRecordHeaderSize, tile.data(), payload_size);
     const std::uint64_t payload_hash =
-        fnv1a(buf.data() + kRecordHeaderSize, payload_size);
+        segment_hash(buf.data() + kSegmentRecordHeaderSize, payload_size);
     fill_record_header(buf.data(), address, nx, ny, payload_bytes, payload_hash);
 
     if (fault::inject("store.write")) {
@@ -461,12 +352,11 @@ void TileStore::compact_locked() {
     }
     std::unordered_map<TileAddress, IndexEntry, TileAddressHash> new_index;
     std::deque<std::pair<TileAddress, std::uint64_t>> new_fifo;
-    std::uint64_t new_end = kFileHeaderSize;
+    std::uint64_t new_end = kSegmentFileHeaderSize;
     try {
-        unsigned char header[kFileHeaderSize] = {};
-        std::memcpy(header, kFileMagic, sizeof(kFileMagic));
-        put<std::uint32_t>(header, 8, kFileVersion);
-        write_all(tfd, header, kFileHeaderSize, 0, tmp);
+        unsigned char header[kSegmentFileHeaderSize] = {};
+        fill_file_header(header);
+        write_all(tfd, header, kSegmentFileHeaderSize, 0, tmp);
         std::vector<unsigned char> buf;
         for (const auto& [addr, off] : fifo_) {
             const auto it = index_.find(addr);
@@ -474,7 +364,7 @@ void TileStore::compact_locked() {
                 continue;  // stale entry: superseded or evicted
             }
             const std::size_t total = static_cast<std::size_t>(
-                kRecordHeaderSize + it->second.payload_bytes);
+                kSegmentRecordHeaderSize + it->second.payload_bytes);
             buf.resize(total);
             if (!read_exact(fd_, buf.data(), total, off)) {
                 throw_errno("cannot read record during compaction of", path_);

@@ -1,0 +1,75 @@
+// Known-bad fixture: a catch-all inside a parser-shaped entry point
+// (parse/parse_*/deserialize/scan_*) that swallows the exception must be
+// flagged (rrslint rule `parse-swallow`).  Catch-alls that rethrow, map to
+// the taxonomy, or abort are fine, as are catch-alls in non-parser code.
+// Never compiled — scanned by `rrslint --check-fixtures` (ctest:
+// rrslint_fixtures).
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace rrs {
+
+struct Plan {
+    int n = 0;
+};
+
+// BAD: swallows — malformed input silently becomes a default Plan.
+inline Plan parse_plan_lenient(int n) {
+    Plan p;
+    try {
+        p.n = n;
+        // LINT-EXPECT: parse-swallow
+    } catch (...) {
+        // "best effort" — exactly what the fuzz contract forbids
+    }
+    return p;
+}
+
+// BAD: scan_* counts as a parser entry point too.
+inline int scan_segment_lenient(int n) {
+    try {
+        return n + 1;
+        // LINT-EXPECT: parse-swallow
+    } catch (...) {
+        return 0;
+    }
+}
+
+// OK: rethrows — the caller still sees the failure.
+inline Plan parse_plan_strict(int n) {
+    try {
+        return Plan{n};
+    } catch (...) {
+        throw;
+    }
+}
+
+// OK: maps the failure into the taxonomy.
+inline Plan deserialize(int n) {
+    try {
+        return Plan{n};
+    } catch (...) {
+        throw ConfigError{"deserialize: malformed input"};
+    }
+}
+
+// OK: aborts — a crash is a finding, not a silent wrong answer.
+inline Plan parse_plan_fatal(int n) {
+    try {
+        return Plan{n};
+    } catch (...) {
+        std::abort();
+    }
+}
+
+// OK: not a parser — cleanup-style swallowing is allowed elsewhere.
+inline void shutdown_lenient() {
+    try {
+        // drain
+    } catch (...) {
+        // connection already dead; accounting still runs
+    }
+}
+
+}  // namespace rrs

@@ -180,6 +180,80 @@ TEST(SceneErrors, MalformedNumberAndBadHealthValue) {
     EXPECT_NE(std::string{e.what()}.find("health"), std::string::npos);
 }
 
+TEST(SceneErrors, IntegerValuedKeysRejectNonIntegers) {
+    // seed / kernel_grid / region hold integers carried through doubles;
+    // the checked conversion rejects anything a plain static_cast would
+    // quietly mangle (NaN, ±inf, fractions, out-of-range) — all found by
+    // the fuzz_scene harness (DESIGN.md §16).
+    EXPECT_THROW(parse_scene_text("seed = nan\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("seed = -1\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("seed = 1.5\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("seed = 1e300\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("kernel_grid = 1e300 64\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("kernel_grid = 64.5 64\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("region = 0 0 inf 8\n"), SceneError);
+    EXPECT_THROW(parse_scene_text("region = 0.5 0 8 8\n"), SceneError);
+    // The error names the offending key and line.
+    const auto e = capture<SceneError>([] { parse_scene_text("seed = nan\n"); });
+    EXPECT_NE(std::string{e.what()}.find("seed"), std::string::npos);
+    EXPECT_EQ(e.line(), 1u);
+}
+
+TEST(SceneErrors, SectionAndMapNegativeShapes) {
+    // One malformed scene per distinct parser error site, so the coverage
+    // gate (tools/coverage.sh) holds src/io/scene.cpp above its 90% floor.
+    const char* bad[] = {
+        "tail_eps = 0.5x\n",                                    // trailing chars
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1 2 3\n",  // count range
+        "[spectrum s]\nh = 1\ncl = 1\n",                         // missing family
+        "[spectrum s]\nfamily = cubic\nh = 1\ncl = 1\n",         // unknown family
+        "kernel_grid = 0 64\n",                                  // grid validate
+        "[map]\n",                                               // missing type
+        "[map]\ntype = homogeneous\n",                           // missing spectrum
+        "[map]\ntype = plates\ntransition = 1\n",                // no plate lines
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = plates\ntransition = 1\nplate = 0 1 0 1\n",  // 4 tokens
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = plates\ntransition = 1\nplate = 0 1 0 1 ghost\n",
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = polygon\ntransition = 1\ninside = s\noutside = s\n"
+        "vertex = 1\n",                                          // vertex needs x y
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = points\ntransition = 1\npoint = 1 2\n",   // point needs 3
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = points\ntransition = 1\npoint = 1 2 ghost\n",
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = points\ntransition = 1\npoint = 0 0 s\n",  // needs two
+        "[map]\ntype = homogeneous\n[map]\ntype = homogeneous\n",  // dup [map]
+    };
+    for (const char* text : bad) {
+        EXPECT_THROW(parse_scene_text(text), SceneError) << text;
+    }
+    // A ConfigError from a map constructor (negative radius) is re-thrown as
+    // a line-numbered SceneError with the inner context preserved.
+    const auto e = capture<SceneError>([] {
+        parse_scene_text(
+            "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+            "[map]\ntype = circle\ncenter = 0 0\nradius = -1\ntransition = 1\n"
+            "inside = s\noutside = s\n");
+    });
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[map]"), std::string::npos);
+    EXPECT_NE(what.find("radius"), std::string::npos);
+}
+
+TEST(SceneErrors, OriginAndOutputKeysParse) {
+    const Scene s = parse_scene_text(
+        "region = 0 0 4 4\norigin = 2.5 -3\noutput = a.pgm b.csv\n"
+        "[spectrum s]\nfamily = gaussian\nh = 1\ncl = 1\n"
+        "[map]\ntype = homogeneous\nspectrum = s\n");
+    EXPECT_DOUBLE_EQ(s.origin_x, 2.5);
+    EXPECT_DOUBLE_EQ(s.origin_y, -3.0);
+    ASSERT_EQ(s.outputs.size(), 2u);
+    EXPECT_EQ(s.outputs[0], "a.pgm");
+    EXPECT_EQ(s.outputs[1], "b.csv");
+}
+
 TEST(SceneErrors, SceneErrorIsConfigError) {
     // The legacy test-suite catches std::invalid_argument; the taxonomy adds
     // ConfigError and Error views of the same exception.
@@ -298,6 +372,29 @@ TEST(Checkpoint, DeserializeRejectsTrailingGarbage) {
     // Trailing whitespace (incl. a final newline) is still fine.
     const StreamCheckpoint c{-4, 8, 16, 8, 77};
     EXPECT_EQ(StreamCheckpoint::deserialize(c.serialize() + "  \n"), c);
+}
+
+TEST(Checkpoint, DeserializeEdgeCases) {
+    // Single-byte and whitespace-only inputs are malformed, never crashes
+    // (fuzz corpus shapes, DESIGN.md §16).
+    EXPECT_THROW(StreamCheckpoint::deserialize("r"), IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize(" "), IoError);
+    EXPECT_THROW(StreamCheckpoint::deserialize("\n"), IoError);
+    // A non-numeric version field.
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint one 0 8 0 8 0"),
+                 IoError);
+    // A field too large for its integer type fails the extraction.
+    EXPECT_THROW(StreamCheckpoint::deserialize(
+                     "rrs-checkpoint 1 0 99999999999999999999999999 0 8 0"),
+                 IoError);
+    // Negative rows are structurally parseable but nonsensical.
+    EXPECT_THROW(StreamCheckpoint::deserialize("rrs-checkpoint 1 0 8 0 -8 0"),
+                 ConfigError);
+    // Any whitespace separates fields: tab/newline forms parse identically.
+    const StreamCheckpoint c{-40, 96, 1234, 16, 42};
+    EXPECT_EQ(StreamCheckpoint::deserialize(
+                  "rrs-checkpoint\t1\n-40 96\t\t1234\n\n16 42"),
+              c);
 }
 
 TEST(Checkpoint, ResumeRejectsFingerprintMismatch) {

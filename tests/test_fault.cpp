@@ -97,6 +97,44 @@ TEST(FaultPlan, ParseErrorsCarryFaultContext) {
     }
 }
 
+TEST(FaultPlan, SingleTokenAndSeparatorOnlySpecs) {
+    // Minimal malformed items (fuzz corpus shapes: single-byte inputs).
+    EXPECT_THROW(fault::parse_plan("x"), ConfigError);
+    EXPECT_THROW(fault::parse_plan("="), ConfigError);
+    EXPECT_THROW(fault::parse_plan("@"), ConfigError);
+    // Separator-only specs are empty plans, not errors.
+    EXPECT_TRUE(fault::parse_plan(";").empty());
+    EXPECT_TRUE(fault::parse_plan(",").empty());
+}
+
+TEST(FaultPlan, TriggerCountBoundaries) {
+    // The largest representable trigger count parses exactly...
+    const fault::FaultPlan max =
+        fault::parse_plan("net.recv=error@every:18446744073709551615");
+    ASSERT_EQ(max.rules.size(), 1u);
+    EXPECT_EQ(max.rules[0].n, 18446744073709551615ull);
+    // ...one past it is a grammar violation, never a silent wrap.
+    EXPECT_THROW(
+        fault::parse_plan("net.recv=error@every:18446744073709551616"),
+        ConfigError);
+    EXPECT_THROW(
+        fault::parse_plan("net.recv=error@after:99999999999999999999999"),
+        ConfigError);
+}
+
+TEST(FaultPlan, DuplicateSitesCombineAndSeedLastWins) {
+    // Several rules may name one site (effects combine at injection time),
+    // and a repeated seed: item takes the final value.
+    const fault::FaultPlan plan = fault::parse_plan(
+        "seed:1 net.recv=error net.recv=latency:5 seed:9");
+    ASSERT_EQ(plan.rules.size(), 2u);
+    EXPECT_EQ(plan.rules[0].site, "net.recv");
+    EXPECT_EQ(plan.rules[0].action, fault::FaultAction::kError);
+    EXPECT_EQ(plan.rules[1].site, "net.recv");
+    EXPECT_EQ(plan.rules[1].action, fault::FaultAction::kLatency);
+    EXPECT_EQ(plan.seed, 9u);
+}
+
 // --- Arm / disarm / dormant behaviour ---------------------------------------
 
 TEST(FaultInject, DormantSitesNeverFire) {

@@ -135,6 +135,46 @@ TEST(HttpParse, ContentLengthValidation) {
     });
 }
 
+TEST(HttpParse, ControlBytesInHeadAre400) {
+    // Embedded NUL smuggled into the request target.
+    expect_http_error(400, [] {
+        parse_request_head(std::string_view("GET /\0x HTTP/1.1\r\n", 18));
+    });
+    // NUL inside a header value.
+    expect_http_error(400, [] {
+        parse_request_head(
+            std::string_view("GET / HTTP/1.1\r\nX-A: a\0b\r\n", 26));
+    });
+    // Lone CR inside a header value (response-splitting shape): the head
+    // splitter consumes well-formed "\r\n" pairs, so a CR still inside a
+    // line is an injection attempt.
+    expect_http_error(400, [] {
+        parse_request_head("GET / HTTP/1.1\r\nX-A: a\rInjected: 1\r\n");
+    });
+    // Bare-LF line endings: the LF is a control byte inside the "line".
+    expect_http_error(400, [] {
+        parse_request_head("GET / HTTP/1.1\nHost: x\n");
+    });
+    // Horizontal tab stays legal inside values.
+    const HttpRequest ok = parse_request_head("GET / HTTP/1.1\r\nX-A: a\tb\r\n");
+    ASSERT_NE(ok.header("x-a"), nullptr);
+    EXPECT_EQ(*ok.header("x-a"), "a\tb");
+}
+
+TEST(HttpParse, ContentLengthDigitBoundary) {
+    // 18 digits is the longest accepted run (cannot overflow uint64);
+    // 19 digits is rejected before std::stoull ever runs.
+    EXPECT_EQ(parse_request_head("GET / HTTP/1.1\r\nContent-Length: "
+                                 "999999999999999999\r\n")
+                  .content_length(),
+              999999999999999999u);
+    expect_http_error(413, [] {
+        parse_request_head("GET / HTTP/1.1\r\nContent-Length: "
+                           "9999999999999999999\r\n")
+            .content_length();
+    });
+}
+
 TEST(HttpParse, UrlDecode) {
     EXPECT_EQ(url_decode("a%20b+c"), "a b c");
     EXPECT_EQ(url_decode("%2Fpath%3f"), "/path?");
@@ -167,6 +207,42 @@ TEST(HttpSerialize, ResponseWireFormat) {
 TEST(HttpSerialize, JsonEscape) {
     EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
     EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+// ------------------------------------------------- client response parsing
+
+TEST(ClientParse, ResponseHeadParses) {
+    const ClientResponse r = parse_response_head(
+        "HTTP/1.1 503 Service Unavailable\r\n"
+        "Retry-After: 2\r\n"
+        "Content-Length: 0\r\n");
+    EXPECT_EQ(r.status, 503);
+    ASSERT_NE(r.header("retry-after"), nullptr);
+    EXPECT_EQ(*r.header("retry-after"), "2");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ClientParse, MalformedResponseHeadIsIoError) {
+    // Server bytes are untrusted input too: every malformed shape must
+    // surface as IoError, never as an escape from the taxonomy.
+    EXPECT_THROW(parse_response_head("ICY 200 OK\r\n"), IoError);
+    EXPECT_THROW(parse_response_head("HTTP/1.1 20x OK\r\n"), IoError);
+    EXPECT_THROW(parse_response_head("HTTP/1.1\r\n"), IoError);
+    EXPECT_THROW(parse_response_head(""), IoError);
+    EXPECT_THROW(parse_response_head("HTTP/1.1 200 OK\r\nno-colon\r\n"),
+                 IoError);
+    EXPECT_THROW(parse_response_head("HTTP/1.1 200 OK\r\n: empty\r\n"),
+                 IoError);
+}
+
+TEST(ClientParse, ControlBytesInResponseHeadAreIoError) {
+    EXPECT_THROW(parse_response_head(
+                     std::string_view("HTTP/1.1 200 OK\r\nX: a\0b\r\n", 25)),
+                 IoError);
+    EXPECT_THROW(parse_response_head("HTTP/1.1 200 OK\r\nX: a\rb\r\n"), IoError);
+    EXPECT_THROW(parse_response_head(
+                     std::string_view("HTTP/1.1 200\0OK\r\n", 17)),
+                 IoError);
 }
 
 // ----------------------------------------------------------------- router

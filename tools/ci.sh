@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI driver — eight stages, each runnable on its own:
+# CI driver — ten stages, each runnable on its own:
 #
-#   tools/ci.sh             # all stages: lint, release, sanitize, tsan, chaos, tidy, perf, store
+#   tools/ci.sh             # all stages: lint, release, sanitize, fuzz, tsan,
+#                           # chaos, tidy, perf, store, coverage
 #   tools/ci.sh lint        # rrslint conventions + lint fixtures (no build)
 #   tools/ci.sh release     # build + tier 1 (-LE "stats|race|chaos") + tier 2 (-L stats)
 #   tools/ci.sh sanitize    # tier 1 under ASan+UBSan
+#   tools/ci.sh fuzz        # fuzz harnesses (DESIGN.md §16): 60 s/harness of
+#                           # libFuzzer when clang provides it, corpus replay
+#                           # always -> bench_out/BENCH_fuzz.json
 #   tools/ci.sh tsan        # tier 3: race tests (-L race) under ThreadSanitizer
 #   tools/ci.sh chaos       # tier 3: fault-injection tests (-L chaos), release
 #                           # + ASan/UBSan, plus the resilience bench gates
@@ -12,6 +16,8 @@
 #   tools/ci.sh perf        # quick net load bench -> bench_out/BENCH_net.json
 #   tools/ci.sh store       # warm-restart rrsd smoke (persistent L2 tile store)
 #                           # + the store bench -> bench_out/BENCH_store.json
+#   tools/ci.sh coverage    # instrumented tier 1+2 run, merged per-module
+#                           # rates gated against tools/coverage_thresholds.json
 #
 # Sanitizer reports are fatal (-fno-sanitize-recover=all, TSan
 # halt_on_error=1), so a green run means the suite is clean.  The `race` and
@@ -87,6 +93,51 @@ run_chaos() {
     echo "==> [chaos] resilience --quick"
     build/bench/resilience --quick --out-dir bench_out
     echo "==> [chaos] wrote bench_out/BENCH_resilience.json"
+}
+
+run_fuzz() {
+    # Fuzz tier (DESIGN.md §16): build the fuzz preset (ASan+UBSan).  When
+    # the compiler provides libFuzzer (clang), each harness explores for
+    # 60 s seeded from its checked-in corpus; under gcc the preset degrades
+    # to replay drivers only.  Either way every corpus must replay clean,
+    # and the replay throughput is recorded to bench_out/BENCH_fuzz.json.
+    build_preset fuzz build-fuzz
+    local harnesses=(http_head scene fault_plan segment_scan checkpoint query)
+    local h line newdir
+    local stats=()
+    mkdir -p bench_out
+    for h in "${harnesses[@]}"; do
+        if [[ -x "build-fuzz/fuzz/fuzz_$h" ]]; then
+            echo "==> [fuzz] libFuzzer: $h (60 s)"
+            newdir=$(mktemp -d)
+            "build-fuzz/fuzz/fuzz_$h" -max_total_time=60 -print_final_stats=1 \
+                "$newdir" "fuzz/corpus/$h"
+            rm -rf "$newdir"
+        fi
+        echo "==> [fuzz] replay: $h"
+        line=$("build-fuzz/fuzz/fuzz_${h}_replay" --repeat 20 "fuzz/corpus/$h")
+        echo "    $line"
+        stats+=("$line")
+    done
+    python3 - "${stats[@]}" <<'EOF'
+import json, pathlib, re, sys
+records = []
+for line in sys.argv[1:]:
+    m = re.match(r"fuzz-replay: name=(\S+) files=(\d+) execs=(\d+)"
+                 r" wall_ms=([\d.]+) execs_per_s=([\d.]+)", line.strip())
+    assert m, f"unparseable replay stats line: {line!r}"
+    records.append({"name": m.group(1), "n": int(m.group(2)),
+                    "wall_ms": float(m.group(4)),
+                    "throughput": float(m.group(5))})
+out = pathlib.Path("bench_out/BENCH_fuzz.json")
+out.write_text(json.dumps({"schema": 1, "bench": "fuzz",
+                           "records": records}, indent=1) + "\n")
+print(f"==> [fuzz] wrote {out} ({len(records)} harnesses)")
+EOF
+}
+
+run_coverage() {
+    tools/coverage.sh
 }
 
 run_lint() {
@@ -325,13 +376,16 @@ case "$want" in
     lint)     run_lint ;;
     release)  run_release ;;
     sanitize) run_sanitize ;;
+    fuzz)     run_fuzz ;;
     tsan)     run_tsan ;;
     chaos)    run_chaos ;;
     tidy)     run_tidy ;;
     perf)     run_perf ;;
     store)    run_store ;;
-    all)      run_lint; run_release; run_sanitize; run_tsan; run_chaos; run_tidy; run_perf; run_store ;;
-    *)  echo "usage: tools/ci.sh [lint|release|sanitize|tsan|chaos|tidy|perf|store|all]" >&2
+    coverage) run_coverage ;;
+    all)      run_lint; run_release; run_sanitize; run_fuzz; run_tsan
+              run_chaos; run_tidy; run_perf; run_store; run_coverage ;;
+    *)  echo "usage: tools/ci.sh [lint|release|sanitize|fuzz|tsan|chaos|tidy|perf|store|coverage|all]" >&2
         exit 2 ;;
 esac
 echo "==> ci: all requested stages passed"

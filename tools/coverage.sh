@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Coverage gate (DESIGN.md §16): build the instrumented preset, run tier 1
+# (which includes the fuzz corpus replays) and tier 2 (stats), then merge
+# the profiles into per-module line/branch rates and fail below the floors
+# committed in tools/coverage_thresholds.json.
+#
+# Works with whichever toolchain built the tree: gcc's --coverage (gcov)
+# today; the RRS_COVERAGE CMake option picks the matching flags per
+# compiler.  The merged summary lands in bench_out/coverage.json.
+#
+# The preset instruments the *Release* configuration: the separable
+# engine's bit-exact tile-independence (tests/test_kernel_equivalence.cpp)
+# holds only under optimized FP codegen, and gating coverage on the same
+# codegen that ships keeps the measured rates honest about inlining.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> [coverage] configure"
+cmake --preset coverage
+echo "==> [coverage] build"
+cmake --build --preset coverage -j "$(nproc)"
+
+# Profiles accumulate across runs; start from a clean slate so the gate
+# measures exactly this test run.
+find build-coverage -name '*.gcda' -delete
+
+echo "==> [coverage] test (tier 1 + tier 2 + fuzz corpus replay)"
+ctest --preset coverage -j "$(nproc)"
+
+echo "==> [coverage] merge + gate"
+python3 tools/coverage_report.py build-coverage \
+    --thresholds tools/coverage_thresholds.json \
+    --out bench_out/coverage.json

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""coverage_report.py — merge gcov data into per-module rates and gate them.
+
+Part of the fuzzing + coverage tier (DESIGN.md §16).  Reads every .gcda
+profile a test run left in a --coverage build tree, asks `gcov
+--json-format` for per-line execution counts, merges them across
+translation units (header-inline code is compiled into many TUs; a line is
+covered when ANY TU executed it), and aggregates:
+
+  * per file    — line and branch rates for every file under src/
+  * per module  — src/<dir> roll-ups (src/net, src/io, ...)
+  * overall     — the whole library
+
+Then compares against tools/coverage_thresholds.json and exits non-zero on
+any shortfall, printing exactly which file/module fell below its floor.
+The thresholds are hard CI gates: parser modules named by the fuzz tier
+carry a 90% line floor; module floors are set just under their measured
+rates so a regression trips the gate without flaking on noise.
+
+Usage:
+  coverage_report.py BUILD_DIR [--thresholds FILE] [--out FILE]
+
+Self-contained: python3 stdlib + the `gcov` that matches the compiler.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def find_gcda(build_dir):
+    return sorted(Path(build_dir).rglob("*.gcda"))
+
+
+def gcov_json(gcda, build_dir):
+    """Run gcov on one .gcda and yield its parsed JSON document(s)."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--branch-probabilities", "--stdout",
+         str(Path(gcda).resolve())],
+        cwd=build_dir, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"coverage: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"coverage: bad gcov JSON from {gcda}: {e}", file=sys.stderr)
+
+
+def normalize(path, gcov_cwd, repo_root):
+    """gcov reports source paths relative to its cwd (or absolute); map them
+    to repo-relative 'src/...' form, or None for out-of-tree sources."""
+    p = Path(path)
+    if not p.is_absolute():
+        p = Path(gcov_cwd) / p
+    try:
+        rel = p.resolve().relative_to(Path(repo_root).resolve())
+    except ValueError:
+        return None
+    rel = rel.as_posix()
+    return rel if rel.startswith("src/") else None
+
+
+def collect(build_dir, repo_root):
+    """Merge all profiles: {file: {line: count}} and
+    {file: {(line, branch_idx): taken}}."""
+    line_hits = defaultdict(lambda: defaultdict(int))
+    branch_taken = defaultdict(dict)
+    gcdas = find_gcda(build_dir)
+    if not gcdas:
+        print(f"coverage: no .gcda files under {build_dir} — "
+              "did the instrumented tests run?", file=sys.stderr)
+        sys.exit(2)
+    for gcda in gcdas:
+        for doc in gcov_json(gcda, build_dir):
+            cwd = doc.get("current_working_directory", build_dir)
+            for f in doc.get("files", []):
+                rel = normalize(f["file"], cwd, repo_root)
+                if rel is None:
+                    continue
+                for ln in f.get("lines", []):
+                    n = ln["line_number"]
+                    line_hits[rel][n] += ln.get("count", 0)
+                    for i, br in enumerate(ln.get("branches", [])):
+                        key = (n, i)
+                        prev = branch_taken[rel].get(key, False)
+                        branch_taken[rel][key] = prev or br.get("count", 0) > 0
+    return line_hits, branch_taken
+
+
+def pct(hit, total):
+    return 100.0 if total == 0 else 100.0 * hit / total
+
+
+def summarize(line_hits, branch_taken):
+    files = {}
+    for rel in sorted(line_hits):
+        lines = line_hits[rel]
+        branches = branch_taken.get(rel, {})
+        lt, lh = len(lines), sum(1 for c in lines.values() if c > 0)
+        bt, bh = len(branches), sum(1 for t in branches.values() if t)
+        files[rel] = {
+            "lines_total": lt, "lines_hit": lh, "line_pct": round(pct(lh, lt), 2),
+            "branches_total": bt, "branches_hit": bh,
+            "branch_pct": round(pct(bh, bt), 2),
+        }
+    modules = defaultdict(lambda: [0, 0, 0, 0])  # lt, lh, bt, bh
+    for rel, s in files.items():
+        mod = "/".join(rel.split("/")[:2])  # src/<dir>
+        m = modules[mod]
+        m[0] += s["lines_total"]
+        m[1] += s["lines_hit"]
+        m[2] += s["branches_total"]
+        m[3] += s["branches_hit"]
+    module_rates = {
+        mod: {
+            "lines_total": lt, "lines_hit": lh, "line_pct": round(pct(lh, lt), 2),
+            "branches_total": bt, "branches_hit": bh,
+            "branch_pct": round(pct(bh, bt), 2),
+        }
+        for mod, (lt, lh, bt, bh) in sorted(modules.items())
+    }
+    lt = sum(s["lines_total"] for s in files.values())
+    lh = sum(s["lines_hit"] for s in files.values())
+    overall = {"lines_total": lt, "lines_hit": lh,
+               "line_pct": round(pct(lh, lt), 2)}
+    return {"files": files, "modules": module_rates, "overall": overall}
+
+
+def gate(summary, thresholds):
+    failures = []
+    for rel, floor in sorted(thresholds.get("files", {}).items()):
+        got = summary["files"].get(rel)
+        if got is None:
+            failures.append(f"{rel}: no coverage data (floor {floor}%)")
+        elif got["line_pct"] < floor:
+            failures.append(
+                f"{rel}: line coverage {got['line_pct']}% < floor {floor}%")
+    for mod, floor in sorted(thresholds.get("modules", {}).items()):
+        got = summary["modules"].get(mod)
+        if got is None:
+            failures.append(f"{mod}: no coverage data (floor {floor}%)")
+        elif got["line_pct"] < floor:
+            failures.append(
+                f"{mod}: line coverage {got['line_pct']}% < floor {floor}%")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(prog="coverage_report.py")
+    ap.add_argument("build_dir", help="--coverage build tree with .gcda files")
+    ap.add_argument("--thresholds", metavar="FILE",
+                    help="JSON floors: {files: {path: pct}, modules: {mod: pct}}")
+    ap.add_argument("--out", metavar="FILE", help="write the full summary JSON")
+    args = ap.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    line_hits, branch_taken = collect(args.build_dir, repo_root)
+    summary = summarize(line_hits, branch_taken)
+
+    print(f"{'module':<24} {'line%':>7} {'lines':>12} {'branch%':>8}")
+    for mod, s in summary["modules"].items():
+        print(f"{mod:<24} {s['line_pct']:>6.2f}% "
+              f"{s['lines_hit']:>5}/{s['lines_total']:<6} {s['branch_pct']:>7.2f}%")
+    o = summary["overall"]
+    print(f"{'overall':<24} {o['line_pct']:>6.2f}% "
+          f"{o['lines_hit']:>5}/{o['lines_total']:<6}")
+
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(json.dumps(summary, indent=1) + "\n")
+        print(f"coverage: wrote {args.out}")
+
+    if args.thresholds:
+        thresholds = json.loads(Path(args.thresholds).read_text())
+        failures = gate(summary, thresholds)
+        if failures:
+            print("coverage: FAILED gates:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        nfiles = len(thresholds.get("files", {}))
+        nmods = len(thresholds.get("modules", {}))
+        print(f"coverage: all gates passed ({nfiles} file floors, "
+              f"{nmods} module floors)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
