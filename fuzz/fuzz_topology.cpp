@@ -1,0 +1,17 @@
+// Harness: cluster::parse_topology — topology files arrive from disk via
+// rrsd --cluster / --cluster-prev and rrsquery --cluster.  Contract: parse
+// or throw ConfigError ("topology line N: ..."); no integer overflow on
+// port/epoch, no UB on weight parsing (inf/nan/huge), bounded node count.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cluster/topology.hpp"
+#include "harness_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    rrs::fuzz::guard("topology", [&] { (void)rrs::cluster::parse_topology(text); });
+    return 0;
+}

@@ -1,0 +1,114 @@
+#include "cluster/shard_map.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "rng/hash.hpp"
+
+namespace rrs::cluster {
+
+namespace {
+
+/// Folds the zoom level into the per-key salt the same way TileAddressHash
+/// does, under a cluster-private tag so shard draws are independent of
+/// cache bucket draws.
+std::uint64_t zoom_salt(std::int32_t z) noexcept {
+    return 0xC1A57EADu ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(z)) << 16);
+}
+
+/// One node's uniform(0,1) draw for a key.  `(h >> 11) | 1` keeps the
+/// 53-bit mantissa range and never yields 0, so log(u) is finite and < 0.
+double uniform_draw(std::uint64_t salt, std::uint64_t fingerprint,
+                    const TileKey& key) noexcept {
+    const std::uint64_t h =
+        hash_coords(fingerprint ^ salt, key.tx, key.ty, zoom_salt(key.z));
+    return static_cast<double>((h >> 11) | 1u) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t node_salt(std::string_view name) noexcept {
+    // FNV-1a over the name bytes, finalized through mix64 for avalanche.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return mix64(h ^ 0x5A17C0DEULL);
+}
+
+ShardMap::ShardMap(Topology topology) : topology_(std::move(topology)) {
+    if (topology_.nodes.empty()) {
+        throw ConfigError{"ShardMap requires at least one node",
+                          {"cluster", "shard_map"}};
+    }
+    salts_.reserve(topology_.nodes.size());
+    for (const NodeSpec& node : topology_.nodes) {
+        salts_.push_back(node_salt(node.name));
+    }
+}
+
+std::size_t ShardMap::owner(std::uint64_t fingerprint,
+                            const TileKey& key) const noexcept {
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < salts_.size(); ++i) {
+        const double u = uniform_draw(salts_[i], fingerprint, key);
+        // Weighted rendezvous: -w/log(u) is an Exp(1/w) order statistic, so
+        // node i wins with probability w_i/Σw — exactly the declared share.
+        const double score = -topology_.nodes[i].weight / std::log(u);
+        if (score > best_score ||
+            (score == best_score &&
+             topology_.nodes[i].name < topology_.nodes[best].name)) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+std::size_t ShardMap::index_of(std::string_view name) const noexcept {
+    for (std::size_t i = 0; i < topology_.nodes.size(); ++i) {
+        if (topology_.nodes[i].name == name) {
+            return i;
+        }
+    }
+    return topology_.nodes.size();
+}
+
+double tile_work(const TileShape& shape, std::int64_t halo_x, std::int64_t halo_y) {
+    check_tile_shape(shape);
+    if (halo_x < 0 || halo_y < 0) {
+        throw ConfigError{"tile_work requires non-negative halos",
+                          {"cluster", "shard_map"}};
+    }
+    return static_cast<double>(shape.nx + 2 * halo_x) *
+           static_cast<double>(shape.ny + 2 * halo_y);
+}
+
+std::vector<double> work_shares(const ShardMap& map, std::uint64_t fingerprint,
+                                const std::vector<TileKey>& keys,
+                                const std::function<double(const TileKey&)>& cost) {
+    if (keys.empty()) {
+        throw ConfigError{"work_shares requires a non-empty keyspace",
+                          {"cluster", "shard_map"}};
+    }
+    std::vector<double> shares(map.size(), 0.0);
+    double total = 0.0;
+    for (const TileKey& key : keys) {
+        const double c = cost ? cost(key) : 1.0;
+        shares[map.owner(fingerprint, key)] += c;
+        total += c;
+    }
+    if (!(total > 0.0)) {
+        throw ConfigError{"work_shares requires positive total cost",
+                          {"cluster", "shard_map"}};
+    }
+    for (double& s : shares) {
+        s /= total;
+    }
+    return shares;
+}
+
+}  // namespace rrs::cluster

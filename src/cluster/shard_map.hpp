@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file shard_map.hpp
+/// Weighted rendezvous (highest-random-weight) partitioning of the tile
+/// keyspace across a fleet topology (DESIGN.md §17).
+///
+/// Every `(fingerprint, TileKey)` pair is owned by exactly one node.  The
+/// map scores each node with the weighted-rendezvous formula
+///
+///     u_i     = uniform(0,1) drawn from hash_coords(fp ^ salt_i, tx, ty, z-salt)
+///     score_i = -weight_i / log(u_i)
+///
+/// and the highest score wins.  The draw reuses the repo's deterministic
+/// lattice hash (rng/hash.hpp) — pure 64-bit integer arithmetic, no byte
+/// serialization — so ownership is identical across processes, platforms,
+/// and endiannesses.  `salt_i` derives from the node's *name* (never its
+/// list position), which yields the two properties the cluster leans on:
+///
+///  * Balance: each node owns an expected weight_i/Σweights share of any
+///    large keyspace (chi-square-tested in tests/test_cluster.cpp).
+///  * Minimal disruption: adding or removing a node only moves keys
+///    to/from that node — a key's scores against the surviving nodes are
+///    unchanged, so no key ever moves between survivors.  Removing one of
+///    N equal-weight nodes re-homes ≈1/N of the keyspace.
+///
+/// Work-aware weighting: per-tile cost is *not* uniform when correlation
+/// lengths vary (the paper's inhomogeneous parameters — a heavy-cl region
+/// costs a larger kernel halo per tile).  Because rendezvous hashing
+/// scatters adjacent tiles across nodes, a contiguous heavy region spreads
+/// evenly; `tile_work` / `work_shares` quantify the expected per-node work
+/// so operators can verify weights against measured capacity.
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "service/tile_key.hpp"
+
+namespace rrs::cluster {
+
+/// Per-node salt: a pure function of the node *name*, so a node's draws —
+/// and therefore every surviving node's scores — are stable across
+/// topology edits.  Exposed for tests.
+std::uint64_t node_salt(std::string_view name) noexcept;
+
+/// See file comment.  Immutable after construction; safe to share across
+/// threads by const reference.
+class ShardMap {
+public:
+    /// Throws ConfigError when the topology has no nodes (parse_topology
+    /// already guarantees non-empty fleets and positive finite weights).
+    explicit ShardMap(Topology topology);
+
+    /// Index (into `topology().nodes`) of the node owning this key.
+    std::size_t owner(std::uint64_t fingerprint, const TileKey& key) const noexcept;
+
+    /// The owning node itself.
+    const NodeSpec& owner_node(std::uint64_t fingerprint,
+                               const TileKey& key) const noexcept {
+        return topology_.nodes[owner(fingerprint, key)];
+    }
+
+    std::size_t size() const noexcept { return topology_.nodes.size(); }
+    std::uint64_t epoch() const noexcept { return topology_.epoch; }
+    const NodeSpec& node(std::size_t i) const noexcept {
+        return topology_.nodes[i];
+    }
+    const Topology& topology() const noexcept { return topology_; }
+
+    /// Index of the node named `name`, or `size()` when absent.
+    std::size_t index_of(std::string_view name) const noexcept;
+
+private:
+    Topology topology_;
+    std::vector<std::uint64_t> salts_;
+};
+
+/// Relative generation cost of one tile whose kernel halo is
+/// (halo_x, halo_y) lattice points per side: the input-noise footprint
+/// (nx + 2·halo_x)·(ny + 2·halo_y) the convolution engines read — the
+/// dominant per-tile term for both the separable and FFT paths.  Throws
+/// ConfigError on a negative halo or non-positive shape.
+double tile_work(const TileShape& shape, std::int64_t halo_x, std::int64_t halo_y);
+
+/// Expected per-node share (fractions summing to 1) of the total work over
+/// `keys`, where each tile's cost comes from `cost` (empty = every tile
+/// costs 1).  This is the planning/verification tool for work-aware
+/// weights: with weights proportional to node capacity, shares should
+/// track weight_i/Σweights even when `cost` concentrates heavy tiles in
+/// one region — rendezvous scatter is what spreads them.  Throws
+/// ConfigError when `keys` is empty or total cost is not positive.
+std::vector<double> work_shares(const ShardMap& map, std::uint64_t fingerprint,
+                                const std::vector<TileKey>& keys,
+                                const std::function<double(const TileKey&)>& cost = {});
+
+}  // namespace rrs::cluster

@@ -1,0 +1,221 @@
+#include "cluster/topology.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace rrs::cluster {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+    throw ConfigError{"topology line " + std::to_string(line_no) + ": " + message,
+                      {"cluster", "topology"}};
+}
+
+bool name_char(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+bool valid_name(std::string_view s) noexcept {
+    if (s.empty() || s.size() > 64) {
+        return false;
+    }
+    for (const char c : s) {
+        if (!name_char(c)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Split a trimmed line on runs of spaces/tabs.
+std::vector<std::string_view> tokens_of(std::string_view line) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+            ++i;
+        }
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+            ++i;
+        }
+        if (i > start) {
+            out.push_back(line.substr(start, i - start));
+        }
+    }
+    return out;
+}
+
+std::uint64_t parse_u64(std::string_view s, std::size_t line_no, const char* what) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty()) {
+        fail(line_no, std::string(what) + " must be a plain base-10 integer (got '" +
+                          std::string(s) + "')");
+    }
+    return value;
+}
+
+double parse_weight(std::string_view s, std::size_t line_no) {
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || s.empty()) {
+        fail(line_no, "weight must be a number (got '" + std::string(s) + "')");
+    }
+    if (!std::isfinite(value) || value <= 0.0) {
+        fail(line_no, "weight must be finite and > 0 (got '" + std::string(s) + "')");
+    }
+    return value;
+}
+
+NodeSpec parse_node(const std::vector<std::string_view>& toks, std::size_t line_no) {
+    if (toks.size() < 3 || toks.size() > 4) {
+        fail(line_no, "expected 'node NAME HOST:PORT [weight=W]'");
+    }
+    NodeSpec node;
+    if (!valid_name(toks[1])) {
+        fail(line_no, "node name must be 1-64 chars of [A-Za-z0-9_.-] (got '" +
+                          std::string(toks[1]) + "')");
+    }
+    node.name = std::string(toks[1]);
+    const std::string_view endpoint = toks[2];
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == endpoint.size()) {
+        fail(line_no, "endpoint must be HOST:PORT (got '" + std::string(endpoint) +
+                          "')");
+    }
+    const std::string_view host = endpoint.substr(0, colon);
+    if (!valid_name(host)) {
+        fail(line_no, "host must be 1-64 chars of [A-Za-z0-9_.-] (got '" +
+                          std::string(host) + "')");
+    }
+    node.host = std::string(host);
+    const std::uint64_t port =
+        parse_u64(endpoint.substr(colon + 1), line_no, "port");
+    if (port < 1 || port > 65535) {
+        fail(line_no, "port must be in [1, 65535] (got " + std::to_string(port) +
+                          ")");
+    }
+    node.port = static_cast<std::uint16_t>(port);
+    if (toks.size() == 4) {
+        constexpr std::string_view kPrefix = "weight=";
+        if (toks[3].substr(0, kPrefix.size()) != kPrefix) {
+            fail(line_no, "expected 'weight=W' (got '" + std::string(toks[3]) + "')");
+        }
+        node.weight = parse_weight(toks[3].substr(kPrefix.size()), line_no);
+    }
+    return node;
+}
+
+}  // namespace
+
+const NodeSpec* Topology::find(std::string_view name) const noexcept {
+    for (const NodeSpec& node : nodes) {
+        if (node.name == name) {
+            return &node;
+        }
+    }
+    return nullptr;
+}
+
+Topology parse_topology(std::string_view text) {
+    Topology topo;
+    bool saw_epoch = false;
+    std::size_t line_no = 0;
+    while (!text.empty()) {
+        ++line_no;
+        const std::size_t nl = text.find('\n');
+        std::string_view line =
+            nl == std::string_view::npos ? text : text.substr(0, nl);
+        text = nl == std::string_view::npos ? std::string_view{}
+                                            : text.substr(nl + 1);
+        if (!line.empty() && line.back() == '\r') {
+            line.remove_suffix(1);
+        }
+        if (const std::size_t hash = line.find('#');
+            hash != std::string_view::npos) {
+            line = line.substr(0, hash);
+        }
+        line = trim(line);
+        if (line.empty()) {
+            continue;
+        }
+        const std::vector<std::string_view> toks = tokens_of(line);
+        if (line.substr(0, 5) == "epoch" &&
+            (line.size() == 5 || line[5] == ' ' || line[5] == '\t' ||
+             line[5] == '=')) {
+            // Accept 'epoch = N' and 'epoch=N' alike: everything after the
+            // keyword must be '=' followed by the integer.
+            std::string_view rest = trim(line.substr(std::size_t{5}));
+            if (rest.empty() || rest.front() != '=') {
+                fail(line_no, "expected 'epoch = N'");
+            }
+            rest = trim(rest.substr(1));
+            if (saw_epoch) {
+                fail(line_no, "duplicate epoch directive");
+            }
+            saw_epoch = true;
+            topo.epoch = parse_u64(rest, line_no, "epoch");
+        } else if (toks[0] == "node") {
+            if (topo.nodes.size() >= kMaxNodes) {
+                fail(line_no, "more than " + std::to_string(kMaxNodes) + " nodes");
+            }
+            NodeSpec node = parse_node(toks, line_no);
+            for (const NodeSpec& seen : topo.nodes) {
+                if (seen.name == node.name) {
+                    fail(line_no, "duplicate node name '" + node.name + "'");
+                }
+                if (seen.host == node.host && seen.port == node.port) {
+                    fail(line_no,
+                         "duplicate endpoint '" + node.endpoint() + "'");
+                }
+            }
+            topo.nodes.push_back(std::move(node));
+        } else {
+            fail(line_no, "unknown directive '" + std::string(toks[0]) +
+                              "' (expected 'epoch' or 'node')");
+        }
+    }
+    if (topo.nodes.empty()) {
+        throw ConfigError{"topology declares no nodes", {"cluster", "topology"}};
+    }
+    return topo;
+}
+
+Topology load_topology(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw IoError{"cannot read topology file '" + path + "'",
+                      {"cluster", "topology"}};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad()) {
+        throw IoError{"error reading topology file '" + path + "'",
+                      {"cluster", "topology"}};
+    }
+    try {
+        return parse_topology(text.str());
+    } catch (const ConfigError& e) {
+        throw ConfigError{std::string(e.what()) + " (file '" + path + "')",
+                          {"cluster", "topology"}};
+    }
+}
+
+}  // namespace rrs::cluster

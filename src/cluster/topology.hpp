@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file topology.hpp
+/// Declarative fleet topology for the sharded tile cluster (DESIGN.md §17).
+///
+/// A topology is a small text document naming every `rrsd` node of a fleet:
+///
+///     # comments and blank lines are ignored
+///     epoch = 3
+///     node alpha 10.0.0.1:8801 weight=2
+///     node beta  10.0.0.2:8801
+///     node gamma 10.0.0.3:8801 weight=0.5
+///
+/// Grammar (one directive per line):
+///
+///     line   := '#' comment | ε | epoch | node
+///     epoch  := 'epoch' '=' uint64            (at most once; default 0)
+///     node   := 'node' NAME HOST ':' PORT [ 'weight=' W ]
+///     NAME   := [A-Za-z0-9_.-]{1,64}          (unique per topology)
+///     PORT   := 1..65535                      (HOST:PORT unique per topology)
+///     W      := finite double > 0             (default 1)
+///
+/// `weight` is the node's *capacity* share: the ShardMap (shard_map.hpp)
+/// assigns each node an expected fraction weight/Σweights of the keyspace,
+/// so a box with twice the cores simply declares `weight=2`.  `epoch` is a
+/// deployment-managed generation number: a reshard publishes a new file
+/// with a bumped epoch, and nodes keep the previous epoch's file around to
+/// drive peer cache-fill (peer_fill.hpp).
+///
+/// `parse_topology` is a *pure* untrusted-input entry point under the
+/// fuzzing contract (DESIGN.md §16, harness fuzz_topology): bytes in,
+/// struct out, no I/O — every failure is a ConfigError carrying the
+/// 1-based line number, never anything outside the taxonomy.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace rrs::cluster {
+
+/// Nodes a topology may declare — a sanity bound, far above any real
+/// fleet, that keeps adversarial inputs from ballooning the parse.
+inline constexpr std::size_t kMaxNodes = 1024;
+
+/// One declared fleet member.
+struct NodeSpec {
+    std::string name;
+    std::string host;
+    std::uint16_t port = 0;
+    double weight = 1.0;
+
+    /// "host:port", as it appears in the file — for logs and dedup.
+    std::string endpoint() const { return host + ":" + std::to_string(port); }
+
+    friend bool operator==(const NodeSpec&, const NodeSpec&) = default;
+};
+
+/// A parsed fleet: the declared nodes (file order) plus the epoch.
+struct Topology {
+    std::vector<NodeSpec> nodes;
+    std::uint64_t epoch = 0;
+
+    /// The node named `name`, or nullptr.
+    const NodeSpec* find(std::string_view name) const noexcept;
+
+    friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// Parse a topology document (see grammar above).  Pure; throws ConfigError
+/// (context {"cluster", "topology"}, message prefixed "topology line N")
+/// on any violation, including an empty fleet.
+Topology parse_topology(std::string_view text);
+
+/// Read `path` and parse it.  Throws IoError when the file cannot be read,
+/// ConfigError (with the path in context) on a grammar violation.
+Topology load_topology(const std::string& path);
+
+}  // namespace rrs::cluster

@@ -90,6 +90,16 @@ TileQuery parse_tile_query(const HttpRequest& req) {
     q.key = TileKey{int_param(req, "tx"), int_param(req, "ty"),
                     zoom_param(req, "z")};
     q.encoding = encoding_param(req);
+    if (const std::string* cached = req.query_param("cached"); cached != nullptr) {
+        if (*cached == "1") {
+            q.cached_only = true;
+        } else if (*cached == "0") {
+            q.cached_only = false;
+        } else {
+            throw HttpError{400, "query parameter 'cached' must be 0 or 1 (got '" +
+                                     *cached + "')"};
+        }
+    }
     return q;
 }
 

@@ -50,10 +50,14 @@ WireEncoding encoding_param(const HttpRequest& req);
 /// ETags are strong, byte-exact promises.
 bool etag_matches(std::string_view header_value, std::string_view etag);
 
-/// Validated /v1/tile query: tx, ty required; z, q optional.
+/// Validated /v1/tile query: tx, ty required; z, q, cached optional.
+/// `cached=1` is the only-if-cached protocol (cluster peer fill,
+/// DESIGN.md §17): the server may answer from RAM cache or L2 store but
+/// must 404 instead of generating.
 struct TileQuery {
     TileKey key;
     WireEncoding encoding = WireEncoding::kF32;
+    bool cached_only = false;
 };
 TileQuery parse_tile_query(const HttpRequest& req);
 

@@ -59,41 +59,6 @@ struct RouteState {
     }
 };
 
-/// Wrap an encoded surface window into the binary wire response.
-HttpResponse surface_response(const Array2D<double>& a, const Rect& r,
-                              const std::string& scene, std::uint64_t fingerprint,
-                              WireEncoding enc = WireEncoding::kF32) {
-    HttpResponse resp;
-    switch (enc) {
-        case WireEncoding::kI16: {
-            QuantizedTile q = encode_tile_i16(a);
-            resp = HttpResponse::octets(std::move(q.body));
-            // Shortest round-trippable decimal (max_digits10) so decoding
-            // reproduces the server's doubles exactly.
-            char num[64];
-            std::snprintf(num, sizeof(num), "%.17g", q.scale);
-            resp.extra_headers.emplace_back("X-RRS-Scale", num);
-            std::snprintf(num, sizeof(num), "%.17g", q.offset);
-            resp.extra_headers.emplace_back("X-RRS-Offset", num);
-            break;
-        }
-        case WireEncoding::kF64:
-            resp = HttpResponse::octets(encode_tile_f64(a));
-            break;
-        case WireEncoding::kF32:
-            resp = HttpResponse::octets(encode_tile_f32(a));
-            break;
-    }
-    resp.extra_headers.emplace_back("X-RRS-Encoding", encoding_name(enc));
-    resp.extra_headers.emplace_back("X-RRS-Nx", std::to_string(r.nx));
-    resp.extra_headers.emplace_back("X-RRS-Ny", std::to_string(r.ny));
-    resp.extra_headers.emplace_back("X-RRS-X0", std::to_string(r.x0));
-    resp.extra_headers.emplace_back("X-RRS-Y0", std::to_string(r.y0));
-    resp.extra_headers.emplace_back("X-RRS-Scene", scene);
-    resp.extra_headers.emplace_back("X-RRS-Fingerprint", std::to_string(fingerprint));
-    return resp;
-}
-
 /// A breaker-denied 503: tells the client when the next probe will run.
 HttpResponse short_circuit_response(const fault::CircuitBreaker& breaker) {
     HttpResponse resp = error_response(503, "circuit breaker open");
@@ -160,6 +125,21 @@ HttpResponse handle_tile(const RouteState& state, const HttpRequest& req) {
         }
         HttpResponse resp;
         resp.status = 304;  // empty body; the validator rides in ETag
+        resp.extra_headers.emplace_back("ETag", etag);
+        return resp;
+    }
+    if (query.cached_only) {
+        // Only-if-cached (`cached=1`, DESIGN.md §17): answer from the RAM
+        // cache or the L2 store, 404 otherwise — never generate.  Cluster
+        // peer fill relies on this to terminate (a peek can never recurse
+        // into another peer), so the breaker/stale machinery is bypassed:
+        // a peek cannot fail the way a generation can.
+        const TilePtr tile = service->peek(key);
+        if (tile == nullptr) {
+            throw HttpError{404, "tile not cached"};
+        }
+        HttpResponse resp = surface_response(*tile, tile_rect(service->shape(), key),
+                                             *scene, service->fingerprint(), enc);
         resp.extra_headers.emplace_back("ETag", etag);
         return resp;
     }
@@ -365,6 +345,40 @@ HttpResponse handle_readyz(const RouteState& state) {
 }
 
 }  // namespace
+
+HttpResponse surface_response(const Array2D<double>& a, const Rect& r,
+                              const std::string& scene, std::uint64_t fingerprint,
+                              WireEncoding enc) {
+    HttpResponse resp;
+    switch (enc) {
+        case WireEncoding::kI16: {
+            QuantizedTile q = encode_tile_i16(a);
+            resp = HttpResponse::octets(std::move(q.body));
+            // Shortest round-trippable decimal (max_digits10) so decoding
+            // reproduces the server's doubles exactly.
+            char num[64];
+            std::snprintf(num, sizeof(num), "%.17g", q.scale);
+            resp.extra_headers.emplace_back("X-RRS-Scale", num);
+            std::snprintf(num, sizeof(num), "%.17g", q.offset);
+            resp.extra_headers.emplace_back("X-RRS-Offset", num);
+            break;
+        }
+        case WireEncoding::kF64:
+            resp = HttpResponse::octets(encode_tile_f64(a));
+            break;
+        case WireEncoding::kF32:
+            resp = HttpResponse::octets(encode_tile_f32(a));
+            break;
+    }
+    resp.extra_headers.emplace_back("X-RRS-Encoding", encoding_name(enc));
+    resp.extra_headers.emplace_back("X-RRS-Nx", std::to_string(r.nx));
+    resp.extra_headers.emplace_back("X-RRS-Ny", std::to_string(r.ny));
+    resp.extra_headers.emplace_back("X-RRS-X0", std::to_string(r.x0));
+    resp.extra_headers.emplace_back("X-RRS-Y0", std::to_string(r.y0));
+    resp.extra_headers.emplace_back("X-RRS-Scene", scene);
+    resp.extra_headers.emplace_back("X-RRS-Fingerprint", std::to_string(fingerprint));
+    return resp;
+}
 
 std::string encode_tile_f32(const Array2D<double>& a) {
     std::string out;

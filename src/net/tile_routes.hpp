@@ -62,6 +62,9 @@
 #include <string_view>
 
 #include "grid/array2d.hpp"
+#include "grid/rect.hpp"
+#include "net/http.hpp"
+#include "net/query.hpp"
 #include "net/router.hpp"
 #include "obs/metrics.hpp"
 #include "service/tile_service.hpp"
@@ -125,5 +128,13 @@ QuantizedTile encode_tile_i16(const Array2D<double>& a);
 /// key, zoom, encoding name) — quoted, as it appears on the wire.
 std::string tile_etag(std::uint64_t fingerprint, const TileKey& key,
                       std::string_view encoding);
+
+/// Wrap an encoded surface window into the binary wire response served by
+/// /v1/tile and /v1/window — body per `enc`, dimensions/scene/fingerprint
+/// in X-RRS-* headers.  Exposed so the cluster proxy (cluster/proxy.hpp)
+/// re-encodes stitched windows with byte-identical framing.
+HttpResponse surface_response(const Array2D<double>& a, const Rect& r,
+                              const std::string& scene, std::uint64_t fingerprint,
+                              WireEncoding enc = WireEncoding::kF32);
 
 }  // namespace rrs::net

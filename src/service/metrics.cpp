@@ -27,6 +27,7 @@ void ServiceMetrics::fill_snapshot(MetricsSnapshot& out) const {
     out.batches = batches_.value();
     out.l2_promotions = l2_promotions_.value();
     out.l2_write_failures = l2_write_failures_.value();
+    out.remote_fills = remote_fills_.value();
 
     // The latency block reuses the shared obs quantile estimator (upper
     // bucket bound — conservative, never under-reports).
@@ -54,6 +55,7 @@ std::string MetricsSnapshot::to_json() const {
     append_field(out, "generation_failures", generation_failures, first);
     append_field(out, "l2_promotions", l2_promotions, first);
     append_field(out, "l2_write_failures", l2_write_failures, first);
+    append_field(out, "remote_fills", remote_fills, first);
     append_field(out, "cache_evictions", cache_evictions, first);
     append_field(out, "cache_bytes", cache_bytes, first);
     append_field(out, "cache_tiles", cache_tiles, first);

@@ -11,11 +11,13 @@
 /// maintains (and tests assert):
 ///
 ///     requests  == cache_hits + cache_misses
-///     generations + coalesced + l2_promotions == cache_misses
+///     generations + coalesced + l2_promotions + remote_fills == cache_misses
 ///
 /// i.e. every request either hits the in-memory cache, coalesces onto a
 /// generation already in flight, promotes the tile from the persistent L2
-/// store (tile_store.hpp), or starts the one generation for its tile.
+/// store (tile_store.hpp), fills from a cluster peer (the previous owner
+/// after a reshard — cluster/peer_fill.hpp), or starts the one generation
+/// for its tile.
 ///
 /// Each service keeps its own ServiceMetrics instance (per-service JSON
 /// stays self-consistent); the service additionally mirrors its events into
@@ -71,6 +73,7 @@ struct MetricsSnapshot {
     std::uint64_t generation_failures = 0;
     std::uint64_t l2_promotions = 0;      ///< misses served from the persistent store
     std::uint64_t l2_write_failures = 0;  ///< store writes swallowed (tile still served)
+    std::uint64_t remote_fills = 0;       ///< misses served by a cluster peer
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_bytes = 0;
     std::uint64_t cache_tiles = 0;
@@ -100,6 +103,7 @@ public:
     void record_batch() noexcept { batches_.add(); }
     void record_l2_promotion() noexcept { l2_promotions_.add(); }
     void record_l2_write_failure() noexcept { l2_write_failures_.add(); }
+    void record_remote_fill() noexcept { remote_fills_.add(); }
     void record_latency_us(std::uint64_t micros) noexcept { latency_.record(micros); }
 
     /// Copy the counters into `out` (cache fields are left untouched — the
@@ -116,6 +120,7 @@ private:
     obs::Counter batches_;
     obs::Counter l2_promotions_;
     obs::Counter l2_write_failures_;
+    obs::Counter remote_fills_;
     LatencyHistogram latency_;
 };
 

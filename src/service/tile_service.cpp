@@ -24,6 +24,7 @@ struct GlobalTileCounters {
     obs::Counter& generations;
     obs::Counter& l2_promotions;
     obs::Counter& l2_write_failures;
+    obs::Counter& remote_fills;
 
     static GlobalTileCounters& get() {
         static GlobalTileCounters c{
@@ -33,7 +34,8 @@ struct GlobalTileCounters {
             obs::MetricsRegistry::global().counter("service.tile.coalesced"),
             obs::MetricsRegistry::global().counter("service.tile.generations"),
             obs::MetricsRegistry::global().counter("store.l2.promotions"),
-            obs::MetricsRegistry::global().counter("store.l2.write_failures")};
+            obs::MetricsRegistry::global().counter("store.l2.write_failures"),
+            obs::MetricsRegistry::global().counter("service.tile.remote_fills")};
         return c;
     }
 };
@@ -99,6 +101,23 @@ TilePtr TileService::get(const TileKey& key) {
     return tile;
 }
 
+TilePtr TileService::peek(const TileKey& key) {
+    check_zoom(key.z);
+    const TileAddress address{fingerprint_, key};
+    if (TilePtr hit = cache_->find(address)) {
+        return hit;
+    }
+    if (opt_.store) {
+        if (store::TileStore::TilePayload stored = opt_.store->find(address)) {
+            TilePtr tile = std::move(stored);
+            // Promote like the miss path would — the peek warmed it.
+            cache_->insert(address, tile);
+            return tile;
+        }
+    }
+    return nullptr;
+}
+
 TilePtr TileService::generate_or_join(const TileKey& key) {
     const TileAddress address{fingerprint_, key};
     std::promise<TilePtr> promise;
@@ -129,6 +148,27 @@ TilePtr TileService::generate_or_join(const TileKey& key) {
                     tile = std::move(stored);
                     metrics_.record_l2_promotion();
                     GlobalTileCounters::get().l2_promotions.add();
+                }
+            }
+            if (!tile && opt_.remote_fill) {
+                // Cluster peer fill (never throws; nullptr = generate).  A
+                // wrong-shaped payload is discarded — a misconfigured peer
+                // must not poison the cache.
+                if (TilePtr remote = opt_.remote_fill(key);
+                    remote != nullptr &&
+                    remote->nx() == static_cast<std::size_t>(opt_.shape.nx) &&
+                    remote->ny() == static_cast<std::size_t>(opt_.shape.ny)) {
+                    tile = std::move(remote);
+                    metrics_.record_remote_fill();
+                    GlobalTileCounters::get().remote_fills.add();
+                    if (opt_.store) {
+                        try {
+                            opt_.store->insert(address, *tile);
+                        } catch (const Error&) {
+                            metrics_.record_l2_write_failure();
+                            GlobalTileCounters::get().l2_write_failures.add();
+                        }
+                    }
                 }
             }
             if (!tile) {

@@ -39,6 +39,14 @@
 /// swallowed (counted): persistence is an optimisation, not a correctness
 /// dependency.
 ///
+/// Remote fill (cluster/peer_fill.hpp): when Options::remote_fill is set
+/// (or installed via set_remote_fill before serving), the miss-leader path
+/// tries it after the L2 lookup and before generating — a cluster node can
+/// warm from the tile's previous owner instead of regenerating after a
+/// reshard.  The hook must never throw; nullptr means "generate locally".
+/// A filled tile is shape-checked, counted (`remote_fills`), and written
+/// through to the store like a fresh generation.
+///
 /// Thread-safety contract: `get`, `get_many`, `window`, and `metrics` may be
 /// called concurrently.  The wrapped generator's `generate(Rect) const` must
 /// itself be safe for concurrent calls (true for ConvolutionGenerator and
@@ -81,6 +89,10 @@ public:
         /// across services (addresses carry the fingerprint).  nullptr = no
         /// persistence tier.
         std::shared_ptr<store::TileStore> store = nullptr;
+        /// Cluster peer-fill hook, tried on the miss-leader path after L2
+        /// and before generation (file comment).  Must not throw; returns
+        /// nullptr to fall through to local generation.
+        std::function<TilePtr(const TileKey&)> remote_fill = nullptr;
     };
 
     /// Wrap `gen` (any type with `Array2D<double> generate(const Rect&) const`).
@@ -120,9 +132,25 @@ public:
     TileService& operator=(const TileService&) = delete;
 
     /// Serve one tile: cache hit, join of an in-flight generation, an L2
-    /// promotion, or a fresh generation (zoom tiles derive from children —
-    /// file comment).  Never returns null; rethrows generation failures.
+    /// promotion, a remote peer fill, or a fresh generation (zoom tiles
+    /// derive from children — file comment).  Never returns null; rethrows
+    /// generation failures.
     TilePtr get(const TileKey& key);
+
+    /// Only-if-cached lookup: the RAM cache, then the L2 store (a hit is
+    /// promoted into the cache) — never generates, never remote-fills, and
+    /// records no service metrics (the cache/store keep their own).  This
+    /// is the `cached=1` wire semantic peer fill relies on to terminate:
+    /// a peek can never recurse into another peer.  Returns nullptr on a
+    /// miss.  Throws on invalid zoom like get().
+    TilePtr peek(const TileKey& key);
+
+    /// Install (or replace) the remote-fill hook after construction — the
+    /// daemon needs the service's fingerprint to build the filler.  Not
+    /// thread-safe against in-flight get() calls: install before serving.
+    void set_remote_fill(std::function<TilePtr(const TileKey&)> fill) {
+        opt_.remote_fill = std::move(fill);
+    }
 
     /// Serve a batch, fanning cold tiles out across the pool.  Results align
     /// with `keys` (duplicates coalesce onto one generation).  If any tile's

@@ -28,6 +28,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/client.hpp"
+#include "cluster/proxy.hpp"
+#include "cluster/topology.hpp"
 #include "core/error.hpp"
 #include "fault/circuit_breaker.hpp"
 #include "fault/inject.hpp"
@@ -356,6 +359,104 @@ TEST_F(ChaosServerTest, AccountingIdentityUnderMixedFaultSchedule) {
     // but before the client read it — the retry then replays the request,
     // so the server-side count is a floor, not an exact figure.
     EXPECT_GE(counter("net.status_4xx"), 40u);
+}
+
+// ------------------------------------------------- cluster fault isolation
+
+// Killing one shard's forwards (site cluster.forward.<node>) degrades that
+// shard's tiles only: the proxy answers 503 for the dead shard's keyspace,
+// 200 for everyone else's, and the dead shard recovers after disarm once
+// its breaker re-probes.  This is the fleet-level analogue of the per-scene
+// breaker cycle above.
+TEST(ChaosCluster, ShardFaultDegradesItsOwnKeyspaceOnly) {
+    FaultGuard guard;
+    // Two stamped-tile shards of the same "scene" (equal fingerprints, so
+    // cluster discovery agrees), plus a real proxy server over them.
+    obs::MetricsRegistry registries[2];
+    std::shared_ptr<TileService> services[2];
+    std::unique_ptr<HttpServer> shards[2];
+    for (int i = 0; i < 2; ++i) {
+        TileService::Options sopt;
+        sopt.shape = TileShape{32, 32};
+        sopt.cache_bytes = std::size_t{16} << 20;
+        services[i] = std::make_shared<TileService>(stamp_tile,
+                                                    /*fingerprint=*/77, sopt,
+                                                    nullptr);
+        SceneServices scenes;
+        scenes.emplace("scene", services[i]);
+        HttpServer::Options opt;
+        opt.workers = 4;
+        opt.registry = &registries[i];
+        shards[i] = std::make_unique<HttpServer>(
+            make_tile_router(std::move(scenes), &registries[i]), opt);
+        shards[i]->start();
+    }
+    cluster::Topology topo;
+    topo.epoch = 1;
+    for (int i = 0; i < 2; ++i) {
+        cluster::NodeSpec spec;
+        spec.name = i == 0 ? "n1" : "n2";
+        spec.host = "127.0.0.1";
+        spec.port = shards[i]->port();
+        topo.nodes.push_back(std::move(spec));
+    }
+    obs::MetricsRegistry proxy_registry;
+    cluster::ClusterOptions copt;
+    copt.connections_per_node = 4;
+    copt.fanout_threads = 4;
+    copt.breaker_failures = 2;
+    copt.breaker_open_ms = 100;  // recover quickly after disarm
+    copt.registry = &proxy_registry;
+    auto client = std::make_shared<cluster::ClusterClient>(topo, copt);
+    HttpServer::Options popt;
+    popt.workers = 4;
+    popt.registry = &proxy_registry;
+    HttpServer proxy(cluster::make_cluster_router(client, &proxy_registry),
+                     popt);
+    proxy.start();
+
+    // One key per shard, found by asking the map.
+    TileKey keys[2] = {TileKey{-1, -1, 0}, TileKey{-1, -1, 0}};
+    for (std::int64_t tx = 0; tx < 32; ++tx) {
+        const TileKey key{tx, 0, 0};
+        keys[client->map().owner(77, key)] = key;
+    }
+    ASSERT_GE(keys[0].tx, 0);
+    ASSERT_GE(keys[1].tx, 0);
+    const auto target = [](const TileKey& key) {
+        return "/v1/tile?tx=" + std::to_string(key.tx) +
+               "&ty=" + std::to_string(key.ty);
+    };
+    HttpClient http("127.0.0.1", proxy.port());
+
+    // Every forward to n2 fails injected; n1 is untouched.
+    fault::arm(fault::FaultPlan::parse("seed:1 cluster.forward.n2=error@every:1"));
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(http.get(target(keys[0])).status, 200) << "n1 degraded too";
+        EXPECT_EQ(http.get(target(keys[1])).status, 503);
+    }
+    ASSERT_NE(http.get(target(keys[1])).header("retry-after"), nullptr);
+    EXPECT_GT(proxy_registry.counter("cluster.node.n2.failures").value(), 0u);
+    EXPECT_EQ(proxy_registry.counter("cluster.node.n1.failures").value(), 0u);
+    EXPECT_EQ(client->breaker_state(0), fault::CircuitBreaker::State::kClosed);
+
+    // Disarm and outlast the open window: n2's keyspace comes back, and the
+    // recovered body is the same stamped tile n2 would always have served.
+    fault::disarm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ClientResponse healed;
+    for (int attempt = 0; attempt < 20 && healed.status != 200; ++attempt) {
+        healed = http.get(target(keys[1]));
+        if (healed.status != 200) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+    ASSERT_EQ(healed.status, 200) << healed.body;
+    EXPECT_EQ(healed.body, encode_tile_f32(*services[1]->get(keys[1])));
+
+    proxy.stop();
+    shards[0]->stop();
+    shards[1]->stop();
 }
 
 }  // namespace

@@ -384,6 +384,31 @@ TEST_F(TileServerTest, ServedTileIsBitIdenticalToDirectService) {
     }
 }
 
+TEST_F(TileServerTest, CachedOnlyServesWarmTilesAndNeverGenerates) {
+    HttpClient client("127.0.0.1", server_->port());
+    // cached=1 is the cluster peer-fill protocol (DESIGN.md §17): a cold
+    // tile is 404, never a generation.
+    const ClientResponse cold = client.get("/v1/tile?tx=2&ty=2&cached=1");
+    EXPECT_EQ(cold.status, 404);
+    EXPECT_NE(cold.body.find("tile not cached"), std::string::npos);
+    EXPECT_EQ(service_->metrics().generations, 0u);
+
+    // Warm it through the normal path, then the peek must serve the exact
+    // bytes the generating request served — ETag included.
+    const ClientResponse warm = client.get("/v1/tile?tx=2&ty=2&q=f64");
+    ASSERT_EQ(warm.status, 200);
+    const ClientResponse peeked = client.get("/v1/tile?tx=2&ty=2&q=f64&cached=1");
+    ASSERT_EQ(peeked.status, 200);
+    EXPECT_EQ(peeked.body, warm.body);
+    ASSERT_NE(peeked.header("etag"), nullptr);
+    EXPECT_EQ(*peeked.header("etag"), *warm.header("etag"));
+    EXPECT_EQ(service_->metrics().generations, 1u);
+
+    // cached takes only 0 or 1.
+    EXPECT_EQ(client.get("/v1/tile?tx=2&ty=2&cached=2").status, 400);
+    EXPECT_EQ(client.get("/v1/tile?tx=2&ty=2&cached=0").status, 200);
+}
+
 TEST_F(TileServerTest, WindowMatchesDirectWindow) {
     HttpClient client("127.0.0.1", server_->port());
     // Straddles four tiles and negative coordinates.

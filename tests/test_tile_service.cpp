@@ -419,6 +419,95 @@ TEST(TileService, DegenerateWindowIsEmpty) {
     EXPECT_EQ(m.generations, 0u);
 }
 
+// --- cluster hooks: peek & remote fill ---------------------------------------
+
+TEST(TileService, PeekNeverGeneratesAndIsMetricsNeutral) {
+    auto gen = [](const Rect& r) { return stamp_tile(r, 0.0); };
+    TileService::Options opt;
+    opt.shape = TileShape{16, 16};
+    TileService service(gen, /*fingerprint=*/21, opt, nullptr);
+    const TileKey key{1, 2, 0};
+    EXPECT_EQ(service.peek(key), nullptr);  // cold: no generation
+    const TilePtr tile = service.get(key);
+    const MetricsSnapshot before = service.metrics();
+    const TilePtr peeked = service.peek(key);
+    ASSERT_NE(peeked, nullptr);
+    EXPECT_EQ(*peeked, *tile);
+    // peek records no service metrics — the cluster peer-fill path must not
+    // distort the serving node's request/hit accounting.
+    const MetricsSnapshot after = service.metrics();
+    EXPECT_EQ(after.requests, before.requests);
+    EXPECT_EQ(after.cache_hits, before.cache_hits);
+    EXPECT_EQ(after.generations, 1u);
+    EXPECT_THROW((void)service.peek(TileKey{0, 0, -1}), ConfigError);
+}
+
+TEST(TileService, RemoteFillServesMovedKeysAndKeepsTheIdentity) {
+    const TileShape shape{16, 16};
+    TileService::Options opt;
+    opt.shape = shape;
+    std::size_t fill_calls = 0;
+    // A "peer" that has every even-tx tile cached (payload tagged so a
+    // mis-served fill is detectable) and misses the rest.
+    opt.remote_fill = [&fill_calls, shape](const TileKey& key) -> TilePtr {
+        ++fill_calls;
+        if (key.tx % 2 != 0) {
+            return nullptr;
+        }
+        return std::make_shared<const Array2D<double>>(
+            stamp_tile(tile_rect(shape, key), 0.5));
+    };
+    TileService service([](const Rect& r) { return stamp_tile(r, 0.5); },
+                        /*fingerprint=*/22, opt, nullptr);
+    for (std::int64_t tx = 0; tx < 6; ++tx) {
+        const TilePtr tile = service.get(TileKey{tx, 0, 0});
+        EXPECT_EQ(*tile, stamp_tile(tile_rect(shape, TileKey{tx, 0, 0}), 0.5));
+    }
+    EXPECT_EQ(fill_calls, 6u);
+    const MetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.remote_fills, 3u);  // tx 0, 2, 4 came from the peer
+    EXPECT_EQ(m.generations, 3u);   // tx 1, 3, 5 fell through
+    // The miss ledger: misses == generations + coalesced + l2 + remote.
+    EXPECT_EQ(m.cache_misses,
+              m.generations + m.coalesced + m.l2_promotions + m.remote_fills);
+    // Filled tiles are cached like generated ones: a re-request is a hit
+    // and never re-consults the peer.
+    (void)service.get(TileKey{0, 0, 0});
+    EXPECT_EQ(fill_calls, 6u);
+    EXPECT_EQ(service.metrics().cache_hits, 1u);
+}
+
+TEST(TileService, WrongShapedRemoteFillIsDiscardedNotServed) {
+    TileService::Options opt;
+    opt.shape = TileShape{16, 16};
+    opt.remote_fill = [](const TileKey&) -> TilePtr {
+        // A misconfigured peer serving 8×8 tiles must not poison the cache.
+        return std::make_shared<const Array2D<double>>(
+            stamp_tile(Rect{0, 0, 8, 8}, 9.0));
+    };
+    TileService service([](const Rect& r) { return stamp_tile(r, 0.0); },
+                        /*fingerprint=*/23, opt, nullptr);
+    const TilePtr tile = service.get(TileKey{0, 0, 0});
+    EXPECT_EQ(*tile, stamp_tile(Rect{0, 0, 16, 16}, 0.0));
+    const MetricsSnapshot m = service.metrics();
+    EXPECT_EQ(m.remote_fills, 0u);
+    EXPECT_EQ(m.generations, 1u);
+}
+
+TEST(TileService, SetRemoteFillInstallsTheHookAfterConstruction) {
+    TileService::Options opt;
+    opt.shape = TileShape{16, 16};
+    TileService service([](const Rect& r) { return stamp_tile(r, 0.0); },
+                        /*fingerprint=*/24, opt, nullptr);
+    service.set_remote_fill([](const TileKey& key) -> TilePtr {
+        return std::make_shared<const Array2D<double>>(
+            stamp_tile(tile_rect(TileShape{16, 16}, key), 0.0));
+    });
+    (void)service.get(TileKey{3, 3, 0});
+    EXPECT_EQ(service.metrics().remote_fills, 1u);
+    EXPECT_EQ(service.metrics().generations, 0u);
+}
+
 // --- zoom pyramid addressing -------------------------------------------------
 
 TEST(TileKeyZoom, StrideAndBaseRectScaleWithLevel) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# CI driver — ten stages, each runnable on its own:
+# CI driver — eleven stages, each runnable on its own:
 #
 #   tools/ci.sh             # all stages: lint, release, sanitize, fuzz, tsan,
-#                           # chaos, tidy, perf, store, coverage
+#                           # chaos, tidy, perf, store, cluster, coverage
 #   tools/ci.sh lint        # rrslint conventions + lint fixtures (no build)
 #   tools/ci.sh release     # build + tier 1 (-LE "stats|race|chaos") + tier 2 (-L stats)
 #   tools/ci.sh sanitize    # tier 1 under ASan+UBSan
@@ -16,6 +16,9 @@
 #   tools/ci.sh perf        # quick net load bench -> bench_out/BENCH_net.json
 #   tools/ci.sh store       # warm-restart rrsd smoke (persistent L2 tile store)
 #                           # + the store bench -> bench_out/BENCH_store.json
+#   tools/ci.sh cluster     # 3-shard fleet + routing proxy smoke (byte-identity,
+#                           # traffic spread, SIGSTOP degradation) + the capacity
+#                           # bench gate -> bench_out/BENCH_cluster.json
 #   tools/ci.sh coverage    # instrumented tier 1+2 run, merged per-module
 #                           # rates gated against tools/coverage_thresholds.json
 #
@@ -102,7 +105,8 @@ run_fuzz() {
     # to replay drivers only.  Either way every corpus must replay clean,
     # and the replay throughput is recorded to bench_out/BENCH_fuzz.json.
     build_preset fuzz build-fuzz
-    local harnesses=(http_head scene fault_plan segment_scan checkpoint query)
+    local harnesses=(http_head scene fault_plan segment_scan checkpoint query
+                     topology)
     local h line newdir
     local stats=()
     mkdir -p bench_out
@@ -253,6 +257,174 @@ EOF
     fi
 }
 
+run_cluster() {
+    # Cluster tier (DESIGN.md §17): a 3-shard rrsd fleet behind an
+    # `rrsd --cluster` routing proxy, exercised end to end:
+    #   * a stitched /v1/window through the proxy is byte-identical to the
+    #     same window rendered by one shard directly, and to
+    #     `rrsquery --cluster`'s in-process routing;
+    #   * /v1/tile traffic really spreads: >= 2 shards show forwarded
+    #     requests in the proxy's /metrics;
+    #   * SIGSTOP of one shard flips the fleet /readyz to 503 (naming the
+    #     stalled shard) and `rrsquery --cluster` exits 3 for tiles it
+    #     owns while other shards keep serving; SIGCONT heals both;
+    #   * the capacity bench: 3 shards must clear 2.5x one shard on a
+    #     cold owner-balanced sweep -> bench_out/BENCH_cluster.json.
+    build_preset release build
+    echo "==> [cluster] 3-shard fleet smoke"
+    local scene work topo
+    scene=$(mktemp)
+    work=$(mktemp -d)
+    topo="$work/fleet.topo"
+    build/tools/rrstile --example > "$scene"
+
+    local -a pids=() ports=()
+    local i
+    for i in 1 2 3; do
+        build/tools/rrsd "$scene" --port 0 --port-file "$work/port.$i" \
+            --tile-size 64 --cache-mb 16 --quiet > /dev/null &
+        pids+=($!)
+    done
+    for i in 1 2 3; do
+        if ! wait_for_port_file "$work/port.$i"; then
+            echo "==> cluster smoke: shard n$i never published its port" >&2
+            return 1
+        fi
+        ports+=("$(cat "$work/port.$i")")
+    done
+    {
+        echo "epoch = 1"
+        for i in 0 1 2; do
+            echo "node n$((i + 1)) 127.0.0.1:${ports[$i]} weight=1"
+        done
+    } > "$topo"
+
+    local proxy_pid proxy
+    build/tools/rrsd --cluster "$topo" --cluster-timeout-ms 2000 \
+        --port 0 --port-file "$work/port.proxy" --quiet > /dev/null &
+    proxy_pid=$!
+    if ! wait_for_port_file "$work/port.proxy"; then
+        echo "==> cluster smoke: proxy never published its port" >&2
+        return 1
+    fi
+    proxy=$(cat "$work/port.proxy")
+
+    # Stitched window: proxy == direct shard == rrsquery --cluster.  Any
+    # single shard can render the whole window itself (it owns the full
+    # generator), which is exactly what makes the comparison meaningful.
+    local win='/v1/window?x0=-48&y0=-48&nx=96&ny=96'
+    build/tools/rrsquery "127.0.0.1:$proxy" "$win" --out "$work/w.proxy" > /dev/null
+    build/tools/rrsquery "127.0.0.1:${ports[0]}" "$win" --out "$work/w.direct" > /dev/null
+    build/tools/rrsquery --cluster "$topo" "$win" --out "$work/w.fleet" > /dev/null
+    if ! cmp -s "$work/w.proxy" "$work/w.direct"; then
+        echo "==> cluster smoke: proxied window differs from single-shard" >&2
+        return 1
+    fi
+    if ! cmp -s "$work/w.fleet" "$work/w.direct"; then
+        echo "==> cluster smoke: rrsquery --cluster window differs" >&2
+        return 1
+    fi
+    echo "    window ok: proxy and --cluster byte-identical to a single shard"
+
+    # Tiles through the proxy: byte-identical to a direct render, and the
+    # per-node forwarded counters prove >= 2 shards actually served.
+    local tx
+    for tx in 0 1 2 3 4 5; do
+        build/tools/rrsquery "127.0.0.1:$proxy" "/v1/tile?tx=$tx&ty=0" \
+            --out "$work/t.proxy.$tx" > /dev/null
+        build/tools/rrsquery "127.0.0.1:${ports[1]}" "/v1/tile?tx=$tx&ty=0" \
+            --out "$work/t.direct.$tx" > /dev/null
+        if ! cmp -s "$work/t.proxy.$tx" "$work/t.direct.$tx"; then
+            echo "==> cluster smoke: tile tx=$tx differs via proxy" >&2
+            return 1
+        fi
+    done
+    build/tools/rrsquery "127.0.0.1:$proxy" /metrics > "$work/metrics.json"
+    python3 - "$work/metrics.json" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+spread = {n: c.get(f"cluster.node.{n}.requests", 0) for n in ("n1", "n2", "n3")}
+served = [n for n, v in spread.items() if v > 0]
+assert len(served) >= 2, f"traffic did not spread: {spread}"
+print(f"    spread ok: forwarded requests {spread}")
+EOF
+
+    # SIGSTOP one shard: the fleet readyz flips to 503 and names the
+    # stalled shard; its keyspace exits 3 via --cluster while the other
+    # shards keep serving; SIGCONT heals.
+    if ! build/tools/rrsquery "127.0.0.1:$proxy" /readyz > /dev/null; then
+        echo "==> cluster smoke: fleet not ready while healthy" >&2
+        return 1
+    fi
+    kill -STOP "${pids[1]}"
+    local rc=0 body
+    body=$(build/tools/rrsquery "127.0.0.1:$proxy" /readyz) || rc=$?
+    if [[ $rc -ne 1 || "$body" != *'"n2"'* ]]; then
+        echo "==> cluster smoke: readyz with a stalled shard: rc=$rc body=$body" >&2
+        return 1
+    fi
+    local dead=0 live=0
+    for tx in $(seq 0 11); do
+        rc=0
+        build/tools/rrsquery --cluster "$topo" "/v1/tile?tx=$tx&ty=1" \
+            --timeout-ms 500 --out /dev/null > /dev/null 2>&1 || rc=$?
+        case $rc in
+            0) live=$((live + 1)) ;;
+            3) dead=$((dead + 1)) ;;
+            *) echo "==> cluster smoke: tile tx=$tx ty=1 exited $rc" >&2
+               return 1 ;;
+        esac
+    done
+    if [[ $dead -eq 0 || $live -eq 0 ]]; then
+        echo "==> cluster smoke: degradation not shard-local ($dead dead, $live live)" >&2
+        return 1
+    fi
+    echo "    degradation ok: $dead keys exit 3, $live keys still served"
+    kill -CONT "${pids[1]}"
+    local healed=""
+    for _ in $(seq 1 40); do
+        if build/tools/rrsquery "127.0.0.1:$proxy" /readyz > /dev/null 2>&1; then
+            healed=1
+            break
+        fi
+        sleep 0.5
+    done
+    if [[ -z $healed ]]; then
+        echo "==> cluster smoke: fleet never recovered after SIGCONT" >&2
+        return 1
+    fi
+    echo "    readyz ok: 503 while stalled, recovered after SIGCONT"
+
+    local pid
+    for pid in "$proxy_pid" "${pids[@]}"; do
+        kill -TERM "$pid"
+    done
+    for pid in "$proxy_pid" "${pids[@]}"; do
+        rc=0
+        wait "$pid" || rc=$?
+        if [[ $rc -ne 0 ]]; then
+            echo "==> cluster smoke: pid $pid exited $rc after SIGTERM" >&2
+            return 1
+        fi
+    done
+    rm -rf "$scene" "$work"
+
+    echo "==> [cluster] bench cluster --quick"
+    build/bench/cluster --quick --out-dir bench_out
+    echo "==> [cluster] wrote bench_out/BENCH_cluster.json"
+}
+
+# Poll a --port-file path until the daemon publishes its ephemeral port
+# (100 x 0.1 s); non-zero when it never appears.
+wait_for_port_file() {
+    local port_file=$1
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && return 0
+        sleep 0.1
+    done
+    return 1
+}
+
 # Serve a few tiles end-to-end through the tile service (coalescing cache,
 # batch fan-out, metrics JSON) — run under both presets so the service layer
 # gets ASan+UBSan coverage too.
@@ -382,10 +554,12 @@ case "$want" in
     tidy)     run_tidy ;;
     perf)     run_perf ;;
     store)    run_store ;;
+    cluster)  run_cluster ;;
     coverage) run_coverage ;;
     all)      run_lint; run_release; run_sanitize; run_fuzz; run_tsan
-              run_chaos; run_tidy; run_perf; run_store; run_coverage ;;
-    *)  echo "usage: tools/ci.sh [lint|release|sanitize|fuzz|tsan|chaos|tidy|perf|store|coverage|all]" >&2
+              run_chaos; run_tidy; run_perf; run_store; run_cluster
+              run_coverage ;;
+    *)  echo "usage: tools/ci.sh [lint|release|sanitize|fuzz|tsan|chaos|tidy|perf|store|cluster|coverage|all]" >&2
         exit 2 ;;
 esac
 echo "==> ci: all requested stages passed"

@@ -40,6 +40,23 @@
 //   --faults SPEC      arm a fault-injection plan (DESIGN.md §13 grammar,
 //                      e.g. 'net.recv=error@p:0.1 seed:7'); without the
 //                      flag the RRS_FAULTS environment variable is used
+//
+// Cluster modes (DESIGN.md §17):
+//
+//   rrsd --cluster TOPOLOGY [options]
+//                      proxy mode: serve the fleet described by the
+//                      topology file (src/cluster/topology.hpp grammar) as
+//                      one logical tile server — no scene files, no
+//                      generator; tiles route to their owning shard by
+//                      rendezvous hashing, windows stitch across shards
+//                      byte-identically, /readyz aggregates the fleet
+//   --cluster-timeout-ms N  per-forward deadline in proxy mode (default 5000)
+//   --cluster-prev TOPOLOGY --cluster-node NAME
+//                      shard mode peer fill: NAME is this node's name; on a
+//                      cache+store miss, ask the key's owner under the
+//                      *previous* epoch's topology for its cached copy
+//                      (`cached=1` — the peer never generates) before
+//                      generating locally.  Both flags come together.
 
 #include <csignal>
 #include <cstdint>
@@ -52,6 +69,10 @@
 
 #include <unistd.h>
 
+#include "cluster/client.hpp"
+#include "cluster/peer_fill.hpp"
+#include "cluster/proxy.hpp"
+#include "cluster/topology.hpp"
 #include "core/error.hpp"
 #include "fault/inject.hpp"
 #include "io/scene.hpp"
@@ -86,7 +107,11 @@ int usage() {
                  "  --stale-mb N     stale-tile store MiB; 0 = off (default 32)\n"
                  "  --store DIR      persistent L2 tile store directory\n"
                  "  --store-mb N     L2 store budget in MiB (default 1024)\n"
-                 "  --faults SPEC    arm a fault plan (default: $RRS_FAULTS)\n";
+                 "  --faults SPEC    arm a fault plan (default: $RRS_FAULTS)\n"
+                 "  --cluster TOPOLOGY       proxy mode: route to the fleet\n"
+                 "  --cluster-timeout-ms N   proxy forward deadline (default 5000)\n"
+                 "  --cluster-prev TOPOLOGY  previous epoch for peer cache-fill\n"
+                 "  --cluster-node NAME      this shard's name in the topologies\n";
     return 2;
 }
 
@@ -133,6 +158,10 @@ int main(int argc, char** argv) {
     std::size_t store_mb = 1024;
     std::string faults_spec;
     bool faults_flag = false;
+    std::string cluster_file;
+    int cluster_timeout_ms = 5000;
+    std::string cluster_prev_file;
+    std::string cluster_node;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -246,6 +275,30 @@ int main(int argc, char** argv) {
             }
             faults_spec = v;
             faults_flag = true;
+        } else if (arg == "--cluster") {
+            const char* v = next_value("--cluster");
+            if (v == nullptr) {
+                return usage();
+            }
+            cluster_file = v;
+        } else if (arg == "--cluster-timeout-ms") {
+            const char* v = next_value("--cluster-timeout-ms");
+            if (v == nullptr) {
+                return usage();
+            }
+            cluster_timeout_ms = std::atoi(v);
+        } else if (arg == "--cluster-prev") {
+            const char* v = next_value("--cluster-prev");
+            if (v == nullptr) {
+                return usage();
+            }
+            cluster_prev_file = v;
+        } else if (arg == "--cluster-node") {
+            const char* v = next_value("--cluster-node");
+            if (v == nullptr) {
+                return usage();
+            }
+            cluster_node = v;
         } else if (!arg.empty() && arg.front() == '-') {
             std::cerr << "rrsd: unrecognised option '" << arg << "'\n";
             return usage();
@@ -253,7 +306,26 @@ int main(int argc, char** argv) {
             scene_files.push_back(scene_arg(arg));
         }
     }
-    if (scene_files.empty()) {
+    const bool proxy_mode = !cluster_file.empty();
+    if (proxy_mode && !scene_files.empty()) {
+        std::cerr << "rrsd: --cluster (proxy mode) takes no scene files — "
+                     "shards own the scenes\n";
+        return usage();
+    }
+    if (proxy_mode && (!cluster_prev_file.empty() || !cluster_node.empty())) {
+        std::cerr << "rrsd: --cluster-prev/--cluster-node are shard-mode "
+                     "flags, not proxy-mode\n";
+        return usage();
+    }
+    if (cluster_prev_file.empty() != cluster_node.empty()) {
+        std::cerr << "rrsd: --cluster-prev and --cluster-node come together\n";
+        return usage();
+    }
+    if (proxy_mode && cluster_timeout_ms <= 0) {
+        std::cerr << "rrsd: --cluster-timeout-ms must be positive\n";
+        return usage();
+    }
+    if (!proxy_mode && scene_files.empty()) {
         std::cerr << "rrsd: at least one scene file is required\n";
         return usage();
     }
@@ -267,52 +339,92 @@ int main(int argc, char** argv) {
     }
 
     try {
-        // One segment file shared by every scene: addresses carry the
-        // generator fingerprint, so scenes can never alias each other.
         std::shared_ptr<store::TileStore> tile_store;
-        if (!store_dir.empty()) {
-            if (::mkdir(store_dir.c_str(), 0755) != 0 && errno != EEXIST) {
-                std::cerr << "rrsd: cannot create '" << store_dir
-                          << "': " << std::strerror(errno) << "\n";
-                return 1;
-            }
-            store::TileStoreOptions sopt;
-            sopt.byte_budget = store_mb << 20;
-            tile_store = std::make_shared<store::TileStore>(
-                store_dir + "/tiles.rrsstore", sopt);
-        }
-        // One generation pool shared by every scene's TileService; the HTTP
-        // server runs its own worker pool, so window fan-out from a server
-        // worker cannot deadlock against itself (tile_service.hpp contract).
-        ThreadPool gen_pool(gen_threads);
-        net::SceneServices scenes;
-        for (const auto& [name, file] : scene_files) {
-            std::ifstream in(file);
-            if (!in) {
-                std::cerr << "rrsd: cannot open '" << file << "'\n";
-                return 1;
-            }
-            Scene scene = parse_scene(in);
-            if (override_seed) {
-                scene.seed = seed;
-            }
-            auto gen = std::make_shared<InhomogeneousGenerator>(
-                make_scene_generator(scene));
-            TileService::Options opt;
-            opt.shape = TileShape{tile_size, tile_size};
-            opt.cache_bytes = cache_mb << 20;
-            opt.pool = &gen_pool;
-            opt.store = tile_store;
-            auto [it, inserted] = scenes.emplace(
-                name, TileService::owning(std::move(gen), opt));
-            if (!inserted) {
-                std::cerr << "rrsd: scene name '" << name << "' used twice\n";
-                return 1;
-            }
+        std::unique_ptr<ThreadPool> gen_pool;
+        std::shared_ptr<cluster::ClusterClient> cluster_client;
+        net::Router router;
+        if (proxy_mode) {
+            // Stateless routing tier: no generator, no scene — one
+            // ClusterClient over the declared fleet (cluster/proxy.hpp).
+            cluster::Topology topo = cluster::load_topology(cluster_file);
+            cluster::ClusterOptions copt;
+            copt.timeout_ms = cluster_timeout_ms;
+            cluster_client = std::make_shared<cluster::ClusterClient>(
+                std::move(topo), copt);
+            router = cluster::make_cluster_router(cluster_client);
             if (!quiet) {
-                std::cerr << "rrsd: scene '" << name << "' <- " << file
-                          << " (fingerprint " << it->second->fingerprint() << ")\n";
+                std::cerr << "rrsd: proxy over " << cluster_client->map().size()
+                          << " shard(s), topology epoch "
+                          << cluster_client->map().epoch() << "\n";
             }
+        } else {
+            // One segment file shared by every scene: addresses carry the
+            // generator fingerprint, so scenes can never alias each other.
+            if (!store_dir.empty()) {
+                if (::mkdir(store_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+                    std::cerr << "rrsd: cannot create '" << store_dir
+                              << "': " << std::strerror(errno) << "\n";
+                    return 1;
+                }
+                store::TileStoreOptions sopt;
+                sopt.byte_budget = store_mb << 20;
+                tile_store = std::make_shared<store::TileStore>(
+                    store_dir + "/tiles.rrsstore", sopt);
+            }
+            // One generation pool shared by every scene's TileService; the
+            // HTTP server runs its own worker pool, so window fan-out from a
+            // server worker cannot deadlock against itself (tile_service.hpp
+            // contract).
+            gen_pool = std::make_unique<ThreadPool>(gen_threads);
+            net::SceneServices scenes;
+            for (const auto& [name, file] : scene_files) {
+                std::ifstream in(file);
+                if (!in) {
+                    std::cerr << "rrsd: cannot open '" << file << "'\n";
+                    return 1;
+                }
+                Scene scene = parse_scene(in);
+                if (override_seed) {
+                    scene.seed = seed;
+                }
+                auto gen = std::make_shared<InhomogeneousGenerator>(
+                    make_scene_generator(scene));
+                TileService::Options opt;
+                opt.shape = TileShape{tile_size, tile_size};
+                opt.cache_bytes = cache_mb << 20;
+                opt.pool = gen_pool.get();
+                opt.store = tile_store;
+                auto [it, inserted] = scenes.emplace(
+                    name, TileService::owning(std::move(gen), opt));
+                if (!inserted) {
+                    std::cerr << "rrsd: scene name '" << name << "' used twice\n";
+                    return 1;
+                }
+                if (!quiet) {
+                    std::cerr << "rrsd: scene '" << name << "' <- " << file
+                              << " (fingerprint " << it->second->fingerprint()
+                              << ")\n";
+                }
+            }
+            if (!cluster_prev_file.empty()) {
+                // Reshard warm-up: ask each key's previous-epoch owner
+                // before generating (cluster/peer_fill.hpp).  Installed
+                // before the router exists, so no request can race it.
+                const cluster::Topology prev =
+                    cluster::load_topology(cluster_prev_file);
+                for (auto& [name, service] : scenes) {
+                    service->set_remote_fill(cluster::make_peer_filler(
+                        prev, cluster_node, name, service->fingerprint(),
+                        service->shape()));
+                }
+                if (!quiet) {
+                    std::cerr << "rrsd: peer cache-fill armed (node '"
+                              << cluster_node << "', previous epoch "
+                              << prev.epoch << ")\n";
+                }
+            }
+            route_opt.stale_bytes = stale_mb << 20;
+            router = net::make_tile_router(std::move(scenes), nullptr, route_opt);
         }
 
         if (trace) {
@@ -326,10 +438,7 @@ int main(int argc, char** argv) {
         if (!quiet && fault::armed()) {
             std::cerr << "rrsd: fault plan armed\n";
         }
-        route_opt.stale_bytes = stale_mb << 20;
-        net::HttpServer server(
-            net::make_tile_router(std::move(scenes), nullptr, route_opt),
-            server_opt);
+        net::HttpServer server(std::move(router), server_opt);
 
         if (::pipe(g_signal_pipe) != 0) {
             std::cerr << "rrsd: pipe: " << std::strerror(errno) << "\n";

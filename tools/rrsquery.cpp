@@ -1,10 +1,19 @@
 // rrsquery — one-shot HTTP client for an rrsd tile server.
 //
 //   rrsquery HOST:PORT TARGET [options]
+//   rrsquery --cluster TOPOLOGY TARGET [options]
 //
 //   rrsquery 127.0.0.1:8080 /healthz
 //   rrsquery 127.0.0.1:8080 "/v1/tile?tx=0&ty=0" --stats
 //   rrsquery 127.0.0.1:8080 /metrics
+//   rrsquery --cluster fleet.topo "/v1/window?x0=0&y0=0&nx=512&ny=512" --stats
+//
+// With `--cluster TOPOLOGY` (a src/cluster/topology.hpp file) the client
+// routes fleet-side without a proxy: /v1/tile and /v1/pyramid go straight
+// to the owning shard (rendezvous hashing, DESIGN.md §17), /v1/window is
+// fanned out and stitched client-side (byte-identical to single-node
+// serving), /readyz aggregates every shard, and anything else is asked of
+// the first node.  An unreachable shard exits 3, like a connect failure.
 //
 // Prints the response body to stdout (binary surface bodies are summarised
 // unless --out or --stats asks otherwise) and exits 0 iff the response
@@ -30,20 +39,28 @@
 // transport failure; 2 = usage; 3 = could not connect; 4 = retry deadline
 // exhausted.
 
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
+#include "cluster/client.hpp"
+#include "cluster/topology.hpp"
 #include "core/error.hpp"
 #include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/query.hpp"
+#include "net/tile_routes.hpp"
 
 namespace {
 
 int usage() {
     std::cerr << "usage: rrsquery HOST:PORT TARGET [options]\n"
+                 "       rrsquery --cluster TOPOLOGY TARGET [options]\n"
                  "  --out FILE     write the raw response body to FILE\n"
                  "  --stats        decode a float32 surface body, print stats\n"
                  "  --headers      also print status + headers to stderr\n"
@@ -53,8 +70,9 @@ int usage() {
                  "  --retries N    extra attempts on transport failure / 503\n"
                  "  --deadline-ms N overall retry budget (default: none)\n"
                  "exit codes: 0 = 2xx or 304, 1 = HTTP/transport error,\n"
-                 "            2 = usage, 3 = connect failure, 4 = deadline "
-                 "exhausted\n";
+                 "            2 = usage, 3 = connect failure / shard "
+                 "unavailable,\n"
+                 "            4 = deadline exhausted\n";
     return 2;
 }
 
@@ -103,6 +121,82 @@ int print_surface_stats(const rrs::net::ClientResponse& resp) {
     return 0;
 }
 
+/// Re-cast a server-side HttpResponse (client-side stitched window,
+/// aggregated readyz) as the ClientResponse the shared printing path
+/// expects — header names lower-cased, the way parse_response_head does.
+rrs::net::ClientResponse synthesize(rrs::net::HttpResponse resp) {
+    rrs::net::ClientResponse out;
+    out.status = resp.status;
+    out.body = std::move(resp.body);
+    out.headers.emplace_back("content-type", std::move(resp.content_type));
+    for (auto& [name, value] : resp.extra_headers) {
+        std::string lower = name;
+        for (char& c : lower) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        out.headers.emplace_back(std::move(lower), std::move(value));
+    }
+    return out;
+}
+
+/// Fleet-side routing for --cluster (file comment): resolve the target the
+/// way the proxy would, but in-process.
+rrs::net::ClientResponse cluster_fetch(const std::string& topology_file,
+                                       const std::string& target,
+                                       const rrs::net::HttpClient::HeaderList& extra,
+                                       const rrs::net::HttpClient::Options& copt) {
+    using namespace rrs;
+    cluster::ClusterOptions opt;
+    opt.timeout_ms = copt.timeout_ms;
+    opt.retry = copt.retry;
+    opt.connections_per_node = 2;  // one-shot tool: stay well under shard workers
+    opt.fanout_threads = 4;
+    cluster::ClusterClient client(cluster::load_topology(topology_file), opt);
+    // Borrow the server's own request parser so the target grammar (path,
+    // %XX decoding, query split) is exactly the wire grammar.
+    const net::HttpRequest req =
+        net::parse_request_head("GET " + target + " HTTP/1.1");
+    if (req.path == "/readyz") {
+        const cluster::ClusterClient::FleetReady fleet = client.ready();
+        std::string body = std::string("{\"ready\":") +
+                           (fleet.ready ? "true" : "false") + ",\"nodes\":[";
+        bool first = true;
+        for (const auto& node : fleet.nodes) {
+            if (!first) {
+                body += ',';
+            }
+            first = false;
+            body += "{\"name\":\"" + net::json_escape(node.name) +
+                    "\",\"ready\":" + (node.ready ? "true" : "false") +
+                    ",\"status\":" + std::to_string(node.status) + "}";
+        }
+        body += "]}";
+        return synthesize(
+            net::HttpResponse::json(fleet.ready ? 200 : 503, std::move(body)));
+    }
+    if (req.path == "/v1/tile") {
+        const auto [scene, info] = client.resolve_scene(req.query_param("scene"));
+        (void)info;
+        const net::TileQuery query = net::parse_tile_query(req);
+        return client.forward(client.owner_of(scene, query.key), target, extra);
+    }
+    if (req.path == "/v1/pyramid") {
+        const auto [scene, info] = client.resolve_scene(req.query_param("scene"));
+        (void)info;
+        const net::PyramidQuery query = net::parse_pyramid_query(req);
+        return client.forward(client.owner_of(scene, query.top), target, extra);
+    }
+    if (req.path == "/v1/window") {
+        const auto [scene, info] = client.resolve_scene(req.query_param("scene"));
+        const net::WindowQuery query = net::parse_window_query(req);
+        const Array2D<double> window = client.window(scene, query.region);
+        return synthesize(net::surface_response(window, query.region, scene,
+                                                info.fingerprint, query.encoding));
+    }
+    // /, /healthz, /metrics, ...: fleet-global reads — any node will do.
+    return client.forward(0, target, extra);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,8 +204,21 @@ int main(int argc, char** argv) {
     if (argc < 3) {
         return usage();
     }
-    const std::string host_port = argv[1];
-    std::string target = argv[2];
+    std::string host_port;
+    std::string cluster_file;
+    int first_option = 3;
+    std::string target;
+    if (std::string(argv[1]) == "--cluster") {
+        if (argc < 4) {
+            return usage();
+        }
+        cluster_file = argv[2];
+        target = argv[3];
+        first_option = 4;
+    } else {
+        host_port = argv[1];
+        target = argv[2];
+    }
     std::string out_file;
     std::string zoom;
     std::string if_none_match;
@@ -119,7 +226,7 @@ int main(int argc, char** argv) {
     bool show_headers = false;
     net::HttpClient::Options copt;
 
-    for (int i = 3; i < argc; ++i) {
+    for (int i = first_option; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next_value = [&](const char* flag) -> const char* {
             if (i + 1 >= argc) {
@@ -174,14 +281,19 @@ int main(int argc, char** argv) {
         }
     }
 
-    const std::size_t colon = host_port.rfind(':');
-    if (colon == std::string::npos || colon == 0 || colon + 1 >= host_port.size()) {
-        std::cerr << "rrsquery: first argument must be HOST:PORT\n";
-        return usage();
+    std::string host;
+    std::uint16_t port = 0;
+    if (cluster_file.empty()) {
+        const std::size_t colon = host_port.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= host_port.size()) {
+            std::cerr << "rrsquery: first argument must be HOST:PORT\n";
+            return usage();
+        }
+        host = host_port.substr(0, colon);
+        port = static_cast<std::uint16_t>(
+            std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
     }
-    const std::string host = host_port.substr(0, colon);
-    const auto port = static_cast<std::uint16_t>(
-        std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
 
     if (!zoom.empty()) {
         target += (target.find('?') == std::string::npos ? '?' : '&');
@@ -189,12 +301,17 @@ int main(int argc, char** argv) {
     }
 
     try {
-        net::HttpClient client(host, port, copt);
         net::HttpClient::HeaderList extra;
         if (!if_none_match.empty()) {
             extra.emplace_back("If-None-Match", if_none_match);
         }
-        const net::ClientResponse resp = client.get(target, extra);
+        net::ClientResponse resp;
+        if (!cluster_file.empty()) {
+            resp = cluster_fetch(cluster_file, target, extra, copt);
+        } else {
+            net::HttpClient client(host, port, copt);
+            resp = client.get(target, extra);
+        }
         if (show_headers) {
             std::cerr << "HTTP " << resp.status << "\n";
             for (const auto& [name, value] : resp.headers) {
@@ -243,6 +360,10 @@ int main(int argc, char** argv) {
     } catch (const net::DeadlineError& e) {
         std::cerr << "rrsquery: deadline exhausted: " << e.what() << "\n";
         return 4;
+    } catch (const cluster::NodeUnavailableError& e) {
+        std::cerr << "rrsquery: shard '" << e.node() << "' unavailable: "
+                  << e.what() << "\n";
+        return 3;
     } catch (const net::ConnectError& e) {
         std::cerr << "rrsquery: connect failed: " << e.what() << "\n";
         return 3;
